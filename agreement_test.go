@@ -1,0 +1,68 @@
+package probesim_test
+
+// Extends the five-way agreement check to the extension estimators: the
+// fingerprint index, the simulated distributed cluster, and the corrected
+// linearization must all land on the same similarities as the Power
+// Method. Together with TestFiveWayAgreement this puts eight independent
+// implementations behind one ground truth.
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/cluster"
+	"probesim/internal/fingerprint"
+	"probesim/internal/linear"
+	"probesim/internal/power"
+)
+
+func TestExtensionEstimatorAgreement(t *testing.T) {
+	g := seededGraph(404, 50, 100) // the same graph TestFiveWayAgreement uses
+	const u = 7
+
+	exact, err := power.SingleSource(g, u, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, est []float64, tol float64) {
+		t.Helper()
+		worst := 0.0
+		for v := range est {
+			if d := math.Abs(est[v] - exact[v]); d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s deviates from Power Method by %.4f (tol %.4f)", name, worst, tol)
+		}
+	}
+
+	idx, err := fingerprint.Build(g, fingerprint.BuildOptions{Eps: 0.05, Delta: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpEst, err := idx.SingleSource(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Fingerprint", fpEst, 0.05)
+
+	clEst, _, err := cluster.SingleSource(g, u, cluster.Config{
+		Partitions: 5, Eps: 0.05, Delta: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Cluster", clEst, 0.05)
+
+	lopt := linear.Options{C: 0.6, T: 50}
+	d, err := linear.DiagonalExact(g, lopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linEst, err := linear.SingleSource(g, u, d, lopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Linearized(exact-D)", linEst, 1e-6)
+}

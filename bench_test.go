@@ -1,0 +1,417 @@
+// Package probesim_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (§6), plus the ablation
+// benches for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks measure the per-query kernels on the dataset stand-ins; the
+// full tables/figures (with accuracy columns) come from
+// `go run ./cmd/experiments`.
+package probesim_test
+
+import (
+	"sync"
+	"testing"
+
+	"probesim"
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/mc"
+	"probesim/internal/metrics"
+	"probesim/internal/pooling"
+	"probesim/internal/power"
+	"probesim/internal/probe"
+	"probesim/internal/topsim"
+	"probesim/internal/tsf"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// graphCache builds each dataset stand-in at most once per bench run.
+var graphCache sync.Map
+
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	if g, ok := graphCache.Load(name); ok {
+		return g.(*graph.Graph)
+	}
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Build(1)
+	graphCache.Store(name, g)
+	return g
+}
+
+func benchQuery(b *testing.B, g *graph.Graph) graph.NodeID {
+	b.Helper()
+	rng := xrand.New(1234)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int31n(int32(g.NumNodes()))
+		if g.InDegree(v) > 0 {
+			return v
+		}
+	}
+	b.Fatal("no node with in-degree > 0")
+	return 0
+}
+
+// BenchmarkTable2Toy regenerates Table 2 [E-T2]: the Power-Method ground
+// truth of the toy graph.
+func BenchmarkTable2Toy(b *testing.B) {
+	g := graph.Toy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.SimRank(g, power.Options{C: 0.25, Tolerance: 1e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SingleSource measures the Figure 4 single-source kernels
+// [E-F4]: ProbeSim across the εa sweep on each small dataset.
+func BenchmarkFig4SingleSource(b *testing.B) {
+	for _, name := range []string{"wiki-vote-s", "hepth-s", "as-s", "hepph-s"} {
+		g := benchGraph(b, name)
+		u := benchQuery(b, g)
+		for _, eps := range []float64{0.1, 0.05} {
+			b.Run(name+"/ProbeSim-eps="+fmtEps(eps), func(b *testing.B) {
+				opt := core.Options{EpsA: eps, Seed: 1}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SingleSource(g, u, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Competitors measures the competitor single-source kernels
+// of Figure 4 on the densest small graph.
+func BenchmarkFig4Competitors(b *testing.B) {
+	g := benchGraph(b, "hepph-s")
+	u := benchQuery(b, g)
+	b.Run("MC", func(b *testing.B) {
+		opt := mc.Options{Eps: 0.1, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.SingleSource(g, u, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	idx := tsf.Build(g, tsf.BuildOptions{Rg: 300, Seed: 1})
+	b.Run("TSF", func(b *testing.B) {
+		opt := tsf.QueryOptions{Rq: 40, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.SingleSource(u, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, variant := range []topsim.Variant{topsim.TopSimSM, topsim.TrunTopSimSM, topsim.PrioTopSimSM} {
+		b.Run(variant.String(), func(b *testing.B) {
+			opt := topsim.Options{Variant: variant}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := topsim.SingleSource(g, u, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig567TopK measures the Figures 5-7 top-k kernels [E-F5..7]:
+// every algorithm answering top-50 on a small graph.
+func BenchmarkFig567TopK(b *testing.B) {
+	g := benchGraph(b, "as-s")
+	u := benchQuery(b, g)
+	const k = 50
+	b.Run("ProbeSim", func(b *testing.B) {
+		opt := core.Options{EpsA: 0.1, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TopK(g, u, k, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	idx := tsf.Build(g, tsf.BuildOptions{Rg: 300, Seed: 1})
+	b.Run("TSF", func(b *testing.B) {
+		opt := tsf.QueryOptions{Rq: 40, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.TopK(u, k, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, variant := range []topsim.Variant{topsim.TopSimSM, topsim.TrunTopSimSM, topsim.PrioTopSimSM} {
+		b.Run(variant.String(), func(b *testing.B) {
+			opt := topsim.Options{Variant: variant}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := topsim.TopK(g, u, k, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Large measures the Table 4 large-graph query kernels
+// [E-T4]: ProbeSim top-k on each large stand-in, plus TSF (reduced Rg; the
+// full Rg=300 index is exercised by cmd/experiments) and Prio-TopSim on
+// livejournal-s.
+func BenchmarkTable4Large(b *testing.B) {
+	for _, name := range []string{"livejournal-s", "it2004-s", "twitter-s", "friendster-s"} {
+		g := benchGraph(b, name)
+		u := benchQuery(b, g)
+		b.Run(name+"/ProbeSim", func(b *testing.B) {
+			opt := core.Options{EpsA: 0.1, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TopK(g, u, 50, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	g := benchGraph(b, "livejournal-s")
+	u := benchQuery(b, g)
+	idx := tsf.Build(g, tsf.BuildOptions{Rg: 60, Seed: 1})
+	b.Run("livejournal-s/TSF-Rg60", func(b *testing.B) {
+		opt := tsf.QueryOptions{Rq: 40, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.TopK(u, 50, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("livejournal-s/Prio-TopSim", func(b *testing.B) {
+		opt := topsim.Options{Variant: topsim.PrioTopSimSM, Budget: 300_000_000}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := topsim.TopK(g, u, 50, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8910Pooling measures the Figures 8-10 evaluation kernel
+// [E-F8..10]: pooling two answer lists and scoring them with the MC
+// expert on a large graph.
+func BenchmarkFig8910Pooling(b *testing.B) {
+	g := benchGraph(b, "livejournal-s")
+	u := benchQuery(b, g)
+	ps, err := core.TopK(g, u, 50, core.Options{EpsA: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := tsf.Build(g, tsf.BuildOptions{Rg: 60, Seed: 1})
+	tk, err := idx.TopK(u, 50, tsf.QueryOptions{Rq: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pooling.Pool(nodesOf(ps), nodesOf(tk))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, err := mc.MultiPair(g, u, pool, mc.Options{Eps: 0.02, Delta: 0.01, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		expert := func(v graph.NodeID) (float64, error) { return scores[v], nil }
+		truth, _, err := pooling.GroundTruth(pool, expert, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = metrics.PrecisionAtK(nodesOf(ps), truth)
+	}
+}
+
+// BenchmarkAblationModes compares the ProbeSim execution modes at the same
+// εa [E-A1]: what pruning, batching and the hybrid each buy.
+func BenchmarkAblationModes(b *testing.B) {
+	g := benchGraph(b, "hepph-s")
+	u := benchQuery(b, g)
+	for _, mode := range []core.Mode{
+		core.ModeBasic, core.ModePruned, core.ModeBatch,
+		core.ModeRandomized, core.ModeHybrid, core.ModeAuto,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			opt := core.Options{EpsA: 0.1, Mode: mode, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SingleSource(g, u, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkers measures parallel scaling of a ProbeSim query.
+func BenchmarkAblationWorkers(b *testing.B) {
+	g := benchGraph(b, "livejournal-s")
+	u := benchQuery(b, g)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmtInt(w), func(b *testing.B) {
+			opt := core.Options{EpsA: 0.1, Workers: w, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SingleSource(g, u, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicUpdates measures per-event maintenance [E-A3]: ProbeSim
+// (adjacency only) versus TSF (adjacency plus index patch).
+func BenchmarkDynamicUpdates(b *testing.B) {
+	base := gen.PreferentialAttachment(20000, 10, 1)
+	b.Run("ProbeSim-adjacency", func(b *testing.B) {
+		g := base.Clone()
+		rng := xrand.New(2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u, v := rng.Int31n(20000), rng.Int31n(20000)
+			if u == v {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+			if err := g.RemoveEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TSF-index-maintenance", func(b *testing.B) {
+		g := base.Clone()
+		idx := tsf.Build(g, tsf.BuildOptions{Rg: 300, Seed: 1})
+		rng := xrand.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rng.Int31n(20000), rng.Int31n(20000)
+			if u == v {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+			idx.OnEdgeAdded(u, v)
+			if err := g.RemoveEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+			idx.OnEdgeRemoved(u, v)
+		}
+	})
+}
+
+// BenchmarkKernelWalk measures √c-walk generation, the innermost sampling
+// primitive (§3.3 bounds its expected length by 1/(1−√c)).
+func BenchmarkKernelWalk(b *testing.B) {
+	g := benchGraph(b, "as-s")
+	u := benchQuery(b, g)
+	gen := walk.NewGenerator(g, 0.6, xrand.New(1))
+	var buf []graph.NodeID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = gen.Generate(u, 0, buf)
+	}
+}
+
+// BenchmarkKernelProbe measures one deterministic and one randomized probe
+// on a fixed partial walk (Algorithms 2 and 4).
+func BenchmarkKernelProbe(b *testing.B) {
+	g := benchGraph(b, "hepph-s")
+	gen := walk.NewGenerator(g, 0.6, xrand.New(3))
+	// Find a node admitting a 4-node reverse walk (a walk this long may
+	// not exist from every source, so scan sources too).
+	var path []graph.NodeID
+	rng := xrand.New(5)
+	for attempt := 0; len(path) < 4; attempt++ {
+		if attempt > 100000 {
+			b.Fatal("no 4-node reverse walk found")
+		}
+		u := rng.Int31n(int32(g.NumNodes()))
+		if g.InDegree(u) == 0 {
+			continue
+		}
+		path = gen.Generate(u, 4, path)
+	}
+	s := probe.NewScratch(g.NumNodes())
+	b.Run("deterministic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probe.Deterministic(g, path, 0.7746, 0, s)
+		}
+	})
+	b.Run("deterministic-pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probe.Deterministic(g, path, 0.7746, 0.005, s)
+		}
+	})
+	rrng := xrand.New(4)
+	b.Run("randomized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probe.Randomized(g, path, 0.7746, rrng, s)
+		}
+	})
+}
+
+// BenchmarkPublicAPI measures the exported entry points end to end.
+func BenchmarkPublicAPI(b *testing.B) {
+	g := benchGraph(b, "as-s")
+	u := benchQuery(b, g)
+	b.Run("SingleSource", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := probesim.SingleSource(g, u, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TopK", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := probesim.TopK(g, u, 50, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func nodesOf(res []core.ScoredNode) []graph.NodeID {
+	out := make([]graph.NodeID, len(res))
+	for i, r := range res {
+		out[i] = r.Node
+	}
+	return out
+}
+
+func fmtEps(e float64) string {
+	if e == 0.1 {
+		return "0.1"
+	}
+	return "0.05"
+}
+
+func fmtInt(w int) string {
+	return map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[w]
+}

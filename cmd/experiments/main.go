@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures (§6) on
+// the synthetic dataset stand-ins. Examples:
+//
+//	experiments -exp table2          # toy-graph ground truth (Table 2)
+//	experiments -exp fig4            # single-source error/time (Figure 4)
+//	experiments -exp fig5            # top-k quality/time (Figures 5-7)
+//	experiments -exp table4          # large-graph time/space (Table 4)
+//	experiments -exp fig8            # pooled quality (Figures 8-10)
+//	experiments -exp ablation        # ProbeSim mode ablation
+//	experiments -exp dynamic         # update-cost study
+//	experiments -exp indexes         # fingerprint index contrast (E-A6)
+//	experiments -exp linear          # linearized-formulation bias (E-A7)
+//	experiments -exp scaleout        # distributed MC communication (E-A8)
+//	experiments -exp join            # similarity joins (E-A9)
+//	experiments -exp coverage        # statistical guarantee validation (E-A10)
+//	experiments -exp churn           # structured churn patterns (E-A11)
+//	experiments -exp progressive     # any-time top-k (E-A12)
+//	experiments -exp all -quick      # smoke-run everything
+//
+// Absolute numbers differ from the paper (synthetic stand-ins at reduced
+// scale, different hardware); the comparisons are what reproduce. See
+// EXPERIMENTS.md for the recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probesim/internal/exp"
+)
+
+func main() {
+	var (
+		name     = flag.String("exp", "all", "experiment to run: all, table2, table3, fig4, fig5..fig7, table4, fig8..fig10, ablation, dynamic, sling, sensitivity, indexes, linear, scaleout, join, coverage, churn, progressive")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		qSmall   = flag.Int("queries-small", 20, "query nodes per small dataset (paper: 100)")
+		qLarge   = flag.Int("queries-large", 5, "query nodes per large dataset (paper: 20)")
+		k        = flag.Int("k", 50, "top-k cutoff")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		quick    = flag.Bool("quick", false, "shrink datasets and query counts for a fast smoke run")
+		mc       = flag.Bool("include-mc", false, "add the Monte Carlo competitor to the small-graph experiments")
+		expert   = flag.Float64("expert-eps", 0.01, "pooling expert absolute error (paper: 1e-4; smaller = slower)")
+		tsfRg    = flag.Int("tsf-rg", 300, "TSF one-way graph count Rg")
+		tsfRq    = flag.Int("tsf-rq", 40, "TSF reuse count Rq")
+		epsLarge = flag.Float64("eps-large", 0.1, "ProbeSim eps_a on large graphs")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{
+		Out:          os.Stdout,
+		Seed:         *seed,
+		QueriesSmall: *qSmall,
+		QueriesLarge: *qLarge,
+		K:            *k,
+		Workers:      *workers,
+		Quick:        *quick,
+		IncludeMC:    *mc,
+		ExpertEps:    *expert,
+		TSFRg:        *tsfRg,
+		TSFRq:        *tsfRq,
+		EpsLarge:     *epsLarge,
+	}
+	if err := exp.Run(*name, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command probesim-cli answers single-source and top-k SimRank queries on
+// a graph file using ProbeSim. Examples:
+//
+//	probesim-cli -graph web.txt -query 42 -k 10
+//	probesim-cli -graph social.bin -binary -query 7 -epsa 0.05 -mode hybrid
+//	probesim-cli -graph coauthors.txt -undirected -query 0 -single-source -top 20
+//	probesim-cli -graph web.txt -query 42 -k 10 -progressive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"probesim"
+)
+
+var modes = map[string]probesim.Mode{
+	"auto":       probesim.ModeAuto,
+	"basic":      probesim.ModeBasic,
+	"pruned":     probesim.ModePruned,
+	"batch":      probesim.ModeBatch,
+	"randomized": probesim.ModeRandomized,
+	"hybrid":     probesim.ModeHybrid,
+}
+
+func main() {
+	var (
+		path       = flag.String("graph", "", "graph file (edge list, or binary with -binary)")
+		binary     = flag.Bool("binary", false, "graph file is in binary format")
+		undirected = flag.Bool("undirected", false, "treat edge list as undirected")
+		query      = flag.Int("query", 0, "query node id")
+		k          = flag.Int("k", 10, "top-k size")
+		ss         = flag.Bool("single-source", false, "print the full single-source vector statistics instead of top-k")
+		top        = flag.Int("top", 10, "with -single-source, also print this many top entries")
+		epsA       = flag.Float64("epsa", 0.1, "absolute error bound eps_a")
+		delta      = flag.Float64("delta", 0.01, "failure probability")
+		c          = flag.Float64("c", 0.6, "SimRank decay factor")
+		mode       = flag.String("mode", "auto", "execution mode: auto, basic, pruned, batch, randomized, hybrid")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		prog       = flag.Bool("progressive", false, "answer top-k with the any-time algorithm (stops early when the ranking separates)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fatal(fmt.Errorf("missing -graph"))
+	}
+	m, ok := modes[*mode]
+	if !ok {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var g *probesim.Graph
+	start := time.Now()
+	if *binary {
+		g, err = probesim.ReadBinaryGraph(f)
+	} else {
+		g, err = probesim.LoadEdgeList(f, *undirected)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded n=%d m=%d in %v\n", g.NumNodes(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	opt := probesim.Options{
+		C: *c, EpsA: *epsA, Delta: *delta, Mode: m, Seed: *seed, Workers: *workers,
+	}
+	plan, err := probesim.PlanFor(opt, g.NumNodes())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: mode=%v walks=%d eps=%.4g eps_t=%.4g eps_p=%.4g max-walk=%d\n",
+		plan.Mode, plan.NumWalks, plan.Eps, plan.EpsT, plan.EpsP, plan.MaxWalkNodes)
+
+	u := probesim.NodeID(*query)
+	start = time.Now()
+	if *ss {
+		scores, err := probesim.SingleSource(g, u, opt)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		nonzero := 0
+		for v, s := range scores {
+			if probesim.NodeID(v) != u && s > 0 {
+				nonzero++
+			}
+		}
+		fmt.Printf("single-source from %d: %d nodes with non-zero similarity (%v)\n", u, nonzero, elapsed.Round(time.Microsecond))
+		type pair struct {
+			v probesim.NodeID
+			s float64
+		}
+		var best []pair
+		for v, s := range scores {
+			if probesim.NodeID(v) != u {
+				best = append(best, pair{probesim.NodeID(v), s})
+			}
+		}
+		sort.Slice(best, func(i, j int) bool {
+			if best[i].s != best[j].s {
+				return best[i].s > best[j].s
+			}
+			return best[i].v < best[j].v
+		})
+		if *top < len(best) {
+			best = best[:*top]
+		}
+		for i, p := range best {
+			fmt.Printf("%3d. node %-10d s = %.5f\n", i+1, p.v, p.s)
+		}
+	} else if *prog {
+		res, stats, err := probesim.TopKProgressive(g, u, *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("progressive top-%d from %d (%v): %d/%d walks, %d rounds, radius %.4g, separated=%v\n",
+			*k, u, elapsed.Round(time.Microsecond),
+			stats.Walks, stats.BudgetWalks, stats.Rounds, stats.Radius, stats.Separated)
+		for i, r := range res {
+			fmt.Printf("%3d. node %-10d s = %.5f\n", i+1, r.Node, r.Score)
+		}
+	} else {
+		res, err := probesim.TopK(g, u, *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("top-%d from %d (%v):\n", *k, u, elapsed.Round(time.Microsecond))
+		for i, r := range res {
+			fmt.Printf("%3d. node %-10d s = %.5f\n", i+1, r.Node, r.Score)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "probesim-cli:", err)
+	os.Exit(1)
+}

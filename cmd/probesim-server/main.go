@@ -1,0 +1,65 @@
+// Command probesim-server exposes SimRank similarity search over HTTP: a
+// small, production-shaped service wrapping the library with the
+// version-keyed result cache, demonstrating how a downstream system would
+// deploy index-free SimRank behind an API with live graph updates.
+//
+//	probesim-server -graph web.txt -addr :8080
+//
+//	GET  /topk?u=42&k=10          -> {"query":42,"results":[{"node":7,"score":0.31},...]}
+//	GET  /single-source?u=42      -> {"query":42,"nonzero":1234,"scores":{"7":0.31,...}}  (top -limit entries)
+//	POST /edges?u=1&v=2           -> add edge 1->2 (invalidates cached answers)
+//	DELETE /edges?u=1&v=2         -> remove edge 1->2
+//	GET  /stats                   -> graph and cache statistics
+//
+// Queries run concurrently; updates take an exclusive lock, matching the
+// library's "any number of readers, one writer" contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"probesim"
+	"probesim/internal/server"
+)
+
+func main() {
+	var (
+		path       = flag.String("graph", "", "edge-list graph file to serve")
+		binary     = flag.Bool("binary", false, "graph file is in binary format")
+		undirected = flag.Bool("undirected", false, "treat edge list as undirected")
+		addr       = flag.String("addr", ":8080", "listen address")
+		epsA       = flag.Float64("epsa", 0.1, "absolute error bound eps_a")
+		delta      = flag.Float64("delta", 0.01, "failure probability")
+		c          = flag.Float64("c", 0.6, "SimRank decay factor")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		cacheCap   = flag.Int("cache", 64, "cached single-source vectors")
+		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph")
+		os.Exit(1)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var g *probesim.Graph
+	if *binary {
+		g, err = probesim.ReadBinaryGraph(f)
+	} else {
+		g, err = probesim.LoadEdgeList(f, *undirected)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := probesim.Options{C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed}
+	srv := server.New(g, opt, *cacheCap, *limit)
+	log.Printf("probesim-server: serving n=%d m=%d on %s", g.NumNodes(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

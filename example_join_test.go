@@ -1,0 +1,52 @@
+package probesim_test
+
+import (
+	"fmt"
+
+	"probesim"
+)
+
+// A similarity join finds all structurally similar pairs without picking a
+// query node first: here nodes 1 and 2 (sharing in-neighbor 0) are the
+// only pair above the threshold.
+func ExampleThresholdJoin() {
+	g, err := probesim.NewGraphFromEdges(4, [][2]probesim.NodeID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := probesim.ThresholdJoin(g, 0.5, probesim.JoinOptions{
+		Query: probesim.Options{EpsA: 0.01, Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("(%d, %d) s = %.1f\n", p.U, p.V, p.Score)
+	}
+	// Output:
+	// (1, 2) s = 0.6
+}
+
+// TopKProgressive answers the same query as TopK but stops as soon as the
+// ranking is provably settled, reporting how many walks that took versus
+// the static budget.
+func ExampleTopKProgressive() {
+	g, err := probesim.NewGraphFromEdges(4, [][2]probesim.NodeID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	top, stats, err := probesim.TopKProgressive(g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("most similar to 1: node %d\n", top[0].Node)
+	fmt.Printf("early stop: %v, walks <= budget: %v\n",
+		stats.Separated, stats.Walks <= stats.BudgetWalks)
+	// Output:
+	// most similar to 1: node 2
+	// early stop: true, walks <= budget: true
+}

@@ -1,0 +1,80 @@
+package probesim_test
+
+import (
+	"fmt"
+
+	"probesim"
+)
+
+// The two-paper citation pattern: papers 1 and 2 are both cited by paper
+// 0, so they are structurally similar with s(1,2) = c = 0.6 exactly.
+func ExampleSingleSource() {
+	g := probesim.NewGraph(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 2)
+
+	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s(1,1) = %.0f\n", scores[1])
+	fmt.Printf("s(1,2) = %.1f\n", scores[2])
+	// Output:
+	// s(1,1) = 1
+	// s(1,2) = 0.6
+}
+
+func ExampleTopK() {
+	// A diamond: 0 -> {1,2} -> 3. Nodes 1 and 2 share in-neighbor 0.
+	g, err := probesim.NewGraphFromEdges(4, [][2]probesim.NodeID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	top, err := probesim.TopK(g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("most similar to 1: node %d\n", top[0].Node)
+	// Output:
+	// most similar to 1: node 2
+}
+
+func ExampleNewQuerier() {
+	g := probesim.NewGraph(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 2)
+
+	q := probesim.NewQuerier(g, probesim.Options{EpsA: 0.05, Seed: 1}, 16)
+	if _, err := q.SingleSource(1); err != nil {
+		panic(err)
+	}
+	if _, err := q.SingleSource(1); err != nil { // served from cache
+		panic(err)
+	}
+	hits, misses, _ := q.Stats()
+	fmt.Printf("hits=%d misses=%d\n", hits, misses)
+
+	// Any mutation invalidates the cache automatically.
+	_ = g.AddEdge(1, 2)
+	if _, err := q.SingleSource(1); err != nil {
+		panic(err)
+	}
+	_, misses2, _ := q.Stats()
+	fmt.Printf("misses after update: %d\n", misses2)
+	// Output:
+	// hits=1 misses=1
+	// misses after update: 2
+}
+
+func ExamplePlanFor() {
+	plan, err := probesim.PlanFor(probesim.Options{EpsA: 0.1, Delta: 0.01}, 10000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mode=%v walks>0=%v capped-walk-length=%d\n",
+		plan.Mode, plan.NumWalks > 0, plan.MaxWalkNodes)
+	// Output:
+	// mode=auto walks>0=true capped-walk-length=11
+}

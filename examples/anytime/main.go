@@ -1,0 +1,70 @@
+// Any-time top-k: the progressive query answers "who are the 5 most
+// similar users?" by running walks only until the ranking is provably
+// settled, instead of paying the full εa-driven walk budget up front. On
+// queries with a clear winner that is a large saving; on queries with ties
+// at the boundary it gracefully falls back to the static budget. The
+// example runs both algorithms on the same queries and prints the walk
+// counts side by side.
+//
+//	go run ./examples/anytime
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"probesim"
+	"probesim/internal/gen"
+)
+
+func main() {
+	// A scale-free social graph with reciprocal follows: hubs give some
+	// queries clear winners, the tail gives others near-ties.
+	g := gen.PreferentialAttachment(2000, 6, 11)
+	gen.Reciprocate(g, 0.3, 12)
+	fmt.Printf("graph: n=%d m=%d\n\n", g.NumNodes(), g.NumEdges())
+
+	opt := probesim.Options{EpsA: 0.03, Delta: 0.01, Seed: 5}
+	plan, err := probesim.PlanFor(opt, g.NumNodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static walk budget at eps=%g: %d walks per query\n\n", opt.EpsA, plan.NumWalks)
+
+	fmt.Printf("%-8s %12s %12s %10s %10s %10s\n",
+		"query", "static(ms)", "anytime(ms)", "walks", "walks%", "separated")
+	for _, u := range []probesim.NodeID{1, 7, 100, 1500, 1999} {
+		start := time.Now()
+		static, err := probesim.TopK(g, u, 5, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		staticMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		prog, stats, err := probesim.TopKProgressive(g, u, 5, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progMs := float64(time.Since(start).Microseconds()) / 1000
+
+		agree := 0
+		in := map[probesim.NodeID]bool{}
+		for _, r := range static {
+			in[r.Node] = true
+		}
+		for _, r := range prog {
+			if in[r.Node] {
+				agree++
+			}
+		}
+		fmt.Printf("%-8d %12.1f %12.1f %10d %9.1f%% %10v   (top-5 overlap %d/%d)\n",
+			u, staticMs, progMs, stats.Walks,
+			100*float64(stats.Walks)/float64(stats.BudgetWalks),
+			stats.Separated, agree, len(static))
+	}
+	fmt.Println("\nlow overlap means massive ties at the boundary (dozens of nodes with")
+	fmt.Println("identical similarity): both answers are then equally correct under the")
+	fmt.Println("Definition-2 guarantee, which bounds score error, not set identity.")
+}

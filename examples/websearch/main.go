@@ -1,0 +1,60 @@
+// Related-page search: the web-mining application from the paper's
+// introduction. On a web-shaped graph (R-MAT), "pages similar to X" is a
+// top-k SimRank query: two pages are similar when the pages linking to
+// them are similar — exactly SimRank's recursion. This example compares
+// the accuracy/latency trade-off across eps_a settings on one query.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"probesim"
+	"probesim/internal/gen"
+)
+
+func main() {
+	// A web-like graph: 2^15 pages, ~600k hyperlinks, skewed in-degrees.
+	g := gen.RMAT(15, 600000, 0.57, 0.19, 0.19, 0.05, 11)
+	fmt.Printf("web graph: %d pages, %d links\n", g.NumNodes(), g.NumEdges())
+
+	// Pick a page with a healthy but non-hub in-link profile as the query
+	// (hubs make every SimRank algorithm work harder — §6.2 discusses this
+	// "locally dense" effect on Twitter).
+	var query probesim.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.InDegree(probesim.NodeID(v)); d >= 8 && d <= 20 {
+			query = probesim.NodeID(v)
+			break
+		}
+	}
+	fmt.Printf("query page: %d (%d in-links)\n\n", query, g.InDegree(query))
+
+	// Sweep the accuracy knob: tighter eps_a costs more walks but refines
+	// the ranking. This is Figure 4's trade-off on a single query.
+	for _, epsA := range []float64{0.15, 0.1, 0.05} {
+		opt := probesim.Options{EpsA: epsA, Seed: 5}
+		plan, err := probesim.PlanFor(opt, g.NumNodes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		top, err := probesim.TopK(g, query, 5, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("eps_a=%-6g %6d walks  %8.1fms   top-5: ", epsA, plan.NumWalks,
+			float64(elapsed.Microseconds())/1000)
+		for _, r := range top {
+			fmt.Printf("%d(%.3f) ", r.Node, r.Score)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nrelated pages share in-link neighborhoods with the query page;")
+	fmt.Println("tightening eps_a stabilizes the tail of the ranking at higher cost.")
+}

@@ -1,0 +1,237 @@
+package probesim_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim"
+	"probesim/internal/graph"
+	"probesim/internal/mc"
+	"probesim/internal/power"
+	"probesim/internal/sling"
+	"probesim/internal/topsim"
+	"probesim/internal/xrand"
+)
+
+func seededGraph(seed uint64, n, m int) *graph.Graph {
+	rng := xrand.New(seed)
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Five independent estimators — ProbeSim, Monte Carlo, deep TopSim, SLING
+// and the Power Method — must agree on the same graph. Any systematic bug
+// in one of them breaks a different pairing, so this is the repository's
+// strongest cross-check.
+//
+// The graph is kept sparse (average in-degree 2) because exhaustive
+// TopSim enumeration costs O(d^2T); depth 12 gives a c^13/(1−c) ≈ 0.003
+// truncation tail at negligible path count.
+func TestFiveWayAgreement(t *testing.T) {
+	g := seededGraph(404, 50, 100)
+	const u = 7
+
+	exact, err := power.SingleSource(g, u, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := probesim.SingleSource(g, u, probesim.Options{EpsA: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcEst, err := mc.SingleSource(g, u, mc.Options{Eps: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsEst, err := topsim.SingleSource(g, u, topsim.Options{C: 0.6, T: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := sling.Build(g, sling.BuildOptions{C: 0.6, T: 20, EpsH: 1e-5, DPairs: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slEst, err := idx.SingleSource(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, est []float64, tol float64) {
+		t.Helper()
+		worst := 0.0
+		for v := range est {
+			if d := math.Abs(est[v] - exact[v]); d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s deviates from Power Method by %.4f (tol %.4f)", name, worst, tol)
+		}
+	}
+	check("ProbeSim", ps, 0.05)
+	check("MC", mcEst, 0.05)
+	check("TopSim(T=12)", tsEst, 0.005)
+	check("SLING", slEst, 0.03)
+}
+
+// SimRank is direction-sensitive: similarity flows through shared
+// IN-neighbors, so co-children of a node are similar while co-parents of
+// a node need shared parents of their own.
+func TestDirectionSensitivity(t *testing.T) {
+	// 0 -> 1, 0 -> 2: nodes 1 and 2 share their only in-neighbor, so
+	// s(1,2) = c. In the transpose (1 -> 0, 2 -> 0), nodes 1 and 2 have
+	// no in-neighbors at all, so s(1,2) = 0.
+	g := graph.New(3)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := probesim.Options{EpsA: 0.02, Seed: 1}
+	fwd, err := probesim.SingleSource(g, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := probesim.SingleSource(g.Transpose(), 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fwd[2]-0.6) > 0.02 {
+		t.Fatalf("forward s(1,2) = %v, want 0.6", fwd[2])
+	}
+	if rev[2] != 0 {
+		t.Fatalf("transposed s(1,2) = %v, want 0", rev[2])
+	}
+}
+
+// Top-k prefix property: with identical options, TopK(k1) is a prefix of
+// TopK(k2) for k1 <= k2.
+func TestTopKPrefixProperty(t *testing.T) {
+	g := seededGraph(17, 60, 400)
+	f := func(seed uint64) bool {
+		u := graph.NodeID(seed % 60)
+		if g.InDegree(u) == 0 {
+			return true
+		}
+		opt := probesim.Options{EpsA: 0.1, Seed: seed%97 + 1}
+		small, err := probesim.TopK(g, u, 5, opt)
+		if err != nil {
+			return false
+		}
+		big, err := probesim.TopK(g, u, 15, opt)
+		if err != nil {
+			return false
+		}
+		for i := range small {
+			if small[i] != big[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Querier must serve answers identical to direct queries, before and
+// after mutations.
+func TestQuerierMatchesDirectAcrossUpdates(t *testing.T) {
+	g := seededGraph(23, 40, 200)
+	opt := probesim.Options{NumWalks: 400, Seed: 5}
+	q := probesim.NewQuerier(g, opt, 4)
+	for round := 0; round < 3; round++ {
+		for _, u := range []graph.NodeID{1, 2} {
+			cached, err := q.SingleSource(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := probesim.SingleSource(g, u, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range direct {
+				if cached[v] != direct[v] {
+					t.Fatalf("round %d: cached result diverges at node %d", round, v)
+				}
+			}
+		}
+		// Mutate between rounds.
+		rng := xrand.New(uint64(round) + 99)
+		u, v := rng.Int31n(40), rng.Int31n(40)
+		if u != v && !g.HasEdge(u, v) {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Every algorithm must agree that a node pair with identical in-neighbor
+// sets has similarity c (one shared parent): the simplest closed form.
+func TestSharedParentClosedFormAcrossAlgorithms(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]graph.NodeID{{2, 0}, {2, 1}, {3, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const c = 0.6
+	if est, err := probesim.SingleSource(g, 0, probesim.Options{C: c, EpsA: 0.02, Seed: 2}); err != nil {
+		t.Fatal(err)
+	} else if math.Abs(est[1]-c) > 0.02 {
+		t.Errorf("ProbeSim s(0,1) = %v, want %v", est[1], c)
+	}
+	if est, err := mc.SingleSource(g, 0, mc.Options{C: c, Eps: 0.02, Seed: 2}); err != nil {
+		t.Fatal(err)
+	} else if math.Abs(est[1]-c) > 0.02 {
+		t.Errorf("MC s(0,1) = %v, want %v", est[1], c)
+	}
+	if est, err := topsim.SingleSource(g, 0, topsim.Options{C: c, T: 10}); err != nil {
+		t.Fatal(err)
+	} else if math.Abs(est[1]-c) > 1e-9 {
+		t.Errorf("TopSim s(0,1) = %v, want %v", est[1], c)
+	}
+}
+
+// Mode equivalence under the same seed on a fixed graph: batch modes are
+// algebraic rewrites of the pruned mode (verified exactly in the core
+// package); here we verify the public API exposes all modes consistently,
+// each within the εa band of the others.
+func TestModesMutuallyConsistent(t *testing.T) {
+	g := seededGraph(31, 50, 250)
+	const u, epsA = 3, 0.08
+	var results [][]float64
+	for _, m := range []probesim.Mode{
+		probesim.ModeAuto, probesim.ModeBasic, probesim.ModePruned,
+		probesim.ModeBatch, probesim.ModeRandomized, probesim.ModeHybrid,
+	} {
+		est, err := probesim.SingleSource(g, u, probesim.Options{EpsA: epsA, Mode: m, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, est)
+	}
+	for i := 1; i < len(results); i++ {
+		for v := range results[0] {
+			if d := math.Abs(results[0][v] - results[i][v]); d > 2*epsA {
+				t.Fatalf("modes %d and 0 disagree by %.4f at node %d", i, d, v)
+			}
+		}
+	}
+}
+
+func TestGraphStatsExposed(t *testing.T) {
+	g := seededGraph(37, 20, 60)
+	stats := g.ComputeStats()
+	if stats.Nodes != 20 || stats.Edges != g.NumEdges() {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,195 @@
+// Package accuracy validates the statistical claims behind ProbeSim
+// empirically: Theorem 1-3's (εa, δ) coverage guarantee, the geometric
+// √c-walk length law the §3.3 complexity analysis rests on, and the
+// uniformity of in-neighbor sampling every estimator assumes. The
+// experiment harness runs these as an experiment (guarantees are results
+// too), and the tests in this package double as a distribution-level check
+// on internal/xrand.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// CoverageReport summarizes how the εa guarantee held up over a set of
+// single-source queries with known ground truth.
+type CoverageReport struct {
+	// Queries is the number of single-source queries evaluated.
+	Queries int
+	// EpsA and Delta echo the guarantee being tested.
+	EpsA, Delta float64
+	// WorstErr is the largest absolute error over all queries and targets.
+	WorstErr float64
+	// MeanMaxErr averages each query's max absolute error.
+	MeanMaxErr float64
+	// Exceedances counts queries whose max error exceeded EpsA — the
+	// guarantee bounds E[Exceedances/Queries] by Delta.
+	Exceedances int
+}
+
+// Rate returns the empirical failure rate Exceedances/Queries.
+func (r CoverageReport) Rate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Exceedances) / float64(r.Queries)
+}
+
+// String formats the report for experiment output.
+func (r CoverageReport) String() string {
+	return fmt.Sprintf("queries=%d eps=%.4g delta=%.4g worst=%.4g mean-max=%.4g exceed=%d (rate %.4g)",
+		r.Queries, r.EpsA, r.Delta, r.WorstErr, r.MeanMaxErr, r.Exceedances, r.Rate())
+}
+
+// Coverage runs one ProbeSim single-source query per query node against
+// exact ground truth and reports the empirical error distribution. Each
+// query uses a distinct seed stream so the trials are independent.
+func Coverage(g *graph.Graph, truth *power.Matrix, queries []graph.NodeID, opt core.Options) (CoverageReport, error) {
+	rep := CoverageReport{Queries: len(queries), EpsA: opt.EpsA, Delta: opt.Delta}
+	if rep.EpsA == 0 {
+		rep.EpsA = 0.1
+	}
+	if rep.Delta == 0 {
+		rep.Delta = 0.01
+	}
+	for i, u := range queries {
+		qo := opt
+		if qo.Seed == 0 {
+			qo.Seed = 1
+		}
+		qo.Seed += uint64(i) * 0x9e3779b97f4a7c15
+		est, err := core.SingleSource(g, u, qo)
+		if err != nil {
+			return rep, fmt.Errorf("accuracy: query %d (node %d): %w", i, u, err)
+		}
+		var maxErr float64
+		for v := 0; v < g.NumNodes(); v++ {
+			if graph.NodeID(v) == u {
+				continue
+			}
+			if d := math.Abs(est[v] - truth.At(u, graph.NodeID(v))); d > maxErr {
+				maxErr = d
+			}
+		}
+		rep.MeanMaxErr += maxErr
+		if maxErr > rep.WorstErr {
+			rep.WorstErr = maxErr
+		}
+		if maxErr > rep.EpsA {
+			rep.Exceedances++
+		}
+	}
+	if len(queries) > 0 {
+		rep.MeanMaxErr /= float64(len(queries))
+	}
+	return rep, nil
+}
+
+// KSResult is a Kolmogorov–Smirnov goodness-of-fit result.
+type KSResult struct {
+	// Samples is the sample count n.
+	Samples int
+	// D is the KS statistic: the max distance between the empirical and
+	// theoretical CDFs.
+	D float64
+	// PValue is the asymptotic p-value of D. For discrete distributions
+	// (like walk lengths) it is conservative: the true p-value is larger.
+	PValue float64
+}
+
+// WalkLengthKS samples √c-walk lengths from a random start and compares
+// them to the geometric law P(ℓ = k) = (√c)^{k−1}·(1 − √c) that §3.3's
+// complexity analysis assumes. The law holds exactly only on graphs
+// without dead ends (every node has an in-neighbor); on other graphs the
+// statistic measures how far dead ends push the lengths below geometric.
+func WalkLengthKS(g *graph.Graph, c float64, samples int, seed uint64) (KSResult, error) {
+	if samples < 1 {
+		return KSResult{}, fmt.Errorf("accuracy: sample count %d < 1", samples)
+	}
+	if c <= 0 || c >= 1 {
+		return KSResult{}, fmt.Errorf("accuracy: decay factor c = %v outside (0, 1)", c)
+	}
+	if g.NumNodes() == 0 {
+		return KSResult{}, fmt.Errorf("accuracy: empty graph")
+	}
+	rng := xrand.New(seed)
+	gen := walk.NewGenerator(g, c, rng)
+	hist := make([]int, walk.HardCap+1)
+	var buf []graph.NodeID
+	for i := 0; i < samples; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		buf = gen.Generate(u, 0, buf)
+		hist[len(buf)]++
+	}
+	sqrtC := math.Sqrt(c)
+	// Both CDFs are right-continuous step functions jumping only at the
+	// integer support {1, ..., HardCap}, so sup |F_emp − F| is attained at
+	// a support point: F(k) = 1 − (√c)^k for the geometric law, capped at
+	// HardCap where both CDFs reach 1.
+	var d float64
+	n := float64(samples)
+	cum := 0
+	for k := 1; k <= walk.HardCap; k++ {
+		cum += hist[k]
+		theo := 1 - math.Pow(sqrtC, float64(k))
+		if k == walk.HardCap {
+			theo = 1 // the generator truncates here, and so does the model
+		}
+		if diff := math.Abs(float64(cum)/n - theo); diff > d {
+			d = diff
+		}
+	}
+	sqrtN := math.Sqrt(n)
+	lambda := d * (sqrtN + 0.12 + 0.11/sqrtN)
+	return KSResult{Samples: samples, D: d, PValue: KolmogorovQ(lambda)}, nil
+}
+
+// ChiSquareResult is a chi-square goodness-of-fit result.
+type ChiSquareResult struct {
+	// Statistic is Σ (observed − expected)² / expected.
+	Statistic float64
+	// DoF is the degrees of freedom (categories − 1).
+	DoF int
+	// PValue is P(X² >= Statistic) under the null hypothesis.
+	PValue float64
+}
+
+// SamplingUniformity draws `samples` in-neighbor selections for node v the
+// way every walk step does, and chi-square-tests the counts against the
+// uniform law the SimRank definition requires.
+func SamplingUniformity(g *graph.Graph, v graph.NodeID, samples int, seed uint64) (ChiSquareResult, error) {
+	if v < 0 || int(v) >= g.NumNodes() {
+		return ChiSquareResult{}, fmt.Errorf("accuracy: node %d out of range [0, %d)", v, g.NumNodes())
+	}
+	in := g.InNeighbors(v)
+	if len(in) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("accuracy: node %d has %d in-neighbors; need >= 2", v, len(in))
+	}
+	if samples < 10*len(in) {
+		return ChiSquareResult{}, fmt.Errorf("accuracy: %d samples too few for %d categories", samples, len(in))
+	}
+	rng := xrand.New(seed)
+	counts := make([]int, len(in))
+	for i := 0; i < samples; i++ {
+		counts[rng.Intn(len(in))]++
+	}
+	expected := float64(samples) / float64(len(in))
+	var stat float64
+	for _, c := range counts {
+		diff := float64(c) - expected
+		stat += diff * diff / expected
+	}
+	dof := len(in) - 1
+	cdf, err := ChiSquareCDF(stat, dof)
+	if err != nil {
+		return ChiSquareResult{}, err
+	}
+	return ChiSquareResult{Statistic: stat, DoF: dof, PValue: 1 - cdf}, nil
+}

@@ -1,0 +1,253 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}; P(1/2, x) = erf(√x).
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 3, 1 - math.Exp(-3)},
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		{5, 5, 0.5595067149347875}, // midpoint region, cross-checked value
+	}
+	for _, c := range cases {
+		got, err := GammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaP(%v, %v): %v", c.a, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("GammaP(%v, %v) = %.12f, want %.12f", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPProperties(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10} {
+		zero, err := GammaP(a, 0)
+		if err != nil || zero != 0 {
+			t.Fatalf("GammaP(%v, 0) = %v, %v; want 0, nil", a, zero, err)
+		}
+		prev := 0.0
+		for x := 0.1; x < 50; x *= 1.7 {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatalf("GammaP(%v, %v): %v", a, x, err)
+			}
+			if p < prev-1e-12 {
+				t.Fatalf("GammaP(%v, ·) not monotone at x=%v: %v < %v", a, x, p, prev)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("GammaP(%v, %v) = %v outside [0, 1]", a, x, p)
+			}
+			prev = p
+		}
+		if tail, _ := GammaP(a, 200); tail < 1-1e-9 {
+			t.Fatalf("GammaP(%v, 200) = %v, want ≈ 1", a, tail)
+		}
+	}
+	if _, err := GammaP(-1, 1); err == nil {
+		t.Error("GammaP accepted a <= 0")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Error("GammaP accepted x < 0")
+	}
+}
+
+func TestChiSquareCDFCriticalValues(t *testing.T) {
+	// Standard 95th-percentile critical values.
+	cases := []struct {
+		k   int
+		x95 float64
+	}{
+		{1, 3.841},
+		{2, 5.991},
+		{5, 11.070},
+		{10, 18.307},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCDF(c.x95, c.k)
+		if err != nil {
+			t.Fatalf("ChiSquareCDF(%v, %d): %v", c.x95, c.k, err)
+		}
+		if math.Abs(got-0.95) > 1e-3 {
+			t.Errorf("ChiSquareCDF(%v, %d) = %.5f, want ≈ 0.95", c.x95, c.k, got)
+		}
+	}
+	if v, _ := ChiSquareCDF(-1, 3); v != 0 {
+		t.Errorf("ChiSquareCDF(-1, 3) = %v, want 0", v)
+	}
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("ChiSquareCDF accepted k = 0")
+	}
+}
+
+func TestKolmogorovQKnownValues(t *testing.T) {
+	// λ = 1.3581 is the classical 5% critical value, 1.6276 the 1% one.
+	if q := KolmogorovQ(1.3581); math.Abs(q-0.05) > 2e-3 {
+		t.Errorf("KolmogorovQ(1.3581) = %v, want ≈ 0.05", q)
+	}
+	if q := KolmogorovQ(1.6276); math.Abs(q-0.01) > 1e-3 {
+		t.Errorf("KolmogorovQ(1.6276) = %v, want ≈ 0.01", q)
+	}
+	if q := KolmogorovQ(0); q != 1 {
+		t.Errorf("KolmogorovQ(0) = %v, want 1", q)
+	}
+	if q := KolmogorovQ(5); q > 1e-10 {
+		t.Errorf("KolmogorovQ(5) = %v, want ≈ 0", q)
+	}
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := KolmogorovQ(l)
+		if q > prev+1e-12 {
+			t.Fatalf("KolmogorovQ not monotone at λ=%v", l)
+		}
+		prev = q
+	}
+}
+
+func TestCoverageGuaranteeHolds(t *testing.T) {
+	g := gen.ErdosRenyi(80, 400, 5)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("power.SimRank: %v", err)
+	}
+	var queries []graph.NodeID
+	for v := 0; v < g.NumNodes() && len(queries) < 12; v++ {
+		if g.InDegree(graph.NodeID(v)) > 0 {
+			queries = append(queries, graph.NodeID(v))
+		}
+	}
+	rep, err := Coverage(g, truth, queries, core.Options{EpsA: 0.08, Delta: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatalf("Coverage: %v", err)
+	}
+	if rep.Queries != len(queries) {
+		t.Fatalf("Queries = %d, want %d", rep.Queries, len(queries))
+	}
+	// With δ = 0.01 and conservative constants, exceedances should be
+	// absent; flag anything above the literal Chernoff budget.
+	if rep.Exceedances != 0 {
+		t.Fatalf("%d of %d queries exceeded εa (worst %v); guarantee violated",
+			rep.Exceedances, rep.Queries, rep.WorstErr)
+	}
+	if rep.WorstErr <= 0 || rep.WorstErr > rep.EpsA {
+		t.Fatalf("WorstErr = %v outside (0, εa]", rep.WorstErr)
+	}
+	if rep.MeanMaxErr > rep.WorstErr {
+		t.Fatalf("MeanMaxErr %v > WorstErr %v", rep.MeanMaxErr, rep.WorstErr)
+	}
+	if rep.Rate() != 0 {
+		t.Fatalf("Rate = %v, want 0", rep.Rate())
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestCoveragePropagatesQueryErrors(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 1)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Coverage(g, truth, []graph.NodeID{5}, core.Options{EpsA: 2})
+	if err == nil {
+		t.Fatal("invalid options not propagated")
+	}
+}
+
+func TestWalkLengthKSOnDeadEndFreeGraph(t *testing.T) {
+	// Every node of a cycle has an in-neighbor, so lengths are exactly
+	// geometric and the KS test must not reject.
+	g := gen.Cycle(50)
+	res, err := WalkLengthKS(g, 0.6, 20000, 9)
+	if err != nil {
+		t.Fatalf("WalkLengthKS: %v", err)
+	}
+	if res.Samples != 20000 {
+		t.Fatalf("Samples = %d", res.Samples)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("KS rejected the geometric law on a dead-end-free graph: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestWalkLengthKSDetectsDeadEnds(t *testing.T) {
+	// On an outward star the hub kills every walk at length 1 or 2; the
+	// distribution is far from geometric and the test must reject hard.
+	g := gen.Star(40)
+	res, err := WalkLengthKS(g, 0.6, 5000, 9)
+	if err != nil {
+		t.Fatalf("WalkLengthKS: %v", err)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("KS failed to detect dead-end truncation: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestWalkLengthKSValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := WalkLengthKS(g, 0.6, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := WalkLengthKS(g, 1.5, 100, 1); err == nil {
+		t.Error("c > 1 accepted")
+	}
+	if _, err := WalkLengthKS(graph.New(0), 0.6, 100, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestSamplingUniformityPasses(t *testing.T) {
+	// A node with 8 in-neighbors sampled 80k times: the uniform null must
+	// survive at any reasonable significance.
+	g := graph.New(9)
+	for v := 1; v <= 8; v++ {
+		if err := g.AddEdge(graph.NodeID(v), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := SamplingUniformity(g, 0, 80000, 17)
+	if err != nil {
+		t.Fatalf("SamplingUniformity: %v", err)
+	}
+	if res.DoF != 7 {
+		t.Fatalf("DoF = %d, want 7", res.DoF)
+	}
+	if res.PValue < 1e-4 {
+		t.Fatalf("uniformity rejected: χ²=%v dof=%d p=%v", res.Statistic, res.DoF, res.PValue)
+	}
+}
+
+func TestSamplingUniformityValidation(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SamplingUniformity(g, 0, 1000, 1); err == nil {
+		t.Error("single in-neighbor accepted")
+	}
+	if _, err := SamplingUniformity(g, 9, 1000, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	g2 := graph.New(3)
+	for v := 1; v < 3; v++ {
+		if err := g2.AddEdge(graph.NodeID(v), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SamplingUniformity(g2, 0, 5, 1); err == nil {
+		t.Error("too-few samples accepted")
+	}
+}

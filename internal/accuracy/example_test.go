@@ -1,0 +1,31 @@
+package accuracy_test
+
+import (
+	"fmt"
+
+	"probesim/internal/accuracy"
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+)
+
+// Measure how the (εa, δ) guarantee actually holds: the worst observed
+// error should sit under εa with zero exceedances at δ = 1%.
+func ExampleCoverage() {
+	g := gen.ErdosRenyi(60, 300, 5)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := accuracy.Coverage(g, truth, []graph.NodeID{1, 2, 3, 4, 5},
+		core.Options{EpsA: 0.1, Delta: 0.01, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exceedances: %d of %d queries\n", rep.Exceedances, rep.Queries)
+	fmt.Printf("worst error under the bound: %v\n", rep.WorstErr <= rep.EpsA)
+	// Output:
+	// exceedances: 0 of 5 queries
+	// worst error under the bound: true
+}

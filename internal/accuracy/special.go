@@ -1,0 +1,125 @@
+package accuracy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the special functions the statistical tests need,
+// from scratch on the standard library: the regularized lower incomplete
+// gamma function (series and continued-fraction forms, after Numerical
+// Recipes §6.2), the chi-square CDF built on it, and the Kolmogorov
+// distribution's tail.
+
+const (
+	gammaMaxIter = 500
+	gammaEps     = 1e-14
+)
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 {
+		return 0, fmt.Errorf("accuracy: GammaP requires a > 0, got %v", a)
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("accuracy: GammaP requires x >= 0, got %v", x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	q, err := gammaContinuedFraction(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// gammaSeries evaluates P(a, x) by its power series, accurate for x < a+1.
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("accuracy: gamma series did not converge for a=%v x=%v", a, x)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 − P(a, x) by the Lentz
+// continued fraction, accurate for x >= a+1.
+func gammaContinuedFraction(a, x float64) (float64, error) {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("accuracy: gamma continued fraction did not converge for a=%v x=%v", a, x)
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square variable with k degrees
+// of freedom.
+func ChiSquareCDF(x float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("accuracy: chi-square needs k >= 1 degrees of freedom, got %d", k)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return GammaP(float64(k)/2, x/2)
+}
+
+// KolmogorovQ returns the tail Q(λ) = 2·Σ_{j>=1} (−1)^{j−1}·exp(−2j²λ²) of
+// the Kolmogorov distribution: the asymptotic p-value of a KS statistic
+// D with λ = D·(√n + 0.12 + 0.11/√n).
+func KolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-16 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	switch {
+	case q < 0:
+		return 0
+	case q > 1:
+		return 1
+	}
+	return q
+}

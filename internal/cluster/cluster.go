@@ -1,0 +1,300 @@
+// Package cluster simulates the distributed Monte Carlo SimRank approach of
+// Li et al. ("Walking in the cloud: parallel SimRank at scale", PVLDB
+// 2015), the scale-out alternative the paper cites in §5: it reports 110
+// hours of preprocessing on 10 machines with 3.77 TB of total memory to
+// push the Monte Carlo estimator to a billion-node graph.
+//
+// We cannot reproduce that testbed, so we reproduce its *communication
+// structure* instead (the substitution rule of DESIGN.md §5): the graph is
+// hash-partitioned across P simulated machines, each owning the
+// in-adjacency of its nodes; reverse √c-walks advance one step per BSP
+// superstep and migrate between machines as messages whenever a step
+// crosses a partition boundary, exactly as walk state does in a Pregel-like
+// system. The Cost report counts supersteps, migrations, migrated bytes and
+// broadcast bytes — the network overhead an index-free single-machine
+// algorithm like ProbeSim never pays.
+//
+// The estimator itself is the pair-walk Monte Carlo estimator of §2.2:
+// walk j from every node v is paired with walk j from the query node, and
+// s̃(u, v) is the fraction of pairs that meet. Per-walk RNG streams are
+// derived from (v, j) alone, so the returned estimates are bit-identical
+// for any partition count — partitioning changes only the cost report,
+// which is the property that makes the simulation trustworthy.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"probesim/internal/graph"
+	"probesim/internal/mc"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// Config configures the simulated cluster and the Monte Carlo estimator
+// running on it.
+type Config struct {
+	// Partitions is the number of simulated machines P. Default 4.
+	Partitions int
+	// C is the SimRank decay factor. Default 0.6.
+	C float64
+	// Eps is the absolute error target used to derive NumWalks. Default 0.1.
+	Eps float64
+	// Delta is the failure probability used to derive NumWalks. Default 0.01.
+	Delta float64
+	// NumWalks overrides the derived pair count when > 0.
+	NumWalks int
+	// Seed drives every walk. Default 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions == 0 {
+		c.Partitions = 4
+	}
+	if c.C == 0 {
+		c.C = 0.6
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.1
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Partitions < 1 {
+		return fmt.Errorf("cluster: partition count %d < 1", c.Partitions)
+	}
+	if c.C <= 0 || c.C >= 1 {
+		return fmt.Errorf("cluster: decay factor c = %v outside (0, 1)", c.C)
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("cluster: error target ε = %v outside (0, 1)", c.Eps)
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		return fmt.Errorf("cluster: failure probability δ = %v outside (0, 1)", c.Delta)
+	}
+	return nil
+}
+
+// Cost reports the simulated communication and work of one query.
+type Cost struct {
+	// Partitions is the machine count the query ran with.
+	Partitions int
+	// Supersteps is the number of synchronous rounds until every walk
+	// terminated.
+	Supersteps int
+	// Migrations counts walk states handed to a different machine; each is
+	// one network message in the simulated system.
+	Migrations int64
+	// MigratedBytes is Migrations times the walk-state wire size.
+	MigratedBytes int64
+	// BroadcastEntries counts query-walk positions replicated to every
+	// machine so walks can detect meetings locally.
+	BroadcastEntries int64
+	// BroadcastBytes is the wire size of those replicas.
+	BroadcastBytes int64
+	// WalksSimulated is the total number of √c-walks generated.
+	WalksSimulated int64
+	// MaxMachineWalks is the peak number of live walks on one machine in
+	// any superstep — the load-balance indicator.
+	MaxMachineWalks int64
+}
+
+// walkStateBytes is the wire size of a migrating walk: source id, trial id,
+// current node, RNG state (4 + 4 + 4 + 8).
+const walkStateBytes = 20
+
+// uPosBytes is the wire size of one broadcast query-walk position: trial
+// id, step, node.
+const uPosBytes = 12
+
+// Partitioner maps nodes to machines. The default is a multiplicative hash
+// so that partitions behave like random node subsets (range partitioning
+// would give generators with locality an unrealistically low cut).
+type Partitioner func(v graph.NodeID) int
+
+// HashPartitioner returns the default partitioner over p machines.
+func HashPartitioner(p int) Partitioner {
+	return func(v graph.NodeID) int {
+		z := uint64(v) * 0x9e3779b97f4a7c15
+		z ^= z >> 29
+		return int(z % uint64(p))
+	}
+}
+
+// walkState is one live walk on some machine.
+type walkState struct {
+	src graph.NodeID // the node whose similarity this walk estimates
+	tr  int32        // trial index, pairing it with the query walk
+	cur graph.NodeID
+	rng xrand.RNG
+}
+
+// SingleSource estimates s(u, v) for every v on the simulated cluster and
+// reports what the estimate cost in communication. The estimates are
+// exactly the Monte Carlo pair estimates for the given seed, independent of
+// cfg.Partitions.
+func SingleSource(g *graph.Graph, u graph.NodeID, cfg Config) ([]float64, Cost, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, Cost{}, err
+	}
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, Cost{}, fmt.Errorf("cluster: node %d out of range [0, %d)", u, n)
+	}
+	r := cfg.NumWalks
+	if r <= 0 {
+		r = mc.PairWalks(cfg.Eps, cfg.Delta)
+		// Union bound over the n targets of a single-source query.
+		if n >= 2 {
+			r = int(math.Ceil(math.Log(2*float64(n)/cfg.Delta) / (2 * cfg.Eps * cfg.Eps)))
+		}
+	}
+	cost := Cost{Partitions: cfg.Partitions}
+	part := HashPartitioner(cfg.Partitions)
+	root := xrand.New(cfg.Seed)
+
+	// Phase 1: the query node's r walks, simulated under the same BSP
+	// machinery so their migrations are charged too. Their full position
+	// tables are then broadcast to every machine.
+	uWalks := make([][]graph.NodeID, r)
+	runBSP(g, part, cfg, &cost, func(emit func(walkState)) {
+		for j := 0; j < r; j++ {
+			rng := root.Split(queryStream(j))
+			uWalks[j] = []graph.NodeID{u}
+			emit(walkState{src: u, tr: int32(j), cur: u, rng: *rng})
+		}
+	}, func(w *walkState, step int) bool {
+		uWalks[w.tr] = append(uWalks[w.tr], w.cur)
+		return false // query walks never retire early
+	})
+	for _, wj := range uWalks {
+		cost.BroadcastEntries += int64(len(wj)) * int64(cfg.Partitions)
+	}
+	cost.BroadcastBytes = cost.BroadcastEntries * uPosBytes
+
+	// Phase 2: r walks from every other node, retired on first meeting
+	// with the paired query walk.
+	counts := make([]int64, n)
+	var countsMu sync.Mutex
+	runBSP(g, part, cfg, &cost, func(emit func(walkState)) {
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == u {
+				continue
+			}
+			for j := 0; j < r; j++ {
+				rng := root.Split(pairStream(v, j, r))
+				emit(walkState{src: graph.NodeID(v), tr: int32(j), cur: graph.NodeID(v), rng: *rng})
+			}
+		}
+	}, func(w *walkState, step int) bool {
+		wj := uWalks[w.tr]
+		if step < len(wj) && wj[step] == w.cur {
+			countsMu.Lock()
+			counts[w.src]++
+			countsMu.Unlock()
+			return true
+		}
+		// Beyond the query walk's length no meeting is possible.
+		return step >= len(wj)
+	})
+
+	est := make([]float64, n)
+	inv := 1 / float64(r)
+	for v := range est {
+		est[v] = float64(counts[v]) * inv
+	}
+	est[u] = 1
+	return est, cost, nil
+}
+
+// queryStream and pairStream derive per-walk RNG stream ids. They are
+// functions of the walk identity only, never of the partitioning, which is
+// what makes results partition-invariant.
+func queryStream(j int) uint64      { return uint64(j) }
+func pairStream(v, j, r int) uint64 { return uint64(r) + uint64(v)*uint64(r) + uint64(j) }
+
+// runBSP drives one walk population to termination. seed emits the initial
+// walks; visit is called when a walk arrives at a node at the given step
+// (step >= 1) and reports whether the walk should retire. Each superstep
+// advances every live walk by one reverse step; walks whose next node lives
+// on a different machine are counted as migrations.
+func runBSP(g *graph.Graph, part Partitioner, cfg Config, cost *Cost, seed func(emit func(walkState)), visit func(w *walkState, step int) bool) {
+	p := cfg.Partitions
+	sqrtC := math.Sqrt(cfg.C)
+	inboxes := make([][]walkState, p)
+	seed(func(w walkState) {
+		inboxes[part(w.cur)] = append(inboxes[part(w.cur)], w)
+		cost.WalksSimulated++
+	})
+	for step := 1; ; step++ {
+		live := int64(0)
+		for _, in := range inboxes {
+			if int64(len(in)) > cost.MaxMachineWalks {
+				cost.MaxMachineWalks = int64(len(in))
+			}
+			live += int64(len(in))
+		}
+		if live == 0 {
+			break
+		}
+		if step > walk.HardCap {
+			break // statistically invisible safety cap, matching package walk
+		}
+		cost.Supersteps++
+		// Per-machine outboxes: outbox[from][to].
+		outboxes := make([][][]walkState, p)
+		var wg sync.WaitGroup
+		for m := 0; m < p; m++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				out := make([][]walkState, p)
+				for _, w := range inboxes[m] {
+					if w.rng.Float64() >= sqrtC {
+						continue // walk terminates
+					}
+					in := g.InNeighbors(w.cur)
+					if len(in) == 0 {
+						continue // dead end
+					}
+					w.cur = in[w.rng.Intn(len(in))]
+					if visit(&w, step) {
+						continue // retired (met, or can never meet)
+					}
+					out[part(w.cur)] = append(out[part(w.cur)], w)
+				}
+				outboxes[m] = out
+			}(m)
+		}
+		wg.Wait()
+		// Exchange: local handoffs are free, cross-machine ones are
+		// messages.
+		for m := range inboxes {
+			inboxes[m] = inboxes[m][:0]
+		}
+		for from := 0; from < p; from++ {
+			for to := 0; to < p; to++ {
+				batch := outboxes[from][to]
+				if len(batch) == 0 {
+					continue
+				}
+				if from != to {
+					cost.Migrations += int64(len(batch))
+				}
+				inboxes[to] = append(inboxes[to], batch...)
+			}
+		}
+	}
+	cost.MigratedBytes = cost.Migrations * walkStateBytes
+}

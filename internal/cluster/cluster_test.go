@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/walk"
+)
+
+func TestPartitionInvariance(t *testing.T) {
+	// The whole point of the simulation: changing the machine count must
+	// change only the cost report, never the estimates.
+	g := gen.ErdosRenyi(50, 250, 3)
+	base, _, err := SingleSource(g, 2, Config{Partitions: 1, NumWalks: 200, Seed: 9})
+	if err != nil {
+		t.Fatalf("SingleSource(P=1): %v", err)
+	}
+	for _, p := range []int{2, 3, 7, 16} {
+		est, _, err := SingleSource(g, 2, Config{Partitions: p, NumWalks: 200, Seed: 9})
+		if err != nil {
+			t.Fatalf("SingleSource(P=%d): %v", p, err)
+		}
+		for v := range est {
+			if est[v] != base[v] {
+				t.Fatalf("P=%d: estimate for node %d is %v, P=1 gave %v", p, v, est[v], base[v])
+			}
+		}
+	}
+}
+
+func TestSinglePartitionHasNoMigrations(t *testing.T) {
+	g := gen.ErdosRenyi(40, 200, 5)
+	_, cost, err := SingleSource(g, 1, Config{Partitions: 1, NumWalks: 50, Seed: 2})
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if cost.Migrations != 0 || cost.MigratedBytes != 0 {
+		t.Fatalf("one machine migrated %d walks (%d bytes); want 0", cost.Migrations, cost.MigratedBytes)
+	}
+	if cost.Supersteps == 0 {
+		t.Fatal("no supersteps recorded")
+	}
+}
+
+func TestMultiPartitionMigrates(t *testing.T) {
+	g := gen.ErdosRenyi(60, 360, 7)
+	_, cost, err := SingleSource(g, 1, Config{Partitions: 8, NumWalks: 100, Seed: 2})
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if cost.Migrations == 0 {
+		t.Fatal("eight machines on a random graph migrated nothing; partitioner is broken")
+	}
+	if cost.MigratedBytes != cost.Migrations*walkStateBytes {
+		t.Fatalf("MigratedBytes = %d, want Migrations × %d = %d",
+			cost.MigratedBytes, walkStateBytes, cost.Migrations*walkStateBytes)
+	}
+}
+
+func TestBroadcastScalesWithPartitions(t *testing.T) {
+	g := gen.ErdosRenyi(40, 200, 11)
+	_, c2, err := SingleSource(g, 3, Config{Partitions: 2, NumWalks: 80, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c8, err := SingleSource(g, 3, Config{Partitions: 8, NumWalks: 80, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same walks (partition-invariant), so broadcast entries scale exactly
+	// with the machine count.
+	if c8.BroadcastEntries != 4*c2.BroadcastEntries {
+		t.Fatalf("broadcast entries: P=8 gives %d, P=2 gives %d; want exact 4x",
+			c8.BroadcastEntries, c2.BroadcastEntries)
+	}
+	if c8.BroadcastBytes != c8.BroadcastEntries*uPosBytes {
+		t.Fatalf("BroadcastBytes = %d, want entries × %d", c8.BroadcastBytes, uPosBytes)
+	}
+}
+
+func TestAccuracyAgainstPowerMethod(t *testing.T) {
+	g := gen.ErdosRenyi(60, 300, 13)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("power.SimRank: %v", err)
+	}
+	est, _, err := SingleSource(g, 5, Config{Partitions: 4, Eps: 0.05, Delta: 0.01, Seed: 17})
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := math.Abs(est[v] - truth.At(5, graph.NodeID(v))); d > 0.05 {
+			t.Fatalf("|est − truth| = %v at node %d exceeds ε", d, v)
+		}
+	}
+}
+
+func TestWalkAccounting(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 19)
+	r := 40
+	_, cost, err := SingleSource(g, 0, Config{Partitions: 3, NumWalks: r, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(r) * int64(g.NumNodes()) // r query walks + (n−1)·r pair walks
+	if cost.WalksSimulated != want {
+		t.Fatalf("WalksSimulated = %d, want n·r = %d", cost.WalksSimulated, want)
+	}
+	if cost.Supersteps > 2*walk.HardCap+2 {
+		t.Fatalf("Supersteps = %d exceeds the statistical cap", cost.Supersteps)
+	}
+	if cost.MaxMachineWalks <= 0 || cost.MaxMachineWalks > cost.WalksSimulated {
+		t.Fatalf("MaxMachineWalks = %d out of range", cost.MaxMachineWalks)
+	}
+	if cost.Partitions != 3 {
+		t.Fatalf("Cost.Partitions = %d, want 3", cost.Partitions)
+	}
+}
+
+func TestSelfSimilarityAndZeroInDegree(t *testing.T) {
+	g := gen.Star(6) // hub 0 -> leaves; hub has zero in-degree
+	est, _, err := SingleSource(g, 0, Config{Partitions: 2, NumWalks: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[0] != 1 {
+		t.Fatalf("s(0,0) = %v, want 1", est[0])
+	}
+	for v := 1; v < g.NumNodes(); v++ {
+		if est[v] != 0 {
+			t.Fatalf("similarity of leaf %d to a zero-in-degree hub = %v, want 0", v, est[v])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 30, 1)
+	if _, _, err := SingleSource(g, -1, Config{}); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, _, err := SingleSource(g, 100, Config{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, _, err := SingleSource(g, 0, Config{Partitions: -2}); err == nil {
+		t.Error("negative partition count accepted")
+	}
+	if _, _, err := SingleSource(g, 0, Config{C: 1.2}); err == nil {
+		t.Error("c > 1 accepted")
+	}
+	if _, _, err := SingleSource(g, 0, Config{Eps: 3}); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+	if _, _, err := SingleSource(g, 0, Config{Delta: 3}); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+}
+
+func TestHashPartitionerBalanced(t *testing.T) {
+	p := 8
+	n := 8000
+	part := HashPartitioner(p)
+	counts := make([]int, p)
+	for v := 0; v < n; v++ {
+		m := part(graph.NodeID(v))
+		if m < 0 || m >= p {
+			t.Fatalf("partitioner returned machine %d outside [0, %d)", m, p)
+		}
+		counts[m]++
+	}
+	want := n / p
+	for m, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("machine %d owns %d of %d nodes; want within 2x of %d", m, c, n, want)
+		}
+	}
+}
+
+func TestEstimatesAreProbabilities(t *testing.T) {
+	g := gen.PreferentialAttachment(40, 3, 23)
+	est, _, err := SingleSource(g, 2, Config{Partitions: 4, NumWalks: 60, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range est {
+		if s < 0 || s > 1 {
+			t.Fatalf("est[%d] = %v outside [0, 1]", v, s)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"probesim/internal/cluster"
+	"probesim/internal/graph"
+)
+
+// The simulation's defining property: partitioning changes the
+// communication bill, never the answer.
+func Example() {
+	g := graph.New(4)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	one, c1, err := cluster.SingleSource(g, 1, cluster.Config{Partitions: 1, NumWalks: 500, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	four, c4, err := cluster.SingleSource(g, 1, cluster.Config{Partitions: 4, NumWalks: 500, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for v := range one {
+		if one[v] != four[v] {
+			same = false
+		}
+	}
+	fmt.Printf("estimates identical across 1 and 4 machines: %v\n", same)
+	fmt.Printf("messages on 1 machine: %d; on 4 machines: more than 0: %v\n",
+		c1.Migrations, c4.Migrations > 0)
+	// Output:
+	// estimates identical across 1 and 4 machines: true
+	// messages on 1 machine: 0; on 4 machines: more than 0: true
+}

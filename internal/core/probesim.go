@@ -1,0 +1,309 @@
+// Package core implements ProbeSim (the paper's primary contribution):
+// index-free approximate single-source and top-k SimRank with a provable
+// absolute-error guarantee. See Options and Mode for the variants.
+//
+// The estimator follows §3.1: for each of nr sampled √c-walks W(u) from the
+// query node, every prefix W(u, i) is probed for the first-meeting
+// probability of every node v, and s̃(u, v) averages the per-walk sums.
+// Lemma 1 shows each trial is unbiased, and Theorems 1-3 bound the error of
+// the basic, pruned, and randomized variants respectively.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probesim/internal/graph"
+	"probesim/internal/probe"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// ScoredNode is one entry of a top-k answer.
+type ScoredNode struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// SingleSource answers an approximate single-source SimRank query
+// (Definition 1): it returns s̃(u, v) for every node v, with
+// |s̃(u,v) − s(u,v)| <= εa for all v simultaneously with probability
+// >= 1 − δ. The result slice has length g.NumNodes() and result[u] = 1.
+//
+// The graph must not be mutated while the query runs; concurrent queries
+// on the same graph are safe.
+func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("core: query node %d out of range [0, %d)", u, n)
+	}
+	plan := planFor(opt, n)
+	var est []float64
+	switch plan.Mode {
+	case ModeBasic, ModePruned, ModeRandomized:
+		est = runPerWalk(g, u, plan)
+	case ModeAuto, ModeBatch, ModeHybrid:
+		est = runBatched(g, u, plan)
+	}
+	if plan.Compensate && plan.EpsT > 0 {
+		half := plan.EpsT / 2
+		for v := range est {
+			if est[v] > 0 && est[v]+half <= 1 {
+				est[v] += half
+			}
+		}
+	}
+	est[u] = 1 // s(u, u) = 1 by definition
+	return est, nil
+}
+
+// TopK answers an approximate top-k SimRank query (Definition 2): the k
+// nodes with the largest estimated similarity to u (excluding u itself),
+// in descending score order with node id breaking ties. If the graph has
+// fewer than k other nodes, all of them are returned.
+func TopK(g *graph.Graph, u graph.NodeID, k int, opt Options) ([]ScoredNode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	est, err := SingleSource(g, u, opt)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTopK(est, u, k), nil
+}
+
+// SelectTopK extracts the k highest-scoring nodes from a single-source
+// estimate vector, excluding the query node, ordering by descending score
+// and ascending node id. It is shared by every algorithm in this
+// repository so that ranking semantics are identical across competitors.
+func SelectTopK(est []float64, u graph.NodeID, k int) []ScoredNode {
+	// Min-heap of size k over (score, node), then sorted descending.
+	h := make([]ScoredNode, 0, k)
+	less := func(a, b ScoredNode) bool {
+		// Heap order: smallest score first; for equal scores the LARGER id
+		// is weaker (so ties resolve toward smaller ids in the answer).
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Node > b.Node
+	}
+	push := func(x ScoredNode) {
+		h = append(h, x)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if less(h[i], h[p]) {
+				h[i], h[p] = h[p], h[i]
+				i = p
+			} else {
+				break
+			}
+		}
+	}
+	popReplace := func(x ScoredNode) {
+		h[0] = x
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && less(h[l], h[small]) {
+				small = l
+			}
+			if r < len(h) && less(h[r], h[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	for v, sc := range est {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		cand := ScoredNode{Node: graph.NodeID(v), Score: sc}
+		if len(h) < k {
+			push(cand)
+		} else if less(h[0], cand) {
+			popReplace(cand)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return less(h[j], h[i]) })
+	return h
+}
+
+// runPerWalk executes the non-batched modes: nr independent trials, each
+// generating one √c-walk and probing all of its prefixes. Trials are
+// partitioned across workers, each with its own RNG stream, scratch space
+// and accumulator.
+func runPerWalk(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
+	n := g.NumNodes()
+	workers := plan.Workers
+	if workers > plan.NumWalks {
+		workers = plan.NumWalks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	accs := make([][]float64, workers)
+	root := xrand.New(plan.Seed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := plan.NumWalks * w / workers
+		hi := plan.NumWalks * (w + 1) / workers
+		rng := root.Split(uint64(w))
+		wg.Add(1)
+		go func(w, trials int, rng *xrand.RNG) {
+			defer wg.Done()
+			acc := make([]float64, n)
+			gen := walk.NewGenerator(g, plan.C, rng)
+			s := probe.NewScratch(n)
+			var buf []graph.NodeID
+			for t := 0; t < trials; t++ {
+				buf = gen.Generate(u, plan.MaxWalkNodes, buf)
+				for i := 2; i <= len(buf); i++ {
+					prefix := buf[:i]
+					if plan.Mode == ModeRandomized {
+						for _, v := range probe.Randomized(g, prefix, plan.SqrtC, rng, s) {
+							acc[v]++
+						}
+					} else {
+						res := probe.Deterministic(g, prefix, plan.SqrtC, plan.EpsP, s)
+						for _, v := range res.Nodes {
+							acc[v] += res.Scores[v]
+						}
+					}
+				}
+			}
+			accs[w] = acc
+		}(w, hi-lo, rng)
+	}
+	wg.Wait()
+	return mergeScaled(accs, n, 1/float64(plan.NumWalks))
+}
+
+// runBatched executes the batch and hybrid modes: build the reverse
+// reachability tree from nr walks (§4.2), then probe each root-to-node
+// path once, weighted by how many walks share it. Paths are distributed
+// across workers by index.
+func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
+	n := g.NumNodes()
+	tree := NewWalkTree(u)
+	rootRNG := xrand.New(plan.Seed)
+	// Walks come from stream 0, the same stream a single-worker per-walk
+	// run uses, so batching is observably a pure deduplication of probes.
+	gen := walk.NewGenerator(g, plan.C, rootRNG.Split(0))
+	var buf []graph.NodeID
+	for t := 0; t < plan.NumWalks; t++ {
+		buf = gen.Generate(u, plan.MaxWalkNodes, buf)
+		if err := tree.Insert(buf); err != nil {
+			// Unreachable: walks always start at u.
+			panic(err)
+		}
+	}
+	paths := tree.Paths()
+
+	hybrid := plan.Mode == ModeHybrid || plan.Mode == ModeAuto
+	workers := plan.Workers
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	accs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := make([]float64, n)
+			det := probe.NewScratch(n)
+			var rnd *probe.Scratch
+			if hybrid {
+				rnd = probe.NewScratch(n)
+			}
+			for pi := w; pi < len(paths); pi += workers {
+				p := paths[pi]
+				// Each path gets its own RNG stream so results do not
+				// depend on the worker count.
+				rng := rootRNG.Split(uint64(pi) + 0x10000)
+				if hybrid {
+					probePathHybrid(g, p, plan, acc, det, rnd, rng)
+				} else {
+					res := probe.Deterministic(g, p.Nodes, plan.SqrtC, plan.EpsP, det)
+					scale := float64(p.Weight)
+					for _, v := range res.Nodes {
+						acc[v] += scale * res.Scores[v]
+					}
+				}
+			}
+			accs[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	return mergeScaled(accs, n, 1/float64(plan.NumWalks))
+}
+
+// probePathHybrid probes one weighted path with the §4.4 strategy: expand
+// deterministically while the frontier is cheap; if the next expansion
+// would cost more than c0·w·n edge traversals, finish each of the w walk
+// replicas with a randomized continuation seeded by Bernoulli(score)
+// membership of the current level (unbiased by Lemma 6).
+func probePathHybrid(g *graph.Graph, p Path, plan Plan, acc []float64, det, rnd *probe.Scratch, rng *xrand.RNG) {
+	budget := plan.HybridC0 * float64(p.Weight) * float64(len(acc))
+	st := probe.NewStepper(g, p.Nodes, plan.SqrtC, plan.EpsP, det)
+	for !st.Done() {
+		nodes, scores := st.Frontier()
+		if float64(probe.OutDegreeSum(g, nodes)) > budget {
+			// Switch: snapshot the frontier, then run weight replicas.
+			level := st.Level()
+			fNodes := append([]graph.NodeID(nil), nodes...)
+			fScores := make([]float64, len(fNodes))
+			for i, v := range fNodes {
+				fScores[i] = scores[v]
+			}
+			members := make([]graph.NodeID, 0, len(fNodes))
+			for r := int64(0); r < p.Weight; r++ {
+				members = members[:0]
+				for i, v := range fNodes {
+					if rng.Float64() < fScores[i] {
+						members = append(members, v)
+					}
+				}
+				for _, v := range probe.ContinueRandomized(g, p.Nodes, level, members, plan.SqrtC, rng, rnd) {
+					acc[v]++
+				}
+			}
+			return
+		}
+		st.Step()
+	}
+	nodes, scores := st.Frontier()
+	scale := float64(p.Weight)
+	for _, v := range nodes {
+		acc[v] += scale * scores[v]
+	}
+}
+
+// mergeScaled sums the worker accumulators and multiplies by scale.
+func mergeScaled(accs [][]float64, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for _, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		for i, v := range acc {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}

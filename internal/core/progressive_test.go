@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+)
+
+// tieredGraph builds a graph where node 0's similarity ranking has a large
+// gap: nodes 1 and 2 share both in-neighbors with 0 (high similarity),
+// everything else is background noise far below.
+func tieredGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.ErdosRenyi(200, 800, 3)
+	// Make {100, 101} the trio's ENTIRE in-neighborhood: drop whatever
+	// in-edges the random background gave nodes 0-2 first, so the trio
+	// shares its in-neighborhood exactly and separates from the rest.
+	for _, child := range []graph.NodeID{0, 1, 2} {
+		for _, parent := range append([]graph.NodeID(nil), g.InNeighbors(child)...) {
+			if err := g.RemoveEdge(parent, child); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, parent := range []graph.NodeID{100, 101} {
+			if err := g.AddEdge(parent, child); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestProgressiveStopsEarlyOnSeparation(t *testing.T) {
+	g := tieredGraph(t)
+	opt := Options{EpsA: 0.01, Delta: 0.01, Seed: 7} // tight εa = huge static budget
+	top, stats, err := TopKProgressive(g, 0, 2, opt)
+	if err != nil {
+		t.Fatalf("TopKProgressive: %v", err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d results, want 2", len(top))
+	}
+	got := map[graph.NodeID]bool{top[0].Node: true, top[1].Node: true}
+	if !got[1] || !got[2] {
+		t.Fatalf("top-2 = %v, want nodes 1 and 2", top)
+	}
+	if !stats.Separated {
+		t.Fatalf("expected separation stop, got %+v", stats)
+	}
+	if stats.Walks >= stats.BudgetWalks/4 {
+		t.Fatalf("progressive used %d of %d walks; expected a large saving on a separated query",
+			stats.Walks, stats.BudgetWalks)
+	}
+}
+
+func TestProgressiveDefinition2Guarantee(t *testing.T) {
+	g := gen.ErdosRenyi(80, 400, 11)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{EpsA: 0.05, Delta: 0.01, Seed: 3}
+	k := 10
+	for _, u := range []graph.NodeID{1, 17, 42} {
+		top, stats, err := TopKProgressive(g, u, k, opt)
+		if err != nil {
+			t.Fatalf("TopKProgressive(%d): %v", u, err)
+		}
+		// Exact k-th ranked similarity.
+		exact := append([]float64(nil), truth.Row(u)...)
+		exact[u] = -1
+		for i := range top {
+			// Definition 2: s(u, v_i) >= s(u, v'_i) − εa.
+			kthBest := nthLargest(exact, i+1)
+			if truth.At(u, top[i].Node) < kthBest-opt.EpsA {
+				t.Fatalf("u=%d rank %d: s=%v < ideal %v − εa (stats %+v)",
+					u, i+1, truth.At(u, top[i].Node), kthBest, stats)
+			}
+			// Value guarantee: estimate within the reported radius.
+			if d := math.Abs(top[i].Score - truth.At(u, top[i].Node)); d > stats.Radius {
+				t.Fatalf("u=%d rank %d: |est−s| = %v exceeds radius %v", u, i+1, d, stats.Radius)
+			}
+		}
+	}
+}
+
+func nthLargest(vals []float64, n int) float64 {
+	cp := append([]float64(nil), vals...)
+	for i := 0; i < n; i++ {
+		maxAt := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] > cp[maxAt] {
+				maxAt = j
+			}
+		}
+		cp[i], cp[maxAt] = cp[maxAt], cp[i]
+	}
+	return cp[n-1]
+}
+
+func TestProgressiveNeverExceedsStaticBudget(t *testing.T) {
+	g := gen.ErdosRenyi(60, 240, 5)
+	// Loose εa keeps the static budget small; a hard query (many ties)
+	// must stop at the budget, not loop.
+	opt := Options{EpsA: 0.2, Delta: 0.1, Seed: 1}
+	_, stats, err := TopKProgressive(g, 2, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Walks > stats.BudgetWalks {
+		t.Fatalf("used %d walks, budget %d", stats.Walks, stats.BudgetWalks)
+	}
+	if stats.Rounds < 1 || stats.Radius <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
+func TestProgressiveValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 30, 1)
+	if _, _, err := TopKProgressive(g, 0, 0, Options{}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, _, err := TopKProgressive(g, -1, 3, Options{}); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, _, err := TopKProgressive(g, 0, 3, Options{EpsA: 5}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestProgressiveDeterministicForSeed(t *testing.T) {
+	g := gen.PreferentialAttachment(50, 3, 9)
+	opt := Options{EpsA: 0.05, Seed: 21}
+	a, sa, err := TopKProgressive(g, 1, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := TopKProgressive(g, 1, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProgressiveAgreesWithTopK(t *testing.T) {
+	// With separation disabled by construction (identical scores among the
+	// trio), progressive still returns nodes whose true scores match the
+	// static TopK's within 2·εa.
+	g := tieredGraph(t)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{EpsA: 0.03, Seed: 13}
+	stat, err := TopK(g, 0, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := TopKProgressive(g, 0, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		ts := truth.At(0, stat[i].Node)
+		tp := truth.At(0, prog[i].Node)
+		if math.Abs(ts-tp) > 2*opt.EpsA {
+			t.Fatalf("rank %d: static picked s=%v, progressive s=%v; gap exceeds 2εa", i+1, ts, tp)
+		}
+	}
+}
+
+func TestProgressiveSmallGraphKLargerThanN(t *testing.T) {
+	g := gen.Cycle(4)
+	top, _, err := TopKProgressive(g, 0, 10, Options{EpsA: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d results on a 4-node graph, want 3", len(top))
+	}
+}
+
+func TestProgressiveRandomizedMode(t *testing.T) {
+	// The randomized-probe branch must keep the Definition 2 guarantee.
+	g := gen.ErdosRenyi(60, 300, 7)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{EpsA: 0.08, Delta: 0.01, Seed: 5, Mode: ModeRandomized}
+	top, stats, err := TopKProgressive(g, 3, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Walks < 1 || stats.Walks > stats.BudgetWalks {
+		t.Fatalf("walks %d outside [1, %d]", stats.Walks, stats.BudgetWalks)
+	}
+	exact := append([]float64(nil), truth.Row(3)...)
+	exact[3] = -1
+	for i := range top {
+		if truth.At(3, top[i].Node) < nthLargest(exact, i+1)-opt.EpsA {
+			t.Fatalf("rank %d violates Definition 2 in randomized mode", i+1)
+		}
+	}
+}
+
+func TestProgressiveModeCoercion(t *testing.T) {
+	// Batch modes have no progressive benefit; they must run (coerced to
+	// pruned) rather than error.
+	g := gen.Cycle(10)
+	for _, m := range []Mode{ModeAuto, ModeBatch, ModeHybrid} {
+		if _, _, err := TopKProgressive(g, 0, 2, Options{EpsA: 0.1, Seed: 1, Mode: m}); err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"probesim/internal/graph"
+)
+
+// Querier is the "lightweight indexing" idea the paper's conclusion (§7)
+// sketches as future work: keep ProbeSim index-free, but memoize recent
+// query results keyed by (query node, graph version) so that repeated
+// queries on an unchanged graph are free, while any graph mutation
+// invalidates every cached answer automatically (the graph's version
+// counter moves).
+//
+// The cache holds at most Capacity single-source vectors (8n bytes each)
+// with LRU eviction. A Querier is safe for concurrent use; cache misses
+// run queries outside the lock so concurrent misses proceed in parallel
+// (duplicate concurrent misses may both compute, which is benign because
+// results for a fixed option set and graph version are deterministic).
+type Querier struct {
+	g        *graph.Graph
+	opt      Options
+	capacity int
+
+	mu      sync.Mutex
+	entries map[graph.NodeID]*list.Element
+	order   *list.List // front = most recent
+	version uint64
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	node   graph.NodeID
+	scores []float64
+}
+
+// NewQuerier wraps g with a result cache of the given capacity (numbers of
+// cached single-source vectors; minimum 1).
+func NewQuerier(g *graph.Graph, opt Options, capacity int) *Querier {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Querier{
+		g:        g,
+		opt:      opt,
+		capacity: capacity,
+		entries:  make(map[graph.NodeID]*list.Element),
+		order:    list.New(),
+		version:  g.Version(),
+	}
+}
+
+// SingleSource returns the cached single-source vector for u, computing
+// and caching it on a miss. The returned slice is shared with the cache:
+// callers must not modify it.
+func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
+	q.mu.Lock()
+	if v := q.g.Version(); v != q.version {
+		// The graph changed: all cached answers are stale.
+		q.entries = make(map[graph.NodeID]*list.Element)
+		q.order.Init()
+		q.version = v
+	}
+	if el, ok := q.entries[u]; ok {
+		q.order.MoveToFront(el)
+		q.hits++
+		scores := el.Value.(*cacheEntry).scores
+		q.mu.Unlock()
+		return scores, nil
+	}
+	q.misses++
+	version := q.version
+	q.mu.Unlock()
+
+	scores, err := SingleSource(q.g, u, q.opt)
+	if err != nil {
+		return nil, err
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Only cache if the graph did not move underneath the computation.
+	if q.g.Version() == version && q.version == version {
+		if el, ok := q.entries[u]; ok {
+			q.order.MoveToFront(el)
+		} else {
+			el := q.order.PushFront(&cacheEntry{node: u, scores: scores})
+			q.entries[u] = el
+			for q.order.Len() > q.capacity {
+				last := q.order.Back()
+				q.order.Remove(last)
+				delete(q.entries, last.Value.(*cacheEntry).node)
+			}
+		}
+	}
+	return scores, nil
+}
+
+// TopK answers a top-k query through the cache.
+func (q *Querier) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	est, err := q.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTopK(est, u, k), nil
+}
+
+// Stats reports cache effectiveness.
+func (q *Querier) Stats() (hits, misses int64, cached int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hits, q.misses, q.order.Len()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+func querierGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	rng := xrand.New(77)
+	return randomGraph(rng, 40, 200)
+}
+
+func TestQuerierCachesHits(t *testing.T) {
+	g := querierGraph(t)
+	q := NewQuerier(g, Options{NumWalks: 300, Seed: 1}, 4)
+	a, err := q.SingleSource(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.SingleSource(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second query did not hit the cache")
+	}
+	hits, misses, cached := q.Stats()
+	if hits != 1 || misses != 1 || cached != 1 {
+		t.Fatalf("stats = %d hits %d misses %d cached", hits, misses, cached)
+	}
+}
+
+func TestQuerierInvalidatesOnMutation(t *testing.T) {
+	g := querierGraph(t)
+	q := NewQuerier(g, Options{NumWalks: 300, Seed: 1}, 4)
+	if _, err := q.SingleSource(3); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: the cached answer must not be served again.
+	if err := g.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SingleSource(3); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := q.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("mutation did not invalidate: %d hits %d misses", hits, misses)
+	}
+}
+
+func TestQuerierLRUEviction(t *testing.T) {
+	g := querierGraph(t)
+	q := NewQuerier(g, Options{NumWalks: 100, Seed: 1}, 2)
+	for _, u := range []graph.NodeID{1, 2, 3} { // 1 evicted by 3
+		if _, err := q.SingleSource(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.SingleSource(2); err != nil { // still cached
+		t.Fatal(err)
+	}
+	if _, err := q.SingleSource(1); err != nil { // miss again
+		t.Fatal(err)
+	}
+	hits, misses, cached := q.Stats()
+	if hits != 1 || misses != 4 || cached != 2 {
+		t.Fatalf("LRU stats wrong: %d hits %d misses %d cached", hits, misses, cached)
+	}
+}
+
+func TestQuerierTopKMatchesDirect(t *testing.T) {
+	g := querierGraph(t)
+	opt := Options{NumWalks: 500, Seed: 9}
+	q := NewQuerier(g, opt, 4)
+	got, err := q.TopK(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopK(g, 5, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached top-k diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if _, err := q.TopK(5, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+func TestQuerierConcurrentAccess(t *testing.T) {
+	g := querierGraph(t)
+	q := NewQuerier(g, Options{NumWalks: 100, Seed: 2}, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := q.SingleSource(graph.NodeID((w + i) % 10)); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerierMinCapacity(t *testing.T) {
+	g := querierGraph(t)
+	q := NewQuerier(g, Options{NumWalks: 50}, 0)
+	if _, err := q.SingleSource(1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cached := q.Stats()
+	if cached != 1 {
+		t.Fatalf("capacity clamp failed: %d cached", cached)
+	}
+}

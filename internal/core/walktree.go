@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"probesim/internal/graph"
+)
+
+// WalkTree is the reverse-reachability tree of §4.2 (Algorithm 3): a
+// compact trie over the nr √c-walks of a query. Each tree node stores a
+// graph node and the number of walks sharing the root-to-node prefix, so
+// that a shared prefix is probed once and its scores weighted by the count.
+type WalkTree struct {
+	node        []graph.NodeID
+	weight      []int64
+	firstChild  []int32
+	nextSibling []int32
+	walks       int64
+}
+
+// NewWalkTree returns a tree whose root holds the query node u with weight
+// zero (the root accumulates one weight unit per inserted walk, matching
+// Algorithm 3 line 2).
+func NewWalkTree(u graph.NodeID) *WalkTree {
+	return &WalkTree{
+		node:        []graph.NodeID{u},
+		weight:      []int64{0},
+		firstChild:  []int32{-1},
+		nextSibling: []int32{-1},
+	}
+}
+
+// Insert adds one √c-walk (w[0] must be the root's node) to the tree,
+// incrementing the weight of every prefix it shares and creating new tree
+// nodes for the novel suffix.
+func (t *WalkTree) Insert(w []graph.NodeID) error {
+	if len(w) == 0 || w[0] != t.node[0] {
+		return fmt.Errorf("core: walk %v does not start at the tree root %d", w, t.node[0])
+	}
+	t.walks++
+	t.weight[0]++
+	cur := int32(0)
+	for _, g := range w[1:] {
+		child := t.findChild(cur, g)
+		if child < 0 {
+			child = t.addChild(cur, g)
+		}
+		t.weight[child]++
+		cur = child
+	}
+	return nil
+}
+
+func (t *WalkTree) findChild(parent int32, g graph.NodeID) int32 {
+	for c := t.firstChild[parent]; c >= 0; c = t.nextSibling[c] {
+		if t.node[c] == g {
+			return c
+		}
+	}
+	return -1
+}
+
+func (t *WalkTree) addChild(parent int32, g graph.NodeID) int32 {
+	id := int32(len(t.node))
+	t.node = append(t.node, g)
+	t.weight = append(t.weight, 0)
+	t.firstChild = append(t.firstChild, -1)
+	t.nextSibling = append(t.nextSibling, t.firstChild[parent])
+	t.firstChild[parent] = id
+	return id
+}
+
+// Walks returns the number of inserted walks (nr).
+func (t *WalkTree) Walks() int64 { return t.walks }
+
+// Len returns the number of tree nodes including the root.
+func (t *WalkTree) Len() int { return len(t.node) }
+
+// Path is one root-to-node path of the tree: a partial √c-walk shared by
+// Weight of the inserted walks. Nodes includes the root, so len >= 2.
+type Path struct {
+	Nodes  []graph.NodeID
+	Weight int64
+}
+
+// Paths enumerates every root-to-node path of length >= 2 in depth-first
+// order (Algorithm 3 lines 11-14 apply PROBE to each). The returned paths
+// own their storage.
+func (t *WalkTree) Paths() []Path {
+	var out []Path
+	var buf []graph.NodeID
+	var dfs func(n int32)
+	dfs = func(n int32) {
+		buf = append(buf, t.node[n])
+		if len(buf) >= 2 {
+			out = append(out, Path{
+				Nodes:  append([]graph.NodeID(nil), buf...),
+				Weight: t.weight[n],
+			})
+		}
+		for c := t.firstChild[n]; c >= 0; c = t.nextSibling[c] {
+			dfs(c)
+		}
+		buf = buf[:len(buf)-1]
+	}
+	dfs(0)
+	return out
+}
+
+// checkInvariants verifies that every parent's weight is at least the sum
+// of its children's weights (walks may end at the parent) and that the
+// root's weight equals the number of inserted walks. Used by tests.
+func (t *WalkTree) checkInvariants() error {
+	if t.weight[0] != t.walks {
+		return fmt.Errorf("core: root weight %d != inserted walks %d", t.weight[0], t.walks)
+	}
+	for n := range t.node {
+		var childSum int64
+		for c := t.firstChild[n]; c >= 0; c = t.nextSibling[c] {
+			childSum += t.weight[c]
+		}
+		if childSum > t.weight[n] {
+			return fmt.Errorf("core: node %d weight %d < children sum %d", n, t.weight[n], childSum)
+		}
+	}
+	return nil
+}

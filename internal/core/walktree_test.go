@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/graph"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// §4.2 running example (Figure 3): insert (a,b,c), (a,c,a), then (a,b,a).
+// Resulting weights: root a=3, b=2, c(under b)=1, c(under a)=1, a(under c)=1,
+// a(under b)=1.
+func TestWalkTreePaperExample(t *testing.T) {
+	a, b, c := graph.ToyA, graph.ToyB, graph.ToyC
+	tree := NewWalkTree(a)
+	for _, w := range [][]graph.NodeID{{a, b, c}, {a, c, a}, {a, b, a}} {
+		if err := tree.Insert(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Walks() != 3 {
+		t.Fatalf("walks = %d, want 3", tree.Walks())
+	}
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range tree.Paths() {
+		key := ""
+		for _, v := range p.Nodes {
+			key += graph.ToyNames[v]
+		}
+		got[key] = p.Weight
+	}
+	want := map[string]int64{
+		"ab": 2, "abc": 1, "aba": 1, "ac": 1, "aca": 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paths = %v, want %v", got, want)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("weight(%s) = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestWalkTreeRejectsWrongRoot(t *testing.T) {
+	tree := NewWalkTree(3)
+	if err := tree.Insert([]graph.NodeID{4, 5}); err == nil {
+		t.Fatal("walk with wrong root accepted")
+	}
+	if err := tree.Insert(nil); err == nil {
+		t.Fatal("empty walk accepted")
+	}
+}
+
+func TestWalkTreeSingleNodeWalks(t *testing.T) {
+	tree := NewWalkTree(0)
+	for i := 0; i < 5; i++ {
+		if err := tree.Insert([]graph.NodeID{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Walks() != 5 || tree.Len() != 1 {
+		t.Fatalf("walks=%d len=%d, want 5 and 1", tree.Walks(), tree.Len())
+	}
+	if paths := tree.Paths(); len(paths) != 0 {
+		t.Fatalf("single-node walks must yield no probe paths, got %d", len(paths))
+	}
+}
+
+// Property: for random walk sets, (a) tree invariants hold, (b) every
+// distinct prefix appears exactly once as a path, (c) each path's weight
+// equals the number of walks having that prefix, and (d) total probe work
+// equals the deduplicated prefix count.
+func TestWalkTreeMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := randomGraph(rng, 20, 80)
+		gen := walk.NewGenerator(g, 0.7, rng)
+		tree := NewWalkTree(0)
+		var walks [][]graph.NodeID
+		for i := 0; i < 50; i++ {
+			w := append([]graph.NodeID(nil), gen.Generate(0, 8, nil)...)
+			walks = append(walks, w)
+			if err := tree.Insert(w); err != nil {
+				return false
+			}
+		}
+		if tree.checkInvariants() != nil {
+			return false
+		}
+		// Brute-force prefix counts.
+		wantCounts := map[string]int64{}
+		for _, w := range walks {
+			for i := 2; i <= len(w); i++ {
+				wantCounts[pathKey(w[:i])]++
+			}
+		}
+		paths := tree.Paths()
+		if len(paths) != len(wantCounts) {
+			return false
+		}
+		for _, p := range paths {
+			if wantCounts[pathKey(p.Nodes)] != p.Weight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathKey(p []graph.NodeID) string {
+	key := make([]byte, 0, len(p)*4)
+	for _, v := range p {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(key)
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}

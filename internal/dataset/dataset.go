@@ -1,0 +1,173 @@
+// Package dataset names the synthetic stand-ins for the eight benchmark
+// graphs of Table 3. Real SNAP/LAW downloads are unavailable offline, so
+// each stand-in is a seeded generator chosen to match the original's type
+// (directed/undirected) and degree character (power-law social graph,
+// locally dense microblog graph, locally sparse web graph, zero-in-degree-
+// heavy voting graph), at a scale where the full experiment suite runs on
+// one machine:
+//
+//   - "small" graphs are sized so the Power Method ground truth (Θ(n²)
+//     space, Θ(k·n·m) time) stays tractable, exactly the constraint that
+//     made the paper's §6.1 use small graphs;
+//   - "large" graphs are sized so TSF's index (Rg·n parent entries plus
+//     children lists) exhibits its 1-2 orders-of-magnitude space blow-up
+//     without exhausting laptop memory.
+//
+// Scale factors relative to the paper are recorded per dataset and printed
+// by the Table 3 experiment.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+)
+
+// Spec describes one dataset stand-in.
+type Spec struct {
+	// Name is the stand-in's identifier (paper name + "-s" for "scaled").
+	Name string
+	// PaperName, PaperNodes, PaperEdges echo Table 3.
+	PaperName  string
+	PaperNodes int64
+	PaperEdges int64
+	// Directed records the original's type (undirected graphs are stored
+	// with both edge directions, as SimRank implementations conventionally
+	// do).
+	Directed bool
+	// Small marks the graphs whose ground truth comes from the Power
+	// Method (§6.1); large graphs are evaluated by pooling (§6.2).
+	Small bool
+	// Character is the one-line structural rationale for the generator.
+	Character string
+	// Build generates the stand-in.
+	Build func(seed uint64) *graph.Graph
+}
+
+// registry lists the stand-ins in Table 3 order.
+var registry = []Spec{
+	{
+		Name: "wiki-vote-s", PaperName: "Wiki-Vote", PaperNodes: 7115, PaperEdges: 103689,
+		Directed: true, Small: true,
+		Character: "voting graph: >60% zero in-degree periphery over a dense core (§6.1)",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/3.5 scale: 2040 nodes (740 core + 1300 periphery), ~29.6k edges.
+			return gen.CorePeriphery(740, 1300, 22000, 6, seed)
+		},
+	},
+	{
+		Name: "hepth-s", PaperName: "HepTh", PaperNodes: 9877, PaperEdges: 25998,
+		Directed: false, Small: true,
+		Character: "undirected collaboration network, low average degree",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/5 scale: 1975 nodes, ~5.2k undirected edges (both directions stored).
+			return gen.UndirectedPA(1975, 3, seed)
+		},
+	},
+	{
+		Name: "as-s", PaperName: "AS", PaperNodes: 26475, PaperEdges: 106762,
+		Directed: true, Small: true,
+		Character: "internet topology: heavy-tailed, near-symmetric peering links",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/12 scale: 2206 nodes, ~8.8k links stored in both directions
+			// (AS adjacencies are bidirectional peering/transit links).
+			return gen.UndirectedPA(2206, 4, seed)
+		},
+	},
+	{
+		Name: "hepph-s", PaperName: "HepPh", PaperNodes: 34546, PaperEdges: 421578,
+		Directed: true, Small: true,
+		Character: "citation network: directed, dense (avg degree ~12)",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/17 scale: 2030 nodes, ~24.3k edges.
+			return gen.PreferentialAttachment(2030, 12, seed)
+		},
+	},
+	{
+		Name: "livejournal-s", PaperName: "LiveJournal", PaperNodes: 4847571, PaperEdges: 68993773,
+		Directed: true, Small: false,
+		Character: "social network: power-law, ~30% mutual links",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/60 scale: 80k nodes, ~1.4M edges after reciprocation
+			// (LiveJournal friendships are frequently mutual).
+			g := gen.PreferentialAttachment(80000, 14, seed)
+			gen.Reciprocate(g, 0.3, seed+1)
+			return g
+		},
+	},
+	{
+		Name: "it2004-s", PaperName: "IT-2004", PaperNodes: 41291594, PaperEdges: 1150725436,
+		Directed: true, Small: false,
+		Character: "web graph: locally sparse, strong community structure (R-MAT, mild skew)",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/400 scale: 2^17 = 131k nodes, ~2.5M edges.
+			return gen.RMAT(17, 2500000, 0.45, 0.22, 0.22, 0.11, seed)
+		},
+	},
+	{
+		Name: "twitter-s", PaperName: "Twitter", PaperNodes: 41652230, PaperEdges: 1468365182,
+		Directed: true, Small: false,
+		Character: "microblog graph: locally dense hubs (R-MAT, strong skew)",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/640 scale: 2^16 = 65k nodes, ~2.3M edges (avg degree ~35 like Twitter).
+			return gen.RMAT(16, 2300000, 0.57, 0.19, 0.19, 0.05, seed)
+		},
+	},
+	{
+		Name: "friendster-s", PaperName: "Friendster", PaperNodes: 68349466, PaperEdges: 2586147869,
+		Directed: true, Small: false,
+		Character: "social network: the largest graph, power-law, ~30% mutual links",
+		Build: func(seed uint64) *graph.Graph {
+			// 1/560 scale: 122k nodes, ~3M edges after reciprocation.
+			g := gen.PreferentialAttachment(122000, 19, seed)
+			gen.Reciprocate(g, 0.3, seed+1)
+			return g
+		},
+	},
+}
+
+// All returns every dataset spec in Table 3 order.
+func All() []Spec { return append([]Spec(nil), registry...) }
+
+// Small returns the four small (ground-truth-by-Power-Method) datasets.
+func Small() []Spec { return filter(true) }
+
+// Large returns the four large (pooling-evaluated) datasets.
+func Large() []Spec { return filter(false) }
+
+func filter(small bool) []Spec {
+	var out []Spec
+	for _, s := range registry {
+		if s.Small == small {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName looks a dataset up by stand-in name or paper name
+// (case-sensitive).
+func ByName(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name || s.PaperName == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(registry))
+	for _, s := range registry {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, names)
+}
+
+// ScaleFactor returns the approximate node scale-down versus the paper's
+// graph, for reporting.
+func (s Spec) ScaleFactor(g *graph.Graph) float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(s.PaperNodes) / float64(g.NumNodes())
+}

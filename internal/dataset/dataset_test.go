@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("registry has %d datasets, want the 8 of Table 3", len(all))
+	}
+	if len(Small()) != 4 || len(Large()) != 4 {
+		t.Fatalf("small/large split wrong: %d/%d", len(Small()), len(Large()))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.PaperName == "" || s.Build == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate dataset %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("wiki-vote-s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("Twitter"); err != nil {
+		t.Fatal("paper names must resolve")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// Small datasets must stay within Power-Method reach and match their
+// declared character.
+func TestSmallDatasetShapes(t *testing.T) {
+	for _, spec := range Small() {
+		g := spec.Build(1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if g.NumNodes() > 4000 {
+			t.Errorf("%s: %d nodes too large for the Power Method oracle", spec.Name, g.NumNodes())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", spec.Name)
+		}
+		if spec.ScaleFactor(g) < 1 {
+			t.Errorf("%s: stand-in larger than the original?", spec.Name)
+		}
+	}
+}
+
+func TestWikiVoteCharacter(t *testing.T) {
+	spec, err := ByName("wiki-vote-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Build(1)
+	stats := g.ComputeStats()
+	if frac := float64(stats.ZeroInDeg) / float64(stats.Nodes); frac < 0.6 {
+		t.Fatalf("wiki-vote-s zero-in-degree share %.2f, want >= 0.6 (§6.1)", frac)
+	}
+}
+
+func TestHepThUndirected(t *testing.T) {
+	spec, err := ByName("hepth-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Directed {
+		t.Fatal("HepTh is undirected in Table 3")
+	}
+	g := spec.Build(1)
+	if g.NumEdges()%2 != 0 {
+		t.Fatal("undirected stand-in must store both directions")
+	}
+}
+
+func TestBuildsAreSeeded(t *testing.T) {
+	spec, err := ByName("as-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Build(5), spec.Build(5)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	c := spec.Build(6)
+	_ = c // different seed may coincide in edge count; just ensure it builds
+}
+
+// Large dataset shapes: sized for pooling experiments, with enough edges to
+// exercise the scalability claims but small enough for one machine.
+func TestLargeDatasetShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large dataset generation in -short mode")
+	}
+	for _, spec := range Large() {
+		g := spec.Build(1)
+		if g.NumNodes() < 50000 {
+			t.Errorf("%s: only %d nodes", spec.Name, g.NumNodes())
+		}
+		if g.NumEdges() < 1000000 {
+			t.Errorf("%s: only %d edges", spec.Name, g.NumEdges())
+		}
+		if spec.ScaleFactor(g) < 10 {
+			t.Errorf("%s: scale factor %.0f suspiciously small", spec.Name, spec.ScaleFactor(g))
+		}
+	}
+}

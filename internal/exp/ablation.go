@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/gen"
+	"probesim/internal/metrics"
+)
+
+// Ablation runs the design-choice study called out in DESIGN.md [E-A1]:
+// every ProbeSim mode at the same εa, on one small graph (with exact error
+// against the Power Method) and one medium graph (timing only). It
+// quantifies what each §4 optimization buys: pruning cuts probe work,
+// batching removes duplicate probes, the hybrid bounds worst-case level
+// expansion.
+func Ablation(c Config) error {
+	c = c.withDefaults()
+	header(c, "Ablation: ProbeSim modes at fixed eps_a=0.1 [E-A1]")
+	modes := []core.Mode{
+		core.ModeBasic, core.ModePruned, core.ModeBatch,
+		core.ModeRandomized, core.ModeHybrid, core.ModeAuto,
+	}
+
+	// Small graph: hepph-s (densest of the small stand-ins).
+	spec, err := dataset.ByName("hepph-s")
+	if err != nil {
+		return err
+	}
+	ctx, err := c.buildSmall(spec)
+	if err != nil {
+		return err
+	}
+	datasetHeader(c, spec, ctx.g)
+	c.printf("%-12s %12s %12s %12s\n", "mode", "avg-time(ms)", "AbsError", "walks")
+	for _, mode := range modes {
+		opt := core.Options{EpsA: 0.1, Mode: mode, Workers: c.Workers, Seed: c.Seed}
+		plan, err := core.PlanFor(opt, ctx.g.NumNodes())
+		if err != nil {
+			return err
+		}
+		var total time.Duration
+		sumErr := 0.0
+		for _, u := range ctx.queries {
+			start := time.Now()
+			est, err := core.SingleSource(ctx.g, u, opt)
+			if err != nil {
+				return err
+			}
+			total += time.Since(start)
+			sumErr += metrics.MaxAbsError(est, ctx.truth.Row(u), u)
+		}
+		q := float64(len(ctx.queries))
+		c.printf("%-12s %12.3f %12.5f %12d\n",
+			mode.String(), float64(total.Microseconds())/1000/q, sumErr/q, plan.NumWalks)
+	}
+
+	// Medium graph: power-law, timing only.
+	size := 50000
+	if c.Quick {
+		size = 8000
+	}
+	g := gen.PreferentialAttachment(size, 10, c.Seed)
+	c.printf("--- medium power-law graph (n=%d m=%d) ---\n", g.NumNodes(), g.NumEdges())
+	c.printf("%-12s %12s\n", "mode", "avg-time(ms)")
+	queries := queryNodes(g, 3, c.Seed+31)
+	for _, mode := range modes {
+		opt := core.Options{EpsA: 0.1, Mode: mode, Workers: c.Workers, Seed: c.Seed}
+		var total time.Duration
+		for _, u := range queries {
+			start := time.Now()
+			if _, err := core.SingleSource(g, u, opt); err != nil {
+				return err
+			}
+			total += time.Since(start)
+		}
+		c.printf("%-12s %12.3f\n", mode.String(), float64(total.Microseconds())/1000/float64(len(queries)))
+	}
+
+	// Pruning-parameter sensitivity: scale εt and εp jointly.
+	c.printf("--- pruning sensitivity on %s (walk cap and probe pruning scale with eps_a split) ---\n", spec.Name)
+	c.printf("%-22s %12s %12s\n", "configuration", "avg-time(ms)", "AbsError")
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"no pruning (basic)", core.Options{EpsA: 0.1, Mode: core.ModeBasic, Workers: c.Workers, Seed: c.Seed}},
+		{"pruned, default split", core.Options{EpsA: 0.1, Mode: core.ModePruned, Workers: c.Workers, Seed: c.Seed}},
+		{"pruned + compensation", core.Options{EpsA: 0.1, Mode: core.ModePruned, Workers: c.Workers, Seed: c.Seed, CompensateTruncation: true}},
+	} {
+		var total time.Duration
+		sumErr := 0.0
+		for _, u := range ctx.queries {
+			start := time.Now()
+			est, err := core.SingleSource(ctx.g, u, cfg.opt)
+			if err != nil {
+				return err
+			}
+			total += time.Since(start)
+			sumErr += metrics.MaxAbsError(est, ctx.truth.Row(u), u)
+		}
+		q := float64(len(ctx.queries))
+		c.printf("%-22s %12.3f %12.5f\n", cfg.name, float64(total.Microseconds())/1000/q, sumErr/q)
+	}
+	return nil
+}

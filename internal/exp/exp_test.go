@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probesim/internal/dataset"
+)
+
+func quickConfig(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Quick: true, Seed: 1}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "0.1310", "0.0096"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	if err := Fig4(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ProbeSim", "TSF", "TopSim-SM", "Trun-TopSim-SM", "Prio-TopSim-SM", "wiki-vote-s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig567Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	if err := Fig567(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Precision@k", "NDCG@k", "tau", "hepph-s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig5-7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	if err := Ablation(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"basic", "pruned", "batch", "randomized", "hybrid", "auto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDynamicQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	if err := Dynamic(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ProbeSim (adjacency only)", "TSF (adjacency + index)", "worst AbsError"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dynamic output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", quickConfig(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunNamed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table2", quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("named run produced no output")
+	}
+}
+
+func TestQueryNodesNonZeroInDegree(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	ctx, err := cfg.withDefaults().buildSmall(mustSpec(t, "wiki-vote-s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.queries) == 0 {
+		t.Fatal("no query nodes")
+	}
+	for _, u := range ctx.queries {
+		if ctx.g.InDegree(u) == 0 {
+			t.Fatalf("query node %d has zero in-degree", u)
+		}
+	}
+}
+
+func mustSpec(t *testing.T, name string) dataset.Spec {
+	t.Helper()
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSlingContrastQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	cfg.QueriesSmall = 2
+	if err := SlingContrast(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ProbeSim", "SLING", "TSF", "full rebuild", "O(Rg) index patch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	cfg.QueriesSmall = 2
+	if err := Sensitivity(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"varying c", "varying delta", "0.8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sensitivity output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the extension runners E-A6..E-A12: each must finish in
+// quick mode and print the markers the experiment's conclusions rest on.
+
+func runQuick(t *testing.T, f func(Config) error) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	if err := f(quickConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func requireAll(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIndexContrastQuick(t *testing.T) {
+	out := runQuick(t, IndexContrast)
+	requireAll(t, out,
+		"E-A6", "ProbeSim", "Fingerprint", "rebuild required",
+		"fresh answer, no maintenance")
+	if strings.Contains(out, "BUG:") {
+		t.Fatalf("runner reported a bug:\n%s", out)
+	}
+}
+
+func TestLinearBiasQuick(t *testing.T) {
+	out := runQuick(t, LinearBias)
+	requireAll(t, out, "E-A7", "naive-D", "exact-D", "MC-D", "ProbeSim")
+}
+
+func TestScaleOutQuick(t *testing.T) {
+	out := runQuick(t, ScaleOut)
+	requireAll(t, out, "E-A8", "machines", "migrations", "broadcast",
+		"messages: 0")
+}
+
+func TestJoinQuick(t *testing.T) {
+	out := runQuick(t, Join)
+	requireAll(t, out, "E-A9", "threshold", "top-10 pairs", "exact=")
+}
+
+func TestGuaranteeCoverageQuick(t *testing.T) {
+	out := runQuick(t, GuaranteeCoverage)
+	requireAll(t, out, "E-A10", "coverage", "exceed=0", "chi2")
+}
+
+func TestChurnQuick(t *testing.T) {
+	out := runQuick(t, Churn)
+	requireAll(t, out, "E-A11", "uniform", "preferential", "window",
+		"guarantee holds")
+	if strings.Contains(out, "BUG:") {
+		t.Fatalf("runner reported a bug:\n%s", out)
+	}
+}
+
+func TestProgressiveQuick(t *testing.T) {
+	out := runQuick(t, Progressive)
+	requireAll(t, out, "E-A12", "static(ms)", "prog(ms)", "walks%")
+}
+
+func TestRunDispatchesExtensions(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range Runners() {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"indexes", "linear", "scaleout", "join", "coverage", "churn", "progressive"} {
+		if !names[want] {
+			t.Errorf("runner %q not registered", want)
+		}
+	}
+	if err := Run("definitely-not-an-experiment", quickConfig(&bytes.Buffer{})); err == nil {
+		t.Error("unknown experiment name accepted")
+	}
+}

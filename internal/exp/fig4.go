@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"probesim/internal/dataset"
+	"probesim/internal/metrics"
+	"probesim/internal/topsim"
+)
+
+// Fig4 reproduces Figure 4 [E-F4]: average maximum absolute error of
+// single-source queries versus average query time on the four small
+// graphs. ProbeSim sweeps εa; the competitors run at their paper-fixed
+// parameters, so each contributes one point on the time/error plane.
+func Fig4(c Config) error {
+	c = c.withDefaults()
+	header(c, "Figure 4: single-source AbsError vs query time (small graphs)")
+	for _, spec := range dataset.Small() {
+		ctx, err := c.buildSmall(spec)
+		if err != nil {
+			return err
+		}
+		datasetHeader(c, spec, ctx.g)
+		c.printf("%-18s %-24s %12s %12s\n", "method", "params", "avg-time(ms)", "AbsError")
+
+		var algos []algo
+		for _, eps := range c.EpsSweep {
+			algos = append(algos, probeSimAlgo(ctx.g, c, eps))
+		}
+		tsfA, _, _ := tsfAlgo(ctx.g, c)
+		algos = append(algos, tsfA)
+		algos = append(algos,
+			topsimAlgo(ctx.g, c, topsim.TopSimSM),
+			topsimAlgo(ctx.g, c, topsim.TrunTopSimSM),
+			topsimAlgo(ctx.g, c, topsim.PrioTopSimSM),
+		)
+		if c.IncludeMC {
+			algos = append(algos, mcAlgo(ctx.g, c, c.EpsSweep[len(c.EpsSweep)-1]))
+		}
+		for _, a := range algos {
+			avgTime, results, err := timedSS(a, ctx.queries)
+			if err != nil {
+				return err
+			}
+			// Average over queries of the per-query max absolute error,
+			// exactly the paper's AbsError metric.
+			sumErr := 0.0
+			for i, u := range ctx.queries {
+				sumErr += metrics.MaxAbsError(results[i], ctx.truth.Row(u), u)
+			}
+			c.printf("%-18s %-24s %12.3f %12.5f\n",
+				a.name, a.param, float64(avgTime.Microseconds())/1000, sumErr/float64(len(ctx.queries)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"probesim/internal/dataset"
+	"probesim/internal/metrics"
+	"probesim/internal/topsim"
+)
+
+// Fig567 reproduces Figures 5, 6 and 7 [E-F5, E-F6, E-F7]: Precision@k,
+// NDCG@k and the Kendall-τ difference of top-k answers versus average
+// query time on the four small graphs (k = 50, ground truth from the
+// Power Method). The paper draws three figures from the same runs; we
+// print the three metric columns side by side.
+func Fig567(c Config) error {
+	c = c.withDefaults()
+	header(c, "Figures 5-7: top-k Precision@k / NDCG@k / Kendall-tau vs query time (small graphs)")
+	for _, spec := range dataset.Small() {
+		ctx, err := c.buildSmall(spec)
+		if err != nil {
+			return err
+		}
+		datasetHeader(c, spec, ctx.g)
+		c.printf("%-18s %-24s %12s %11s %9s %9s\n",
+			"method", "params", "avg-time(ms)", "Precision@k", "NDCG@k", "tau")
+
+		// Ground-truth top-k per query node, from the exact matrix.
+		truthTopK := make([][]int32, len(ctx.queries))
+		for i, u := range ctx.queries {
+			truthTopK[i] = metrics.ExactTopK(ctx.truth.Row(u), u, c.K)
+		}
+
+		var algos []algo
+		for _, eps := range c.EpsSweep {
+			algos = append(algos, probeSimAlgo(ctx.g, c, eps))
+		}
+		tsfA, _, _ := tsfAlgo(ctx.g, c)
+		algos = append(algos, tsfA,
+			topsimAlgo(ctx.g, c, topsim.TopSimSM),
+			topsimAlgo(ctx.g, c, topsim.TrunTopSimSM),
+			topsimAlgo(ctx.g, c, topsim.PrioTopSimSM),
+		)
+		if c.IncludeMC {
+			algos = append(algos, mcAlgo(ctx.g, c, c.EpsSweep[len(c.EpsSweep)-1]))
+		}
+		for _, a := range algos {
+			avgTime, results, err := timedTopK(a, ctx.queries, c.K)
+			if err != nil {
+				return err
+			}
+			var sumP, sumN, sumT float64
+			for i, u := range ctx.queries {
+				got := nodesOf(results[i])
+				score := metrics.ScoreFromSlice(ctx.truth.Row(u))
+				sumP += metrics.PrecisionAtK(got, truthTopK[i])
+				sumN += metrics.NDCGAtK(got, truthTopK[i], score)
+				sumT += metrics.KendallTau(got, score)
+			}
+			q := float64(len(ctx.queries))
+			c.printf("%-18s %-24s %12.3f %11.4f %9.4f %9.4f\n",
+				a.name, a.param, float64(avgTime.Microseconds())/1000, sumP/q, sumN/q, sumT/q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"errors"
+
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/graph"
+	"probesim/internal/mc"
+	"probesim/internal/metrics"
+	"probesim/internal/pooling"
+	"probesim/internal/topsim"
+)
+
+// Fig8910 reproduces Figures 8, 9 and 10 [E-F8, E-F9, E-F10]: Precision@k,
+// NDCG@k and the Kendall-τ difference of pooled top-k answers on the four
+// large graphs, for k in {10, 20, 30, 40, 50}. The ground truth comes from
+// pooling (§6.2): the per-algorithm top-k lists are merged, every pooled
+// node is scored by the single-pair Monte Carlo expert, and the pool's
+// top-k is the reference answer. As in the paper, TopSim-SM and
+// Trun-TopSim-SM are excluded on twitter-s and friendster-s.
+func Fig8910(c Config) error {
+	c = c.withDefaults()
+	header(c, "Figures 8-10: pooled Precision@k / NDCG@k / Kendall-tau (large graphs)")
+	dense := map[string]bool{"twitter-s": true, "friendster-s": true}
+	ks := []int{10, 20, 30, 40, 50}
+	if c.Quick {
+		ks = []int{10, 50}
+	}
+	for _, spec := range dataset.Large() {
+		g := spec.Build(c.Seed)
+		if c.Quick {
+			g = subsample(g, 20000, c.Seed)
+		}
+		datasetHeader(c, spec, g)
+		queries := queryNodes(g, c.QueriesLarge, c.Seed+29)
+
+		var algos []algo
+		algos = append(algos, probeSimAlgo(g, c, c.EpsLarge))
+		tsfA, _, _ := tsfAlgo(g, c)
+		algos = append(algos, tsfA)
+		if !dense[spec.Name] {
+			algos = append(algos,
+				topsimBudgetAlgo(g, c, topsim.TopSimSM, topSimLargeBudget),
+				topsimBudgetAlgo(g, c, topsim.TrunTopSimSM, topSimLargeBudget),
+			)
+		}
+		algos = append(algos, topsimBudgetAlgo(g, c, topsim.PrioTopSimSM, topSimLargeBudget))
+
+		// One top-K(max) answer per algorithm per query; budget-exceeded
+		// algorithms drop out for that query (recorded as a miss).
+		kMax := ks[len(ks)-1]
+		type answer struct {
+			ok   bool
+			list []core.ScoredNode
+		}
+		answers := make([][]answer, len(algos)) // [algo][query]
+		for ai := range algos {
+			answers[ai] = make([]answer, len(queries))
+			for qi, u := range queries {
+				res, err := algos[ai].topk(u, kMax)
+				if errors.Is(err, topsim.ErrBudgetExceeded) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				answers[ai][qi] = answer{ok: true, list: res}
+			}
+		}
+
+		// Pool per query, score with the MC expert, evaluate at every k.
+		type cell struct{ p, n, t float64 }
+		table := make(map[int][]cell) // k -> per-algo averages
+		for _, k := range ks {
+			table[k] = make([]cell, len(algos))
+		}
+		counted := make([]int, len(algos))
+		for qi, u := range queries {
+			var lists [][]graph.NodeID
+			for ai := range algos {
+				if answers[ai][qi].ok {
+					lists = append(lists, nodesOf(answers[ai][qi].list))
+				}
+			}
+			pool := pooling.Pool(lists...)
+			scores, err := mc.MultiPair(g, u, pool, mc.Options{
+				Eps: c.ExpertEps, Delta: 0.001, Seed: c.Seed + uint64(qi), Workers: c.Workers,
+			})
+			if err != nil {
+				return err
+			}
+			score := metrics.ScoreFromMap(scores)
+			expert := func(v graph.NodeID) (float64, error) { return scores[v], nil }
+			for _, k := range ks {
+				truth, _, err := pooling.GroundTruth(pool, expert, k)
+				if err != nil {
+					return err
+				}
+				for ai := range algos {
+					if !answers[ai][qi].ok {
+						continue
+					}
+					got := nodesOf(answers[ai][qi].list)
+					if len(got) > k {
+						got = got[:k]
+					}
+					table[k][ai].p += metrics.PrecisionAtK(got, truth)
+					table[k][ai].n += metrics.NDCGAtK(got, truth, score)
+					table[k][ai].t += metrics.KendallTau(got, score)
+				}
+			}
+		}
+		for ai := range algos {
+			for qi := range queries {
+				if answers[ai][qi].ok {
+					counted[ai]++
+				}
+			}
+		}
+
+		c.printf("%-18s %4s %11s %9s %9s\n", "method", "k", "Precision@k", "NDCG@k", "tau")
+		for ai, a := range algos {
+			if counted[ai] == 0 {
+				c.printf("%-18s %4s %11s %9s %9s\n", a.name, "-", "N/A", "N/A", "N/A")
+				continue
+			}
+			q := float64(counted[ai])
+			for _, k := range ks {
+				cl := table[k][ai]
+				c.printf("%-18s %4d %11.4f %9.4f %9.4f\n", a.name, k, cl.p/q, cl.n/q, cl.t/q)
+			}
+		}
+	}
+	return nil
+}

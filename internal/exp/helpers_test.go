@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"testing"
+
+	"probesim/internal/dataset"
+)
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2 << 10:         "2.00 KB",
+		3 << 20:         "3.00 MB",
+		5 << 30:         "5.00 GB",
+		1536:            "1.50 KB",
+		(3 << 30) / 2:   "1.50 GB",
+		(5 << 20) * 100: "500.00 MB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQueryNodesSkipsZeroInDegree(t *testing.T) {
+	spec, err := dataset.ByName("wiki-vote-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Build(1)
+	qs := queryNodes(g, 10, 17)
+	if len(qs) != 10 {
+		t.Fatalf("got %d query nodes, want 10", len(qs))
+	}
+	seen := map[int32]bool{}
+	for _, u := range qs {
+		if g.InDegree(u) == 0 {
+			t.Fatalf("query node %d has zero in-degree", u)
+		}
+		if seen[u] {
+			t.Fatalf("query node %d repeated", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestPickOther(t *testing.T) {
+	if pickOther(5, 0) != 1 || pickOther(5, 3) != 0 {
+		t.Fatal("pickOther must return a different node")
+	}
+}
+
+func TestConfigQuickShrinks(t *testing.T) {
+	c := Config{Quick: true, QueriesSmall: 50, QueriesLarge: 10}.withDefaults()
+	if c.QueriesSmall > 4 || c.QueriesLarge > 2 {
+		t.Fatalf("quick mode did not shrink query counts: %d, %d", c.QueriesSmall, c.QueriesLarge)
+	}
+	if len(c.EpsSweep) > 2 {
+		t.Fatalf("quick mode did not shrink the eps sweep: %v", c.EpsSweep)
+	}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/fingerprint"
+	"probesim/internal/graph"
+	"probesim/internal/metrics"
+)
+
+// IndexContrast runs the precomputed-walk-index study [E-A6]: the
+// Fogaras–Rácz fingerprint index answers queries from stored walks with the
+// same Monte Carlo guarantee ProbeSim has, but pays for it in index bytes
+// and rebuild-on-update — exactly the trade-off §5 cites when dismissing
+// the approach for sizable graphs. The runner reports build time, index
+// size relative to the graph, query time, accuracy, and what happens after
+// one edge update.
+func IndexContrast(c Config) error {
+	c = c.withDefaults()
+	header(c, "Precomputed-walk index: ProbeSim vs Fingerprint [E-A6]")
+	spec, err := dataset.ByName("hepth-s")
+	if err != nil {
+		return err
+	}
+	ctx, err := c.buildSmall(spec)
+	if err != nil {
+		return err
+	}
+	datasetHeader(c, spec, ctx.g)
+	graphBytes := ctx.g.MemoryBytes()
+	c.printf("graph size: %s\n", fmtBytes(graphBytes))
+
+	eps := 0.05
+	q := float64(len(ctx.queries))
+	c.printf("%-12s %10s %14s %12s %10s %18s\n",
+		"method", "prep(s)", "index", "query(ms)", "AbsError", "after update")
+
+	// ProbeSim: index-free.
+	psOpt := core.Options{EpsA: eps, Workers: c.Workers, Seed: c.Seed}
+	var psTime time.Duration
+	var psErr float64
+	for _, u := range ctx.queries {
+		start := time.Now()
+		est, err := core.SingleSource(ctx.g, u, psOpt)
+		if err != nil {
+			return err
+		}
+		psTime += time.Since(start)
+		psErr += metrics.MaxAbsError(est, ctx.truth.Row(u), u)
+	}
+	c.printf("%-12s %10s %14s %12.3f %10.5f %18s\n",
+		"ProbeSim", "0", "none",
+		float64(psTime.Microseconds())/1000/q, psErr/q, "still valid")
+
+	// Fingerprint: precompute walks with the same (ε, δ) target.
+	start := time.Now()
+	idx, err := fingerprint.Build(ctx.g, fingerprint.BuildOptions{
+		Eps: eps, Delta: 0.01, Seed: c.Seed, Workers: c.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	var fpTime time.Duration
+	var fpErr float64
+	for _, u := range ctx.queries {
+		start := time.Now()
+		est, err := idx.SingleSource(u)
+		if err != nil {
+			return err
+		}
+		fpTime += time.Since(start)
+		fpErr += metrics.MaxAbsError(est, ctx.truth.Row(u), u)
+	}
+	c.printf("%-12s %10.2f %14s %12.3f %10.5f %18s\n",
+		"Fingerprint", buildTime.Seconds(),
+		fmtBytes(idx.MemoryBytes()),
+		float64(fpTime.Microseconds())/1000/q, fpErr/q, "ErrStale: rebuild")
+	c.printf("fingerprint stores %d walks/node; index is %.0fx the graph\n",
+		idx.NumWalks(), float64(idx.MemoryBytes())/float64(graphBytes))
+
+	// Demonstrate the staleness contract that motivates being index-free.
+	gg := ctx.g
+	u0 := ctx.queries[0]
+	if err := gg.AddEdge(u0, pickOther(gg.NumNodes(), u0)); err != nil {
+		return err
+	}
+	if _, err := idx.SingleSource(u0); err == nil {
+		c.printf("BUG: fingerprint answered on a mutated graph\n")
+	} else {
+		c.printf("after 1 edge insert: fingerprint -> %v\n", err)
+	}
+	if _, err := core.SingleSource(gg, u0, psOpt); err != nil {
+		return err
+	}
+	c.printf("after 1 edge insert: ProbeSim -> fresh answer, no maintenance\n")
+	return nil
+}
+
+// pickOther returns a node different from u on a graph with n >= 2 nodes.
+func pickOther(n int, u graph.NodeID) graph.NodeID {
+	if u == 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"math"
+
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/graph"
+	"probesim/internal/linear"
+	"probesim/internal/metrics"
+)
+
+// LinearBias makes §5's formulation critique executable [E-A7]: the
+// "alternative formulation" S = cPᵀSP + (1−c)I (Equation 11 with the naive
+// diagonal) systematically deviates from true SimRank, while the corrected
+// diagonal reproduces it and ProbeSim tracks it within εa. The runner
+// reports, per small dataset, the max absolute deviation of each method
+// from the Power-Method ground truth over the query set.
+func LinearBias(c Config) error {
+	c = c.withDefaults()
+	header(c, "Linearized-SimRank formulation bias [E-A7]")
+	c.printf("%-14s %14s %14s %14s %14s\n",
+		"dataset", "naive-D", "exact-D", "MC-D", "ProbeSim(0.05)")
+	lopt := linear.Options{C: 0.6, T: 40}
+	for _, spec := range dataset.Small() {
+		ctx, err := c.buildSmall(spec)
+		if err != nil {
+			return err
+		}
+		naive := linear.NaiveDiagonal(ctx.g, 0.6)
+		exact, err := linear.DiagonalExact(ctx.g, lopt)
+		if err != nil {
+			return err
+		}
+		mcd, err := linear.DiagonalMC(ctx.g, lopt, linear.MCOptions{Pairs: 400, Seed: c.Seed})
+		if err != nil {
+			return err
+		}
+		psOpt := core.Options{EpsA: 0.05, Workers: c.Workers, Seed: c.Seed}
+		var errNaive, errExact, errMC, errPS float64
+		for _, u := range ctx.queries {
+			truth := ctx.truth.Row(u)
+			for name, d := range map[string][]float64{"naive": naive, "exact": exact, "mc": mcd} {
+				est, err := linear.SingleSource(ctx.g, u, d, lopt)
+				if err != nil {
+					return err
+				}
+				e := maxRowErr(est, truth, u)
+				switch name {
+				case "naive":
+					errNaive = math.Max(errNaive, e)
+				case "exact":
+					errExact = math.Max(errExact, e)
+				case "mc":
+					errMC = math.Max(errMC, e)
+				}
+			}
+			est, err := core.SingleSource(ctx.g, u, psOpt)
+			if err != nil {
+				return err
+			}
+			errPS = math.Max(errPS, metrics.MaxAbsError(est, truth, u))
+		}
+		c.printf("%-14s %14.5f %14.5f %14.5f %14.5f\n",
+			spec.Name, errNaive, errExact, errMC, errPS)
+	}
+	c.printf("naive-D is the Eq.-11 family the paper criticizes; exact-D shows the\n")
+	c.printf("corrected linearization agrees with SimRank (residual = series truncation).\n")
+	return nil
+}
+
+// maxRowErr is MaxAbsError without depending on metrics' signature for the
+// diagonal convention: the linearized estimators do not force est[u] = 1.
+func maxRowErr(est, truth []float64, u graph.NodeID) float64 {
+	var m float64
+	for v := range est {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		if d := math.Abs(est[v] - truth[v]); d > m {
+			m = d
+		}
+	}
+	return m
+}

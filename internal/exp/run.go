@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner struct {
+	// Name is the CLI identifier (e.g. "fig4").
+	Name string
+	// Paper names the table/figure reproduced.
+	Paper string
+	// Run executes the experiment.
+	Run func(Config) error
+}
+
+// Runners lists every experiment in paper order. "fig5", "fig6" and "fig7"
+// share one runner (the paper draws three figures from the same runs), as
+// do "fig8"-"fig10".
+func Runners() []Runner {
+	return []Runner{
+		{Name: "table2", Paper: "Table 2", Run: Table2},
+		{Name: "table3", Paper: "Table 3", Run: Table3},
+		{Name: "fig4", Paper: "Figure 4", Run: Fig4},
+		{Name: "fig5", Paper: "Figures 5-7", Run: Fig567},
+		{Name: "fig6", Paper: "Figures 5-7", Run: Fig567},
+		{Name: "fig7", Paper: "Figures 5-7", Run: Fig567},
+		{Name: "table4", Paper: "Table 4", Run: Table4},
+		{Name: "fig8", Paper: "Figures 8-10", Run: Fig8910},
+		{Name: "fig9", Paper: "Figures 8-10", Run: Fig8910},
+		{Name: "fig10", Paper: "Figures 8-10", Run: Fig8910},
+		{Name: "ablation", Paper: "E-A1 (DESIGN.md)", Run: Ablation},
+		{Name: "dynamic", Paper: "E-A3 (DESIGN.md)", Run: Dynamic},
+		{Name: "sling", Paper: "E-A4 (DESIGN.md)", Run: SlingContrast},
+		{Name: "sensitivity", Paper: "E-A5 (DESIGN.md)", Run: Sensitivity},
+		{Name: "indexes", Paper: "E-A6 (DESIGN.md)", Run: IndexContrast},
+		{Name: "linear", Paper: "E-A7 (DESIGN.md)", Run: LinearBias},
+		{Name: "scaleout", Paper: "E-A8 (DESIGN.md)", Run: ScaleOut},
+		{Name: "join", Paper: "E-A9 (DESIGN.md)", Run: Join},
+		{Name: "coverage", Paper: "E-A10 (DESIGN.md)", Run: GuaranteeCoverage},
+		{Name: "churn", Paper: "E-A11 (DESIGN.md)", Run: Churn},
+		{Name: "progressive", Paper: "E-A12 (DESIGN.md)", Run: Progressive},
+	}
+}
+
+// Run executes the named experiment, or every distinct experiment for
+// name == "all".
+func Run(name string, c Config) error {
+	if name == "all" {
+		seen := map[string]bool{}
+		for _, r := range Runners() {
+			if seen[r.Paper] {
+				continue
+			}
+			seen[r.Paper] = true
+			if err := r.Run(c); err != nil {
+				return fmt.Errorf("%s: %w", r.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, r := range Runners() {
+		if r.Name == name {
+			return r.Run(c)
+		}
+	}
+	var names []string
+	for _, r := range Runners() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("exp: unknown experiment %q (have all, %v)", name, names)
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"time"
+
+	"probesim/internal/cluster"
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+)
+
+// ScaleOut quantifies what the distributed Monte Carlo alternative pays in
+// communication [E-A8]: the simulated cluster runs the same single-source
+// MC estimate across 1..16 machines and reports the message volume, while
+// ProbeSim answers the same query locally with no communication at all.
+// This is the laptop-scale stand-in for the paper's §5 citation of the
+// 10-machine / 3.77 TB deployment of parallel SimRank.
+func ScaleOut(c Config) error {
+	c = c.withDefaults()
+	header(c, "Distributed MC communication cost [E-A8]")
+	spec, err := dataset.ByName("wiki-vote-s")
+	if err != nil {
+		return err
+	}
+	ctx, err := c.buildSmall(spec)
+	if err != nil {
+		return err
+	}
+	datasetHeader(c, spec, ctx.g)
+	u := ctx.queries[0]
+	walks := 2000
+	if c.Quick {
+		walks = 400
+	}
+
+	start := time.Now()
+	if _, err := core.SingleSource(ctx.g, u, core.Options{
+		EpsA: 0.1, Workers: c.Workers, Seed: c.Seed,
+	}); err != nil {
+		return err
+	}
+	c.printf("ProbeSim local query: %v, messages: 0, broadcast: 0\n\n", time.Since(start).Round(time.Microsecond))
+
+	c.printf("%-9s %10s %12s %14s %14s %12s\n",
+		"machines", "steps", "migrations", "migrated", "broadcast", "time")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		start := time.Now()
+		_, cost, err := cluster.SingleSource(ctx.g, u, cluster.Config{
+			Partitions: p, NumWalks: walks, Seed: c.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		c.printf("%-9d %10d %12d %14s %14s %12v\n",
+			p, cost.Supersteps, cost.Migrations,
+			fmtBytes(cost.MigratedBytes), fmtBytes(cost.BroadcastBytes),
+			time.Since(start).Round(time.Millisecond))
+	}
+	c.printf("estimates are identical across machine counts (per-walk RNG streams);\n")
+	c.printf("only the communication bill grows — the cost ProbeSim's locality avoids.\n")
+	return nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/dataset"
+	"probesim/internal/metrics"
+	"probesim/internal/power"
+)
+
+// Sensitivity studies ProbeSim's behaviour across the decay factor c
+// (§1 notes SimRank deployments use c = 0.6 or 0.8) and the failure
+// probability δ [E-A5]. Larger c means longer √c-walks (E[ℓ] = 1/(1−√c))
+// and more trials (nr ∝ c), so query time grows while the guarantee
+// stays εa; smaller δ costs only a log factor.
+func Sensitivity(c Config) error {
+	c = c.withDefaults()
+	header(c, "Sensitivity: decay factor c and failure probability delta [E-A5]")
+	spec, err := dataset.ByName("as-s")
+	if err != nil {
+		return err
+	}
+	g := spec.Build(c.Seed)
+	if c.Quick {
+		g = subsample(g, 600, c.Seed)
+	}
+	queries := queryNodes(g, c.QueriesSmall, c.Seed+53)
+
+	c.printf("--- varying c at eps_a=0.1, delta=0.01 (%s) ---\n", spec.Name)
+	c.printf("%-6s %12s %12s %12s %14s\n", "c", "walks", "walk-cap", "avg-time(ms)", "AbsError")
+	for _, decay := range []float64{0.4, 0.6, 0.8} {
+		truth, err := power.SimRank(g, power.Options{C: decay, Tolerance: 1e-12, Workers: c.Workers})
+		if err != nil {
+			return err
+		}
+		opt := core.Options{C: decay, EpsA: 0.1, Delta: 0.01, Workers: c.Workers, Seed: c.Seed}
+		plan, err := core.PlanFor(opt, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		var total time.Duration
+		sumErr := 0.0
+		for _, u := range queries {
+			start := time.Now()
+			est, err := core.SingleSource(g, u, opt)
+			if err != nil {
+				return err
+			}
+			total += time.Since(start)
+			sumErr += metrics.MaxAbsError(est, truth.Row(u), u)
+		}
+		q := float64(len(queries))
+		c.printf("%-6g %12d %12d %12.3f %14.5f\n",
+			decay, plan.NumWalks, plan.MaxWalkNodes,
+			float64(total.Microseconds())/1000/q, sumErr/q)
+	}
+
+	c.printf("--- varying delta at c=0.6, eps_a=0.1 ---\n")
+	c.printf("%-8s %12s %12s\n", "delta", "walks", "avg-time(ms)")
+	for _, delta := range []float64{0.1, 0.01, 0.001} {
+		opt := core.Options{C: 0.6, EpsA: 0.1, Delta: delta, Workers: c.Workers, Seed: c.Seed}
+		plan, err := core.PlanFor(opt, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		var total time.Duration
+		for _, u := range queries {
+			start := time.Now()
+			if _, err := core.SingleSource(g, u, opt); err != nil {
+				return err
+			}
+			total += time.Since(start)
+		}
+		c.printf("%-8g %12d %12.3f\n", delta, plan.NumWalks,
+			float64(total.Microseconds())/1000/float64(len(queries)))
+	}
+	return nil
+}

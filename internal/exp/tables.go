@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"probesim/internal/dataset"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/topsim"
+)
+
+// Table2 reproduces Table 2 [E-T2]: the exact SimRank values of every node
+// with respect to node a on the toy graph of Figure 1 (c = 0.25), computed
+// by the Power Method to 1e-12, next to the paper's printed values.
+func Table2(c Config) error {
+	c = c.withDefaults()
+	header(c, "Table 2: SimRank similarities w.r.t. node a on the toy graph (c=0.25)")
+	g := graph.Toy()
+	row, err := power.SingleSource(g, graph.ToyA, power.Options{C: 0.25, Tolerance: 1e-12, Workers: c.Workers})
+	if err != nil {
+		return err
+	}
+	paper := []float64{1.0, 0.0096, 0.049, 0.131, 0.070, 0.041, 0.051, 0.051}
+	c.printf("%-6s %10s %10s\n", "node", "measured", "paper")
+	for v := range row {
+		c.printf("%-6s %10.4f %10.4f\n", graph.ToyNames[v], row[v], paper[v])
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3 [E-T3]: the dataset inventory. For each of the
+// paper's eight graphs it prints the synthetic stand-in's size, scale
+// factor and structural character.
+func Table3(c Config) error {
+	c = c.withDefaults()
+	header(c, "Table 3: datasets (synthetic stand-ins; see DESIGN.md §5)")
+	c.printf("%-15s %-12s %-10s %9s %10s %8s %9s %9s %8s %8s\n",
+		"stand-in", "paper", "type", "n", "m", "scale", "paper-n", "paper-m", "SCCs", "big-WCC")
+	for _, spec := range dataset.All() {
+		g := spec.Build(c.Seed)
+		typ := "directed"
+		if !spec.Directed {
+			typ = "undirected"
+		}
+		_, sccs := g.StronglyConnectedComponents()
+		wcc, wccCount := g.WeaklyConnectedComponents()
+		sizes := make([]int, wccCount)
+		for _, id := range wcc {
+			sizes[id]++
+		}
+		largest := 0
+		for _, s := range sizes {
+			if s > largest {
+				largest = s
+			}
+		}
+		c.printf("%-15s %-12s %-10s %9d %10d %7.0fx %9d %9d %8d %7.0f%%\n",
+			spec.Name, spec.PaperName, typ, g.NumNodes(), g.NumEdges(),
+			spec.ScaleFactor(g), spec.PaperNodes, spec.PaperEdges,
+			sccs, 100*float64(largest)/float64(g.NumNodes()))
+	}
+	return nil
+}
+
+// Table4 reproduces Table 4 [E-T4]: average top-k query time and space
+// overhead on the four large graphs. Space overhead is the TSF index size
+// for TSF and the peak per-query working set for the index-free methods;
+// the graph size column gives the baseline. As in the paper, TopSim-SM and
+// Trun-TopSim-SM are excluded on the two locally dense graphs (twitter-s,
+// friendster-s), where their exhaustive depth-3 enumeration is intractable.
+func Table4(c Config) error {
+	c = c.withDefaults()
+	header(c, "Table 4: query time and space overhead (large graphs)")
+	dense := map[string]bool{"twitter-s": true, "friendster-s": true}
+	for _, spec := range dataset.Large() {
+		g := spec.Build(c.Seed)
+		if c.Quick {
+			g = subsample(g, 20000, c.Seed)
+		}
+		datasetHeader(c, spec, g)
+		graphBytes := g.MemoryBytes()
+		c.printf("graph size: %s\n", fmtBytes(graphBytes))
+		c.printf("%-18s %-24s %14s %16s %12s\n",
+			"method", "params", "avg-time(ms)", "space-overhead", "vs graph")
+		queries := queryNodes(g, c.QueriesLarge, c.Seed+23)
+
+		run := func(a algo, overheadBytes int64) error {
+			avgTime, _, err := timedTopK(a, queries, c.K)
+			if errors.Is(err, topsim.ErrBudgetExceeded) {
+				// The harness analogue of the paper's ">24 hours" entries.
+				c.printf("%-18s %-24s %14s %16s %12s\n", a.name, a.param, "N/A (budget)", "N/A", "")
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			ratio := float64(overheadBytes) / float64(graphBytes)
+			c.printf("%-18s %-24s %14.1f %16s %11.2fx\n",
+				a.name, a.param, float64(avgTime.Microseconds())/1000, fmtBytes(overheadBytes), ratio)
+			return nil
+		}
+
+		// ProbeSim: index-free; overhead is the per-query scratch (dense
+		// accumulators + probe frontiers per worker).
+		ps := probeSimAlgo(g, c, c.EpsLarge)
+		psOverhead := int64(g.NumNodes()) * 8 * int64(2+2*c.Workers) // acc + scratch per worker
+		if err := run(ps, psOverhead); err != nil {
+			return err
+		}
+
+		if !dense[spec.Name] {
+			for _, variant := range []topsim.Variant{topsim.TopSimSM, topsim.TrunTopSimSM} {
+				a := topsimBudgetAlgo(g, c, variant, topSimLargeBudget)
+				if err := run(a, int64(g.NumNodes())*8); err != nil {
+					return err
+				}
+			}
+		} else {
+			c.printf("%-18s %-24s %14s %16s %12s\n", "TopSim-SM", "", "N/A", "N/A", "")
+			c.printf("%-18s %-24s %14s %16s %12s\n", "Trun-TopSim-SM", "", "N/A", "N/A", "")
+		}
+		prio := topsimBudgetAlgo(g, c, topsim.PrioTopSimSM, topSimLargeBudget)
+		if err := run(prio, int64(g.NumNodes())*8); err != nil {
+			return err
+		}
+
+		tsfA, idx, buildTime := tsfAlgo(g, c)
+		c.printf("%-18s %-24s preprocessing: %.1fs\n", "TSF", tsfA.param, buildTime.Seconds())
+		if err := run(tsfA, idx.MemoryBytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topSimLargeBudget caps each TopSim-family query on large graphs at this
+// many edge traversals (~ a few seconds of work) so one hub cannot stall
+// the whole harness; queries that exceed it are reported as the paper
+// reports its ">24 hours" runs.
+const topSimLargeBudget = 300_000_000
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

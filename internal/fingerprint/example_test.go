@@ -1,0 +1,37 @@
+package fingerprint_test
+
+import (
+	"fmt"
+	"math"
+
+	"probesim/internal/fingerprint"
+	"probesim/internal/graph"
+)
+
+// Build once, query many times — until the graph changes, at which point
+// the index refuses to serve and must be rebuilt. That staleness contract
+// is exactly the paper's argument for being index-free.
+func Example() {
+	g := graph.New(4)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	idx, err := fingerprint.Build(g, fingerprint.BuildOptions{NumWalks: 2000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	s, err := idx.SinglePair(1, 2) // share their only in-neighbor: s = c = 0.6
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimate within 0.05 of 0.6: %v\n", math.Abs(s-0.6) <= 0.05)
+
+	_ = g.AddEdge(3, 0)
+	_, err = idx.SinglePair(1, 2)
+	fmt.Printf("after update: %v\n", err)
+	// Output:
+	// estimate within 0.05 of 0.6: true
+	// after update: fingerprint: graph modified since build; rebuild required
+}

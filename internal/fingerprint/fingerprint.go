@@ -1,0 +1,347 @@
+// Package fingerprint implements the walk-fingerprint index of Fogaras &
+// Rácz ("Scaling link-based similarity search", WWW 2005), the index-based
+// Monte Carlo approach the paper discusses in §5: precompute r √c-walks per
+// node once, then answer any SimRank query by matching the stored walks.
+//
+// Queries are fast — a single-source query touches only walks that actually
+// meet the query node's walks — and the estimator is exactly the Monte
+// Carlo estimator of §2.2, so the Hoeffding/union-bound guarantee carries
+// over: with r >= ln(2n/δ)/(2ε²) walk pairs, every similarity returned by
+// SingleSource is within ε of the truth with probability 1 − δ.
+//
+// The catch is the paper's point in citing this method: the index stores
+// r·n walks (r·n/(1−√c) node ids in expectation) and must be rebuilt from
+// scratch after any graph update. MemoryBytes exposes the space blow-up and
+// queries return ErrStale once the graph changes, so the experiment harness
+// can measure the trade-off ProbeSim removes.
+//
+// One deliberate deviation from the original system: Fogaras & Rácz couple
+// the walks of a simulation through shared per-node random choices (the
+// construction TSF later generalizes to one-way graphs) to compress the
+// index. We store fully independent walks instead — the estimator stays
+// unbiased pair-by-pair either way, the guarantee is cleaner, and the space
+// cost we are here to measure only grows, which is the conservative
+// direction for the comparison.
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// C is the SimRank decay factor. Default 0.6.
+	C float64
+	// NumWalks is the number r of fingerprints stored per node. When 0 it
+	// is derived from Eps and Delta via the Hoeffding bound with a union
+	// bound over the n possible targets of a single-source query.
+	NumWalks int
+	// Eps is the absolute error target used to derive NumWalks. Default 0.1.
+	Eps float64
+	// Delta is the failure probability used to derive NumWalks. Default 0.01.
+	Delta float64
+	// MaxLen caps walk length in nodes. Default walk.HardCap.
+	MaxLen int
+	// Seed makes the index reproducible. Default 1.
+	Seed uint64
+	// Workers bounds build parallelism. Default runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+	if o.MaxLen <= 0 || o.MaxLen > walk.HardCap {
+		o.MaxLen = walk.HardCap
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o BuildOptions) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("fingerprint: decay factor c = %v outside (0, 1)", o.C)
+	}
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return fmt.Errorf("fingerprint: error target ε = %v outside (0, 1)", o.Eps)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("fingerprint: failure probability δ = %v outside (0, 1)", o.Delta)
+	}
+	return nil
+}
+
+// Walks returns the fingerprint count needed for single-source queries with
+// absolute error eps at confidence 1−delta on an n-node graph (Hoeffding
+// plus a union bound over targets).
+func Walks(eps, delta float64, n int) int {
+	if n < 2 {
+		n = 2
+	}
+	return int(math.Ceil(math.Log(2*float64(n)/delta) / (2 * eps * eps)))
+}
+
+// trial holds one simulation: a √c-walk per node, stored as a concatenated
+// node array with per-node offsets, plus an inverted index from
+// (step, node) positions to the sources whose walk passes through them.
+type trial struct {
+	nodes []graph.NodeID // walks back to back; walk of v includes v at position 0
+	off   []int32        // len n+1; walk of v is nodes[off[v]:off[v+1]]
+
+	// Inverted position index over steps >= 1 (two walks from distinct
+	// sources can only meet at step >= 1). keys is sorted; sources is
+	// parallel to keys. key = step·n + node.
+	keys    []int64
+	sources []graph.NodeID
+}
+
+// walkOf returns trial t's stored walk for source v.
+func (t *trial) walkOf(v graph.NodeID) []graph.NodeID {
+	return t.nodes[t.off[v]:t.off[v+1]]
+}
+
+// matches returns the sources whose walk visits node at the given step
+// (step >= 1), via binary search on the inverted index.
+func (t *trial) matches(n int, step int, node graph.NodeID) []graph.NodeID {
+	key := int64(step)*int64(n) + int64(node)
+	lo := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= key })
+	hi := lo
+	for hi < len(t.keys) && t.keys[hi] == key {
+		hi++
+	}
+	return t.sources[lo:hi]
+}
+
+// Index is a static fingerprint index over a snapshot of a graph. Queries
+// are safe for concurrent use; the index must be rebuilt (Build) after any
+// graph mutation.
+type Index struct {
+	g       *graph.Graph
+	version uint64
+	c       float64
+	r       int
+	maxLen  int
+	trials  []trial
+}
+
+// Build generates the fingerprint index: opt.NumWalks (or the derived r)
+// √c-walks from every node. Building is O(r·n/(1−√c)) expected time plus
+// the sort for the inverted index, parallelized across trials.
+func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	r := opt.NumWalks
+	if r <= 0 {
+		r = Walks(opt.Eps, opt.Delta, n)
+	}
+	idx := &Index{
+		g:       g,
+		version: g.Version(),
+		c:       opt.C,
+		r:       r,
+		maxLen:  opt.MaxLen,
+		trials:  make([]trial, r),
+	}
+	workers := opt.Workers
+	if workers > r {
+		workers = r
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Each trial draws from its own seed-derived stream so the index is
+	// identical for a fixed seed regardless of the worker count.
+	root := xrand.New(opt.Seed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := r*w/workers, r*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				gen := walk.NewGenerator(g, opt.C, root.Split(uint64(j)))
+				idx.trials[j] = buildTrial(g, gen, opt.MaxLen)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return idx, nil
+}
+
+// buildTrial generates one walk per node and the trial's inverted index.
+func buildTrial(g *graph.Graph, gen *walk.Generator, maxLen int) trial {
+	n := g.NumNodes()
+	t := trial{off: make([]int32, n+1)}
+	var buf []graph.NodeID
+	for v := 0; v < n; v++ {
+		buf = gen.Generate(graph.NodeID(v), maxLen, buf)
+		t.nodes = append(t.nodes, buf...)
+		t.off[v+1] = int32(len(t.nodes))
+	}
+	// Invert positions at steps >= 1.
+	total := len(t.nodes) - n // every walk contributes len-1 inverted entries
+	if total < 0 {
+		total = 0
+	}
+	t.keys = make([]int64, 0, total)
+	t.sources = make([]graph.NodeID, 0, total)
+	for v := 0; v < n; v++ {
+		w := t.nodes[t.off[v]:t.off[v+1]]
+		for i := 1; i < len(w); i++ {
+			t.keys = append(t.keys, int64(i)*int64(n)+int64(w[i]))
+			t.sources = append(t.sources, graph.NodeID(v))
+		}
+	}
+	sort.Sort(byKey{keys: t.keys, sources: t.sources})
+	return t
+}
+
+// byKey sorts the parallel (keys, sources) arrays by key, breaking ties by
+// source so the order is deterministic.
+type byKey struct {
+	keys    []int64
+	sources []graph.NodeID
+}
+
+func (s byKey) Len() int { return len(s.keys) }
+func (s byKey) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	return s.sources[i] < s.sources[j]
+}
+func (s byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.sources[i], s.sources[j] = s.sources[j], s.sources[i]
+}
+
+// ErrStale is returned by queries on an index whose graph has changed since
+// Build; fingerprints cannot be patched incrementally, only rebuilt. This
+// is the dynamic-graph weakness the paper's index-free design removes.
+var ErrStale = fmt.Errorf("fingerprint: graph modified since build; rebuild required")
+
+// Stale reports whether the underlying graph has mutated since Build.
+func (idx *Index) Stale() bool { return idx.g.Version() != idx.version }
+
+// NumWalks returns the number of fingerprints stored per node.
+func (idx *Index) NumWalks() int { return idx.r }
+
+// C returns the decay factor the index was built with.
+func (idx *Index) C() float64 { return idx.c }
+
+// MemoryBytes reports the resident size of the index: walk storage,
+// offsets, and the inverted position index. This is the space-overhead
+// number the experiment harness compares against the graph itself.
+func (idx *Index) MemoryBytes() int64 {
+	const sliceHeader = 24
+	var b int64
+	for i := range idx.trials {
+		t := &idx.trials[i]
+		b += sliceHeader * 4
+		b += int64(cap(t.nodes))*4 + int64(cap(t.off))*4
+		b += int64(cap(t.keys))*8 + int64(cap(t.sources))*4
+	}
+	return b
+}
+
+func (idx *Index) checkNode(v graph.NodeID) error {
+	if v < 0 || int(v) >= idx.g.NumNodes() {
+		return fmt.Errorf("fingerprint: node %d out of range [0, %d)", v, idx.g.NumNodes())
+	}
+	return nil
+}
+
+// SinglePair estimates s(u, v) as the fraction of trials whose stored walks
+// from u and v meet (visit the same node at the same step).
+func (idx *Index) SinglePair(u, v graph.NodeID) (float64, error) {
+	if idx.Stale() {
+		return 0, ErrStale
+	}
+	if err := idx.checkNode(u); err != nil {
+		return 0, err
+	}
+	if err := idx.checkNode(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 1, nil
+	}
+	meets := 0
+	for i := range idx.trials {
+		t := &idx.trials[i]
+		if walk.MeetStep(t.walkOf(u), t.walkOf(v)) > 0 {
+			meets++
+		}
+	}
+	return float64(meets) / float64(idx.r), nil
+}
+
+// SingleSource estimates s(u, v) for every node v: per trial, the inverted
+// index yields exactly the sources whose walk meets u's walk, so the cost is
+// proportional to the number of actual meetings rather than to n·r.
+func (idx *Index) SingleSource(u graph.NodeID) ([]float64, error) {
+	if idx.Stale() {
+		return nil, ErrStale
+	}
+	if err := idx.checkNode(u); err != nil {
+		return nil, err
+	}
+	n := idx.g.NumNodes()
+	counts := make([]int32, n)
+	seen := make([]int32, n) // epoch mark: trial index + 1
+	for j := range idx.trials {
+		t := &idx.trials[j]
+		epoch := int32(j + 1)
+		w := t.walkOf(u)
+		for i := 1; i < len(w); i++ {
+			for _, src := range t.matches(n, i, w[i]) {
+				if src == u || seen[src] == epoch {
+					continue
+				}
+				seen[src] = epoch
+				counts[src]++
+			}
+		}
+	}
+	out := make([]float64, n)
+	inv := 1 / float64(idx.r)
+	for v, c := range counts {
+		out[v] = float64(c) * inv
+	}
+	out[u] = 1
+	return out, nil
+}
+
+// TopK returns the k nodes most similar to u under the fingerprint
+// estimates, in descending score order.
+func (idx *Index) TopK(u graph.NodeID, k int) ([]core.ScoredNode, error) {
+	est, err := idx.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return core.SelectTopK(est, u, k), nil
+}

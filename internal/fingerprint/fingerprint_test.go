@@ -1,0 +1,352 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/walk"
+)
+
+func buildSmall(t *testing.T, opt BuildOptions) (*graph.Graph, *Index) {
+	t.Helper()
+	g := gen.ErdosRenyi(60, 300, 7)
+	idx, err := Build(g, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, idx
+}
+
+func TestBuildDerivesWalkCount(t *testing.T) {
+	g := gen.ErdosRenyi(40, 160, 3)
+	idx, err := Build(g, BuildOptions{Eps: 0.2, Delta: 0.05})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := Walks(0.2, 0.05, g.NumNodes())
+	if idx.NumWalks() != want {
+		t.Fatalf("NumWalks = %d, want derived %d", idx.NumWalks(), want)
+	}
+	if idx.C() != 0.6 {
+		t.Fatalf("C = %v, want default 0.6", idx.C())
+	}
+}
+
+func TestWalksBoundMonotone(t *testing.T) {
+	if Walks(0.1, 0.01, 100) >= Walks(0.05, 0.01, 100) {
+		t.Fatal("halving eps should increase the walk count")
+	}
+	if Walks(0.1, 0.01, 100) >= Walks(0.1, 0.001, 100) {
+		t.Fatal("tightening delta should increase the walk count")
+	}
+	if Walks(0.1, 0.01, 100) >= Walks(0.1, 0.01, 10000) {
+		t.Fatal("more nodes should increase the walk count (union bound)")
+	}
+}
+
+func TestBuildRejectsBadOptions(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	for _, opt := range []BuildOptions{
+		{C: 1.5},
+		{C: -0.1},
+		{Eps: 1.2},
+		{Delta: 2},
+	} {
+		if _, err := Build(g, opt); err == nil {
+			t.Errorf("Build(%+v) succeeded, want error", opt)
+		}
+	}
+}
+
+func TestSinglePairSelf(t *testing.T) {
+	_, idx := buildSmall(t, BuildOptions{NumWalks: 10, Seed: 1})
+	got, err := idx.SinglePair(3, 3)
+	if err != nil {
+		t.Fatalf("SinglePair: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("s(3,3) = %v, want 1", got)
+	}
+}
+
+func TestNodeRangeErrors(t *testing.T) {
+	_, idx := buildSmall(t, BuildOptions{NumWalks: 5, Seed: 1})
+	if _, err := idx.SinglePair(-1, 0); err == nil {
+		t.Error("SinglePair(-1, 0) succeeded, want error")
+	}
+	if _, err := idx.SinglePair(0, 1000); err == nil {
+		t.Error("SinglePair(0, 1000) succeeded, want error")
+	}
+	if _, err := idx.SingleSource(1000); err == nil {
+		t.Error("SingleSource(1000) succeeded, want error")
+	}
+}
+
+func TestStaleAfterMutation(t *testing.T) {
+	g, idx := buildSmall(t, BuildOptions{NumWalks: 5, Seed: 1})
+	if idx.Stale() {
+		t.Fatal("fresh index reported stale")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !idx.Stale() {
+		t.Fatal("index not stale after mutation")
+	}
+	if _, err := idx.SingleSource(0); err != ErrStale {
+		t.Fatalf("SingleSource after mutation: err = %v, want ErrStale", err)
+	}
+	if _, err := idx.SinglePair(0, 1); err != ErrStale {
+		t.Fatalf("SinglePair after mutation: err = %v, want ErrStale", err)
+	}
+	if _, err := idx.TopK(0, 3); err != ErrStale {
+		t.Fatalf("TopK after mutation: err = %v, want ErrStale", err)
+	}
+}
+
+// referenceSingleSource recomputes the single-source estimate by scanning
+// every stored walk directly, bypassing the inverted index.
+func referenceSingleSource(idx *Index, u graph.NodeID) []float64 {
+	n := idx.g.NumNodes()
+	out := make([]float64, n)
+	for j := range idx.trials {
+		t := &idx.trials[j]
+		wu := t.walkOf(u)
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == u {
+				continue
+			}
+			if walk.MeetStep(wu, t.walkOf(graph.NodeID(v))) > 0 {
+				out[v]++
+			}
+		}
+	}
+	inv := 1 / float64(idx.r)
+	for v := range out {
+		out[v] *= inv
+	}
+	out[u] = 1
+	return out
+}
+
+func TestInvertedIndexMatchesDirectScan(t *testing.T) {
+	g, idx := buildSmall(t, BuildOptions{NumWalks: 40, Seed: 5})
+	for _, u := range []graph.NodeID{0, 7, 31, graph.NodeID(g.NumNodes() - 1)} {
+		got, err := idx.SingleSource(u)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", u, err)
+		}
+		want := referenceSingleSource(idx, u)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-12 {
+				t.Fatalf("SingleSource(%d)[%d] = %v, want %v (direct walk scan)", u, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSinglePairConsistentWithSingleSource(t *testing.T) {
+	_, idx := buildSmall(t, BuildOptions{NumWalks: 30, Seed: 9})
+	est, err := idx.SingleSource(4)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v := 0; v < 20; v++ {
+		got, err := idx.SinglePair(4, graph.NodeID(v))
+		if err != nil {
+			t.Fatalf("SinglePair: %v", err)
+		}
+		if math.Abs(got-est[v]) > 1e-12 {
+			t.Fatalf("SinglePair(4,%d) = %v, SingleSource[%d] = %v; want equal", v, got, v, est[v])
+		}
+	}
+}
+
+func TestAccuracyAgainstPowerMethod(t *testing.T) {
+	g := gen.ErdosRenyi(80, 480, 11)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("power.SimRank: %v", err)
+	}
+	idx, err := Build(g, BuildOptions{Eps: 0.05, Delta: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, u := range []graph.NodeID{2, 17, 55} {
+		est, err := idx.SingleSource(u)
+		if err != nil {
+			t.Fatalf("SingleSource: %v", err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := math.Abs(est[v] - truth.At(u, graph.NodeID(v))); d > 0.05 {
+				t.Fatalf("|est−truth| = %v at (%d,%d), exceeds ε = 0.05", d, u, v)
+			}
+		}
+	}
+}
+
+func TestEstimatesAreProbabilities(t *testing.T) {
+	_, idx := buildSmall(t, BuildOptions{NumWalks: 25, Seed: 2})
+	est, err := idx.SingleSource(0)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v, s := range est {
+		if s < 0 || s > 1 {
+			t.Fatalf("est[%d] = %v outside [0, 1]", v, s)
+		}
+	}
+}
+
+func TestTopKMatchesSelectOnSingleSource(t *testing.T) {
+	_, idx := buildSmall(t, BuildOptions{NumWalks: 30, Seed: 4})
+	top, err := idx.TopK(1, 5)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("len(TopK) = %d, want 5", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatalf("TopK not in descending order at %d: %v > %v", i, top[i].Score, top[i-1].Score)
+		}
+	}
+	est, err := idx.SingleSource(1)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if top[0].Score != maxExcluding(est, 1) {
+		t.Fatalf("TopK[0].Score = %v, want max of single-source %v", top[0].Score, maxExcluding(est, 1))
+	}
+}
+
+func maxExcluding(est []float64, u graph.NodeID) float64 {
+	best := math.Inf(-1)
+	for v, s := range est {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestZeroInDegreeSource(t *testing.T) {
+	// A star pointing outward: the hub has zero in-degree, so every walk
+	// from it stops immediately and it is similar to nobody.
+	g := gen.Star(8)
+	idx, err := Build(g, BuildOptions{NumWalks: 20, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	est, err := idx.SingleSource(0)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for v := 1; v < g.NumNodes(); v++ {
+		// Leaves share the hub as their only in-neighbor, but the hub's
+		// walk never leaves the hub; leaf walks can never match it at
+		// step >= 1 because the hub's walk has length 1.
+		if est[v] != 0 {
+			t.Fatalf("est[%d] = %v, want 0 for zero-in-degree source", v, est[v])
+		}
+	}
+}
+
+func TestMemoryBytesGrowsWithWalks(t *testing.T) {
+	g := gen.ErdosRenyi(50, 250, 13)
+	small, err := Build(g, BuildOptions{NumWalks: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	big, err := Build(g, BuildOptions{NumWalks: 100, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if small.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes <= 0")
+	}
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatalf("MemoryBytes with 100 walks (%d) not larger than with 10 (%d)",
+			big.MemoryBytes(), small.MemoryBytes())
+	}
+}
+
+func TestBuildDeterministicForSeed(t *testing.T) {
+	g := gen.ErdosRenyi(40, 200, 21)
+	a, err := Build(g, BuildOptions{NumWalks: 15, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := Build(g, BuildOptions{NumWalks: 15, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Trials are assigned to workers deterministically by index, so the
+	// stored walks must be identical regardless of worker count.
+	estA, _ := a.SingleSource(3)
+	estB, _ := b.SingleSource(3)
+	for v := range estA {
+		if estA[v] != estB[v] {
+			t.Fatalf("seeded build differs across worker counts at node %d: %v vs %v", v, estA[v], estB[v])
+		}
+	}
+}
+
+func TestInvertedKeysSorted(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.ErdosRenyi(30, 120, seed%64+1)
+		idx, err := Build(g, BuildOptions{NumWalks: 8, Seed: seed%97 + 1})
+		if err != nil {
+			return false
+		}
+		for i := range idx.trials {
+			tr := &idx.trials[i]
+			if len(tr.keys) != len(tr.sources) {
+				return false
+			}
+			for j := 1; j < len(tr.keys); j++ {
+				if tr.keys[j] < tr.keys[j-1] {
+					return false
+				}
+			}
+			// Every inverted entry must point back to a real walk position.
+			n := g.NumNodes()
+			for j, key := range tr.keys {
+				step := int(key / int64(n))
+				node := graph.NodeID(key % int64(n))
+				w := tr.walkOf(tr.sources[j])
+				if step <= 0 || step >= len(w) || w[step] != node {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g, idx := buildSmall(t, BuildOptions{NumWalks: 20, Seed: 8})
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(u graph.NodeID) {
+			_, err := idx.SingleSource(u)
+			done <- err
+		}(graph.NodeID(w % g.NumNodes()))
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent SingleSource: %v", err)
+		}
+	}
+}

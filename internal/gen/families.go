@@ -1,0 +1,178 @@
+package gen
+
+// This file adds the structured generator families used by tests,
+// examples, and the sensitivity experiments: deterministic topologies with
+// analytically known SimRank structure (Complete, Grid) and two classical
+// random models (Watts–Strogatz small worlds, stochastic block models)
+// whose community/local-clustering structure exercises the "locally dense"
+// regime §6.2 discusses.
+
+import (
+	"fmt"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// Complete returns the complete directed graph on n nodes: every ordered
+// pair except self-loops. Useful as the extreme "locally dense" fixture —
+// every pair of walks re-meets constantly.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns a rows×cols lattice with bidirectional edges between
+// 4-neighbors. Node (r, c) has id r·cols + c.
+func Grid(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("gen: Grid(%d, %d): dimensions must be positive", rows, cols))
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdgeUndirected(id(r, c), id(r, c+1)); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdgeUndirected(id(r, c), id(r+1, c)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: an undirected ring lattice
+// where each node connects to its k nearest neighbors (k even), with each
+// lattice edge rewired to a uniform random target with probability beta.
+// Edges are stored bidirectionally. beta = 0 is the pure lattice, beta = 1
+// approaches a random graph.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if n < 3 || k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz(%d, %d): need n >= 3 and even k in [2, n)", n, k))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("gen: WattsStrogatz: beta = %v outside [0, 1]", beta))
+	}
+	rng := xrand.New(seed)
+	// Track undirected edges both as an ordered list (so the emitted
+	// adjacency order — and therefore every seeded walk downstream — is
+	// reproducible) and as a set for duplicate checks during rewiring.
+	type edge [2]graph.NodeID
+	norm := func(u, v graph.NodeID) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	seen := make(map[edge]struct{}, n*k/2)
+	var order []edge
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			e := norm(graph.NodeID(u), graph.NodeID((u+j)%n))
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				order = append(order, e)
+			}
+		}
+	}
+	for i, e := range order {
+		if !rng.Bernoulli(beta) {
+			continue
+		}
+		// Rewire the far endpoint to a uniform non-neighbor.
+		for tries := 0; tries < 32; tries++ {
+			w := graph.NodeID(rng.Intn(n))
+			if w == e[0] || w == e[1] {
+				continue
+			}
+			cand := norm(e[0], w)
+			if _, dup := seen[cand]; dup {
+				continue
+			}
+			delete(seen, e)
+			seen[cand] = struct{}{}
+			order[i] = cand
+			break
+		}
+	}
+	g := graph.New(n)
+	for _, e := range order {
+		if err := g.AddEdgeUndirected(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// StochasticBlockModel returns a directed graph with len(sizes) communities:
+// an ordered pair inside a community becomes an edge with probability pIn,
+// one across communities with probability pOut. Block ids are assigned
+// contiguously in input order. Community structure is the workload where
+// SimRank-style similarity is most discriminative, which is what the
+// recommendation example exercises.
+func StochasticBlockModel(sizes []int, pIn, pOut float64, seed uint64) *graph.Graph {
+	if len(sizes) == 0 {
+		panic("gen: StochasticBlockModel: no communities")
+	}
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		panic(fmt.Sprintf("gen: StochasticBlockModel: probabilities (%v, %v) outside [0, 1]", pIn, pOut))
+	}
+	n := 0
+	block := []int{}
+	for b, s := range sizes {
+		if s < 1 {
+			panic(fmt.Sprintf("gen: StochasticBlockModel: community %d has size %d", b, s))
+		}
+		for i := 0; i < s; i++ {
+			block = append(block, b)
+		}
+		n += s
+	}
+	g := graph.New(n)
+	rng := xrand.New(seed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			p := pOut
+			if block[u] == block[v] {
+				p = pIn
+			}
+			if rng.Bernoulli(p) {
+				if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// BlockOf returns the community assignment used by StochasticBlockModel for
+// the given sizes: out[v] is v's block index.
+func BlockOf(sizes []int) []int {
+	var out []int
+	for b, s := range sizes {
+		for i := 0; i < s; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package gen
+
+import (
+	"testing"
+
+	"probesim/internal/graph"
+)
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.NumEdges() != 20 {
+		t.Fatalf("K5 has %d directed edges, want 20", g.NumEdges())
+	}
+	for u := 0; u < 5; u++ {
+		if g.InDegree(graph.NodeID(u)) != 4 || g.OutDegree(graph.NodeID(u)) != 4 {
+			t.Fatalf("node %d degrees (%d, %d), want (4, 4)",
+				u, g.InDegree(graph.NodeID(u)), g.OutDegree(graph.NodeID(u)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("3x4 grid has %d nodes, want 12", g.NumNodes())
+	}
+	// Undirected lattice edges: 3*(4-1) horizontal + (3-1)*4 vertical = 17,
+	// stored as 34 directed edges.
+	if g.NumEdges() != 34 {
+		t.Fatalf("3x4 grid has %d directed edges, want 34", g.NumEdges())
+	}
+	// Corner (0,0) has 2 neighbors; interior (1,1) has 4.
+	if g.OutDegree(0) != 2 {
+		t.Fatalf("corner degree %d, want 2", g.OutDegree(0))
+	}
+	if g.OutDegree(graph.NodeID(1*4+1)) != 4 {
+		t.Fatalf("interior degree %d, want 4", g.OutDegree(5))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(0, 3) did not panic")
+		}
+	}()
+	Grid(0, 3)
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: the pure ring lattice, every node has degree exactly k.
+	g := WattsStrogatz(20, 4, 0, 1)
+	for v := 0; v < 20; v++ {
+		if d := g.OutDegree(graph.NodeID(v)); d != 4 {
+			t.Fatalf("lattice node %d has degree %d, want 4", v, d)
+		}
+	}
+	if g.NumEdges() != 20*4 {
+		t.Fatalf("lattice has %d directed edges, want 80", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzRewiringPreservesEdgeCount(t *testing.T) {
+	for _, beta := range []float64{0.1, 0.5, 1.0} {
+		g := WattsStrogatz(40, 6, beta, 7)
+		// Rewiring replaces edges one for one (up to rare rewire failures
+		// on dense neighborhoods, which keep the original edge).
+		if g.NumEdges() != 40*6 {
+			t.Fatalf("beta=%v: %d directed edges, want 240", beta, g.NumEdges())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		// Still undirected: every edge has its reverse.
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+				if !g.HasEdge(v, graph.NodeID(u)) {
+					t.Fatalf("beta=%v: edge %d->%d has no reverse", beta, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWattsStrogatzRewiresAtHighBeta(t *testing.T) {
+	// At beta = 1 nearly every lattice edge moves; the degree sequence
+	// must no longer be uniform.
+	g := WattsStrogatz(60, 4, 1, 11)
+	uniform := true
+	for v := 0; v < 60; v++ {
+		if g.OutDegree(graph.NodeID(v)) != 4 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		t.Fatal("beta = 1 left the lattice fully regular; rewiring is not happening")
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	cases := []func(){
+		func() { WattsStrogatz(10, 3, 0.1, 1) },  // odd k
+		func() { WattsStrogatz(10, 10, 0.1, 1) }, // k >= n
+		func() { WattsStrogatz(10, 4, 1.5, 1) },  // beta out of range
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStochasticBlockModelDensities(t *testing.T) {
+	sizes := []int{40, 40}
+	g := StochasticBlockModel(sizes, 0.2, 0.01, 13)
+	block := BlockOf(sizes)
+	var inEdges, outEdges, inPairs, outPairs int64
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			same := block[u] == block[v]
+			if same {
+				inPairs++
+			} else {
+				outPairs++
+			}
+			if g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				if same {
+					inEdges++
+				} else {
+					outEdges++
+				}
+			}
+		}
+	}
+	inDensity := float64(inEdges) / float64(inPairs)
+	outDensity := float64(outEdges) / float64(outPairs)
+	if inDensity < 0.15 || inDensity > 0.25 {
+		t.Fatalf("within-community density %v far from 0.2", inDensity)
+	}
+	if outDensity > 0.03 {
+		t.Fatalf("cross-community density %v far above 0.01", outDensity)
+	}
+}
+
+func TestStochasticBlockModelPanics(t *testing.T) {
+	cases := []func(){
+		func() { StochasticBlockModel(nil, 0.1, 0.1, 1) },
+		func() { StochasticBlockModel([]int{5, 0}, 0.1, 0.1, 1) },
+		func() { StochasticBlockModel([]int{5}, 1.5, 0.1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	got := BlockOf([]int{2, 3})
+	want := []int{0, 0, 1, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BlockOf[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFamiliesDeterministic(t *testing.T) {
+	a := WattsStrogatz(30, 4, 0.3, 99)
+	b := WattsStrogatz(30, 4, 0.3, 99)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("WattsStrogatz not deterministic for a seed")
+	}
+	for u := 0; u < 30; u++ {
+		for _, v := range a.OutNeighbors(graph.NodeID(u)) {
+			if !b.HasEdge(graph.NodeID(u), v) {
+				t.Fatalf("edge %d->%d present in one seeded run, absent in the other", u, v)
+			}
+		}
+	}
+}

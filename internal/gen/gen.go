@@ -1,0 +1,249 @@
+// Package gen provides seeded synthetic graph generators. The module is
+// offline, so the benchmark datasets of Table 3 (SNAP/LAW downloads) are
+// replaced by generators that match each graph's type and degree character;
+// see internal/dataset for the per-dataset mapping and DESIGN.md §5 for the
+// substitution rationale.
+package gen
+
+import (
+	"fmt"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// ErdosRenyi returns a directed G(n, m) graph: m distinct uniform edges,
+// no self-loops. It panics if m exceeds the number of possible edges.
+func ErdosRenyi(n int, m int64, seed uint64) *graph.Graph {
+	maxEdges := int64(n) * int64(n-1)
+	if m > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi(%d, %d): too many edges", n, m))
+	}
+	g := graph.New(n)
+	rng := xrand.New(seed)
+	seen := make(map[int64]struct{}, m)
+	for int64(g.NumEdges()) < m {
+		u := rng.Int31n(int32(n))
+		v := rng.Int31n(int32(n))
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment returns a directed scale-free graph: nodes arrive
+// one at a time and emit outDeg edges whose targets are sampled
+// proportionally to in-degree + 1 (so early nodes become hubs, giving the
+// power-law in-degree distribution of social graphs).
+func PreferentialAttachment(n, outDeg int, seed uint64) *graph.Graph {
+	if n < 2 || outDeg < 1 {
+		panic("gen: PreferentialAttachment needs n >= 2, outDeg >= 1")
+	}
+	g := graph.New(n)
+	rng := xrand.New(seed)
+	// targets holds one entry per (in-degree + 1) unit of attachment mass.
+	targets := make([]graph.NodeID, 0, n*(outDeg+1))
+	targets = append(targets, 0)
+	for u := 1; u < n; u++ {
+		deg := outDeg
+		if deg > u {
+			deg = u
+		}
+		for e := 0; e < deg; e++ {
+			v := targets[rng.Intn(len(targets))]
+			if v == graph.NodeID(u) || g.HasEdge(graph.NodeID(u), v) {
+				// Retry a few times, then fall back to uniform to keep the
+				// edge count exact.
+				ok := false
+				for retry := 0; retry < 8; retry++ {
+					v = targets[rng.Intn(len(targets))]
+					if v != graph.NodeID(u) && !g.HasEdge(graph.NodeID(u), v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					for {
+						v = rng.Int31n(int32(u))
+						if !g.HasEdge(graph.NodeID(u), v) {
+							break
+						}
+					}
+				}
+			}
+			if err := g.AddEdge(graph.NodeID(u), v); err != nil {
+				panic(err)
+			}
+			targets = append(targets, v)
+		}
+		targets = append(targets, graph.NodeID(u))
+	}
+	return g
+}
+
+// UndirectedPA is the undirected variant of PreferentialAttachment (both
+// directions inserted), matching collaboration networks like HepTh.
+func UndirectedPA(n, deg int, seed uint64) *graph.Graph {
+	base := PreferentialAttachment(n, deg, seed)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, v := range base.OutNeighbors(graph.NodeID(u)) {
+			// Insert each undirected edge once (base has one direction).
+			if err := g.AddEdgeUndirected(graph.NodeID(u), v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// RMAT returns a directed R-MAT (recursive matrix / Kronecker) graph with
+// 2^scale nodes and m edges, the standard synthetic stand-in for web and
+// social graphs. (a, b, c, d) are the quadrant probabilities (a+b+c+d = 1);
+// social graphs use skewed settings like (0.57, 0.19, 0.19, 0.05). Self
+// loops are skipped and parallel edges dropped, so the realized edge count
+// can fall slightly below m on dense settings; the generator retries until
+// the requested count is met or attempts are exhausted.
+func RMAT(scale int, m int64, a, b, c, d float64, seed uint64) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic("gen: RMAT scale out of range [1, 30]")
+	}
+	sum := a + b + c + d
+	if sum < 0.999 || sum > 1.001 {
+		panic("gen: RMAT quadrant probabilities must sum to 1")
+	}
+	n := 1 << scale
+	g := graph.New(n)
+	rng := xrand.New(seed)
+	seen := make(map[int64]struct{}, m)
+	attempts := int64(0)
+	maxAttempts := m * 20
+	for int64(g.NumEdges()) < m && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			// Mild noise keeps the degree distribution from being too
+			// regular across recursion levels.
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// CorePeriphery mimics Wiki-Vote's structure (§6.1: over 60 % of nodes have
+// zero in-degree while the rest form a dense subgraph): nCore nodes hold a
+// dense Erdős–Rényi subgraph with coreEdges edges, and nPeriphery nodes
+// each emit peripheryOut edges into the core but receive none.
+func CorePeriphery(nCore, nPeriphery int, coreEdges int64, peripheryOut int, seed uint64) *graph.Graph {
+	n := nCore + nPeriphery
+	g := graph.New(n)
+	rng := xrand.New(seed)
+	seen := make(map[int64]struct{}, coreEdges)
+	for int64(len(seen)) < coreEdges {
+		u := rng.Int31n(int32(nCore))
+		v := rng.Int31n(int32(nCore))
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(nCore) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	for p := 0; p < nPeriphery; p++ {
+		u := graph.NodeID(nCore + p)
+		for e := 0; e < peripheryOut; e++ {
+			v := rng.Int31n(int32(nCore))
+			if err := g.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// Reciprocate adds the reverse edge v -> u for each existing edge u -> v
+// independently with probability p (skipping reverses that already exist).
+// Preferential-attachment graphs are DAGs — reverse walks die at the
+// zero-in-degree tail, which makes truncated-depth algorithms look
+// unrealistically exact — while real social graphs have mutual links;
+// reciprocation restores the cyclic structure with the stated mutuality
+// rate.
+func Reciprocate(g *graph.Graph, p float64, seed uint64) {
+	rng := xrand.New(seed)
+	n := g.NumNodes()
+	type edge struct{ u, v graph.NodeID }
+	var toAdd []edge
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			if rng.Float64() < p && !g.HasEdge(v, graph.NodeID(u)) {
+				toAdd = append(toAdd, edge{v, graph.NodeID(u)})
+			}
+		}
+	}
+	for _, e := range toAdd {
+		if e.u != e.v && !g.HasEdge(e.u, e.v) {
+			if err := g.AddEdge(e.u, e.v); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Cycle returns a directed n-cycle (used heavily in tests: every node has
+// in-degree 1, so walks never die).
+func Cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Star returns a graph where a hub (node 0) points to n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(0, graph.NodeID(i)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,230 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"probesim/internal/graph"
+)
+
+func TestErdosRenyiBasics(t *testing.T) {
+	g := ErdosRenyi(100, 500, 1)
+	if g.NumNodes() != 100 || g.NumEdges() != 500 {
+		t.Fatalf("ER(100,500): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No parallel edges.
+	for u := 0; u < 100; u++ {
+		out := g.OutNeighbors(graph.NodeID(u))
+		seen := map[graph.NodeID]bool{}
+		for _, v := range out {
+			if seen[v] {
+				t.Fatalf("parallel edge %d -> %d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 200, 7)
+	b := ErdosRenyi(50, 200, 7)
+	for u := 0; u < 50; u++ {
+		oa, ob := a.OutNeighbors(graph.NodeID(u)), b.OutNeighbors(graph.NodeID(u))
+		if len(oa) != len(ob) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+	c := ErdosRenyi(50, 200, 8)
+	diff := false
+	for u := 0; u < 50 && !diff; u++ {
+		if len(a.OutNeighbors(graph.NodeID(u))) != len(c.OutNeighbors(graph.NodeID(u))) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("different seeds produced structurally similar graphs (acceptable but unusual)")
+	}
+}
+
+func TestErdosRenyiRejectsOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull ER accepted")
+		}
+	}()
+	ErdosRenyi(3, 100, 1)
+}
+
+func TestPreferentialAttachmentPowerLaw(t *testing.T) {
+	g := PreferentialAttachment(3000, 5, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Scale-free in-degree: the max in-degree must dwarf the average, and
+	// degrees must be heavy-tailed (top 1% of nodes holds > 10% of mass).
+	stats := g.ComputeStats()
+	if float64(stats.MaxInDegree) < 8*stats.AvgInDegree {
+		t.Fatalf("max in-degree %d vs avg %.2f: not heavy tailed", stats.MaxInDegree, stats.AvgInDegree)
+	}
+	degs := make([]int, g.NumNodes())
+	total := 0
+	for v := range degs {
+		degs[v] = g.InDegree(graph.NodeID(v))
+		total += degs[v]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:30] {
+		top += d
+	}
+	if float64(top) < 0.1*float64(total) {
+		t.Fatalf("top-1%% in-degree share %.3f too small for a power law", float64(top)/float64(total))
+	}
+}
+
+func TestUndirectedPASymmetric(t *testing.T) {
+	g := UndirectedPA(500, 3, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			if !g.HasEdge(v, graph.NodeID(u)) {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+	if g.NumEdges()%2 != 0 {
+		t.Fatal("undirected graph must have an even directed-edge count")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(12, 30000, 0.57, 0.19, 0.19, 0.05, 5)
+	if g.NumNodes() != 1<<12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if got := g.NumEdges(); got < 29000 {
+		t.Fatalf("edges = %d, want close to 30000", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.ComputeStats()
+	if float64(stats.MaxInDegree) < 5*stats.AvgInDegree {
+		t.Fatalf("RMAT should be skewed: max %d avg %.2f", stats.MaxInDegree, stats.AvgInDegree)
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { RMAT(0, 10, 0.25, 0.25, 0.25, 0.25, 1) },
+		func() { RMAT(5, 10, 0.9, 0.2, 0.2, 0.2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad RMAT params accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCorePeripheryStructure(t *testing.T) {
+	g := CorePeriphery(200, 400, 3000, 10, 6)
+	if g.NumNodes() != 600 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.ComputeStats()
+	// All periphery nodes have zero in-degree: > 60% of the graph, like
+	// Wiki-Vote.
+	if stats.ZeroInDeg < 400 {
+		t.Fatalf("zero in-degree nodes = %d, want >= 400", stats.ZeroInDeg)
+	}
+	frac := float64(stats.ZeroInDeg) / float64(stats.Nodes)
+	if frac < 0.6 {
+		t.Fatalf("zero in-degree share %.2f < 0.6", frac)
+	}
+	// Periphery edges all point into the core.
+	for p := 200; p < 600; p++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(p)) {
+			if v >= 200 {
+				t.Fatalf("periphery node %d points at periphery node %d", p, v)
+			}
+		}
+	}
+}
+
+func TestCycleAndStar(t *testing.T) {
+	c := Cycle(5)
+	if c.NumEdges() != 5 {
+		t.Fatalf("cycle edges = %d", c.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if c.InDegree(graph.NodeID(v)) != 1 || c.OutDegree(graph.NodeID(v)) != 1 {
+			t.Fatal("cycle degrees wrong")
+		}
+	}
+	s := Star(6)
+	if s.OutDegree(0) != 5 || s.InDegree(0) != 0 {
+		t.Fatal("star hub wrong")
+	}
+	for v := 1; v < 6; v++ {
+		if s.InDegree(graph.NodeID(v)) != 1 {
+			t.Fatal("star leaf wrong")
+		}
+	}
+}
+
+// Average degree sanity for the generators used as dataset stand-ins.
+func TestAverageDegreeTargets(t *testing.T) {
+	g := PreferentialAttachment(2000, 12, 9)
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if math.Abs(avg-12) > 1 {
+		t.Fatalf("PA average out-degree %.2f, want ~12", avg)
+	}
+}
+
+func TestReciprocate(t *testing.T) {
+	g := PreferentialAttachment(500, 5, 2)
+	before := g.NumEdges()
+	Reciprocate(g, 1.0, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With p=1 every edge must now have its reverse.
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			if !g.HasEdge(v, graph.NodeID(u)) {
+				t.Fatalf("edge %d->%d missing reverse after full reciprocation", u, v)
+			}
+		}
+	}
+	if g.NumEdges() <= before {
+		t.Fatal("reciprocation added no edges")
+	}
+	// p=0 is a no-op.
+	h := PreferentialAttachment(300, 4, 5)
+	m := h.NumEdges()
+	Reciprocate(h, 0, 6)
+	if h.NumEdges() != m {
+		t.Fatal("p=0 reciprocation changed the graph")
+	}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/xrand"
+)
+
+// mustEdge is a test helper that fails on AddEdge errors.
+func mustEdge(t *testing.T, g *Graph, u, v NodeID) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d, %d): %v", u, v, err)
+	}
+}
+
+func TestSCCCycleIsOneComponent(t *testing.T) {
+	g := New(6)
+	for v := 0; v < 6; v++ {
+		mustEdge(t, g, NodeID(v), NodeID((v+1)%6))
+	}
+	comp, count := g.StronglyConnectedComponents()
+	if count != 1 {
+		t.Fatalf("cycle has %d SCCs, want 1", count)
+	}
+	for v, c := range comp {
+		if c != comp[0] {
+			t.Fatalf("node %d in component %d, node 0 in %d", v, c, comp[0])
+		}
+	}
+}
+
+func TestSCCPathIsSingletons(t *testing.T) {
+	g := New(5)
+	for v := 0; v < 4; v++ {
+		mustEdge(t, g, NodeID(v), NodeID(v+1))
+	}
+	_, count := g.StronglyConnectedComponents()
+	if count != 5 {
+		t.Fatalf("path has %d SCCs, want 5", count)
+	}
+}
+
+func TestSCCTwoCyclesWithBridge(t *testing.T) {
+	// Cycle {0,1,2} -> bridge -> cycle {3,4,5}: two components, and the
+	// downstream cycle must get the smaller id (reverse topological
+	// numbering).
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 5)
+	mustEdge(t, g, 5, 3)
+	mustEdge(t, g, 0, 3)
+	comp, count := g.StronglyConnectedComponents()
+	if count != 2 {
+		t.Fatalf("got %d SCCs, want 2", count)
+	}
+	if comp[0] == comp[3] {
+		t.Fatal("the two cycles merged into one SCC")
+	}
+	if comp[3] > comp[0] {
+		t.Fatalf("downstream SCC id %d > upstream id %d; want reverse topological order", comp[3], comp[0])
+	}
+}
+
+func TestSCCDeepPathNoOverflow(t *testing.T) {
+	// 200k-node path: a recursive Tarjan would blow the stack here.
+	n := 200000
+	g := New(n)
+	for v := 0; v < n-1; v++ {
+		if err := g.AddEdge(NodeID(v), NodeID(v+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, count := g.StronglyConnectedComponents()
+	if count != n {
+		t.Fatalf("got %d SCCs, want %d", count, n)
+	}
+}
+
+func TestSCCCondensationIsDAG(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		comp, _ := g.StronglyConnectedComponents()
+		// Every edge must go from a component with a >= id to one with a
+		// <= id... precisely: Tarjan numbers components in reverse
+		// topological order, so for an edge u -> v, comp[u] >= comp[v].
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(NodeID(u)) {
+				if comp[u] < comp[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCCIgnoresDirection(t *testing.T) {
+	g := New(7)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 1) // 0,1,2 weakly connected
+	mustEdge(t, g, 3, 4) // 3,4
+	// 5, 6 isolated
+	comp, count := g.WeaklyConnectedComponents()
+	if count != 4 {
+		t.Fatalf("got %d WCCs, want 4", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a WCC")
+	}
+	if comp[3] != comp[4] {
+		t.Fatal("3,4 should share a WCC")
+	}
+	if comp[5] == comp[6] || comp[5] == comp[0] {
+		t.Fatal("isolated nodes must get their own WCCs")
+	}
+}
+
+func TestWCCRefinesSCC(t *testing.T) {
+	// Nodes in one SCC are always in one WCC.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 8 + rng.Intn(25)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		scc, _ := g.StronglyConnectedComponents()
+		wcc, _ := g.WeaklyConnectedComponents()
+		repr := make(map[int32]int32)
+		for v := 0; v < n; v++ {
+			if w, ok := repr[scc[v]]; ok {
+				if w != wcc[v] {
+					return false
+				}
+			} else {
+				repr[scc[v]] = wcc[v]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 2.
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 0, 2)
+	dist := g.BFS(0, false)
+	want := []int32{0, 1, 1, 2, -1}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+	rev := g.BFS(3, true)
+	wantRev := []int32{2, 2, 1, 0, -1}
+	for v, d := range wantRev {
+		if rev[v] != d {
+			t.Fatalf("reverse dist[%d] = %d, want %d", v, rev[v], d)
+		}
+	}
+	// Out-of-range source: all unreachable.
+	for _, d := range g.BFS(99, false) {
+		if d != -1 {
+			t.Fatal("out-of-range BFS source should reach nothing")
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 2, 5)
+	mustEdge(t, g, 5, 0)
+	sub, orig, err := g.InducedSubgraph([]NodeID{0, 2, 5})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph has %d nodes, want 3", sub.NumNodes())
+	}
+	// Kept edges: 2->0, 2->5, 5->0; dropped: 0->1, 1->2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("subgraph has %d edges, want 3", sub.NumEdges())
+	}
+	if orig[0] != 0 || orig[1] != 2 || orig[2] != 5 {
+		t.Fatalf("mapping = %v, want [0 2 5]", orig)
+	}
+	if !sub.HasEdge(1, 0) || !sub.HasEdge(1, 2) || !sub.HasEdge(2, 0) {
+		t.Fatal("expected renumbered edges missing")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subgraph invalid: %v", err)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := New(3)
+	if _, _, err := g.InducedSubgraph([]NodeID{0, 9}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{1, 1}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 3)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 0)
+	in := g.DegreeHistogram(true)
+	// In-degrees: node 3 has 3, node 0 has 1, nodes 1-2 have 0.
+	if in[0] != 2 || in[1] != 1 || in[3] != 1 {
+		t.Fatalf("in-degree histogram = %v", in)
+	}
+	out := g.DegreeHistogram(false)
+	// Out-degrees: all four nodes have exactly 1.
+	if out[1] != 4 {
+		t.Fatalf("out-degree histogram = %v", out)
+	}
+	var totalIn, totalOut int64
+	for d, c := range in {
+		totalIn += int64(d) * c
+	}
+	for d, c := range out {
+		totalOut += int64(d) * c
+	}
+	if totalIn != g.NumEdges() || totalOut != g.NumEdges() {
+		t.Fatalf("histogram mass in=%d out=%d, want %d", totalIn, totalOut, g.NumEdges())
+	}
+}

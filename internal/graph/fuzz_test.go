@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList feeds arbitrary bytes to the edge-list parser: it must
+// never panic, and any graph it does accept must satisfy the structural
+// invariants and round-trip through the binary format.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n% other comment\n\n10 20\n")
+	f.Add("a b\n")
+	f.Add("-5 7\n7 -5\n")
+	f.Add("1 1\n")
+	f.Add("999999999 0\n")
+	f.Add("1\t2\r\n3  4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadEdgeList(strings.NewReader(input), false)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph is invalid: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary of own output: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed size: (%d, %d) vs (%d, %d)",
+				g.NumNodes(), g.NumEdges(), back.NumNodes(), back.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary parser: it must
+// reject or accept without panicking, and never allocate absurdly (the
+// parser validates counts before trusting them).
+func FuzzReadBinary(f *testing.F) {
+	g := New(5)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	_ = g.WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		back, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("accepted graph is invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/xrand"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("New(5): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); v < 5; v++ {
+		if g.InDegree(v) != 0 || g.OutDegree(v) != 0 {
+			t.Fatalf("node %d not isolated", v)
+		}
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.InDegree(1) != 1 || g.OutDegree(1) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 2); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumEdges() != 3 || g.InDegree(1) != 3 {
+		t.Fatal("parallel edges not kept")
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.InDegree(1) != 2 {
+		t.Fatal("RemoveEdge removed more than one occurrence")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveMissingEdge(t *testing.T) {
+	g := New(2)
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Fatal("removing a missing edge succeeded")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1)
+	id := g.AddNode()
+	if id != 1 || g.NumNodes() != 2 {
+		t.Fatalf("AddNode id=%d nodes=%d", id, g.NumNodes())
+	}
+	if err := g.AddEdge(0, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	c := g.Clone()
+	mustAdd(t, c, 2, 0)
+	if g.NumEdges() != 2 || c.NumEdges() != 3 {
+		t.Fatal("clone shares state with original")
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("removing from original affected clone")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 0, 2)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 0) || tr.HasEdge(0, 1) {
+		t.Fatal("transpose wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Double transpose is the identity.
+	trtr := tr.Transpose()
+	if !trtr.HasEdge(0, 1) || !trtr.HasEdge(0, 2) || trtr.NumEdges() != 2 {
+		t.Fatal("double transpose differs")
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdgeUndirected(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.NumEdges() != 2 {
+		t.Fatal("undirected edge incomplete")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 0, 2)
+	mustAdd(t, g, 1, 2)
+	s := g.ComputeStats()
+	if s.Nodes != 4 || s.Edges != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MaxOutDegree != 2 || s.MaxInDegree != 2 {
+		t.Fatalf("stats degrees %+v", s)
+	}
+	if s.ZeroInDeg != 2 { // nodes 0 and 3
+		t.Fatalf("ZeroInDeg = %d, want 2", s.ZeroInDeg)
+	}
+	if s.ZeroOutDeg != 2 { // nodes 2 and 3
+		t.Fatalf("ZeroOutDeg = %d, want 2", s.ZeroOutDeg)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n% also comment\n2 0\n5 5\n"
+	g, err := LoadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "5 5" is a self-loop and skipped entirely, so node 5 is never interned.
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("loaded %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestEdgeListSparseIDs(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("1000000 42\n42 7\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("sparse ids: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestEdgeListUndirectedLoad(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("undirected load edges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestEdgeListMalformed(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 b\n"} {
+		if _, err := LoadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Errorf("malformed input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	g := New(200)
+	for i := 0; i < 1000; i++ {
+		u, v := rng.Int31n(200), rng.Int31n(200)
+		if u != v {
+			mustAdd(t, g, u, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip changed counts")
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.OutDegree(v) != g2.OutDegree(v) || g.InDegree(v) != g2.InDegree(v) {
+			t.Fatalf("node %d degrees differ", v)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all......"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestToyGraphShape(t *testing.T) {
+	g := Toy()
+	if g.NumNodes() != 8 {
+		t.Fatalf("toy nodes = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Constraints derived from the paper's running example (§3.2).
+	checks := []struct {
+		v    NodeID
+		deg  int
+		name string
+	}{
+		{ToyA, 2, "I(a)"}, {ToyB, 2, "I(b)"}, {ToyC, 3, "I(c)"},
+		{ToyD, 1, "I(d)"}, {ToyE, 2, "I(e)"}, {ToyF, 4, "I(f)"},
+		{ToyG, 3, "I(g)"}, {ToyH, 3, "I(h)"},
+	}
+	for _, c := range checks {
+		if got := g.InDegree(c.v); got != c.deg {
+			t.Errorf("%s = %d, want %d", c.name, got, c.deg)
+		}
+	}
+	if got := len(g.OutNeighbors(ToyA)); got != 2 {
+		t.Errorf("out(a) = %d, want 2 (b and c only)", got)
+	}
+	if g.HasEdge(ToyC, ToyB) {
+		t.Error("c -> b must not exist (probe of (a,b,a) finds no b)")
+	}
+}
+
+// Property: a random script of inserts and deletes keeps Validate happy and
+// edge counts consistent.
+func TestRandomEditScript(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := New(30)
+		type edge struct{ u, v NodeID }
+		var live []edge
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				u, v := rng.Int31n(30), rng.Int31n(30)
+				if u == v {
+					continue
+				}
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+				live = append(live, edge{u, v})
+			} else {
+				i := rng.Intn(len(live))
+				e := live[i]
+				if err := g.RemoveEdge(e.u, e.v); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return g.NumEdges() == int64(len(live)) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	g := New(100)
+	before := g.MemoryBytes()
+	for i := NodeID(0); i < 99; i++ {
+		mustAdd(t, g, i, i+1)
+	}
+	if after := g.MemoryBytes(); after <= before {
+		t.Fatalf("MemoryBytes did not grow: %d -> %d", before, after)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v NodeID) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}

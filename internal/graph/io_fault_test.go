@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Fault injection for the I/O paths: truncated and corrupted inputs must
+// produce errors rather than silently wrong graphs, and writer failures at
+// any byte offset must surface.
+
+// failAfterWriter fails with errInjected once limit bytes have been
+// written.
+type failAfterWriter struct {
+	limit int
+	n     int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		can := w.limit - w.n
+		if can < 0 {
+			can = 0
+		}
+		w.n += can
+		return can, errInjected
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// failAfterReader yields the head of data and then a read error.
+type failAfterReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, errInjected
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func testGraphForIO(t *testing.T) *Graph {
+	t.Helper()
+	g := New(50)
+	for u := 0; u < 50; u++ {
+		for d := 1; d <= 3; d++ {
+			if err := g.AddEdge(NodeID(u), NodeID((u+d)%50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestWriteBinaryFailsAtEveryOffset(t *testing.T) {
+	g := testGraphForIO(t)
+	var full bytes.Buffer
+	if err := g.WriteBinary(&full); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	// Step through offsets coarsely (every write boundary region) plus the
+	// exact ends.
+	for limit := 0; limit < total; limit += 97 {
+		if err := g.WriteBinary(&failAfterWriter{limit: limit}); err == nil {
+			t.Fatalf("WriteBinary succeeded with writer failing at byte %d of %d", limit, total)
+		}
+	}
+	if err := g.WriteBinary(&failAfterWriter{limit: total}); err != nil {
+		t.Fatalf("WriteBinary failed with exactly enough space: %v", err)
+	}
+}
+
+func TestWriteEdgeListFails(t *testing.T) {
+	g := testGraphForIO(t)
+	if err := g.WriteEdgeList(&failAfterWriter{limit: 10}); err == nil {
+		t.Fatal("WriteEdgeList succeeded on failing writer")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := testGraphForIO(t)
+	var full bytes.Buffer
+	if err := g.WriteBinary(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	// Every strict prefix must fail to parse.
+	for cut := 0; cut < len(data); cut += 61 {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("ReadBinary accepted a %d/%d-byte prefix", cut, len(data))
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadBinary rejected intact data: %v", err)
+	}
+}
+
+func TestReadBinaryPropagatesReadErrors(t *testing.T) {
+	g := testGraphForIO(t)
+	var full bytes.Buffer
+	if err := g.WriteBinary(&full); err != nil {
+		t.Fatal(err)
+	}
+	half := full.Bytes()[:full.Len()/2]
+	_, err := ReadBinary(&failAfterReader{data: half})
+	if err == nil {
+		t.Fatal("ReadBinary succeeded on failing reader")
+	}
+}
+
+func TestReadBinaryGarbageHeader(t *testing.T) {
+	inputs := [][]byte{
+		{},
+		{0xde, 0xad, 0xbe, 0xef},
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+	for i, in := range inputs {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("input %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadEdgeListMalformedLines(t *testing.T) {
+	for name, input := range map[string]string{
+		"one field":   "1\n",
+		"non-numeric": "a b\n",
+		"huge number": "99999999999999999999 1\n",
+	} {
+		if _, err := LoadEdgeList(strings.NewReader(input), false); err == nil {
+			t.Errorf("%s (%q): accepted", name, input)
+		}
+	}
+}
+
+func TestLoadEdgeListLenientByDesign(t *testing.T) {
+	// Raw ids are labels, not indices: negatives remap like anything else.
+	g, err := LoadEdgeList(strings.NewReader("-1 2\n"), false)
+	if err != nil {
+		t.Fatalf("negative label rejected: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d, want 2 and 1", g.NumNodes(), g.NumEdges())
+	}
+	// Self-loops occur in real SNAP dumps and are skipped, not fatal
+	// (SimRank is defined on simple graphs).
+	g, err = LoadEdgeList(strings.NewReader("3 3\n4 5\n"), false)
+	if err != nil {
+		t.Fatalf("self-loop line rejected: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d after skipping the self-loop, want 1", g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListCommentsAndRemap(t *testing.T) {
+	in := "# comment line\n100 200\n200 300\n\n100 300\n"
+	g, err := LoadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 3 and 3", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEdgeListReaderFailure(t *testing.T) {
+	r := &failAfterReader{data: []byte("1 2\n3 4\n")}
+	if _, err := LoadEdgeList(r, false); err == nil {
+		t.Fatal("LoadEdgeList succeeded on failing reader")
+	}
+}
+
+func TestWriteToDiscardEquivalent(t *testing.T) {
+	// Writing to io.Discard must succeed: exercises the success path of
+	// the buffered writers without a real file.
+	g := testGraphForIO(t)
+	if err := g.WriteBinary(io.Discard); err != nil {
+		t.Fatalf("WriteBinary(io.Discard): %v", err)
+	}
+	if err := g.WriteEdgeList(io.Discard); err != nil {
+		t.Fatalf("WriteEdgeList(io.Discard): %v", err)
+	}
+}

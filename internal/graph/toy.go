@@ -1,0 +1,54 @@
+package graph
+
+// Node names of the paper's toy graph (Figure 1), used throughout the
+// paper's running examples (§3.2, §4.1, §4.2) and by our tests.
+const (
+	ToyA NodeID = iota
+	ToyB
+	ToyC
+	ToyD
+	ToyE
+	ToyF
+	ToyG
+	ToyH
+)
+
+// ToyNames maps toy-graph node ids to the letters used in the paper.
+var ToyNames = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// Toy reconstructs the 8-node toy graph of Figure 1. The paper prints the
+// figure but not the edge list; the edges below are uniquely determined by
+// the running examples and Table 2:
+//
+//   - the probe of W(a,4) = (a,b,a,b) finds exactly c, d, e from b with
+//     scores 1/6, 1/2, 1/4 → out(b) = {a,c,d,e}, |I(c)|=3, |I(d)|=1,
+//     |I(e)|=2;
+//   - level-2 scores 0.042/0.115/0.153/0.153 for a/f/g/h → I(a)={b,c},
+//     I(f) has c,d,e plus one more (|I(f)|=4), I(g)=I(h)={c,d,e};
+//   - the probe of W(a,3) = (a,b,a) yields S3={f,g,h} only → out(a)={b,c}
+//     and c has no edge to b;
+//   - level-3 scores 0.011/0.033/0.038/0.019 for b/c/e/f → |I(b)|=2 with
+//     a→b, c's third in-neighbor and e's second and f's fourth each come
+//     from {g,h};
+//   - Table 2's Power-Method values (c=0.25) disambiguate the remaining
+//     choices (verified exhaustively in internal/power's tests).
+func Toy() *Graph {
+	g := New(8)
+	edges := [][2]NodeID{
+		{ToyA, ToyB}, {ToyA, ToyC},
+		{ToyB, ToyA}, {ToyB, ToyC}, {ToyB, ToyD}, {ToyB, ToyE},
+		{ToyC, ToyA}, {ToyC, ToyF}, {ToyC, ToyG}, {ToyC, ToyH},
+		{ToyD, ToyF}, {ToyD, ToyG}, {ToyD, ToyH},
+		{ToyE, ToyF}, {ToyE, ToyG}, {ToyE, ToyH},
+		{ToyE, ToyB}, // b's second in-neighbor (s(a,b)=0.0096 requires e→b, not d→b)
+		{ToyG, ToyC}, // c's third in-neighbor
+		{ToyG, ToyE}, // e's second in-neighbor
+		{ToyH, ToyF}, // f's fourth in-neighbor
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,59 @@
+package linear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+)
+
+// Property: DiagonalExact actually solves its defining equation — the
+// diagonal of the linearized series S(D), evaluated independently through
+// SingleSource, must be 1 at every node, on arbitrary random graphs.
+func TestDiagonalExactSolvesItsEquation(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.ErdosRenyi(20+int(seed%15), 80+int64(seed%60), seed%127+1)
+		opt := Options{C: 0.6, T: 45}
+		d, err := DiagonalExact(g, opt)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			est, err := SingleSource(g, graph.NodeID(v), d, opt)
+			if err != nil {
+				return false
+			}
+			if math.Abs(est[v]-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact diagonal is bounded — d(v) in (0, 1] — because the
+// t = 0 meeting coefficient is 1 and all corrections subtract probability
+// mass.
+func TestDiagonalExactRange(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.PreferentialAttachment(25, 1+int(seed%4), seed%511+1)
+		d, err := DiagonalExact(g, Options{C: 0.6, T: 35})
+		if err != nil {
+			return false
+		}
+		for _, dv := range d {
+			if dv <= 0 || dv > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package linear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/xrand"
+)
+
+func TestTailDepth(t *testing.T) {
+	for _, c := range []float64{0.4, 0.6, 0.8} {
+		for _, tol := range []float64{1e-3, 1e-6} {
+			T := TailDepth(c, tol)
+			tail := math.Pow(c, float64(T+1)) / (1 - c)
+			if tail > tol {
+				t.Errorf("TailDepth(%v, %v) = %d leaves tail %v > tol", c, tol, T, tail)
+			}
+			if T > 1 {
+				shorter := math.Pow(c, float64(T)) / (1 - c)
+				if shorter <= tol {
+					t.Errorf("TailDepth(%v, %v) = %d not minimal: T-1 already has tail %v", c, tol, T, shorter)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveDenseKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveDense(a, b)
+	if err != nil {
+		t.Fatalf("solveDense: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solveDense = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Zero leading entry forces a pivot swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solveDense(a, b)
+	if err != nil {
+		t.Fatalf("solveDense: %v", err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("solveDense = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solveDense(a, b); err == nil {
+		t.Fatal("solveDense on singular system succeeded, want error")
+	}
+}
+
+func TestSolveDenseRandomRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed%1021 + 1)
+		n := 3 + rng.Intn(6)
+		a := make([][]float64, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Float64()*4 - 2
+		}
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64()*2 - 1
+			}
+			a[i][i] += float64(n) // diagonal dominance keeps it well-conditioned
+			for j := range a[i] {
+				b[i] += a[i][j] * want[j]
+			}
+		}
+		got, err := solveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalExactTwoCycle(t *testing.T) {
+	// 0 <-> 1: walks from 0 and 1 have opposite parity and never re-meet,
+	// so the naive diagonal (1-c) is already exact.
+	g := graph.New(2)
+	if err := g.AddEdgeUndirected(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiagonalExact(g, Options{C: 0.6, T: 40})
+	if err != nil {
+		t.Fatalf("DiagonalExact: %v", err)
+	}
+	for v, dv := range d {
+		if math.Abs(dv-0.4) > 1e-9 {
+			t.Fatalf("d[%d] = %v, want 1-c = 0.4", v, dv)
+		}
+	}
+}
+
+func TestZeroInDegreeDiagonal(t *testing.T) {
+	// 0 -> 1, 0 -> 2: node 0 has no in-neighbors, its reverse walk dies
+	// immediately, so d[0] must be exactly 1.
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiagonalExact(g, Options{C: 0.6, T: 20})
+	if err != nil {
+		t.Fatalf("DiagonalExact: %v", err)
+	}
+	if math.Abs(d[0]-1) > 1e-12 {
+		t.Fatalf("d[0] = %v, want 1 for zero-in-degree node", d[0])
+	}
+	est, err := SingleSource(g, 0, d, Options{C: 0.6, T: 20})
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if est[1] != 0 || est[2] != 0 {
+		t.Fatalf("similarities from zero-in-degree source = %v, want 0 off-diagonal", est)
+	}
+	if math.Abs(est[0]-1) > 1e-12 {
+		t.Fatalf("self-similarity = %v, want 1", est[0])
+	}
+}
+
+// completeDigraph returns the complete directed graph on n nodes (every
+// ordered pair, no self-loops): the canonical graph where walk pairs
+// re-meet, separating the two formulations.
+func completeDigraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestExactDiagonalReproducesSimRank(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"complete4": completeDigraph(4),
+		"er":        gen.ErdosRenyi(40, 200, 5),
+		"pa":        gen.PreferentialAttachment(40, 3, 6),
+	}
+	opt := Options{C: 0.6, T: 60}
+	for name, g := range graphs {
+		truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+		if err != nil {
+			t.Fatalf("%s: power.SimRank: %v", name, err)
+		}
+		d, err := DiagonalExact(g, opt)
+		if err != nil {
+			t.Fatalf("%s: DiagonalExact: %v", name, err)
+		}
+		for u := 0; u < g.NumNodes(); u += 7 {
+			est, err := SingleSource(g, graph.NodeID(u), d, opt)
+			if err != nil {
+				t.Fatalf("%s: SingleSource: %v", name, err)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				diff := math.Abs(est[v] - truth.At(graph.NodeID(u), graph.NodeID(v)))
+				if diff > 1e-6 {
+					t.Fatalf("%s: linearized with exact diagonal differs from SimRank by %v at (%d,%d)", name, diff, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveDiagonalIsBiased(t *testing.T) {
+	// The §5 claim: with D = (1-c)I (Equation 11), the result is NOT
+	// SimRank. On a complete digraph the bias is large and positive.
+	g := completeDigraph(5)
+	opt := Options{C: 0.6, T: 60}
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("power.SimRank: %v", err)
+	}
+	est, err := SingleSource(g, 0, NaiveDiagonal(g, 0.6), opt)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	var maxBias float64
+	for v := 1; v < g.NumNodes(); v++ {
+		if b := truth.At(0, graph.NodeID(v)) - est[v]; math.Abs(b) > maxBias {
+			maxBias = math.Abs(b)
+		}
+	}
+	if maxBias < 0.01 {
+		t.Fatalf("naive-diagonal bias = %v, expected a visible (> 0.01) deviation from SimRank", maxBias)
+	}
+	// Self-similarity also breaks: diag(S) != 1 under the naive diagonal.
+	if math.Abs(est[0]-1) < 1e-6 {
+		t.Fatalf("naive diagonal kept s(0,0) = %v at 1; expected the invariant to break", est[0])
+	}
+}
+
+func TestDiagonalMCApproximatesExact(t *testing.T) {
+	g := gen.ErdosRenyi(50, 250, 9)
+	opt := Options{C: 0.6, T: 25}
+	exact, err := DiagonalExact(g, opt)
+	if err != nil {
+		t.Fatalf("DiagonalExact: %v", err)
+	}
+	mc, err := DiagonalMC(g, opt, MCOptions{Pairs: 800, Seed: 4})
+	if err != nil {
+		t.Fatalf("DiagonalMC: %v", err)
+	}
+	var maxDiff float64
+	for v := range exact {
+		if d := math.Abs(exact[v] - mc[v]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.08 {
+		t.Fatalf("max |exact - MC| = %v, want <= 0.08 with 800 pairs", maxDiff)
+	}
+}
+
+func TestSingleSourceValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 30, 1)
+	d := NaiveDiagonal(g, 0.6)
+	if _, err := SingleSource(g, -1, d, Options{}); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := SingleSource(g, 100, d, Options{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := SingleSource(g, 0, d[:5], Options{}); err == nil {
+		t.Error("short diagonal accepted")
+	}
+	if _, err := SingleSource(g, 0, d, Options{C: 1.5}); err == nil {
+		t.Error("c outside (0,1) accepted")
+	}
+}
+
+func TestSeriesSymmetry(t *testing.T) {
+	// S(D) is symmetric for any diagonal D, so querying from u and reading
+	// v must equal querying from v and reading u.
+	check := func(seed uint64) bool {
+		g := gen.ErdosRenyi(25, 100, seed%63+1)
+		d := NaiveDiagonal(g, 0.6)
+		opt := Options{C: 0.6, T: 30}
+		rng := xrand.New(seed + 1)
+		u := graph.NodeID(rng.Intn(25))
+		v := graph.NodeID(rng.Intn(25))
+		su, err := SingleSource(g, u, d, opt)
+		if err != nil {
+			return false
+		}
+		sv, err := SingleSource(g, v, d, opt)
+		if err != nil {
+			return false
+		}
+		return math.Abs(su[v]-sv[u]) < 1e-10
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardBackwardAdjoint(t *testing.T) {
+	// backward is the adjoint of forward: <Q^T x, z> == <x, Q z>.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed%511 + 3)
+		g := gen.ErdosRenyi(20, 80, seed%127+1)
+		n := g.NumNodes()
+		x := make([]float64, n)
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Float64()
+			z[i] = rng.Float64()
+		}
+		fx := make([]float64, n)
+		bz := make([]float64, n)
+		forward(g, x, fx)
+		backward(g, z, bz)
+		var lhs, rhs float64
+		for i := 0; i < n; i++ {
+			lhs += fx[i] * z[i]
+			rhs += x[i] * bz[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardPreservesMassWithoutDeadEnds(t *testing.T) {
+	// On a graph where every node has an in-neighbor, Q^T preserves
+	// probability mass.
+	g := gen.Cycle(12)
+	x := make([]float64, 12)
+	x[0] = 1
+	out := make([]float64, 12)
+	forward(g, x, out)
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mass after forward = %v, want 1", sum)
+	}
+}

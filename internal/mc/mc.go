@@ -1,0 +1,237 @@
+// Package mc implements the index-free Monte Carlo SimRank estimator of
+// §2.2 (after Fogaras & Rácz): s(u, v) is the probability that independent
+// √c-walks from u and v meet, so the fraction of r walk pairs that meet is
+// an unbiased estimate with Hoeffding-style concentration.
+//
+// The single-source form is the paper's MC competitor (slow but simple);
+// the single-pair form is the "expert" that gauges pooled results in the
+// billion-edge experiments of §6.2.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"probesim/internal/graph"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// Options configures the Monte Carlo estimator.
+type Options struct {
+	// C is the SimRank decay factor. Default 0.6.
+	C float64
+	// Eps is the absolute error target. Default 0.1.
+	Eps float64
+	// Delta is the failure probability. Default 0.01.
+	Delta float64
+	// NumWalks overrides the derived pair count r when > 0.
+	NumWalks int
+	// Workers bounds parallelism. Default runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed makes results reproducible. Default 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("mc: decay factor c = %v outside (0, 1)", o.C)
+	}
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return fmt.Errorf("mc: error target ε = %v outside (0, 1)", o.Eps)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("mc: failure probability δ = %v outside (0, 1)", o.Delta)
+	}
+	return nil
+}
+
+// PairWalks returns the number of walk pairs needed for a single-pair
+// estimate with error eps at confidence 1-delta (Hoeffding:
+// r = ln(2/δ)/(2ε²)).
+func PairWalks(eps, delta float64) int {
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// sourceWalks returns the pair count for a single-source query; the union
+// bound over n nodes inflates delta to delta/n.
+func sourceWalks(eps, delta float64, n int) int {
+	if n < 2 {
+		n = 2
+	}
+	return int(math.Ceil(math.Log(2*float64(n)/delta) / (2 * eps * eps)))
+}
+
+// SinglePair estimates s(u, v) from r independent √c-walk pairs.
+func SinglePair(g *graph.Graph, u, v graph.NodeID, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	if err := checkNode(g, u); err != nil {
+		return 0, err
+	}
+	if err := checkNode(g, v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 1, nil
+	}
+	r := opt.NumWalks
+	if r <= 0 {
+		r = PairWalks(opt.Eps, opt.Delta)
+	}
+	workers := opt.Workers
+	if workers > r {
+		workers = r
+	}
+	root := xrand.New(opt.Seed)
+	meets := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := r*w/workers, r*(w+1)/workers
+		rng := root.Split(uint64(w))
+		wg.Add(1)
+		go func(w, trials int, rng *xrand.RNG) {
+			defer wg.Done()
+			gen := walk.NewGenerator(g, opt.C, rng)
+			var bufU, bufV []graph.NodeID
+			count := 0
+			for t := 0; t < trials; t++ {
+				bufU = gen.Generate(u, 0, bufU)
+				bufV = gen.Generate(v, 0, bufV)
+				// Meeting from step 2 onward: positions beyond the start
+				// nodes (the starts differ since u != v).
+				if walk.MeetStep(bufU, bufV) > 0 {
+					count++
+				}
+			}
+			meets[w] = count
+		}(w, hi-lo, rng)
+	}
+	wg.Wait()
+	total := 0
+	for _, m := range meets {
+		total += m
+	}
+	return float64(total) / float64(r), nil
+}
+
+// SingleSource estimates s(u, v) for every v by pairing r walks from u with
+// r walks from each other node (§2.2's "straightforward" extension). This
+// is the paper's MC competitor: correct and index-free, but it generates
+// n·r walks per query, which is exactly the inefficiency ProbeSim removes.
+func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkNode(g, u); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	r := opt.NumWalks
+	if r <= 0 {
+		r = sourceWalks(opt.Eps, opt.Delta, n)
+	}
+	workers := opt.Workers
+	if workers > r {
+		workers = r
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	root := xrand.New(opt.Seed)
+	accs := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := r*w/workers, r*(w+1)/workers
+		rng := root.Split(uint64(w))
+		wg.Add(1)
+		go func(w, trials int, rng *xrand.RNG) {
+			defer wg.Done()
+			acc := make([]int32, n)
+			gen := walk.NewGenerator(g, opt.C, rng)
+			var bufU []graph.NodeID
+			sqrtC := gen.SqrtC()
+			for t := 0; t < trials; t++ {
+				bufU = gen.Generate(u, 0, bufU)
+				for v := 0; v < n; v++ {
+					if graph.NodeID(v) == u {
+						continue
+					}
+					if pairMeets(g, graph.NodeID(v), bufU, sqrtC, rng) {
+						acc[v]++
+					}
+				}
+			}
+			accs[w] = acc
+		}(w, hi-lo, rng)
+	}
+	wg.Wait()
+	out := make([]float64, n)
+	for _, acc := range accs {
+		for v, c := range acc {
+			out[v] += float64(c)
+		}
+	}
+	inv := 1 / float64(r)
+	for v := range out {
+		out[v] *= inv
+	}
+	out[u] = 1
+	return out, nil
+}
+
+// pairMeets simulates a √c-walk from v lazily, step by step, returning true
+// as soon as it lands on the same node as bufU at the same step. The walk
+// stops early at min(len(bufU), termination), because positions beyond u's
+// walk can never meet it.
+func pairMeets(g *graph.Graph, v graph.NodeID, bufU []graph.NodeID, sqrtC float64, rng *xrand.RNG) bool {
+	cur := v
+	if cur == bufU[0] {
+		return true
+	}
+	for step := 1; step < len(bufU); step++ {
+		if rng.Float64() >= sqrtC {
+			return false
+		}
+		in := g.InNeighbors(cur)
+		if len(in) == 0 {
+			return false
+		}
+		cur = in[rng.Intn(len(in))]
+		if cur == bufU[step] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNode(g *graph.Graph, v graph.NodeID) error {
+	if v < 0 || int(v) >= g.NumNodes() {
+		return fmt.Errorf("mc: node %d out of range [0, %d)", v, g.NumNodes())
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/xrand"
+)
+
+func TestPairWalksFormula(t *testing.T) {
+	got := PairWalks(0.01, 0.001)
+	want := int(math.Ceil(math.Log(2/0.001) / (2 * 0.0001)))
+	if got != want {
+		t.Fatalf("PairWalks = %d, want %d", got, want)
+	}
+	if PairWalks(0.1, 0.01) >= PairWalks(0.05, 0.01) {
+		t.Fatal("smaller ε must need more walks")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Toy()
+	if _, err := SinglePair(g, 0, 1, Options{C: 2}); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := SinglePair(g, 0, 99, Options{}); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := SingleSource(g, -1, Options{}); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestIdenticalNodes(t *testing.T) {
+	g := graph.Toy()
+	got, err := SinglePair(g, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("s(v,v) = %v, want 1", got)
+	}
+}
+
+// Single-pair estimates converge to the Table 2 ground truth.
+func TestSinglePairToyGraph(t *testing.T) {
+	g := graph.Toy()
+	exact, err := power.SingleSource(g, graph.ToyA, power.Options{C: 0.25, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []graph.NodeID{graph.ToyD, graph.ToyE, graph.ToyC} {
+		got, err := SinglePair(g, graph.ToyA, v, Options{C: 0.25, NumWalks: 400000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact[v]) > 0.005 {
+			t.Errorf("s(a,%s) = %.4f, want %.4f", graph.ToyNames[v], got, exact[v])
+		}
+	}
+}
+
+// Single-source estimates meet the ε guarantee against the Power Method.
+func TestSingleSourceGuarantee(t *testing.T) {
+	rng := xrand.New(55)
+	g := randomGraph(rng, 40, 200)
+	m, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SingleSource(g, 5, Options{C: 0.6, Eps: 0.1, Delta: 0.01, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for v := range est {
+		if d := math.Abs(est[v] - m.At(5, graph.NodeID(v))); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("max error %.4f > ε", worst)
+	}
+	if est[5] != 1 {
+		t.Fatal("s̃(u,u) != 1")
+	}
+}
+
+func TestSingleSourceRange(t *testing.T) {
+	rng := xrand.New(66)
+	g := randomGraph(rng, 30, 120)
+	est, err := SingleSource(g, 0, Options{NumWalks: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range est {
+		if s < 0 || s > 1 {
+			t.Fatalf("estimate out of range at %d: %v", v, s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.Toy()
+	opt := Options{C: 0.25, NumWalks: 5000, Seed: 12, Workers: 3}
+	a, err := SingleSource(g, graph.ToyA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SingleSource(g, graph.ToyA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("not reproducible at node %d", v)
+		}
+	}
+}
+
+// A query from a zero-in-degree node yields zero everywhere else.
+func TestZeroInDegree(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	est, err := SingleSource(g, 0, Options{NumWalks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[1] != 0 || est[2] != 0 {
+		t.Fatalf("walks from a source with no in-edges cannot meet: %v", est)
+	}
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,109 @@
+package mc
+
+import (
+	"sync"
+
+	"probesim/internal/graph"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// MultiPair estimates s(u, v) for each listed candidate v with the same
+// pairing estimator as SinglePair, but generates the r walks from u once
+// and reuses them against every candidate. The estimates are exactly as
+// accurate as r independent SinglePair calls (each candidate's trials are
+// i.i.d.); only the u-side work is shared. This is the pooling "expert" of
+// §6.2: pools hold a few hundred candidates, all scored against one query
+// node.
+func MultiPair(g *graph.Graph, u graph.NodeID, vs []graph.NodeID, opt Options) (map[graph.NodeID]float64, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkNode(g, u); err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
+		if err := checkNode(g, v); err != nil {
+			return nil, err
+		}
+	}
+	r := opt.NumWalks
+	if r <= 0 {
+		r = PairWalks(opt.Eps, opt.Delta)
+	}
+	out := make(map[graph.NodeID]float64, len(vs))
+	if len(vs) == 0 {
+		return out, nil
+	}
+	workers := opt.Workers
+	if workers > len(vs) {
+		workers = len(vs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pre-generate u's walks once (sequential, seed stream 0).
+	root := xrand.New(opt.Seed)
+	genU := walk.NewGenerator(g, opt.C, root.Split(0))
+	uWalks := make([][]graph.NodeID, r)
+	for i := range uWalks {
+		uWalks[i] = append([]graph.NodeID(nil), genU.Generate(u, 0, nil)...)
+	}
+	sqrtC := genU.SqrtC()
+
+	meets := make([]int64, len(vs))
+	var wg sync.WaitGroup
+	idxCh := make(chan int, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for vi := range idxCh {
+				v := vs[vi]
+				if v == u {
+					meets[vi] = int64(r)
+					continue
+				}
+				rng := root.Split(uint64(vi) + 1)
+				var count int64
+				for i := 0; i < r; i++ {
+					if pairMeets(g, v, uWalks[i], sqrtC, rng) {
+						count++
+					}
+				}
+				meets[vi] = count
+			}
+		}()
+	}
+	for vi := range vs {
+		idxCh <- vi
+	}
+	close(idxCh)
+	wg.Wait()
+	for vi, v := range vs {
+		out[v] = float64(meets[vi]) / float64(r)
+	}
+	return out, nil
+}
+
+// Expert returns a pooling.Expert-compatible closure scoring candidates
+// against u; it memoizes MultiPair results so each candidate is scored
+// once.
+func Expert(g *graph.Graph, u graph.NodeID, opt Options) func(v graph.NodeID) (float64, error) {
+	cache := make(map[graph.NodeID]float64)
+	return func(v graph.NodeID) (float64, error) {
+		if s, ok := cache[v]; ok {
+			return s, nil
+		}
+		res, err := MultiPair(g, u, []graph.NodeID{v}, opt)
+		if err != nil {
+			return 0, err
+		}
+		for node, s := range res {
+			cache[node] = s
+		}
+		return cache[v], nil
+	}
+}

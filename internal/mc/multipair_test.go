@@ -1,0 +1,70 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/power"
+)
+
+func TestMultiPairMatchesGroundTruth(t *testing.T) {
+	g := graph.Toy()
+	exact, err := power.SingleSource(g, graph.ToyA, power.Options{C: 0.25, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []graph.NodeID{graph.ToyB, graph.ToyC, graph.ToyD, graph.ToyE, graph.ToyA}
+	got, err := MultiPair(g, graph.ToyA, vs, Options{C: 0.25, NumWalks: 200000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[graph.ToyA] != 1 {
+		t.Fatalf("s(a,a) = %v", got[graph.ToyA])
+	}
+	for _, v := range vs[:4] {
+		if math.Abs(got[v]-exact[v]) > 0.006 {
+			t.Errorf("MultiPair(a,%s) = %.4f, want %.4f", graph.ToyNames[v], got[v], exact[v])
+		}
+	}
+}
+
+func TestMultiPairEmpty(t *testing.T) {
+	g := graph.Toy()
+	got, err := MultiPair(g, 0, nil, Options{NumWalks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty candidates gave %v", got)
+	}
+}
+
+func TestMultiPairValidation(t *testing.T) {
+	g := graph.Toy()
+	if _, err := MultiPair(g, 0, []graph.NodeID{99}, Options{}); err == nil {
+		t.Fatal("bad candidate accepted")
+	}
+	if _, err := MultiPair(g, 99, nil, Options{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestExpertMemoizes(t *testing.T) {
+	g := graph.Toy()
+	expert := Expert(g, graph.ToyA, Options{C: 0.25, NumWalks: 2000, Seed: 1})
+	a1, err := expert(graph.ToyD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := expert(graph.ToyD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("memoized expert returned different values")
+	}
+	if a1 <= 0 || a1 > 1 {
+		t.Fatalf("expert score %v out of range", a1)
+	}
+}

@@ -1,0 +1,145 @@
+// Package metrics implements the evaluation metrics of §6.1: maximum
+// absolute error for single-source queries, and Precision@k, NDCG@k and the
+// Kendall-τ difference for top-k queries.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"probesim/internal/graph"
+)
+
+// MaxAbsError returns max_{v != skip} |est[v] − exact[v]|, the paper's
+// AbsError for a single-source query. The slices must have equal length.
+func MaxAbsError(est, exact []float64, skip graph.NodeID) float64 {
+	worst := 0.0
+	for v := range est {
+		if graph.NodeID(v) == skip {
+			continue
+		}
+		if d := math.Abs(est[v] - exact[v]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PrecisionAtK returns |result ∩ truth| / |truth|: the fraction of returned
+// nodes that belong to the ground-truth top-k. An empty truth yields 1
+// (nothing to find).
+func PrecisionAtK(result, truth []graph.NodeID) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	in := make(map[graph.NodeID]struct{}, len(truth))
+	for _, v := range truth {
+		in[v] = struct{}{}
+	}
+	hit := 0
+	for _, v := range result {
+		if _, ok := in[v]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// NDCGAtK computes the Normalized Discounted Cumulative Gain of the
+// returned ranking (§6.1):
+//
+//	NDCG@k = (1/Z_k) · Σ_i (2^{s(u,v_i)} − 1) / log₂(i + 1)
+//
+// where s(u, v_i) is the exact similarity of the i-th returned node (from
+// score, indexed by node id) and Z_k is the same sum over the ground-truth
+// top-k list truth. When the ideal gain is zero (all true similarities
+// vanish) the ranking is trivially perfect and 1 is returned.
+func NDCGAtK(result, truth []graph.NodeID, score func(graph.NodeID) float64) float64 {
+	dcg := gainSum(result, score)
+	ideal := gainSum(truth, score)
+	if ideal == 0 {
+		return 1
+	}
+	return dcg / ideal
+}
+
+func gainSum(list []graph.NodeID, score func(graph.NodeID) float64) float64 {
+	sum := 0.0
+	for i, v := range list {
+		sum += (math.Pow(2, score(v)) - 1) / math.Log2(float64(i)+2)
+	}
+	return sum
+}
+
+// KendallTau computes the Kendall-τ difference of the returned ranking
+// against the exact similarity order (§6.1):
+//
+//	τ_k = (#concordant − #discordant) / (k(k−1)/2)
+//
+// over all pairs of returned nodes: a pair (v_i, v_j) with i < j is
+// concordant when s(u, v_i) > s(u, v_j), discordant when the exact order is
+// reversed, and neutral on exact ties. Lists shorter than 2 score 1.
+func KendallTau(result []graph.NodeID, score func(graph.NodeID) float64) float64 {
+	k := len(result)
+	if k < 2 {
+		return 1
+	}
+	conc, disc := 0, 0
+	for i := 0; i < k; i++ {
+		si := score(result[i])
+		for j := i + 1; j < k; j++ {
+			sj := score(result[j])
+			switch {
+			case si > sj:
+				conc++
+			case si < sj:
+				disc++
+			}
+		}
+	}
+	return float64(conc-disc) / float64(k*(k-1)/2)
+}
+
+// ScoreFromSlice adapts a dense exact-score vector to the score-function
+// form the ranking metrics take.
+func ScoreFromSlice(s []float64) func(graph.NodeID) float64 {
+	return func(v graph.NodeID) float64 { return s[v] }
+}
+
+// ScoreFromMap adapts a sparse score map (as produced by pooling experts);
+// missing nodes score 0.
+func ScoreFromMap(m map[graph.NodeID]float64) func(graph.NodeID) float64 {
+	return func(v graph.NodeID) float64 { return m[v] }
+}
+
+// ExactTopK returns the ground-truth top-k node list from a dense exact
+// score vector, excluding the query node, with the shared tie-breaking
+// order (descending score, ascending id). Ground truth is computed rarely,
+// so a full sort is fine.
+func ExactTopK(exact []float64, u graph.NodeID, k int) []graph.NodeID {
+	type pair struct {
+		v graph.NodeID
+		s float64
+	}
+	all := make([]pair, 0, len(exact))
+	for v, s := range exact {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		all = append(all, pair{graph.NodeID(v), s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].v < all[j].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].v
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// Property tests on the ranking metrics: range bounds, perfection at the
+// identity ranking, and invariance facts the §6.1 evaluation relies on.
+
+// randomRanking builds a random score vector and a ranking of the top k
+// nodes, possibly corrupted by swapping in low-scoring nodes.
+func randomRanking(seed uint64, corrupt bool) (scores []float64, ranking []graph.NodeID) {
+	rng := xrand.New(seed)
+	n := 20 + rng.Intn(30)
+	scores = make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	k := 5 + rng.Intn(5)
+	ranking = ExactTopK(scores, graph.NodeID(n), k) // skip id outside range: no skip
+	if corrupt && len(ranking) > 1 {
+		// Replace a random entry with a node not in the ranking.
+		in := make(map[graph.NodeID]bool, len(ranking))
+		for _, v := range ranking {
+			in[v] = true
+		}
+		for tries := 0; tries < 100; tries++ {
+			v := graph.NodeID(rng.Intn(n))
+			if !in[v] {
+				ranking[rng.Intn(len(ranking))] = v
+				break
+			}
+		}
+	}
+	return scores, ranking
+}
+
+func TestPrecisionBoundsProperty(t *testing.T) {
+	check := func(seed uint64, corrupt bool) bool {
+		scores, ranking := randomRanking(seed, corrupt)
+		_ = scores
+		p := PrecisionAtK(ranking, ranking)
+		if p != 1 {
+			return false // self-precision must be perfect
+		}
+		other := append([]graph.NodeID(nil), ranking...)
+		p = PrecisionAtK(ranking, other)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNDCGBoundsProperty(t *testing.T) {
+	check := func(seed uint64, corrupt bool) bool {
+		scores, ranking := randomRanking(seed, corrupt)
+		ideal := ExactTopK(scores, graph.NodeID(len(scores)), len(ranking))
+		ndcg := NDCGAtK(ranking, ideal, ScoreFromSlice(scores))
+		if ndcg < 0 || ndcg > 1+1e-12 {
+			return false
+		}
+		// The ideal ranking scores exactly 1.
+		perfect := NDCGAtK(ideal, ideal, ScoreFromSlice(scores))
+		if math.Abs(perfect-1) > 1e-12 {
+			return false
+		}
+		// A corrupted ranking can never beat the ideal.
+		return ndcg <= perfect+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTauBoundsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		scores, ranking := randomRanking(seed, false)
+		tau := KendallTau(ranking, ScoreFromSlice(scores))
+		// ExactTopK returns descending order: tau must be exactly 1 unless
+		// ties make some pairs neither concordant nor discordant.
+		if tau > 1 || tau < -1 {
+			return false
+		}
+		// Reversing a strictly ordered ranking flips the sign.
+		rev := make([]graph.NodeID, len(ranking))
+		for i, v := range ranking {
+			rev[len(ranking)-1-i] = v
+		}
+		tauRev := KendallTau(rev, ScoreFromSlice(scores))
+		return tauRev <= tau
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsErrorSkipsQueryNode(t *testing.T) {
+	est := []float64{0, 0.5, 0.9}
+	exact := []float64{1, 0.5, 0.9}
+	// Position 0 differs by 1.0 but is the skipped query node.
+	if got := MaxAbsError(est, exact, 0); got != 0 {
+		t.Fatalf("MaxAbsError = %v, want 0 when only the skipped node differs", got)
+	}
+	if got := MaxAbsError(est, exact, 2); got != 1 {
+		t.Fatalf("MaxAbsError = %v, want 1 when node 0 is not skipped", got)
+	}
+}

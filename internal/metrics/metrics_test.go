@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+)
+
+func TestMaxAbsError(t *testing.T) {
+	est := []float64{1, 0.5, 0.2, 0.9}
+	exact := []float64{1, 0.4, 0.25, 0.0}
+	if got := MaxAbsError(est, exact, 3); math.Abs(got-0.1) > 1e-15 {
+		t.Fatalf("MaxAbsError skipping worst = %v, want 0.1", got)
+	}
+	if got := MaxAbsError(est, exact, 0); math.Abs(got-0.9) > 1e-15 {
+		t.Fatalf("MaxAbsError = %v, want 0.9", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	truth := []graph.NodeID{1, 2, 3, 4}
+	cases := []struct {
+		result []graph.NodeID
+		want   float64
+	}{
+		{[]graph.NodeID{1, 2, 3, 4}, 1},
+		{[]graph.NodeID{4, 3, 2, 1}, 1}, // order does not matter
+		{[]graph.NodeID{1, 2, 9, 8}, 0.5},
+		{[]graph.NodeID{7, 8, 9, 10}, 0},
+		{nil, 0},
+	}
+	for i, c := range cases {
+		if got := PrecisionAtK(c.result, truth); got != c.want {
+			t.Errorf("case %d: precision = %v, want %v", i, got, c.want)
+		}
+	}
+	if PrecisionAtK([]graph.NodeID{1}, nil) != 1 {
+		t.Error("empty truth must score 1")
+	}
+}
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	scores := []float64{0, 0.9, 0.5, 0.3, 0.1}
+	truth := []graph.NodeID{1, 2, 3}
+	if got := NDCGAtK(truth, truth, ScoreFromSlice(scores)); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("perfect ranking NDCG = %v", got)
+	}
+}
+
+func TestNDCGOrderSensitivity(t *testing.T) {
+	scores := []float64{0, 0.9, 0.5, 0.3, 0.1}
+	truth := []graph.NodeID{1, 2, 3}
+	swapped := NDCGAtK([]graph.NodeID{2, 1, 3}, truth, ScoreFromSlice(scores))
+	dropWeak := NDCGAtK([]graph.NodeID{1, 2, 4}, truth, ScoreFromSlice(scores))
+	dropTop := NDCGAtK([]graph.NodeID{4, 2, 3}, truth, ScoreFromSlice(scores))
+	if swapped >= 1 || dropWeak >= 1 || dropTop >= 1 {
+		t.Fatalf("imperfect rankings must lose gain: %v %v %v", swapped, dropWeak, dropTop)
+	}
+	// Losing the most relevant item must hurt more than losing the least
+	// relevant one.
+	if dropTop >= dropWeak {
+		t.Fatalf("dropTop (%v) should score below dropWeak (%v)", dropTop, dropWeak)
+	}
+}
+
+func TestNDCGHandComputed(t *testing.T) {
+	scores := []float64{0, 1.0, 0.5}
+	truth := []graph.NodeID{1, 2}
+	got := NDCGAtK([]graph.NodeID{2, 1}, truth, ScoreFromSlice(scores))
+	gain := func(s float64, pos int) float64 {
+		return (math.Pow(2, s) - 1) / math.Log2(float64(pos)+1)
+	}
+	want := (gain(0.5, 1) + gain(1.0, 2)) / (gain(1.0, 1) + gain(0.5, 2))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NDCG = %v, want %v", got, want)
+	}
+}
+
+func TestNDCGZeroIdeal(t *testing.T) {
+	if got := NDCGAtK([]graph.NodeID{1}, []graph.NodeID{2}, func(graph.NodeID) float64 { return 0 }); got != 1 {
+		t.Fatalf("zero ideal must score 1, got %v", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	scores := []float64{0, 0.9, 0.7, 0.5, 0.3}
+	score := ScoreFromSlice(scores)
+	if got := KendallTau([]graph.NodeID{1, 2, 3, 4}, score); got != 1 {
+		t.Fatalf("perfect order τ = %v", got)
+	}
+	if got := KendallTau([]graph.NodeID{4, 3, 2, 1}, score); got != -1 {
+		t.Fatalf("reversed order τ = %v", got)
+	}
+	// One adjacent swap in 4 items: 5 concordant, 1 discordant of 6 pairs.
+	if got := KendallTau([]graph.NodeID{2, 1, 3, 4}, score); math.Abs(got-4.0/6) > 1e-15 {
+		t.Fatalf("one-swap τ = %v, want 2/3", got)
+	}
+	if got := KendallTau([]graph.NodeID{1}, score); got != 1 {
+		t.Fatalf("singleton τ = %v", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// Ties contribute neither concordant nor discordant pairs.
+	scores := []float64{0, 0.5, 0.5, 0.1}
+	got := KendallTau([]graph.NodeID{1, 2, 3}, ScoreFromSlice(scores))
+	// Pairs: (1,2) tie, (1,3) concordant, (2,3) concordant → 2/3.
+	if math.Abs(got-2.0/3) > 1e-15 {
+		t.Fatalf("tie handling τ = %v, want 2/3", got)
+	}
+}
+
+func TestExactTopK(t *testing.T) {
+	exact := []float64{1, 0.5, 0.9, 0.5, 0.1}
+	got := ExactTopK(exact, 0, 3)
+	want := []graph.NodeID{2, 1, 3} // ties by ascending id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExactTopK = %v, want %v", got, want)
+		}
+	}
+	if len(ExactTopK(exact, 0, 100)) != 4 {
+		t.Fatal("k > n-1 must clamp")
+	}
+}
+
+func TestScoreFromMap(t *testing.T) {
+	score := ScoreFromMap(map[graph.NodeID]float64{3: 0.7})
+	if score(3) != 0.7 || score(9) != 0 {
+		t.Fatal("ScoreFromMap wrong")
+	}
+}

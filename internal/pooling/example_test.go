@@ -1,0 +1,57 @@
+package pooling_test
+
+import (
+	"fmt"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/pooling"
+	"probesim/internal/power"
+)
+
+// Pooling builds ground truth from the union of competing answers when the
+// exact ranking is too expensive: merge, dedupe, let the expert score only
+// the pool, and take the pool's best k. Here the expert is the exact Power
+// Method, so the pooled truth equals the real one.
+func Example() {
+	g := gen.ErdosRenyi(40, 200, 7)
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-10})
+	if err != nil {
+		panic(err)
+	}
+	var u graph.NodeID = 3
+
+	// Two "systems" submit their top-5 answers.
+	a, err := core.TopK(g, u, 5, core.Options{EpsA: 0.05, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	b, err := core.TopK(g, u, 5, core.Options{EpsA: 0.2, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	pool := pooling.Pool(nodesOf(a), nodesOf(b))
+	top, scores, err := pooling.GroundTruth(pool, func(v graph.NodeID) (float64, error) {
+		return truth.At(u, v), nil
+	}, 5)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("pool holds at most 10, at least 5 candidates: %v\n",
+		len(pool) >= 5 && len(pool) <= 10)
+	fmt.Printf("pooled ranking is by exact score: %v\n",
+		scores[top[0]] >= scores[top[1]])
+	// Output:
+	// pool holds at most 10, at least 5 candidates: true
+	// pooled ranking is by exact score: true
+}
+
+func nodesOf(res []core.ScoredNode) []graph.NodeID {
+	out := make([]graph.NodeID, len(res))
+	for i, r := range res {
+		out[i] = r.Node
+	}
+	return out
+}

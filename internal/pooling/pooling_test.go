@@ -1,0 +1,77 @@
+package pooling
+
+import (
+	"errors"
+	"testing"
+
+	"probesim/internal/graph"
+)
+
+func TestPoolDedupes(t *testing.T) {
+	got := Pool(
+		[]graph.NodeID{1, 2, 3},
+		[]graph.NodeID{3, 4},
+		[]graph.NodeID{1, 5},
+	)
+	want := []graph.NodeID{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("pool = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pool = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPoolEmpty(t *testing.T) {
+	if got := Pool(nil, nil); len(got) != 0 {
+		t.Fatalf("empty pool = %v", got)
+	}
+}
+
+func TestGroundTruthRanksByExpert(t *testing.T) {
+	pool := []graph.NodeID{10, 20, 30, 40}
+	expert := func(v graph.NodeID) (float64, error) {
+		return map[graph.NodeID]float64{10: 0.1, 20: 0.9, 30: 0.5, 40: 0.9}[v], nil
+	}
+	top, scores, err := GroundTruth(pool, expert, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 and 40 tie at 0.9; ascending id breaks the tie.
+	want := []graph.NodeID{20, 40, 30}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("truth = %v, want %v", top, want)
+		}
+	}
+	if scores[30] != 0.5 {
+		t.Fatalf("score map wrong: %v", scores)
+	}
+}
+
+func TestGroundTruthClamps(t *testing.T) {
+	expert := func(v graph.NodeID) (float64, error) { return float64(v), nil }
+	top, _, err := GroundTruth([]graph.NodeID{1, 2}, expert, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("clamp failed: %v", top)
+	}
+}
+
+func TestGroundTruthPropagatesExpertError(t *testing.T) {
+	expert := func(v graph.NodeID) (float64, error) { return 0, errors.New("boom") }
+	if _, _, err := GroundTruth([]graph.NodeID{1}, expert, 1); err == nil {
+		t.Fatal("expert error swallowed")
+	}
+}
+
+func TestGroundTruthRejectsBadK(t *testing.T) {
+	expert := func(v graph.NodeID) (float64, error) { return 0, nil }
+	if _, _, err := GroundTruth([]graph.NodeID{1}, expert, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package power implements the Power Method for all-pairs SimRank (Jeh &
+// Widom 2002), the ground-truth oracle used by the paper's small-graph
+// experiments (§6.1).
+//
+// The method iterates the correct SimRank fixed point of Eq. 10,
+//
+//	S = (c · Qᵀ S Q) ∨ I,
+//
+// where Q is the reverse transition matrix (row u is uniform over I(u)) and
+// ∨ I resets the diagonal to one. After k iterations every entry is within
+// c^(k+1) of the exact similarity, so 55 iterations at c = 0.6 give the
+// paper's 10⁻¹² guarantee.
+//
+// The cost is Θ(k·n·m) time and Θ(n²) space, which is exactly why the paper
+// restricts it to small graphs — and why this repository does too.
+package power
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"probesim/internal/graph"
+)
+
+// Options configures the Power Method.
+type Options struct {
+	// C is the SimRank decay factor in (0, 1). Default 0.6 (the paper's
+	// experimental setting).
+	C float64
+	// Iterations overrides the iteration count when > 0.
+	Iterations int
+	// Tolerance selects the iteration count as the smallest k with
+	// c^(k+1) <= Tolerance when Iterations == 0. Default 1e-12 (55
+	// iterations at c = 0.6, matching §6.1).
+	Tolerance float64
+	// Workers bounds row-level parallelism. Default runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.Iterations == 0 {
+		o.Iterations = IterationsFor(o.C, o.Tolerance)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("power: decay factor c = %v outside (0, 1)", o.C)
+	}
+	return nil
+}
+
+// IterationsFor returns the smallest k such that c^(k+1) <= tol, i.e. the
+// number of Power-Method iterations guaranteeing absolute error tol.
+func IterationsFor(c, tol float64) int {
+	if tol <= 0 || c <= 0 || c >= 1 {
+		return 55
+	}
+	k := int(math.Ceil(math.Log(tol)/math.Log(c))) - 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Matrix holds all-pairs SimRank scores for a graph with n nodes.
+type Matrix struct {
+	n    int
+	vals []float64 // row-major n×n
+}
+
+// N returns the number of nodes the matrix covers.
+func (m *Matrix) N() int { return m.n }
+
+// At returns s(u, v).
+func (m *Matrix) At(u, v graph.NodeID) float64 {
+	return m.vals[int(u)*m.n+int(v)]
+}
+
+// Row returns the single-source row s(u, ·). The slice aliases the matrix;
+// callers must not modify it.
+func (m *Matrix) Row(u graph.NodeID) []float64 {
+	return m.vals[int(u)*m.n : (int(u)+1)*m.n]
+}
+
+// SimRank computes all-pairs SimRank by the Power Method.
+func SimRank(g *graph.Graph, opt Options) (*Matrix, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Matrix{}, nil
+	}
+	cur := newIdentity(n)
+	next := make([]float64, n*n)
+	for it := 0; it < opt.Iterations; it++ {
+		iterate(g, opt, cur, next)
+		cur, next = next, cur
+	}
+	return &Matrix{n: n, vals: cur}, nil
+}
+
+// SingleSource computes the exact single-source row s(u, ·). It runs the
+// full all-pairs computation (SimRank has no cheaper exact single-source
+// form), so it carries the same Θ(n²) space cost; it exists as a
+// convenience for tests and small experiments.
+func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error) {
+	m, err := SimRank(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.n)
+	copy(out, m.Row(u))
+	return out, nil
+}
+
+func newIdentity(n int) []float64 {
+	s := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		s[i*n+i] = 1
+	}
+	return s
+}
+
+// iterate performs next = (c · Qᵀ cur Q) ∨ I, parallelized over rows.
+//
+// For each row u we first build t = mean_{x ∈ I(u)} cur[x] (one dense row),
+// then next[u][v] = c · mean_{y ∈ I(v)} t[y]. Rows with I(u) = ∅ are zero
+// except for the diagonal, matching Eq. 1 (an empty sum).
+func iterate(g *graph.Graph, opt Options, cur, next []float64) {
+	n := g.NumNodes()
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := make([]float64, n)
+			for u := range rows {
+				iterateRow(g, opt.C, cur, next, t, u)
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		rows <- u
+	}
+	close(rows)
+	wg.Wait()
+}
+
+func iterateRow(g *graph.Graph, c float64, cur, next, t []float64, u int) {
+	n := g.NumNodes()
+	row := next[u*n : (u+1)*n]
+	inU := g.InNeighbors(graph.NodeID(u))
+	if len(inU) == 0 {
+		for i := range row {
+			row[i] = 0
+		}
+		row[u] = 1
+		return
+	}
+	invU := 1 / float64(len(inU))
+	for i := range t {
+		t[i] = 0
+	}
+	for _, x := range inU {
+		xrow := cur[int(x)*n : (int(x)+1)*n]
+		for i, v := range xrow {
+			t[i] += v
+		}
+	}
+	for i := range t {
+		t[i] *= invU
+	}
+	for v := 0; v < n; v++ {
+		inV := g.InNeighbors(graph.NodeID(v))
+		if len(inV) == 0 {
+			row[v] = 0
+			continue
+		}
+		var sum float64
+		for _, y := range inV {
+			sum += t[y]
+		}
+		row[v] = c * sum / float64(len(inV))
+	}
+	row[u] = 1
+}

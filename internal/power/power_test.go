@@ -1,0 +1,270 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+func TestIterationsFor(t *testing.T) {
+	// 0.6^(55+1) ≈ 4.2e-13 <= 1e-12, 0.6^55 ≈ 6.9e-13 > ... check monotone
+	// property instead of exact constants.
+	k := IterationsFor(0.6, 1e-12)
+	if math.Pow(0.6, float64(k+1)) > 1e-12 {
+		t.Fatalf("k=%d does not reach tolerance", k)
+	}
+	if k > 1 && math.Pow(0.6, float64(k)) <= 1e-12 {
+		t.Fatalf("k=%d not minimal", k)
+	}
+	if IterationsFor(0.6, 0) != 55 {
+		t.Fatal("invalid tolerance must fall back to 55")
+	}
+}
+
+func TestRejectsBadDecay(t *testing.T) {
+	g := graph.New(2)
+	for _, c := range []float64{-0.5, 1, 1.5} {
+		if _, err := SimRank(g, Options{C: c}); err == nil {
+			t.Errorf("c=%v accepted", c)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	m, err := SimRank(graph.New(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 0 {
+		t.Fatal("empty graph should give empty matrix")
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	// No edges: s(u,u)=1, s(u,v)=0.
+	g := graph.New(4)
+	m, err := SimRank(g, Options{C: 0.6, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.NodeID(0); u < 4; u++ {
+		for v := graph.NodeID(0); v < 4; v++ {
+			want := 0.0
+			if u == v {
+				want = 1
+			}
+			if m.At(u, v) != want {
+				t.Fatalf("s(%d,%d) = %v, want %v", u, v, m.At(u, v), want)
+			}
+		}
+	}
+}
+
+// TestTwoNodeCycle checks the closed form on u <-> v: both nodes have the
+// other as their only in-neighbor, so s(u,v) = c·s(v,u) ... with s(u,v) =
+// c·s(u,v)? No: s(u,v) = c·s(v,u) by one expansion and by symmetry
+// s(u,v) = c·s(u,v) would force 0 — expanding properly: s(u,v) =
+// c·s(I(u),I(v)) = c·s(v,u) = c·s(u,v) only if s symmetric, giving 0.
+// SimRank of a 2-cycle is indeed 0 off-diagonal because the two walks can
+// never meet (they swap positions forever, always at opposite nodes).
+func TestTwoNodeCycle(t *testing.T) {
+	g := graph.New(2)
+	must(t, g.AddEdge(0, 1))
+	must(t, g.AddEdge(1, 0))
+	m, err := SimRank(g, Options{C: 0.8, Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); math.Abs(got) > 1e-12 {
+		t.Fatalf("2-cycle s(0,1) = %v, want 0", got)
+	}
+}
+
+// TestSharedParent checks the closed form for two nodes whose single
+// in-neighbor is the same node w: s(u,v) = c·s(w,w) = c.
+func TestSharedParent(t *testing.T) {
+	g := graph.New(3)
+	must(t, g.AddEdge(2, 0))
+	must(t, g.AddEdge(2, 1))
+	m, err := SimRank(g, Options{C: 0.6, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("shared parent s(0,1) = %v, want 0.6", got)
+	}
+}
+
+// TestStarClosedForm: hub h points to k leaves. Leaves pairwise similarity
+// is c; leaf-hub similarity is 0 (hub has no in-neighbor).
+func TestStarClosedForm(t *testing.T) {
+	const k = 5
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		must(t, g.AddEdge(0, graph.NodeID(i)))
+	}
+	m, err := SimRank(g, Options{C: 0.7, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			if got := m.At(graph.NodeID(i), graph.NodeID(j)); math.Abs(got-0.7) > 1e-9 {
+				t.Fatalf("s(%d,%d) = %v, want 0.7", i, j, got)
+			}
+		}
+		if got := m.At(0, graph.NodeID(i)); got != 0 {
+			t.Fatalf("s(hub,leaf) = %v, want 0", got)
+		}
+	}
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Property: SimRank is symmetric, bounded in [0,1], with unit diagonal and
+// off-diagonal values at most c.
+func TestMatrixProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := randomGraph(rng, 25, 80)
+		m, err := SimRank(g, Options{C: 0.6, Iterations: 25})
+		if err != nil {
+			return false
+		}
+		n := m.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				s := m.At(graph.NodeID(u), graph.NodeID(v))
+				if s < 0 || s > 1 {
+					return false
+				}
+				if u == v && s != 1 {
+					return false
+				}
+				if u != v && s > 0.6+1e-12 {
+					return false
+				}
+				if math.Abs(s-m.At(graph.NodeID(v), graph.NodeID(u))) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the definition (Eq. 1) holds at the fixed point.
+func TestFixedPointEquation(t *testing.T) {
+	rng := xrand.New(99)
+	g := randomGraph(rng, 20, 60)
+	m, err := SimRank(g, Options{C: 0.6, Tolerance: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			iu, iv := g.InNeighbors(graph.NodeID(u)), g.InNeighbors(graph.NodeID(v))
+			want := 0.0
+			if len(iu) > 0 && len(iv) > 0 {
+				var sum float64
+				for _, x := range iu {
+					for _, y := range iv {
+						sum += m.At(x, y)
+					}
+				}
+				want = 0.6 * sum / float64(len(iu)*len(iv))
+			}
+			if math.Abs(m.At(graph.NodeID(u), graph.NodeID(v))-want) > 1e-9 {
+				t.Fatalf("fixed point violated at (%d,%d): %v vs %v",
+					u, v, m.At(graph.NodeID(u), graph.NodeID(v)), want)
+			}
+		}
+	}
+}
+
+// Iterations monotonicity: more iterations never move the values by more
+// than the c^k tail bound.
+func TestConvergenceTail(t *testing.T) {
+	rng := xrand.New(5)
+	g := randomGraph(rng, 30, 120)
+	m10, err := SimRank(g, Options{C: 0.6, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m40, err := SimRank(g, Options{C: 0.6, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := math.Pow(0.6, 11)
+	for u := 0; u < m10.N(); u++ {
+		for v := 0; v < m10.N(); v++ {
+			d := math.Abs(m10.At(graph.NodeID(u), graph.NodeID(v)) - m40.At(graph.NodeID(u), graph.NodeID(v)))
+			if d > bound {
+				t.Fatalf("tail bound violated at (%d,%d): %v > %v", u, v, d, bound)
+			}
+		}
+	}
+}
+
+func TestSingleSourceMatchesMatrix(t *testing.T) {
+	rng := xrand.New(77)
+	g := randomGraph(rng, 15, 40)
+	m, err := SimRank(g, Options{C: 0.6, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := SingleSource(g, 3, Options{C: 0.6, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < m.N(); v++ {
+		if row[v] != m.At(3, graph.NodeID(v)) {
+			t.Fatalf("row mismatch at %d", v)
+		}
+	}
+}
+
+// Workers must not change results.
+func TestWorkerInvariance(t *testing.T) {
+	rng := xrand.New(123)
+	g := randomGraph(rng, 40, 150)
+	m1, err := SimRank(g, Options{C: 0.6, Iterations: 15, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := SimRank(g, Options{C: 0.6, Iterations: 15, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.vals {
+		if m1.vals[i] != m8.vals[i] {
+			t.Fatal("parallelism changed results")
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

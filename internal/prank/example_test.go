@@ -1,0 +1,31 @@
+package prank_test
+
+import (
+	"fmt"
+
+	"probesim/internal/graph"
+	"probesim/internal/prank"
+)
+
+// P-Rank sees similarity SimRank cannot: two pages that cite the same
+// source (co-citation) score zero under in-link SimRank but positively
+// under the out-link term.
+func Example() {
+	g := graph.New(3)
+	_ = g.AddEdge(0, 2) // 0 cites 2
+	_ = g.AddEdge(1, 2) // 1 cites 2
+
+	simrank, err := prank.Compute(g, prank.Options{C: 0.6, Tolerance: 1e-10}.WithLambda(1))
+	if err != nil {
+		panic(err)
+	}
+	cocite, err := prank.Compute(g, prank.Options{C: 0.6, Tolerance: 1e-10}.WithLambda(0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SimRank (λ=1): s(0,1) = %.1f\n", simrank.At(0, 1))
+	fmt.Printf("P-Rank  (λ=0): s(0,1) = %.1f\n", cocite.At(0, 1))
+	// Output:
+	// SimRank (λ=1): s(0,1) = 0.0
+	// P-Rank  (λ=0): s(0,1) = 0.6
+}

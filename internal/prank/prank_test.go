@@ -1,0 +1,194 @@
+package prank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/xrand"
+)
+
+func TestLambdaOneIsSimRank(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		g := gen.ErdosRenyi(40, 180, seed)
+		truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+		if err != nil {
+			t.Fatalf("power.SimRank: %v", err)
+		}
+		m, err := Compute(g, Options{C: 0.6, Tolerance: 1e-12}.WithLambda(1))
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				d := math.Abs(m.At(graph.NodeID(u), graph.NodeID(v)) - truth.At(graph.NodeID(u), graph.NodeID(v)))
+				if d > 1e-9 {
+					t.Fatalf("seed %d: P-Rank(λ=1) differs from SimRank by %v at (%d,%d)", seed, d, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLambdaZeroCoCitation(t *testing.T) {
+	// u -> w, v -> w and nothing else: out-link similarity in one step is
+	// s(u,v) = c·s(w,w) = c; u and v have no in-neighbors so λ=0 sees the
+	// full score.
+	g := graph.New(3)
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compute(g, Options{C: 0.6, Tolerance: 1e-12}.WithLambda(0))
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if d := math.Abs(m.At(0, 1) - 0.6); d > 1e-9 {
+		t.Fatalf("s(0,1) = %v, want c = 0.6", m.At(0, 1))
+	}
+	// Under pure in-link SimRank the same pair scores 0.
+	if s, _ := Compute(g, Options{C: 0.6, Tolerance: 1e-12}.WithLambda(1)); s.At(0, 1) != 0 {
+		t.Fatalf("SimRank s(0,1) = %v, want 0 (no in-neighbors)", s.At(0, 1))
+	}
+}
+
+func TestMatrixProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.ErdosRenyi(20, 90, seed%63+1)
+		lambda := float64(seed%5) / 4
+		m, err := Compute(g, Options{C: 0.6, Tolerance: 1e-10}.WithLambda(lambda))
+		if err != nil {
+			return false
+		}
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			if m.At(graph.NodeID(u), graph.NodeID(u)) != 1 {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				s := m.At(graph.NodeID(u), graph.NodeID(v))
+				if s < 0 || s > 1 {
+					return false
+				}
+				// Symmetry.
+				if math.Abs(s-m.At(graph.NodeID(v), graph.NodeID(u))) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaInterpolates(t *testing.T) {
+	// On a graph with both in- and out-structure, the balanced score must
+	// sit between the two extremes for at least the pairs where they
+	// differ... more precisely it is exactly a fixed point of the blended
+	// recurrence, so check it is not equal to either extreme everywhere.
+	g := gen.PreferentialAttachment(30, 3, 7)
+	in1, err := Compute(g, Options{Tolerance: 1e-10}.WithLambda(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out0, err := Compute(g, Options{Tolerance: 1e-10}.WithLambda(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Compute(g, Options{Tolerance: 1e-10}.WithLambda(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffIn, diffOut := false, false
+	for u := 0; u < g.NumNodes() && (!diffIn || !diffOut); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if math.Abs(mid.At(graph.NodeID(u), graph.NodeID(v))-in1.At(graph.NodeID(u), graph.NodeID(v))) > 1e-6 {
+				diffIn = true
+			}
+			if math.Abs(mid.At(graph.NodeID(u), graph.NodeID(v))-out0.At(graph.NodeID(u), graph.NodeID(v))) > 1e-6 {
+				diffOut = true
+			}
+		}
+	}
+	if !diffIn || !diffOut {
+		t.Fatal("λ=0.5 collapsed onto an extreme; the blend is not effective")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.ErdosRenyi(5, 10, 1)
+	if _, err := Compute(g, Options{C: 1.5}); err == nil {
+		t.Error("c > 1 accepted")
+	}
+	if _, err := Compute(g, Options{}.WithLambda(1.2)); err == nil {
+		t.Error("lambda > 1 accepted")
+	}
+	if _, err := Compute(g, Options{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	m, err := Compute(graph.New(0), Options{})
+	if err != nil {
+		t.Fatalf("Compute on empty graph: %v", err)
+	}
+	if m.N() != 0 {
+		t.Fatalf("N = %d, want 0", m.N())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := gen.ErdosRenyi(25, 120, 9)
+	m, err := Compute(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopK(3, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d nodes, want 5", len(top))
+	}
+	row := m.Row(3)
+	for i := 1; i < len(top); i++ {
+		if row[top[i]] > row[top[i-1]] {
+			t.Fatalf("TopK not descending at %d", i)
+		}
+	}
+	for _, v := range top {
+		if v == 3 {
+			t.Fatal("TopK included the query node")
+		}
+	}
+	if m.TopK(3, 0) != nil {
+		t.Fatal("TopK(k=0) should be nil")
+	}
+	if got := m.TopK(3, 100); len(got) != 24 {
+		t.Fatalf("TopK(k>n) returned %d, want n-1 = 24", len(got))
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	g := gen.ErdosRenyi(30, 150, 21)
+	a, err := Compute(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(g, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for i := 0; i < 200; i++ {
+		u, v := graph.NodeID(rng.Intn(30)), graph.NodeID(rng.Intn(30))
+		if a.At(u, v) != b.At(u, v) {
+			t.Fatalf("worker counts disagree at (%d,%d): %v vs %v", u, v, a.At(u, v), b.At(u, v))
+		}
+	}
+}

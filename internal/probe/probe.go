@@ -1,0 +1,269 @@
+// Package probe implements the PROBE primitives of ProbeSim: given a
+// partial √c-walk W(u, i) = (u₁, …, u_i), compute for every node v its
+// first-meeting probability P(v, W(u, i)) — the probability that a √c-walk
+// from v visits u_i at step i without having met the partial walk at any
+// earlier step (Definition 4).
+//
+// Two variants are provided, mirroring §3.2 and §4.3 of the paper:
+//
+//   - Deterministic (Algorithm 2): an exact level-by-level graph traversal
+//     in O(m·i) worst-case time, supporting the score-pruning rule 2 and
+//     batched execution (one probe serves many identical walk prefixes).
+//   - Randomized (Algorithm 4): an O(n·i) expected-time Bernoulli sampler
+//     whose per-node selection probability equals the deterministic score
+//     (Lemma 6), trading exactness for a better worst-case bound.
+//
+// ContinueRandomized supports the §4.4 hybrid: a probe that starts
+// deterministically can hand its current level over to the randomized
+// sampler mid-flight.
+package probe
+
+import (
+	"math"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// Scratch holds the reusable dense frontier buffers for probes on a graph
+// with a fixed number of nodes. A Scratch may be reused across any number
+// of probes but must not be shared between goroutines.
+type Scratch struct {
+	n int
+
+	// Work counts edge traversals across all probes on this Scratch;
+	// callers may read (and reset) it to enforce work budgets.
+	Work int64
+
+	// Current and next level frontiers. curScore is valid for the nodes
+	// listed in the current level; newScore accumulates the next level
+	// under mark stamps.
+	curList  []graph.NodeID
+	nextList []graph.NodeID
+	curScore []float64
+	newScore []float64
+	mark     []uint32
+	epoch    uint32
+
+	// Membership stamps for randomized probes.
+	member   []uint32
+	memberEp uint32
+}
+
+// NewScratch allocates probe buffers for a graph with n nodes.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		n:        n,
+		curScore: make([]float64, n),
+		newScore: make([]float64, n),
+		mark:     make([]uint32, n),
+		member:   make([]uint32, n),
+	}
+}
+
+// nextEpoch invalidates all mark stamps in O(1) (with a wraparound reset).
+func (s *Scratch) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s.epoch
+}
+
+func (s *Scratch) nextMemberEpoch() uint32 {
+	s.memberEp++
+	if s.memberEp == 0 {
+		for i := range s.member {
+			s.member[i] = 0
+		}
+		s.memberEp = 1
+	}
+	return s.memberEp
+}
+
+// Result is a deterministic probe outcome: the nodes of the final level and
+// a dense score array (indexed by node id, valid only for the listed
+// nodes). Both alias Scratch storage and are invalidated by the next probe
+// on the same Scratch.
+type Result struct {
+	Nodes  []graph.NodeID
+	Scores []float64
+}
+
+// Deterministic runs Algorithm 2 on the partial walk path (path[0] = u).
+// epsP > 0 enables pruning rule 2: a frontier node x is not expanded when
+// Score(x)·(√c)^(remaining levels) <= epsP. The query node path[0] is never
+// assigned a score (Definition 4 requires v ≠ u₁).
+//
+// The returned scores are exact first-meeting probabilities when epsP == 0,
+// and one-sided under-estimates short by at most epsP otherwise (Lemma 7).
+func Deterministic(g *graph.Graph, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) Result {
+	i := len(path)
+	if i < 2 {
+		return Result{}
+	}
+	cur := append(s.curList[:0], path[i-1])
+	s.curScore[path[i-1]] = 1
+	for j := 0; j <= i-2; j++ {
+		cur = s.deterministicLevel(g, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return Result{Nodes: cur, Scores: s.curScore}
+}
+
+// pruneThreshold returns the level-j frontier score below which pruning
+// rule 2 drops a node: Score(x)·(√c)^{i-j-1} <= εp. Zero disables pruning.
+func pruneThreshold(epsP, sqrtC float64, i, j int) float64 {
+	if epsP <= 0 {
+		return 0
+	}
+	return epsP / math.Pow(sqrtC, float64(i-j-1))
+}
+
+// deterministicLevel expands one level of Algorithm 2 and returns the next
+// frontier. The expanded scores end up in s.curScore (buffers are swapped).
+func (s *Scratch) deterministicLevel(g *graph.Graph, cur []graph.NodeID, excluded graph.NodeID, sqrtC, pruneBelow float64) []graph.NodeID {
+	epoch := s.nextEpoch()
+	next := s.nextList[:0]
+	for _, x := range cur {
+		sc := s.curScore[x]
+		if pruneBelow > 0 && sc <= pruneBelow {
+			continue
+		}
+		w := sqrtC * sc
+		out := g.OutNeighbors(x)
+		s.Work += int64(len(out))
+		for _, v := range out {
+			if v == excluded {
+				continue
+			}
+			contrib := w / float64(g.InDegree(v))
+			if s.mark[v] == epoch {
+				s.newScore[v] += contrib
+			} else {
+				s.mark[v] = epoch
+				s.newScore[v] = contrib
+				next = append(next, v)
+			}
+		}
+	}
+	s.curList, s.nextList = next, cur[:0]
+	s.curScore, s.newScore = s.newScore, s.curScore
+	return next
+}
+
+// OutDegreeSum returns the total out-degree of the listed nodes, the
+// quantity the §4.4 hybrid compares against c₀·w·n to decide a switch.
+func OutDegreeSum(g *graph.Graph, nodes []graph.NodeID) int {
+	sum := 0
+	for _, v := range nodes {
+		sum += g.OutDegree(v)
+	}
+	return sum
+}
+
+// Randomized runs Algorithm 4 on the partial walk path. Every node of the
+// returned final level is a Bernoulli sample whose success probability
+// equals the deterministic score (Lemma 6); the caller counts each returned
+// node with weight 1. The returned slice aliases Scratch storage.
+func Randomized(g *graph.Graph, path []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
+	i := len(path)
+	if i < 2 {
+		return nil
+	}
+	ep := s.nextMemberEpoch()
+	s.member[path[i-1]] = ep
+	cur := append(s.curList[:0], path[i-1])
+	for j := 0; j <= i-2; j++ {
+		cur = s.randomizedLevel(g, cur, path[i-j-2], sqrtC, rng, ep)
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// ContinueRandomized finishes a probe of path whose levels 0..j have
+// already been computed; members must list the sampled membership of level
+// j (H_j). It runs the remaining randomized levels and returns the final
+// level. members is copied, so callers may reuse their buffer across
+// replicas. The returned slice aliases Scratch storage.
+func ContinueRandomized(g *graph.Graph, path []graph.NodeID, j int, members []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
+	i := len(path)
+	if i < 2 || j > i-2 {
+		// Nothing left to expand: H_j is the final level. Copy into
+		// scratch so the aliasing contract matches the other entry points.
+		return append(s.curList[:0], members...)
+	}
+	ep := s.nextMemberEpoch()
+	cur := s.curList[:0]
+	for _, v := range members {
+		if s.member[v] != ep {
+			s.member[v] = ep
+			cur = append(cur, v)
+		}
+	}
+	s.curList = cur
+	for ; j <= i-2; j++ {
+		cur = s.randomizedLevel(g, cur, path[i-j-2], sqrtC, rng, ep)
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// randomizedLevel advances one level of Algorithm 4: from the member set
+// stamped in s.member (listed in cur), it samples the next member set and
+// returns its node list. excluded is u_{i-j-1}.
+func (s *Scratch) randomizedLevel(g *graph.Graph, cur []graph.NodeID, excluded graph.NodeID, sqrtC float64, rng *xrand.RNG, ep uint32) []graph.NodeID {
+	next := s.nextList[:0]
+	selected := func(x graph.NodeID) bool {
+		in := g.InNeighbors(x)
+		v := in[rng.Intn(len(in))]
+		return s.member[v] == ep && rng.Float64() < sqrtC
+	}
+	// Candidate set U: union of out-neighbors if cheap, else all nodes
+	// (Lines 3-7 of Algorithm 4).
+	if OutDegreeSum(g, cur) <= s.n {
+		// Deduplicate candidates with the mark array so each x is sampled
+		// exactly once, as in "for each x ∈ U".
+		epoch := s.nextEpoch()
+		for _, v := range cur {
+			for _, x := range g.OutNeighbors(v) {
+				if x == excluded || s.mark[x] == epoch {
+					continue
+				}
+				s.mark[x] = epoch
+				if selected(x) {
+					next = append(next, x)
+				}
+			}
+		}
+	} else {
+		for x := 0; x < s.n; x++ {
+			id := graph.NodeID(x)
+			if id == excluded || g.InDegree(id) == 0 {
+				continue
+			}
+			if selected(id) {
+				next = append(next, id)
+			}
+		}
+	}
+	// Membership stamps move to the new level: clear the old members, then
+	// stamp the new ones (a node may appear in both levels).
+	for _, v := range cur {
+		s.member[v] = 0
+	}
+	for _, x := range next {
+		s.member[x] = ep
+	}
+	s.curList, s.nextList = next, cur[:0]
+	return next
+}

@@ -1,0 +1,246 @@
+package server
+
+// Extended endpoints: pairwise queries, similarity joins, structure
+// reports, and batched edge updates. These sit on the same lock and cache
+// discipline as the core handlers: reads share the read lock, updates take
+// the write lock, and the Querier invalidates itself via the graph version.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/simjoin"
+)
+
+// joinNodeLimit bounds the graph size for which the O(n·query) join
+// endpoints are allowed; beyond this a join would monopolize the service.
+const joinNodeLimit = 20000
+
+func (s *Server) registerExtra() {
+	s.mux.HandleFunc("/pair", s.handlePair)
+	s.mux.HandleFunc("/join/topk", s.handleJoinTopK)
+	s.mux.HandleFunc("/components", s.handleComponents)
+	s.mux.HandleFunc("/edges/batch", s.handleEdgeBatch)
+	s.mux.HandleFunc("/progressive-topk", s.handleProgressiveTopK)
+}
+
+// handleProgressiveTopK answers a top-k query with the any-time algorithm
+// and reports its stopping statistics, so clients can see what early
+// stopping saved. Progressive queries bypass the Querier cache: their
+// cost depends on the query's separability, not on repetition.
+func (s *Server) handleProgressiveTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > 10000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be in [1, 10000]"))
+			return
+		}
+	}
+	s.mu.RLock()
+	res, stats, err := core.TopKProgressive(s.g, u, k, s.opt)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]scoredNodeJSON, len(res))
+	for i, r := range res {
+		out[i] = scoredNodeJSON{Node: r.Node, Score: r.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query": u, "results": out,
+		"walks": stats.Walks, "budgetWalks": stats.BudgetWalks,
+		"rounds": stats.Rounds, "radius": stats.Radius,
+		"separated": stats.Separated,
+	})
+}
+
+// handlePair answers s(u, v) from the cached single-source vector of u, so
+// repeated pair probes against one node cost a single query.
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.nodeParam(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	scores, err := s.q.SingleSource(u)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v, "score": scores[v],
+	})
+}
+
+// handleJoinTopK runs a global top-k similarity join. This is n
+// single-source queries, so it is limited to graphs under joinNodeLimit
+// nodes and k <= 1000.
+func (s *Server) handleJoinTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > 1000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be in [1, 1000]"))
+			return
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n := s.g.NumNodes(); n > joinNodeLimit {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("join needs one query per node; graph has %d nodes, limit %d", n, joinNodeLimit))
+		return
+	}
+	pairs, err := simjoin.TopKJoin(s.g, k, simjoin.Options{Query: s.opt})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type pairJSON struct {
+		U     graph.NodeID `json:"u"`
+		V     graph.NodeID `json:"v"`
+		Score float64      `json:"score"`
+	}
+	out := make([]pairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = pairJSON{U: p.U, V: p.V, Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": k, "pairs": out})
+}
+
+// handleComponents reports the graph's component structure (strong and
+// weak counts plus the largest sizes), the numbers operators check after
+// bulk loads.
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.mu.RLock()
+	sccIDs, sccCount := s.g.StronglyConnectedComponents()
+	wccIDs, wccCount := s.g.WeaklyConnectedComponents()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stronglyConnected": sccCount,
+		"largestSCC":        largestComponent(sccIDs, sccCount),
+		"weaklyConnected":   wccCount,
+		"largestWCC":        largestComponent(wccIDs, wccCount),
+	})
+}
+
+func largestComponent(ids []int32, count int) int {
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, id := range ids {
+		sizes[id]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// batchOp is one update in an /edges/batch request body.
+type batchOp struct {
+	Op string       `json:"op"` // "add" or "remove"
+	U  graph.NodeID `json:"u"`
+	V  graph.NodeID `json:"v"`
+}
+
+// handleEdgeBatch applies a JSON array of edge updates atomically under one
+// write lock: either every op applies, or the graph is rolled back and the
+// failing op is reported. Dynamic workloads stream churn through this
+// endpoint instead of paying one round trip per edge.
+func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var ops []batchOp
+	if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body: %v", err))
+		return
+	}
+	if len(ops) > 100000 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d ops exceeds limit", len(ops)))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := make([]batchOp, 0, len(ops))
+	for i, op := range ops {
+		var err error
+		switch op.Op {
+		case "add":
+			err = s.g.AddEdge(op.U, op.V)
+		case "remove":
+			err = s.g.RemoveEdge(op.U, op.V)
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			rollback(s.g, applied)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
+			return
+		}
+		applied = append(applied, op)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": len(applied), "edges": s.g.NumEdges(), "version": s.g.Version(),
+	})
+}
+
+// rollback undoes applied ops in reverse order. Every inverse must succeed
+// because the forward op just did; a failure here means corrupted state and
+// panics loudly rather than serving wrong similarities.
+func rollback(g *graph.Graph, applied []batchOp) {
+	for i := len(applied) - 1; i >= 0; i-- {
+		op := applied[i]
+		var err error
+		switch op.Op {
+		case "add":
+			err = g.RemoveEdge(op.U, op.V)
+		case "remove":
+			err = g.AddEdge(op.U, op.V)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("server: rollback failed at op %d: %v", i, err))
+		}
+	}
+}

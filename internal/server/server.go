@@ -1,0 +1,213 @@
+// Package server implements the HTTP similarity-search service behind
+// cmd/probesim-server: top-k and single-source SimRank queries over a
+// live, updatable graph, with the core.Querier result cache in front.
+//
+// Concurrency contract: queries share a read lock; edge updates take the
+// write lock, so the underlying graph is never mutated mid-query. Cache
+// invalidation is automatic via the graph version counter.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+)
+
+// Server is the http.Handler for the similarity service.
+type Server struct {
+	mu    sync.RWMutex
+	g     *graph.Graph
+	q     *core.Querier
+	opt   core.Options
+	limit int
+	mux   *http.ServeMux
+}
+
+// New builds a Server over g. cacheCap bounds the Querier cache; limit
+// bounds the number of entries /single-source returns.
+func New(g *graph.Graph, opt core.Options, cacheCap, limit int) *Server {
+	if limit <= 0 {
+		limit = 100
+	}
+	s := &Server{
+		g:     g,
+		q:     core.NewQuerier(g, opt, cacheCap),
+		opt:   opt,
+		limit: limit,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/single-source", s.handleSingleSource)
+	s.mux.HandleFunc("/edges", s.handleEdges)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.registerExtra()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if v < 0 || int(v) >= s.g.NumNodes() {
+		return 0, fmt.Errorf("node %d out of range [0, %d)", v, s.g.NumNodes())
+	}
+	return graph.NodeID(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type scoredNodeJSON struct {
+	Node  graph.NodeID `json:"node"`
+	Score float64      `json:"score"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > 10000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be in [1, 10000]"))
+			return
+		}
+	}
+	s.mu.RLock()
+	res, err := s.q.TopK(u, k)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]scoredNodeJSON, len(res))
+	for i, r := range res {
+		out[i] = scoredNodeJSON{Node: r.Node, Score: r.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": u, "results": out})
+}
+
+func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	scores, err := s.q.SingleSource(u)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type entry struct {
+		v graph.NodeID
+		s float64
+	}
+	var nonzero []entry
+	for v, sc := range scores {
+		if graph.NodeID(v) != u && sc > 0 {
+			nonzero = append(nonzero, entry{graph.NodeID(v), sc})
+		}
+	}
+	sort.Slice(nonzero, func(i, j int) bool {
+		if nonzero[i].s != nonzero[j].s {
+			return nonzero[i].s > nonzero[j].s
+		}
+		return nonzero[i].v < nonzero[j].v
+	})
+	top := nonzero
+	if len(top) > s.limit {
+		top = top[:s.limit]
+	}
+	m := make(map[string]float64, len(top))
+	for _, e := range top {
+		m[strconv.Itoa(int(e.v))] = e.s
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query": u, "nonzero": len(nonzero), "scores": m,
+	})
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.nodeParam(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodPost:
+		err = s.g.AddEdge(u, v)
+	case http.MethodDelete:
+		err = s.g.RemoveEdge(u, v)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"edges": s.g.NumEdges(), "version": s.g.Version(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.mu.RLock()
+	stats := s.g.ComputeStats()
+	hits, misses, cached := s.q.Stats()
+	version := s.g.Version()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": stats.Nodes, "edges": stats.Edges,
+		"maxInDegree": stats.MaxInDegree, "zeroInDegree": stats.ZeroInDeg,
+		"cacheHits": hits, "cacheMisses": misses, "cachedVectors": cached,
+		"graphVersion": version,
+	})
+}

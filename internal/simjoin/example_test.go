@@ -1,0 +1,33 @@
+package simjoin_test
+
+import (
+	"fmt"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/simjoin"
+)
+
+// Join a whole graph for similar pairs: the children of the common parent
+// score c = 0.6, and similarity propagates one hop down to their own
+// children at c·s(1,2) = 0.36 — both pairs clear the threshold.
+func Example() {
+	g := graph.New(5)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	pairs, err := simjoin.ThresholdJoin(g, 0.3, simjoin.Options{
+		Query: core.Options{EpsA: 0.02, Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("{%d, %d} s = %.1f\n", p.U, p.V, p.Score)
+	}
+	// Output:
+	// {1, 2} s = 0.6
+	// {3, 4} s = 0.4
+}

@@ -1,0 +1,257 @@
+// Package simjoin answers SimRank similarity-join queries — "find all
+// similar pairs" — on top of ProbeSim single-source queries. Joins are the
+// application the paper's related work treats as a separate problem
+// ([21, 26, 36] in §5); building them on an index-free single-source
+// primitive means they inherit ProbeSim's εa guarantee and its
+// dynamic-graph friendliness: no join index to maintain, any edge update is
+// immediately visible to the next join.
+//
+// Two query shapes are provided:
+//
+//   - ThresholdJoin returns every unordered pair whose estimated similarity
+//     is at least θ. Because every estimate carries the εa guarantee, the
+//     result contains all pairs with s(u,v) >= θ + εa and no pair with
+//     s(u,v) < θ − εa (with probability 1 − δ overall).
+//   - TopKJoin returns the k highest-scoring unordered pairs.
+//
+// Both run one single-source query per candidate source, parallelized
+// across sources, so a full join costs n queries — the same asymptotics as
+// the dedicated join algorithms, without preprocessing.
+package simjoin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+)
+
+// Pair is one joined pair with its estimated SimRank similarity. U < V
+// always holds: pairs are unordered and reported once.
+type Pair struct {
+	U, V  graph.NodeID
+	Score float64
+}
+
+// Options configures a join.
+type Options struct {
+	// Query configures the per-source ProbeSim queries (c, εa, mode,
+	// workers, seed; zero value = paper defaults). The join divides
+	// Query.Delta across sources so that δ bounds the failure probability
+	// of the whole join, not of one query.
+	Query core.Options
+	// Sources restricts the join to pairs with at least one endpoint in
+	// the set. Empty means every node with at least one in-neighbor
+	// (a node without in-neighbors has similarity 0 to every other node,
+	// so no pair is lost by skipping them).
+	Sources []graph.NodeID
+	// Workers bounds the number of concurrent single-source queries.
+	// Default: the query option's worker count. Each concurrent query
+	// runs single-threaded so total parallelism stays bounded.
+	Workers int
+}
+
+func (o Options) sourcesFor(g *graph.Graph) []graph.NodeID {
+	if len(o.Sources) > 0 {
+		return o.Sources
+	}
+	var out []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.InDegree(graph.NodeID(v)) > 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// perSourceOptions derives the options for one source's query: the join's
+// failure budget is split evenly across sources by a union bound, and each
+// source gets its own deterministic seed stream.
+func perSourceOptions(q core.Options, nSources int, u graph.NodeID) core.Options {
+	o := q
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
+	o.Delta /= float64(nSources)
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	o.Seed = o.Seed*0x9e3779b97f4a7c15 + uint64(u) + 1
+	o.Workers = 1 // the join parallelizes across sources instead
+	return o
+}
+
+func validate(g *graph.Graph, opt Options) error {
+	for _, u := range opt.Sources {
+		if u < 0 || int(u) >= g.NumNodes() {
+			return fmt.Errorf("simjoin: source %d out of range [0, %d)", u, g.NumNodes())
+		}
+	}
+	return nil
+}
+
+// ThresholdJoin returns every unordered pair {u, v} with estimated
+// similarity at least theta, sorted by descending score (ties broken by
+// node ids). With probability 1 − δ the result contains every pair with
+// s(u,v) >= theta + εa and no pair with s(u,v) < theta − εa.
+func ThresholdJoin(g *graph.Graph, theta float64, opt Options) ([]Pair, error) {
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("simjoin: threshold %v outside (0, 1)", theta)
+	}
+	if err := validate(g, opt); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var out []Pair
+	err := forEachSource(g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
+		var local []Pair
+		for v := range est {
+			if !owned(graph.NodeID(v)) {
+				continue
+			}
+			if est[v] >= theta {
+				local = append(local, makePair(u, graph.NodeID(v), est[v]))
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// makePair normalizes an unordered pair to U < V.
+func makePair(u, v graph.NodeID, score float64) Pair {
+	if u > v {
+		u, v = v, u
+	}
+	return Pair{U: u, V: v, Score: score}
+}
+
+// TopKJoin returns the k unordered pairs with the highest estimated
+// similarity, in descending score order. Each worker keeps a local top-k
+// and the partial answers are merged at the end.
+func TopKJoin(g *graph.Graph, k int, opt Options) ([]Pair, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("simjoin: k = %d must be positive", k)
+	}
+	if err := validate(g, opt); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var all []Pair
+	err := forEachSource(g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
+		// Keep the source's k best pairs; anything below its k-th best
+		// can never enter the global top-k.
+		local := make([]Pair, 0, k)
+		for v := range est {
+			if est[v] <= 0 || !owned(graph.NodeID(v)) {
+				continue
+			}
+			local = append(local, makePair(u, graph.NodeID(v), est[v]))
+		}
+		sortPairs(local)
+		if len(local) > k {
+			local = local[:k]
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortPairs(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// forEachSource runs one single-source query per source across a bounded
+// worker pool and hands each result to fn together with an ownership
+// predicate: owned(v) reports whether the pair {u, v} should be emitted by
+// u's query. A pair with both endpoints in the source set is owned by the
+// smaller endpoint; a pair with one source endpoint is owned by that
+// source. fn may run concurrently.
+func forEachSource(g *graph.Graph, opt Options, fn func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool)) error {
+	sources := opt.sourcesFor(g)
+	if len(sources) == 0 {
+		return nil
+	}
+	isSource := make([]bool, g.NumNodes())
+	for _, u := range sources {
+		isSource[u] = true
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		resolved, err := core.PlanFor(opt.Query, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		workers = resolved.Workers
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan graph.NodeID)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				qo := perSourceOptions(opt.Query, len(sources), u)
+				est, err := core.SingleSource(g, u, qo)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("simjoin: source %d: %w", u, err) })
+					continue
+				}
+				owned := func(v graph.NodeID) bool {
+					if v == u {
+						return false
+					}
+					if isSource[v] {
+						return v > u // both endpoints queried: smaller id owns the pair
+					}
+					return true
+				}
+				fn(u, est, owned)
+			}
+		}()
+	}
+	for _, u := range sources {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// sortPairs orders by descending score, then ascending (U, V) so output is
+// deterministic.
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		if ps[i].U != ps[j].U {
+			return ps[i].U < ps[j].U
+		}
+		return ps[i].V < ps[j].V
+	})
+}

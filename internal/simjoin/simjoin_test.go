@@ -1,0 +1,268 @@
+package simjoin
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/power"
+)
+
+// joinOptions are tight enough that the statistical tests below are stable
+// for the fixed seeds.
+func joinOptions() Options {
+	return Options{Query: core.Options{EpsA: 0.04, Delta: 0.01, Seed: 7}}
+}
+
+// truthPairs returns every unordered pair with exact similarity >= theta.
+func truthPairs(t *testing.T, g *graph.Graph, theta float64) map[[2]graph.NodeID]float64 {
+	t.Helper()
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatalf("power.SimRank: %v", err)
+	}
+	out := make(map[[2]graph.NodeID]float64)
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s := truth.At(graph.NodeID(u), graph.NodeID(v)); s >= theta {
+				out[[2]graph.NodeID{graph.NodeID(u), graph.NodeID(v)}] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestThresholdJoinGuarantee(t *testing.T) {
+	g := gen.ErdosRenyi(60, 240, 3)
+	opt := joinOptions()
+	theta := 0.10
+	eps := opt.Query.EpsA
+
+	got, err := ThresholdJoin(g, theta, opt)
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	gotSet := make(map[[2]graph.NodeID]bool, len(got))
+	for _, p := range got {
+		gotSet[[2]graph.NodeID{p.U, p.V}] = true
+	}
+
+	// Completeness: every pair with s >= theta + eps must be returned.
+	for pair, s := range truthPairs(t, g, theta+eps) {
+		if !gotSet[pair] {
+			t.Errorf("pair %v with s = %v >= θ+ε missing from join", pair, s)
+		}
+	}
+	// Soundness: no returned pair may have s < theta - eps.
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got {
+		if s := truth.At(p.U, p.V); s < theta-eps {
+			t.Errorf("pair {%d,%d} returned with s = %v < θ−ε", p.U, p.V, s)
+		}
+	}
+}
+
+func TestThresholdJoinOutputInvariants(t *testing.T) {
+	g := gen.PreferentialAttachment(50, 3, 5)
+	got, err := ThresholdJoin(g, 0.05, joinOptions())
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("join returned no pairs; test graph too sparse for the assertions below")
+	}
+	seen := make(map[[2]graph.NodeID]bool)
+	for i, p := range got {
+		if p.U >= p.V {
+			t.Fatalf("pair %d not normalized: U=%d >= V=%d", i, p.U, p.V)
+		}
+		key := [2]graph.NodeID{p.U, p.V}
+		if seen[key] {
+			t.Fatalf("pair %v reported twice", key)
+		}
+		seen[key] = true
+		if i > 0 && got[i].Score > got[i-1].Score {
+			t.Fatalf("output not sorted by descending score at %d", i)
+		}
+	}
+}
+
+func TestTopKJoinMatchesThreshold(t *testing.T) {
+	// TopKJoin's k-th best score defines an implicit threshold; joining at
+	// that threshold must return a superset containing the same best pairs.
+	g := gen.ErdosRenyi(40, 200, 9)
+	opt := joinOptions()
+	top, err := TopKJoin(g, 10, opt)
+	if err != nil {
+		t.Fatalf("TopKJoin: %v", err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("TopKJoin returned %d pairs, want 10", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatalf("TopKJoin not sorted at %d", i)
+		}
+	}
+	all, err := ThresholdJoin(g, top[len(top)-1].Score, opt)
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	allSet := make(map[[2]graph.NodeID]bool)
+	for _, p := range all {
+		allSet[[2]graph.NodeID{p.U, p.V}] = true
+	}
+	for _, p := range top {
+		if !allSet[[2]graph.NodeID{p.U, p.V}] {
+			t.Fatalf("top pair %v missing from threshold join at its own score", p)
+		}
+	}
+}
+
+func TestTopKJoinAgainstTruth(t *testing.T) {
+	g := gen.ErdosRenyi(50, 220, 13)
+	opt := joinOptions()
+	k := 5
+	top, err := TopKJoin(g, k, opt)
+	if err != nil {
+		t.Fatalf("TopKJoin: %v", err)
+	}
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact k-th best pair score.
+	var scores []float64
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			scores = append(scores, truth.At(graph.NodeID(u), graph.NodeID(v)))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	kth := scores[k-1]
+	// Every returned pair's true score must be within 2ε of the k-th best
+	// (its estimate beat the k-th estimate, both within ε of truth).
+	for _, p := range top {
+		if s := truth.At(p.U, p.V); s < kth-2*opt.Query.EpsA {
+			t.Errorf("top pair {%d,%d}: true score %v more than 2ε below k-th best %v", p.U, p.V, s, kth)
+		}
+	}
+}
+
+func TestSourcesRestriction(t *testing.T) {
+	g := gen.ErdosRenyi(40, 180, 17)
+	opt := joinOptions()
+	opt.Sources = []graph.NodeID{3, 9}
+	got, err := ThresholdJoin(g, 0.02, opt)
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	for _, p := range got {
+		if p.U != 3 && p.U != 9 && p.V != 3 && p.V != 9 {
+			t.Fatalf("pair {%d,%d} has no endpoint in Sources", p.U, p.V)
+		}
+	}
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, p := range got {
+		key := [2]graph.NodeID{p.U, p.V}
+		if seen[key] {
+			t.Fatalf("pair %v reported twice with overlapping sources", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 30, 1)
+	if _, err := ThresholdJoin(g, 0, joinOptions()); err == nil {
+		t.Error("theta = 0 accepted")
+	}
+	if _, err := ThresholdJoin(g, 1.5, joinOptions()); err == nil {
+		t.Error("theta > 1 accepted")
+	}
+	if _, err := TopKJoin(g, 0, joinOptions()); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	bad := joinOptions()
+	bad.Sources = []graph.NodeID{99}
+	if _, err := ThresholdJoin(g, 0.1, bad); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	badQuery := Options{Query: core.Options{EpsA: 2}}
+	if _, err := ThresholdJoin(g, 0.1, badQuery); err == nil {
+		t.Error("invalid query options accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gen.PreferentialAttachment(40, 3, 8)
+	opt := joinOptions()
+	a, err := ThresholdJoin(g, 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 1
+	b, err := ThresholdJoin(g, 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("join size differs across worker counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptySourceSet(t *testing.T) {
+	// A graph with no in-edges at all joins to nothing.
+	g := graph.New(5)
+	got, err := ThresholdJoin(g, 0.1, Options{Query: core.Options{EpsA: 0.2}})
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("join on edgeless graph returned %d pairs", len(got))
+	}
+}
+
+func TestMakePairNormalizes(t *testing.T) {
+	check := func(a, b uint8, s float64) bool {
+		if a == b {
+			return true
+		}
+		p := makePair(graph.NodeID(a), graph.NodeID(b), s)
+		return p.U < p.V && p.Score == s
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairScoresWithinEps(t *testing.T) {
+	g := gen.ErdosRenyi(40, 160, 23)
+	opt := joinOptions()
+	got, err := ThresholdJoin(g, 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got {
+		if d := math.Abs(p.Score - truth.At(p.U, p.V)); d > opt.Query.EpsA {
+			t.Errorf("pair {%d,%d} score error %v exceeds εa", p.U, p.V, d)
+		}
+	}
+}

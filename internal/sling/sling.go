@@ -1,0 +1,333 @@
+// Package sling implements a compact variant of SLING (Tian & Xiao,
+// SIGMOD 2016), the state-of-the-art *static* SimRank index the paper
+// positions ProbeSim against (§1, §5): accurate and fast at query time,
+// but with heavy preprocessing, index space ~an order of magnitude above
+// the graph, and no support for updates — rebuilding is the only option.
+// This package exists to reproduce that contrast experimentally.
+//
+// SLING rests on the last-meeting decomposition of SimRank:
+//
+//	s(u, v) = Σ_t Σ_w h_t(u, w) · h_t(v, w) · d(w)
+//
+// where h_t(u, w) is the probability that a √c-walk from u survives t
+// steps and sits at w (h_0(u, u) = 1), and d(w) is the probability that
+// two independent √c-walks from w never meet again at any step >= 1.
+// Conditioning two meeting walks on their *last* common position makes the
+// decomposition exact: given both walks at w at step t (the h·h factor),
+// the Markov property restarts two fresh walks whose "never meet again"
+// probability is exactly d(w).
+//
+// The index stores (a) d(w) for every node, estimated by Monte Carlo as in
+// the original system, and (b) the sparsified hitting matrices H_t (entries
+// below a threshold εh are dropped), built by t rounds of sparse
+// propagation. Queries combine the query node's forward hitting vectors
+// with the stored columns. Simplifications versus the original: the
+// original's per-entry adaptive thresholds and additive-error
+// deterministic d refinement are replaced by a single global εh and pure
+// MC d estimation; both only affect constants, not the shape of the
+// preprocessing-versus-query trade-off this repository measures.
+package sling
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// C is the SimRank decay factor. Default 0.6.
+	C float64
+	// T caps the meeting depth; contributions beyond T decay as c^T.
+	// Default: smallest T with c^T <= EpsH.
+	T int
+	// EpsH is the sparsification threshold for stored hitting
+	// probabilities. Default 0.005.
+	EpsH float64
+	// DPairs is the number of walk pairs per node used to estimate d(w).
+	// Default 400 (≈0.05 absolute error at 95% per node).
+	DPairs int
+	// Seed drives the d(w) estimation. Default 1.
+	Seed uint64
+	// Workers bounds build parallelism. Default runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.EpsH == 0 {
+		o.EpsH = 0.005
+	}
+	if o.T == 0 {
+		o.T = int(math.Ceil(math.Log(o.EpsH) / math.Log(o.C)))
+		if o.T < 2 {
+			o.T = 2
+		}
+	}
+	if o.DPairs == 0 {
+		o.DPairs = 400
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o BuildOptions) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("sling: decay factor c = %v outside (0, 1)", o.C)
+	}
+	if o.EpsH <= 0 || o.EpsH >= 1 {
+		return fmt.Errorf("sling: threshold εh = %v outside (0, 1)", o.EpsH)
+	}
+	if o.T < 1 || o.DPairs < 1 {
+		return fmt.Errorf("sling: T = %d and DPairs = %d must be >= 1", o.T, o.DPairs)
+	}
+	return nil
+}
+
+// hitEntry is one stored hitting probability h_t(v, w) >= εh.
+type hitEntry struct {
+	v graph.NodeID
+	h float64
+}
+
+// Index is the built SLING index. It is immutable: SLING does not support
+// graph updates (the contrast the paper draws), so the referenced graph
+// must not change while the index is in use; Stale reports violations.
+type Index struct {
+	g       *graph.Graph
+	opt     BuildOptions
+	sqrtC   float64
+	d       []float64
+	columns []colsAtT
+	version uint64
+	entries int64
+}
+
+// colsAtT stores the sparsified H_t in CSR form: the column of w (the
+// nodes v with h_t(v, w) >= εh) is entry[off[w]:off[w+1]].
+type colsAtT struct {
+	off   []int32
+	entry []hitEntry
+}
+
+// Build constructs the index. Cost: Θ(n·DPairs) walk pairs for d, plus T
+// rounds of sparse matrix propagation for the hitting lists — this is the
+// "significant preprocessing" the paper attributes to SLING.
+func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	idx := &Index{
+		g:       g,
+		opt:     opt,
+		sqrtC:   math.Sqrt(opt.C),
+		d:       make([]float64, n),
+		version: g.Version(),
+	}
+	idx.estimateD()
+	idx.buildHittingLists()
+	return idx, nil
+}
+
+// estimateD estimates d(w) = Pr[two √c-walks from w never meet at step>=1]
+// for every node by DPairs Monte Carlo pairs.
+func (idx *Index) estimateD() {
+	n := idx.g.NumNodes()
+	root := xrand.New(idx.opt.Seed)
+	workers := idx.opt.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		rng := root.Split(uint64(w))
+		wg.Add(1)
+		go func(lo, hi int, rng *xrand.RNG) {
+			defer wg.Done()
+			gen := walk.NewGenerator(idx.g, idx.opt.C, rng)
+			var a, bw []graph.NodeID
+			for v := lo; v < hi; v++ {
+				if idx.g.InDegree(graph.NodeID(v)) == 0 {
+					// Walks die immediately: they can never meet again.
+					idx.d[v] = 1
+					continue
+				}
+				never := 0
+				for p := 0; p < idx.opt.DPairs; p++ {
+					a = gen.Generate(graph.NodeID(v), 0, a)
+					bw = gen.Generate(graph.NodeID(v), 0, bw)
+					// Meeting at step >= 1 means positions 2+ coincide
+					// (position 1 is the shared start).
+					if len(a) < 2 || len(bw) < 2 || walk.MeetStep(a[1:], bw[1:]) == 0 {
+						never++
+					}
+				}
+				idx.d[v] = float64(never) / float64(idx.opt.DPairs)
+			}
+		}(lo, hi, rng)
+	}
+	wg.Wait()
+}
+
+// buildHittingLists materializes H_t for t = 0..T with the recurrence
+// h_{t+1}(v, w) = √c/|I(v)| · Σ_{x ∈ I(v)} h_t(x, w), dropping entries
+// below εh after each round. H_0 is the identity.
+func (idx *Index) buildHittingLists() {
+	n := idx.g.NumNodes()
+	idx.columns = make([]colsAtT, idx.opt.T+1)
+
+	// H_0 = I.
+	h0 := colsAtT{off: make([]int32, n+1), entry: make([]hitEntry, n)}
+	for v := 0; v < n; v++ {
+		h0.off[v] = int32(v)
+		h0.entry[v] = hitEntry{v: graph.NodeID(v), h: 1}
+	}
+	h0.off[n] = int32(n)
+	idx.columns[0] = h0
+	idx.entries = int64(n)
+
+	// Iterate: the column of w in H_{t+1} gathers, for every v, mass from
+	// v's in-neighbors' H_t column entries. We propagate column-wise: for
+	// each w, push each stored (x, h) to the out-neighbors v of x with
+	// weight √c/|I(v)|.
+	for t := 1; t <= idx.opt.T; t++ {
+		prev := idx.columns[t-1]
+		next := colsAtT{off: make([]int32, n+1)}
+		var entries []hitEntry
+		acc := make(map[graph.NodeID]float64)
+		for w := 0; w < n; w++ {
+			clear(acc)
+			for _, e := range prev.column(w) {
+				push := idx.sqrtC * e.h
+				for _, v := range idx.g.OutNeighbors(e.v) {
+					acc[v] += push / float64(idx.g.InDegree(v))
+				}
+			}
+			next.off[w] = int32(len(entries))
+			for v, h := range acc {
+				if h >= idx.opt.EpsH {
+					entries = append(entries, hitEntry{v: v, h: h})
+				}
+			}
+		}
+		next.off[n] = int32(len(entries))
+		next.entry = entries
+		idx.columns[t] = next
+		idx.entries += int64(len(entries))
+	}
+}
+
+func (c *colsAtT) column(w int) []hitEntry {
+	return c.entry[c.off[w]:c.off[w+1]]
+}
+
+// MemoryBytes reports the index size: d plus every stored hitting entry.
+func (idx *Index) MemoryBytes() int64 {
+	const entrySize = 16 // NodeID + float64 with padding
+	b := int64(len(idx.d)) * 8
+	for _, c := range idx.columns {
+		b += int64(len(c.off))*4 + int64(len(c.entry))*entrySize
+	}
+	return b
+}
+
+// Entries returns the number of stored hitting entries (index density).
+func (idx *Index) Entries() int64 { return idx.entries }
+
+// Stale reports whether the graph has been mutated since the index was
+// built. SLING has no update path: a stale index must be rebuilt, which
+// is precisely the deficiency (§1) that motivates index-free ProbeSim.
+func (idx *Index) Stale() bool { return idx.g.Version() != idx.version }
+
+// ErrStale is returned by queries on an index whose graph has changed.
+var ErrStale = fmt.Errorf("sling: graph modified since build; rebuild required")
+
+// SingleSource returns s̃(u, v) for every v from the index: it computes
+// the query node's forward hitting vectors x_t = h_t(u, ·) (sparse,
+// thresholded at εh) and combines them with the stored columns:
+// acc[v] += x_t(w) · d(w) · h_t(v, w).
+func (idx *Index) SingleSource(u graph.NodeID) ([]float64, error) {
+	n := idx.g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("sling: query node %d out of range [0, %d)", u, n)
+	}
+	if idx.Stale() {
+		return nil, ErrStale
+	}
+	acc := make([]float64, n)
+	x := map[graph.NodeID]float64{u: 1}
+	nextX := make(map[graph.NodeID]float64)
+	for t := 0; t <= idx.opt.T; t++ {
+		cols := &idx.columns[t]
+		for w, xw := range x {
+			scale := xw * idx.d[w]
+			for _, e := range cols.column(int(w)) {
+				acc[e.v] += scale * e.h
+			}
+		}
+		if t == idx.opt.T {
+			break
+		}
+		// Advance x: propagate along in-edges with factor √c/|I|.
+		clear(nextX)
+		for a, xa := range x {
+			in := idx.g.InNeighbors(a)
+			if len(in) == 0 {
+				continue
+			}
+			push := idx.sqrtC * xa / float64(len(in))
+			for _, w := range in {
+				nextX[w] += push
+			}
+		}
+		x, nextX = nextX, x
+		// Threshold to keep queries fast; dropped mass is bounded by εh
+		// per node per level, matching the build-side truncation.
+		for w, xw := range x {
+			if xw < idx.opt.EpsH {
+				delete(x, w)
+			}
+		}
+		if len(x) == 0 {
+			break
+		}
+	}
+	acc[u] = 1
+	for v := range acc {
+		if acc[v] > 1 {
+			acc[v] = 1
+		}
+	}
+	return acc, nil
+}
+
+// TopK returns the k nodes most similar to u under the index's estimate.
+func (idx *Index) TopK(u graph.NodeID, k int) ([]core.ScoredNode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sling: top-k requires k >= 1, got %d", k)
+	}
+	est, err := idx.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return core.SelectTopK(est, u, k), nil
+}

@@ -1,0 +1,198 @@
+package sling
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/xrand"
+)
+
+// The last-meeting decomposition must reproduce exact SimRank when the
+// index is built with tight parameters.
+func TestExactnessToyGraph(t *testing.T) {
+	g := graph.Toy()
+	exact, err := power.SingleSource(g, graph.ToyA, power.Options{C: 0.25, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g, BuildOptions{C: 0.25, T: 25, EpsH: 1e-6, DPairs: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := idx.SingleSource(graph.ToyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range est {
+		if d := math.Abs(est[v] - exact[v]); d > 0.01 {
+			t.Errorf("s̃(a,%s) = %.4f, exact %.4f (Δ=%.4f)", graph.ToyNames[v], est[v], exact[v], d)
+		}
+	}
+}
+
+func TestExactnessRandomGraph(t *testing.T) {
+	rng := xrand.New(5)
+	g := randomGraph(rng, 40, 200)
+	m, err := power.SimRank(g, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g, BuildOptions{C: 0.6, T: 25, EpsH: 1e-5, DPairs: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []graph.NodeID{0, 13, 29} {
+		est, err := idx.SingleSource(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range est {
+			if d := math.Abs(est[v] - m.At(u, graph.NodeID(v))); d > 0.02 {
+				t.Fatalf("s̃(%d,%d) = %.4f, exact %.4f", u, v, est[v], m.At(u, graph.NodeID(v)))
+			}
+		}
+	}
+}
+
+// d(w) is a probability, 1 on dead-end nodes, and on the 2-cycle it is
+// exactly 1 (the walks swap positions forever and never meet).
+func TestDEstimates(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil { // node 0: no in-edges
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(g, BuildOptions{C: 0.64, DPairs: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range idx.d {
+		if d < 0 || d > 1 {
+			t.Fatalf("d(%d) = %v out of range", v, d)
+		}
+	}
+	if idx.d[2] != 1 {
+		t.Fatalf("isolated node d = %v, want 1", idx.d[2])
+	}
+	// Nodes 0 and 1 form a 2-cycle: two walks from the same node move in
+	// lockstep to the same next node — they ALWAYS meet at step 1 unless
+	// one dies. d(0) = Pr[at least one walk dies at step 1] = 1 - c.
+	want := 1 - 0.64
+	if math.Abs(idx.d[0]-want) > 0.03 {
+		t.Fatalf("2-cycle d = %v, want %v", idx.d[0], want)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	rng := xrand.New(9)
+	g := randomGraph(rng, 20, 80)
+	idx, err := Build(g, BuildOptions{DPairs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Stale() {
+		t.Fatal("fresh index reported stale")
+	}
+	if _, err := idx.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Stale() {
+		t.Fatal("mutation not detected")
+	}
+	if _, err := idx.SingleSource(0); err != ErrStale {
+		t.Fatalf("stale query returned %v, want ErrStale", err)
+	}
+}
+
+func TestTopKMatchesTable2(t *testing.T) {
+	g := graph.Toy()
+	idx, err := Build(g, BuildOptions{C: 0.25, T: 20, EpsH: 1e-5, DPairs: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := idx.TopK(graph.ToyA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Node != graph.ToyD || top[1].Node != graph.ToyE {
+		t.Fatalf("top-2 = %v, want d then e (Table 2)", top)
+	}
+}
+
+func TestIndexDensityScalesWithThreshold(t *testing.T) {
+	rng := xrand.New(11)
+	g := randomGraph(rng, 50, 300)
+	loose, err := Build(g, BuildOptions{EpsH: 0.05, DPairs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Build(g, BuildOptions{EpsH: 0.001, DPairs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Entries() <= loose.Entries() {
+		t.Fatalf("tighter εh must store more: %d vs %d", tight.Entries(), loose.Entries())
+	}
+	if tight.MemoryBytes() <= loose.MemoryBytes() {
+		t.Fatal("memory accounting inconsistent with entry counts")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Toy()
+	if _, err := Build(g, BuildOptions{C: 3}); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := Build(g, BuildOptions{EpsH: 2}); err == nil {
+		t.Error("bad εh accepted")
+	}
+	idx, err := Build(g, BuildOptions{DPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.SingleSource(99); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := idx.TopK(0, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestEstimateRange(t *testing.T) {
+	rng := xrand.New(13)
+	g := randomGraph(rng, 30, 150)
+	idx, err := Build(g, BuildOptions{DPairs: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := idx.SingleSource(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[3] != 1 {
+		t.Fatal("self similarity != 1")
+	}
+	for v, s := range est {
+		if s < 0 || s > 1 {
+			t.Fatalf("estimate out of range at %d: %v", v, s)
+		}
+	}
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,261 @@
+// Package topsim implements the TopSim family of index-free SimRank
+// algorithms (Lee et al., ICDE 2012), the state-of-the-art index-free
+// competitors evaluated in the paper (§2.3, §6):
+//
+//   - TopSim-SM enumerates every reverse walk of the query node up to depth
+//     T and, for each, every node that could meet it first at its endpoint.
+//     Its estimate sT(u, v) equals the Power Method truncated at T
+//     iterations, so with T = 3 (the only affordable setting; the cost is
+//     O(d^2T)) the built-in bias is as large as c³·... — c^(T+1)/(1-c) in
+//     the worst case.
+//   - Trun-TopSim-SM adds two heuristics: reverse walks with probability
+//     below η are trimmed, and probes from high out-degree meeting points
+//     (out-degree > 1/h) are omitted.
+//   - Prio-TopSim-SM expands only the H highest-probability reverse walks
+//     at each level (a beam search).
+//
+// The forward "meeting" expansion reuses the deterministic PROBE traversal
+// with per-step factor 1/|I(v)| (√c = 1) and multiplies by c^t once per
+// depth, which is exactly the first-meeting semantics of the T-iteration
+// Power Method.
+package topsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/probe"
+)
+
+// ErrBudgetExceeded reports that a query hit Options.Budget before
+// completing; partial results are discarded.
+var ErrBudgetExceeded = errors.New("topsim: work budget exceeded")
+
+// Variant selects a member of the TopSim family.
+type Variant int
+
+const (
+	// TopSimSM is the exhaustive variant.
+	TopSimSM Variant = iota
+	// TrunTopSimSM trims low-probability walks and skips high-degree
+	// meeting points.
+	TrunTopSimSM
+	// PrioTopSimSM keeps only the H most probable walks per level.
+	PrioTopSimSM
+)
+
+// String returns the name used in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case TopSimSM:
+		return "TopSim-SM"
+	case TrunTopSimSM:
+		return "Trun-TopSim-SM"
+	case PrioTopSimSM:
+		return "Prio-TopSim-SM"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures a TopSim query. Defaults follow §6.1: T = 3,
+// 1/h = 100, η = 0.001, H = 100.
+type Options struct {
+	// C is the SimRank decay factor. Default 0.6.
+	C float64
+	// T is the reverse-walk depth. Default 3.
+	T int
+	// Variant selects the family member. Default TopSimSM.
+	Variant Variant
+	// InvH is 1/h, the out-degree above which Trun-TopSim-SM skips a
+	// meeting point. Default 100.
+	InvH int
+	// Eta is Trun-TopSim-SM's walk-probability trim threshold η.
+	// Default 0.001.
+	Eta float64
+	// H is Prio-TopSim-SM's per-level beam width. Default 100.
+	H int
+	// Budget caps the total edge traversals of a query (reverse-walk
+	// expansion plus probe work); 0 means unlimited. When exceeded the
+	// query aborts with ErrBudgetExceeded — the harness's analogue of the
+	// paper's ">24 hours" exclusions on dense graphs.
+	Budget int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.T == 0 {
+		o.T = 3
+	}
+	if o.InvH == 0 {
+		o.InvH = 100
+	}
+	if o.Eta == 0 {
+		o.Eta = 0.001
+	}
+	if o.H == 0 {
+		o.H = 100
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("topsim: decay factor c = %v outside (0, 1)", o.C)
+	}
+	if o.T < 1 {
+		return fmt.Errorf("topsim: depth T = %d < 1", o.T)
+	}
+	if o.Variant < TopSimSM || o.Variant > PrioTopSimSM {
+		return fmt.Errorf("topsim: unknown variant %d", int(o.Variant))
+	}
+	return nil
+}
+
+// SingleSource returns sT(u, v) for every node v: the T-iteration Power
+// Method approximation of s(u, v), possibly degraded by the variant's
+// heuristics. The query node's entry is 1.
+func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("topsim: query node %d out of range [0, %d)", u, n)
+	}
+	acc := make([]float64, n)
+	s := probe.NewScratch(n)
+	var err error
+	if opt.Variant == PrioTopSimSM {
+		err = prioTopSim(g, u, opt, acc, s)
+	} else {
+		path := make([]graph.NodeID, 1, opt.T+1)
+		path[0] = u
+		err = dfsTopSim(g, opt, path, 1.0, acc, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	acc[u] = 1
+	return acc, nil
+}
+
+// overBudget reports whether the accumulated probe work exceeds the
+// configured budget.
+func overBudget(opt Options, s *probe.Scratch) bool {
+	return opt.Budget > 0 && s.Work > opt.Budget
+}
+
+// TopK returns the k nodes with the largest sT(u, v), under the shared
+// ranking semantics of core.SelectTopK.
+func TopK(g *graph.Graph, u graph.NodeID, k int, opt Options) ([]core.ScoredNode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("topsim: top-k requires k >= 1, got %d", k)
+	}
+	est, err := SingleSource(g, u, opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.SelectTopK(est, u, k), nil
+}
+
+// dfsTopSim enumerates reverse walks of u depth-first. For the current
+// walk (path, probability prob) it adds the contribution of pairs meeting
+// first at the walk's endpoint, then recurses one level deeper.
+func dfsTopSim(g *graph.Graph, opt Options, path []graph.NodeID, prob float64, acc []float64, s *probe.Scratch) error {
+	t := len(path) - 1
+	if t >= 1 {
+		probeMeetingPoint(g, opt, path, prob, acc, s)
+		if overBudget(opt, s) {
+			return ErrBudgetExceeded
+		}
+	}
+	if t >= opt.T {
+		return nil
+	}
+	in := g.InNeighbors(path[t])
+	if len(in) == 0 {
+		return nil
+	}
+	s.Work += int64(len(in))
+	p := prob / float64(len(in))
+	if opt.Variant == TrunTopSimSM && p < opt.Eta {
+		// η-trim: walks this unlikely are dropped wholesale.
+		return nil
+	}
+	for _, x := range in {
+		if err := dfsTopSim(g, opt, append(path, x), p, acc, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeMeetingPoint adds prob·c^t·P(v meets path first at its endpoint) for
+// every candidate v, using the PROBE traversal with no per-step decay.
+func probeMeetingPoint(g *graph.Graph, opt Options, path []graph.NodeID, prob float64, acc []float64, s *probe.Scratch) {
+	t := len(path) - 1
+	w := path[t]
+	if opt.Variant == TrunTopSimSM && g.OutDegree(w) > opt.InvH {
+		return // high-degree meeting point omitted
+	}
+	res := probe.Deterministic(g, path, 1.0, 0, s)
+	scale := prob * math.Pow(opt.C, float64(t))
+	for _, v := range res.Nodes {
+		acc[v] += scale * res.Scores[v]
+	}
+}
+
+// prioTopSim is the beam-search variant: level-synchronous expansion
+// keeping at most H walks per level, ordered by walk probability.
+func prioTopSim(g *graph.Graph, u graph.NodeID, opt Options, acc []float64, s *probe.Scratch) error {
+	type beamWalk struct {
+		path []graph.NodeID
+		prob float64
+	}
+	level := []beamWalk{{path: []graph.NodeID{u}, prob: 1}}
+	for t := 1; t <= opt.T; t++ {
+		var next []beamWalk
+		for _, bw := range level {
+			in := g.InNeighbors(bw.path[len(bw.path)-1])
+			if len(in) == 0 {
+				continue
+			}
+			s.Work += int64(len(in))
+			p := bw.prob / float64(len(in))
+			for _, x := range in {
+				path := append(append([]graph.NodeID(nil), bw.path...), x)
+				next = append(next, beamWalk{path: path, prob: p})
+			}
+		}
+		// Keep the H most probable walks; ties resolve by endpoint id so
+		// results are deterministic.
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].prob != next[j].prob {
+				return next[i].prob > next[j].prob
+			}
+			return next[i].path[len(next[i].path)-1] < next[j].path[len(next[j].path)-1]
+		})
+		if len(next) > opt.H {
+			next = next[:opt.H]
+		}
+		for _, bw := range next {
+			probeMeetingPoint(g, opt, bw.path, bw.prob, acc, s)
+			if overBudget(opt, s) {
+				return ErrBudgetExceeded
+			}
+		}
+		level = next
+		if len(level) == 0 {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package topsim
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/power"
+	"probesim/internal/xrand"
+)
+
+// TopSim-SM's estimate is by construction the T-iteration Power Method
+// value; verify exact agreement on the toy graph and random graphs.
+func TestTopSimMatchesTruncatedPowerMethod(t *testing.T) {
+	graphs := []*graph.Graph{graph.Toy()}
+	rng := xrand.New(17)
+	graphs = append(graphs, randomGraph(rng, 25, 70), randomGraph(rng, 30, 150))
+	for gi, g := range graphs {
+		for _, T := range []int{1, 3, 6} {
+			m, err := power.SimRank(g, power.Options{C: 0.6, Iterations: T})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range []graph.NodeID{0, graph.NodeID(g.NumNodes() / 2)} {
+				est, err := SingleSource(g, u, Options{C: 0.6, T: T})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range est {
+					if d := math.Abs(est[v] - m.At(u, graph.NodeID(v))); d > 1e-10 {
+						t.Fatalf("graph %d T=%d: sT(%d,%d) = %v, power = %v",
+							gi, T, u, v, est[v], m.At(u, graph.NodeID(v)))
+					}
+				}
+			}
+		}
+	}
+}
+
+// With T large enough, TopSim-SM converges to the exact SimRank (the c^T
+// tail vanishes); with T = 3 the error can approach the c³-scale bias the
+// paper warns about.
+func TestDepthBias(t *testing.T) {
+	g := graph.Toy()
+	exact, err := power.SingleSource(g, graph.ToyA, power.Options{C: 0.6, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstAt := func(T int) float64 {
+		est, err := SingleSource(g, graph.ToyA, Options{C: 0.6, T: T})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for v := range est {
+			if d := math.Abs(est[v] - exact[v]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e3, e12 := worstAt(3), worstAt(12)
+	if e12 > 1e-3 {
+		t.Fatalf("T=12 error %v too large", e12)
+	}
+	if e3 <= e12 {
+		t.Fatalf("deeper walks must help: e3=%v e12=%v", e3, e12)
+	}
+	if e3 > math.Pow(0.6, 4)/(1-0.6) {
+		t.Fatalf("T=3 error %v exceeds the c^(T+1)/(1-c) tail bound", e3)
+	}
+}
+
+// Both Trun heuristics only drop contributions, so Trun-TopSim-SM is a
+// one-sided under-estimate of TopSim-SM.
+func TestTrunOneSided(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(rng, 40, 240)
+		u := rng.Int31n(40)
+		full, err := SingleSource(g, u, Options{T: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trun, err := SingleSource(g, u, Options{T: 3, Variant: TrunTopSimSM, InvH: 5, Eta: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range full {
+			if trun[v] > full[v]+1e-12 {
+				t.Fatalf("Trun estimate exceeds TopSim at node %d: %v > %v", v, trun[v], full[v])
+			}
+		}
+	}
+}
+
+// A beam wide enough to hold every reverse walk makes Prio identical to
+// TopSim-SM.
+func TestPrioWideBeamMatchesTopSim(t *testing.T) {
+	rng := xrand.New(29)
+	g := randomGraph(rng, 25, 100)
+	u := graph.NodeID(3)
+	full, err := SingleSource(g, u, Options{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := SingleSource(g, u, Options{T: 3, Variant: PrioTopSimSM, H: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range full {
+		if math.Abs(full[v]-prio[v]) > 1e-10 {
+			t.Fatalf("wide-beam Prio differs at %d: %v vs %v", v, prio[v], full[v])
+		}
+	}
+}
+
+// A narrow beam drops walks, so Prio under-estimates TopSim-SM.
+func TestPrioNarrowBeamOneSided(t *testing.T) {
+	rng := xrand.New(31)
+	g := randomGraph(rng, 40, 240)
+	u := rng.Int31n(40)
+	full, err := SingleSource(g, u, Options{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := SingleSource(g, u, Options{T: 3, Variant: PrioTopSimSM, H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range full {
+		if prio[v] > full[v]+1e-12 {
+			t.Fatalf("narrow-beam Prio exceeds TopSim at %d", v)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Toy()
+	if _, err := SingleSource(g, 0, Options{C: 1.2}); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := SingleSource(g, 0, Options{T: -1}); err == nil {
+		t.Error("negative T accepted")
+	}
+	if _, err := SingleSource(g, 0, Options{Variant: Variant(9)}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := SingleSource(g, 42, Options{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := TopK(g, 0, 0, Options{}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestTopKAgainstTable2(t *testing.T) {
+	g := graph.Toy()
+	res, err := TopK(g, graph.ToyA, 2, Options{C: 0.25, T: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: the top-2 are d (0.131) and e (0.070).
+	if res[0].Node != graph.ToyD || res[1].Node != graph.ToyE {
+		t.Fatalf("top-2 = %v, want d, e", res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := xrand.New(37)
+	g := randomGraph(rng, 40, 200)
+	for _, variant := range []Variant{TopSimSM, TrunTopSimSM, PrioTopSimSM} {
+		opt := Options{Variant: variant, T: 3, H: 10}
+		a, err := SingleSource(g, 7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SingleSource(g, 7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("variant %v not deterministic", variant)
+			}
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	names := map[string]bool{}
+	for _, v := range []Variant{TopSimSM, TrunTopSimSM, PrioTopSimSM} {
+		s := v.String()
+		if s == "" || names[s] {
+			t.Fatalf("bad variant name %q", s)
+		}
+		names[s] = true
+	}
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}

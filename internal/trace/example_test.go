@@ -1,0 +1,33 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"probesim/internal/gen"
+	"probesim/internal/trace"
+)
+
+// Generate churn, replay it, then rewind it exactly — the pattern every
+// dynamic experiment uses to run multiple patterns from one starting
+// graph.
+func Example() {
+	g := gen.ErdosRenyi(50, 200, 3)
+	before := g.NumEdges()
+
+	ops, err := trace.Uniform(g, 100, 0.7, 42)
+	if err != nil {
+		panic(err)
+	}
+	if err := trace.Apply(g, ops); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after churn: edge count changed: %v\n", g.NumEdges() != before)
+
+	if err := trace.Apply(g, trace.Inverse(ops)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after rewind: %d edges (started with %d)\n", g.NumEdges(), before)
+	// Output:
+	// after churn: edge count changed: true
+	// after rewind: 200 edges (started with 200)
+}

@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+)
+
+// edgeMultiset returns a canonical representation of g's edges for
+// equality checks.
+func edgeMultiset(g *graph.Graph) [][2]graph.NodeID {
+	var out [][2]graph.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			out = append(out, [2]graph.NodeID{graph.NodeID(u), v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func sameEdges(a, b [][2]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniformApplies(t *testing.T) {
+	g := gen.ErdosRenyi(40, 160, 3)
+	ops, err := Uniform(g, 500, 0.5, 7)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if len(ops) != 500 {
+		t.Fatalf("generated %d ops, want 500", len(ops))
+	}
+	if err := Apply(g, ops); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after stream: %v", err)
+	}
+}
+
+func TestApplyInverseRoundTrip(t *testing.T) {
+	for name, generate := range map[string]func(g *graph.Graph) ([]Op, error){
+		"uniform":      func(g *graph.Graph) ([]Op, error) { return Uniform(g, 300, 0.6, 11) },
+		"preferential": func(g *graph.Graph) ([]Op, error) { return Preferential(g, 300, 0.6, 11) },
+		"window":       func(g *graph.Graph) ([]Op, error) { return SlidingWindow(g, 300, 40, 11) },
+	} {
+		g := gen.PreferentialAttachment(50, 3, 5)
+		before := edgeMultiset(g)
+		ops, err := generate(g)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", name, err)
+		}
+		if err := Apply(g, ops); err != nil {
+			t.Fatalf("%s: Apply: %v", name, err)
+		}
+		if err := Apply(g, Inverse(ops)); err != nil {
+			t.Fatalf("%s: Apply(Inverse): %v", name, err)
+		}
+		if !sameEdges(before, edgeMultiset(g)) {
+			t.Fatalf("%s: edge set differs after apply+undo", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: graph invalid after undo: %v", name, err)
+		}
+	}
+}
+
+func TestInverseShapes(t *testing.T) {
+	ops := []Op{
+		{Kind: AddEdge, U: 1, V: 2},
+		{Kind: RemoveEdge, U: 3, V: 4},
+	}
+	inv := Inverse(ops)
+	want := []Op{
+		{Kind: AddEdge, U: 3, V: 4},
+		{Kind: RemoveEdge, U: 1, V: 2},
+	}
+	if len(inv) != len(want) {
+		t.Fatalf("len = %d, want %d", len(inv), len(want))
+	}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Fatalf("inv[%d] = %+v, want %+v", i, inv[i], want[i])
+		}
+	}
+}
+
+func TestUniformPureInsertGrowsEdges(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 9)
+	m := g.NumEdges()
+	ops, err := Uniform(g, 100, 1.0, 3)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	for i, op := range ops {
+		if op.Kind != AddEdge {
+			t.Fatalf("op %d is %s, want all inserts at pAdd=1", i, op.Kind)
+		}
+	}
+	if err := Apply(g, ops); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != m+100 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), m+100)
+	}
+}
+
+func TestUniformPureDeleteShrinksToZero(t *testing.T) {
+	g := gen.ErdosRenyi(20, 50, 9)
+	total := int(g.NumEdges())
+	ops, err := Uniform(g, total, 0.0, 4)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if err := Apply(g, ops); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("edges = %d after deleting all, want 0", g.NumEdges())
+	}
+	// Once empty, pAdd=0 must flip to insertion rather than fail.
+	more, err := Uniform(g, 5, 0.0, 5)
+	if err != nil {
+		t.Fatalf("Uniform on empty graph: %v", err)
+	}
+	if more[0].Kind != AddEdge {
+		t.Fatal("first op on empty graph should be forced insertion")
+	}
+}
+
+func TestSlidingWindowBoundsLiveInsertions(t *testing.T) {
+	g := gen.ErdosRenyi(40, 100, 13)
+	window := 15
+	ops, err := SlidingWindow(g, 400, window, 2)
+	if err != nil {
+		t.Fatalf("SlidingWindow: %v", err)
+	}
+	live := 0
+	maxLive := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case AddEdge:
+			live++
+		case RemoveEdge:
+			live--
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+		if live < 0 {
+			t.Fatal("more evictions than insertions at some prefix")
+		}
+	}
+	if maxLive > window {
+		t.Fatalf("live inserted edges peaked at %d, window is %d", maxLive, window)
+	}
+	if err := Apply(g, ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialSkewsInsertions(t *testing.T) {
+	// Give node 0 a large head start; preferential adds should hit it far
+	// more often than a uniform target would (~1/n of inserts). The stream
+	// is kept short relative to n so node 0's incoming non-edges do not
+	// saturate, which would cap its hit count.
+	n := 200
+	g := graph.New(n)
+	for v := 1; v <= 100; v++ {
+		if err := g.AddEdge(graph.NodeID(v), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, err := Preferential(g, 200, 1.0, 21)
+	if err != nil {
+		t.Fatalf("Preferential: %v", err)
+	}
+	hits := 0
+	adds := 0
+	for _, op := range ops {
+		if op.Kind != AddEdge {
+			continue
+		}
+		adds++
+		if op.V == 0 {
+			hits++
+		}
+	}
+	if adds == 0 {
+		t.Fatal("no insertions generated")
+	}
+	uniformShare := float64(adds) / float64(n)
+	if float64(hits) < 2*uniformShare {
+		t.Fatalf("high-degree node got %d of %d inserts; preferential skew missing (uniform share %.0f)",
+			hits, adds, uniformShare)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(30, 90, 17)
+	a, err := Uniform(g, 100, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(g, 100, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs for identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorsNeverEmitInvalidOps(t *testing.T) {
+	// Any generated stream must apply cleanly to a fresh clone, whatever
+	// the seed and mix.
+	check := func(seed uint64, pAddRaw uint8) bool {
+		g := gen.ErdosRenyi(25, 80, seed%31+1)
+		pAdd := float64(pAddRaw) / 255
+		ops, err := Uniform(g, 120, pAdd, seed)
+		if err != nil {
+			return false
+		}
+		return Apply(g, ops) == nil && g.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	if _, err := Uniform(g, -1, 0.5, 1); err == nil {
+		t.Error("negative op count accepted")
+	}
+	if _, err := Uniform(g, 10, 1.5, 1); err == nil {
+		t.Error("pAdd > 1 accepted")
+	}
+	if _, err := Uniform(graph.New(1), 10, 0.5, 1); err == nil {
+		t.Error("single-node graph accepted")
+	}
+	if _, err := SlidingWindow(g, 10, 0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := []Op{{Kind: RemoveEdge, U: 0, V: 9}}
+	gEmpty := graph.New(10)
+	if err := Apply(gEmpty, bad); err == nil {
+		t.Error("removing a missing edge did not error")
+	}
+	if err := Apply(gEmpty, []Op{{Kind: OpKind(9), U: 0, V: 1}}); err == nil {
+		t.Error("unknown op kind did not error")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if AddEdge.String() != "add" || RemoveEdge.String() != "remove" {
+		t.Fatalf("OpKind strings = %q, %q", AddEdge.String(), RemoveEdge.String())
+	}
+	if OpKind(7).String() == "" {
+		t.Fatal("unknown kind produced empty string")
+	}
+}

@@ -1,0 +1,299 @@
+package tsf
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// validParents checks that every sampled parent is a real in-neighbor (or
+// -1 exactly when the node has no in-neighbors).
+func validParents(t *testing.T, g *graph.Graph, idx *Index) {
+	t.Helper()
+	for k := 0; k < idx.rg; k++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			p := idx.parent[k][v]
+			if g.InDegree(graph.NodeID(v)) == 0 {
+				if p != -1 {
+					t.Fatalf("one-way graph %d: node %d has no in-neighbors but parent %d", k, v, p)
+				}
+				continue
+			}
+			if p < 0 || !g.HasEdge(p, graph.NodeID(v)) {
+				t.Fatalf("one-way graph %d: parent %d of %d is not an in-neighbor", k, p, v)
+			}
+		}
+	}
+}
+
+// childrenConsistent checks the CSR children structure inverts the parent
+// pointers exactly.
+func childrenConsistent(t *testing.T, idx *Index) {
+	t.Helper()
+	n := len(idx.parent[0])
+	for k := 0; k < idx.rg; k++ {
+		seen := map[[2]int32]bool{}
+		for w := 0; w < n; w++ {
+			for _, c := range idx.childTargets[k][idx.childOff[k][w]:idx.childOff[k][w+1]] {
+				if idx.parent[k][c] != int32(w) {
+					t.Fatalf("one-way graph %d: child %d of %d has parent %d", k, c, w, idx.parent[k][c])
+				}
+				seen[[2]int32{int32(w), c}] = true
+			}
+		}
+		count := 0
+		for v := 0; v < n; v++ {
+			if idx.parent[k][v] >= 0 {
+				count++
+				if !seen[[2]int32{idx.parent[k][v], int32(v)}] {
+					t.Fatalf("one-way graph %d: parent edge of %d missing from children CSR", k, v)
+				}
+			}
+		}
+		if len(seen) != count {
+			t.Fatalf("one-way graph %d: children CSR has %d edges, parents have %d", k, len(seen), count)
+		}
+	}
+}
+
+func TestBuildValid(t *testing.T) {
+	rng := xrand.New(1)
+	g := randomGraph(rng, 40, 160)
+	idx := Build(g, BuildOptions{Rg: 20, Seed: 2})
+	validParents(t, g, idx)
+	childrenConsistent(t, idx)
+	if idx.Rg() != 20 {
+		t.Fatalf("Rg = %d", idx.Rg())
+	}
+}
+
+// Parent sampling must be uniform over in-neighbors.
+func TestParentUniformity(t *testing.T) {
+	g := graph.New(4)
+	for _, u := range []graph.NodeID{1, 2, 3} {
+		if err := g.AddEdge(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := Build(g, BuildOptions{Rg: 30000, Seed: 3})
+	counts := map[int32]int{}
+	for k := 0; k < idx.rg; k++ {
+		counts[idx.parent[k][0]]++
+	}
+	for p, c := range counts {
+		got := float64(c) / float64(idx.rg)
+		if math.Abs(got-1.0/3) > 0.01 {
+			t.Errorf("parent %d frequency %.4f, want 1/3", p, got)
+		}
+	}
+}
+
+// exactTSFTarget computes TSF's own estimation target analytically:
+// Σ_t c^t · Pr[U_t = V_t] for independent uniform reverse walks (walks die
+// at zero-in-degree nodes). TSF is biased w.r.t. SimRank but must be
+// unbiased w.r.t. this quantity.
+func exactTSFTarget(g *graph.Graph, u, v graph.NodeID, c float64, depth int) float64 {
+	n := g.NumNodes()
+	step := func(p []float64) []float64 {
+		q := make([]float64, n)
+		for x := 0; x < n; x++ {
+			if p[x] == 0 {
+				continue
+			}
+			in := g.InNeighbors(graph.NodeID(x))
+			if len(in) == 0 {
+				continue // walk dies
+			}
+			w := p[x] / float64(len(in))
+			for _, y := range in {
+				q[y] += w
+			}
+		}
+		return q
+	}
+	pu := make([]float64, n)
+	pv := make([]float64, n)
+	pu[u], pv[v] = 1, 1
+	total, decay := 0.0, 1.0
+	for t := 1; t <= depth; t++ {
+		pu, pv = step(pu), step(pv)
+		decay *= c
+		dot := 0.0
+		for x := 0; x < n; x++ {
+			dot += pu[x] * pv[x]
+		}
+		total += decay * dot
+	}
+	return total
+}
+
+func TestQueryMatchesAnalyticTarget(t *testing.T) {
+	g := graph.Toy()
+	idx := Build(g, BuildOptions{Rg: 4000, Seed: 5})
+	est, err := idx.SingleSource(graph.ToyA, QueryOptions{C: 0.25, Rq: 5, Depth: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []graph.NodeID{graph.ToyB, graph.ToyC, graph.ToyD, graph.ToyE, graph.ToyF} {
+		want := exactTSFTarget(g, graph.ToyA, v, 0.25, 12)
+		if math.Abs(est[v]-want) > 0.012 {
+			t.Errorf("TSF(a,%s) = %.4f, analytic target %.4f", graph.ToyNames[v], est[v], want)
+		}
+	}
+}
+
+// The TSF estimate over-estimates SimRank in expectation (its documented
+// bias): on the toy graph the analytic target dominates the true SimRank.
+func TestOverEstimationBias(t *testing.T) {
+	g := graph.Toy()
+	// s(a,d) = 0.131 (Table 2); TSF's target counts repeated meetings.
+	target := exactTSFTarget(g, graph.ToyA, graph.ToyD, 0.25, 20)
+	if target < 0.131-0.001 {
+		t.Fatalf("TSF target %.4f should dominate SimRank 0.131", target)
+	}
+}
+
+func TestEstimateRangeAndSelf(t *testing.T) {
+	rng := xrand.New(7)
+	g := randomGraph(rng, 50, 250)
+	idx := Build(g, BuildOptions{Rg: 50, Seed: 8})
+	est, err := idx.SingleSource(3, QueryOptions{Rq: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[3] != 1 {
+		t.Fatal("s̃(u,u) != 1")
+	}
+	for v, s := range est {
+		if s < 0 || s > 1 {
+			t.Fatalf("estimate out of range at %d: %v", v, s)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := graph.Toy()
+	idx := Build(g, BuildOptions{Rg: 5})
+	if _, err := idx.SingleSource(99, QueryOptions{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := idx.SingleSource(0, QueryOptions{C: 5}); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := idx.TopK(0, 0, QueryOptions{}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := xrand.New(10)
+	g := randomGraph(rng, 40, 200)
+	idx := Build(g, BuildOptions{Rg: 30, Seed: 4})
+	opt := QueryOptions{Rq: 5, Seed: 11, Workers: 3}
+	a, err := idx.SingleSource(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idx.SingleSource(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-12 {
+			t.Fatalf("not reproducible at %d", v)
+		}
+	}
+}
+
+// Dynamic maintenance: after edge churn the index must stay valid and its
+// parent distribution must remain uniform over the current in-neighbors.
+func TestDynamicUpdates(t *testing.T) {
+	rng := xrand.New(12)
+	g := randomGraph(rng, 30, 120)
+	idx := Build(g, BuildOptions{Rg: 40, Seed: 13})
+	type edge struct{ u, v graph.NodeID }
+	var live []edge
+	for u := 0; u < 30; u++ {
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			live = append(live, edge{graph.NodeID(u), v})
+		}
+	}
+	for step := 0; step < 400; step++ {
+		if len(live) == 0 || rng.Float64() < 0.55 {
+			u, v := rng.Int31n(30), rng.Int31n(30)
+			if u == v {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			idx.OnEdgeAdded(u, v)
+			live = append(live, edge{u, v})
+		} else {
+			i := rng.Intn(len(live))
+			e := live[i]
+			if err := g.RemoveEdge(e.u, e.v); err != nil {
+				t.Fatal(err)
+			}
+			idx.OnEdgeRemoved(e.u, e.v)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	validParents(t, g, idx)
+	// Queries after churn lazily rebuild children and still work.
+	if _, err := idx.SingleSource(0, QueryOptions{Rq: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	childrenConsistent(t, idx)
+}
+
+// Uniformity is preserved by the update rule: insert edges one by one into
+// an initially single-parent node and check the parent distribution.
+func TestUpdateUniformity(t *testing.T) {
+	const trials = 20000
+	counts := map[int32]int{}
+	for trial := 0; trial < trials; trial++ {
+		g := graph.New(5)
+		if err := g.AddEdge(1, 0); err != nil {
+			t.Fatal(err)
+		}
+		idx := Build(g, BuildOptions{Rg: 1, Seed: uint64(trial) + 1})
+		for _, u := range []graph.NodeID{2, 3, 4} {
+			if err := g.AddEdge(u, 0); err != nil {
+				t.Fatal(err)
+			}
+			idx.OnEdgeAdded(u, 0)
+		}
+		counts[idx.parent[0][0]]++
+	}
+	for p, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.25) > 0.015 {
+			t.Errorf("parent %d frequency %.4f, want 0.25", p, got)
+		}
+	}
+}
+
+func TestMemoryBytesScalesWithRg(t *testing.T) {
+	rng := xrand.New(14)
+	g := randomGraph(rng, 100, 400)
+	small := Build(g, BuildOptions{Rg: 10, Seed: 1}).MemoryBytes()
+	big := Build(g, BuildOptions{Rg: 40, Seed: 1}).MemoryBytes()
+	if small <= 0 || big <= small*3 {
+		t.Fatalf("index size must scale with Rg: %d vs %d", small, big)
+	}
+}
+
+func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Int31n(int32(n)), rng.Int31n(int32(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}

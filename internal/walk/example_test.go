@@ -1,0 +1,44 @@
+package walk_test
+
+import (
+	"fmt"
+
+	"probesim/internal/gen"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// √c-walks are reverse random walks that survive each step with
+// probability √c: on a cycle (no dead ends) their length is geometric
+// with mean 1/(1−√c) ≈ 4.4 at c = 0.6.
+func Example() {
+	g := gen.Cycle(10)
+	gen := walk.NewGenerator(g, 0.6, xrand.New(7))
+
+	var total int
+	const samples = 20000
+	var buf []int32
+	for i := 0; i < samples; i++ {
+		buf = gen.Generate(0, 0, buf)
+		total += len(buf)
+	}
+	mean := float64(total) / samples
+	fmt.Printf("expected length: %.2f\n", walk.ExpectedLen(0.6))
+	fmt.Printf("sample mean within 0.1: %v\n", mean > walk.ExpectedLen(0.6)-0.1 && mean < walk.ExpectedLen(0.6)+0.1)
+	// Output:
+	// expected length: 4.44
+	// sample mean within 0.1: true
+}
+
+// MeetStep implements Eq. 3's meeting test: two walks meet when they visit
+// the same node at the same step, which is what SimRank measures.
+func ExampleMeetStep() {
+	a := []int32{1, 5, 9}
+	b := []int32{2, 5, 7}
+	c := []int32{2, 6, 7}
+	fmt.Println(walk.MeetStep(a, b)) // both at node 5 at step 2
+	fmt.Println(walk.MeetStep(a, c)) // never aligned
+	// Output:
+	// 2
+	// 0
+}

@@ -1,0 +1,110 @@
+// Package walk implements √c-walks (Definition 3 of the paper): reverse
+// random walks that follow a uniformly chosen incoming edge at each step and
+// terminate with probability 1 − √c per step. By Eq. 3, the SimRank
+// similarity s(u, v) equals the probability that independent √c-walks from
+// u and v meet (visit the same node at the same step), which is the
+// foundation of ProbeSim, the Monte Carlo baseline, and TSF.
+package walk
+
+import (
+	"math"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// HardCap bounds walk length when no truncation is requested. A √c-walk
+// of 96 steps survives with probability (√c)^96 < 5·10⁻¹¹ even at c = 0.8,
+// so the cap is statistically invisible while keeping buffers bounded.
+const HardCap = 96
+
+// Generator produces √c-walks over a fixed graph.
+type Generator struct {
+	g     *graph.Graph
+	sqrtC float64
+	rng   *xrand.RNG
+}
+
+// NewGenerator returns a walk generator with decay factor c (the SimRank
+// decay; the per-step survival probability is √c) drawing randomness from
+// rng.
+func NewGenerator(g *graph.Graph, c float64, rng *xrand.RNG) *Generator {
+	if c <= 0 || c >= 1 {
+		panic("walk: decay factor must be in (0, 1)")
+	}
+	return &Generator{g: g, sqrtC: math.Sqrt(c), rng: rng}
+}
+
+// SqrtC returns the per-step survival probability √c.
+func (gen *Generator) SqrtC() float64 { return gen.sqrtC }
+
+// Generate appends a √c-walk starting at u to buf and returns it. The walk
+// includes u as its first node. maxNodes caps the number of nodes in the
+// walk (pruning rule 1); pass 0 for the statistical HardCap. A walk also
+// ends when it reaches a node with no in-neighbors, since a reverse step
+// is impossible there (an empty in-neighbor sum in Eq. 1).
+func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID) []graph.NodeID {
+	if maxNodes <= 0 || maxNodes > HardCap {
+		maxNodes = HardCap
+	}
+	buf = append(buf[:0], u)
+	cur := u
+	for len(buf) < maxNodes {
+		if gen.rng.Float64() >= gen.sqrtC {
+			break // terminated with probability 1 − √c
+		}
+		in := gen.g.InNeighbors(cur)
+		if len(in) == 0 {
+			break
+		}
+		cur = in[gen.rng.Intn(len(in))]
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// TruncateLen returns the maximum number of walk nodes under pruning rule 1
+// with termination parameter epsT: ℓt = ⌊log(εt)/log(√c)⌋, matching the
+// paper's running example (εt = 0.05, √c = 0.5 → walks keep 4 nodes).
+// The result is at least 2 so that a walk can contribute at all.
+func TruncateLen(epsT, sqrtC float64) int {
+	if epsT <= 0 || epsT >= 1 {
+		return HardCap
+	}
+	l := int(math.Floor(math.Log(epsT) / math.Log(sqrtC)))
+	if l < 2 {
+		l = 2
+	}
+	if l > HardCap {
+		l = HardCap
+	}
+	return l
+}
+
+// MeetStep returns the first step index i (1-based over walk positions,
+// counting the start nodes as position 1) at which the two walks visit the
+// same node, or 0 when they never meet. Used by the Monte Carlo estimator:
+// two √c-walks contribute to s(u, v) exactly when MeetStep > 0.
+func MeetStep(a, b []graph.NodeID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ExpectedLen returns E[ℓ], the expected node count of a √c-walk on a graph
+// with no dead ends: 1/(1 − √c).
+func ExpectedLen(c float64) float64 { return 1 / (1 - math.Sqrt(c)) }
+
+// ExpectedLenSq returns the bound on E[ℓ²] used in §3.3's complexity
+// analysis: (1 + √c)/(1 − √c)².
+func ExpectedLenSq(c float64) float64 {
+	s := math.Sqrt(c)
+	return (1 + s) / ((1 - s) * (1 - s))
+}

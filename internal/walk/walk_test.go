@@ -1,0 +1,204 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// cycleGraph returns a directed n-cycle, which has no dead ends so walk
+// lengths follow the pure geometric law.
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestWalkStartsAtSource(t *testing.T) {
+	g := cycleGraph(5)
+	gen := NewGenerator(g, 0.6, xrand.New(1))
+	for i := 0; i < 100; i++ {
+		w := gen.Generate(3, 0, nil)
+		if len(w) == 0 || w[0] != 3 {
+			t.Fatalf("walk %v does not start at 3", w)
+		}
+	}
+}
+
+func TestWalkFollowsInEdges(t *testing.T) {
+	g := cycleGraph(7)
+	gen := NewGenerator(g, 0.8, xrand.New(2))
+	for i := 0; i < 200; i++ {
+		w := gen.Generate(0, 0, nil)
+		for j := 1; j < len(w); j++ {
+			if !g.HasEdge(w[j], w[j-1]) {
+				t.Fatalf("walk step %d: %d is not an in-neighbor of %d", j, w[j], w[j-1])
+			}
+		}
+	}
+}
+
+func TestWalkStopsAtDeadEnd(t *testing.T) {
+	// 0 -> 1 -> 2: node 0 has no in-neighbors, so a walk from 2 has at
+	// most 3 nodes.
+	g := graph.New(3)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := NewGenerator(g, 0.9, xrand.New(3))
+	for i := 0; i < 500; i++ {
+		w := gen.Generate(2, 0, nil)
+		if len(w) > 3 {
+			t.Fatalf("walk %v longer than the reverse path allows", w)
+		}
+	}
+}
+
+func TestWalkRespectsMaxNodes(t *testing.T) {
+	g := cycleGraph(4)
+	gen := NewGenerator(g, 0.95, xrand.New(4))
+	for i := 0; i < 500; i++ {
+		if w := gen.Generate(0, 3, nil); len(w) > 3 {
+			t.Fatalf("truncation violated: %d nodes", len(w))
+		}
+	}
+}
+
+func TestWalkHardCap(t *testing.T) {
+	g := cycleGraph(3)
+	gen := NewGenerator(g, 0.99, xrand.New(5))
+	for i := 0; i < 200; i++ {
+		if w := gen.Generate(0, 0, nil); len(w) > HardCap {
+			t.Fatalf("hard cap violated: %d nodes", len(w))
+		}
+	}
+}
+
+func TestBufferReuse(t *testing.T) {
+	g := cycleGraph(5)
+	gen := NewGenerator(g, 0.6, xrand.New(6))
+	buf := make([]graph.NodeID, 0, 64)
+	w1 := gen.Generate(0, 0, buf)
+	w2 := gen.Generate(1, 0, w1)
+	if w2[0] != 1 {
+		t.Fatal("buffer reuse corrupted start node")
+	}
+}
+
+// TestWalkLengthMoments verifies §3.3's analysis [E-A2]: walk node counts
+// are geometric with success probability 1 − √c, so E[ℓ] = 1/(1−√c) and
+// E[ℓ²] <= (1+√c)/(1−√c)².
+func TestWalkLengthMoments(t *testing.T) {
+	const c, trials = 0.6, 200000
+	g := cycleGraph(11)
+	gen := NewGenerator(g, c, xrand.New(7))
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		l := float64(len(gen.Generate(0, 0, nil)))
+		sum += l
+		sumSq += l * l
+	}
+	meanLen := sum / trials
+	meanSq := sumSq / trials
+	if want := ExpectedLen(c); math.Abs(meanLen-want) > 0.03 {
+		t.Errorf("E[ℓ] = %.4f, want %.4f", meanLen, want)
+	}
+	if bound := ExpectedLenSq(c); meanSq > bound*1.02 {
+		t.Errorf("E[ℓ²] = %.4f exceeds bound %.4f", meanSq, bound)
+	}
+}
+
+// Per-step termination probability must be 1 − √c: among walks that reach a
+// node with in-neighbors, the fraction that stop there is 1 − √c.
+func TestTerminationRate(t *testing.T) {
+	const c, trials = 0.6, 100000
+	g := cycleGraph(9)
+	gen := NewGenerator(g, c, xrand.New(8))
+	stopAtFirst := 0
+	for i := 0; i < trials; i++ {
+		if len(gen.Generate(0, 0, nil)) == 1 {
+			stopAtFirst++
+		}
+	}
+	got := float64(stopAtFirst) / trials
+	want := 1 - math.Sqrt(c)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("P[stop at start] = %.4f, want %.4f", got, want)
+	}
+}
+
+// In-neighbor selection must be uniform.
+func TestUniformInNeighborChoice(t *testing.T) {
+	// Node 0 has 3 in-neighbors 1, 2, 3.
+	g := graph.New(4)
+	for _, u := range []graph.NodeID{1, 2, 3} {
+		if err := g.AddEdge(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := NewGenerator(g, 0.6, xrand.New(9))
+	counts := map[graph.NodeID]int{}
+	const trials = 90000
+	taken := 0
+	for i := 0; i < trials; i++ {
+		w := gen.Generate(0, 2, nil)
+		if len(w) == 2 {
+			counts[w[1]]++
+			taken++
+		}
+	}
+	for v, n := range counts {
+		got := float64(n) / float64(taken)
+		if math.Abs(got-1.0/3) > 0.01 {
+			t.Errorf("in-neighbor %d frequency %.4f, want 1/3", v, got)
+		}
+	}
+}
+
+func TestTruncateLen(t *testing.T) {
+	// Paper's running example: εt = 0.05, √c = 0.5 → 4 nodes.
+	if got := TruncateLen(0.05, 0.5); got != 4 {
+		t.Fatalf("TruncateLen(0.05, 0.5) = %d, want 4", got)
+	}
+	if got := TruncateLen(0, 0.5); got != HardCap {
+		t.Fatalf("TruncateLen(0, ...) = %d, want HardCap", got)
+	}
+	if got := TruncateLen(0.9, 0.5); got < 2 {
+		t.Fatalf("TruncateLen must allow at least 2 nodes, got %d", got)
+	}
+}
+
+func TestMeetStep(t *testing.T) {
+	cases := []struct {
+		a, b []graph.NodeID
+		want int
+	}{
+		{[]graph.NodeID{1, 2, 3}, []graph.NodeID{4, 2, 5}, 2},
+		{[]graph.NodeID{1, 2}, []graph.NodeID{1, 9}, 1},
+		{[]graph.NodeID{1, 2}, []graph.NodeID{3, 4}, 0},
+		{[]graph.NodeID{1}, []graph.NodeID{}, 0},
+		{[]graph.NodeID{1, 2, 3, 7}, []graph.NodeID{2, 3, 1, 7}, 4},
+	}
+	for i, c := range cases {
+		if got := MeetStep(c.a, c.b); got != c.want {
+			t.Errorf("case %d: MeetStep = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestNewGeneratorRejectsBadC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("c = 1 accepted")
+		}
+	}()
+	NewGenerator(graph.New(1), 1, xrand.New(1))
+}

@@ -1,0 +1,166 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by every randomized algorithm in this repository.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014 public-domain
+// reference sequence). It is not cryptographically secure, but it is
+// reproducible across platforms and Go versions — which math/rand does not
+// guarantee — and it supports cheap stream splitting so that parallel
+// workers draw from independent, seed-derived sequences.
+package xrand
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random number generator. The zero value is a
+// valid generator seeded with 0; prefer New so that distinct seeds produce
+// well-separated streams.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// the parent's seed and i, suitable for giving each parallel worker its own
+// independent sequence. The parent's state is not advanced.
+func (r *RNG) Split(i uint64) *RNG {
+	// Mix the worker index through one SplitMix64 round so adjacent indices
+	// land far apart in the state space.
+	z := r.state + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next value in the SplitMix64 sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("xrand: Int31n called with n <= 0")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits keeps the result exactly uniform.
+	threshold := -n % n // == (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success in a
+// sequence of Bernoulli(p) trials, i.e. a sample from the geometric
+// distribution with support {0, 1, 2, ...}. It panics unless 0 < p <= 1.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inverse transform: floor(log(U) / log(1-p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in selection
+// order. It panics if k > n or k < 0. For k close to n it uses a shuffle;
+// for sparse draws it uses rejection with a set.
+func (r *RNG) Sample(n, k int) []int32 {
+	if k < 0 || k > n {
+		panic("xrand: Sample requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*3 >= n {
+		perm := make([]int32, n)
+		r.Perm(perm)
+		return perm[:k]
+	}
+	seen := make(map[int32]struct{}, k)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		v := r.Int31n(int32(n))
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}

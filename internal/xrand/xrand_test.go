@@ -1,0 +1,193 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitMix64ReferenceVector(t *testing.T) {
+	// Reference outputs for SplitMix64 seeded with 1234567, from the
+	// public-domain reference implementation.
+	r := New(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a, b := parent.Split(0), parent.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times in 1000 draws", same)
+	}
+	// Splitting must not advance the parent.
+	p1, p2 := New(7), New(7)
+	p1.Split(3)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split advanced the parent state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 200000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(8)
+	if err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		n = n%1000 + 1
+		v := r.Uint64n(n)
+		return v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(11)
+	const p, draws = 0.3, 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency %v", p, got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	const p, draws = 0.4, 100000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / draws
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Geometric(%v) mean %v, want %v", p, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) != 0")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(21)
+	out := make([]int32, 257)
+	r.Perm(out)
+	seen := make(map[int32]bool, len(out))
+	for _, v := range out {
+		if v < 0 || int(v) >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(23)
+	for _, tc := range []struct{ n, k int }{{100, 5}, {100, 90}, {10, 10}, {1, 1}, {5, 0}} {
+		got := r.Sample(tc.n, tc.k)
+		if len(got) != tc.k {
+			t.Fatalf("Sample(%d,%d) len %d", tc.n, tc.k, len(got))
+		}
+		seen := make(map[int32]bool)
+		for _, v := range got {
+			if v < 0 || int(v) >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid value %d", tc.n, tc.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package probesim
+
+import (
+	"probesim/internal/simjoin"
+)
+
+// Pair is one unordered node pair from a similarity join, with U < V.
+type Pair = simjoin.Pair
+
+// JoinOptions configures ThresholdJoin and TopKJoin. The zero value uses
+// the paper-default query options and joins over every node with at least
+// one in-neighbor.
+type JoinOptions = simjoin.Options
+
+// ThresholdJoin returns every unordered pair with estimated SimRank
+// similarity at least theta, sorted by descending score. With probability
+// 1 − δ the result contains every pair with s(u,v) >= theta + εa and no
+// pair with s(u,v) < theta − εa. The join runs one single-source query per
+// candidate source and needs no precomputed join index, so it stays valid
+// under graph updates.
+func ThresholdJoin(g *Graph, theta float64, opt JoinOptions) ([]Pair, error) {
+	return simjoin.ThresholdJoin(g, theta, opt)
+}
+
+// TopKJoin returns the k unordered pairs with the highest estimated
+// SimRank similarity, in descending score order.
+func TopKJoin(g *Graph, k int, opt JoinOptions) ([]Pair, error) {
+	return simjoin.TopKJoin(g, k, opt)
+}

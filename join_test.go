@@ -1,0 +1,101 @@
+package probesim_test
+
+import (
+	"math"
+	"testing"
+
+	"probesim"
+)
+
+// diamondGraph returns the quick-start diamond: 0 -> {1, 2} -> 3. Nodes 1
+// and 2 share their only in-neighbor, so s(1, 2) = c = 0.6, the largest
+// off-diagonal similarity in the graph.
+func diamondGraph(t *testing.T) *probesim.Graph {
+	t.Helper()
+	g := probesim.NewGraph(4)
+	for _, e := range [][2]probesim.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestThresholdJoinPublicAPI(t *testing.T) {
+	g := diamondGraph(t)
+	pairs, err := probesim.ThresholdJoin(g, 0.5, probesim.JoinOptions{
+		Query: probesim.Options{EpsA: 0.03, Seed: 5},
+	})
+	if err != nil {
+		t.Fatalf("ThresholdJoin: %v", err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs at θ=0.5, want exactly {1,2}: %v", len(pairs), pairs)
+	}
+	p := pairs[0]
+	if p.U != 1 || p.V != 2 {
+		t.Fatalf("pair = {%d,%d}, want {1,2}", p.U, p.V)
+	}
+	if math.Abs(p.Score-0.6) > 0.03 {
+		t.Fatalf("score = %v, want 0.6 ± 0.03", p.Score)
+	}
+}
+
+func TestTopKJoinPublicAPI(t *testing.T) {
+	g := diamondGraph(t)
+	pairs, err := probesim.TopKJoin(g, 2, probesim.JoinOptions{
+		Query: probesim.Options{EpsA: 0.03, Seed: 5},
+	})
+	if err != nil {
+		t.Fatalf("TopKJoin: %v", err)
+	}
+	// {1,2} is the only pair with nonzero similarity in the diamond (every
+	// other pair involves node 0 or node 3 paths through node 0, which has
+	// no in-neighbors), so k=2 returns just one pair.
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1 (only one nonzero pair exists)", len(pairs))
+	}
+	if pairs[0].U != 1 || pairs[0].V != 2 {
+		t.Fatalf("best pair = {%d,%d}, want {1,2}", pairs[0].U, pairs[0].V)
+	}
+}
+
+func TestJoinSeesDynamicUpdates(t *testing.T) {
+	// Joins run directly on the live graph: after rewiring, the best pair
+	// changes with no index maintenance.
+	g := probesim.NewGraph(5)
+	for _, e := range [][2]probesim.NodeID{{0, 1}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := probesim.JoinOptions{Query: probesim.Options{EpsA: 0.03, Seed: 9}}
+	before, err := probesim.TopKJoin(g, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[0].U != 1 || before[0].V != 2 {
+		t.Fatalf("best pair before update = %v, want {1,2}", before[0])
+	}
+	// Give nodes 3 and 4 the same single parent: they tie at c, and the
+	// join must now report both pairs at the top.
+	for _, e := range [][2]probesim.NodeID{{0, 3}, {0, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := probesim.TopKJoin(g, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, p := range after {
+		if math.Abs(p.Score-0.6) <= 0.03 {
+			found++
+		}
+	}
+	// All pairs among {1,2,3,4} share in-neighbor 0: six pairs at c.
+	if found != 6 {
+		t.Fatalf("found %d pairs at ≈c after update, want 6: %v", found, after)
+	}
+}

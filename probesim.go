@@ -1,0 +1,161 @@
+// Package probesim is a from-scratch Go implementation of ProbeSim (Liu,
+// Zheng, He, Wei, Xiao, Zheng, Lu: "ProbeSim: Scalable Single-Source and
+// Top-k SimRank Computations on Dynamic Graphs", PVLDB 11(1), 2017):
+// index-free approximate single-source and top-k SimRank queries with a
+// provable absolute-error guarantee.
+//
+// # Quick start
+//
+//	g := probesim.NewGraph(4)
+//	g.AddEdge(0, 1) // directed edge 0 -> 1
+//	g.AddEdge(0, 2)
+//	g.AddEdge(1, 3)
+//	g.AddEdge(2, 3)
+//
+//	// All similarities to node 1, each within 0.05 of the truth w.p. 99%.
+//	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.05})
+//
+//	// The 10 most similar nodes to node 1.
+//	top, err := probesim.TopK(g, 1, 10, probesim.Options{})
+//
+// # Guarantees
+//
+// With Options{EpsA: εa, Delta: δ}, every returned similarity satisfies
+// |s̃(u,v) − s(u,v)| <= εa simultaneously for all v with probability at
+// least 1 − δ (Theorems 1-3 of the paper). Queries run in
+// O(n/εa²·log(n/δ)) expected time and keep no state between calls.
+//
+// # Dynamic graphs
+//
+// Because there is no index, graph updates are just adjacency updates:
+// call (*Graph).AddEdge / RemoveEdge / AddNode between queries and the next
+// query reflects the new graph immediately. This is the paper's headline
+// advantage over index-based methods (SLING, TSF), whose structures must be
+// rebuilt or patched on every update.
+//
+// # Modes
+//
+// Options.Mode selects the execution strategy; ModeAuto (the default) is
+// the paper's full configuration with pruning (§4.1), batched walk probing
+// (§4.2) and the hybrid deterministic/randomized switch (§4.3-4.4). The
+// other modes exist for ablation studies and reproduce the paper's
+// individual algorithm variants.
+//
+// # Beyond the paper
+//
+// ThresholdJoin and TopKJoin answer "find all similar pairs" with the same
+// εa guarantee and no join index; TopKProgressive answers top-k queries
+// any-time, stopping as soon as the ranking provably settles; NewQuerier
+// adds a version-keyed result cache for read-heavy workloads. All three
+// keep the zero-maintenance property that motivates the paper.
+package probesim
+
+import (
+	"io"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+)
+
+// Graph is a directed multigraph with dynamic edge updates. See NewGraph,
+// LoadEdgeList and ReadBinaryGraph for constructors.
+type Graph = graph.Graph
+
+// NodeID identifies a node; nodes are dense integers in [0, NumNodes).
+type NodeID = graph.NodeID
+
+// Stats summarizes a graph's degree structure.
+type Stats = graph.Stats
+
+// Options configures a query; the zero value uses the paper's defaults
+// (c = 0.6, εa = 0.1, δ = 0.01, ModeAuto, all cores).
+type Options = core.Options
+
+// Mode selects a ProbeSim execution strategy.
+type Mode = core.Mode
+
+// Execution strategies (see the paper sections referenced on each).
+const (
+	// ModeAuto: pruning + batch + hybrid (the paper's full configuration).
+	ModeAuto = core.ModeAuto
+	// ModeBasic: Algorithm 1 with deterministic probes, no optimizations.
+	ModeBasic = core.ModeBasic
+	// ModePruned: ModeBasic plus pruning rules 1 and 2 (§4.1).
+	ModePruned = core.ModePruned
+	// ModeBatch: ModePruned plus the reverse-reachability walk tree (§4.2).
+	ModeBatch = core.ModeBatch
+	// ModeRandomized: Algorithm 1 with randomized probes (§4.3).
+	ModeRandomized = core.ModeRandomized
+	// ModeHybrid: batch tree with the §4.4 deterministic/randomized switch.
+	ModeHybrid = core.ModeHybrid
+)
+
+// ScoredNode is one entry of a top-k answer.
+type ScoredNode = core.ScoredNode
+
+// Plan is the resolved execution plan of a query (trial count, error-budget
+// split, walk truncation); useful for logging and capacity planning.
+type Plan = core.Plan
+
+// NewGraph returns a graph with n nodes and no edges.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewGraphFromEdges builds a graph with n nodes and the given directed
+// edges.
+func NewGraphFromEdges(n int, edges [][2]NodeID) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// LoadEdgeList parses a whitespace-separated edge list ("u v" per line, #
+// comments allowed, sparse ids remapped densely). Set undirected to insert
+// both directions per line.
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	return graph.LoadEdgeList(r, undirected)
+}
+
+// ReadBinaryGraph loads a graph written by (*Graph).WriteBinary.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// SingleSource answers an approximate single-source SimRank query: it
+// returns s̃(u, v) for every node v (result[u] = 1), with every entry
+// within opt.EpsA of the exact similarity with probability 1 − opt.Delta.
+func SingleSource(g *Graph, u NodeID, opt Options) ([]float64, error) {
+	return core.SingleSource(g, u, opt)
+}
+
+// TopK answers an approximate top-k SimRank query: the k nodes most
+// similar to u (excluding u), in descending score order.
+func TopK(g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, error) {
+	return core.TopK(g, u, k, opt)
+}
+
+// ProgressiveStats reports how a TopKProgressive query stopped: walks
+// used versus the static budget, rounds, the final confidence radius, and
+// whether it stopped on rank separation.
+type ProgressiveStats = core.ProgressiveStats
+
+// TopKProgressive answers the same approximate top-k query as TopK but
+// adaptively: walks run in doubling rounds and the query stops as soon as
+// the k-th and (k+1)-th candidates separate by twice the confidence
+// radius, often long before the static εa-driven walk budget. The
+// guarantee of Definition 2 is preserved; Stats reports the saving.
+func TopKProgressive(g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
+	return core.TopKProgressive(g, u, k, opt)
+}
+
+// PlanFor reports the execution plan a query with these options would use
+// on a graph with n nodes.
+func PlanFor(opt Options, n int) (Plan, error) { return core.PlanFor(opt, n) }
+
+// Querier memoizes single-source results keyed by the graph's version
+// counter: repeated queries on an unchanged graph are free, and any
+// mutation invalidates the cache automatically. This implements the
+// "lightweight indexing" direction sketched in the paper's conclusion
+// while keeping ProbeSim's zero-maintenance property.
+type Querier = core.Querier
+
+// NewQuerier wraps g with a result cache holding up to capacity
+// single-source vectors (LRU eviction).
+func NewQuerier(g *Graph, opt Options, capacity int) *Querier {
+	return core.NewQuerier(g, opt, capacity)
+}

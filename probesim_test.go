@@ -1,0 +1,122 @@
+package probesim_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"probesim"
+)
+
+// The doc-comment quick start must work exactly as written.
+func TestQuickStart(t *testing.T) {
+	g := probesim.NewGraph(4)
+	for _, e := range [][2]probesim.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 || scores[1] != 1 {
+		t.Fatalf("scores = %v", scores)
+	}
+	// Nodes 1 and 2 share their only in-neighbor (0), so s(1,2) = c = 0.6.
+	if math.Abs(scores[2]-0.6) > 0.05 {
+		t.Fatalf("s(1,2) = %v, want 0.6 ± 0.05", scores[2])
+	}
+	top, err := probesim.TopK(g, 1, 2, probesim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Node != 2 {
+		t.Fatalf("top-1 = %v, want node 2", top)
+	}
+}
+
+func TestDynamicUpdatesAffectQueries(t *testing.T) {
+	// Start: 0 -> 1, 0 -> 2 (nodes 1, 2 similar). Then rewire 2's
+	// in-neighbor to 3: similarity collapses.
+	g := probesim.NewGraph(4)
+	for _, e := range [][2]probesim.NodeID{{0, 1}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := probesim.Options{EpsA: 0.05, Seed: 3}
+	before, err := probesim.SingleSource(g, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[2] < 0.5 {
+		t.Fatalf("s(1,2) = %v, want ~0.6 before the update", before[2])
+	}
+	if err := g.RemoveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := probesim.SingleSource(g, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[2] > 0.05 {
+		t.Fatalf("s(1,2) = %v after rewiring, want ~0", after[2])
+	}
+}
+
+func TestLoadAndBinaryRoundTrip(t *testing.T) {
+	g, err := probesim.LoadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := probesim.ReadBinaryGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatalf("round trip lost edges: %d", g2.NumEdges())
+	}
+	if _, err := probesim.SingleSource(g2, 0, probesim.Options{NumWalks: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanForExposed(t *testing.T) {
+	plan, err := probesim.PlanFor(probesim.Options{EpsA: 0.1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumWalks <= 0 || plan.MaxWalkNodes < 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if _, err := probesim.PlanFor(probesim.Options{C: 7}, 10); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestAllModesExposed(t *testing.T) {
+	g := probesim.NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []probesim.Mode{
+		probesim.ModeAuto, probesim.ModeBasic, probesim.ModePruned,
+		probesim.ModeBatch, probesim.ModeRandomized, probesim.ModeHybrid,
+	} {
+		if _, err := probesim.SingleSource(g, 1, probesim.Options{Mode: m, NumWalks: 50}); err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+	}
+}
