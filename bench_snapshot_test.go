@@ -1,0 +1,126 @@
+package probesim_test
+
+// Benchmarks for the CSR snapshot + pooled executor serving path (PR 1):
+// the same single-source query answered by
+//
+//   - Slices:   core.SingleSource on the mutable slice-of-slice *Graph,
+//     allocating per-worker scratch per query — the seed's code path; and
+//   - Snapshot: core.Executor on the immutable CSR snapshot with pooled
+//     scratch — the serving path.
+//
+// Results are bit-identical (asserted once per graph before timing); the
+// pair measures pure representation + allocation effects. Run with
+//
+//	go test -run '^$' -bench 'BenchmarkSingleSource(Slices|Snapshot)' -benchmem
+//
+// Committed results live in BENCH_PR1.json.
+
+import (
+	"testing"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+)
+
+// snapshotBenchSize keeps the two bench graphs big enough that adjacency
+// no longer fits in L2 (the serving regime the CSR layout targets) while
+// a query stays in the tens of milliseconds.
+const snapshotBenchSize = 100_000
+
+func snapshotBenchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	if g, ok := graphCache.Load("snapshot-" + name); ok {
+		return g.(*graph.Graph)
+	}
+	var g *graph.Graph
+	switch name {
+	case "er":
+		g = gen.ErdosRenyi(snapshotBenchSize, 8*snapshotBenchSize, 1)
+	case "pa":
+		g = gen.PreferentialAttachment(snapshotBenchSize, 8, 1)
+	default:
+		b.Fatalf("unknown snapshot bench graph %q", name)
+	}
+	graphCache.Store("snapshot-"+name, g)
+	return g
+}
+
+// snapshotBenchOpts pins every source of nondeterminism so the two
+// variants run the exact same trials: per-walk mode (the probe-dominated
+// path both representations serve), fixed walk budget, fixed seed.
+func snapshotBenchOpts() core.Options {
+	return core.Options{EpsA: 0.1, Seed: 1, Mode: core.ModePruned, NumWalks: 1000}
+}
+
+func assertVariantsAgree(b *testing.B, g *graph.Graph, ex *core.Executor, u graph.NodeID) {
+	b.Helper()
+	want, err := core.SingleSource(g, u, snapshotBenchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := ex.SingleSource(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := range want {
+		if want[v] != got[v] {
+			b.Fatalf("snapshot result diverges from slices at node %d: %v != %v", v, got[v], want[v])
+		}
+	}
+}
+
+func BenchmarkSingleSourceSlices(b *testing.B) {
+	for _, name := range []string{"er", "pa"} {
+		b.Run(name, func(b *testing.B) {
+			g := snapshotBenchGraph(b, name)
+			u := benchQuery(b, g)
+			opt := snapshotBenchOpts()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SingleSource(g, u, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSingleSourceSnapshot(b *testing.B) {
+	for _, name := range []string{"er", "pa"} {
+		b.Run(name, func(b *testing.B) {
+			g := snapshotBenchGraph(b, name)
+			u := benchQuery(b, g)
+			ex := core.NewExecutor(g, snapshotBenchOpts())
+			assertVariantsAgree(b, g, ex, u)
+			// Steady-state serving: scratch comes from the pool, the result
+			// is written into a reused buffer.
+			buf := make([]float64, g.NumNodes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := ex.SingleSourceInto(u, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotBuild prices publication: the O(n+m) cost a mutation
+// batch pays once, amortized over every lock-free query that follows.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	for _, name := range []string{"er", "pa"} {
+		b.Run(name, func(b *testing.B) {
+			g := snapshotBenchGraph(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Snapshot()
+			}
+		})
+	}
+}

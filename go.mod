@@ -1,0 +1,3 @@
+module probesim
+
+go 1.24

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probesim/internal/graph"
+)
+
+// Executor is the serving-path front end for ProbeSim queries over a
+// dynamic graph: a snapshot manager plus a pooled query runner.
+//
+// It keeps an immutable CSR snapshot (graph.Snapshot) of the underlying
+// graph behind an atomic pointer. Queries load the pointer once and run
+// entirely against that snapshot — no lock is held, so an edge update can
+// never stall a query and a long query can never stall an update. Writers
+// mutate the *graph.Graph under their own discipline and then call
+// Refresh, which rebuilds the snapshot in O(n+m) and publishes it with a
+// single atomic store; queries already in flight keep the snapshot they
+// grabbed (a consistent, slightly stale view — exactly what the paper's
+// dynamic-graph setting permits, since ProbeSim has no index to patch).
+//
+// Per-query working memory (dense accumulators, probe frontiers, walk
+// buffers — ~56n bytes per worker) comes from a size-keyed sync.Pool, so
+// steady-state queries allocate almost nothing beyond their result vector.
+//
+// Concurrency contract: any number of goroutines may query concurrently.
+// Mutating the graph and calling Refresh must be externally serialized
+// against other mutations (e.g. internal/server holds its write mutex
+// across both), but never against queries.
+type Executor struct {
+	g    *graph.Graph
+	opt  Options
+	snap atomic.Pointer[graph.Snapshot]
+	mu   sync.Mutex // serializes Refresh against itself
+	pool scratchPool
+}
+
+// NewExecutor builds an executor over g with the given default query
+// options, publishing an initial snapshot of g's current state.
+func NewExecutor(g *graph.Graph, opt Options) *Executor {
+	e := &Executor{g: g, opt: opt}
+	e.snap.Store(g.Snapshot())
+	return e
+}
+
+// Graph returns the underlying mutable graph. Mutations to it are not
+// visible to queries until Refresh publishes a new snapshot.
+func (e *Executor) Graph() *graph.Graph { return e.g }
+
+// Options returns the executor's default query options.
+func (e *Executor) Options() Options { return e.opt }
+
+// Snapshot returns the currently published snapshot. It never blocks.
+func (e *Executor) Snapshot() *graph.Snapshot { return e.snap.Load() }
+
+// Refresh publishes a fresh snapshot if the graph's version moved since
+// the last publication and returns the current snapshot either way. The
+// caller must ensure no concurrent mutation of the graph while Refresh
+// reads it (the same contract as (*Graph).Snapshot).
+func (e *Executor) Refresh() *graph.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.snap.Load(); s.Version() == e.g.Version() {
+		return s
+	}
+	s := e.g.Snapshot()
+	e.snap.Store(s)
+	return s
+}
+
+// SingleSource answers a single-source query against the current snapshot
+// using pooled scratch. The returned vector is freshly allocated and owned
+// by the caller.
+func (e *Executor) SingleSource(u graph.NodeID) ([]float64, error) {
+	return singleSource(e.snap.Load(), u, e.opt, &e.pool)
+}
+
+// TopK answers a top-k query against the current snapshot using pooled
+// scratch.
+func (e *Executor) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	est, err := e.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTopK(est, u, k), nil
+}
+
+// SingleSourceInto answers a single-source query against the current
+// snapshot, writing the result into dst when cap(dst) >= NumNodes (and
+// allocating otherwise). Combined with the pooled scratch this makes the
+// steady-state query path allocation-free up to a handful of fixed-size
+// bookkeeping objects; it is meant for callers that consume a vector and
+// move on (serializers, aggregators) rather than retain it.
+func (e *Executor) SingleSourceInto(u graph.NodeID, dst []float64) ([]float64, error) {
+	return singleSourceInto(e.snap.Load(), u, e.opt, &e.pool, dst)
+}
+
+// SingleSourceOn runs a single-source query with the executor's scratch
+// pool against an explicit view (normally a snapshot previously obtained
+// from Snapshot, so a caller can pin one consistent view across several
+// queries).
+func (e *Executor) SingleSourceOn(v graph.View, u graph.NodeID) ([]float64, error) {
+	return singleSource(v, u, e.opt, &e.pool)
+}

@@ -31,9 +31,23 @@ type ScoredNode struct {
 // |s̃(u,v) − s(u,v)| <= εa for all v simultaneously with probability
 // >= 1 − δ. The result slice has length g.NumNodes() and result[u] = 1.
 //
-// The graph must not be mutated while the query runs; concurrent queries
-// on the same graph are safe.
-func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error) {
+// g may be a mutable *graph.Graph or an immutable *graph.Snapshot; results
+// are bit-identical between the two for the same seed. A *graph.Graph must
+// not be mutated while the query runs; concurrent queries on the same view
+// are safe. For serving workloads prefer Executor, which adds snapshot
+// publication and scratch pooling on top of this entry point.
+func SingleSource(g graph.View, u graph.NodeID, opt Options) ([]float64, error) {
+	return singleSource(g, u, opt, nil)
+}
+
+func singleSource(g graph.View, u graph.NodeID, opt Options, pool *scratchPool) ([]float64, error) {
+	return singleSourceInto(g, u, opt, pool, nil)
+}
+
+// singleSourceInto is singleSource with an optional caller-provided result
+// buffer: when cap(dst) suffices the answer is written in place and no
+// result vector is allocated.
+func singleSourceInto(g graph.View, u graph.NodeID, opt Options, pool *scratchPool, dst []float64) ([]float64, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -46,9 +60,9 @@ func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error
 	var est []float64
 	switch plan.Mode {
 	case ModeBasic, ModePruned, ModeRandomized:
-		est = runPerWalk(g, u, plan)
+		est = runPerWalk(g, u, plan, pool, dst)
 	case ModeAuto, ModeBatch, ModeHybrid:
-		est = runBatched(g, u, plan)
+		est = runBatched(g, u, plan, pool, dst)
 	}
 	if plan.Compensate && plan.EpsT > 0 {
 		half := plan.EpsT / 2
@@ -66,7 +80,7 @@ func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) ([]float64, error
 // nodes with the largest estimated similarity to u (excluding u itself),
 // in descending score order with node id breaking ties. If the graph has
 // fewer than k other nodes, all of them are returned.
-func TopK(g *graph.Graph, u graph.NodeID, k int, opt Options) ([]ScoredNode, error) {
+func TopK(g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
@@ -140,8 +154,9 @@ func SelectTopK(est []float64, u graph.NodeID, k int) []ScoredNode {
 // runPerWalk executes the non-batched modes: nr independent trials, each
 // generating one √c-walk and probing all of its prefixes. Trials are
 // partitioned across workers, each with its own RNG stream, scratch space
-// and accumulator.
-func runPerWalk(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
+// and accumulator. Scratch comes from pool when one is supplied (the
+// Executor's steady-state path) and is allocated fresh otherwise.
+func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64) []float64 {
 	n := g.NumNodes()
 	workers := plan.Workers
 	if workers > plan.NumWalks {
@@ -150,20 +165,22 @@ func runPerWalk(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 	if workers < 1 {
 		workers = 1
 	}
-	accs := make([][]float64, workers)
+	scs := make([]*queryScratch, workers)
 	root := xrand.New(plan.Seed)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := plan.NumWalks * w / workers
 		hi := plan.NumWalks * (w + 1) / workers
 		rng := root.Split(uint64(w))
+		sc := pool.get(n)
+		scs[w] = sc
 		wg.Add(1)
-		go func(w, trials int, rng *xrand.RNG) {
+		go func(trials int, rng *xrand.RNG, sc *queryScratch) {
 			defer wg.Done()
-			acc := make([]float64, n)
+			acc := sc.acc
 			gen := walk.NewGenerator(g, plan.C, rng)
-			s := probe.NewScratch(n)
-			var buf []graph.NodeID
+			s := sc.det
+			buf := sc.buf
 			for t := 0; t < trials; t++ {
 				buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 				for i := 2; i <= len(buf); i++ {
@@ -180,25 +197,26 @@ func runPerWalk(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 					}
 				}
 			}
-			accs[w] = acc
-		}(w, hi-lo, rng)
+			sc.buf = buf
+		}(hi-lo, rng, sc)
 	}
 	wg.Wait()
-	return mergeScaled(accs, n, 1/float64(plan.NumWalks))
+	return mergeScratch(scs, n, 1/float64(plan.NumWalks), pool, dst)
 }
 
 // runBatched executes the batch and hybrid modes: build the reverse
 // reachability tree from nr walks (§4.2), then probe each root-to-node
 // path once, weighted by how many walks share it. Paths are distributed
 // across workers by index.
-func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
+func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64) []float64 {
 	n := g.NumNodes()
 	tree := NewWalkTree(u)
 	rootRNG := xrand.New(plan.Seed)
 	// Walks come from stream 0, the same stream a single-worker per-walk
 	// run uses, so batching is observably a pure deduplication of probes.
+	walkSC := pool.get(n)
 	gen := walk.NewGenerator(g, plan.C, rootRNG.Split(0))
-	var buf []graph.NodeID
+	buf := walkSC.buf
 	for t := 0; t < plan.NumWalks; t++ {
 		buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 		if err := tree.Insert(buf); err != nil {
@@ -206,6 +224,7 @@ func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 			panic(err)
 		}
 	}
+	walkSC.buf = buf
 	paths := tree.Paths()
 
 	hybrid := plan.Mode == ModeHybrid || plan.Mode == ModeAuto
@@ -216,17 +235,23 @@ func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 	if workers < 1 {
 		workers = 1
 	}
-	accs := make([][]float64, workers)
+	scs := make([]*queryScratch, workers)
+	// The walk scratch doubles as worker 0's probe scratch: its accumulator
+	// is still zeroed, only its walk buffer was used.
+	scs[0] = walkSC
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		if scs[w] == nil {
+			scs[w] = pool.get(n)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, sc *queryScratch) {
 			defer wg.Done()
-			acc := make([]float64, n)
-			det := probe.NewScratch(n)
+			acc := sc.acc
+			det := sc.det
 			var rnd *probe.Scratch
 			if hybrid {
-				rnd = probe.NewScratch(n)
+				rnd = sc.randomized()
 			}
 			for pi := w; pi < len(paths); pi += workers {
 				p := paths[pi]
@@ -243,11 +268,10 @@ func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 					}
 				}
 			}
-			accs[w] = acc
-		}(w)
+		}(w, scs[w])
 	}
 	wg.Wait()
-	return mergeScaled(accs, n, 1/float64(plan.NumWalks))
+	return mergeScratch(scs, n, 1/float64(plan.NumWalks), pool, dst)
 }
 
 // probePathHybrid probes one weighted path with the §4.4 strategy: expand
@@ -255,12 +279,12 @@ func runBatched(g *graph.Graph, u graph.NodeID, plan Plan) []float64 {
 // would cost more than c0·w·n edge traversals, finish each of the w walk
 // replicas with a randomized continuation seeded by Bernoulli(score)
 // membership of the current level (unbiased by Lemma 6).
-func probePathHybrid(g *graph.Graph, p Path, plan Plan, acc []float64, det, rnd *probe.Scratch, rng *xrand.RNG) {
+func probePathHybrid(g graph.View, p Path, plan Plan, acc []float64, det, rnd *probe.Scratch, rng *xrand.RNG) {
 	budget := plan.HybridC0 * float64(p.Weight) * float64(len(acc))
 	st := probe.NewStepper(g, p.Nodes, plan.SqrtC, plan.EpsP, det)
 	for !st.Done() {
 		nodes, scores := st.Frontier()
-		if float64(probe.OutDegreeSum(g, nodes)) > budget {
+		if float64(st.FrontierOutDegreeSum()) > budget {
 			// Switch: snapshot the frontier, then run weight replicas.
 			level := st.Level()
 			fNodes := append([]graph.NodeID(nil), nodes...)
@@ -291,16 +315,26 @@ func probePathHybrid(g *graph.Graph, p Path, plan Plan, acc []float64, det, rnd 
 	}
 }
 
-// mergeScaled sums the worker accumulators and multiplies by scale.
-func mergeScaled(accs [][]float64, n int, scale float64) []float64 {
-	out := make([]float64, n)
-	for _, acc := range accs {
-		if acc == nil {
+// mergeScratch sums the worker accumulators into the result vector,
+// multiplies by scale, and returns every scratch set to the pool. The
+// result reuses dst when its capacity suffices and is allocated fresh
+// otherwise.
+func mergeScratch(scs []*queryScratch, n int, scale float64, pool *scratchPool, dst []float64) []float64 {
+	var out []float64
+	if cap(dst) >= n {
+		out = dst[:n]
+		clear(out)
+	} else {
+		out = make([]float64, n)
+	}
+	for _, sc := range scs {
+		if sc == nil {
 			continue
 		}
-		for i, v := range acc {
+		for i, v := range sc.acc {
 			out[i] += v
 		}
+		pool.put(sc)
 	}
 	for i := range out {
 		out[i] *= scale

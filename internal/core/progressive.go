@@ -66,7 +66,9 @@ const progressiveStartWalks = 256
 // radii beat εa. Only the per-walk modes run progressively; Mode is
 // coerced to ModePruned unless ModeBasic or ModeRandomized was asked for
 // explicitly.
-func TopKProgressive(g *graph.Graph, u graph.NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
+// g may be a mutable *graph.Graph or an immutable *graph.Snapshot (the
+// server runs progressive queries against lock-free snapshots).
+func TopKProgressive(g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
 	if k <= 0 {
 		return nil, ProgressiveStats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}

@@ -10,27 +10,36 @@ import (
 
 // Querier is the "lightweight indexing" idea the paper's conclusion (§7)
 // sketches as future work: keep ProbeSim index-free, but memoize recent
-// query results keyed by (query node, graph version) so that repeated
+// query results keyed by (query node, snapshot version) so that repeated
 // queries on an unchanged graph are free, while any graph mutation
-// invalidates every cached answer automatically (the graph's version
-// counter moves).
+// invalidates every cached answer automatically (a fresh snapshot carries
+// a fresh version).
 //
 // The cache holds at most Capacity single-source vectors (8n bytes each)
 // with LRU eviction. A Querier is safe for concurrent use; cache misses
-// run queries outside the lock so concurrent misses proceed in parallel
-// (duplicate concurrent misses may both compute, which is benign because
-// results for a fixed option set and graph version are deterministic).
+// run queries outside the lock so distinct-node misses proceed in
+// parallel, while concurrent misses for the SAME node are de-duplicated
+// single-flight style: one goroutine computes, the rest wait for its
+// result. (Under serving load the duplicate work the seed tolerated is
+// anything but benign: a popular node going viral would multiply an
+// O(n/εa²·log n) computation by the number of concurrent requests.)
 type Querier struct {
-	g        *graph.Graph
-	opt      Options
+	ex *Executor
+	// track controls staleness detection: a standalone Querier built by
+	// NewQuerier refreshes the executor's snapshot on every query (the
+	// legacy "mutate between queries" contract), while a Querier sharing a
+	// server-owned Executor trusts the server to Refresh after mutations
+	// and never touches the mutable graph on the read path.
+	track    bool
 	capacity int
 
 	mu      sync.Mutex
 	entries map[graph.NodeID]*list.Element
 	order   *list.List // front = most recent
 	version uint64
+	flights map[graph.NodeID]*flight
 
-	hits, misses int64
+	hits, misses, shared int64
 }
 
 type cacheEntry struct {
@@ -38,32 +47,79 @@ type cacheEntry struct {
 	scores []float64
 }
 
-// NewQuerier wraps g with a result cache of the given capacity (numbers of
-// cached single-source vectors; minimum 1).
+// flight is one in-progress single-source computation that concurrent
+// misses for the same node attach to.
+type flight struct {
+	done   chan struct{}
+	scores []float64
+	err    error
+}
+
+// NewQuerier wraps g with a result cache of the given capacity (number of
+// cached single-source vectors; minimum 1). The graph may be mutated
+// between queries (each query picks up the latest state) but not while
+// queries are in flight; use NewQuerierOn with an externally refreshed
+// Executor for that.
 func NewQuerier(g *graph.Graph, opt Options, capacity int) *Querier {
+	return newQuerier(NewExecutor(g, opt), capacity, true)
+}
+
+// NewQuerierOn wraps an existing Executor with a result cache. The caller
+// owns snapshot publication: queries always run against ex's current
+// snapshot and never read the mutable graph, so they are safe to run
+// concurrently with graph mutations as long as the mutator calls
+// ex.Refresh.
+func NewQuerierOn(ex *Executor, capacity int) *Querier {
+	return newQuerier(ex, capacity, false)
+}
+
+func newQuerier(ex *Executor, capacity int, track bool) *Querier {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &Querier{
-		g:        g,
-		opt:      opt,
+		ex:       ex,
+		track:    track,
 		capacity: capacity,
 		entries:  make(map[graph.NodeID]*list.Element),
 		order:    list.New(),
-		version:  g.Version(),
+		version:  ex.Snapshot().Version(),
+		flights:  make(map[graph.NodeID]*flight),
 	}
 }
 
+// Executor returns the underlying executor.
+func (q *Querier) Executor() *Executor { return q.ex }
+
 // SingleSource returns the cached single-source vector for u, computing
-// and caching it on a miss. The returned slice is shared with the cache:
+// and caching it on a miss. The returned slice is shared with the cache
+// (and with any concurrent callers that joined the same computation):
 // callers must not modify it.
 func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
+	snap := q.ex.Snapshot()
+	if q.track {
+		snap = q.ex.Refresh()
+	}
 	q.mu.Lock()
-	if v := q.g.Version(); v != q.version {
-		// The graph changed: all cached answers are stale.
+	if v := snap.Version(); v > q.version {
+		// The graph moved forward: all cached answers are stale. In-progress
+		// flights stay in the map until their owners finish; new misses for
+		// the same node under the new version start fresh flights keyed by
+		// the node, so we drop the stale ones here.
 		q.entries = make(map[graph.NodeID]*list.Element)
 		q.order.Init()
+		q.flights = make(map[graph.NodeID]*flight)
 		q.version = v
+	} else if v < q.version {
+		// This goroutine grabbed its snapshot, then a mutation published a
+		// newer one and another query already advanced the cache to it.
+		// Serve consistently from the old snapshot WITHOUT touching the
+		// cache: resetting q.version backward would wipe the warm cache
+		// (and its single-flight dedup) on every slow request that
+		// overlaps a write.
+		q.misses++
+		q.mu.Unlock()
+		return q.ex.SingleSourceOn(snap, u)
 	}
 	if el, ok := q.entries[u]; ok {
 		q.order.MoveToFront(el)
@@ -72,19 +128,35 @@ func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
 		q.mu.Unlock()
 		return scores, nil
 	}
+	if f, ok := q.flights[u]; ok {
+		// Another goroutine is already computing u at this version: wait
+		// for it instead of repeating the work.
+		q.shared++
+		q.mu.Unlock()
+		<-f.done
+		return f.scores, f.err
+	}
 	q.misses++
+	f := &flight{done: make(chan struct{})}
+	q.flights[u] = f
 	version := q.version
 	q.mu.Unlock()
 
-	scores, err := SingleSource(q.g, u, q.opt)
-	if err != nil {
-		return nil, err
-	}
+	scores, err := q.ex.SingleSourceOn(snap, u)
+	f.scores, f.err = scores, err
+	close(f.done)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	// Only cache if the graph did not move underneath the computation.
-	if q.g.Version() == version && q.version == version {
+	if q.flights[u] == f {
+		delete(q.flights, u)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Only cache if no newer snapshot was published underneath the
+	// computation.
+	if q.version == version && q.ex.Snapshot().Version() == version {
 		if el, ok := q.entries[u]; ok {
 			q.order.MoveToFront(el)
 		} else {
@@ -117,4 +189,12 @@ func (q *Querier) Stats() (hits, misses int64, cached int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.hits, q.misses, q.order.Len()
+}
+
+// SharedFlights reports how many queries joined another goroutine's
+// in-flight computation instead of running their own.
+func (q *Querier) SharedFlights() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shared
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+
+	"probesim/internal/graph"
+	"probesim/internal/probe"
+)
+
+// queryScratch bundles every reusable buffer one worker needs to run
+// ProbeSim trials on a graph with n nodes: the dense score accumulator,
+// deterministic and randomized probe scratch, and the walk buffer. At the
+// paper's defaults a fresh set is ~56n bytes, which is what every query
+// used to allocate per worker; pooling them is where the executor's
+// near-zero steady-state allocation comes from.
+type queryScratch struct {
+	n   int
+	acc []float64
+	det *probe.Scratch
+	rnd *probe.Scratch
+	buf []graph.NodeID
+}
+
+func newQueryScratch(n int) *queryScratch {
+	return &queryScratch{
+		n:   n,
+		acc: make([]float64, n),
+		det: probe.NewScratch(n),
+	}
+}
+
+// randomized returns the lazily allocated second probe scratch the hybrid
+// modes need alongside the deterministic one.
+func (sc *queryScratch) randomized() *probe.Scratch {
+	if sc.rnd == nil {
+		sc.rnd = probe.NewScratch(sc.n)
+	}
+	return sc.rnd
+}
+
+// scratchPool hands out queryScratch sets keyed by graph size. A nil
+// *scratchPool is valid and always allocates fresh sets (the behavior of
+// the plain SingleSource entry point); the Executor owns a real pool.
+//
+// Sizes are pooled independently so a graph that grows via AddNode does
+// not poison the pool: stale sizes simply stop being requested and their
+// pools drain under GC pressure like any sync.Pool.
+type scratchPool struct {
+	pools sync.Map // int (n) -> *sync.Pool
+}
+
+// get returns a scratch set for graphs with n nodes. The accumulator is
+// zeroed; probe scratch invalidates itself via epochs.
+func (p *scratchPool) get(n int) *queryScratch {
+	if p == nil {
+		return newQueryScratch(n)
+	}
+	v, ok := p.pools.Load(n)
+	if !ok {
+		v, _ = p.pools.LoadOrStore(n, &sync.Pool{})
+	}
+	if s, ok := v.(*sync.Pool).Get().(*queryScratch); ok {
+		clear(s.acc)
+		return s
+	}
+	return newQueryScratch(n)
+}
+
+// put returns a scratch set to the pool. No-op on a nil pool.
+func (p *scratchPool) put(s *queryScratch) {
+	if p == nil || s == nil {
+		return
+	}
+	if v, ok := p.pools.Load(s.n); ok {
+		v.(*sync.Pool).Put(s)
+	}
+}

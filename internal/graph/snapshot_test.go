@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"testing"
+
+	"probesim/internal/xrand"
+)
+
+// randomGraph builds a random multigraph-free directed graph with n nodes
+// and up to m edges (duplicates skipped, self-loops skipped).
+func randomGraph(t *testing.T, n int, m int, rng *xrand.RNG) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// assertSnapshotMatches checks that a snapshot reproduces the graph's
+// adjacency structure exactly: node/edge counts, per-node degrees, and
+// neighbor lists in identical order (order matters — walk sampling and
+// randomized probes consume randomness per neighbor index, and the
+// bit-identical query guarantee depends on it).
+func assertSnapshotMatches(t *testing.T, g *Graph, s *Snapshot) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot is %d nodes/%d edges, graph is %d/%d",
+			s.NumNodes(), s.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if s.Version() != g.Version() {
+		t.Fatalf("snapshot version %d, graph version %d", s.Version(), g.Version())
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if s.InDegree(v) != g.InDegree(v) || s.OutDegree(v) != g.OutDegree(v) {
+			t.Fatalf("node %d: snapshot degrees (%d,%d) != graph degrees (%d,%d)",
+				v, s.InDegree(v), s.OutDegree(v), g.InDegree(v), g.OutDegree(v))
+		}
+		for dir, lists := range map[string][2][]NodeID{
+			"in":  {s.InNeighbors(v), g.InNeighbors(v)},
+			"out": {s.OutNeighbors(v), g.OutNeighbors(v)},
+		} {
+			sl, gl := lists[0], lists[1]
+			if len(sl) != len(gl) {
+				t.Fatalf("node %d %s-list length %d != %d", v, dir, len(sl), len(gl))
+			}
+			for i := range sl {
+				if sl[i] != gl[i] {
+					t.Fatalf("node %d %s-list[%d] = %d, graph has %d", v, dir, i, sl[i], gl[i])
+				}
+			}
+		}
+	}
+	// The stats scan exercises the offset arrays end to end.
+	if gs, ss := g.ComputeStats(), s.ComputeStats(); gs != ss {
+		t.Fatalf("snapshot stats %+v != graph stats %+v", ss, gs)
+	}
+}
+
+// TestSnapshotMatchesGraphRandom is the structural half of the
+// equivalence property: across random graphs of varied shape, a snapshot
+// is indistinguishable from its source through the View interface.
+func TestSnapshotMatchesGraphRandom(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		g := randomGraph(t, n, m, rng)
+		assertSnapshotMatches(t, g, g.Snapshot())
+	}
+}
+
+// TestSnapshotAfterChurn re-snapshots after interleaved insert/remove
+// cycles: every published snapshot must match the graph state at its
+// version, and older snapshots must be unaffected by later mutations.
+func TestSnapshotAfterChurn(t *testing.T) {
+	rng := xrand.New(7)
+	g := randomGraph(t, 40, 120, rng)
+	prev := g.Snapshot()
+	prevEdges := prev.NumEdges()
+	for round := 0; round < 20; round++ {
+		// Random churn: half inserts, half removals of existing edges.
+		for i := 0; i < 15; i++ {
+			if rng.Float64() < 0.5 {
+				u, v := NodeID(rng.Intn(40)), NodeID(rng.Intn(40))
+				if u != v {
+					if err := g.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				// Remove a uniformly random existing edge, if any.
+				if g.NumEdges() == 0 {
+					continue
+				}
+				u := NodeID(rng.Intn(40))
+				for g.OutDegree(u) == 0 {
+					u = (u + 1) % 40
+				}
+				v := g.OutNeighbors(u)[rng.Intn(g.OutDegree(u))]
+				if err := g.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		s := g.Snapshot()
+		assertSnapshotMatches(t, g, s)
+		// Immutability: the pre-churn snapshot still reports its own state.
+		if prev.NumEdges() != prevEdges {
+			t.Fatalf("old snapshot edge count moved: %d -> %d", prevEdges, prev.NumEdges())
+		}
+		prev, prevEdges = s, s.NumEdges()
+	}
+}
+
+func TestSnapshotEmptyAndIsolated(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		g := New(n)
+		s := g.Snapshot()
+		assertSnapshotMatches(t, g, s)
+		if s.MemoryBytes() <= 0 && n > 0 {
+			t.Fatalf("MemoryBytes = %d for n = %d", s.MemoryBytes(), n)
+		}
+	}
+}
+
+// TestAdjResolution checks the devirtualized accessor against both
+// concrete representations and the interface fallback.
+func TestAdjResolution(t *testing.T) {
+	rng := xrand.New(99)
+	g := randomGraph(t, 30, 90, rng)
+	s := g.Snapshot()
+	views := map[string]View{"graph": g, "snapshot": s, "foreign": foreignView{s}}
+	for name, v := range views {
+		adj := ResolveAdj(v)
+		if adj.NumNodes() != g.NumNodes() {
+			t.Fatalf("%s: NumNodes = %d, want %d", name, adj.NumNodes(), g.NumNodes())
+		}
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			if adj.InDegree(u) != g.InDegree(u) || adj.OutDegree(u) != g.OutDegree(u) {
+				t.Fatalf("%s: node %d degree mismatch", name, u)
+			}
+			in, out := adj.In(u), adj.Out(u)
+			for i, w := range g.InNeighbors(u) {
+				if in[i] != w {
+					t.Fatalf("%s: node %d in[%d] = %d, want %d", name, u, i, in[i], w)
+				}
+			}
+			for i, w := range g.OutNeighbors(u) {
+				if out[i] != w {
+					t.Fatalf("%s: node %d out[%d] = %d, want %d", name, u, i, out[i], w)
+				}
+			}
+		}
+	}
+}
+
+// foreignView hides the concrete type so ResolveAdj takes its interface
+// fallback path.
+type foreignView struct{ s *Snapshot }
+
+func (f foreignView) NumNodes() int                  { return f.s.NumNodes() }
+func (f foreignView) NumEdges() int64                { return f.s.NumEdges() }
+func (f foreignView) InNeighbors(v NodeID) []NodeID  { return f.s.InNeighbors(v) }
+func (f foreignView) OutNeighbors(u NodeID) []NodeID { return f.s.OutNeighbors(u) }
+func (f foreignView) InDegree(v NodeID) int          { return f.s.InDegree(v) }
+func (f foreignView) OutDegree(u NodeID) int         { return f.s.OutDegree(u) }

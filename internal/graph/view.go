@@ -1,0 +1,109 @@
+package graph
+
+// View is the minimal read-only adjacency surface the query kernels (walk
+// generation, PROBE expansion, ProbeSim estimation) need. It is satisfied
+// by both the mutable *Graph and the immutable *Snapshot, so every
+// algorithm can run against either representation: slice-of-slice
+// adjacency while experimenting, CSR snapshots when serving.
+type View interface {
+	NumNodes() int
+	NumEdges() int64
+	InNeighbors(v NodeID) []NodeID
+	OutNeighbors(u NodeID) []NodeID
+	InDegree(v NodeID) int
+	OutDegree(u NodeID) int
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Snapshot)(nil)
+)
+
+// Adj is a devirtualized adjacency accessor over a View. Hot loops that
+// would otherwise pay an interface call per edge resolve an Adj once per
+// kernel invocation; its accessors then compile to plain slice indexing
+// for the two concrete representations (CSR arrays for *Snapshot,
+// slice-of-slice lists for *Graph) and only fall back to interface
+// dispatch for foreign View implementations.
+//
+// An Adj is a point-in-time resolution: like the slices returned by
+// InNeighbors, it is invalidated by the next mutation of an underlying
+// *Graph. Snapshots are immutable, so their Adj never goes stale.
+type Adj struct {
+	view View
+
+	// Slice-of-slice path (*Graph).
+	inL, outL [][]NodeID
+
+	// CSR path (*Snapshot).
+	inOff, outOff []uint32
+	inDst, outDst []NodeID
+
+	n int
+}
+
+// ResolveAdj resolves the concrete adjacency storage behind v.
+func ResolveAdj(v View) Adj {
+	switch g := v.(type) {
+	case *Snapshot:
+		return Adj{
+			view:  v,
+			inOff: g.inOff, inDst: g.inDst,
+			outOff: g.outOff, outDst: g.outDst,
+			n: g.n,
+		}
+	case *Graph:
+		return Adj{view: v, inL: g.in, outL: g.out, n: len(g.out)}
+	default:
+		return Adj{view: v, n: v.NumNodes()}
+	}
+}
+
+// NumNodes returns the node count of the resolved view.
+func (a *Adj) NumNodes() int { return a.n }
+
+// In returns the in-neighbor list of v (read-only, aliasing the view's
+// storage).
+func (a *Adj) In(v NodeID) []NodeID {
+	if a.inOff != nil {
+		return a.inDst[a.inOff[v]:a.inOff[v+1]]
+	}
+	if a.inL != nil {
+		return a.inL[v]
+	}
+	return a.view.InNeighbors(v)
+}
+
+// Out returns the out-neighbor list of u (read-only, aliasing the view's
+// storage).
+func (a *Adj) Out(u NodeID) []NodeID {
+	if a.outOff != nil {
+		return a.outDst[a.outOff[u]:a.outOff[u+1]]
+	}
+	if a.outL != nil {
+		return a.outL[u]
+	}
+	return a.view.OutNeighbors(u)
+}
+
+// InDegree returns |I(v)|.
+func (a *Adj) InDegree(v NodeID) int {
+	if a.inOff != nil {
+		return int(a.inOff[v+1] - a.inOff[v])
+	}
+	if a.inL != nil {
+		return len(a.inL[v])
+	}
+	return a.view.InDegree(v)
+}
+
+// OutDegree returns |O(u)|.
+func (a *Adj) OutDegree(u NodeID) int {
+	if a.outOff != nil {
+		return int(a.outOff[u+1] - a.outOff[u])
+	}
+	if a.outL != nil {
+		return len(a.outL[u])
+	}
+	return a.view.OutDegree(u)
+}

@@ -100,15 +100,21 @@ type Result struct {
 //
 // The returned scores are exact first-meeting probabilities when epsP == 0,
 // and one-sided under-estimates short by at most epsP otherwise (Lemma 7).
-func Deterministic(g *graph.Graph, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) Result {
+//
+// All probe entry points accept any graph.View (a mutable *graph.Graph or
+// an immutable *graph.Snapshot); the concrete adjacency storage is
+// resolved once per call so the per-edge inner loops pay no interface
+// dispatch.
+func Deterministic(g graph.View, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) Result {
 	i := len(path)
 	if i < 2 {
 		return Result{}
 	}
+	adj := graph.ResolveAdj(g)
 	cur := append(s.curList[:0], path[i-1])
 	s.curScore[path[i-1]] = 1
 	for j := 0; j <= i-2; j++ {
-		cur = s.deterministicLevel(g, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
+		cur = s.deterministicLevel(&adj, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
 		if len(cur) == 0 {
 			break
 		}
@@ -127,7 +133,7 @@ func pruneThreshold(epsP, sqrtC float64, i, j int) float64 {
 
 // deterministicLevel expands one level of Algorithm 2 and returns the next
 // frontier. The expanded scores end up in s.curScore (buffers are swapped).
-func (s *Scratch) deterministicLevel(g *graph.Graph, cur []graph.NodeID, excluded graph.NodeID, sqrtC, pruneBelow float64) []graph.NodeID {
+func (s *Scratch) deterministicLevel(adj *graph.Adj, cur []graph.NodeID, excluded graph.NodeID, sqrtC, pruneBelow float64) []graph.NodeID {
 	epoch := s.nextEpoch()
 	next := s.nextList[:0]
 	for _, x := range cur {
@@ -136,13 +142,13 @@ func (s *Scratch) deterministicLevel(g *graph.Graph, cur []graph.NodeID, exclude
 			continue
 		}
 		w := sqrtC * sc
-		out := g.OutNeighbors(x)
+		out := adj.Out(x)
 		s.Work += int64(len(out))
 		for _, v := range out {
 			if v == excluded {
 				continue
 			}
-			contrib := w / float64(g.InDegree(v))
+			contrib := w / float64(adj.InDegree(v))
 			if s.mark[v] == epoch {
 				s.newScore[v] += contrib
 			} else {
@@ -159,10 +165,15 @@ func (s *Scratch) deterministicLevel(g *graph.Graph, cur []graph.NodeID, exclude
 
 // OutDegreeSum returns the total out-degree of the listed nodes, the
 // quantity the §4.4 hybrid compares against c₀·w·n to decide a switch.
-func OutDegreeSum(g *graph.Graph, nodes []graph.NodeID) int {
+func OutDegreeSum(g graph.View, nodes []graph.NodeID) int {
+	adj := graph.ResolveAdj(g)
+	return outDegreeSum(&adj, nodes)
+}
+
+func outDegreeSum(adj *graph.Adj, nodes []graph.NodeID) int {
 	sum := 0
 	for _, v := range nodes {
-		sum += g.OutDegree(v)
+		sum += adj.OutDegree(v)
 	}
 	return sum
 }
@@ -171,16 +182,17 @@ func OutDegreeSum(g *graph.Graph, nodes []graph.NodeID) int {
 // returned final level is a Bernoulli sample whose success probability
 // equals the deterministic score (Lemma 6); the caller counts each returned
 // node with weight 1. The returned slice aliases Scratch storage.
-func Randomized(g *graph.Graph, path []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
+func Randomized(g graph.View, path []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
 	i := len(path)
 	if i < 2 {
 		return nil
 	}
+	adj := graph.ResolveAdj(g)
 	ep := s.nextMemberEpoch()
 	s.member[path[i-1]] = ep
 	cur := append(s.curList[:0], path[i-1])
 	for j := 0; j <= i-2; j++ {
-		cur = s.randomizedLevel(g, cur, path[i-j-2], sqrtC, rng, ep)
+		cur = s.randomizedLevel(&adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
 		}
@@ -193,13 +205,14 @@ func Randomized(g *graph.Graph, path []graph.NodeID, sqrtC float64, rng *xrand.R
 // j (H_j). It runs the remaining randomized levels and returns the final
 // level. members is copied, so callers may reuse their buffer across
 // replicas. The returned slice aliases Scratch storage.
-func ContinueRandomized(g *graph.Graph, path []graph.NodeID, j int, members []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
+func ContinueRandomized(g graph.View, path []graph.NodeID, j int, members []graph.NodeID, sqrtC float64, rng *xrand.RNG, s *Scratch) []graph.NodeID {
 	i := len(path)
 	if i < 2 || j > i-2 {
 		// Nothing left to expand: H_j is the final level. Copy into
 		// scratch so the aliasing contract matches the other entry points.
 		return append(s.curList[:0], members...)
 	}
+	adj := graph.ResolveAdj(g)
 	ep := s.nextMemberEpoch()
 	cur := s.curList[:0]
 	for _, v := range members {
@@ -210,7 +223,7 @@ func ContinueRandomized(g *graph.Graph, path []graph.NodeID, j int, members []gr
 	}
 	s.curList = cur
 	for ; j <= i-2; j++ {
-		cur = s.randomizedLevel(g, cur, path[i-j-2], sqrtC, rng, ep)
+		cur = s.randomizedLevel(&adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
 		}
@@ -221,21 +234,21 @@ func ContinueRandomized(g *graph.Graph, path []graph.NodeID, j int, members []gr
 // randomizedLevel advances one level of Algorithm 4: from the member set
 // stamped in s.member (listed in cur), it samples the next member set and
 // returns its node list. excluded is u_{i-j-1}.
-func (s *Scratch) randomizedLevel(g *graph.Graph, cur []graph.NodeID, excluded graph.NodeID, sqrtC float64, rng *xrand.RNG, ep uint32) []graph.NodeID {
+func (s *Scratch) randomizedLevel(adj *graph.Adj, cur []graph.NodeID, excluded graph.NodeID, sqrtC float64, rng *xrand.RNG, ep uint32) []graph.NodeID {
 	next := s.nextList[:0]
 	selected := func(x graph.NodeID) bool {
-		in := g.InNeighbors(x)
+		in := adj.In(x)
 		v := in[rng.Intn(len(in))]
 		return s.member[v] == ep && rng.Float64() < sqrtC
 	}
 	// Candidate set U: union of out-neighbors if cheap, else all nodes
 	// (Lines 3-7 of Algorithm 4).
-	if OutDegreeSum(g, cur) <= s.n {
+	if outDegreeSum(adj, cur) <= s.n {
 		// Deduplicate candidates with the mark array so each x is sampled
 		// exactly once, as in "for each x ∈ U".
 		epoch := s.nextEpoch()
 		for _, v := range cur {
-			for _, x := range g.OutNeighbors(v) {
+			for _, x := range adj.Out(v) {
 				if x == excluded || s.mark[x] == epoch {
 					continue
 				}
@@ -248,7 +261,7 @@ func (s *Scratch) randomizedLevel(g *graph.Graph, cur []graph.NodeID, excluded g
 	} else {
 		for x := 0; x < s.n; x++ {
 			id := graph.NodeID(x)
-			if id == excluded || g.InDegree(id) == 0 {
+			if id == excluded || adj.InDegree(id) == 0 {
 				continue
 			}
 			if selected(id) {

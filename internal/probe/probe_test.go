@@ -74,10 +74,11 @@ func TestDeterministicIntermediateLevels(t *testing.T) {
 	g := graph.Toy()
 	s := NewScratch(g.NumNodes())
 	path := []graph.NodeID{graph.ToyA, graph.ToyB, graph.ToyA, graph.ToyB}
+	adj := graph.ResolveAdj(g)
 	cur := append(s.curList[:0], path[3])
 	s.curScore[path[3]] = 1
-	cur = s.deterministicLevel(g, cur, path[2], 0.5, 0) // H1
-	cur = s.deterministicLevel(g, cur, path[1], 0.5, 0) // H2
+	cur = s.deterministicLevel(&adj, cur, path[2], 0.5, 0) // H1
+	cur = s.deterministicLevel(&adj, cur, path[1], 0.5, 0) // H2
 	got := map[graph.NodeID]float64{}
 	for _, v := range cur {
 		got[v] = s.curScore[v]
@@ -308,9 +309,10 @@ func TestContinueRandomizedUnbiased(t *testing.T) {
 
 	// Recompute H1 deterministically, then hand over at j = 1.
 	s1 := NewScratch(g.NumNodes())
+	adj := graph.ResolveAdj(g)
 	cur := append(s1.curList[:0], path[3])
 	s1.curScore[path[3]] = 1
-	cur = s1.deterministicLevel(g, cur, path[2], 0.5, 0)
+	cur = s1.deterministicLevel(&adj, cur, path[2], 0.5, 0)
 	h1 := append([]graph.NodeID(nil), cur...)
 	h1Scores := make([]float64, len(h1))
 	for i, v := range h1 {

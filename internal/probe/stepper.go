@@ -9,7 +9,7 @@ import (
 // hybrid decides mid-probe whether to abandon the deterministic expansion
 // and finish with randomized replicas.
 type Stepper struct {
-	g     *graph.Graph
+	adj   graph.Adj
 	path  []graph.NodeID
 	sqrtC float64
 	epsP  float64
@@ -18,10 +18,11 @@ type Stepper struct {
 	cur   []graph.NodeID
 }
 
-// NewStepper prepares a stepped probe of path over g. The Scratch is owned
-// by the stepper until the probe finishes; path must have length >= 2.
-func NewStepper(g *graph.Graph, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) *Stepper {
-	st := &Stepper{g: g, path: path, sqrtC: sqrtC, epsP: epsP, s: s, j: 0}
+// NewStepper prepares a stepped probe of path over g (any graph.View). The
+// Scratch is owned by the stepper until the probe finishes; path must have
+// length >= 2.
+func NewStepper(g graph.View, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) *Stepper {
+	st := &Stepper{adj: graph.ResolveAdj(g), path: path, sqrtC: sqrtC, epsP: epsP, s: s, j: 0}
 	st.cur = append(s.curList[:0], path[len(path)-1])
 	s.curScore[path[len(path)-1]] = 1
 	return st
@@ -42,6 +43,12 @@ func (st *Stepper) Frontier() ([]graph.NodeID, []float64) {
 	return st.cur, st.s.curScore
 }
 
+// FrontierOutDegreeSum returns the total out-degree of the current
+// frontier, the quantity the §4.4 hybrid compares against its budget.
+func (st *Stepper) FrontierOutDegreeSum() int {
+	return outDegreeSum(&st.adj, st.cur)
+}
+
 // Step expands one level and reports whether the probe can continue. After
 // the final Step the frontier holds the probe result.
 func (st *Stepper) Step() bool {
@@ -50,7 +57,7 @@ func (st *Stepper) Step() bool {
 	}
 	i := len(st.path)
 	excluded := st.path[i-st.j-2]
-	st.cur = st.s.deterministicLevel(st.g, st.cur, excluded, st.sqrtC, pruneThreshold(st.epsP, st.sqrtC, i, st.j))
+	st.cur = st.s.deterministicLevel(&st.adj, st.cur, excluded, st.sqrtC, pruneThreshold(st.epsP, st.sqrtC, i, st.j))
 	st.j++
 	return !st.Done()
 }

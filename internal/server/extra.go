@@ -1,9 +1,13 @@
 package server
 
 // Extended endpoints: pairwise queries, similarity joins, structure
-// reports, and batched edge updates. These sit on the same lock and cache
-// discipline as the core handlers: reads share the read lock, updates take
-// the write lock, and the Querier invalidates itself via the graph version.
+// reports, and batched edge updates. These sit on the same snapshot
+// discipline as the core handlers: similarity reads run lock-free against
+// the published snapshot, updates take the write mutex and republish, and
+// the Querier invalidates itself via the snapshot version. The two
+// endpoints that traverse the mutable graph directly (/join/topk,
+// /components) share the write mutex instead; they block updates, never
+// queries.
 
 import (
 	"encoding/json"
@@ -50,9 +54,7 @@ func (s *Server) handleProgressiveTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	res, stats, err := core.TopKProgressive(s.g, u, k, s.opt)
-	s.mu.RUnlock()
+	res, stats, err := core.TopKProgressive(s.ex.Snapshot(), u, k, s.opt)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -86,9 +88,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
 	scores, err := s.q.SingleSource(u)
-	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -115,8 +115,11 @@ func (s *Server) handleJoinTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// The join traverses the mutable graph with n single-source queries, so
+	// it holds the write mutex: updates wait (as they did under the old
+	// read lock), snapshot-backed queries proceed.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n := s.g.NumNodes(); n > joinNodeLimit {
 		writeError(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("join needs one query per node; graph has %d nodes, limit %d", n, joinNodeLimit))
@@ -147,10 +150,10 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	s.mu.RLock()
+	s.mu.Lock()
 	sccIDs, sccCount := s.g.StronglyConnectedComponents()
 	wccIDs, wccCount := s.g.WeaklyConnectedComponents()
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stronglyConnected": sccCount,
 		"largestSCC":        largestComponent(sccIDs, sccCount),
@@ -202,7 +205,6 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	applied := make([]batchOp, 0, len(ops))
 	for i, op := range ops {
 		var err error
@@ -216,13 +218,19 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			rollback(s.g, applied)
+			s.mu.Unlock()
 			writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
 			return
 		}
 		applied = append(applied, op)
 	}
+	// One snapshot publication for the whole batch: queries switch from the
+	// pre-batch graph to the post-batch graph atomically and never observe
+	// a partially applied batch.
+	snap := s.ex.Refresh()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"applied": len(applied), "edges": s.g.NumEdges(), "version": s.g.Version(),
+		"applied": len(applied), "edges": snap.NumEdges(), "version": snap.Version(),
 	})
 }
 

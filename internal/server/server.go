@@ -2,9 +2,16 @@
 // cmd/probesim-server: top-k and single-source SimRank queries over a
 // live, updatable graph, with the core.Querier result cache in front.
 //
-// Concurrency contract: queries share a read lock; edge updates take the
-// write lock, so the underlying graph is never mutated mid-query. Cache
-// invalidation is automatic via the graph version counter.
+// Concurrency contract: queries are lock-free — each one runs against the
+// immutable CSR snapshot the core.Executor has published, so an edge
+// update never stalls a query and a long query never stalls an update.
+// Edge updates serialize among themselves on the write mutex, mutate the
+// graph, and publish a fresh snapshot before releasing it; in-flight
+// queries keep the (consistent) snapshot they grabbed. Cache invalidation
+// is automatic via the snapshot version counter. The few analysis
+// endpoints that must read the mutable graph itself (/join/topk,
+// /components) share the write mutex: they block updates for their
+// duration, exactly as their read lock used to, but never block queries.
 package server
 
 import (
@@ -21,8 +28,9 @@ import (
 
 // Server is the http.Handler for the similarity service.
 type Server struct {
-	mu    sync.RWMutex
+	mu    sync.Mutex // serializes graph mutations and mutable-graph reads
 	g     *graph.Graph
+	ex    *core.Executor
 	q     *core.Querier
 	opt   core.Options
 	limit int
@@ -30,14 +38,17 @@ type Server struct {
 }
 
 // New builds a Server over g. cacheCap bounds the Querier cache; limit
-// bounds the number of entries /single-source returns.
+// bounds the number of entries /single-source returns. The server takes
+// ownership of g: all further mutations must go through the HTTP API.
 func New(g *graph.Graph, opt core.Options, cacheCap, limit int) *Server {
 	if limit <= 0 {
 		limit = 100
 	}
+	ex := core.NewExecutor(g, opt)
 	s := &Server{
 		g:     g,
-		q:     core.NewQuerier(g, opt, cacheCap),
+		ex:    ex,
+		q:     core.NewQuerierOn(ex, cacheCap),
 		opt:   opt,
 		limit: limit,
 		mux:   http.NewServeMux(),
@@ -64,8 +75,11 @@ func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q: %v", name, err)
 	}
-	if v < 0 || int(v) >= s.g.NumNodes() {
-		return 0, fmt.Errorf("node %d out of range [0, %d)", v, s.g.NumNodes())
+	// Validate against the published snapshot, not the mutable graph: the
+	// node count only changes via snapshot publication, and reading the
+	// snapshot is race-free.
+	if n := s.ex.Snapshot().NumNodes(); v < 0 || int(v) >= n {
+		return 0, fmt.Errorf("node %d out of range [0, %d)", v, n)
 	}
 	return graph.NodeID(v), nil
 }
@@ -103,9 +117,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
 	res, err := s.q.TopK(u, k)
-	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -127,9 +139,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
 	scores, err := s.q.SingleSource(u)
-	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -175,22 +185,27 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch r.Method {
 	case http.MethodPost:
 		err = s.g.AddEdge(u, v)
 	case http.MethodDelete:
 		err = s.g.RemoveEdge(u, v)
 	default:
+		s.mu.Unlock()
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
 		return
 	}
 	if err != nil {
+		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Publish the new snapshot before releasing the write mutex so the
+	// next query (and the next mutator) sees the update.
+	snap := s.ex.Refresh()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"edges": s.g.NumEdges(), "version": s.g.Version(),
+		"edges": snap.NumEdges(), "version": snap.Version(),
 	})
 }
 
@@ -199,15 +214,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	s.mu.RLock()
-	stats := s.g.ComputeStats()
+	// Stats come from the published snapshot, so this endpoint is lock-free
+	// like the query endpoints.
+	snap := s.ex.Snapshot()
+	stats := snap.ComputeStats()
 	hits, misses, cached := s.q.Stats()
-	version := s.g.Version()
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes": stats.Nodes, "edges": stats.Edges,
 		"maxInDegree": stats.MaxInDegree, "zeroInDegree": stats.ZeroInDeg,
 		"cacheHits": hits, "cacheMisses": misses, "cachedVectors": cached,
-		"graphVersion": version,
+		"sharedFlights": s.q.SharedFlights(),
+		"graphVersion":  snap.Version(),
 	})
 }

@@ -18,21 +18,24 @@ import (
 // so the cap is statistically invisible while keeping buffers bounded.
 const HardCap = 96
 
-// Generator produces √c-walks over a fixed graph.
+// Generator produces √c-walks over a fixed graph view.
 type Generator struct {
-	g     *graph.Graph
+	adj   graph.Adj
 	sqrtC float64
 	rng   *xrand.RNG
 }
 
 // NewGenerator returns a walk generator with decay factor c (the SimRank
 // decay; the per-step survival probability is √c) drawing randomness from
-// rng.
-func NewGenerator(g *graph.Graph, c float64, rng *xrand.RNG) *Generator {
+// rng. It accepts either a mutable *graph.Graph or an immutable
+// *graph.Snapshot; the adjacency storage is resolved once so walk steps
+// pay no interface dispatch. If g is a *graph.Graph it must not be
+// mutated while the generator is in use.
+func NewGenerator(g graph.View, c float64, rng *xrand.RNG) *Generator {
 	if c <= 0 || c >= 1 {
 		panic("walk: decay factor must be in (0, 1)")
 	}
-	return &Generator{g: g, sqrtC: math.Sqrt(c), rng: rng}
+	return &Generator{adj: graph.ResolveAdj(g), sqrtC: math.Sqrt(c), rng: rng}
 }
 
 // SqrtC returns the per-step survival probability √c.
@@ -53,7 +56,7 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 		if gen.rng.Float64() >= gen.sqrtC {
 			break // terminated with probability 1 − √c
 		}
-		in := gen.g.InNeighbors(cur)
+		in := gen.adj.In(cur)
 		if len(in) == 0 {
 			break
 		}

@@ -64,6 +64,15 @@ type Graph = graph.Graph
 // NodeID identifies a node; nodes are dense integers in [0, NumNodes).
 type NodeID = graph.NodeID
 
+// Snapshot is an immutable CSR copy of a Graph: flat adjacency arrays,
+// lock-free concurrent reads, bit-identical query results. Build one with
+// (*Graph).Snapshot(); both representations satisfy GraphView.
+type Snapshot = graph.Snapshot
+
+// GraphView is the minimal read-only adjacency surface queries need,
+// satisfied by both *Graph and *Snapshot.
+type GraphView = graph.View
+
 // Stats summarizes a graph's degree structure.
 type Stats = graph.Stats
 
@@ -158,4 +167,24 @@ type Querier = core.Querier
 // single-source vectors (LRU eviction).
 func NewQuerier(g *Graph, opt Options, capacity int) *Querier {
 	return core.NewQuerier(g, opt, capacity)
+}
+
+// Executor is the serving-path query runner: it publishes immutable CSR
+// snapshots of a dynamic graph behind an atomic pointer and answers
+// queries lock-free against them with pooled per-query scratch, so
+// steady-state queries allocate almost nothing beyond their result. Call
+// Refresh after mutating the graph to publish the changes.
+type Executor = core.Executor
+
+// NewExecutor builds an Executor over g with the given default query
+// options, publishing an initial snapshot.
+func NewExecutor(g *Graph, opt Options) *Executor {
+	return core.NewExecutor(g, opt)
+}
+
+// NewQuerierOn wraps an Executor with a result cache (LRU, single-flight
+// de-duplication of concurrent misses). Queries never touch the mutable
+// graph; mutators must call Executor.Refresh to publish changes.
+func NewQuerierOn(ex *Executor, capacity int) *Querier {
+	return core.NewQuerierOn(ex, capacity)
 }
