@@ -1,0 +1,168 @@
+package probesim_test
+
+// Benchmarks for the sharded snapshot store (PR 2): publication cost per
+// edge batch and single-source query speed, sharded vs monolithic.
+//
+//   - BenchmarkShardedRebuild applies a small batch of edge updates and
+//     republishes. The monolithic variant pays a full O(n+m) CSR rebuild
+//     per publication; the sharded variant re-encodes only the shards the
+//     batch touched, so its cost scales with the batch, not the graph.
+//   - BenchmarkShardedSingleSource answers the same query (bit-identical,
+//     asserted before timing) on the monolithic snapshot and the sharded
+//     composite; the sharded devirtualized Adj path must be at parity.
+//
+// Run with
+//
+//	go test -run '^$' -bench 'BenchmarkSharded' -benchmem
+//
+// Committed results live in BENCH_PR2.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/shard"
+)
+
+// shardBenchShards is the requested partition bound for the 100k-node
+// bench graphs; with the power-of-two stride this lands on 391 shards of
+// 256 node ids, so a batch of b edges touches at most 2b of ~391 shards.
+const shardBenchShards = 512
+
+func shardBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	if g, ok := graphCache.Load("shard-pa"); ok {
+		return g.(*graph.Graph)
+	}
+	g := gen.PreferentialAttachment(snapshotBenchSize, 8, 1)
+	graphCache.Store("shard-pa", g)
+	return g
+}
+
+// shardChurn deterministically generates the batch applied (and then
+// reverted) in iteration i, so both variants and every iteration do
+// identical mutation work and the graph returns to its initial state.
+func shardChurn(n, batch, i int) [][2]graph.NodeID {
+	edges := make([][2]graph.NodeID, 0, batch)
+	for j := 0; j < batch; j++ {
+		u := graph.NodeID((i*batch + j) * 2654435761 % n)
+		v := graph.NodeID(((i*batch+j)*40503 + 1) % n)
+		if u == v {
+			v = (v + 1) % graph.NodeID(n)
+		}
+		edges = append(edges, [2]graph.NodeID{u, v})
+	}
+	return edges
+}
+
+// BenchmarkShardedRebuild prices one publication cycle — apply a batch of
+// new edges, publish, revert the batch, publish — for the monolithic
+// full-rebuild path and the sharded touched-shards path at several batch
+// sizes. Each op is two publications.
+func BenchmarkShardedRebuild(b *testing.B) {
+	base := shardBenchGraph(b)
+	n := base.NumNodes()
+	for _, batch := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("monolithic/batch%d", batch), func(b *testing.B) {
+			g := base.Clone()
+			ex := core.NewExecutor(g, snapshotBenchOpts())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				edges := shardChurn(n, batch, i)
+				for _, e := range edges {
+					if err := g.AddEdge(e[0], e[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ex.Refresh()
+				for _, e := range edges {
+					if err := g.RemoveEdge(e[0], e[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ex.Refresh()
+			}
+		})
+		b.Run(fmt.Sprintf("sharded/batch%d", batch), func(b *testing.B) {
+			st := shard.NewStore(base, shardBenchShards, 0)
+			before := st.Stats() // exclude the initial full publication
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				edges := shardChurn(n, batch, i)
+				for _, e := range edges {
+					if err := st.AddEdge(e[0], e[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Publish()
+				for _, e := range edges {
+					if err := st.RemoveEdge(e[0], e[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Publish()
+			}
+			b.StopTimer()
+			ss := st.Stats()
+			if pubs := ss.Publications - before.Publications; pubs > 0 {
+				b.ReportMetric(float64(ss.ShardsRebuilt-before.ShardsRebuilt)/float64(pubs), "shards-rebuilt/publish")
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSingleSource compares steady-state query latency on the
+// monolithic CSR snapshot vs the sharded composite, same pooled executor
+// path, results asserted bit-identical first.
+func BenchmarkShardedSingleSource(b *testing.B) {
+	g := shardBenchGraph(b)
+	u := benchQuery(b, g)
+	opt := snapshotBenchOpts()
+
+	st := shard.NewStore(g, shardBenchShards, 0)
+	want, err := core.SingleSource(g.Snapshot(), u, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := core.SingleSource(st.Current(), u, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := range want {
+		if want[v] != got[v] {
+			b.Fatalf("sharded result diverges from monolithic at node %d: %v != %v", v, got[v], want[v])
+		}
+	}
+
+	b.Run("monolithic", func(b *testing.B) {
+		ex := core.NewExecutor(g, opt)
+		buf := make([]float64, g.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := ex.SingleSourceInto(u, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		ex := core.NewExecutorOn(st, opt)
+		buf := make([]float64, g.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := ex.SingleSourceInto(u, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+}

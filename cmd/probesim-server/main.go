@@ -9,10 +9,16 @@
 //	GET  /single-source?u=42      -> {"query":42,"nonzero":1234,"scores":{"7":0.31,...}}  (top -limit entries)
 //	POST /edges?u=1&v=2           -> add edge 1->2 (invalidates cached answers)
 //	DELETE /edges?u=1&v=2         -> remove edge 1->2
-//	GET  /stats                   -> graph and cache statistics
+//	GET  /stats                   -> graph, cache and shard-publication statistics
 //
-// Queries run concurrently; updates take an exclusive lock, matching the
-// library's "any number of readers, one writer" contract.
+// Queries run lock-free against the published immutable snapshot; updates
+// serialize on a write mutex and republish.
+//
+// With -shards=P the graph is partitioned by source node into up to P
+// shards, each with its own CSR snapshot: an edge update republishes only
+// the shards it touched (O(batch + touched shards) instead of O(n+m)),
+// which is the configuration for high-churn dynamic workloads. -shards=0
+// (the default) keeps the monolithic snapshot.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"probesim"
 	"probesim/internal/server"
+	"probesim/internal/shard"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		cacheCap   = flag.Int("cache", 64, "cached single-source vectors")
 		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
+		shards     = flag.Int("shards", 0, "partition the graph into up to this many shards (0 = monolithic snapshot)")
+		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -59,7 +68,16 @@ func main() {
 		log.Fatal(err)
 	}
 	opt := probesim.Options{C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed}
-	srv := server.New(g, opt, *cacheCap, *limit)
-	log.Printf("probesim-server: serving n=%d m=%d on %s", g.NumNodes(), g.NumEdges(), *addr)
+	var srv *server.Server
+	if *shards > 0 {
+		st := shard.NewStore(g, *shards, *rebuildW)
+		srv = server.NewSharded(st, opt, *cacheCap, *limit)
+		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, stride %d)",
+			g.NumNodes(), g.NumEdges(), *addr, st.NumShards(), st.Partition().Stride())
+	} else {
+		srv = server.New(g, opt, *cacheCap, *limit)
+		log.Printf("probesim-server: serving n=%d m=%d on %s (monolithic snapshot)",
+			g.NumNodes(), g.NumEdges(), *addr)
+	}
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -8,76 +8,109 @@ import (
 	"probesim/internal/graph"
 )
 
+// SnapshotProvider is the snapshot-management seam behind an Executor:
+// something that can hand out the currently published immutable view and
+// republish it when the underlying mutable graph moved. Two
+// implementations exist — the monolithic graphProvider below (one CSR
+// snapshot, full O(n+m) rebuild) and the sharded shard.Store (per-shard
+// CSR, O(batch + touched shards) republish) — and the executor, querier
+// and server are agnostic between them.
+type SnapshotProvider interface {
+	// PublishedView returns the current published view. Never blocks.
+	PublishedView() graph.VersionedView
+	// PublishView republishes if the mutable side moved and returns the
+	// (possibly unchanged) published view. Callers must serialize it
+	// against mutations of the underlying graph, never against readers.
+	PublishView() graph.VersionedView
+}
+
+// graphProvider is the monolithic SnapshotProvider: one *graph.Snapshot
+// behind an atomic pointer, rebuilt in full (in parallel over node
+// ranges; see (*graph.Graph).Snapshot) when the graph's version moved.
+type graphProvider struct {
+	g    *graph.Graph
+	mu   sync.Mutex // serializes PublishView against itself
+	snap atomic.Pointer[graph.Snapshot]
+}
+
+func newGraphProvider(g *graph.Graph) *graphProvider {
+	p := &graphProvider{g: g}
+	p.snap.Store(g.Snapshot())
+	return p
+}
+
+func (p *graphProvider) PublishedView() graph.VersionedView { return p.snap.Load() }
+
+func (p *graphProvider) PublishView() graph.VersionedView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.snap.Load(); s.Version() == p.g.Version() {
+		return s
+	}
+	s := p.g.Snapshot()
+	p.snap.Store(s)
+	return s
+}
+
 // Executor is the serving-path front end for ProbeSim queries over a
 // dynamic graph: a snapshot manager plus a pooled query runner.
 //
-// It keeps an immutable CSR snapshot (graph.Snapshot) of the underlying
-// graph behind an atomic pointer. Queries load the pointer once and run
-// entirely against that snapshot — no lock is held, so an edge update can
-// never stall a query and a long query can never stall an update. Writers
-// mutate the *graph.Graph under their own discipline and then call
-// Refresh, which rebuilds the snapshot in O(n+m) and publishes it with a
-// single atomic store; queries already in flight keep the snapshot they
-// grabbed (a consistent, slightly stale view — exactly what the paper's
-// dynamic-graph setting permits, since ProbeSim has no index to patch).
+// It serves queries against the immutable view its SnapshotProvider has
+// published. Queries load the view once and run entirely against it — no
+// lock is held, so an edge update can never stall a query and a long
+// query can never stall an update. Writers mutate the underlying graph
+// (or shard.Store) under their own discipline and then call Refresh,
+// which republishes and installs the new view with a single atomic store;
+// queries already in flight keep the view they grabbed (a consistent,
+// slightly stale state — exactly what the paper's dynamic-graph setting
+// permits, since ProbeSim has no index to patch).
 //
 // Per-query working memory (dense accumulators, probe frontiers, walk
-// buffers — ~56n bytes per worker) comes from a size-keyed sync.Pool, so
-// steady-state queries allocate almost nothing beyond their result vector.
+// buffers, the batch-mode walk tree — ~56n bytes per worker) comes from a
+// size-keyed sync.Pool, so steady-state queries allocate almost nothing
+// beyond their result vector.
 //
 // Concurrency contract: any number of goroutines may query concurrently.
 // Mutating the graph and calling Refresh must be externally serialized
 // against other mutations (e.g. internal/server holds its write mutex
 // across both), but never against queries.
 type Executor struct {
-	g    *graph.Graph
+	src  SnapshotProvider
 	opt  Options
-	snap atomic.Pointer[graph.Snapshot]
-	mu   sync.Mutex // serializes Refresh against itself
 	pool scratchPool
 }
 
 // NewExecutor builds an executor over g with the given default query
-// options, publishing an initial snapshot of g's current state.
+// options, publishing an initial monolithic snapshot of g's current
+// state. Mutate g under your own write discipline (never concurrently
+// with Refresh) and call Refresh to make mutations visible to queries.
 func NewExecutor(g *graph.Graph, opt Options) *Executor {
-	e := &Executor{g: g, opt: opt}
-	e.snap.Store(g.Snapshot())
-	return e
+	return NewExecutorOn(newGraphProvider(g), opt)
 }
 
-// Graph returns the underlying mutable graph. Mutations to it are not
-// visible to queries until Refresh publishes a new snapshot.
-func (e *Executor) Graph() *graph.Graph { return e.g }
-
-// Options returns the executor's default query options.
-func (e *Executor) Options() Options { return e.opt }
-
-// Snapshot returns the currently published snapshot. It never blocks.
-func (e *Executor) Snapshot() *graph.Snapshot { return e.snap.Load() }
-
-// Refresh publishes a fresh snapshot if the graph's version moved since
-// the last publication and returns the current snapshot either way. The
-// caller must ensure no concurrent mutation of the graph while Refresh
-// reads it (the same contract as (*Graph).Snapshot).
-func (e *Executor) Refresh() *graph.Snapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s := e.snap.Load(); s.Version() == e.g.Version() {
-		return s
-	}
-	s := e.g.Snapshot()
-	e.snap.Store(s)
-	return s
+// NewExecutorOn builds an executor over an external snapshot provider
+// (e.g. a shard.Store), which owns publication.
+func NewExecutorOn(src SnapshotProvider, opt Options) *Executor {
+	return &Executor{src: src, opt: opt}
 }
 
-// SingleSource answers a single-source query against the current snapshot
+// Snapshot returns the currently published view. It never blocks.
+func (e *Executor) Snapshot() graph.VersionedView { return e.src.PublishedView() }
+
+// Refresh publishes a fresh view if the underlying graph's version moved
+// since the last publication and returns the current view either way. The
+// caller must ensure no concurrent mutation while Refresh reads the
+// mutable side (the same contract as (*graph.Graph).Snapshot).
+func (e *Executor) Refresh() graph.VersionedView { return e.src.PublishView() }
+
+// SingleSource answers a single-source query against the current view
 // using pooled scratch. The returned vector is freshly allocated and owned
 // by the caller.
 func (e *Executor) SingleSource(u graph.NodeID) ([]float64, error) {
-	return singleSource(e.snap.Load(), u, e.opt, &e.pool)
+	return singleSource(e.src.PublishedView(), u, e.opt, &e.pool)
 }
 
-// TopK answers a top-k query against the current snapshot using pooled
+// TopK answers a top-k query against the current view using pooled
 // scratch.
 func (e *Executor) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
 	if k <= 0 {
@@ -91,17 +124,17 @@ func (e *Executor) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
 }
 
 // SingleSourceInto answers a single-source query against the current
-// snapshot, writing the result into dst when cap(dst) >= NumNodes (and
+// view, writing the result into dst when cap(dst) >= NumNodes (and
 // allocating otherwise). Combined with the pooled scratch this makes the
 // steady-state query path allocation-free up to a handful of fixed-size
 // bookkeeping objects; it is meant for callers that consume a vector and
 // move on (serializers, aggregators) rather than retain it.
 func (e *Executor) SingleSourceInto(u graph.NodeID, dst []float64) ([]float64, error) {
-	return singleSourceInto(e.snap.Load(), u, e.opt, &e.pool, dst)
+	return singleSourceInto(e.src.PublishedView(), u, e.opt, &e.pool, dst)
 }
 
 // SingleSourceOn runs a single-source query with the executor's scratch
-// pool against an explicit view (normally a snapshot previously obtained
+// pool against an explicit view (normally a view previously obtained
 // from Snapshot, so a caller can pin one consistent view across several
 // queries).
 func (e *Executor) SingleSourceOn(v graph.View, u graph.NodeID) ([]float64, error) {

@@ -210,11 +210,11 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 // across workers by index.
 func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64) []float64 {
 	n := g.NumNodes()
-	tree := NewWalkTree(u)
 	rootRNG := xrand.New(plan.Seed)
 	// Walks come from stream 0, the same stream a single-worker per-walk
 	// run uses, so batching is observably a pure deduplication of probes.
 	walkSC := pool.get(n)
+	tree := walkSC.walkTree(u)
 	gen := walk.NewGenerator(g, plan.C, rootRNG.Split(0))
 	buf := walkSC.buf
 	for t := 0; t < plan.NumWalks; t++ {
@@ -225,7 +225,10 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 		}
 	}
 	walkSC.buf = buf
-	paths := tree.Paths()
+	// Enumerate paths into the pooled arena; they are consumed before the
+	// scratch returns to the pool in mergeScratch.
+	paths, arena := tree.AppendPaths(walkSC.paths[:0], walkSC.arena[:0])
+	walkSC.paths, walkSC.arena = paths, arena
 
 	hybrid := plan.Mode == ModeHybrid || plan.Mode == ModeAuto
 	workers := plan.Workers

@@ -19,6 +19,26 @@ type queryScratch struct {
 	det *probe.Scratch
 	rnd *probe.Scratch
 	buf []graph.NodeID
+
+	// Batch-mode extras, lazily grown and recycled with the scratch: the
+	// reverse-reachability walk tree, the enumerated path headers, and the
+	// arena their node sequences pack into. Their sizes track the walk
+	// budget rather than n, which is fine — capacity adapts within a pool
+	// bucket exactly like the walk buffer does.
+	tree  *WalkTree
+	paths []Path
+	arena []graph.NodeID
+}
+
+// walkTree returns the pooled tree reset to root u, allocating it on
+// first use.
+func (sc *queryScratch) walkTree(u graph.NodeID) *WalkTree {
+	if sc.tree == nil {
+		sc.tree = NewWalkTree(u)
+	} else {
+		sc.tree.Reset(u)
+	}
+	return sc.tree
 }
 
 func newQueryScratch(n int) *queryScratch {
@@ -66,10 +86,16 @@ func (p *scratchPool) get(n int) *queryScratch {
 	return newQueryScratch(n)
 }
 
-// put returns a scratch set to the pool. No-op on a nil pool.
+// put returns a scratch set to the pool, dropping any cached view
+// resolution first so a parked scratch never pins a retired snapshot
+// generation in memory. No-op on a nil pool.
 func (p *scratchPool) put(s *queryScratch) {
 	if p == nil || s == nil {
 		return
+	}
+	s.det.ReleaseView()
+	if s.rnd != nil {
+		s.rnd.ReleaseView()
 	}
 	if v, ok := p.pools.Load(s.n); ok {
 		v.(*sync.Pool).Put(s)

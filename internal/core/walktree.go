@@ -16,6 +16,7 @@ type WalkTree struct {
 	firstChild  []int32
 	nextSibling []int32
 	walks       int64
+	pathBuf     []graph.NodeID // reusable DFS stack for AppendPaths
 }
 
 // NewWalkTree returns a tree whose root holds the query node u with weight
@@ -28,6 +29,18 @@ func NewWalkTree(u graph.NodeID) *WalkTree {
 		firstChild:  []int32{-1},
 		nextSibling: []int32{-1},
 	}
+}
+
+// Reset re-roots the tree at u and discards every inserted walk while
+// keeping the backing arrays, so a pooled tree reaches steady state with
+// no per-query tree allocation (the remaining batch-mode hot spot after
+// the PR 1 scratch pooling).
+func (t *WalkTree) Reset(u graph.NodeID) {
+	t.node = append(t.node[:0], u)
+	t.weight = append(t.weight[:0], 0)
+	t.firstChild = append(t.firstChild[:0], -1)
+	t.nextSibling = append(t.nextSibling[:0], -1)
+	t.walks = 0
 }
 
 // Insert adds one √c-walk (w[0] must be the root's node) to the tree,
@@ -105,6 +118,35 @@ func (t *WalkTree) Paths() []Path {
 	}
 	dfs(0)
 	return out
+}
+
+// AppendPaths is the pooled variant of Paths: it appends the same paths
+// (same order, same contents) to dst, packing each path's nodes into a
+// disjoint region of the shared arena. Both slices are grown as needed
+// and returned for reuse; at steady state the enumeration allocates
+// nothing. The returned paths alias the arena and are valid until the
+// arena's next reuse, so callers must consume them before recycling
+// (runBatched does: paths die with the query).
+func (t *WalkTree) AppendPaths(dst []Path, arena []graph.NodeID) ([]Path, []graph.NodeID) {
+	t.pathBuf = t.pathBuf[:0]
+	var dfs func(n int32)
+	dfs = func(n int32) {
+		t.pathBuf = append(t.pathBuf, t.node[n])
+		if len(t.pathBuf) >= 2 {
+			start := len(arena)
+			arena = append(arena, t.pathBuf...)
+			dst = append(dst, Path{
+				Nodes:  arena[start:len(arena):len(arena)],
+				Weight: t.weight[n],
+			})
+		}
+		for c := t.firstChild[n]; c >= 0; c = t.nextSibling[c] {
+			dfs(c)
+		}
+		t.pathBuf = t.pathBuf[:len(t.pathBuf)-1]
+	}
+	dfs(0)
+	return dst, arena
 }
 
 // checkInvariants verifies that every parent's weight is at least the sum

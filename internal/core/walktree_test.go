@@ -134,3 +134,52 @@ func randomGraph(rng *xrand.RNG, n, m int) *graph.Graph {
 	}
 	return g
 }
+
+// TestAppendPathsMatchesPaths checks the pooled enumeration against the
+// allocating one — same paths, same order, same weights — including
+// across Reset reuse (the executor's steady-state pattern).
+func TestAppendPathsMatchesPaths(t *testing.T) {
+	rng := xrand.New(404)
+	var tree *WalkTree
+	var paths []Path
+	var arena []graph.NodeID
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng, 20, 60)
+		u := graph.NodeID(rng.Intn(20))
+		if tree == nil {
+			tree = NewWalkTree(u)
+		} else {
+			tree.Reset(u)
+		}
+		gen := walk.NewGenerator(g, 0.6, rng)
+		var buf []graph.NodeID
+		for i := 0; i < 30; i++ {
+			buf = gen.Generate(u, 10, buf)
+			if err := tree.Insert(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := tree.Paths()
+		paths, arena = tree.AppendPaths(paths[:0], arena[:0])
+		if len(paths) != len(want) {
+			t.Fatalf("trial %d: %d pooled paths, want %d", trial, len(paths), len(want))
+		}
+		for i := range want {
+			if paths[i].Weight != want[i].Weight {
+				t.Fatalf("trial %d path %d: weight %d != %d", trial, i, paths[i].Weight, want[i].Weight)
+			}
+			if len(paths[i].Nodes) != len(want[i].Nodes) {
+				t.Fatalf("trial %d path %d: length %d != %d", trial, i, len(paths[i].Nodes), len(want[i].Nodes))
+			}
+			for j := range want[i].Nodes {
+				if paths[i].Nodes[j] != want[i].Nodes[j] {
+					t.Fatalf("trial %d path %d node %d: %d != %d",
+						trial, i, j, paths[i].Nodes[j], want[i].Nodes[j])
+				}
+			}
+		}
+		if err := tree.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -8,13 +8,24 @@ import "fmt"
 // adjacency representation, not part of any SimRank algorithm's hot path.
 
 // StronglyConnectedComponents returns, for every node, the id of its
-// strongly connected component, plus the component count. Ids are dense in
-// [0, count) and assigned in reverse topological order of the condensation
-// (a property of Tarjan's algorithm: a component is numbered only after
-// every component it reaches). The implementation is iterative, so deep
-// recursion on path-like graphs cannot overflow the stack.
+// strongly connected component, plus the component count. It delegates to
+// the View-generic implementation; see StronglyConnected.
 func (g *Graph) StronglyConnectedComponents() (comp []int32, count int) {
-	n := g.NumNodes()
+	return StronglyConnected(g)
+}
+
+// StronglyConnected returns, for every node of any View (mutable graph or
+// published snapshot), the id of its strongly connected component, plus
+// the component count. Ids are dense in [0, count) and assigned in
+// reverse topological order of the condensation (a property of Tarjan's
+// algorithm: a component is numbered only after every component it
+// reaches). The implementation is iterative, so deep recursion on
+// path-like graphs cannot overflow the stack. Running it on a snapshot
+// lets analysis endpoints report structure without ever touching the
+// mutable graph or its write lock.
+func StronglyConnected(v View) (comp []int32, count int) {
+	adj := ResolveAdj(v)
+	n := adj.NumNodes()
 	const unvisited = -1
 	comp = make([]int32, n)
 	index := make([]int32, n)
@@ -43,7 +54,7 @@ func (g *Graph) StronglyConnectedComponents() (comp []int32, count int) {
 		onStack[root] = true
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			out := g.out[f.node]
+			out := adj.Out(f.node)
 			if f.edge < len(out) {
 				w := out[f.edge]
 				f.edge++
@@ -91,10 +102,18 @@ type frame struct {
 }
 
 // WeaklyConnectedComponents returns, for every node, the id of its weakly
-// connected component (edge direction ignored), plus the component count.
-// Ids are dense in [0, count), ordered by smallest member node.
+// connected component. It delegates to the View-generic implementation;
+// see WeaklyConnected.
 func (g *Graph) WeaklyConnectedComponents() (comp []int32, count int) {
-	n := g.NumNodes()
+	return WeaklyConnected(g)
+}
+
+// WeaklyConnected returns, for every node of any View, the id of its
+// weakly connected component (edge direction ignored), plus the component
+// count. Ids are dense in [0, count), ordered by smallest member node.
+func WeaklyConnected(v View) (comp []int32, count int) {
+	adj := ResolveAdj(v)
+	n := adj.NumNodes()
 	parent := make([]int32, n)
 	for v := range parent {
 		parent[v] = int32(v)
@@ -117,8 +136,8 @@ func (g *Graph) WeaklyConnectedComponents() (comp []int32, count int) {
 		}
 	}
 	for u := 0; u < n; u++ {
-		for _, v := range g.out[u] {
-			union(int32(u), v)
+		for _, w := range adj.Out(NodeID(u)) {
+			union(int32(u), w)
 		}
 	}
 	comp = make([]int32, n)

@@ -144,10 +144,10 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 	if err := g.checkNode(v); err != nil {
 		return err
 	}
-	if !removeOne(&g.out[u], v) {
+	if !RemoveOne(&g.out[u], v) {
 		return fmt.Errorf("graph: edge %d -> %d not found", u, v)
 	}
-	if !removeOne(&g.in[v], u) {
+	if !RemoveOne(&g.in[v], u) {
 		// The two lists are kept in lockstep; this is unreachable unless
 		// memory was corrupted externally.
 		panic("graph: adjacency lists out of sync")
@@ -157,7 +157,14 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 	return nil
 }
 
-func removeOne(list *[]NodeID, x NodeID) bool {
+// RemoveOne deletes the first occurrence of x from the list by swapping
+// it with the tail. These exact semantics (first match, tail swap) are
+// load-bearing: every adjacency backend (this package's Graph, the
+// sharded store) must remove identically so that the surviving neighbor
+// ORDER — which walk sampling and randomized probes consume randomness
+// against — stays bit-identical across backends that saw the same
+// operation sequence.
+func RemoveOne(list *[]NodeID, x NodeID) bool {
 	s := *list
 	for i, w := range s {
 		if w == x {
@@ -277,10 +284,18 @@ type Stats struct {
 }
 
 // ComputeStats scans the graph once and returns its Stats.
-func (g *Graph) ComputeStats() Stats {
-	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
-	for v := range g.in {
-		din, dout := len(g.in[v]), len(g.out[v])
+func (g *Graph) ComputeStats() Stats { return ComputeViewStats(g) }
+
+// ComputeViewStats scans any View once — mutable graph or published
+// snapshot, monolithic or sharded — through the devirtualized degree
+// accessors and returns its Stats. Read paths (e.g. the HTTP /stats
+// endpoint) use it to report structure without touching the mutable
+// graph.
+func ComputeViewStats(v View) Stats {
+	adj := ResolveAdj(v)
+	s := Stats{Nodes: v.NumNodes(), Edges: v.NumEdges()}
+	for u := 0; u < s.Nodes; u++ {
+		din, dout := adj.InDegree(NodeID(u)), adj.OutDegree(NodeID(u))
 		if din > s.MaxInDegree {
 			s.MaxInDegree = din
 		}

@@ -20,6 +20,7 @@ package probe
 
 import (
 	"math"
+	"reflect"
 
 	"probesim/internal/graph"
 	"probesim/internal/xrand"
@@ -48,6 +49,47 @@ type Scratch struct {
 	// Membership stamps for randomized probes.
 	member   []uint32
 	memberEp uint32
+
+	// Cached adjacency resolution. A probe runs once per walk prefix —
+	// thousands of times per query on the same view — so re-resolving the
+	// concrete storage every call costs real time (for provider-backed
+	// views it is an interface assertion plus a ~25-word struct copy per
+	// prefix). The cache is keyed by view identity.
+	adjView graph.View
+	adj     graph.Adj
+}
+
+// adjFor returns the devirtualized adjacency for g, resolving it only
+// when the view changed since the last probe on this Scratch. Mutable
+// *graph.Graph views resolve to storage that a mutation can invalidate,
+// but the probe contract already forbids mutating during queries, and any
+// mutation epoch change arrives via a new snapshot (a different view
+// identity), which misses the cache.
+//
+// Only views of comparable dynamic types are cached (adjView stays nil
+// otherwise, and comparing a comparable cached view against a foreign
+// uncomparable one is defined — distinct dynamic types are simply
+// unequal), so an uncomparable View implementation falls back to
+// per-call resolution instead of panicking.
+func (s *Scratch) adjFor(g graph.View) *graph.Adj {
+	if s.adjView != nil && s.adjView == g {
+		return &s.adj
+	}
+	s.adj = graph.ResolveAdj(g)
+	s.adjView = nil
+	if reflect.TypeOf(g).Comparable() {
+		s.adjView = g
+	}
+	return &s.adj
+}
+
+// ReleaseView drops the cached adjacency resolution. Owners that pool a
+// Scratch across queries (core's executor scratch) call it before
+// parking the scratch, so an idle pooled scratch never keeps a retired
+// snapshot generation — O(n+m) of CSR arrays — reachable.
+func (s *Scratch) ReleaseView() {
+	s.adjView = nil
+	s.adj = graph.Adj{}
 }
 
 // NewScratch allocates probe buffers for a graph with n nodes.
@@ -110,11 +152,11 @@ func Deterministic(g graph.View, path []graph.NodeID, sqrtC, epsP float64, s *Sc
 	if i < 2 {
 		return Result{}
 	}
-	adj := graph.ResolveAdj(g)
+	adj := s.adjFor(g)
 	cur := append(s.curList[:0], path[i-1])
 	s.curScore[path[i-1]] = 1
 	for j := 0; j <= i-2; j++ {
-		cur = s.deterministicLevel(&adj, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
+		cur = s.deterministicLevel(adj, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
 		if len(cur) == 0 {
 			break
 		}
@@ -187,12 +229,12 @@ func Randomized(g graph.View, path []graph.NodeID, sqrtC float64, rng *xrand.RNG
 	if i < 2 {
 		return nil
 	}
-	adj := graph.ResolveAdj(g)
+	adj := s.adjFor(g)
 	ep := s.nextMemberEpoch()
 	s.member[path[i-1]] = ep
 	cur := append(s.curList[:0], path[i-1])
 	for j := 0; j <= i-2; j++ {
-		cur = s.randomizedLevel(&adj, cur, path[i-j-2], sqrtC, rng, ep)
+		cur = s.randomizedLevel(adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
 		}
@@ -212,7 +254,7 @@ func ContinueRandomized(g graph.View, path []graph.NodeID, j int, members []grap
 		// scratch so the aliasing contract matches the other entry points.
 		return append(s.curList[:0], members...)
 	}
-	adj := graph.ResolveAdj(g)
+	adj := s.adjFor(g)
 	ep := s.nextMemberEpoch()
 	cur := s.curList[:0]
 	for _, v := range members {
@@ -223,7 +265,7 @@ func ContinueRandomized(g graph.View, path []graph.NodeID, j int, members []grap
 	}
 	s.curList = cur
 	for ; j <= i-2; j++ {
-		cur = s.randomizedLevel(&adj, cur, path[i-j-2], sqrtC, rng, ep)
+		cur = s.randomizedLevel(adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
 		}

@@ -9,7 +9,7 @@ import (
 // hybrid decides mid-probe whether to abandon the deterministic expansion
 // and finish with randomized replicas.
 type Stepper struct {
-	adj   graph.Adj
+	adj   *graph.Adj
 	path  []graph.NodeID
 	sqrtC float64
 	epsP  float64
@@ -22,7 +22,7 @@ type Stepper struct {
 // Scratch is owned by the stepper until the probe finishes; path must have
 // length >= 2.
 func NewStepper(g graph.View, path []graph.NodeID, sqrtC, epsP float64, s *Scratch) *Stepper {
-	st := &Stepper{adj: graph.ResolveAdj(g), path: path, sqrtC: sqrtC, epsP: epsP, s: s, j: 0}
+	st := &Stepper{adj: s.adjFor(g), path: path, sqrtC: sqrtC, epsP: epsP, s: s, j: 0}
 	st.cur = append(s.curList[:0], path[len(path)-1])
 	s.curScore[path[len(path)-1]] = 1
 	return st
@@ -46,7 +46,7 @@ func (st *Stepper) Frontier() ([]graph.NodeID, []float64) {
 // FrontierOutDegreeSum returns the total out-degree of the current
 // frontier, the quantity the §4.4 hybrid compares against its budget.
 func (st *Stepper) FrontierOutDegreeSum() int {
-	return outDegreeSum(&st.adj, st.cur)
+	return outDegreeSum(st.adj, st.cur)
 }
 
 // Step expands one level and reports whether the probe can continue. After
@@ -57,7 +57,7 @@ func (st *Stepper) Step() bool {
 	}
 	i := len(st.path)
 	excluded := st.path[i-st.j-2]
-	st.cur = st.s.deterministicLevel(&st.adj, st.cur, excluded, st.sqrtC, pruneThreshold(st.epsP, st.sqrtC, i, st.j))
+	st.cur = st.s.deterministicLevel(st.adj, st.cur, excluded, st.sqrtC, pruneThreshold(st.epsP, st.sqrtC, i, st.j))
 	st.j++
 	return !st.Done()
 }

@@ -2,12 +2,12 @@ package server
 
 // Extended endpoints: pairwise queries, similarity joins, structure
 // reports, and batched edge updates. These sit on the same snapshot
-// discipline as the core handlers: similarity reads run lock-free against
-// the published snapshot, updates take the write mutex and republish, and
-// the Querier invalidates itself via the snapshot version. The two
-// endpoints that traverse the mutable graph directly (/join/topk,
-// /components) share the write mutex instead; they block updates, never
-// queries.
+// discipline as the core handlers: every read — including the analysis
+// endpoints /join/topk and /components — runs lock-free against the
+// published snapshot, updates take the write mutex and republish, and
+// the Querier invalidates itself via the snapshot version. A join or
+// component scan therefore never stalls an edge update (and vice versa);
+// it simply reports the consistent state it pinned at the start.
 
 import (
 	"encoding/json"
@@ -115,17 +115,20 @@ func (s *Server) handleJoinTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// The join traverses the mutable graph with n single-source queries, so
-	// it holds the write mutex: updates wait (as they did under the old
-	// read lock), snapshot-backed queries proceed.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := s.g.NumNodes(); n > joinNodeLimit {
+	// The join runs n single-source queries against the published snapshot:
+	// a consistent point-in-time view, pinned for the whole join, that
+	// never blocks (and is never blocked by) edge updates. Joins DO
+	// serialize among themselves — each one is an O(n·query) fan-out, so
+	// unbounded concurrent joins would starve the rest of the service.
+	s.joinSem <- struct{}{}
+	defer func() { <-s.joinSem }()
+	snap := s.ex.Snapshot()
+	if n := snap.NumNodes(); n > joinNodeLimit {
 		writeError(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("join needs one query per node; graph has %d nodes, limit %d", n, joinNodeLimit))
 		return
 	}
-	pairs, err := simjoin.TopKJoin(s.g, k, simjoin.Options{Query: s.opt})
+	pairs, err := simjoin.TopKJoin(snap, k, simjoin.Options{Query: s.opt})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -150,10 +153,12 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	s.mu.Lock()
-	sccIDs, sccCount := s.g.StronglyConnectedComponents()
-	wccIDs, wccCount := s.g.WeaklyConnectedComponents()
-	s.mu.Unlock()
+	// Component scans read the published snapshot through the same
+	// devirtualized adjacency path the query kernels use: no lock, no
+	// interference with the write path.
+	snap := s.ex.Snapshot()
+	sccIDs, sccCount := graph.StronglyConnected(snap)
+	wccIDs, wccCount := graph.WeaklyConnected(snap)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stronglyConnected": sccCount,
 		"largestSCC":        largestComponent(sccIDs, sccCount),
@@ -204,21 +209,26 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d ops exceeds limit", len(ops)))
 		return
 	}
+	// Deferred idempotent unlock: a panic mid-batch (rollback panics on
+	// inconsistency by design) must not leave the write mutex held forever
+	// under net/http's handler-panic recovery.
 	s.mu.Lock()
+	unlock := s.unlockOnce()
+	defer unlock()
 	applied := make([]batchOp, 0, len(ops))
 	for i, op := range ops {
 		var err error
 		switch op.Op {
 		case "add":
-			err = s.g.AddEdge(op.U, op.V)
+			err = s.mut.AddEdge(op.U, op.V)
 		case "remove":
-			err = s.g.RemoveEdge(op.U, op.V)
+			err = s.mut.RemoveEdge(op.U, op.V)
 		default:
 			err = fmt.Errorf("unknown op %q", op.Op)
 		}
 		if err != nil {
-			rollback(s.g, applied)
-			s.mu.Unlock()
+			rollback(s.mut, applied)
+			unlock()
 			writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
 			return
 		}
@@ -228,7 +238,7 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 	// pre-batch graph to the post-batch graph atomically and never observe
 	// a partially applied batch.
 	snap := s.ex.Refresh()
-	s.mu.Unlock()
+	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"applied": len(applied), "edges": snap.NumEdges(), "version": snap.Version(),
 	})
@@ -237,15 +247,15 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 // rollback undoes applied ops in reverse order. Every inverse must succeed
 // because the forward op just did; a failure here means corrupted state and
 // panics loudly rather than serving wrong similarities.
-func rollback(g *graph.Graph, applied []batchOp) {
+func rollback(m mutator, applied []batchOp) {
 	for i := len(applied) - 1; i >= 0; i-- {
 		op := applied[i]
 		var err error
 		switch op.Op {
 		case "add":
-			err = g.RemoveEdge(op.U, op.V)
+			err = m.RemoveEdge(op.U, op.V)
 		case "remove":
-			err = g.AddEdge(op.U, op.V)
+			err = m.AddEdge(op.U, op.V)
 		}
 		if err != nil {
 			panic(fmt.Sprintf("server: rollback failed at op %d: %v", i, err))

@@ -2,16 +2,19 @@
 // cmd/probesim-server: top-k and single-source SimRank queries over a
 // live, updatable graph, with the core.Querier result cache in front.
 //
-// Concurrency contract: queries are lock-free — each one runs against the
-// immutable CSR snapshot the core.Executor has published, so an edge
-// update never stalls a query and a long query never stalls an update.
+// Concurrency contract: every read endpoint — similarity queries AND the
+// analysis endpoints (/join/topk, /components) — is lock-free: each runs
+// against the immutable snapshot the core.Executor has published, so an
+// edge update never stalls a read and a long read never stalls an update.
 // Edge updates serialize among themselves on the write mutex, mutate the
-// graph, and publish a fresh snapshot before releasing it; in-flight
-// queries keep the (consistent) snapshot they grabbed. Cache invalidation
-// is automatic via the snapshot version counter. The few analysis
-// endpoints that must read the mutable graph itself (/join/topk,
-// /components) share the write mutex: they block updates for their
-// duration, exactly as their read lock used to, but never block queries.
+// backend, and publish a fresh snapshot before releasing it; in-flight
+// reads keep the (consistent) snapshot they grabbed. Cache invalidation
+// is automatic via the snapshot version counter.
+//
+// The server runs over either backend: the monolithic *graph.Graph
+// (every publication rebuilds the full CSR snapshot) or the sharded
+// shard.Store (NewSharded; publication re-encodes only the shards an
+// update touched, and /stats reports the rebuild counters).
 package server
 
 import (
@@ -24,34 +27,62 @@ import (
 
 	"probesim/internal/core"
 	"probesim/internal/graph"
+	"probesim/internal/shard"
 )
+
+// mutator is the write-side surface the edge endpoints need; both
+// *graph.Graph and *shard.Store provide it.
+type mutator interface {
+	AddEdge(u, v graph.NodeID) error
+	RemoveEdge(u, v graph.NodeID) error
+}
 
 // Server is the http.Handler for the similarity service.
 type Server struct {
-	mu    sync.Mutex // serializes graph mutations and mutable-graph reads
-	g     *graph.Graph
+	mu    sync.Mutex // serializes backend mutations
+	mut   mutator
+	st    *shard.Store // non-nil only for the sharded backend
 	ex    *core.Executor
 	q     *core.Querier
 	opt   core.Options
 	limit int
 	mux   *http.ServeMux
+
+	// joinSem serializes /join/topk requests among themselves (capacity
+	// 1). Joins used to queue on the write mutex; now that they read the
+	// published snapshot, this keeps the old one-join-at-a-time bound on
+	// their O(n·query) fan-out without ever blocking queries or writes.
+	joinSem chan struct{}
 }
 
 // New builds a Server over g. cacheCap bounds the Querier cache; limit
 // bounds the number of entries /single-source returns. The server takes
 // ownership of g: all further mutations must go through the HTTP API.
 func New(g *graph.Graph, opt core.Options, cacheCap, limit int) *Server {
+	return newServer(g, nil, core.NewExecutor(g, opt), opt, cacheCap, limit)
+}
+
+// NewSharded builds a Server over a sharded snapshot store: queries and
+// analysis reads serve from the composite per-shard snapshot, and each
+// update batch republishes only the shards it touched. The server takes
+// ownership of st.
+func NewSharded(st *shard.Store, opt core.Options, cacheCap, limit int) *Server {
+	return newServer(st, st, core.NewExecutorOn(st, opt), opt, cacheCap, limit)
+}
+
+func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options, cacheCap, limit int) *Server {
 	if limit <= 0 {
 		limit = 100
 	}
-	ex := core.NewExecutor(g, opt)
 	s := &Server{
-		g:     g,
-		ex:    ex,
-		q:     core.NewQuerierOn(ex, cacheCap),
-		opt:   opt,
-		limit: limit,
-		mux:   http.NewServeMux(),
+		mut:     mut,
+		st:      st,
+		ex:      ex,
+		q:       core.NewQuerierOn(ex, cacheCap),
+		opt:     opt,
+		limit:   limit,
+		mux:     http.NewServeMux(),
+		joinSem: make(chan struct{}, 1),
 	}
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/single-source", s.handleSingleSource)
@@ -184,29 +215,48 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The unlock is deferred (idempotently) so a panic inside the critical
+	// section — net/http recovers handler panics and keeps serving — can
+	// never wedge the write mutex; response writing happens after the
+	// explicit early unlock, off the critical section.
 	s.mu.Lock()
+	unlock := s.unlockOnce()
+	defer unlock()
 	switch r.Method {
 	case http.MethodPost:
-		err = s.g.AddEdge(u, v)
+		err = s.mut.AddEdge(u, v)
 	case http.MethodDelete:
-		err = s.g.RemoveEdge(u, v)
+		err = s.mut.RemoveEdge(u, v)
 	default:
-		s.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
 		return
 	}
 	if err != nil {
-		s.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Publish the new snapshot before releasing the write mutex so the
 	// next query (and the next mutator) sees the update.
 	snap := s.ex.Refresh()
-	s.mu.Unlock()
+	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"edges": snap.NumEdges(), "version": snap.Version(),
 	})
+}
+
+// unlockOnce returns an idempotent unlocker for the write mutex (which
+// the caller must already hold): call it early to end the critical
+// section, and defer it so panics cannot leave the mutex held.
+func (s *Server) unlockOnce() func() {
+	locked := true
+	return func() {
+		if locked {
+			locked = false
+			s.mu.Unlock()
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -217,13 +267,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Stats come from the published snapshot, so this endpoint is lock-free
 	// like the query endpoints.
 	snap := s.ex.Snapshot()
-	stats := snap.ComputeStats()
+	stats := graph.ComputeViewStats(snap)
 	hits, misses, cached := s.q.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"nodes": stats.Nodes, "edges": stats.Edges,
 		"maxInDegree": stats.MaxInDegree, "zeroInDegree": stats.ZeroInDeg,
 		"cacheHits": hits, "cacheMisses": misses, "cachedVectors": cached,
 		"sharedFlights": s.q.SharedFlights(),
 		"graphVersion":  snap.Version(),
-	})
+	}
+	if s.st != nil {
+		// Sharded backend: publication effectiveness counters. A healthy
+		// dynamic workload shows shardsReused >> shardsRebuilt — the point of
+		// per-shard publication.
+		ss := s.st.Stats()
+		body["shards"] = ss.Shards
+		body["shardStride"] = ss.Stride
+		body["shardPublications"] = ss.Publications
+		body["shardNoopPublishes"] = ss.NoopPublishes
+		body["shardsRebuilt"] = ss.ShardsRebuilt
+		body["shardsReused"] = ss.ShardsReused
+		body["shardEdgesReEncoded"] = ss.EdgesReEncoded
+	}
+	writeJSON(w, http.StatusOK, body)
 }

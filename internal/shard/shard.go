@@ -1,0 +1,367 @@
+// Package shard partitions the dynamic graph by source node into P
+// shards, each owning its own mutable adjacency, immutable CSR snapshot,
+// and version counter. It is the scaling layer between the monolithic
+// snapshot path of PR 1 and multi-process serving:
+//
+//   - An edge batch republishes in O(batch + touched shards) instead of
+//     O(n+m): only the shards whose node ranges the batch touched are
+//     re-encoded to CSR, on a bounded worker pool; untouched shards are
+//     shared by pointer with the previous snapshot.
+//   - Queries run unchanged and bit-identically: the published composite
+//     snapshot implements graph.View and graph.AdjProvider, so every
+//     kernel (walk generation, PROBE expansion, components, joins)
+//     resolves the same devirtualized graph.Adj fast path it uses on a
+//     monolithic snapshot, and neighbor order is preserved exactly.
+//   - The probe/walk kernels are embarrassingly parallel over sources, so
+//     queries fan out across shards for free through the executor's
+//     worker pool; no kernel knows shards exist.
+//
+// Partitioning is by contiguous node range with a power-of-two stride:
+// node v lives in shard v>>shift at local index v&(stride-1). The stride
+// is chosen so the shard count does not exceed the requested P, and the
+// shift/mask arithmetic keeps the per-access cost within noise of the
+// monolithic CSR layout.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probesim/internal/graph"
+)
+
+// Partition maps nodes to shards: contiguous ranges of 1<<shift nodes.
+type Partition struct {
+	shift uint32
+}
+
+// NewPartition chooses the smallest power-of-two stride that covers n
+// nodes with at most p shards. p < 1 is treated as 1.
+//
+// The stride is FIXED for the life of a Store: nodes added later keep
+// the stride and extend the shard set, so a store grown far beyond its
+// construction-time size has proportionally more shards than requested.
+// An empty store (n == 0) therefore gets a floor stride rather than
+// stride 1, so it does not degenerate into one shard per future node.
+func NewPartition(n, p int) Partition {
+	if p < 1 {
+		p = 1
+	}
+	perShard := (n + p - 1) / p
+	if n == 0 {
+		perShard = 64
+	}
+	var shift uint32
+	for 1<<shift < perShard {
+		shift++
+	}
+	return Partition{shift: shift}
+}
+
+// Stride returns the number of node ids per shard.
+func (pt Partition) Stride() int { return 1 << pt.shift }
+
+// Shift returns log2(stride).
+func (pt Partition) Shift() uint32 { return pt.shift }
+
+// ShardOf returns the shard owning node v.
+func (pt Partition) ShardOf(v graph.NodeID) int { return int(uint32(v) >> pt.shift) }
+
+// LocalOf returns v's index within its shard.
+func (pt Partition) LocalOf(v graph.NodeID) int { return int(uint32(v) & (uint32(1)<<pt.shift - 1)) }
+
+// Count returns the number of shards needed for n nodes.
+func (pt Partition) Count(n int) int {
+	stride := 1 << pt.shift
+	return (n + stride - 1) / stride
+}
+
+// shardMut is one shard's mutable side: slice-of-slice adjacency for the
+// shard's node range (local index), plus the store version of its last
+// mutation — the dirtiness signal Publish compares against the published
+// snapshot to decide which shards to rebuild.
+type shardMut struct {
+	in, out [][]graph.NodeID // local index; destination ids are global
+	version uint64
+}
+
+// Store is the sharded counterpart of the monolithic *graph.Graph +
+// core.Executor snapshot pair: the mutable write side of the graph,
+// partitioned, plus an atomically published composite snapshot.
+//
+// Concurrency contract: mutations (AddEdge, RemoveEdge, AddNode) and
+// Publish serialize on an internal mutex; any number of goroutines may
+// read the published snapshot (Current / PublishedView) lock-free at any
+// time, including during mutation and publication. Reading the Store
+// itself through graph.View (InNeighbors etc.) follows the *graph.Graph
+// contract: safe only while no mutator is active.
+type Store struct {
+	part    Partition
+	workers int
+
+	mu      sync.Mutex
+	n       int
+	m       int64
+	version uint64
+	shards  []*shardMut
+
+	cur atomic.Pointer[StoreSnapshot]
+
+	// Publication counters (atomics so /stats can read them lock-free).
+	publications   atomic.Int64
+	shardsRebuilt  atomic.Int64
+	shardsReused   atomic.Int64
+	noopPublishes  atomic.Int64
+	edgesReEncoded atomic.Int64
+}
+
+// NewStore partitions g into at most shards shards and publishes an
+// initial snapshot. The adjacency is deep-copied: the store and the
+// source graph are independent afterwards. workers bounds the rebuild
+// pool; <= 0 means one goroutine per dirty shard up to GOMAXPROCS.
+func NewStore(g *graph.Graph, shards, workers int) *Store {
+	n := g.NumNodes()
+	st := &Store{
+		part:    NewPartition(n, shards),
+		workers: workers,
+		n:       n,
+		m:       g.NumEdges(),
+		version: g.Version(),
+	}
+	count := st.part.Count(n)
+	st.shards = make([]*shardMut, count)
+	stride := st.part.Stride()
+	for p := 0; p < count; p++ {
+		lo := p * stride
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		sm := &shardMut{
+			in:      make([][]graph.NodeID, hi-lo),
+			out:     make([][]graph.NodeID, hi-lo),
+			version: st.version,
+		}
+		for v := lo; v < hi; v++ {
+			if l := g.InNeighbors(graph.NodeID(v)); len(l) > 0 {
+				sm.in[v-lo] = append([]graph.NodeID(nil), l...)
+			}
+			if l := g.OutNeighbors(graph.NodeID(v)); len(l) > 0 {
+				sm.out[v-lo] = append([]graph.NodeID(nil), l...)
+			}
+		}
+		st.shards[p] = sm
+	}
+	st.Publish()
+	return st
+}
+
+// NewEmpty returns a store with n isolated nodes partitioned into at most
+// shards shards, with an initial (empty-adjacency) snapshot published.
+func NewEmpty(n, shards, workers int) *Store {
+	if n < 0 {
+		panic("shard: negative node count")
+	}
+	return NewStore(graph.New(n), shards, workers)
+}
+
+// NumShards returns the current shard count.
+func (st *Store) NumShards() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.shards)
+}
+
+// Partition returns the node-to-shard mapping.
+func (st *Store) Partition() Partition { return st.part }
+
+// NumNodes returns the number of nodes (mutable side).
+func (st *Store) NumNodes() int { return st.n }
+
+// NumEdges returns the number of directed edges (mutable side).
+func (st *Store) NumEdges() int64 { return st.m }
+
+// Version returns the mutation counter. Every AddEdge/RemoveEdge/AddNode
+// increments it; published snapshots carry the value at publish time, so
+// the serving stack's staleness checks work unchanged.
+func (st *Store) Version() uint64 { return st.version }
+
+func (st *Store) checkNode(v graph.NodeID) error {
+	if v < 0 || int(v) >= st.n {
+		return fmt.Errorf("shard: node %d out of range [0, %d)", v, st.n)
+	}
+	return nil
+}
+
+// InNeighbors returns the in-neighbor list of v from the mutable side,
+// under the *graph.Graph reader contract. The slice is internal storage:
+// do not modify; invalidated by the next mutation.
+func (st *Store) InNeighbors(v graph.NodeID) []graph.NodeID {
+	return st.shards[st.part.ShardOf(v)].in[st.part.LocalOf(v)]
+}
+
+// OutNeighbors returns the out-neighbor list of u under the same contract
+// as InNeighbors.
+func (st *Store) OutNeighbors(u graph.NodeID) []graph.NodeID {
+	return st.shards[st.part.ShardOf(u)].out[st.part.LocalOf(u)]
+}
+
+// InDegree returns |I(v)| on the mutable side.
+func (st *Store) InDegree(v graph.NodeID) int { return len(st.InNeighbors(v)) }
+
+// OutDegree returns |O(u)| on the mutable side.
+func (st *Store) OutDegree(u graph.NodeID) int { return len(st.OutNeighbors(u)) }
+
+var _ graph.VersionedView = (*Store)(nil)
+
+// AddEdge inserts the directed edge u -> v with the same semantics as
+// (*graph.Graph).AddEdge: self-loops rejected, parallel edges permitted,
+// appended at the tail of both adjacency lists (order preservation is
+// what keeps sharded results bit-identical to monolithic ones).
+func (st *Store) AddEdge(u, v graph.NodeID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.checkNode(u); err != nil {
+		return err
+	}
+	if err := st.checkNode(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("shard: self-loop %d -> %d rejected", u, v)
+	}
+	st.version++
+	su := st.shards[st.part.ShardOf(u)]
+	su.out[st.part.LocalOf(u)] = append(su.out[st.part.LocalOf(u)], v)
+	su.version = st.version
+	sv := st.shards[st.part.ShardOf(v)]
+	sv.in[st.part.LocalOf(v)] = append(sv.in[st.part.LocalOf(v)], u)
+	sv.version = st.version
+	st.m++
+	return nil
+}
+
+// RemoveEdge removes one occurrence of u -> v, mirroring
+// (*graph.Graph).RemoveEdge exactly (first match swapped with the tail),
+// so the surviving neighbor order matches a monolithic graph that saw the
+// same operation sequence.
+func (st *Store) RemoveEdge(u, v graph.NodeID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.checkNode(u); err != nil {
+		return err
+	}
+	if err := st.checkNode(v); err != nil {
+		return err
+	}
+	su := st.shards[st.part.ShardOf(u)]
+	if !graph.RemoveOne(&su.out[st.part.LocalOf(u)], v) {
+		return fmt.Errorf("shard: edge %d -> %d not found", u, v)
+	}
+	sv := st.shards[st.part.ShardOf(v)]
+	if !graph.RemoveOne(&sv.in[st.part.LocalOf(v)], u) {
+		panic("shard: adjacency lists out of sync")
+	}
+	st.version++
+	su.version = st.version
+	sv.version = st.version
+	st.m--
+	return nil
+}
+
+// AddNode appends a new isolated node and returns its id, growing the
+// shard set when the new id falls past the last shard's range.
+func (st *Store) AddNode() graph.NodeID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := graph.NodeID(st.n)
+	st.n++
+	st.version++
+	p := st.part.ShardOf(id)
+	for p >= len(st.shards) {
+		st.shards = append(st.shards, &shardMut{})
+	}
+	sm := st.shards[p]
+	sm.in = append(sm.in, nil)
+	sm.out = append(sm.out, nil)
+	sm.version = st.version
+	return id
+}
+
+// Validate checks cross-shard invariants: edge-count agreement between
+// the in- and out-sides and every destination id in range. O(n+m),
+// intended for tests.
+func (st *Store) Validate() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var nIn, nOut int64
+	counts := make(map[[2]graph.NodeID]int64)
+	for p, sm := range st.shards {
+		base := p * st.part.Stride()
+		for l, lst := range sm.out {
+			u := graph.NodeID(base + l)
+			for _, v := range lst {
+				if err := st.checkNode(v); err != nil {
+					return fmt.Errorf("shard %d: out[%d] invalid: %w", p, u, err)
+				}
+				counts[[2]graph.NodeID{u, v}]++
+				nOut++
+			}
+		}
+		for l, lst := range sm.in {
+			v := graph.NodeID(base + l)
+			for _, u := range lst {
+				if err := st.checkNode(u); err != nil {
+					return fmt.Errorf("shard %d: in[%d] invalid: %w", p, v, err)
+				}
+				counts[[2]graph.NodeID{u, v}]--
+				nIn++
+			}
+		}
+	}
+	if nOut != nIn || nOut != st.m {
+		return fmt.Errorf("shard: edge counts disagree: out=%d in=%d m=%d", nOut, nIn, st.m)
+	}
+	for e, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("shard: edge %d -> %d appears %+d more times in out-lists than in-lists", e[0], e[1], c)
+		}
+	}
+	return nil
+}
+
+// Stats reports publication effectiveness since the store was created:
+// how many snapshot publications ran, how many shard CSRs each rebuilt vs
+// reused from the previous snapshot, and how many edges were re-encoded
+// in total (the actual publication work, vs m per publication for a full
+// rebuild).
+type Stats struct {
+	Shards         int
+	Stride         int
+	Publications   int64
+	NoopPublishes  int64
+	ShardsRebuilt  int64
+	ShardsReused   int64
+	EdgesReEncoded int64
+}
+
+// Stats returns a consistent-enough snapshot of the publication counters
+// (each counter is individually atomic). It never takes the store mutex —
+// the shard count comes from the published snapshot — so /stats stays
+// lock-free even while a large batch holds the write path.
+func (st *Store) Stats() Stats {
+	shards := 0
+	if cur := st.cur.Load(); cur != nil {
+		shards = cur.NumShards()
+	}
+	return Stats{
+		Shards:         shards,
+		Stride:         st.part.Stride(),
+		Publications:   st.publications.Load(),
+		NoopPublishes:  st.noopPublishes.Load(),
+		ShardsRebuilt:  st.shardsRebuilt.Load(),
+		ShardsReused:   st.shardsReused.Load(),
+		EdgesReEncoded: st.edgesReEncoded.Load(),
+	}
+}

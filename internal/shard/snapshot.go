@@ -1,0 +1,349 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"probesim/internal/graph"
+)
+
+// StoreSnapshot is the immutable composite read side of a Store: one CSR
+// per shard plus the per-shard versions they encode. It implements
+// graph.View and graph.AdjProvider, so every kernel runs on it through
+// the same devirtualized graph.Adj fast path it uses on a monolithic
+// *graph.Snapshot, with bit-identical results.
+//
+// Snapshots share unrebuilt shard CSRs with their predecessors by
+// reference; all of it is immutable, so any number of queries may read
+// any number of generations concurrently with no synchronization.
+type StoreSnapshot struct {
+	n       int
+	m       int64
+	version uint64
+	shift   uint32
+
+	csr      []graph.CSRShard
+	versions []uint64 // store version each shard CSR was built at
+
+	// spans caches the dense per-node span arrays behind the devirtualized
+	// Adj path: node v's list within its shard's dst array is the packed
+	// [start, end) span (graph.PackSpan). Keeping these global rather than
+	// per-shard is what puts the sharded READ path at parity with the
+	// monolithic CSR — one independent load yields both offsets and the
+	// degree, and no offset load ever waits on a shard-header load.
+	//
+	// They are materialized LAZILY by the first query on this snapshot
+	// (and shared by every later one), so the WRITE path stays strictly
+	// O(batch + touched shards): publication never touches them. The
+	// densification itself is an O(n) scan of the per-shard offsets
+	// (16 bytes/node written, a few percent of a full CSR rebuild),
+	// amortized across every query served from this generation.
+	spans atomic.Pointer[spanArrays]
+}
+
+// spanArrays bundles the lazily built dense span arrays.
+type spanArrays struct {
+	in, out []uint64
+}
+
+var (
+	_ graph.VersionedView = (*StoreSnapshot)(nil)
+	_ graph.AdjProvider   = (*StoreSnapshot)(nil)
+)
+
+// NumNodes returns the number of nodes.
+func (s *StoreSnapshot) NumNodes() int { return s.n }
+
+// NumEdges returns the number of directed edges.
+func (s *StoreSnapshot) NumEdges() int64 { return s.m }
+
+// Version returns the store's mutation counter at publish time.
+func (s *StoreSnapshot) Version() uint64 { return s.version }
+
+// NumShards returns the number of shard CSRs in the composite.
+func (s *StoreSnapshot) NumShards() int { return len(s.csr) }
+
+// ProvideAdj implements graph.AdjProvider: the sharded devirtualized
+// accessor over the per-shard dst arrays and the dense global span
+// arrays, materializing the latter on first use.
+func (s *StoreSnapshot) ProvideAdj() graph.Adj {
+	sp := s.spanArrays()
+	return graph.NewShardedAdj(s, s.csr, s.shift, sp.in, sp.out)
+}
+
+// spanArrays returns the dense span arrays, building them on the first
+// call. Concurrent first queries may build duplicates; the content is
+// deterministic, one wins the CAS, and the rest are garbage — a benign
+// race that keeps the query path lock-free.
+func (s *StoreSnapshot) spanArrays() *spanArrays {
+	if sp := s.spans.Load(); sp != nil {
+		return sp
+	}
+	buf := make([]uint64, 2*s.n)
+	sp := &spanArrays{in: buf[:s.n:s.n], out: buf[s.n:]}
+	stride := 1 << s.shift
+	for p := range s.csr {
+		sh := &s.csr[p]
+		base := p * stride
+		for l := 0; l+1 < len(sh.InOff); l++ {
+			sp.in[base+l] = graph.PackSpan(sh.InOff[l], sh.InOff[l+1])
+			sp.out[base+l] = graph.PackSpan(sh.OutOff[l], sh.OutOff[l+1])
+		}
+	}
+	if !s.spans.CompareAndSwap(nil, sp) {
+		return s.spans.Load()
+	}
+	return sp
+}
+
+func (s *StoreSnapshot) shardOf(v graph.NodeID) (*graph.CSRShard, uint32) {
+	return &s.csr[uint32(v)>>s.shift], uint32(v) & (uint32(1)<<s.shift - 1)
+}
+
+// InNeighbors returns the in-neighbor list of v. The slice aliases the
+// snapshot's storage; it is immutable and never invalidated.
+func (s *StoreSnapshot) InNeighbors(v graph.NodeID) []graph.NodeID {
+	sh, l := s.shardOf(v)
+	return sh.InDst[sh.InOff[l]:sh.InOff[l+1]]
+}
+
+// OutNeighbors returns the out-neighbor list of u under the same contract
+// as InNeighbors.
+func (s *StoreSnapshot) OutNeighbors(u graph.NodeID) []graph.NodeID {
+	sh, l := s.shardOf(u)
+	return sh.OutDst[sh.OutOff[l]:sh.OutOff[l+1]]
+}
+
+// InDegree returns |I(v)|.
+func (s *StoreSnapshot) InDegree(v graph.NodeID) int {
+	sh, l := s.shardOf(v)
+	return int(sh.InOff[l+1] - sh.InOff[l])
+}
+
+// OutDegree returns |O(u)|.
+func (s *StoreSnapshot) OutDegree(u graph.NodeID) int {
+	sh, l := s.shardOf(u)
+	return int(sh.OutOff[l+1] - sh.OutOff[l])
+}
+
+// ComputeStats scans the snapshot once and returns its degree Stats,
+// mirroring (*graph.Snapshot).ComputeStats so /stats can serve structure
+// lock-free from the sharded path too.
+func (s *StoreSnapshot) ComputeStats() graph.Stats { return graph.ComputeViewStats(s) }
+
+// MemoryBytes reports the resident size of the per-shard CSR arrays plus
+// the dense span arrays when they have been materialized.
+func (s *StoreSnapshot) MemoryBytes() int64 {
+	var b int64
+	if sp := s.spans.Load(); sp != nil {
+		b += int64(len(sp.in)+len(sp.out)) * 8
+	}
+	for i := range s.csr {
+		sh := &s.csr[i]
+		b += int64(len(sh.InOff)+len(sh.OutOff)) * 4
+		b += int64(len(sh.InDst)+len(sh.OutDst)) * 4
+	}
+	return b
+}
+
+// Validate checks the composite invariants: shard coverage of [0, n),
+// end-offset/degree agreement with every shard's dst array lengths,
+// destination ids in global range, and edge counts summing to m. O(n+m),
+// intended for tests.
+func (s *StoreSnapshot) Validate() error {
+	stride := 1 << s.shift
+	wantShards := (s.n + stride - 1) / stride
+	if len(s.csr) != wantShards {
+		return fmt.Errorf("shard: %d shards for %d nodes at stride %d, want %d", len(s.csr), s.n, stride, wantShards)
+	}
+	var mIn, mOut int64
+	sp := s.spanArrays()
+	if len(sp.in) != s.n || len(sp.out) != s.n {
+		return fmt.Errorf("shard: span arrays of length %d/%d, want %d", len(sp.in), len(sp.out), s.n)
+	}
+	for p := range s.csr {
+		sh := &s.csr[p]
+		lo := p * stride
+		hi := lo + stride
+		if hi > s.n {
+			hi = s.n
+		}
+		local := hi - lo
+		if len(sh.InOff) != local+1 || len(sh.OutOff) != local+1 {
+			return fmt.Errorf("shard %d: offset arrays of length %d/%d, want %d", p, len(sh.InOff), len(sh.OutOff), local+1)
+		}
+		if sh.InOff[0] != 0 || sh.OutOff[0] != 0 {
+			return fmt.Errorf("shard %d: offsets start at %d/%d", p, sh.InOff[0], sh.OutOff[0])
+		}
+		for v := lo; v < hi; v++ {
+			l := v - lo
+			if sh.InOff[l] > sh.InOff[l+1] || sh.OutOff[l] > sh.OutOff[l+1] {
+				return fmt.Errorf("shard %d: offsets decrease at node %d", p, v)
+			}
+			if sp.in[v] != graph.PackSpan(sh.InOff[l], sh.InOff[l+1]) ||
+				sp.out[v] != graph.PackSpan(sh.OutOff[l], sh.OutOff[l+1]) {
+				return fmt.Errorf("shard %d: dense spans disagree with offsets at node %d", p, v)
+			}
+		}
+		if int(sh.InOff[local]) != len(sh.InDst) || int(sh.OutOff[local]) != len(sh.OutDst) {
+			return fmt.Errorf("shard %d: dst arrays of length %d/%d, want %d/%d",
+				p, len(sh.InDst), len(sh.OutDst), sh.InOff[local], sh.OutOff[local])
+		}
+		mIn += int64(sh.InOff[local])
+		mOut += int64(sh.OutOff[local])
+		for _, dst := range [][]graph.NodeID{sh.InDst, sh.OutDst} {
+			for _, v := range dst {
+				if v < 0 || int(v) >= s.n {
+					return fmt.Errorf("shard %d: destination %d out of range [0, %d)", p, v, s.n)
+				}
+			}
+		}
+	}
+	if mIn != s.m || mOut != s.m {
+		return fmt.Errorf("shard: snapshot edge counts in=%d out=%d, want %d", mIn, mOut, s.m)
+	}
+	return nil
+}
+
+// Current returns the most recently published snapshot. It never blocks.
+func (st *Store) Current() *StoreSnapshot { return st.cur.Load() }
+
+// PublishedView implements core's SnapshotProvider: the published
+// composite snapshot as a versioned view.
+func (st *Store) PublishedView() graph.VersionedView { return st.Current() }
+
+// PublishView implements core's SnapshotProvider: republish if stale.
+func (st *Store) PublishView() graph.VersionedView { return st.Publish() }
+
+// Publish re-encodes every shard whose mutable side moved since the last
+// publication and atomically publishes the new composite snapshot. Cost
+// is O(changed shards' nodes+edges + shard count), not O(n+m): untouched
+// shards are shared with the previous snapshot by reference. Distinct
+// dirty shards rebuild concurrently on a pool bounded by the store's
+// worker limit. Publish serializes against mutations and itself; a
+// publish with no pending mutations returns the current snapshot
+// untouched.
+func (st *Store) Publish() *StoreSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prev := st.cur.Load()
+	if prev != nil && prev.version == st.version {
+		st.noopPublishes.Add(1)
+		return prev
+	}
+	next := &StoreSnapshot{
+		n:        st.n,
+		m:        st.m,
+		version:  st.version,
+		shift:    st.part.shift,
+		csr:      make([]graph.CSRShard, len(st.shards)),
+		versions: make([]uint64, len(st.shards)),
+	}
+	dirty := make([]int, 0, len(st.shards))
+	for p, sm := range st.shards {
+		// A shard is clean iff its version matches what the previous
+		// snapshot encoded (every mutation that touches a shard, including
+		// AddNode growing it, bumps its version).
+		if prev != nil && p < len(prev.csr) && prev.versions[p] == sm.version {
+			next.csr[p] = prev.csr[p]
+			next.versions[p] = prev.versions[p]
+			continue
+		}
+		dirty = append(dirty, p)
+	}
+	st.rebuild(next, dirty)
+	st.publications.Add(1)
+	st.shardsRebuilt.Add(int64(len(dirty)))
+	st.shardsReused.Add(int64(len(st.shards) - len(dirty)))
+	st.cur.Store(next)
+	return next
+}
+
+// rebuildParallelThreshold is the total edge count (in + out entries
+// across the dirty shards) below which rebuild encodes serially: the
+// common small-batch publication touches a handful of shards whose
+// re-encode is a few KB of copies, cheaper than any goroutine fan-out.
+// Mirrors snapshotParallelThreshold on the monolithic build.
+const rebuildParallelThreshold = 1 << 16
+
+// rebuild encodes the dirty shards into next, fanning out across the
+// worker pool when there is enough work to amortize it.
+func (st *Store) rebuild(next *StoreSnapshot, dirty []int) {
+	workers := st.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers > 1 {
+		// Cheap pre-pass (a len() sum over the dirty shards' lists): skip
+		// the fan-out when there is not enough copying to amortize it.
+		var work int64
+		for _, p := range dirty {
+			sm := st.shards[p]
+			for l := range sm.in {
+				work += int64(len(sm.in[l])) + int64(len(sm.out[l]))
+			}
+		}
+		if work < rebuildParallelThreshold {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		for _, p := range dirty {
+			st.encodeShard(next, p)
+		}
+		return
+	}
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(dirty) {
+					return
+				}
+				st.encodeShard(next, dirty[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// encodeShard builds shard p's CSR from its mutable adjacency, preserving
+// neighbor order exactly.
+func (st *Store) encodeShard(next *StoreSnapshot, p int) {
+	sm := st.shards[p]
+	local := len(sm.in)
+	var mIn, mOut int64
+	for l := 0; l < local; l++ {
+		mIn += int64(len(sm.in[l]))
+		mOut += int64(len(sm.out[l]))
+	}
+	if mIn > math.MaxUint32 || mOut > math.MaxUint32 {
+		panic(fmt.Sprintf("shard: %d/%d edges overflow shard %d's 32-bit offsets", mIn, mOut, p))
+	}
+	sh := graph.CSRShard{
+		InOff:  make([]uint32, local+1),
+		OutOff: make([]uint32, local+1),
+		InDst:  make([]graph.NodeID, mIn),
+		OutDst: make([]graph.NodeID, mOut),
+	}
+	var inPos, outPos uint32
+	for l := 0; l < local; l++ {
+		inPos += uint32(copy(sh.InDst[inPos:], sm.in[l]))
+		outPos += uint32(copy(sh.OutDst[outPos:], sm.out[l]))
+		sh.InOff[l+1] = inPos
+		sh.OutOff[l+1] = outPos
+	}
+	next.csr[p] = sh
+	next.versions[p] = sm.version
+	st.edgesReEncoded.Add(mIn + mOut)
+}

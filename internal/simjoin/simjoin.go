@@ -17,6 +17,11 @@
 // Both run one single-source query per candidate source, parallelized
 // across sources, so a full join costs n queries — the same asymptotics as
 // the dedicated join algorithms, without preprocessing.
+//
+// Joins accept any graph.View: a mutable *graph.Graph between updates, or
+// — the serving path — an immutable published snapshot (monolithic or
+// sharded), so a long-running join never holds a lock that could stall
+// edge updates.
 package simjoin
 
 import (
@@ -53,7 +58,7 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) sourcesFor(g *graph.Graph) []graph.NodeID {
+func (o Options) sourcesFor(g graph.View) []graph.NodeID {
 	if len(o.Sources) > 0 {
 		return o.Sources
 	}
@@ -83,7 +88,7 @@ func perSourceOptions(q core.Options, nSources int, u graph.NodeID) core.Options
 	return o
 }
 
-func validate(g *graph.Graph, opt Options) error {
+func validate(g graph.View, opt Options) error {
 	for _, u := range opt.Sources {
 		if u < 0 || int(u) >= g.NumNodes() {
 			return fmt.Errorf("simjoin: source %d out of range [0, %d)", u, g.NumNodes())
@@ -96,7 +101,7 @@ func validate(g *graph.Graph, opt Options) error {
 // similarity at least theta, sorted by descending score (ties broken by
 // node ids). With probability 1 − δ the result contains every pair with
 // s(u,v) >= theta + εa and no pair with s(u,v) < theta − εa.
-func ThresholdJoin(g *graph.Graph, theta float64, opt Options) ([]Pair, error) {
+func ThresholdJoin(g graph.View, theta float64, opt Options) ([]Pair, error) {
 	if theta <= 0 || theta >= 1 {
 		return nil, fmt.Errorf("simjoin: threshold %v outside (0, 1)", theta)
 	}
@@ -139,7 +144,7 @@ func makePair(u, v graph.NodeID, score float64) Pair {
 // TopKJoin returns the k unordered pairs with the highest estimated
 // similarity, in descending score order. Each worker keeps a local top-k
 // and the partial answers are merged at the end.
-func TopKJoin(g *graph.Graph, k int, opt Options) ([]Pair, error) {
+func TopKJoin(g graph.View, k int, opt Options) ([]Pair, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("simjoin: k = %d must be positive", k)
 	}
@@ -184,7 +189,7 @@ func TopKJoin(g *graph.Graph, k int, opt Options) ([]Pair, error) {
 // u's query. A pair with both endpoints in the source set is owned by the
 // smaller endpoint; a pair with one source endpoint is owned by that
 // source. fn may run concurrently.
-func forEachSource(g *graph.Graph, opt Options, fn func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool)) error {
+func forEachSource(g graph.View, opt Options, fn func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool)) error {
 	sources := opt.sourcesFor(g)
 	if len(sources) == 0 {
 		return nil
