@@ -5,6 +5,7 @@ package probesim_test
 // cluster, similarity joins, and the supporting substrates they use.
 
 import (
+	"context"
 	"testing"
 
 	"probesim/internal/cluster"
@@ -100,7 +101,7 @@ func BenchmarkJoinTopK(b *testing.B) {
 	opt := simjoin.Options{Query: core.Options{EpsA: 0.15, Seed: 1}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := simjoin.TopKJoin(g, 10, opt); err != nil {
+		if _, err := simjoin.TopKJoin(context.Background(), g, 10, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkProgressiveTopK(b *testing.B) {
 	b.Run("static", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.TopK(g, u, 10, opt); err != nil {
+			if _, err := core.TopK(context.Background(), g, u, 10, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -148,7 +149,7 @@ func BenchmarkProgressiveTopK(b *testing.B) {
 	b.Run("progressive", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.TopKProgressive(g, u, 10, opt); err != nil {
+			if _, _, err := core.TopKProgressive(context.Background(), g, u, 10, opt); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -18,6 +18,7 @@ package probesim_test
 // Committed results live in BENCH_PR2.json.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -125,11 +126,11 @@ func BenchmarkShardedSingleSource(b *testing.B) {
 	opt := snapshotBenchOpts()
 
 	st := shard.NewStore(g, shardBenchShards, 0)
-	want, err := core.SingleSource(g.Snapshot(), u, opt)
+	want, err := core.SingleSource(context.Background(), g.Snapshot(), u, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
-	got, err := core.SingleSource(st.Current(), u, opt)
+	got, err := core.SingleSource(context.Background(), st.Current(), u, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func BenchmarkShardedSingleSource(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			out, err := ex.SingleSourceInto(u, buf)
+			out, err := ex.SingleSourceInto(context.Background(), u, buf)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,7 +159,7 @@ func BenchmarkShardedSingleSource(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			out, err := ex.SingleSourceInto(u, buf)
+			out, err := ex.SingleSourceInto(context.Background(), u, buf)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -16,7 +16,9 @@ package probesim_test
 // Committed results live in BENCH_PR1.json.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"probesim/internal/core"
 	"probesim/internal/gen"
@@ -55,11 +57,11 @@ func snapshotBenchOpts() core.Options {
 
 func assertVariantsAgree(b *testing.B, g *graph.Graph, ex *core.Executor, u graph.NodeID) {
 	b.Helper()
-	want, err := core.SingleSource(g, u, snapshotBenchOpts())
+	want, err := core.SingleSource(context.Background(), g, u, snapshotBenchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
-	got, err := ex.SingleSource(u)
+	got, err := ex.SingleSource(context.Background(), u)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func BenchmarkSingleSourceSlices(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SingleSource(g, u, opt); err != nil {
+				if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -100,7 +102,7 @@ func BenchmarkSingleSourceSnapshot(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out, err := ex.SingleSourceInto(u, buf)
+				out, err := ex.SingleSourceInto(context.Background(), u, buf)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -108,6 +110,70 @@ func BenchmarkSingleSourceSnapshot(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSingleSourceBudgeted is BenchmarkSingleSourceSnapshot with an
+// ARMED budget meter: a far-off deadline plus generous walk/work caps, so
+// every checkpoint, walk charge and per-level work charge executes but
+// never trips. The delta against BenchmarkSingleSourceSnapshot (whose
+// un-budgeted queries run with a nil meter) prices the deadline seam
+// itself; BENCH_PR3.json records both next to the PR2 numbers.
+func BenchmarkSingleSourceBudgeted(b *testing.B) {
+	for _, name := range []string{"er", "pa"} {
+		b.Run(name, func(b *testing.B) {
+			g := snapshotBenchGraph(b, name)
+			u := benchQuery(b, g)
+			opt := snapshotBenchOpts()
+			opt.Budget = core.Budget{
+				Timeout:      time.Hour,
+				MaxWalks:     1 << 40,
+				MaxProbeWork: 1 << 60,
+			}
+			ex := core.NewExecutor(g, opt)
+			buf := make([]float64, g.NumNodes())
+			// Warm the scratch pool exactly like the Snapshot variant does
+			// via its agreement check, so both loops time steady state.
+			if _, err := ex.SingleSourceInto(context.Background(), u, buf); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := ex.SingleSourceInto(context.Background(), u, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out
+			}
+		})
+	}
+}
+
+// BenchmarkTopKBudget prices the deadline seam on the top-k path: the
+// same top-50 query through the pooled executor with a nil meter
+// (unbudgeted) and with an armed-but-never-tripping meter (budgeted).
+func BenchmarkTopKBudget(b *testing.B) {
+	g := snapshotBenchGraph(b, "pa")
+	u := benchQuery(b, g)
+	run := func(b *testing.B, opt core.Options) {
+		ex := core.NewExecutor(g, opt)
+		if _, err := ex.TopK(context.Background(), u, 50); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.TopK(context.Background(), u, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unbudgeted", func(b *testing.B) { run(b, snapshotBenchOpts()) })
+	b.Run("budgeted", func(b *testing.B) {
+		opt := snapshotBenchOpts()
+		opt.Budget = core.Budget{Timeout: time.Hour, MaxWalks: 1 << 40, MaxProbeWork: 1 << 60}
+		run(b, opt)
+	})
 }
 
 // BenchmarkSnapshotBuild prices publication: the O(n+m) cost a mutation

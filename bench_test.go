@@ -10,6 +10,7 @@
 package probesim_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -82,7 +83,7 @@ func BenchmarkFig4SingleSource(b *testing.B) {
 				opt := core.Options{EpsA: eps, Seed: 1}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.SingleSource(g, u, opt); err != nil {
+					if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -138,7 +139,7 @@ func BenchmarkFig567TopK(b *testing.B) {
 		opt := core.Options{EpsA: 0.1, Seed: 1}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.TopK(g, u, k, opt); err != nil {
+			if _, err := core.TopK(context.Background(), g, u, k, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -178,7 +179,7 @@ func BenchmarkTable4Large(b *testing.B) {
 			opt := core.Options{EpsA: 0.1, Seed: 1}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.TopK(g, u, 50, opt); err != nil {
+				if _, err := core.TopK(context.Background(), g, u, 50, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -213,7 +214,7 @@ func BenchmarkTable4Large(b *testing.B) {
 func BenchmarkFig8910Pooling(b *testing.B) {
 	g := benchGraph(b, "livejournal-s")
 	u := benchQuery(b, g)
-	ps, err := core.TopK(g, u, 50, core.Options{EpsA: 0.1, Seed: 1})
+	ps, err := core.TopK(context.Background(), g, u, 50, core.Options{EpsA: 0.1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func BenchmarkAblationModes(b *testing.B) {
 			opt := core.Options{EpsA: 0.1, Mode: mode, Seed: 1}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SingleSource(g, u, opt); err != nil {
+				if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -269,7 +270,7 @@ func BenchmarkAblationWorkers(b *testing.B) {
 			opt := core.Options{EpsA: 0.1, Workers: w, Seed: 1}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SingleSource(g, u, opt); err != nil {
+				if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -382,7 +383,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 	b.Run("SingleSource", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := probesim.SingleSource(g, u, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
+			if _, err := probesim.SingleSource(context.Background(), g, u, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -390,7 +391,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 	b.Run("TopK", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := probesim.TopK(g, u, 50, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
+			if _, err := probesim.TopK(context.Background(), g, u, 50, probesim.Options{EpsA: 0.1, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

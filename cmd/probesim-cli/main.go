@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -42,6 +44,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 		prog       = flag.Bool("progressive", false, "answer top-k with the any-time algorithm (stops early when the ranking separates)")
+		timeout    = flag.Duration("timeout", 0, "query deadline (0 = none); an expired query prints the budget error")
+		maxWalks   = flag.Int64("max-walks", 0, "cap on √c-walk trials (0 = the plan's derived count)")
+		maxWork    = flag.Int64("max-probe-work", 0, "cap on probe edge traversals (0 = uncapped)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -71,7 +76,12 @@ func main() {
 
 	opt := probesim.Options{
 		C: *c, EpsA: *epsA, Delta: *delta, Mode: m, Seed: *seed, Workers: *workers,
+		Budget: probesim.Budget{Timeout: *timeout, MaxWalks: *maxWalks, MaxProbeWork: *maxWork},
 	}
+	// Ctrl-C cancels the in-flight query at its next kernel checkpoint
+	// instead of killing the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	plan, err := probesim.PlanFor(opt, g.NumNodes())
 	if err != nil {
 		fatal(err)
@@ -82,7 +92,7 @@ func main() {
 	u := probesim.NodeID(*query)
 	start = time.Now()
 	if *ss {
-		scores, err := probesim.SingleSource(g, u, opt)
+		scores, err := probesim.SingleSource(ctx, g, u, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +127,7 @@ func main() {
 			fmt.Printf("%3d. node %-10d s = %.5f\n", i+1, p.v, p.s)
 		}
 	} else if *prog {
-		res, stats, err := probesim.TopKProgressive(g, u, *k, opt)
+		res, stats, err := probesim.TopKProgressive(ctx, g, u, *k, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +139,7 @@ func main() {
 			fmt.Printf("%3d. node %-10d s = %.5f\n", i+1, r.Node, r.Score)
 		}
 	} else {
-		res, err := probesim.TopK(g, u, *k, opt)
+		res, err := probesim.TopK(ctx, g, u, *k, opt)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,23 +10,51 @@
 //	POST /edges?u=1&v=2           -> add edge 1->2 (invalidates cached answers)
 //	DELETE /edges?u=1&v=2         -> remove edge 1->2
 //	GET  /stats                   -> graph, cache and shard-publication statistics
+//	GET  /metrics                 -> Prometheus text: per-route latency histograms,
+//	                                 in-flight gauges, timeout/rejection counters
 //
 // Queries run lock-free against the published immutable snapshot; updates
 // serialize on a write mutex and republish.
+//
+// # Operational limits
+//
+// Every query route runs under -query-timeout (surfaced as HTTP 504 with
+// Retry-After when it expires — the kernels stop at their next budget
+// checkpoint, so an expired deadline never keeps burning CPU). At most
+// -max-inflight similarity queries execute concurrently; excess requests
+// are rejected immediately with 503 + Retry-After. Writers queue on the
+// mutation mutex at most -max-write-queue deep; beyond that edge batches
+// get 503 backpressure instead of piling onto the lock. -max-walks and
+// -max-probe-work cap each query's work directly (503 when exhausted).
 //
 // With -shards=P the graph is partitioned by source node into up to P
 // shards, each with its own CSR snapshot: an edge update republishes only
 // the shards it touched (O(batch + touched shards) instead of O(n+m)),
 // which is the configuration for high-churn dynamic workloads. -shards=0
-// (the default) keeps the monolithic snapshot.
+// (the default) keeps the monolithic snapshot. -eager-spans additionally
+// materializes each new snapshot's dense span arrays on a background
+// goroutine right after publication, so the first query after a batch
+// never pays the densification.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain-timeout; queries that outlive the
+// drain are canceled through the same context seam and unwind with a
+// 499 "request canceled" response (the connection is being torn down —
+// the status exists for logs and metrics).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"probesim"
 	"probesim/internal/server"
@@ -47,6 +75,15 @@ func main() {
 		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
 		shards     = flag.Int("shards", 0, "partition the graph into up to this many shards (0 = monolithic snapshot)")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none); expiry returns HTTP 504")
+		maxInflight  = flag.Int("max-inflight", 64, "concurrent similarity queries before 503 rejection (0 = unlimited)")
+		maxJoins     = flag.Int("max-join-inflight", 1, "concurrent /join/topk + /components scans")
+		maxWriteQ    = flag.Int("max-write-queue", 64, "writers queued on the mutation lock before 503 backpressure (0 = unlimited)")
+		maxWalks     = flag.Int64("max-walks", 0, "per-query cap on √c-walk trials (0 = the plan's derived count)")
+		maxWork      = flag.Int64("max-probe-work", 0, "per-query cap on probe edge traversals (0 = uncapped)")
+		eagerSpans   = flag.Bool("eager-spans", false, "with -shards: materialize snapshot span arrays in the background after each publication")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -67,17 +104,74 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := probesim.Options{C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed}
+	opt := probesim.Options{
+		C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed,
+		Budget: probesim.Budget{MaxWalks: *maxWalks, MaxProbeWork: *maxWork},
+	}
 	var srv *server.Server
 	if *shards > 0 {
 		st := shard.NewStore(g, *shards, *rebuildW)
+		if *eagerSpans {
+			st.EnableEagerSpans()
+		}
 		srv = server.NewSharded(st, opt, *cacheCap, *limit)
-		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, stride %d)",
-			g.NumNodes(), g.NumEdges(), *addr, st.NumShards(), st.Partition().Stride())
+		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, stride %d, eager-spans=%v)",
+			g.NumNodes(), g.NumEdges(), *addr, st.NumShards(), st.Partition().Stride(), *eagerSpans)
 	} else {
 		srv = server.New(g, opt, *cacheCap, *limit)
 		log.Printf("probesim-server: serving n=%d m=%d on %s (monolithic snapshot)",
 			g.NumNodes(), g.NumEdges(), *addr)
 	}
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv.SetLimits(server.Limits{
+		MaxInflight:     *maxInflight,
+		MaxJoinInflight: *maxJoins,
+		MaxWriteQueue:   *maxWriteQ,
+		QueryTimeout:    *queryTimeout,
+	})
+	log.Printf("probesim-server: limits: query-timeout=%v max-inflight=%d max-join-inflight=%d max-write-queue=%d",
+		*queryTimeout, *maxInflight, *maxJoins, *maxWriteQ)
+
+	// Every request context descends from baseCtx via BaseContext, so the
+	// shutdown path below can cancel straggling queries through the same
+	// context seam a per-request timeout uses. baseCtx stays live during
+	// the drain window — draining means letting in-flight work finish.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	procCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-procCtx.Done():
+	}
+	log.Printf("probesim-server: signal received, draining in-flight requests (up to %v)", *drainTO)
+	// Shutdown stops the listener and waits for in-flight handlers up to
+	// the drain deadline. Past it, cancel baseCtx: every straggler's
+	// query stops at its next kernel checkpoint and unwinds (499), after
+	// which a short second Shutdown reaps the connections.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	err = hs.Shutdown(drainCtx)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Printf("probesim-server: drain window expired; canceling straggling queries")
+		cancelBase()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelFinal()
+		if err := hs.Shutdown(finalCtx); err != nil {
+			log.Printf("probesim-server: forced shutdown: %v", err)
+		}
+	case err != nil:
+		log.Printf("probesim-server: shutdown: %v", err)
+	}
+	log.Printf("probesim-server: bye")
 }

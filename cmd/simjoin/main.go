@@ -10,9 +10,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"probesim"
 )
@@ -58,11 +60,15 @@ func main() {
 		Query:   probesim.Options{C: *c, EpsA: *eps, Seed: *seed},
 		Workers: *workers,
 	}
+	// Ctrl-C cancels the join: dispatch stops and in-flight per-source
+	// queries stop at their next kernel checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var pairs []probesim.Pair
 	if *theta > 0 {
-		pairs, err = probesim.ThresholdJoin(g, *theta, opt)
+		pairs, err = probesim.ThresholdJoin(ctx, g, *theta, opt)
 	} else {
-		pairs, err = probesim.TopKJoin(g, *k, opt)
+		pairs, err = probesim.TopKJoin(ctx, g, *k, opt)
 	}
 	if err != nil {
 		fatal(err)

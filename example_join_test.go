@@ -1,6 +1,7 @@
 package probesim_test
 
 import (
+	"context"
 	"fmt"
 
 	"probesim"
@@ -16,7 +17,7 @@ func ExampleThresholdJoin() {
 	if err != nil {
 		panic(err)
 	}
-	pairs, err := probesim.ThresholdJoin(g, 0.5, probesim.JoinOptions{
+	pairs, err := probesim.ThresholdJoin(context.Background(), g, 0.5, probesim.JoinOptions{
 		Query: probesim.Options{EpsA: 0.01, Seed: 1},
 	})
 	if err != nil {
@@ -39,7 +40,7 @@ func ExampleTopKProgressive() {
 	if err != nil {
 		panic(err)
 	}
-	top, stats, err := probesim.TopKProgressive(g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	top, stats, err := probesim.TopKProgressive(context.Background(), g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
 	if err != nil {
 		panic(err)
 	}

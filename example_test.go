@@ -1,6 +1,7 @@
 package probesim_test
 
 import (
+	"context"
 	"fmt"
 
 	"probesim"
@@ -13,7 +14,7 @@ func ExampleSingleSource() {
 	_ = g.AddEdge(0, 1)
 	_ = g.AddEdge(0, 2)
 
-	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	scores, err := probesim.SingleSource(context.Background(), g, 1, probesim.Options{EpsA: 0.01, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -32,7 +33,7 @@ func ExampleTopK() {
 	if err != nil {
 		panic(err)
 	}
-	top, err := probesim.TopK(g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
+	top, err := probesim.TopK(context.Background(), g, 1, 1, probesim.Options{EpsA: 0.01, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -47,10 +48,10 @@ func ExampleNewQuerier() {
 	_ = g.AddEdge(0, 2)
 
 	q := probesim.NewQuerier(g, probesim.Options{EpsA: 0.05, Seed: 1}, 16)
-	if _, err := q.SingleSource(1); err != nil {
+	if _, err := q.SingleSource(context.Background(), 1); err != nil {
 		panic(err)
 	}
-	if _, err := q.SingleSource(1); err != nil { // served from cache
+	if _, err := q.SingleSource(context.Background(), 1); err != nil { // served from cache
 		panic(err)
 	}
 	hits, misses, _ := q.Stats()
@@ -58,7 +59,7 @@ func ExampleNewQuerier() {
 
 	// Any mutation invalidates the cache automatically.
 	_ = g.AddEdge(1, 2)
-	if _, err := q.SingleSource(1); err != nil {
+	if _, err := q.SingleSource(context.Background(), 1); err != nil {
 		panic(err)
 	}
 	_, misses2, _ := q.Stats()

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A scale-free social graph with reciprocal follows: hubs give some
 	// queries clear winners, the tail gives others near-ties.
 	g := gen.PreferentialAttachment(2000, 6, 11)
@@ -36,14 +38,14 @@ func main() {
 		"query", "static(ms)", "anytime(ms)", "walks", "walks%", "separated")
 	for _, u := range []probesim.NodeID{1, 7, 100, 1500, 1999} {
 		start := time.Now()
-		static, err := probesim.TopK(g, u, 5, opt)
+		static, err := probesim.TopK(ctx, g, u, 5, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		staticMs := float64(time.Since(start).Microseconds()) / 1000
 
 		start = time.Now()
-		prog, stats, err := probesim.TopKProgressive(g, u, 5, opt)
+		prog, stats, err := probesim.TopKProgressive(ctx, g, u, 5, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Start from a power-law "follower" graph (50k users).
 	const users = 50000
 	g := gen.PreferentialAttachment(users, 12, 7)
@@ -28,7 +30,7 @@ func main() {
 
 	// Query before any updates.
 	start := time.Now()
-	before, err := probesim.TopK(g, celebrity, 5, opt)
+	before, err := probesim.TopK(ctx, g, celebrity, 5, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func main() {
 
 	// Query immediately after the burst: same latency, fresh answer.
 	start = time.Now()
-	after, err := probesim.TopK(g, celebrity, 5, opt)
+	after, err := probesim.TopK(ctx, g, celebrity, 5, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

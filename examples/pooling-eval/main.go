@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,6 +26,7 @@ import (
 const k = 20
 
 func main() {
+	ctx := context.Background()
 	// A mid-size social graph: exact SimRank would need an n×n matrix.
 	g := gen.PreferentialAttachment(30000, 12, 3)
 	fmt.Printf("graph: n=%d m=%d — too large for the Power Method oracle\n", g.NumNodes(), g.NumEdges())
@@ -40,7 +42,7 @@ func main() {
 	var entries []entry
 
 	start := time.Now()
-	ps, err := probesim.TopK(g, query, k, probesim.Options{EpsA: 0.1, Seed: 1})
+	ps, err := probesim.TopK(ctx, g, query, k, probesim.Options{EpsA: 0.1, Seed: 1})
 	must(err)
 	entries = append(entries, entry{"ProbeSim", ps, time.Since(start)})
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A toy citation graph: papers cite earlier papers.
 	//
 	//	      0 (survey)
@@ -37,7 +39,7 @@ func main() {
 	// How similar is every paper to foundA? Guarantee: every score within
 	// 0.02 of exact SimRank with probability 99%.
 	opt := probesim.Options{EpsA: 0.02, Delta: 0.01, Seed: 42}
-	scores, err := probesim.SingleSource(g, 1, opt)
+	scores, err := probesim.SingleSource(ctx, g, 1, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	// Top-2 most similar papers to follow2, which is cited by... nothing,
 	// but cites nothing either — it is *similar* to papers whose citers
 	// overlap with its citers (foundA and foundB cite it).
-	top, err := probesim.TopK(g, 4, 2, opt)
+	top, err := probesim.TopK(ctx, g, 4, 2, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

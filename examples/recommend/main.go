@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sizes := []int{60, 60, 60}
 	g := gen.StochasticBlockModel(sizes, 0.12, 0.004, 5)
 	block := gen.BlockOf(sizes)
@@ -28,7 +30,7 @@ func main() {
 	k := 10
 	users := []probesim.NodeID{5, 70, 130}
 	for _, u := range users {
-		top, err := probesim.TopK(g, u, k, opt)
+		top, err := probesim.TopK(ctx, g, u, k, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +48,7 @@ func main() {
 	}
 
 	// The global view: which pairs of users are most similar overall?
-	pairs, err := probesim.TopKJoin(g, 5, probesim.JoinOptions{
+	pairs, err := probesim.TopKJoin(ctx, g, 5, probesim.JoinOptions{
 		Query: probesim.Options{EpsA: 0.05, Seed: 3},
 	})
 	if err != nil {

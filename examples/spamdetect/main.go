@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -30,6 +31,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	// The legitimate web: scale-free link structure.
 	g := gen.PreferentialAttachment(legitPages, 3, 7)
 
@@ -58,7 +60,7 @@ func main() {
 	opt := probesim.Options{EpsA: 0.05, Delta: 0.01, Seed: 11}
 	suspicion := make([]float64, g.NumNodes())
 	for s := 0; s < seedCount; s++ {
-		scores, err := probesim.SingleSource(g, farm[s], opt)
+		scores, err := probesim.SingleSource(ctx, g, farm[s], opt)
 		if err != nil {
 			log.Fatal(err)
 		}

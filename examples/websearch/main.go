@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A web-like graph: 2^15 pages, ~600k hyperlinks, skewed in-degrees.
 	g := gen.RMAT(15, 600000, 0.57, 0.19, 0.19, 0.05, 11)
 	fmt.Printf("web graph: %d pages, %d links\n", g.NumNodes(), g.NumEdges())
@@ -42,7 +44,7 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		top, err := probesim.TopK(g, query, 5, opt)
+		top, err := probesim.TopK(ctx, g, query, 5, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

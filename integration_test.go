@@ -1,6 +1,7 @@
 package probesim_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -42,7 +43,7 @@ func TestFiveWayAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps, err := probesim.SingleSource(g, u, probesim.Options{EpsA: 0.05, Seed: 3})
+	ps, err := probesim.SingleSource(context.Background(), g, u, probesim.Options{EpsA: 0.05, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestDirectionSensitivity(t *testing.T) {
 		}
 	}
 	opt := probesim.Options{EpsA: 0.02, Seed: 1}
-	fwd, err := probesim.SingleSource(g, 1, opt)
+	fwd, err := probesim.SingleSource(context.Background(), g, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := probesim.SingleSource(g.Transpose(), 1, opt)
+	rev, err := probesim.SingleSource(context.Background(), g.Transpose(), 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestTopKPrefixProperty(t *testing.T) {
 			return true
 		}
 		opt := probesim.Options{EpsA: 0.1, Seed: seed%97 + 1}
-		small, err := probesim.TopK(g, u, 5, opt)
+		small, err := probesim.TopK(context.Background(), g, u, 5, opt)
 		if err != nil {
 			return false
 		}
-		big, err := probesim.TopK(g, u, 15, opt)
+		big, err := probesim.TopK(context.Background(), g, u, 15, opt)
 		if err != nil {
 			return false
 		}
@@ -149,11 +150,11 @@ func TestQuerierMatchesDirectAcrossUpdates(t *testing.T) {
 	q := probesim.NewQuerier(g, opt, 4)
 	for round := 0; round < 3; round++ {
 		for _, u := range []graph.NodeID{1, 2} {
-			cached, err := q.SingleSource(u)
+			cached, err := q.SingleSource(context.Background(), u)
 			if err != nil {
 				t.Fatal(err)
 			}
-			direct, err := probesim.SingleSource(g, u, opt)
+			direct, err := probesim.SingleSource(context.Background(), g, u, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,7 +185,7 @@ func TestSharedParentClosedFormAcrossAlgorithms(t *testing.T) {
 		}
 	}
 	const c = 0.6
-	if est, err := probesim.SingleSource(g, 0, probesim.Options{C: c, EpsA: 0.02, Seed: 2}); err != nil {
+	if est, err := probesim.SingleSource(context.Background(), g, 0, probesim.Options{C: c, EpsA: 0.02, Seed: 2}); err != nil {
 		t.Fatal(err)
 	} else if math.Abs(est[1]-c) > 0.02 {
 		t.Errorf("ProbeSim s(0,1) = %v, want %v", est[1], c)
@@ -213,7 +214,7 @@ func TestModesMutuallyConsistent(t *testing.T) {
 		probesim.ModeAuto, probesim.ModeBasic, probesim.ModePruned,
 		probesim.ModeBatch, probesim.ModeRandomized, probesim.ModeHybrid,
 	} {
-		est, err := probesim.SingleSource(g, u, probesim.Options{EpsA: epsA, Mode: m, Seed: 7})
+		est, err := probesim.SingleSource(context.Background(), g, u, probesim.Options{EpsA: epsA, Mode: m, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}

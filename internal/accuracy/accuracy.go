@@ -8,6 +8,7 @@
 package accuracy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,7 +66,7 @@ func Coverage(g *graph.Graph, truth *power.Matrix, queries []graph.NodeID, opt c
 			qo.Seed = 1
 		}
 		qo.Seed += uint64(i) * 0x9e3779b97f4a7c15
-		est, err := core.SingleSource(g, u, qo)
+		est, err := core.SingleSource(context.Background(), g, u, qo)
 		if err != nil {
 			return rep, fmt.Errorf("accuracy: query %d (node %d): %w", i, u, err)
 		}

@@ -1,0 +1,176 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMeterIsUnbounded(t *testing.T) {
+	var m *Meter
+	if m.Stopped() || m.Poll() || m.Err() != nil {
+		t.Fatal("nil meter must never stop")
+	}
+	m.ChargeWalks(1 << 40)
+	m.ChargeWork(1 << 40)
+	if m.Stopped() {
+		t.Fatal("nil meter tripped on charges")
+	}
+	cp := NewCheckpoint(nil, 4)
+	for i := 0; i < 100; i++ {
+		if cp.Stop() {
+			t.Fatal("nil-meter checkpoint stopped")
+		}
+	}
+}
+
+func TestNewReturnsNilWhenUnconstrained(t *testing.T) {
+	if m := New(context.Background(), 0, 0, 0); m != nil {
+		t.Fatalf("unconstrained query got a meter: %+v", m)
+	}
+	if m := New(nil, 0, 0, 0); m != nil {
+		t.Fatal("nil context, no constraints: want nil meter")
+	}
+}
+
+func TestNewArmsForEachConstraint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cases := map[string]*Meter{
+		"cancelable ctx": New(ctx, 0, 0, 0),
+		"timeout":        New(context.Background(), time.Hour, 0, 0),
+		"walk cap":       New(context.Background(), 0, 10, 0),
+		"work cap":       New(context.Background(), 0, 0, 10),
+	}
+	for name, m := range cases {
+		if m == nil {
+			t.Errorf("%s: want non-nil meter", name)
+		}
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	m := New(context.Background(), time.Microsecond, 0, 0)
+	time.Sleep(2 * time.Millisecond)
+	if !m.Poll() {
+		t.Fatal("expired deadline did not trip on Poll")
+	}
+	err := m.Err()
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T is not *Error", err)
+	}
+}
+
+func TestContextDeadlineWins(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	m := New(ctx, time.Hour, 0, 0)
+	time.Sleep(2 * time.Millisecond)
+	if !m.Poll() {
+		t.Fatal("ctx deadline earlier than timeout did not trip")
+	}
+}
+
+func TestCancellationTrips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := New(ctx, 0, 0, 0)
+	if m.Poll() {
+		t.Fatal("tripped before cancel")
+	}
+	cancel()
+	if !m.Poll() {
+		t.Fatal("canceled context did not trip")
+	}
+	if err := m.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestWalkAndWorkCaps(t *testing.T) {
+	m := New(context.Background(), 0, 5, 0)
+	m.ChargeWalks(5)
+	if m.Stopped() {
+		t.Fatal("tripped at exactly the walk cap")
+	}
+	m.ChargeWalks(1)
+	if !m.Stopped() {
+		t.Fatal("did not trip past the walk cap")
+	}
+	if err := m.Err(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+
+	m = New(context.Background(), 0, 0, 100)
+	m.ChargeWork(60)
+	m.ChargeWork(60)
+	if !m.Stopped() {
+		t.Fatal("did not trip past the work cap")
+	}
+	var be *Error
+	if err := m.Err(); !errors.As(err, &be) || be.Work != 120 {
+		t.Fatalf("err = %v, want *Error with Work=120", err)
+	}
+}
+
+func TestFirstCauseLatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(ctx, 0, 1, 0)
+	m.ChargeWalks(2) // trips with ErrBudget
+	cancel()
+	m.Poll()
+	if err := m.Err(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("later cancellation overwrote first cause: %v", err)
+	}
+}
+
+func TestCheckpointPollsOnFirstCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead on arrival
+	cp := NewCheckpoint(New(ctx, 0, 0, 0), 1000)
+	if !cp.Stop() {
+		t.Fatal("checkpoint must poll on its first call")
+	}
+}
+
+func TestCheckpointAmortizes(t *testing.T) {
+	// A meter whose only constraint is a walk cap never needs Poll to
+	// trip; verify the checkpoint still notices via the shared flag.
+	m := New(context.Background(), 0, 1, 0)
+	cp := NewCheckpoint(m, 8)
+	if cp.Stop() {
+		t.Fatal("stopped before any charge")
+	}
+	m.ChargeWalks(2)
+	if !cp.Stop() {
+		t.Fatal("checkpoint missed the shared stopped flag")
+	}
+}
+
+func TestConcurrentWorkersShareMeter(t *testing.T) {
+	m := New(context.Background(), 0, 1000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cp := NewCheckpoint(m, 4)
+			for !cp.Stop() {
+				m.ChargeWalks(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if !m.Stopped() {
+		t.Fatal("meter never tripped")
+	}
+	if w := m.Walks(); w < 1000 || w > 1000+8 {
+		t.Fatalf("walks charged = %d, want within one per-worker overshoot of 1000", w)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,7 +22,12 @@ type SnapshotProvider interface {
 	// PublishView republishes if the mutable side moved and returns the
 	// (possibly unchanged) published view. Callers must serialize it
 	// against mutations of the underlying graph, never against readers.
-	PublishView() graph.VersionedView
+	//
+	// A canceled ctx aborts the (re)publication and returns an error with
+	// the previously published view: the mutable side keeps its pending
+	// changes and the next PublishView picks them up, so cancellation can
+	// delay visibility but never corrupt it.
+	PublishView(ctx context.Context) (graph.VersionedView, error)
 }
 
 // graphProvider is the monolithic SnapshotProvider: one *graph.Snapshot
@@ -41,15 +47,20 @@ func newGraphProvider(g *graph.Graph) *graphProvider {
 
 func (p *graphProvider) PublishedView() graph.VersionedView { return p.snap.Load() }
 
-func (p *graphProvider) PublishView() graph.VersionedView {
+func (p *graphProvider) PublishView(ctx context.Context) (graph.VersionedView, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s := p.snap.Load(); s.Version() == p.g.Version() {
-		return s
+		return s, nil
+	}
+	// The monolithic rebuild is one uninterruptible O(n+m) pass; honor
+	// cancellation at the boundary rather than mid-copy.
+	if err := ctx.Err(); err != nil {
+		return p.snap.Load(), fmt.Errorf("core: snapshot publication aborted: %w", err)
 	}
 	s := p.g.Snapshot()
 	p.snap.Store(s)
-	return s
+	return s, nil
 }
 
 // Executor is the serving-path front end for ProbeSim queries over a
@@ -101,26 +112,39 @@ func (e *Executor) Snapshot() graph.VersionedView { return e.src.PublishedView()
 // since the last publication and returns the current view either way. The
 // caller must ensure no concurrent mutation while Refresh reads the
 // mutable side (the same contract as (*graph.Graph).Snapshot).
-func (e *Executor) Refresh() graph.VersionedView { return e.src.PublishView() }
+func (e *Executor) Refresh() graph.VersionedView {
+	v, _ := e.src.PublishView(context.Background())
+	return v
+}
+
+// RefreshCtx is Refresh with cancellation: a canceled ctx aborts the
+// publication (returning the previously published view and an error) and
+// leaves the pending mutations for the next publication. See
+// SnapshotProvider.PublishView for the consistency argument.
+func (e *Executor) RefreshCtx(ctx context.Context) (graph.VersionedView, error) {
+	return e.src.PublishView(ctx)
+}
 
 // SingleSource answers a single-source query against the current view
 // using pooled scratch. The returned vector is freshly allocated and owned
-// by the caller.
-func (e *Executor) SingleSource(u graph.NodeID) ([]float64, error) {
-	return singleSource(e.src.PublishedView(), u, e.opt, &e.pool)
+// by the caller. ctx and the executor options' Budget bound the query; a
+// stopped query returns its partial estimate alongside the error (see the
+// package-level SingleSource).
+func (e *Executor) SingleSource(ctx context.Context, u graph.NodeID) ([]float64, error) {
+	return singleSource(ctx, e.src.PublishedView(), u, e.opt, &e.pool)
 }
 
 // TopK answers a top-k query against the current view using pooled
 // scratch.
-func (e *Executor) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
+func (e *Executor) TopK(ctx context.Context, u graph.NodeID, k int) ([]ScoredNode, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
-	est, err := e.SingleSource(u)
-	if err != nil {
+	est, err := e.SingleSource(ctx, u)
+	if est == nil {
 		return nil, err
 	}
-	return SelectTopK(est, u, k), nil
+	return SelectTopK(est, u, k), err
 }
 
 // SingleSourceInto answers a single-source query against the current
@@ -129,14 +153,14 @@ func (e *Executor) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
 // steady-state query path allocation-free up to a handful of fixed-size
 // bookkeeping objects; it is meant for callers that consume a vector and
 // move on (serializers, aggregators) rather than retain it.
-func (e *Executor) SingleSourceInto(u graph.NodeID, dst []float64) ([]float64, error) {
-	return singleSourceInto(e.src.PublishedView(), u, e.opt, &e.pool, dst)
+func (e *Executor) SingleSourceInto(ctx context.Context, u graph.NodeID, dst []float64) ([]float64, error) {
+	return singleSourceInto(ctx, e.src.PublishedView(), u, e.opt, &e.pool, dst)
 }
 
 // SingleSourceOn runs a single-source query with the executor's scratch
 // pool against an explicit view (normally a view previously obtained
 // from Snapshot, so a caller can pin one consistent view across several
 // queries).
-func (e *Executor) SingleSourceOn(v graph.View, u graph.NodeID) ([]float64, error) {
-	return singleSource(v, u, e.opt, &e.pool)
+func (e *Executor) SingleSourceOn(ctx context.Context, v graph.View, u graph.NodeID) ([]float64, error) {
+	return singleSource(ctx, v, u, e.opt, &e.pool)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,19 +23,19 @@ func TestSnapshotSingleSourceBitIdentical(t *testing.T) {
 		opt := Options{Mode: mode, EpsA: 0.2, Seed: 5, Workers: 4, NumWalks: 300}
 		ex := NewExecutor(g, opt)
 		for u := graph.NodeID(0); u < 8; u++ {
-			want, err := SingleSource(g, u, opt)
+			want, err := SingleSource(context.Background(), g, u, opt)
 			if err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
-			fromSnap, err := SingleSource(snap, u, opt)
+			fromSnap, err := SingleSource(context.Background(), snap, u, opt)
 			if err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
-			pooled1, err := ex.SingleSource(u)
+			pooled1, err := ex.SingleSource(context.Background(), u)
 			if err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
-			pooled2, err := ex.SingleSource(u)
+			pooled2, err := ex.SingleSource(context.Background(), u)
 			if err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
@@ -44,7 +45,7 @@ func TestSnapshotSingleSourceBitIdentical(t *testing.T) {
 			for i := range dirty {
 				dirty[i] = -1
 			}
-			into, err := ex.SingleSourceInto(u, dirty)
+			into, err := ex.SingleSourceInto(context.Background(), u, dirty)
 			if err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
@@ -90,11 +91,11 @@ func TestSnapshotEquivalenceUnderChurn(t *testing.T) {
 		}
 		snap := g.Snapshot()
 		q := graph.NodeID(round * 13 % 200)
-		want, err := SingleSource(g, q, opt)
+		want, err := SingleSource(context.Background(), g, q, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := SingleSource(snap, q, opt)
+		got, err := SingleSource(context.Background(), snap, q, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func TestQuerierSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			scores, err := q.SingleSource(7)
+			scores, err := q.SingleSource(context.Background(), 7)
 			if err != nil {
 				t.Error(err)
 				return
@@ -203,7 +204,7 @@ func TestQuerierStaleSnapshotBypassesCache(t *testing.T) {
 	g := gen.ErdosRenyi(80, 320, 12)
 	opt := Options{EpsA: 0.3, Seed: 8, NumWalks: 80}
 	q := NewQuerierOn(NewExecutor(g, opt), 4)
-	if _, err := q.SingleSource(1); err != nil {
+	if _, err := q.SingleSource(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	_, _, cachedBefore := q.Stats()
@@ -213,7 +214,7 @@ func TestQuerierStaleSnapshotBypassesCache(t *testing.T) {
 	q.version++
 	bumped := q.version
 	q.mu.Unlock()
-	got, err := q.SingleSource(2)
+	got, err := q.SingleSource(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestQuerierStaleSnapshotBypassesCache(t *testing.T) {
 	if cachedAfter != cachedBefore {
 		t.Fatalf("stale-snapshot query disturbed the cache: %d -> %d vectors", cachedBefore, cachedAfter)
 	}
-	want, err := SingleSource(q.Executor().Snapshot(), 2, opt)
+	want, err := SingleSource(context.Background(), q.Executor().Snapshot(), 2, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestExecutorConcurrentQueryAndRefresh(t *testing.T) {
 		go func(seed int) {
 			defer wg.Done()
 			for !stop.Load() {
-				if _, err := ex.SingleSource(graph.NodeID(seed * 17 % 200)); err != nil {
+				if _, err := ex.SingleSource(context.Background(), graph.NodeID(seed*17%200)); err != nil {
 					t.Error(err)
 					return
 				}

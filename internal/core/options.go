@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"probesim/internal/walk"
 )
@@ -73,6 +74,12 @@ type Options struct {
 	// Default 1.
 	Seed uint64
 
+	// Budget bounds the query's resource consumption at serving time:
+	// wall clock, walk trials, probe work. The zero value is unbounded
+	// (the library default); serving stacks set it so a single huge query
+	// can never occupy the process indefinitely. See Budget.
+	Budget Budget
+
 	// NumWalks overrides the derived trial count nr when > 0 (used by the
 	// experiment harness to trade accuracy for speed explicitly).
 	NumWalks int
@@ -81,6 +88,35 @@ type Options struct {
 	// CompensateTruncation adds εt/2 to every non-zero estimate, halving
 	// the one-sided truncation error as suggested at the end of §4.1.
 	CompensateTruncation bool
+}
+
+// Budget bounds one query's resource consumption. Every limit is
+// best-effort-prompt rather than instantaneous: kernels check at
+// amortized checkpoints (every few walk trials, every probe level), so a
+// tripped budget surfaces within one checkpoint interval — microseconds
+// of work — while un-budgeted queries pay only a nil-check.
+//
+// A query stopped by its budget returns its partial estimate alongside
+// the error (wrapped budget.Error; errors.Is recognizes
+// context.DeadlineExceeded, context.Canceled and budget.ErrBudget). The
+// partial vector holds whatever the completed trials accumulated — a
+// systematic underestimate with no εa guarantee — so callers must treat
+// it as diagnostic, not as an answer.
+type Budget struct {
+	// Timeout bounds the query's wall-clock time. It combines with any
+	// context deadline (the earlier wins); 0 means no extra bound.
+	Timeout time.Duration
+	// MaxWalks caps the number of √c-walk trials across all workers.
+	// 0 means the plan's derived trial count is the only bound.
+	MaxWalks int64
+	// MaxProbeWork caps probe edge traversals across all workers, the
+	// dominant cost term of Algorithm 2. 0 means uncapped.
+	MaxProbeWork int64
+}
+
+// IsZero reports whether the budget imposes no constraint.
+func (b Budget) IsZero() bool {
+	return b.Timeout <= 0 && b.MaxWalks <= 0 && b.MaxProbeWork <= 0
 }
 
 func (o Options) withDefaults() Options {

@@ -10,15 +10,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/probe"
 	"probesim/internal/walk"
 	"probesim/internal/xrand"
 )
+
+// ErrBudget is returned (wrapped) when a query exhausts an explicit work
+// budget (Budget.MaxWalks or Budget.MaxProbeWork) rather than a deadline.
+// Deadline and cancellation stops unwrap to context.DeadlineExceeded and
+// context.Canceled respectively.
+var ErrBudget = budget.ErrBudget
 
 // ScoredNode is one entry of a top-k answer.
 type ScoredNode struct {
@@ -36,18 +44,25 @@ type ScoredNode struct {
 // not be mutated while the query runs; concurrent queries on the same view
 // are safe. For serving workloads prefer Executor, which adds snapshot
 // publication and scratch pooling on top of this entry point.
-func SingleSource(g graph.View, u graph.NodeID, opt Options) ([]float64, error) {
-	return singleSource(g, u, opt, nil)
+//
+// The query honors ctx and opt.Budget: cancellation, a deadline, or an
+// exhausted walk/work budget stops every worker at its next checkpoint
+// (amortized every few walk trials and every probe level, so detection
+// latency is microseconds of work). A stopped query returns its partial
+// estimate together with a non-nil error wrapping the cause — the partial
+// vector carries no accuracy guarantee.
+func SingleSource(ctx context.Context, g graph.View, u graph.NodeID, opt Options) ([]float64, error) {
+	return singleSource(ctx, g, u, opt, nil)
 }
 
-func singleSource(g graph.View, u graph.NodeID, opt Options, pool *scratchPool) ([]float64, error) {
-	return singleSourceInto(g, u, opt, pool, nil)
+func singleSource(ctx context.Context, g graph.View, u graph.NodeID, opt Options, pool *scratchPool) ([]float64, error) {
+	return singleSourceInto(ctx, g, u, opt, pool, nil)
 }
 
 // singleSourceInto is singleSource with an optional caller-provided result
 // buffer: when cap(dst) suffices the answer is written in place and no
 // result vector is allocated.
-func singleSourceInto(g graph.View, u graph.NodeID, opt Options, pool *scratchPool, dst []float64) ([]float64, error) {
+func singleSourceInto(ctx context.Context, g graph.View, u graph.NodeID, opt Options, pool *scratchPool, dst []float64) ([]float64, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -56,13 +71,18 @@ func singleSourceInto(g graph.View, u graph.NodeID, opt Options, pool *scratchPo
 	if u < 0 || int(u) >= n {
 		return nil, fmt.Errorf("core: query node %d out of range [0, %d)", u, n)
 	}
+	m := budget.New(ctx, opt.Budget.Timeout, opt.Budget.MaxWalks, opt.Budget.MaxProbeWork)
+	if m.Poll() {
+		// Dead on arrival: no work was done, so there is no partial result.
+		return nil, queryError(u, m)
+	}
 	plan := planFor(opt, n)
 	var est []float64
 	switch plan.Mode {
 	case ModeBasic, ModePruned, ModeRandomized:
-		est = runPerWalk(g, u, plan, pool, dst)
+		est = runPerWalk(g, u, plan, pool, dst, m)
 	case ModeAuto, ModeBatch, ModeHybrid:
-		est = runBatched(g, u, plan, pool, dst)
+		est = runBatched(g, u, plan, pool, dst, m)
 	}
 	if plan.Compensate && plan.EpsT > 0 {
 		half := plan.EpsT / 2
@@ -73,22 +93,32 @@ func singleSourceInto(g graph.View, u graph.NodeID, opt Options, pool *scratchPo
 		}
 	}
 	est[u] = 1 // s(u, u) = 1 by definition
+	if m.Stopped() {
+		return est, queryError(u, m)
+	}
 	return est, nil
+}
+
+// queryError wraps a tripped meter's error with the query identity.
+func queryError(u graph.NodeID, m *budget.Meter) error {
+	return fmt.Errorf("core: query %d: %w", u, m.Err())
 }
 
 // TopK answers an approximate top-k SimRank query (Definition 2): the k
 // nodes with the largest estimated similarity to u (excluding u itself),
 // in descending score order with node id breaking ties. If the graph has
-// fewer than k other nodes, all of them are returned.
-func TopK(g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, error) {
+// fewer than k other nodes, all of them are returned. Cancellation and
+// budget semantics follow SingleSource: a stopped query returns the
+// ranking of its partial estimate together with the error.
+func TopK(ctx context.Context, g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
-	est, err := SingleSource(g, u, opt)
-	if err != nil {
+	est, err := SingleSource(ctx, g, u, opt)
+	if est == nil {
 		return nil, err
 	}
-	return SelectTopK(est, u, k), nil
+	return SelectTopK(est, u, k), err
 }
 
 // SelectTopK extracts the k highest-scoring nodes from a single-source
@@ -156,7 +186,13 @@ func SelectTopK(est []float64, u graph.NodeID, k int) []ScoredNode {
 // partitioned across workers, each with its own RNG stream, scratch space
 // and accumulator. Scratch comes from pool when one is supplied (the
 // Executor's steady-state path) and is allocated fresh otherwise.
-func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64) []float64 {
+//
+// Each worker checkpoints the shared meter at every trial boundary (one
+// atomic load, with a full clock/context poll every checkpoint interval)
+// and between the probes of one walk's prefixes; once any worker trips
+// the meter, every worker drains out at its next check and the partial
+// accumulators merge normally, so scratch always returns to the pool.
+func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64, m *budget.Meter) []float64 {
 	n := g.NumNodes()
 	workers := plan.Workers
 	if workers > plan.NumWalks {
@@ -179,11 +215,20 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 			defer wg.Done()
 			acc := sc.acc
 			gen := walk.NewGenerator(g, plan.C, rng)
+			gen.SetMeter(m)
 			s := sc.det
+			s.SetMeter(m)
 			buf := sc.buf
+			cp := budget.NewCheckpoint(m, budget.DefaultInterval)
 			for t := 0; t < trials; t++ {
+				if cp.Stop() {
+					break
+				}
 				buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 				for i := 2; i <= len(buf); i++ {
+					if m.Stopped() {
+						break
+					}
 					prefix := buf[:i]
 					if plan.Mode == ModeRandomized {
 						for _, v := range probe.Randomized(g, prefix, plan.SqrtC, rng, s) {
@@ -196,6 +241,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 						}
 					}
 				}
+				m.ChargeWalks(1)
 			}
 			sc.buf = buf
 		}(hi-lo, rng, sc)
@@ -208,7 +254,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 // reachability tree from nr walks (§4.2), then probe each root-to-node
 // path once, weighted by how many walks share it. Paths are distributed
 // across workers by index.
-func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64) []float64 {
+func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64, m *budget.Meter) []float64 {
 	n := g.NumNodes()
 	rootRNG := xrand.New(plan.Seed)
 	// Walks come from stream 0, the same stream a single-worker per-walk
@@ -216,13 +262,22 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 	walkSC := pool.get(n)
 	tree := walkSC.walkTree(u)
 	gen := walk.NewGenerator(g, plan.C, rootRNG.Split(0))
+	gen.SetMeter(m)
 	buf := walkSC.buf
+	// Tree inserts are cheap relative to probes, so the walk stage polls
+	// at a coarser interval; a budget tripping here leaves a partial tree
+	// whose paths the (immediately draining) probe stage never expands.
+	cpWalk := budget.NewCheckpoint(m, 4*budget.DefaultInterval)
 	for t := 0; t < plan.NumWalks; t++ {
+		if cpWalk.Stop() {
+			break
+		}
 		buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 		if err := tree.Insert(buf); err != nil {
 			// Unreachable: walks always start at u.
 			panic(err)
 		}
+		m.ChargeWalks(1)
 	}
 	walkSC.buf = buf
 	// Enumerate paths into the pooled arena; they are consumed before the
@@ -252,17 +307,23 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 			defer wg.Done()
 			acc := sc.acc
 			det := sc.det
+			det.SetMeter(m)
 			var rnd *probe.Scratch
 			if hybrid {
 				rnd = sc.randomized()
+				rnd.SetMeter(m)
 			}
+			cp := budget.NewCheckpoint(m, budget.DefaultInterval)
 			for pi := w; pi < len(paths); pi += workers {
+				if cp.Stop() {
+					break
+				}
 				p := paths[pi]
 				// Each path gets its own RNG stream so results do not
 				// depend on the worker count.
 				rng := rootRNG.Split(uint64(pi) + 0x10000)
 				if hybrid {
-					probePathHybrid(g, p, plan, acc, det, rnd, rng)
+					probePathHybrid(g, p, plan, acc, det, rnd, rng, m)
 				} else {
 					res := probe.Deterministic(g, p.Nodes, plan.SqrtC, plan.EpsP, det)
 					scale := float64(p.Weight)
@@ -282,12 +343,12 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 // would cost more than c0·w·n edge traversals, finish each of the w walk
 // replicas with a randomized continuation seeded by Bernoulli(score)
 // membership of the current level (unbiased by Lemma 6).
-func probePathHybrid(g graph.View, p Path, plan Plan, acc []float64, det, rnd *probe.Scratch, rng *xrand.RNG) {
-	budget := plan.HybridC0 * float64(p.Weight) * float64(len(acc))
+func probePathHybrid(g graph.View, p Path, plan Plan, acc []float64, det, rnd *probe.Scratch, rng *xrand.RNG, m *budget.Meter) {
+	workCap := plan.HybridC0 * float64(p.Weight) * float64(len(acc))
 	st := probe.NewStepper(g, p.Nodes, plan.SqrtC, plan.EpsP, det)
 	for !st.Done() {
 		nodes, scores := st.Frontier()
-		if float64(st.FrontierOutDegreeSum()) > budget {
+		if float64(st.FrontierOutDegreeSum()) > workCap {
 			// Switch: snapshot the frontier, then run weight replicas.
 			level := st.Level()
 			fNodes := append([]graph.NodeID(nil), nodes...)
@@ -297,6 +358,12 @@ func probePathHybrid(g graph.View, p Path, plan Plan, acc []float64, det, rnd *p
 			}
 			members := make([]graph.NodeID, 0, len(fNodes))
 			for r := int64(0); r < p.Weight; r++ {
+				// A heavy path runs one replica per pooled walk; check the
+				// shared meter per replica so a huge-weight path cannot
+				// outlive the query's deadline by itself.
+				if m.Stopped() {
+					return
+				}
 				members = members[:0]
 				for i, v := range fNodes {
 					if rng.Float64() < fScores[i] {
@@ -307,6 +374,9 @@ func probePathHybrid(g graph.View, p Path, plan Plan, acc []float64, det, rnd *p
 					acc[v]++
 				}
 			}
+			return
+		}
+		if m.Stopped() {
 			return
 		}
 		st.Step()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -55,14 +56,14 @@ func TestOptionValidation(t *testing.T) {
 		{C: 1.5}, {C: -1}, {EpsA: 2}, {Delta: 2}, {Mode: Mode(99)},
 	}
 	for _, o := range bad {
-		if _, err := SingleSource(g, 0, o); err == nil {
+		if _, err := SingleSource(context.Background(), g, 0, o); err == nil {
 			t.Errorf("options %+v accepted", o)
 		}
 	}
-	if _, err := SingleSource(g, 99, Options{}); err == nil {
+	if _, err := SingleSource(context.Background(), g, 99, Options{}); err == nil {
 		t.Error("out-of-range query node accepted")
 	}
-	if _, err := TopK(g, 0, 0, Options{}); err == nil {
+	if _, err := TopK(context.Background(), g, 0, 0, Options{}); err == nil {
 		t.Error("k = 0 accepted")
 	}
 }
@@ -76,7 +77,7 @@ func TestGuaranteeToyGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range allModes {
-		est, err := SingleSource(g, graph.ToyA, Options{
+		est, err := SingleSource(context.Background(), g, graph.ToyA, Options{
 			C: 0.25, EpsA: 0.05, Delta: 0.01, Mode: mode, Seed: 7,
 		})
 		if err != nil {
@@ -100,7 +101,7 @@ func TestGuaranteeRandomGraph(t *testing.T) {
 	}
 	for _, mode := range allModes {
 		for _, u := range []graph.NodeID{3, 17, 42} {
-			est, err := SingleSource(g, u, Options{
+			est, err := SingleSource(context.Background(), g, u, Options{
 				C: 0.6, EpsA: 0.1, Delta: 0.01, Mode: mode, Seed: 5,
 			})
 			if err != nil {
@@ -124,7 +125,7 @@ func TestEstimatesInRange(t *testing.T) {
 	rng := xrand.New(8)
 	g := randomGraph(rng, 40, 150)
 	for _, mode := range allModes {
-		est, err := SingleSource(g, 0, Options{Mode: mode, EpsA: 0.2, NumWalks: 300})
+		est, err := SingleSource(context.Background(), g, 0, Options{Mode: mode, EpsA: 0.2, NumWalks: 300})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func TestZeroInDegreeSource(t *testing.T) {
 		}
 	}
 	for _, mode := range allModes {
-		est, err := SingleSource(g, 0, Options{Mode: mode, NumWalks: 100})
+		est, err := SingleSource(context.Background(), g, 0, Options{Mode: mode, NumWalks: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,11 +167,11 @@ func TestDeterministicResults(t *testing.T) {
 	g := randomGraph(rng, 50, 250)
 	for _, mode := range allModes {
 		opt := Options{Mode: mode, EpsA: 0.15, Seed: 11, Workers: 3, NumWalks: 500}
-		a, err := SingleSource(g, 5, opt)
+		a, err := SingleSource(context.Background(), g, 5, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := SingleSource(g, 5, opt)
+		b, err := SingleSource(context.Background(), g, 5, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,11 +189,11 @@ func TestBatchWorkerInvariance(t *testing.T) {
 	rng := xrand.New(4)
 	g := randomGraph(rng, 50, 250)
 	for _, mode := range []Mode{ModeBatch, ModeHybrid, ModeAuto} {
-		a, err := SingleSource(g, 2, Options{Mode: mode, Seed: 9, Workers: 1, NumWalks: 400})
+		a, err := SingleSource(context.Background(), g, 2, Options{Mode: mode, Seed: 9, Workers: 1, NumWalks: 400})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := SingleSource(g, 2, Options{Mode: mode, Seed: 9, Workers: 7, NumWalks: 400})
+		b, err := SingleSource(context.Background(), g, 2, Options{Mode: mode, Seed: 9, Workers: 7, NumWalks: 400})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,11 +216,11 @@ func TestBatchEquivalentToPruned(t *testing.T) {
 	// the batch mode's tree construction.
 	optA := Options{Mode: ModePruned, Seed: 21, Workers: 1, NumWalks: 300}
 	optB := Options{Mode: ModeBatch, Seed: 21, Workers: 1, NumWalks: 300}
-	a, err := SingleSource(g, 7, optA)
+	a, err := SingleSource(context.Background(), g, 7, optA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SingleSource(g, 7, optB)
+	b, err := SingleSource(context.Background(), g, 7, optB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,11 +236,11 @@ func TestBatchEquivalentToPruned(t *testing.T) {
 func TestHybridNoSwitchMatchesBatch(t *testing.T) {
 	rng := xrand.New(14)
 	g := randomGraph(rng, 40, 200)
-	a, err := SingleSource(g, 1, Options{Mode: ModeBatch, Seed: 3, NumWalks: 300})
+	a, err := SingleSource(context.Background(), g, 1, Options{Mode: ModeBatch, Seed: 3, NumWalks: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SingleSource(g, 1, Options{Mode: ModeHybrid, Seed: 3, NumWalks: 300, HybridC0: 1e18})
+	b, err := SingleSource(context.Background(), g, 1, Options{Mode: ModeHybrid, Seed: 3, NumWalks: 300, HybridC0: 1e18})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestHybridAlwaysSwitchAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := SingleSource(g, graph.ToyA, Options{
+	est, err := SingleSource(context.Background(), g, graph.ToyA, Options{
 		C: 0.25, EpsA: 0.05, Mode: ModeHybrid, Seed: 13, HybridC0: 1e-9,
 	})
 	if err != nil {
@@ -274,11 +275,11 @@ func TestHybridAlwaysSwitchAccuracy(t *testing.T) {
 func TestCompensateTruncation(t *testing.T) {
 	rng := xrand.New(15)
 	g := randomGraph(rng, 30, 120)
-	base, err := SingleSource(g, 0, Options{Mode: ModePruned, Seed: 2, NumWalks: 200})
+	base, err := SingleSource(context.Background(), g, 0, Options{Mode: ModePruned, Seed: 2, NumWalks: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := SingleSource(g, 0, Options{Mode: ModePruned, Seed: 2, NumWalks: 200, CompensateTruncation: true})
+	comp, err := SingleSource(context.Background(), g, 0, Options{Mode: ModePruned, Seed: 2, NumWalks: 200, CompensateTruncation: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestCompensateTruncation(t *testing.T) {
 
 func TestTopKOrderingAndClamp(t *testing.T) {
 	g := graph.Toy()
-	res, err := TopK(g, graph.ToyA, 3, Options{C: 0.25, EpsA: 0.02, Seed: 1})
+	res, err := TopK(context.Background(), g, graph.ToyA, 3, Options{C: 0.25, EpsA: 0.02, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestTopKOrderingAndClamp(t *testing.T) {
 		}
 	}
 	// k larger than n-1 clamps.
-	all, err := TopK(g, graph.ToyA, 100, Options{C: 0.25, EpsA: 0.05})
+	all, err := TopK(context.Background(), g, graph.ToyA, 100, Options{C: 0.25, EpsA: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,10 +28,12 @@ package core
 // budget; the E-A12 experiment and its benchmark quantify it.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/probe"
 	"probesim/internal/walk"
@@ -68,7 +70,12 @@ const progressiveStartWalks = 256
 // explicitly.
 // g may be a mutable *graph.Graph or an immutable *graph.Snapshot (the
 // server runs progressive queries against lock-free snapshots).
-func TopKProgressive(g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
+//
+// The query honors ctx and opt.Budget at every walk-trial checkpoint. A
+// stopped run with at least two completed trials returns the current
+// ranking (with its confidence radius in stats) alongside the error;
+// earlier stops return no ranking.
+func TopKProgressive(ctx context.Context, g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
 	if k <= 0 {
 		return nil, ProgressiveStats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
@@ -88,22 +95,46 @@ func TopKProgressive(g graph.View, u graph.NodeID, k int, opt Options) ([]Scored
 	}
 	plan := planFor(opt, n)
 
+	m := budget.New(ctx, opt.Budget.Timeout, opt.Budget.MaxWalks, opt.Budget.MaxProbeWork)
 	st := newProgressiveState(n)
 	gen := walk.NewGenerator(g, plan.C, xrand.New(plan.Seed).Split(0))
+	gen.SetMeter(m)
 	rng := xrand.New(plan.Seed).Split(1)
 	scratch := probe.NewScratch(n)
+	scratch.SetMeter(m)
 	var buf []graph.NodeID
 
 	stats := ProgressiveStats{BudgetWalks: plan.NumWalks}
+	cp := budget.NewCheckpoint(m, budget.DefaultInterval)
 	target := progressiveStartWalks
 	if target > plan.NumWalks {
 		target = plan.NumWalks
 	}
 	for {
 		for stats.Walks < target {
+			if cp.Stop() {
+				// Evaluate whatever the completed trials support, so the
+				// caller gets a best-effort ranking with its radius next to
+				// the cancellation error. Fewer than two trials cannot even
+				// produce a variance estimate — return nothing.
+				if stats.Walks < 2 {
+					return nil, stats, queryError(u, m)
+				}
+				stats.Rounds++
+				top, maxTopRadius, _, _ := st.evaluate(u, k, stats.Walks, stats.Rounds, opt.Delta, float64(n))
+				stats.Radius = maxTopRadius
+				return top, stats, queryError(u, m)
+			}
 			buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 			st.beginTrial()
 			for i := 2; i <= len(buf); i++ {
+				if m.Stopped() {
+					// Mid-trial trip: the remaining prefixes would probe to
+					// empty results anyway; stop now. The prefixes already
+					// probed carry valid (final-level) scores, so the trial
+					// still counts as a partial, underestimating one.
+					break
+				}
 				prefix := buf[:i]
 				if plan.Mode == ModeRandomized {
 					for _, v := range probe.Randomized(g, prefix, plan.SqrtC, rng, scratch) {
@@ -118,6 +149,7 @@ func TopKProgressive(g graph.View, u graph.NodeID, k int, opt Options) ([]Scored
 			}
 			st.endTrial()
 			stats.Walks++
+			m.ChargeWalks(1)
 		}
 		stats.Rounds++
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func tieredGraph(t *testing.T) *graph.Graph {
 func TestProgressiveStopsEarlyOnSeparation(t *testing.T) {
 	g := tieredGraph(t)
 	opt := Options{EpsA: 0.01, Delta: 0.01, Seed: 7} // tight εa = huge static budget
-	top, stats, err := TopKProgressive(g, 0, 2, opt)
+	top, stats, err := TopKProgressive(context.Background(), g, 0, 2, opt)
 	if err != nil {
 		t.Fatalf("TopKProgressive: %v", err)
 	}
@@ -65,9 +66,9 @@ func TestProgressiveDefinition2Guarantee(t *testing.T) {
 	opt := Options{EpsA: 0.05, Delta: 0.01, Seed: 3}
 	k := 10
 	for _, u := range []graph.NodeID{1, 17, 42} {
-		top, stats, err := TopKProgressive(g, u, k, opt)
+		top, stats, err := TopKProgressive(context.Background(), g, u, k, opt)
 		if err != nil {
-			t.Fatalf("TopKProgressive(%d): %v", u, err)
+			t.Fatalf("TopKProgressive(context.Background(), %d): %v", u, err)
 		}
 		// Exact k-th ranked similarity.
 		exact := append([]float64(nil), truth.Row(u)...)
@@ -106,7 +107,7 @@ func TestProgressiveNeverExceedsStaticBudget(t *testing.T) {
 	// Loose εa keeps the static budget small; a hard query (many ties)
 	// must stop at the budget, not loop.
 	opt := Options{EpsA: 0.2, Delta: 0.1, Seed: 1}
-	_, stats, err := TopKProgressive(g, 2, 5, opt)
+	_, stats, err := TopKProgressive(context.Background(), g, 2, 5, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,13 +121,13 @@ func TestProgressiveNeverExceedsStaticBudget(t *testing.T) {
 
 func TestProgressiveValidation(t *testing.T) {
 	g := gen.ErdosRenyi(10, 30, 1)
-	if _, _, err := TopKProgressive(g, 0, 0, Options{}); err == nil {
+	if _, _, err := TopKProgressive(context.Background(), g, 0, 0, Options{}); err == nil {
 		t.Error("k = 0 accepted")
 	}
-	if _, _, err := TopKProgressive(g, -1, 3, Options{}); err == nil {
+	if _, _, err := TopKProgressive(context.Background(), g, -1, 3, Options{}); err == nil {
 		t.Error("negative node accepted")
 	}
-	if _, _, err := TopKProgressive(g, 0, 3, Options{EpsA: 5}); err == nil {
+	if _, _, err := TopKProgressive(context.Background(), g, 0, 3, Options{EpsA: 5}); err == nil {
 		t.Error("invalid options accepted")
 	}
 }
@@ -134,11 +135,11 @@ func TestProgressiveValidation(t *testing.T) {
 func TestProgressiveDeterministicForSeed(t *testing.T) {
 	g := gen.PreferentialAttachment(50, 3, 9)
 	opt := Options{EpsA: 0.05, Seed: 21}
-	a, sa, err := TopKProgressive(g, 1, 5, opt)
+	a, sa, err := TopKProgressive(context.Background(), g, 1, 5, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := TopKProgressive(g, 1, 5, opt)
+	b, sb, err := TopKProgressive(context.Background(), g, 1, 5, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestProgressiveAgreesWithTopK(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := Options{EpsA: 0.03, Seed: 13}
-	stat, err := TopK(g, 0, 3, opt)
+	stat, err := TopK(context.Background(), g, 0, 3, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, _, err := TopKProgressive(g, 0, 3, opt)
+	prog, _, err := TopKProgressive(context.Background(), g, 0, 3, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestProgressiveAgreesWithTopK(t *testing.T) {
 
 func TestProgressiveSmallGraphKLargerThanN(t *testing.T) {
 	g := gen.Cycle(4)
-	top, _, err := TopKProgressive(g, 0, 10, Options{EpsA: 0.1, Seed: 2})
+	top, _, err := TopKProgressive(context.Background(), g, 0, 10, Options{EpsA: 0.1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestProgressiveRandomizedMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := Options{EpsA: 0.08, Delta: 0.01, Seed: 5, Mode: ModeRandomized}
-	top, stats, err := TopKProgressive(g, 3, 5, opt)
+	top, stats, err := TopKProgressive(context.Background(), g, 3, 5, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestProgressiveModeCoercion(t *testing.T) {
 	// pruned) rather than error.
 	g := gen.Cycle(10)
 	for _, m := range []Mode{ModeAuto, ModeBatch, ModeHybrid} {
-		if _, _, err := TopKProgressive(g, 0, 2, Options{EpsA: 0.1, Seed: 1, Mode: m}); err != nil {
+		if _, _, err := TopKProgressive(context.Background(), g, 0, 2, Options{EpsA: 0.1, Seed: 1, Mode: m}); err != nil {
 			t.Fatalf("mode %v: %v", m, err)
 		}
 	}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"probesim/internal/budget"
 	"probesim/internal/graph"
 )
 
@@ -91,11 +94,36 @@ func newQuerier(ex *Executor, capacity int, track bool) *Querier {
 // Executor returns the underlying executor.
 func (q *Querier) Executor() *Executor { return q.ex }
 
+// isOwnerSpecific reports whether a flight error is a property of the
+// owning request's patience (its context was canceled or its deadline
+// passed) rather than of the query itself. Shared-configuration trips —
+// walk/work caps and deadlines derived from the executor options'
+// Budget.Timeout, which budget.Error marks as Shared — are deliberately
+// NOT in this family: an identically-configured retry is doomed to the
+// same failure, so waiters must share it instead of repeating it.
+func isOwnerSpecific(err error) bool {
+	var be *budget.Error
+	if errors.As(err, &be) && be.Shared {
+		return false
+	}
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // SingleSource returns the cached single-source vector for u, computing
 // and caching it on a miss. The returned slice is shared with the cache
 // (and with any concurrent callers that joined the same computation):
 // callers must not modify it.
-func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
+//
+// ctx bounds this caller's query (together with the executor options'
+// Budget). Cache hits are free and never fail; misses run under ctx. A
+// caller that joins another goroutine's in-flight computation waits no
+// longer than its own ctx allows, and if the flight owner was canceled
+// while this caller is still live, the caller recomputes on its own —
+// one request's tight deadline never poisons another's answer. Partial
+// (canceled) results are returned to their owner with the error but are
+// never cached.
+func (q *Querier) SingleSource(ctx context.Context, u graph.NodeID) ([]float64, error) {
 	snap := q.ex.Snapshot()
 	if q.track {
 		snap = q.ex.Refresh()
@@ -119,7 +147,7 @@ func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
 		// overlaps a write.
 		q.misses++
 		q.mu.Unlock()
-		return q.ex.SingleSourceOn(snap, u)
+		return q.ex.SingleSourceOn(ctx, snap, u)
 	}
 	if el, ok := q.entries[u]; ok {
 		q.order.MoveToFront(el)
@@ -130,10 +158,27 @@ func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
 	}
 	if f, ok := q.flights[u]; ok {
 		// Another goroutine is already computing u at this version: wait
-		// for it instead of repeating the work.
+		// for it instead of repeating the work — but no longer than this
+		// caller's own context allows.
 		q.shared++
 		q.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: query %d: abandoned shared flight: %w", u, ctx.Err())
+		}
+		if f.err != nil && isOwnerSpecific(f.err) && ctx.Err() == nil {
+			// The flight owner ran out of time or budget, but this caller
+			// has not: re-enter the cache path instead of inheriting a
+			// stranger's partial answer. Going through SingleSource (not
+			// straight to the executor) matters under load — the first
+			// live waiter registers a fresh flight and the rest join IT,
+			// so a canceled owner costs one recomputation, not one per
+			// waiter. Terminates because each recursion requires the new
+			// owner to be canceled while this caller is not, and this
+			// caller's own expiry exits via the selects above.
+			return q.SingleSource(ctx, u)
+		}
 		return f.scores, f.err
 	}
 	q.misses++
@@ -142,17 +187,23 @@ func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
 	version := q.version
 	q.mu.Unlock()
 
-	scores, err := q.ex.SingleSourceOn(snap, u)
+	scores, err := q.ex.SingleSourceOn(ctx, snap, u)
 	f.scores, f.err = scores, err
-	close(f.done)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// Deregister BEFORE closing f.done (both under the mutex): a waiter
+	// that wakes on the close and re-enters SingleSource to retry an
+	// owner-specific failure must never re-find this completed flight,
+	// or it would spin joining it until the owner won the mutex race.
 	if q.flights[u] == f {
 		delete(q.flights, u)
 	}
+	close(f.done)
 	if err != nil {
-		return nil, err
+		// Partial (canceled/budget-stopped) vectors go back to the caller
+		// for diagnostics but must never enter the cache.
+		return scores, err
 	}
 	// Only cache if no newer snapshot was published underneath the
 	// computation.
@@ -173,11 +224,11 @@ func (q *Querier) SingleSource(u graph.NodeID) ([]float64, error) {
 }
 
 // TopK answers a top-k query through the cache.
-func (q *Querier) TopK(u graph.NodeID, k int) ([]ScoredNode, error) {
+func (q *Querier) TopK(ctx context.Context, u graph.NodeID, k int) ([]ScoredNode, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
-	est, err := q.SingleSource(u)
+	est, err := q.SingleSource(ctx, u)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -17,11 +18,11 @@ func querierGraph(t *testing.T) *graph.Graph {
 func TestQuerierCachesHits(t *testing.T) {
 	g := querierGraph(t)
 	q := NewQuerier(g, Options{NumWalks: 300, Seed: 1}, 4)
-	a, err := q.SingleSource(3)
+	a, err := q.SingleSource(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := q.SingleSource(3)
+	b, err := q.SingleSource(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,14 +38,14 @@ func TestQuerierCachesHits(t *testing.T) {
 func TestQuerierInvalidatesOnMutation(t *testing.T) {
 	g := querierGraph(t)
 	q := NewQuerier(g, Options{NumWalks: 300, Seed: 1}, 4)
-	if _, err := q.SingleSource(3); err != nil {
+	if _, err := q.SingleSource(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	// Mutate: the cached answer must not be served again.
 	if err := g.AddEdge(0, 3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.SingleSource(3); err != nil {
+	if _, err := q.SingleSource(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses, _ := q.Stats()
@@ -57,14 +58,14 @@ func TestQuerierLRUEviction(t *testing.T) {
 	g := querierGraph(t)
 	q := NewQuerier(g, Options{NumWalks: 100, Seed: 1}, 2)
 	for _, u := range []graph.NodeID{1, 2, 3} { // 1 evicted by 3
-		if _, err := q.SingleSource(u); err != nil {
+		if _, err := q.SingleSource(context.Background(), u); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := q.SingleSource(2); err != nil { // still cached
+	if _, err := q.SingleSource(context.Background(), 2); err != nil { // still cached
 		t.Fatal(err)
 	}
-	if _, err := q.SingleSource(1); err != nil { // miss again
+	if _, err := q.SingleSource(context.Background(), 1); err != nil { // miss again
 		t.Fatal(err)
 	}
 	hits, misses, cached := q.Stats()
@@ -77,11 +78,11 @@ func TestQuerierTopKMatchesDirect(t *testing.T) {
 	g := querierGraph(t)
 	opt := Options{NumWalks: 500, Seed: 9}
 	q := NewQuerier(g, opt, 4)
-	got, err := q.TopK(5, 10)
+	got, err := q.TopK(context.Background(), 5, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := TopK(g, 5, 10, opt)
+	want, err := TopK(context.Background(), g, 5, 10, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestQuerierTopKMatchesDirect(t *testing.T) {
 			t.Fatalf("cached top-k diverged at %d: %v vs %v", i, got[i], want[i])
 		}
 	}
-	if _, err := q.TopK(5, 0); err == nil {
+	if _, err := q.TopK(context.Background(), 5, 0); err == nil {
 		t.Fatal("k = 0 accepted")
 	}
 }
@@ -105,7 +106,7 @@ func TestQuerierConcurrentAccess(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				if _, err := q.SingleSource(graph.NodeID((w + i) % 10)); err != nil {
+				if _, err := q.SingleSource(context.Background(), graph.NodeID((w+i)%10)); err != nil {
 					errs <- err
 				}
 			}
@@ -121,7 +122,7 @@ func TestQuerierConcurrentAccess(t *testing.T) {
 func TestQuerierMinCapacity(t *testing.T) {
 	g := querierGraph(t)
 	q := NewQuerier(g, Options{NumWalks: 50}, 0)
-	if _, err := q.SingleSource(1); err != nil {
+	if _, err := q.SingleSource(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	_, _, cached := q.Stats()

@@ -88,14 +88,18 @@ func (p *scratchPool) get(n int) *queryScratch {
 
 // put returns a scratch set to the pool, dropping any cached view
 // resolution first so a parked scratch never pins a retired snapshot
-// generation in memory. No-op on a nil pool.
+// generation in memory, and detaching any budget meter so a recycled
+// scratch can never observe a previous query's expiry. No-op on a nil
+// pool.
 func (p *scratchPool) put(s *queryScratch) {
 	if p == nil || s == nil {
 		return
 	}
 	s.det.ReleaseView()
+	s.det.SetMeter(nil)
 	if s.rnd != nil {
 		s.rnd.ReleaseView()
+		s.rnd.SetMeter(nil)
 	}
 	if v, ok := p.pools.Load(s.n); ok {
 		v.(*sync.Pool).Put(s)

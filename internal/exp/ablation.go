@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -44,7 +45,7 @@ func Ablation(c Config) error {
 		sumErr := 0.0
 		for _, u := range ctx.queries {
 			start := time.Now()
-			est, err := core.SingleSource(ctx.g, u, opt)
+			est, err := core.SingleSource(context.Background(), ctx.g, u, opt)
 			if err != nil {
 				return err
 			}
@@ -70,7 +71,7 @@ func Ablation(c Config) error {
 		var total time.Duration
 		for _, u := range queries {
 			start := time.Now()
-			if _, err := core.SingleSource(g, u, opt); err != nil {
+			if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 				return err
 			}
 			total += time.Since(start)
@@ -93,7 +94,7 @@ func Ablation(c Config) error {
 		sumErr := 0.0
 		for _, u := range ctx.queries {
 			start := time.Now()
-			est, err := core.SingleSource(ctx.g, u, cfg.opt)
+			est, err := core.SingleSource(context.Background(), ctx.g, u, cfg.opt)
 			if err != nil {
 				return err
 			}

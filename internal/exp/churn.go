@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -104,7 +105,7 @@ func Churn(c Config) error {
 		if err != nil {
 			return err
 		}
-		est, err := core.SingleSource(ctx.g, u, psOpt)
+		est, err := core.SingleSource(context.Background(), ctx.g, u, psOpt)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -112,7 +113,7 @@ func Dynamic(c Config) error {
 	queries := queryNodes(g, 2, c.Seed+43)
 	for _, u := range queries {
 		start := time.Now()
-		if _, err := core.SingleSource(g, u, core.Options{EpsA: c.EpsLarge, Workers: c.Workers, Seed: c.Seed}); err != nil {
+		if _, err := core.SingleSource(context.Background(), g, u, core.Options{EpsA: c.EpsLarge, Workers: c.Workers, Seed: c.Seed}); err != nil {
 			return err
 		}
 		c.printf("post-churn ProbeSim query on node %d: %.1fms\n", u, float64(time.Since(start).Microseconds())/1000)
@@ -155,7 +156,7 @@ func Dynamic(c Config) error {
 	}
 	worst := 0.0
 	for _, u := range queryNodes(sg, 5, c.Seed+49) {
-		est, err := core.SingleSource(sg, u, core.Options{EpsA: 0.1, Workers: c.Workers, Seed: c.Seed})
+		est, err := core.SingleSource(context.Background(), sg, u, core.Options{EpsA: 0.1, Workers: c.Workers, Seed: c.Seed})
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -166,9 +167,9 @@ func probeSimAlgo(g *graph.Graph, cfg Config, epsA float64) algo {
 	return algo{
 		name:  "ProbeSim",
 		param: fmt.Sprintf("eps=%g", epsA),
-		ss:    func(u graph.NodeID) ([]float64, error) { return core.SingleSource(g, u, opt) },
+		ss:    func(u graph.NodeID) ([]float64, error) { return core.SingleSource(context.Background(), g, u, opt) },
 		topk: func(u graph.NodeID, k int) ([]core.ScoredNode, error) {
-			return core.TopK(g, u, k, opt)
+			return core.TopK(context.Background(), g, u, k, opt)
 		},
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -43,7 +44,7 @@ func IndexContrast(c Config) error {
 	var psErr float64
 	for _, u := range ctx.queries {
 		start := time.Now()
-		est, err := core.SingleSource(ctx.g, u, psOpt)
+		est, err := core.SingleSource(context.Background(), ctx.g, u, psOpt)
 		if err != nil {
 			return err
 		}
@@ -92,7 +93,7 @@ func IndexContrast(c Config) error {
 	} else {
 		c.printf("after 1 edge insert: fingerprint -> %v\n", err)
 	}
-	if _, err := core.SingleSource(gg, u0, psOpt); err != nil {
+	if _, err := core.SingleSource(context.Background(), gg, u0, psOpt); err != nil {
 		return err
 	}
 	c.printf("after 1 edge insert: ProbeSim -> fresh answer, no maintenance\n")

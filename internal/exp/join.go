@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -46,7 +47,7 @@ func Join(c Config) error {
 
 	for _, theta := range thetas {
 		start := time.Now()
-		pairs, err := simjoin.ThresholdJoin(ctx.g, theta, opt)
+		pairs, err := simjoin.ThresholdJoin(context.Background(), ctx.g, theta, opt)
 		if err != nil {
 			return err
 		}
@@ -55,7 +56,7 @@ func Join(c Config) error {
 	}
 
 	start := time.Now()
-	top, err := simjoin.TopKJoin(ctx.g, 10, opt)
+	top, err := simjoin.TopKJoin(context.Background(), ctx.g, 10, opt)
 	if err != nil {
 		return err
 	}

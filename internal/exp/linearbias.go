@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"probesim/internal/core"
@@ -55,7 +56,7 @@ func LinearBias(c Config) error {
 					errMC = math.Max(errMC, e)
 				}
 			}
-			est, err := core.SingleSource(ctx.g, u, psOpt)
+			est, err := core.SingleSource(context.Background(), ctx.g, u, psOpt)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -37,7 +38,7 @@ func Progressive(c Config) error {
 				ideal := nodesOf(exact)
 
 				start := time.Now()
-				st, err := core.TopK(ctx.g, u, k, opt)
+				st, err := core.TopK(context.Background(), ctx.g, u, k, opt)
 				if err != nil {
 					return err
 				}
@@ -45,7 +46,7 @@ func Progressive(c Config) error {
 				staticPrec += metrics.PrecisionAtK(nodesOf(st), ideal)
 
 				start = time.Now()
-				pt, stats, err := core.TopKProgressive(ctx.g, u, k, opt)
+				pt, stats, err := core.TopKProgressive(context.Background(), ctx.g, u, k, opt)
 				if err != nil {
 					return err
 				}

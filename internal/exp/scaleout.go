@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/cluster"
@@ -33,7 +34,7 @@ func ScaleOut(c Config) error {
 	}
 
 	start := time.Now()
-	if _, err := core.SingleSource(ctx.g, u, core.Options{
+	if _, err := core.SingleSource(context.Background(), ctx.g, u, core.Options{
 		EpsA: 0.1, Workers: c.Workers, Seed: c.Seed,
 	}); err != nil {
 		return err

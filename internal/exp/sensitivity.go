@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -43,7 +44,7 @@ func Sensitivity(c Config) error {
 		sumErr := 0.0
 		for _, u := range queries {
 			start := time.Now()
-			est, err := core.SingleSource(g, u, opt)
+			est, err := core.SingleSource(context.Background(), g, u, opt)
 			if err != nil {
 				return err
 			}
@@ -67,7 +68,7 @@ func Sensitivity(c Config) error {
 		var total time.Duration
 		for _, u := range queries {
 			start := time.Now()
-			if _, err := core.SingleSource(g, u, opt); err != nil {
+			if _, err := core.SingleSource(context.Background(), g, u, opt); err != nil {
 				return err
 			}
 			total += time.Since(start)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"probesim/internal/core"
@@ -38,7 +39,7 @@ func SlingContrast(c Config) error {
 	psErr := 0.0
 	for _, u := range ctx.queries {
 		start := time.Now()
-		est, err := core.SingleSource(ctx.g, u, psOpt)
+		est, err := core.SingleSource(context.Background(), ctx.g, u, psOpt)
 		if err != nil {
 			return err
 		}

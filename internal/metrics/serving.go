@@ -1,0 +1,207 @@
+package metrics
+
+// Serving-plane metrics: per-route latency histograms, in-flight gauges
+// and outcome counters for the HTTP service, exposed in the Prometheus
+// text format. These live next to the paper's evaluation metrics because
+// both answer the same question at different timescales — "how well is
+// the system doing" — and internal/server should not need a second
+// dependency for it.
+//
+// Everything here is lock-free on the hot path: a request observation is
+// one atomic add per counter plus one per histogram bucket. The registry
+// mutex guards only route registration (a handful of calls at startup)
+// and the text scrape.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds: a 1-2-5
+// ladder from 100µs to 50s, wide enough to see both a cache hit and a
+// runaway join on one scale. The terminal +Inf bucket is implicit.
+var latencyBuckets = [18]float64{
+	0.0001, 0.0002, 0.0005,
+	0.001, 0.002, 0.005,
+	0.01, 0.02, 0.05,
+	0.1, 0.2, 0.5,
+	1, 2, 5,
+	10, 20, 50,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+type Histogram struct {
+	buckets [len(latencyBuckets) + 1]atomic.Int64 // last = +Inf
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], s)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed durations: the smallest bucket bound whose cumulative count
+// reaches q. Intended for tests and coarse reporting, not for precision.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i, bound := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bound
+		}
+	}
+	return math.Inf(1)
+}
+
+// RouteMetrics is the serving instrumentation of one HTTP route.
+type RouteMetrics struct {
+	name string
+
+	// Latency observes the full handler time of every completed request,
+	// including rejected and failed ones (their latency is the cost the
+	// route imposed on the server).
+	Latency Histogram
+
+	// InFlight tracks requests currently inside the handler.
+	InFlight atomic.Int64
+
+	// Requests counts every request routed here; Timeouts those stopped
+	// by a deadline (HTTP 504); Rejections those turned away by
+	// admission control or backpressure WITHOUT running (HTTP 503 at the
+	// door — the overload signal operators alert on); BudgetExhausted
+	// those that ran and used up their walk/work budget (also 503, but
+	// admitted work, not load shedding); Errors everything else >= 400.
+	Requests        atomic.Int64
+	Errors          atomic.Int64
+	Timeouts        atomic.Int64
+	Rejections      atomic.Int64
+	BudgetExhausted atomic.Int64
+}
+
+// Registry is a set of route metrics plus free-form gauges, scraped as
+// one Prometheus text page.
+type Registry struct {
+	mu     sync.Mutex
+	routes map[string]*RouteMetrics
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{routes: make(map[string]*RouteMetrics)}
+}
+
+// Route returns (registering on first use) the metrics of one route.
+func (r *Registry) Route(name string) *RouteMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.routes[name]; ok {
+		return m
+	}
+	m := &RouteMetrics{name: name}
+	r.routes[name] = m
+	r.order = append(r.order, name)
+	sort.Strings(r.order)
+	return m
+}
+
+// snapshotRoutes returns the registered routes in stable order.
+func (r *Registry) snapshotRoutes() []*RouteMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RouteMetrics, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.routes[name])
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). extra, when non-nil, runs after the route
+// metrics so callers can append process-specific gauges (shard counters,
+// cache statistics) to the same page.
+func (r *Registry) WritePrometheus(w io.Writer, extra func(io.Writer)) {
+	routes := r.snapshotRoutes()
+
+	fmt.Fprintf(w, "# HELP probesim_request_duration_seconds Request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE probesim_request_duration_seconds histogram\n")
+	for _, m := range routes {
+		var cum int64
+		for i, bound := range latencyBuckets {
+			cum += m.Latency.buckets[i].Load()
+			fmt.Fprintf(w, "probesim_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				m.name, formatBound(bound), cum)
+		}
+		cum += m.Latency.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "probesim_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", m.name, cum)
+		fmt.Fprintf(w, "probesim_request_duration_seconds_sum{route=%q} %g\n",
+			m.name, time.Duration(m.Latency.sumNS.Load()).Seconds())
+		fmt.Fprintf(w, "probesim_request_duration_seconds_count{route=%q} %d\n", m.name, m.Latency.count.Load())
+	}
+
+	counter := func(metric, help string, value func(*RouteMetrics) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		for _, m := range routes {
+			fmt.Fprintf(w, "%s{route=%q} %d\n", metric, m.name, value(m))
+		}
+	}
+	counter("probesim_requests_total", "Requests routed, by route.",
+		func(m *RouteMetrics) int64 { return m.Requests.Load() })
+	counter("probesim_request_timeouts_total", "Requests stopped by a deadline (HTTP 504), by route.",
+		func(m *RouteMetrics) int64 { return m.Timeouts.Load() })
+	counter("probesim_request_rejections_total", "Requests rejected by admission control or backpressure (HTTP 503), by route.",
+		func(m *RouteMetrics) int64 { return m.Rejections.Load() })
+	counter("probesim_request_budget_exhausted_total", "Admitted requests that exhausted their walk/work budget (HTTP 503), by route.",
+		func(m *RouteMetrics) int64 { return m.BudgetExhausted.Load() })
+	counter("probesim_request_errors_total", "Requests failed for other reasons, by route.",
+		func(m *RouteMetrics) int64 { return m.Errors.Load() })
+
+	fmt.Fprintf(w, "# HELP probesim_inflight_requests Requests currently being served, by route.\n")
+	fmt.Fprintf(w, "# TYPE probesim_inflight_requests gauge\n")
+	for _, m := range routes {
+		fmt.Fprintf(w, "probesim_inflight_requests{route=%q} %d\n", m.name, m.InFlight.Load())
+	}
+
+	if extra != nil {
+		extra(w)
+	}
+}
+
+// WriteGauge writes one gauge sample with HELP/TYPE headers, for use in
+// a WritePrometheus extra callback.
+func WriteGauge(w io.Writer, name, help string, value int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
+}
+
+// WriteCounter is WriteGauge with the counter TYPE, for monotonic
+// process-level samples (the _total naming convention implies counter
+// semantics, and scrape linters flag _total-named gauges).
+func WriteCounter(w io.Writer, name, help string, value int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect:
+// the shortest exact decimal, no exponent notation at these magnitudes.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}

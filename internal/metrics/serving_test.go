@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond) // bucket le=0.001
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(300 * time.Millisecond) // bucket le=0.5
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// A value equal to a bound belongs to that bound's bucket (le is <=).
+	if q := h.Quantile(0.5); q != 0.0005 {
+		t.Fatalf("p50 = %v, want 0.0005", q)
+	}
+	if q := h.Quantile(0.99); q != 0.5 {
+		t.Fatalf("p99 = %v, want 0.5", q)
+	}
+}
+
+func TestHistogramInfBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Minute)
+	if q := h.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Fatalf("p50 of an off-scale observation = %v, want +Inf", q)
+	}
+}
+
+func TestRegistryPrometheusPage(t *testing.T) {
+	r := NewRegistry()
+	m := r.Route("/topk")
+	m.Requests.Add(3)
+	m.Timeouts.Add(1)
+	m.Rejections.Add(2)
+	m.Latency.Observe(2 * time.Millisecond)
+	r.Route("/single-source").Requests.Add(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b, func(w io.Writer) {
+		WriteGauge(w, "probesim_test_gauge", "A test gauge.", 42)
+	})
+	page := b.String()
+	for _, want := range []string{
+		`probesim_request_duration_seconds_bucket{route="/topk",le="0.002"} 1`,
+		`probesim_request_duration_seconds_count{route="/topk"} 1`,
+		`probesim_requests_total{route="/topk"} 3`,
+		`probesim_request_timeouts_total{route="/topk"} 1`,
+		`probesim_request_rejections_total{route="/topk"} 2`,
+		`probesim_requests_total{route="/single-source"} 1`,
+		`probesim_inflight_requests{route="/topk"} 0`,
+		"# TYPE probesim_request_duration_seconds histogram",
+		"probesim_test_gauge 42",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q:\n%s", want, page)
+		}
+	}
+	// Cumulative buckets: le=+Inf equals the count.
+	if !strings.Contains(page, `probesim_request_duration_seconds_bucket{route="/topk",le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", page)
+	}
+}
+
+func TestRouteRegistrationIsIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Route("/topk").Requests.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Route("/topk").Requests.Load(); got != 1600 {
+		t.Fatalf("requests = %d, want 1600 (duplicate route registration?)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package pooling_test
 
 import (
+	"context"
 	"fmt"
 
 	"probesim/internal/core"
@@ -23,11 +24,11 @@ func Example() {
 	var u graph.NodeID = 3
 
 	// Two "systems" submit their top-5 answers.
-	a, err := core.TopK(g, u, 5, core.Options{EpsA: 0.05, Seed: 1})
+	a, err := core.TopK(context.Background(), g, u, 5, core.Options{EpsA: 0.05, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
-	b, err := core.TopK(g, u, 5, core.Options{EpsA: 0.2, Seed: 9})
+	b, err := core.TopK(context.Background(), g, u, 5, core.Options{EpsA: 0.2, Seed: 9})
 	if err != nil {
 		panic(err)
 	}

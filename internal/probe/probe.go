@@ -22,6 +22,7 @@ import (
 	"math"
 	"reflect"
 
+	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/xrand"
 )
@@ -49,6 +50,13 @@ type Scratch struct {
 	// Membership stamps for randomized probes.
 	member   []uint32
 	memberEp uint32
+
+	// meter, when set, is the owning query's budget meter: every level
+	// charges its edge traversals and the expansion loops stop early once
+	// the meter trips, so even a single huge probe (O(m·i) worst case on a
+	// dense level) honors a deadline within one level rather than one
+	// probe. A nil meter costs one branch per level.
+	meter *budget.Meter
 
 	// Cached adjacency resolution. A probe runs once per walk prefix —
 	// thousands of times per query on the same view — so re-resolving the
@@ -82,6 +90,12 @@ func (s *Scratch) adjFor(g graph.View) *graph.Adj {
 	}
 	return &s.adj
 }
+
+// SetMeter attaches (or, with nil, detaches) the query budget meter the
+// probe loops checkpoint against. Owners that pool a Scratch across
+// queries must detach before parking it, so a recycled scratch can never
+// observe a previous query's expiry.
+func (s *Scratch) SetMeter(m *budget.Meter) { s.meter = m }
 
 // ReleaseView drops the cached adjacency resolution. Owners that pool a
 // Scratch across queries (core's executor scratch) call it before
@@ -156,6 +170,15 @@ func Deterministic(g graph.View, path []graph.NodeID, sqrtC, epsP float64, s *Sc
 	cur := append(s.curList[:0], path[i-1])
 	s.curScore[path[i-1]] = 1
 	for j := 0; j <= i-2; j++ {
+		if s.meter.Stopped() {
+			// The query's budget tripped mid-probe: abandon the probe and
+			// return the EMPTY result. An intermediate frontier holds
+			// level-j scores, not final-level first-meeting scores —
+			// accumulating it would rank garbage, so a tripped probe
+			// contributes nothing (callers surface the budget error, and
+			// any partial estimate keeps only fully-probed prefixes).
+			return Result{}
+		}
 		cur = s.deterministicLevel(adj, cur, path[i-j-2], sqrtC, pruneThreshold(epsP, sqrtC, i, j))
 		if len(cur) == 0 {
 			break
@@ -178,6 +201,7 @@ func pruneThreshold(epsP, sqrtC float64, i, j int) float64 {
 func (s *Scratch) deterministicLevel(adj *graph.Adj, cur []graph.NodeID, excluded graph.NodeID, sqrtC, pruneBelow float64) []graph.NodeID {
 	epoch := s.nextEpoch()
 	next := s.nextList[:0]
+	levelStart := s.Work
 	for _, x := range cur {
 		sc := s.curScore[x]
 		if pruneBelow > 0 && sc <= pruneBelow {
@@ -200,6 +224,13 @@ func (s *Scratch) deterministicLevel(adj *graph.Adj, cur []graph.NodeID, exclude
 			}
 		}
 	}
+	// Charge per level: the shared atomic add is within noise next to the
+	// level's edge traversals, and ChargeWork's work-boundary polling is
+	// what lets an expired deadline surface DURING a long probe instead
+	// of only at the next walk-trial checkpoint. A single level remains
+	// the uninterruptible unit — the finest granularity that keeps the
+	// per-edge inner loop free of budget branches.
+	s.meter.ChargeWork(s.Work - levelStart)
 	s.curList, s.nextList = next, cur[:0]
 	s.curScore, s.newScore = s.newScore, s.curScore
 	return next
@@ -234,6 +265,10 @@ func Randomized(g graph.View, path []graph.NodeID, sqrtC float64, rng *xrand.RNG
 	s.member[path[i-1]] = ep
 	cur := append(s.curList[:0], path[i-1])
 	for j := 0; j <= i-2; j++ {
+		if s.meter.Stopped() {
+			// Tripped mid-probe: contribute nothing (see Deterministic).
+			return nil
+		}
 		cur = s.randomizedLevel(adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
@@ -265,6 +300,10 @@ func ContinueRandomized(g graph.View, path []graph.NodeID, j int, members []grap
 	}
 	s.curList = cur
 	for ; j <= i-2; j++ {
+		if s.meter.Stopped() {
+			// Tripped mid-probe: contribute nothing (see Deterministic).
+			return nil
+		}
 		cur = s.randomizedLevel(adj, cur, path[i-j-2], sqrtC, rng, ep)
 		if len(cur) == 0 {
 			break
@@ -284,8 +323,11 @@ func (s *Scratch) randomizedLevel(adj *graph.Adj, cur []graph.NodeID, excluded g
 		return s.member[v] == ep && rng.Float64() < sqrtC
 	}
 	// Candidate set U: union of out-neighbors if cheap, else all nodes
-	// (Lines 3-7 of Algorithm 4).
-	if outDegreeSum(adj, cur) <= s.n {
+	// (Lines 3-7 of Algorithm 4). Either branch's scan cost is the level's
+	// work; charge it up front so a work cap trips at the same place a
+	// deterministic probe of the same shape would.
+	if ods := outDegreeSum(adj, cur); ods <= s.n {
+		s.meter.ChargeWork(int64(ods))
 		// Deduplicate candidates with the mark array so each x is sampled
 		// exactly once, as in "for each x ∈ U".
 		epoch := s.nextEpoch()
@@ -301,6 +343,7 @@ func (s *Scratch) randomizedLevel(adj *graph.Adj, cur []graph.NodeID, excluded g
 			}
 		}
 	} else {
+		s.meter.ChargeWork(int64(s.n))
 		for x := 0; x < s.n; x++ {
 			id := graph.NodeID(x)
 			if id == excluded || adj.InDegree(id) == 0 {

@@ -50,7 +50,9 @@ func (st *Stepper) FrontierOutDegreeSum() int {
 }
 
 // Step expands one level and reports whether the probe can continue. After
-// the final Step the frontier holds the probe result.
+// the final Step the frontier holds the probe result. Each level charges
+// its edge traversals to the scratch's budget meter as it expands, so a
+// deadline stays observable inside a long stepped probe.
 func (st *Stepper) Step() bool {
 	if st.Done() {
 		return false

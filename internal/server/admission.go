@@ -1,0 +1,276 @@
+package server
+
+// Admission control and instrumentation: every route is wrapped by
+// s.handle, which enforces the server's Limits before the handler runs
+// and feeds the per-route latency histograms, in-flight gauges and
+// outcome counters behind /metrics.
+//
+// The control model, per route class:
+//
+//   - Queries (classQuery): a bounded in-flight counter. A request over
+//     the limit is rejected immediately with 503 + Retry-After rather
+//     than queued — queueing work the client will time out on anyway
+//     only grows the latency tail. Admitted queries run under the
+//     configured query timeout, which the kernels honor at their budget
+//     checkpoints (504 on expiry, with the partial work discarded).
+//   - Joins (classJoin): a small semaphore (default 1, the historical
+//     bound on the O(n·query) fan-out) acquired while the request's
+//     context is still live: a join that cannot start before its
+//     deadline 504s in the queue without ever touching the kernel.
+//   - Writes (classWrite): queue-depth rejection. Writers serialize on
+//     the mutation mutex; once the line exceeds MaxWriteQueue the server
+//     answers 503 + Retry-After instead of letting edge batches pile up
+//     on the lock — backpressure the client can see and pace against.
+//   - Meta (classMeta): /stats and /metrics are never limited; an
+//     operator must be able to observe an overloaded server.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/metrics"
+)
+
+// Limits configures admission control. The zero value imposes no limits
+// and no timeout (the library-friendly default); cmd/probesim-server
+// installs production limits from its flags. Set limits before the
+// server starts serving — SetLimits is not synchronized with requests.
+type Limits struct {
+	// MaxInflight bounds concurrently executing similarity queries
+	// (/topk, /single-source, /pair, /progressive-topk). 0 = unlimited.
+	MaxInflight int
+	// MaxJoinInflight bounds concurrently executing analysis scans
+	// (/join/topk, /components). 0 = the historical default of 1.
+	MaxJoinInflight int
+	// MaxWriteQueue bounds writers waiting for the mutation mutex
+	// (/edges, /edges/batch). 0 = unlimited.
+	MaxWriteQueue int
+	// QueryTimeout is the per-request deadline applied to query and join
+	// routes. 0 = none. The kernels observe it at their checkpoints, so
+	// expiry surfaces within microseconds of work as HTTP 504.
+	QueryTimeout time.Duration
+}
+
+// SetLimits installs admission-control limits. Call before serving.
+func (s *Server) SetLimits(l Limits) {
+	if l.MaxJoinInflight <= 0 {
+		l.MaxJoinInflight = 1
+	}
+	s.limits = l
+	s.joinSem = make(chan struct{}, l.MaxJoinInflight)
+}
+
+// Limits returns the active limits.
+func (s *Server) Limits() Limits { return s.limits }
+
+// Metrics returns the server's metrics registry (for tests and for
+// embedding the server in a larger process).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+type routeClass int
+
+const (
+	classQuery routeClass = iota
+	classJoin
+	classWrite
+	classMeta
+)
+
+// statusWriter captures the response status so the middleware can
+// classify the outcome after the handler returns. budgetExhausted
+// disambiguates the two 503 families: writeQueryError sets it when the
+// 503 came from an admitted query using up its work budget, so the
+// Rejections counter stays a pure admission/backpressure signal.
+type statusWriter struct {
+	http.ResponseWriter
+	status          int
+	budgetExhausted bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handle registers a route with admission control and instrumentation.
+func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
+	rm := s.reg.Route(route)
+	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		rm.Requests.Add(1)
+		rm.InFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rm.InFlight.Add(-1)
+			rm.Latency.Observe(time.Since(start))
+			switch {
+			case sw.status == http.StatusGatewayTimeout:
+				rm.Timeouts.Add(1)
+			case sw.status == http.StatusServiceUnavailable && sw.budgetExhausted:
+				rm.BudgetExhausted.Add(1)
+			case sw.status == http.StatusServiceUnavailable:
+				rm.Rejections.Add(1)
+			case sw.status >= 400:
+				rm.Errors.Add(1)
+			}
+		}()
+
+		// The timeout wraps the request BEFORE admission, so time spent
+		// queued for a join slot counts against the deadline: a join that
+		// cannot start in time 504s in the queue (bounded even for
+		// clients that set no deadline of their own) instead of waiting
+		// forever and starting its fan-out stale.
+		if (cl == classQuery || cl == classJoin) && s.limits.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.limits.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, ok := s.admit(sw, r, cl)
+		if !ok {
+			return
+		}
+		defer release()
+		h(sw, r)
+	})
+}
+
+// admit applies the route class's admission policy. It either returns a
+// release function and true, or writes the rejection response and
+// returns false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (func(), bool) {
+	nop := func() {}
+	switch cl {
+	case classQuery:
+		max := s.limits.MaxInflight
+		if max <= 0 {
+			return nop, true
+		}
+		if n := s.queryInflight.Add(1); n > int64(max) {
+			s.queryInflight.Add(-1)
+			writeRejection(w, fmt.Errorf("server: %d similarity queries in flight (limit %d)", n-1, max))
+			return nil, false
+		}
+		return func() { s.queryInflight.Add(-1) }, true
+	case classJoin:
+		// Joins queue (bounded by the request's deadline — the middleware
+		// applies QueryTimeout before admission) instead of rejecting:
+		// the limit exists to serialize O(n·query) scans, and their
+		// clients tolerate latency far better than refusals. The channel
+		// is captured so a SetLimits replacing s.joinSem mid-flight can
+		// never strand the release on the new channel.
+		sem := s.joinSem
+		select {
+		case sem <- struct{}{}:
+			return func() { <-sem }, true
+		case <-r.Context().Done():
+			writeQueryError(w, fmt.Errorf("server: waiting for analysis slot: %w", r.Context().Err()))
+			return nil, false
+		}
+	case classWrite:
+		// Add-then-check (like classQuery): a check-then-add pair would
+		// let a burst of simultaneous writers all pass the depth test.
+		max := s.limits.MaxWriteQueue
+		if max <= 0 {
+			return nop, true
+		}
+		if n := s.writeWaiters.Add(1); n > int64(max) {
+			s.writeWaiters.Add(-1)
+			writeRejection(w, fmt.Errorf("server: %d writers queued on the mutation lock (limit %d)", n-1, max))
+			return nil, false
+		}
+		return func() { s.writeWaiters.Add(-1) }, true
+	default:
+		return nop, true
+	}
+}
+
+// retryAfter is the hint sent with every 503/504: long enough for an
+// in-flight query to drain at typical budgets, short enough that a
+// polite client retries while its user is still waiting.
+const retryAfter = "1"
+
+// writeRejection answers an admission-control or backpressure refusal:
+// 503 with Retry-After, the contract clients pace themselves against.
+func writeRejection(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// statusClientClosedRequest is nginx's conventional 499 for "client
+// went away": the response itself is moot, but the distinct status keeps
+// ordinary client disconnects out of the 503 Rejections counter that
+// operators alert on for real admission pressure.
+const statusClientClosedRequest = 499
+
+// writeQueryError maps a query error onto the serving contract:
+//
+//	deadline (ctx or Budget.Timeout)    -> 504 Gateway Timeout + Retry-After
+//	work budget exhausted (ErrBudget)   -> 503 Service Unavailable + Retry-After
+//	client went away (context.Canceled) -> 499 (counted under Errors, not Rejections)
+//	anything else                       -> 500
+//
+// Partial results accompanying these errors are discarded: a vector
+// without its εa guarantee is not an answer the API can stand behind.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, core.ErrBudget):
+		if sw, ok := w.(*statusWriter); ok {
+			sw.budgetExhausted = true
+		}
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleMetrics serves the Prometheus text page: per-route histograms,
+// gauges and counters from the registry, then the graph/cache/shard
+// gauges that already back /stats.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.ex.Snapshot()
+	hits, misses, cached := s.q.Stats()
+	s.reg.WritePrometheus(w, func(out io.Writer) {
+		metrics.WriteGauge(out, "probesim_graph_nodes", "Nodes in the published snapshot.", int64(snap.NumNodes()))
+		metrics.WriteGauge(out, "probesim_graph_edges", "Directed edges in the published snapshot.", snap.NumEdges())
+		metrics.WriteGauge(out, "probesim_graph_version", "Version of the published snapshot.", int64(snap.Version()))
+		metrics.WriteCounter(out, "probesim_cache_hits_total", "Querier cache hits.", hits)
+		metrics.WriteCounter(out, "probesim_cache_misses_total", "Querier cache misses.", misses)
+		metrics.WriteGauge(out, "probesim_cache_vectors", "Cached single-source vectors.", int64(cached))
+		metrics.WriteCounter(out, "probesim_cache_shared_flights_total", "Queries that joined another's in-flight computation.", s.q.SharedFlights())
+		if s.st != nil {
+			ss := s.st.Stats()
+			metrics.WriteGauge(out, "probesim_shards", "Shard CSRs in the published snapshot.", int64(ss.Shards))
+			metrics.WriteCounter(out, "probesim_shard_publications_total", "Snapshot publications.", ss.Publications)
+			metrics.WriteCounter(out, "probesim_shard_noop_publishes_total", "Publications with no pending mutations.", ss.NoopPublishes)
+			metrics.WriteCounter(out, "probesim_shard_aborted_publishes_total", "Publications abandoned by cancellation.", ss.AbortedPublishes)
+			metrics.WriteCounter(out, "probesim_shards_rebuilt_total", "Shard CSRs re-encoded across publications.", ss.ShardsRebuilt)
+			metrics.WriteCounter(out, "probesim_shards_reused_total", "Shard CSRs shared with the previous snapshot.", ss.ShardsReused)
+			metrics.WriteCounter(out, "probesim_shard_edges_reencoded_total", "Adjacency entries re-encoded across publications.", ss.EdgesReEncoded)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package server
+
+// Serving-plane benchmarks for BENCH_PR3: query throughput through the
+// full HTTP stack (admission control + instrumentation + cache) under
+// concurrent load, with and without an in-flight limit engaged. Run with
+//
+//	go test -run '^$' -bench 'BenchmarkServing' -benchtime=200x ./internal/server
+//
+// The "limited" variant uses a deliberately small MaxInflight so a
+// fraction of requests takes the rejection fast path; the benchmark
+// reports how many were rejected per op so the two variants can be
+// compared fairly (a rejection is ~1000x cheaper than a query).
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+)
+
+func benchServer(b *testing.B, l Limits) *Server {
+	b.Helper()
+	g := gen.PreferentialAttachment(20000, 8, 1)
+	// Cache capacity 1 with rotating query nodes => every request does
+	// kernel work; NumWalks keeps one query ~1ms so admission dynamics,
+	// not one giant query, dominate.
+	s := New(g, core.Options{EpsA: 0.1, Seed: 1, Mode: core.ModePruned, NumWalks: 200}, 1, 50)
+	s.SetLimits(l)
+	return s
+}
+
+func benchServing(b *testing.B, l Limits) {
+	s := benchServer(b, l)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+	var next atomic.Int64
+	var rejected, failed atomic.Int64
+	// 8 client goroutines per GOMAXPROCS: real request overlap even on
+	// small CI machines, which is what admission control arbitrates.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			u := int(next.Add(1)) % 20000
+			resp, err := client.Get(fmt.Sprintf("%s/topk?u=%d&k=10", ts.URL, u))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusServiceUnavailable:
+				rejected.Add(1)
+			default:
+				failed.Add(1)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	if failed.Load() > 0 {
+		b.Fatalf("%d requests failed", failed.Load())
+	}
+	b.ReportMetric(float64(rejected.Load())/float64(b.N), "rejected/op")
+}
+
+func BenchmarkServingThroughput(b *testing.B) {
+	b.Run("unlimited", func(b *testing.B) {
+		benchServing(b, Limits{QueryTimeout: 30 * time.Second})
+	})
+	b.Run("limited", func(b *testing.B) {
+		benchServing(b, Limits{MaxInflight: 4, QueryTimeout: 30 * time.Second})
+	})
+}

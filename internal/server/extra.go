@@ -25,11 +25,11 @@ import (
 const joinNodeLimit = 20000
 
 func (s *Server) registerExtra() {
-	s.mux.HandleFunc("/pair", s.handlePair)
-	s.mux.HandleFunc("/join/topk", s.handleJoinTopK)
-	s.mux.HandleFunc("/components", s.handleComponents)
-	s.mux.HandleFunc("/edges/batch", s.handleEdgeBatch)
-	s.mux.HandleFunc("/progressive-topk", s.handleProgressiveTopK)
+	s.handle("/pair", classQuery, s.handlePair)
+	s.handle("/join/topk", classJoin, s.handleJoinTopK)
+	s.handle("/components", classJoin, s.handleComponents)
+	s.handle("/edges/batch", classWrite, s.handleEdgeBatch)
+	s.handle("/progressive-topk", classQuery, s.handleProgressiveTopK)
 }
 
 // handleProgressiveTopK answers a top-k query with the any-time algorithm
@@ -54,9 +54,9 @@ func (s *Server) handleProgressiveTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, stats, err := core.TopKProgressive(s.ex.Snapshot(), u, k, s.opt)
+	res, stats, err := core.TopKProgressive(r.Context(), s.ex.Snapshot(), u, k, s.opt)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeQueryError(w, err)
 		return
 	}
 	out := make([]scoredNodeJSON, len(res))
@@ -88,9 +88,9 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.q.SingleSource(u)
+	scores, err := s.q.SingleSource(r.Context(), u)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -118,19 +118,20 @@ func (s *Server) handleJoinTopK(w http.ResponseWriter, r *http.Request) {
 	// The join runs n single-source queries against the published snapshot:
 	// a consistent point-in-time view, pinned for the whole join, that
 	// never blocks (and is never blocked by) edge updates. Joins DO
-	// serialize among themselves — each one is an O(n·query) fan-out, so
-	// unbounded concurrent joins would starve the rest of the service.
-	s.joinSem <- struct{}{}
-	defer func() { <-s.joinSem }()
+	// serialize among themselves (the classJoin semaphore in the admission
+	// middleware) — each one is an O(n·query) fan-out, so unbounded
+	// concurrent joins would starve the rest of the service. The request
+	// context bounds the whole fan-out: an expired deadline stops every
+	// per-source query at its next kernel checkpoint.
 	snap := s.ex.Snapshot()
 	if n := snap.NumNodes(); n > joinNodeLimit {
 		writeError(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("join needs one query per node; graph has %d nodes, limit %d", n, joinNodeLimit))
 		return
 	}
-	pairs, err := simjoin.TopKJoin(snap, k, simjoin.Options{Query: s.opt})
+	pairs, err := simjoin.TopKJoin(r.Context(), snap, k, simjoin.Options{Query: s.opt})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeQueryError(w, err)
 		return
 	}
 	type pairJSON struct {
@@ -236,7 +237,10 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// One snapshot publication for the whole batch: queries switch from the
 	// pre-batch graph to the post-batch graph atomically and never observe
-	// a partially applied batch.
+	// a partially applied batch. Publication does not inherit the request
+	// context — the batch is already applied, and aborting the publish on
+	// a client disconnect would hide a durable mutation from every query
+	// until some later write republishes (see handleEdges).
 	snap := s.ex.Refresh()
 	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -15,6 +15,14 @@
 // (every publication rebuilds the full CSR snapshot) or the sharded
 // shard.Store (NewSharded; publication re-encodes only the shards an
 // update touched, and /stats reports the rebuild counters).
+//
+// Serving contract (see admission.go): every route is instrumented
+// (per-route latency histograms, in-flight gauges and outcome counters
+// behind /metrics) and admission-controlled per Limits — bounded
+// in-flight queries with 503+Retry-After rejection, queue-depth write
+// backpressure, and a per-request query timeout the kernels honor at
+// their budget checkpoints (504 on expiry). Partial results are never
+// served.
 package server
 
 import (
@@ -24,9 +32,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"probesim/internal/core"
 	"probesim/internal/graph"
+	"probesim/internal/metrics"
 	"probesim/internal/shard"
 )
 
@@ -48,11 +58,20 @@ type Server struct {
 	limit int
 	mux   *http.ServeMux
 
-	// joinSem serializes /join/topk requests among themselves (capacity
-	// 1). Joins used to queue on the write mutex; now that they read the
-	// published snapshot, this keeps the old one-join-at-a-time bound on
-	// their O(n·query) fan-out without ever blocking queries or writes.
-	joinSem chan struct{}
+	// Admission control (see admission.go): the active limits, the
+	// similarity-query in-flight counter, the analysis-scan semaphore
+	// (capacity MaxJoinInflight; joins used to queue on the write mutex,
+	// this keeps their O(n·query) fan-out bounded without ever blocking
+	// queries or writes), and the write-queue depth gauge behind the
+	// backpressure rejection.
+	limits        Limits
+	queryInflight atomic.Int64
+	joinSem       chan struct{}
+	writeWaiters  atomic.Int64
+
+	// reg feeds /metrics: per-route latency histograms, in-flight
+	// gauges, timeout/rejection counters.
+	reg *metrics.Registry
 }
 
 // New builds a Server over g. cacheCap bounds the Querier cache; limit
@@ -83,11 +102,13 @@ func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options
 		limit:   limit,
 		mux:     http.NewServeMux(),
 		joinSem: make(chan struct{}, 1),
+		reg:     metrics.NewRegistry(),
 	}
-	s.mux.HandleFunc("/topk", s.handleTopK)
-	s.mux.HandleFunc("/single-source", s.handleSingleSource)
-	s.mux.HandleFunc("/edges", s.handleEdges)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	s.handle("/topk", classQuery, s.handleTopK)
+	s.handle("/single-source", classQuery, s.handleSingleSource)
+	s.handle("/edges", classWrite, s.handleEdges)
+	s.handle("/stats", classMeta, s.handleStats)
+	s.handle("/metrics", classMeta, s.handleMetrics)
 	s.registerExtra()
 	return s
 }
@@ -148,9 +169,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.q.TopK(u, k)
+	res, err := s.q.TopK(r.Context(), u, k)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeQueryError(w, err)
 		return
 	}
 	out := make([]scoredNodeJSON, len(res))
@@ -170,9 +191,9 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.q.SingleSource(u)
+	scores, err := s.q.SingleSource(r.Context(), u)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeQueryError(w, err)
 		return
 	}
 	type entry struct {
@@ -238,7 +259,13 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Publish the new snapshot before releasing the write mutex so the
-	// next query (and the next mutator) sees the update.
+	// next query (and the next mutator) sees the update. Publication
+	// deliberately does NOT inherit the request context: the mutation is
+	// already applied, and aborting the publish on a client disconnect
+	// would leave the write invisible to every query until the next
+	// write republishes — a staleness window no other client could see
+	// or fix. Publication is bounded work (O(batch + touched shards) on
+	// the sharded backend), so completing it unconditionally is safe.
 	snap := s.ex.Refresh()
 	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -285,6 +312,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["shardStride"] = ss.Stride
 		body["shardPublications"] = ss.Publications
 		body["shardNoopPublishes"] = ss.NoopPublishes
+		body["shardAbortedPublishes"] = ss.AbortedPublishes
 		body["shardsRebuilt"] = ss.ShardsRebuilt
 		body["shardsReused"] = ss.ShardsReused
 		body["shardEdgesReEncoded"] = ss.EdgesReEncoded

@@ -10,6 +10,7 @@ package shard_test
 // which is also why it is a sharp detector of any re-encoding bug.
 
 import (
+	"context"
 	"testing"
 
 	"probesim/internal/core"
@@ -46,23 +47,23 @@ func TestShardedSingleSourceBitIdentical(t *testing.T) {
 			st := shard.NewStore(g, p, 2)
 			ex := core.NewExecutorOn(st, opt)
 			for u := graph.NodeID(0); u < 6; u++ {
-				want, err := core.SingleSource(g, u, opt)
+				want, err := core.SingleSource(context.Background(), g, u, opt)
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
 				}
-				fromSnap, err := core.SingleSource(snap, u, opt)
+				fromSnap, err := core.SingleSource(context.Background(), snap, u, opt)
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
 				}
-				fromSharded, err := core.SingleSource(st.Current(), u, opt)
+				fromSharded, err := core.SingleSource(context.Background(), st.Current(), u, opt)
 				if err != nil {
 					t.Fatalf("mode %v p=%d: %v", mode, p, err)
 				}
-				fromStore, err := core.SingleSource(st, u, opt)
+				fromStore, err := core.SingleSource(context.Background(), st, u, opt)
 				if err != nil {
 					t.Fatalf("mode %v p=%d: %v", mode, p, err)
 				}
-				pooled, err := ex.SingleSource(u)
+				pooled, err := ex.SingleSource(context.Background(), u)
 				if err != nil {
 					t.Fatalf("mode %v p=%d: %v", mode, p, err)
 				}
@@ -124,7 +125,7 @@ func TestShardedAgreementUnderChurn(t *testing.T) {
 			}
 		}
 		u := graph.NodeID(round * 29 % n)
-		want, err := core.SingleSource(g, u, opt)
+		want, err := core.SingleSource(context.Background(), g, u, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestShardedAgreementUnderChurn(t *testing.T) {
 			if snap.Version() != st.Version() {
 				t.Fatalf("p=%d: published version %d != store version %d", shardCounts[i], snap.Version(), st.Version())
 			}
-			got, err := core.SingleSource(snap, u, opt)
+			got, err := core.SingleSource(context.Background(), snap, u, opt)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -108,12 +108,18 @@ type Store struct {
 
 	cur atomic.Pointer[StoreSnapshot]
 
+	// eagerSpans, when set, makes every publication kick off a background
+	// materialization of the new snapshot's dense span arrays (see
+	// EnableEagerSpans).
+	eagerSpans atomic.Bool
+
 	// Publication counters (atomics so /stats can read them lock-free).
-	publications   atomic.Int64
-	shardsRebuilt  atomic.Int64
-	shardsReused   atomic.Int64
-	noopPublishes  atomic.Int64
-	edgesReEncoded atomic.Int64
+	publications     atomic.Int64
+	shardsRebuilt    atomic.Int64
+	shardsReused     atomic.Int64
+	noopPublishes    atomic.Int64
+	abortedPublishes atomic.Int64
+	edgesReEncoded   atomic.Int64
 }
 
 // NewStore partitions g into at most shards shards and publishes an
@@ -337,13 +343,17 @@ func (st *Store) Validate() error {
 // in total (the actual publication work, vs m per publication for a full
 // rebuild).
 type Stats struct {
-	Shards         int
-	Stride         int
-	Publications   int64
-	NoopPublishes  int64
-	ShardsRebuilt  int64
-	ShardsReused   int64
-	EdgesReEncoded int64
+	Shards        int
+	Stride        int
+	Publications  int64
+	NoopPublishes int64
+	// AbortedPublishes counts publications abandoned by context
+	// cancellation before the atomic store; their partially re-encoded
+	// shards still contribute to EdgesReEncoded (the work was done).
+	AbortedPublishes int64
+	ShardsRebuilt    int64
+	ShardsReused     int64
+	EdgesReEncoded   int64
 }
 
 // Stats returns a consistent-enough snapshot of the publication counters
@@ -356,12 +366,13 @@ func (st *Store) Stats() Stats {
 		shards = cur.NumShards()
 	}
 	return Stats{
-		Shards:         shards,
-		Stride:         st.part.Stride(),
-		Publications:   st.publications.Load(),
-		NoopPublishes:  st.noopPublishes.Load(),
-		ShardsRebuilt:  st.shardsRebuilt.Load(),
-		ShardsReused:   st.shardsReused.Load(),
-		EdgesReEncoded: st.edgesReEncoded.Load(),
+		Shards:           shards,
+		Stride:           st.part.Stride(),
+		Publications:     st.publications.Load(),
+		NoopPublishes:    st.noopPublishes.Load(),
+		AbortedPublishes: st.abortedPublishes.Load(),
+		ShardsRebuilt:    st.shardsRebuilt.Load(),
+		ShardsReused:     st.shardsReused.Load(),
+		EdgesReEncoded:   st.edgesReEncoded.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -98,6 +99,10 @@ func (s *StoreSnapshot) spanArrays() *spanArrays {
 	}
 	return sp
 }
+
+// SpansMaterialized reports whether the dense span arrays have been
+// built (eagerly or by a query) — observability for the eager-span path.
+func (s *StoreSnapshot) SpansMaterialized() bool { return s.spans.Load() != nil }
 
 func (s *StoreSnapshot) shardOf(v graph.NodeID) (*graph.CSRShard, uint32) {
 	return &s.csr[uint32(v)>>s.shift], uint32(v) & (uint32(1)<<s.shift - 1)
@@ -215,8 +220,21 @@ func (st *Store) Current() *StoreSnapshot { return st.cur.Load() }
 // composite snapshot as a versioned view.
 func (st *Store) PublishedView() graph.VersionedView { return st.Current() }
 
-// PublishView implements core's SnapshotProvider: republish if stale.
-func (st *Store) PublishView() graph.VersionedView { return st.Publish() }
+// PublishView implements core's SnapshotProvider: republish if stale,
+// honoring ctx (see PublishCtx).
+func (st *Store) PublishView(ctx context.Context) (graph.VersionedView, error) {
+	return st.PublishCtx(ctx)
+}
+
+// EnableEagerSpans makes every subsequent publication materialize the new
+// snapshot's dense span arrays on a background goroutine instead of
+// leaving them to the generation's first query. Publication latency is
+// unchanged (the goroutine runs after the atomic store), but a
+// latency-sensitive deployment no longer pays the O(n) densification on
+// the first query after a batch. The materialization is the same benign
+// CAS race as the lazy path, so a query racing the background build at
+// worst duplicates it.
+func (st *Store) EnableEagerSpans() { st.eagerSpans.Store(true) }
 
 // Publish re-encodes every shard whose mutable side moved since the last
 // publication and atomically publishes the new composite snapshot. Cost
@@ -227,12 +245,27 @@ func (st *Store) PublishView() graph.VersionedView { return st.Publish() }
 // publish with no pending mutations returns the current snapshot
 // untouched.
 func (st *Store) Publish() *StoreSnapshot {
+	snap, _ := st.PublishCtx(context.Background())
+	return snap
+}
+
+// PublishCtx is Publish with cancellation: the rebuild worker pool
+// checkpoints ctx between shard re-encodes, and a canceled publication is
+// abandoned before the atomic store — the previously published snapshot
+// (returned alongside the error) stays current and the mutable side keeps
+// its dirty-shard versions, so the next publication simply redoes the
+// work. Cancellation can delay visibility of mutations, never corrupt it.
+func (st *Store) PublishCtx(ctx context.Context) (*StoreSnapshot, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	prev := st.cur.Load()
 	if prev != nil && prev.version == st.version {
 		st.noopPublishes.Add(1)
-		return prev
+		return prev, nil
+	}
+	if err := ctx.Err(); err != nil {
+		st.abortedPublishes.Add(1)
+		return prev, fmt.Errorf("shard: publication aborted: %w", err)
 	}
 	next := &StoreSnapshot{
 		n:        st.n,
@@ -254,12 +287,18 @@ func (st *Store) Publish() *StoreSnapshot {
 		}
 		dirty = append(dirty, p)
 	}
-	st.rebuild(next, dirty)
+	if err := st.rebuild(ctx, next, dirty); err != nil {
+		st.abortedPublishes.Add(1)
+		return prev, fmt.Errorf("shard: publication aborted: %w", err)
+	}
 	st.publications.Add(1)
 	st.shardsRebuilt.Add(int64(len(dirty)))
 	st.shardsReused.Add(int64(len(st.shards) - len(dirty)))
 	st.cur.Store(next)
-	return next
+	if st.eagerSpans.Load() {
+		go next.spanArrays()
+	}
+	return next, nil
 }
 
 // rebuildParallelThreshold is the total edge count (in + out entries
@@ -270,8 +309,10 @@ func (st *Store) Publish() *StoreSnapshot {
 const rebuildParallelThreshold = 1 << 16
 
 // rebuild encodes the dirty shards into next, fanning out across the
-// worker pool when there is enough work to amortize it.
-func (st *Store) rebuild(next *StoreSnapshot, dirty []int) {
+// worker pool when there is enough work to amortize it. Workers check ctx
+// between shard encodes (one shard is the cancellation granularity); on
+// cancellation the partially filled next is abandoned by the caller.
+func (st *Store) rebuild(ctx context.Context, next *StoreSnapshot, dirty []int) error {
 	workers := st.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -293,19 +334,37 @@ func (st *Store) rebuild(next *StoreSnapshot, dirty []int) {
 			workers = 1
 		}
 	}
+	done := ctx.Done()
 	if workers <= 1 {
-		for _, p := range dirty {
+		for i, p := range dirty {
+			// ctx.Err() is a lock per call; only pay it when cancelable
+			// and not on the first shard (tiny publishes stay one-shot).
+			if done != nil && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			st.encodeShard(next, p)
 		}
-		return
+		return nil
 	}
 	var idx atomic.Int64
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled.Load() {
+					return
+				}
+				if done != nil {
+					if err := ctx.Err(); err != nil {
+						canceled.Store(true)
+						return
+					}
+				}
 				i := int(idx.Add(1)) - 1
 				if i >= len(dirty) {
 					return
@@ -315,6 +374,10 @@ func (st *Store) rebuild(next *StoreSnapshot, dirty []int) {
 		}()
 	}
 	wg.Wait()
+	if canceled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // encodeShard builds shard p's CSR from its mutable adjacency, preserving

@@ -1,6 +1,7 @@
 package simjoin_test
 
 import (
+	"context"
 	"fmt"
 
 	"probesim/internal/core"
@@ -18,7 +19,7 @@ func Example() {
 			panic(err)
 		}
 	}
-	pairs, err := simjoin.ThresholdJoin(g, 0.3, simjoin.Options{
+	pairs, err := simjoin.ThresholdJoin(context.Background(), g, 0.3, simjoin.Options{
 		Query: core.Options{EpsA: 0.02, Seed: 1},
 	})
 	if err != nil {

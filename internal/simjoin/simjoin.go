@@ -25,6 +25,7 @@
 package simjoin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -101,7 +102,15 @@ func validate(g graph.View, opt Options) error {
 // similarity at least theta, sorted by descending score (ties broken by
 // node ids). With probability 1 − δ the result contains every pair with
 // s(u,v) >= theta + εa and no pair with s(u,v) < theta − εa.
-func ThresholdJoin(g graph.View, theta float64, opt Options) ([]Pair, error) {
+//
+// ctx bounds the whole join: a join is n single-source queries, so this
+// is the knob that keeps a huge join from occupying a server
+// indefinitely. Cancellation stops dispatching new sources, stops the
+// in-flight per-source queries at their next kernel checkpoint, and
+// returns the cancellation error (a canceled join returns no pairs —
+// unlike a single query there is no meaningful partial join answer).
+// opt.Query.Budget additionally bounds each per-source query.
+func ThresholdJoin(ctx context.Context, g graph.View, theta float64, opt Options) ([]Pair, error) {
 	if theta <= 0 || theta >= 1 {
 		return nil, fmt.Errorf("simjoin: threshold %v outside (0, 1)", theta)
 	}
@@ -110,7 +119,7 @@ func ThresholdJoin(g graph.View, theta float64, opt Options) ([]Pair, error) {
 	}
 	var mu sync.Mutex
 	var out []Pair
-	err := forEachSource(g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
+	err := forEachSource(ctx, g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
 		var local []Pair
 		for v := range est {
 			if !owned(graph.NodeID(v)) {
@@ -143,8 +152,9 @@ func makePair(u, v graph.NodeID, score float64) Pair {
 
 // TopKJoin returns the k unordered pairs with the highest estimated
 // similarity, in descending score order. Each worker keeps a local top-k
-// and the partial answers are merged at the end.
-func TopKJoin(g graph.View, k int, opt Options) ([]Pair, error) {
+// and the partial answers are merged at the end. Cancellation semantics
+// follow ThresholdJoin.
+func TopKJoin(ctx context.Context, g graph.View, k int, opt Options) ([]Pair, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("simjoin: k = %d must be positive", k)
 	}
@@ -153,7 +163,7 @@ func TopKJoin(g graph.View, k int, opt Options) ([]Pair, error) {
 	}
 	var mu sync.Mutex
 	var all []Pair
-	err := forEachSource(g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
+	err := forEachSource(ctx, g, opt, func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool) {
 		// Keep the source's k best pairs; anything below its k-th best
 		// can never enter the global top-k.
 		local := make([]Pair, 0, k)
@@ -189,7 +199,10 @@ func TopKJoin(g graph.View, k int, opt Options) ([]Pair, error) {
 // u's query. A pair with both endpoints in the source set is owned by the
 // smaller endpoint; a pair with one source endpoint is owned by that
 // source. fn may run concurrently.
-func forEachSource(g graph.View, opt Options, fn func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool)) error {
+func forEachSource(ctx context.Context, g graph.View, opt Options, fn func(u graph.NodeID, est []float64, owned func(v graph.NodeID) bool)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sources := opt.sourcesFor(g)
 	if len(sources) == 0 {
 		return nil
@@ -221,7 +234,7 @@ func forEachSource(g graph.View, opt Options, fn func(u graph.NodeID, est []floa
 			defer wg.Done()
 			for u := range next {
 				qo := perSourceOptions(opt.Query, len(sources), u)
-				est, err := core.SingleSource(g, u, qo)
+				est, err := core.SingleSource(ctx, g, u, qo)
 				if err != nil {
 					errOnce.Do(func() { firstErr = fmt.Errorf("simjoin: source %d: %w", u, err) })
 					continue
@@ -239,8 +252,17 @@ func forEachSource(g graph.View, opt Options, fn func(u graph.NodeID, est []floa
 			}
 		}()
 	}
+	// Dispatch sources until done or canceled; on cancellation the
+	// in-flight queries notice via the same ctx at their own checkpoints.
+	done := ctx.Done()
+dispatch:
 	for _, u := range sources {
-		next <- u
+		select {
+		case next <- u:
+		case <-done:
+			errOnce.Do(func() { firstErr = fmt.Errorf("simjoin: %w", ctx.Err()) })
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

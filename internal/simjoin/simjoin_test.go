@@ -1,10 +1,13 @@
 package simjoin
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"probesim/internal/core"
 	"probesim/internal/gen"
@@ -43,7 +46,7 @@ func TestThresholdJoinGuarantee(t *testing.T) {
 	theta := 0.10
 	eps := opt.Query.EpsA
 
-	got, err := ThresholdJoin(g, theta, opt)
+	got, err := ThresholdJoin(context.Background(), g, theta, opt)
 	if err != nil {
 		t.Fatalf("ThresholdJoin: %v", err)
 	}
@@ -72,7 +75,7 @@ func TestThresholdJoinGuarantee(t *testing.T) {
 
 func TestThresholdJoinOutputInvariants(t *testing.T) {
 	g := gen.PreferentialAttachment(50, 3, 5)
-	got, err := ThresholdJoin(g, 0.05, joinOptions())
+	got, err := ThresholdJoin(context.Background(), g, 0.05, joinOptions())
 	if err != nil {
 		t.Fatalf("ThresholdJoin: %v", err)
 	}
@@ -100,7 +103,7 @@ func TestTopKJoinMatchesThreshold(t *testing.T) {
 	// that threshold must return a superset containing the same best pairs.
 	g := gen.ErdosRenyi(40, 200, 9)
 	opt := joinOptions()
-	top, err := TopKJoin(g, 10, opt)
+	top, err := TopKJoin(context.Background(), g, 10, opt)
 	if err != nil {
 		t.Fatalf("TopKJoin: %v", err)
 	}
@@ -112,7 +115,7 @@ func TestTopKJoinMatchesThreshold(t *testing.T) {
 			t.Fatalf("TopKJoin not sorted at %d", i)
 		}
 	}
-	all, err := ThresholdJoin(g, top[len(top)-1].Score, opt)
+	all, err := ThresholdJoin(context.Background(), g, top[len(top)-1].Score, opt)
 	if err != nil {
 		t.Fatalf("ThresholdJoin: %v", err)
 	}
@@ -131,7 +134,7 @@ func TestTopKJoinAgainstTruth(t *testing.T) {
 	g := gen.ErdosRenyi(50, 220, 13)
 	opt := joinOptions()
 	k := 5
-	top, err := TopKJoin(g, k, opt)
+	top, err := TopKJoin(context.Background(), g, k, opt)
 	if err != nil {
 		t.Fatalf("TopKJoin: %v", err)
 	}
@@ -161,7 +164,7 @@ func TestSourcesRestriction(t *testing.T) {
 	g := gen.ErdosRenyi(40, 180, 17)
 	opt := joinOptions()
 	opt.Sources = []graph.NodeID{3, 9}
-	got, err := ThresholdJoin(g, 0.02, opt)
+	got, err := ThresholdJoin(context.Background(), g, 0.02, opt)
 	if err != nil {
 		t.Fatalf("ThresholdJoin: %v", err)
 	}
@@ -182,22 +185,22 @@ func TestSourcesRestriction(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	g := gen.ErdosRenyi(10, 30, 1)
-	if _, err := ThresholdJoin(g, 0, joinOptions()); err == nil {
+	if _, err := ThresholdJoin(context.Background(), g, 0, joinOptions()); err == nil {
 		t.Error("theta = 0 accepted")
 	}
-	if _, err := ThresholdJoin(g, 1.5, joinOptions()); err == nil {
+	if _, err := ThresholdJoin(context.Background(), g, 1.5, joinOptions()); err == nil {
 		t.Error("theta > 1 accepted")
 	}
-	if _, err := TopKJoin(g, 0, joinOptions()); err == nil {
+	if _, err := TopKJoin(context.Background(), g, 0, joinOptions()); err == nil {
 		t.Error("k = 0 accepted")
 	}
 	bad := joinOptions()
 	bad.Sources = []graph.NodeID{99}
-	if _, err := ThresholdJoin(g, 0.1, bad); err == nil {
+	if _, err := ThresholdJoin(context.Background(), g, 0.1, bad); err == nil {
 		t.Error("out-of-range source accepted")
 	}
 	badQuery := Options{Query: core.Options{EpsA: 2}}
-	if _, err := ThresholdJoin(g, 0.1, badQuery); err == nil {
+	if _, err := ThresholdJoin(context.Background(), g, 0.1, badQuery); err == nil {
 		t.Error("invalid query options accepted")
 	}
 }
@@ -205,12 +208,12 @@ func TestValidation(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	g := gen.PreferentialAttachment(40, 3, 8)
 	opt := joinOptions()
-	a, err := ThresholdJoin(g, 0.05, opt)
+	a, err := ThresholdJoin(context.Background(), g, 0.05, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Workers = 1
-	b, err := ThresholdJoin(g, 0.05, opt)
+	b, err := ThresholdJoin(context.Background(), g, 0.05, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +230,7 @@ func TestDeterministicForSeed(t *testing.T) {
 func TestEmptySourceSet(t *testing.T) {
 	// A graph with no in-edges at all joins to nothing.
 	g := graph.New(5)
-	got, err := ThresholdJoin(g, 0.1, Options{Query: core.Options{EpsA: 0.2}})
+	got, err := ThresholdJoin(context.Background(), g, 0.1, Options{Query: core.Options{EpsA: 0.2}})
 	if err != nil {
 		t.Fatalf("ThresholdJoin: %v", err)
 	}
@@ -252,7 +255,7 @@ func TestMakePairNormalizes(t *testing.T) {
 func TestPairScoresWithinEps(t *testing.T) {
 	g := gen.ErdosRenyi(40, 160, 23)
 	opt := joinOptions()
-	got, err := ThresholdJoin(g, 0.05, opt)
+	got, err := ThresholdJoin(context.Background(), g, 0.05, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,5 +267,40 @@ func TestPairScoresWithinEps(t *testing.T) {
 		if d := math.Abs(p.Score - truth.At(p.U, p.V)); d > opt.Query.EpsA {
 			t.Errorf("pair {%d,%d} score error %v exceeds εa", p.U, p.V, d)
 		}
+	}
+}
+
+func TestJoinCancellationStopsPromptly(t *testing.T) {
+	// A join over this graph is thousands of expensive single-source
+	// queries; a 1ms deadline must stop it within a checkpoint interval,
+	// not after the full fan-out.
+	g := gen.PreferentialAttachment(2000, 4, 5)
+	opt := Options{Query: core.Options{Seed: 1, NumWalks: 100000}}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	pairs, err := TopKJoin(ctx, g, 10, opt)
+	if err == nil {
+		t.Fatal("huge join finished under a 1ms deadline?")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if pairs != nil {
+		t.Fatal("canceled join returned pairs")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("join deadline honored only after %v", elapsed)
+	}
+}
+
+func TestJoinPerQueryBudget(t *testing.T) {
+	// A per-source walk cap surfaces as the join's error (first source to
+	// trip reports), proving Budget flows through the fan-out.
+	g := gen.ErdosRenyi(30, 120, 9)
+	opt := Options{Query: core.Options{Seed: 1, NumWalks: 100000, Budget: core.Budget{MaxWalks: 10}}}
+	_, err := ThresholdJoin(context.Background(), g, 0.1, opt)
+	if !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }

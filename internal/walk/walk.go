@@ -9,6 +9,7 @@ package walk
 import (
 	"math"
 
+	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/xrand"
 )
@@ -23,6 +24,7 @@ type Generator struct {
 	adj   graph.Adj
 	sqrtC float64
 	rng   *xrand.RNG
+	meter *budget.Meter
 }
 
 // NewGenerator returns a walk generator with decay factor c (the SimRank
@@ -41,6 +43,12 @@ func NewGenerator(g graph.View, c float64, rng *xrand.RNG) *Generator {
 // SqrtC returns the per-step survival probability √c.
 func (gen *Generator) SqrtC() float64 { return gen.sqrtC }
 
+// SetMeter attaches the owning query's budget meter: once it trips,
+// Generate returns the trivial one-node walk immediately instead of
+// stepping, so a canceled query stops producing work at the next walk
+// boundary. A nil meter (the default) means unbounded.
+func (gen *Generator) SetMeter(m *budget.Meter) { gen.meter = m }
+
 // Generate appends a √c-walk starting at u to buf and returns it. The walk
 // includes u as its first node. maxNodes caps the number of nodes in the
 // walk (pruning rule 1); pass 0 for the statistical HardCap. A walk also
@@ -51,6 +59,9 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 		maxNodes = HardCap
 	}
 	buf = append(buf[:0], u)
+	if gen.meter.Stopped() {
+		return buf
+	}
 	cur := u
 	for len(buf) < maxNodes {
 		if gen.rng.Float64() >= gen.sqrtC {

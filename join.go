@@ -1,6 +1,8 @@
 package probesim
 
 import (
+	"context"
+
 	"probesim/internal/simjoin"
 )
 
@@ -17,13 +19,14 @@ type JoinOptions = simjoin.Options
 // 1 − δ the result contains every pair with s(u,v) >= theta + εa and no
 // pair with s(u,v) < theta − εa. The join runs one single-source query per
 // candidate source and needs no precomputed join index, so it stays valid
-// under graph updates.
-func ThresholdJoin(g *Graph, theta float64, opt JoinOptions) ([]Pair, error) {
-	return simjoin.ThresholdJoin(g, theta, opt)
+// under graph updates. ctx bounds the whole join (a canceled join returns
+// no pairs); opt.Query.Budget additionally bounds each per-source query.
+func ThresholdJoin(ctx context.Context, g *Graph, theta float64, opt JoinOptions) ([]Pair, error) {
+	return simjoin.ThresholdJoin(ctx, g, theta, opt)
 }
 
 // TopKJoin returns the k unordered pairs with the highest estimated
 // SimRank similarity, in descending score order.
-func TopKJoin(g *Graph, k int, opt JoinOptions) ([]Pair, error) {
-	return simjoin.TopKJoin(g, k, opt)
+func TopKJoin(ctx context.Context, g *Graph, k int, opt JoinOptions) ([]Pair, error) {
+	return simjoin.TopKJoin(ctx, g, k, opt)
 }

@@ -1,6 +1,7 @@
 package probesim_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func diamondGraph(t *testing.T) *probesim.Graph {
 
 func TestThresholdJoinPublicAPI(t *testing.T) {
 	g := diamondGraph(t)
-	pairs, err := probesim.ThresholdJoin(g, 0.5, probesim.JoinOptions{
+	pairs, err := probesim.ThresholdJoin(context.Background(), g, 0.5, probesim.JoinOptions{
 		Query: probesim.Options{EpsA: 0.03, Seed: 5},
 	})
 	if err != nil {
@@ -43,7 +44,7 @@ func TestThresholdJoinPublicAPI(t *testing.T) {
 
 func TestTopKJoinPublicAPI(t *testing.T) {
 	g := diamondGraph(t)
-	pairs, err := probesim.TopKJoin(g, 2, probesim.JoinOptions{
+	pairs, err := probesim.TopKJoin(context.Background(), g, 2, probesim.JoinOptions{
 		Query: probesim.Options{EpsA: 0.03, Seed: 5},
 	})
 	if err != nil {
@@ -70,7 +71,7 @@ func TestJoinSeesDynamicUpdates(t *testing.T) {
 		}
 	}
 	opt := probesim.JoinOptions{Query: probesim.Options{EpsA: 0.03, Seed: 9}}
-	before, err := probesim.TopKJoin(g, 1, opt)
+	before, err := probesim.TopKJoin(context.Background(), g, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestJoinSeesDynamicUpdates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	after, err := probesim.TopKJoin(g, 6, opt)
+	after, err := probesim.TopKJoin(context.Background(), g, 6, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,11 +12,22 @@
 //	g.AddEdge(1, 3)
 //	g.AddEdge(2, 3)
 //
+//	ctx := context.Background()
+//
 //	// All similarities to node 1, each within 0.05 of the truth w.p. 99%.
-//	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.05})
+//	scores, err := probesim.SingleSource(ctx, g, 1, probesim.Options{EpsA: 0.05})
 //
 //	// The 10 most similar nodes to node 1.
-//	top, err := probesim.TopK(g, 1, 10, probesim.Options{})
+//	top, err := probesim.TopK(ctx, g, 1, 10, probesim.Options{})
+//
+// # Deadlines and budgets
+//
+// Every query takes a context.Context and honors Options.Budget: pass a
+// context with a deadline (or set Budget.Timeout / MaxWalks /
+// MaxProbeWork) and the query stops at its next amortized checkpoint,
+// returning its partial estimate together with an error that unwraps to
+// context.DeadlineExceeded, context.Canceled or ErrBudget. Un-budgeted
+// queries on context.Background pay only a nil-check per checkpoint.
 //
 // # Guarantees
 //
@@ -51,6 +62,7 @@
 package probesim
 
 import (
+	"context"
 	"io"
 
 	"probesim/internal/core"
@@ -77,8 +89,18 @@ type GraphView = graph.View
 type Stats = graph.Stats
 
 // Options configures a query; the zero value uses the paper's defaults
-// (c = 0.6, εa = 0.1, δ = 0.01, ModeAuto, all cores).
+// (c = 0.6, εa = 0.1, δ = 0.01, ModeAuto, all cores, no budget).
 type Options = core.Options
+
+// Budget bounds one query's resource consumption: wall clock, √c-walk
+// trials, probe edge traversals. The zero value is unbounded. A query
+// stopped by its budget returns its partial estimate alongside an error.
+type Budget = core.Budget
+
+// ErrBudget is returned (wrapped) when a query exhausts an explicit walk
+// or probe-work budget; deadline and cancellation stops unwrap to
+// context.DeadlineExceeded and context.Canceled. Test with errors.Is.
+var ErrBudget = core.ErrBudget
 
 // Mode selects a ProbeSim execution strategy.
 type Mode = core.Mode
@@ -128,14 +150,16 @@ func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 // SingleSource answers an approximate single-source SimRank query: it
 // returns s̃(u, v) for every node v (result[u] = 1), with every entry
 // within opt.EpsA of the exact similarity with probability 1 − opt.Delta.
-func SingleSource(g *Graph, u NodeID, opt Options) ([]float64, error) {
-	return core.SingleSource(g, u, opt)
+// ctx (plus opt.Budget) bounds the query; a stopped query returns its
+// partial estimate together with a non-nil error.
+func SingleSource(ctx context.Context, g *Graph, u NodeID, opt Options) ([]float64, error) {
+	return core.SingleSource(ctx, g, u, opt)
 }
 
 // TopK answers an approximate top-k SimRank query: the k nodes most
 // similar to u (excluding u), in descending score order.
-func TopK(g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, error) {
-	return core.TopK(g, u, k, opt)
+func TopK(ctx context.Context, g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, error) {
+	return core.TopK(ctx, g, u, k, opt)
 }
 
 // ProgressiveStats reports how a TopKProgressive query stopped: walks
@@ -148,8 +172,8 @@ type ProgressiveStats = core.ProgressiveStats
 // the k-th and (k+1)-th candidates separate by twice the confidence
 // radius, often long before the static εa-driven walk budget. The
 // guarantee of Definition 2 is preserved; Stats reports the saving.
-func TopKProgressive(g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
-	return core.TopKProgressive(g, u, k, opt)
+func TopKProgressive(ctx context.Context, g *Graph, u NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
+	return core.TopKProgressive(ctx, g, u, k, opt)
 }
 
 // PlanFor reports the execution plan a query with these options would use

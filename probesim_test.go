@@ -2,6 +2,7 @@ package probesim_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestQuickStart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	scores, err := probesim.SingleSource(g, 1, probesim.Options{EpsA: 0.05})
+	scores, err := probesim.SingleSource(context.Background(), g, 1, probesim.Options{EpsA: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestQuickStart(t *testing.T) {
 	if math.Abs(scores[2]-0.6) > 0.05 {
 		t.Fatalf("s(1,2) = %v, want 0.6 ± 0.05", scores[2])
 	}
-	top, err := probesim.TopK(g, 1, 2, probesim.Options{})
+	top, err := probesim.TopK(context.Background(), g, 1, 2, probesim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestDynamicUpdatesAffectQueries(t *testing.T) {
 		}
 	}
 	opt := probesim.Options{EpsA: 0.05, Seed: 3}
-	before, err := probesim.SingleSource(g, 1, opt)
+	before, err := probesim.SingleSource(context.Background(), g, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestDynamicUpdatesAffectQueries(t *testing.T) {
 	if err := g.AddEdge(3, 2); err != nil {
 		t.Fatal(err)
 	}
-	after, err := probesim.SingleSource(g, 1, opt)
+	after, err := probesim.SingleSource(context.Background(), g, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestLoadAndBinaryRoundTrip(t *testing.T) {
 	if g2.NumEdges() != 3 {
 		t.Fatalf("round trip lost edges: %d", g2.NumEdges())
 	}
-	if _, err := probesim.SingleSource(g2, 0, probesim.Options{NumWalks: 100}); err != nil {
+	if _, err := probesim.SingleSource(context.Background(), g2, 0, probesim.Options{NumWalks: 100}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +116,7 @@ func TestAllModesExposed(t *testing.T) {
 		probesim.ModeAuto, probesim.ModeBasic, probesim.ModePruned,
 		probesim.ModeBatch, probesim.ModeRandomized, probesim.ModeHybrid,
 	} {
-		if _, err := probesim.SingleSource(g, 1, probesim.Options{Mode: m, NumWalks: 50}); err != nil {
+		if _, err := probesim.SingleSource(context.Background(), g, 1, probesim.Options{Mode: m, NumWalks: 50}); err != nil {
 			t.Fatalf("mode %v: %v", m, err)
 		}
 	}
