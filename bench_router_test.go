@@ -1,0 +1,83 @@
+package probesim_test
+
+// Benchmarks for the distributed shard plane (PR 4): the router's local
+// fast path must be at parity with the direct sharded store (the PR 3
+// serving configuration), and the generic engine path over in-process
+// engines bounds what the transport seam itself costs before any network.
+//
+//   - BenchmarkRouterSingleSource/direct-store: PR 3's configuration,
+//     core.Executor straight over shard.Store.
+//   - BenchmarkRouterSingleSource/router-local: the same store behind
+//     router.NewLocal — the fast path must add nothing (it serves the
+//     store's own snapshots).
+//   - BenchmarkRouterSingleSource/router-engines: two in-process engines
+//     splitting shard ownership through the generic path (lazy block
+//     table, per-query bound view, walk-segment delegation) — the
+//     in-memory cost of the distribution seam, network excluded.
+//
+// Run with
+//
+//	go test -run '^$' -bench 'BenchmarkRouter' -benchmem
+//
+// Committed results live in BENCH_PR4.json.
+
+import (
+	"context"
+	"testing"
+
+	"probesim/internal/core"
+	"probesim/internal/router"
+	"probesim/internal/shard"
+)
+
+func BenchmarkRouterSingleSource(b *testing.B) {
+	g := shardBenchGraph(b)
+	u := benchQuery(b, g)
+	opt := snapshotBenchOpts()
+
+	st := shard.NewStore(g, shardBenchShards, 0)
+	stA := shard.NewStore(g, shardBenchShards, 0)
+	stB := shard.NewStore(g, shardBenchShards, 0)
+	local := router.NewLocal(shard.NewStore(g, shardBenchShards, 0))
+	split, err := router.New(router.NewLocalEngine(stA, 0, 2), router.NewLocalEngine(stB, 1, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	want, err := core.SingleSource(context.Background(), st.Current(), u, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, provider := range map[string]core.SnapshotProvider{
+		"router-local": local, "router-engines": split,
+	} {
+		got, err := core.SingleSource(context.Background(), provider.PublishedView(), u, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v := range want {
+			if want[v] != got[v] {
+				b.Fatalf("%s diverges from direct store at node %d: %v != %v", name, v, got[v], want[v])
+			}
+		}
+	}
+
+	run := func(provider core.SnapshotProvider) func(*testing.B) {
+		return func(b *testing.B) {
+			ex := core.NewExecutorOn(provider, opt)
+			buf := make([]float64, g.NumNodes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := ex.SingleSourceInto(context.Background(), u, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out
+			}
+		}
+	}
+	b.Run("direct-store", run(st))
+	b.Run("router-local", run(local))
+	b.Run("router-engines", run(split))
+}

@@ -36,6 +36,22 @@
 // goroutine right after publication, so the first query after a batch
 // never pays the densification.
 //
+// With -workers=host:port,... the graph is not loaded here at all: the
+// server routes every query to a fleet of probesim-shardd workers over
+// the binary shard RPC (internal/rpcwire), fanning the walk/probe
+// frontier out to shard owners and merging the results — bit-identically
+// to the single-process answer for the same seed. Writes broadcast to
+// every worker (all-or-rollback) and publication keeps the fleet in
+// version lockstep; per-worker health, version and transport counters
+// appear on /stats and /metrics. A worker dying mid-query surfaces as
+// HTTP 502 within the query deadline.
+//
+// With -soft-inflight=N (< -max-inflight), admission pressure degrades
+// instead of rejecting: queries above the watermark run with
+// -degrade-factor× wider εa (a quadratically smaller walk budget), carry
+// an X-ProbeSim-Degraded header naming the εa they actually got, and
+// bypass the result cache. Only above -max-inflight does the server 503.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; queries that outlive the
 // drain are canceled through the same context seam and unwind with a
@@ -53,10 +69,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"probesim"
+	"probesim/internal/router"
 	"probesim/internal/server"
 	"probesim/internal/shard"
 )
@@ -75,9 +93,13 @@ func main() {
 		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
 		shards     = flag.Int("shards", 0, "partition the graph into up to this many shards (0 = monolithic snapshot)")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
+		workers    = flag.String("workers", "", "comma-separated probesim-shardd addresses; route queries to these workers instead of serving the graph in-process")
+		healthIvl  = flag.Duration("health-interval", 5*time.Second, "with -workers: background per-worker health/version probe interval")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none); expiry returns HTTP 504")
 		maxInflight  = flag.Int("max-inflight", 64, "concurrent similarity queries before 503 rejection (0 = unlimited)")
+		softInflight = flag.Int("soft-inflight", 0, "degrade watermark: above this many in-flight queries (and below -max-inflight), serve wider-epsa answers with an X-ProbeSim-Degraded header instead of rejecting (0 = off)")
+		degradeF     = flag.Float64("degrade-factor", 2, "epsa multiplier for degraded queries")
 		maxJoins     = flag.Int("max-join-inflight", 1, "concurrent /join/topk + /components scans")
 		maxWriteQ    = flag.Int("max-write-queue", 64, "writers queued on the mutation lock before 503 backpressure (0 = unlimited)")
 		maxWalks     = flag.Int64("max-walks", 0, "per-query cap on √c-walk trials (0 = the plan's derived count)")
@@ -86,9 +108,37 @@ func main() {
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph")
+	if *path == "" && *workers == "" {
+		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph (or -workers)")
 		os.Exit(1)
+	}
+	opt := probesim.Options{
+		C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed,
+		Budget: probesim.Budget{MaxWalks: *maxWalks, MaxProbeWork: *maxWork},
+	}
+	var srv *server.Server
+	if *workers != "" {
+		// Routed topology: the graph lives on the probesim-shardd workers;
+		// this process only routes, merges and caches. -graph is ignored.
+		var engines []router.ShardEngine
+		for _, a := range strings.Split(*workers, ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				engines = append(engines, router.NewRemoteEngine(a))
+			}
+		}
+		rt, err := router.New(engines...)
+		if err != nil {
+			log.Fatalf("probesim-server: assembling worker topology: %v", err)
+		}
+		stopHealth := rt.StartHealth(*healthIvl)
+		defer stopHealth()
+		srv = server.NewRouted(rt, opt, *cacheCap, *limit)
+		snap := rt.PublishedView()
+		log.Printf("probesim-server: routing n=%d m=%d v=%d on %s across %d workers (%s)",
+			snap.NumNodes(), snap.NumEdges(), snap.Version(), *addr, len(engines), *workers)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO)
+		return
 	}
 	f, err := os.Open(*path)
 	if err != nil {
@@ -104,11 +154,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := probesim.Options{
-		C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed,
-		Budget: probesim.Budget{MaxWalks: *maxWalks, MaxProbeWork: *maxWork},
-	}
-	var srv *server.Server
 	if *shards > 0 {
 		st := shard.NewStore(g, *shards, *rebuildW)
 		if *eagerSpans {
@@ -122,14 +167,23 @@ func main() {
 		log.Printf("probesim-server: serving n=%d m=%d on %s (monolithic snapshot)",
 			g.NumNodes(), g.NumEdges(), *addr)
 	}
+	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO)
+}
+
+// serve installs the admission limits and runs the HTTP server with
+// graceful signal-driven drain; shared by the in-process and routed
+// topologies.
+func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration) {
 	srv.SetLimits(server.Limits{
 		MaxInflight:     *maxInflight,
+		SoftInflight:    *softInflight,
+		DegradeFactor:   *degradeF,
 		MaxJoinInflight: *maxJoins,
 		MaxWriteQueue:   *maxWriteQ,
 		QueryTimeout:    *queryTimeout,
 	})
-	log.Printf("probesim-server: limits: query-timeout=%v max-inflight=%d max-join-inflight=%d max-write-queue=%d",
-		*queryTimeout, *maxInflight, *maxJoins, *maxWriteQ)
+	log.Printf("probesim-server: limits: query-timeout=%v max-inflight=%d soft-inflight=%d degrade-factor=%g max-join-inflight=%d max-write-queue=%d",
+		*queryTimeout, *maxInflight, *softInflight, *degradeF, *maxJoins, *maxWriteQ)
 
 	// Every request context descends from baseCtx via BaseContext, so the
 	// shutdown path below can cancel straggling queries through the same
@@ -148,8 +202,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 
+	var err error
 	select {
-	case err := <-errCh:
+	case err = <-errCh:
 		log.Fatal(err)
 	case <-procCtx.Done():
 	}

@@ -1,0 +1,102 @@
+// Command probesim-shardd is a shard worker: it loads the graph, builds a
+// sharded snapshot store, and serves the shard-engine RPC protocol
+// (internal/rpcwire) over TCP for a routing probesim-server.
+//
+//	probesim-shardd -graph web.txt -shards 16 -index 0 -group 2 -addr :9090
+//	probesim-shardd -graph web.txt -shards 16 -index 1 -group 2 -addr :9091
+//	probesim-server -workers host0:9090,host1:9091 -addr :8080
+//
+// A worker started with -index i -group W owns every shard p with
+// p % W == i; a fleet with the same -group and distinct indices covers
+// the shard space exactly once, and every worker must be started from
+// the same graph with the same -shards so the routers' version checks
+// agree. The worker serves:
+//
+//   - shard adjacency blocks (a query's probe frontier faults them in),
+//   - √c-walk segments (walks step HERE, with the query's remaining
+//     budget propagated in each request — an expired router-side deadline
+//     stops the worker-side walk loop at its next poll),
+//   - the write plane (edge batches + publication), driven by the router
+//     so the fleet stays in lockstep with the serving tier.
+//
+// The last -retain generations stay resolvable so in-flight queries read
+// the exact snapshot they pinned while churn publishes newer ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"probesim"
+	"probesim/internal/router"
+	"probesim/internal/shard"
+)
+
+func main() {
+	var (
+		path       = flag.String("graph", "", "edge-list graph file to serve")
+		binary     = flag.Bool("binary", false, "graph file is in binary format")
+		undirected = flag.Bool("undirected", false, "treat edge list as undirected")
+		addr       = flag.String("addr", ":9090", "RPC listen address")
+		shards     = flag.Int("shards", 16, "partition the graph into up to this many shards (must match every worker and router)")
+		index      = flag.Int("index", 0, "this worker's index within the group")
+		group      = flag.Int("group", 1, "worker-group size; this worker owns shards p with p%group==index")
+		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
+		eagerSpans = flag.Bool("eager-spans", false, "materialize snapshot span arrays in the background after each publication")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "probesim-shardd: missing -graph")
+		os.Exit(1)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "probesim-shardd: -shards must be >= 1")
+		os.Exit(1)
+	}
+	if *group < 1 || *index < 0 || *index >= *group {
+		fmt.Fprintln(os.Stderr, "probesim-shardd: need 0 <= index < group")
+		os.Exit(1)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var g *probesim.Graph
+	if *binary {
+		g, err = probesim.ReadBinaryGraph(f)
+	} else {
+		g, err = probesim.LoadEdgeList(f, *undirected)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := shard.NewStore(g, *shards, *rebuildW)
+	if *eagerSpans {
+		st.EnableEagerSpans()
+	}
+	eng := router.NewLocalEngine(st, *index, *group)
+	srv, ln, err := router.ListenAndServe(*addr, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owned := 0
+	for p := *index; p < st.NumShards(); p += *group {
+		owned++
+	}
+	log.Printf("probesim-shardd: serving n=%d m=%d on %s (worker %d/%d, %d of %d shards, stride %d)",
+		g.NumNodes(), g.NumEdges(), ln.Addr(), *index, *group, owned, st.NumShards(), st.Partition().Stride())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("probesim-shardd: signal received, closing")
+	if err := srv.Close(); err != nil {
+		log.Printf("probesim-shardd: close: %v", err)
+	}
+	log.Printf("probesim-shardd: bye (%d walk segments budget-stopped)", eng.SegmentsStopped())
+}

@@ -1,0 +1,98 @@
+package budget
+
+// Cross-process budget propagation. When a query fans out over the shard
+// RPC plane, the worker must honor the same constraints the router-side
+// Meter enforces — otherwise a remote walk loop could keep burning CPU
+// after the query's deadline passed on the router. A Header is the wire
+// form of "what is left of this query's budget at send time": remaining
+// wall clock and remaining walk/work caps. The worker arms its own Meter
+// from it, so the kernels on both sides of the wire run the same
+// checkpoint discipline. The remaining-time encoding re-anchors at the
+// worker's clock, so the worker's effective deadline lags the router's
+// by up to one network delay — a worker can overshoot the query deadline
+// by that delay, never undershoot it. The router does not wait for the
+// stragglers: its own meter trips on time, the query returns, and the
+// per-call socket deadline reaps the request. (Encoding remaining time
+// rather than an absolute instant is deliberate: it needs no cross-host
+// clock agreement.)
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Header is the wire form of a query budget: what remains of it at encode
+// time. The zero value means unbounded.
+type Header struct {
+	// Remaining is the wall clock left until the query's deadline;
+	// <= 0 means no deadline.
+	Remaining time.Duration
+	// MaxWalks and MaxWork are the remaining walk-trial and probe-work
+	// caps; <= 0 means uncapped.
+	MaxWalks int64
+	MaxWork  int64
+}
+
+// HeaderSize is the encoded size of a Header in bytes.
+const HeaderSize = 24
+
+// Export captures what remains of the meter's budget for propagation to a
+// remote worker. A nil meter exports the unbounded Header. A tripped or
+// expired meter exports a Header with a 1ns Remaining, so the remote side
+// trips at its first poll instead of racing an already-lost deadline.
+func (m *Meter) Export() Header {
+	if m == nil {
+		return Header{}
+	}
+	var h Header
+	if m.hasDL {
+		h.Remaining = time.Until(m.deadline)
+		if h.Remaining <= 0 || m.stopped.Load() {
+			h.Remaining = time.Nanosecond
+		}
+	} else if m.stopped.Load() {
+		h.Remaining = time.Nanosecond
+	}
+	if m.maxWalks > 0 {
+		if h.MaxWalks = m.maxWalks - m.walks.Load(); h.MaxWalks < 1 {
+			h.MaxWalks = 1 // crossed: let the remote charge once and trip
+		}
+	}
+	if m.maxWork > 0 {
+		if h.MaxWork = m.maxWork - m.work.Load(); h.MaxWork < 1 {
+			h.MaxWork = 1
+		}
+	}
+	return h
+}
+
+// Arm builds the worker-side meter for one remote request: the decoded
+// remaining budget re-anchored at the local clock, combined with ctx (the
+// connection/request context) exactly like New combines a caller context
+// with Budget.Timeout. Returns nil when nothing constrains the request.
+func (h Header) Arm(ctx context.Context) *Meter {
+	return New(ctx, h.Remaining, h.MaxWalks, h.MaxWork)
+}
+
+// AppendBinary appends the fixed-size wire encoding (little-endian
+// nanoseconds remaining, walk cap, work cap).
+func (h Header) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Remaining))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.MaxWalks))
+	return binary.LittleEndian.AppendUint64(b, uint64(h.MaxWork))
+}
+
+// DecodeHeader consumes a Header from the front of b and returns the rest.
+func DecodeHeader(b []byte) (Header, []byte, error) {
+	if len(b) < HeaderSize {
+		return Header{}, nil, fmt.Errorf("budget: header truncated: %d of %d bytes", len(b), HeaderSize)
+	}
+	h := Header{
+		Remaining: time.Duration(binary.LittleEndian.Uint64(b)),
+		MaxWalks:  int64(binary.LittleEndian.Uint64(b[8:])),
+		MaxWork:   int64(binary.LittleEndian.Uint64(b[16:])),
+	}
+	return h, b[HeaderSize:], nil
+}

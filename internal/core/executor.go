@@ -157,6 +157,16 @@ func (e *Executor) SingleSourceInto(ctx context.Context, u graph.NodeID, dst []f
 	return singleSourceInto(ctx, e.src.PublishedView(), u, e.opt, &e.pool, dst)
 }
 
+// SingleSourceWith answers a single-source query against the current view
+// with per-call option overrides, sharing the executor's scratch pool.
+// This is the degrade-instead-of-reject seam: under admission pressure
+// the server re-runs the standard query shape with a wider εa (fewer
+// walks) instead of turning the request away, and the pooled scratch
+// keeps even the degraded path allocation-free.
+func (e *Executor) SingleSourceWith(ctx context.Context, u graph.NodeID, opt Options) ([]float64, error) {
+	return singleSource(ctx, e.src.PublishedView(), u, opt, &e.pool)
+}
+
 // SingleSourceOn runs a single-source query with the executor's scratch
 // pool against an explicit view (normally a view previously obtained
 // from Snapshot, so a caller can pin one consistent view across several

@@ -34,6 +34,30 @@ type ScoredNode struct {
 	Score float64
 }
 
+// QueryBinder is implemented by views that need per-query state — the
+// distributed router view binds each query to its context (so lazy shard
+// fetches and remote walk segments run under the query's deadline) and to
+// its budget meter (so a worker transport failure trips every kernel
+// worker at its next checkpoint instead of letting the query run to
+// completion over a half-dead topology).
+//
+// BindQuery returns the view the kernels should run against and a finish
+// function the query calls once all workers have drained; finish reports
+// the first transport failure the bound view absorbed, which the query
+// returns (wrapped) alongside its partial result.
+type QueryBinder interface {
+	BindQuery(ctx context.Context, m *budget.Meter) (graph.View, func() error)
+}
+
+// bindQuery resolves the per-query view for g. For ordinary views it is
+// free: g itself and a nil finish.
+func bindQuery(ctx context.Context, g graph.View, m *budget.Meter) (graph.View, func() error) {
+	if b, ok := g.(QueryBinder); ok {
+		return b.BindQuery(ctx, m)
+	}
+	return g, nil
+}
+
 // SingleSource answers an approximate single-source SimRank query
 // (Definition 1): it returns s̃(u, v) for every node v, with
 // |s̃(u,v) − s(u,v)| <= εa for all v simultaneously with probability
@@ -76,6 +100,7 @@ func singleSourceInto(ctx context.Context, g graph.View, u graph.NodeID, opt Opt
 		// Dead on arrival: no work was done, so there is no partial result.
 		return nil, queryError(u, m)
 	}
+	g, finish := bindQuery(ctx, g, m)
 	plan := planFor(opt, n)
 	var est []float64
 	switch plan.Mode {
@@ -93,6 +118,14 @@ func singleSourceInto(ctx context.Context, g graph.View, u graph.NodeID, opt Opt
 		}
 	}
 	est[u] = 1 // s(u, u) = 1 by definition
+	if finish != nil {
+		if err := finish(); err != nil {
+			// A transport failure outranks whatever the meter latched (it
+			// usually IS the meter's cause, via Fail): the partial estimate
+			// still comes back for diagnostics, per the budget contract.
+			return est, fmt.Errorf("core: query %d: %w", u, err)
+		}
+	}
 	if m.Stopped() {
 		return est, queryError(u, m)
 	}

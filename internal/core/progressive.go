@@ -75,7 +75,7 @@ const progressiveStartWalks = 256
 // stopped run with at least two completed trials returns the current
 // ranking (with its confidence radius in stats) alongside the error;
 // earlier stops return no ranking.
-func TopKProgressive(ctx context.Context, g graph.View, u graph.NodeID, k int, opt Options) ([]ScoredNode, ProgressiveStats, error) {
+func TopKProgressive(ctx context.Context, g graph.View, u graph.NodeID, k int, opt Options) (res []ScoredNode, stats ProgressiveStats, err error) {
 	if k <= 0 {
 		return nil, ProgressiveStats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
 	}
@@ -96,6 +96,17 @@ func TopKProgressive(ctx context.Context, g graph.View, u graph.NodeID, k int, o
 	plan := planFor(opt, n)
 
 	m := budget.New(ctx, opt.Budget.Timeout, opt.Budget.MaxWalks, opt.Budget.MaxProbeWork)
+	g, finish := bindQuery(ctx, g, m)
+	if finish != nil {
+		defer func() {
+			// A transport failure during the progressive rounds outranks the
+			// meter's cause (it usually IS that cause, via Fail); the partial
+			// ranking still goes back for diagnostics.
+			if ferr := finish(); ferr != nil {
+				err = fmt.Errorf("core: query %d: %w", u, ferr)
+			}
+		}()
+	}
 	st := newProgressiveState(n)
 	gen := walk.NewGenerator(g, plan.C, xrand.New(plan.Seed).Split(0))
 	gen.SetMeter(m)
@@ -104,7 +115,7 @@ func TopKProgressive(ctx context.Context, g graph.View, u graph.NodeID, k int, o
 	scratch.SetMeter(m)
 	var buf []graph.NodeID
 
-	stats := ProgressiveStats{BudgetWalks: plan.NumWalks}
+	stats = ProgressiveStats{BudgetWalks: plan.NumWalks}
 	cp := budget.NewCheckpoint(m, budget.DefaultInterval)
 	target := progressiveStartWalks
 	if target > plan.NumWalks {

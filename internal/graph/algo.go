@@ -1,6 +1,11 @@
 package graph
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"probesim/internal/budget"
+)
 
 // This file provides the structural algorithms the dataset reports and
 // examples use: strongly and weakly connected components, BFS distances,
@@ -24,6 +29,35 @@ func (g *Graph) StronglyConnectedComponents() (comp []int32, count int) {
 // lets analysis endpoints report structure without ever touching the
 // mutable graph or its write lock.
 func StronglyConnected(v View) (comp []int32, count int) {
+	comp, count, _ = StronglyConnectedCtx(context.Background(), v)
+	return comp, count
+}
+
+// componentPollInterval is how many DFS expansions (SCC) or source-node
+// scans (WCC) pass between deadline/cancellation polls: small
+// enough that a scan over a web-scale snapshot honors a deadline within
+// microseconds of work, large enough that the meter checkpoint disappears
+// into the traversal cost.
+const componentPollInterval = 4096
+
+// StronglyConnectedCtx is StronglyConnected under a deadline: the
+// traversal checkpoints ctx through the same budget seam the query
+// kernels use (one amortized poll every componentPollInterval edge
+// expansions), so a component scan on a huge snapshot stops mid-scan when
+// the request's deadline passes instead of only observing cancellation
+// between requests. A stopped scan returns nil — partial component ids
+// are meaningless — together with the cause.
+func StronglyConnectedCtx(ctx context.Context, v View) (comp []int32, count int, err error) {
+	return StronglyConnectedMeter(budget.New(ctx, 0, 0, 0), v)
+}
+
+// StronglyConnectedMeter is StronglyConnectedCtx with a caller-armed
+// meter, for callers that share one trip point between the traversal and
+// something else — the routed serving path arms a meter, binds the view
+// to it, and a shard-worker failure mid-scan then stops the traversal at
+// its next checkpoint exactly like a deadline would.
+func StronglyConnectedMeter(m *budget.Meter, v View) (comp []int32, count int, err error) {
+	cp := budget.NewCheckpoint(m, componentPollInterval)
 	adj := ResolveAdj(v)
 	n := adj.NumNodes()
 	const unvisited = -1
@@ -53,6 +87,9 @@ func StronglyConnected(v View) (comp []int32, count int) {
 		stack = append(stack, int32(root))
 		onStack[root] = true
 		for len(frames) > 0 {
+			if cp.Stop() {
+				return nil, 0, fmt.Errorf("graph: component scan stopped: %w", m.Err())
+			}
 			f := &frames[len(frames)-1]
 			out := adj.Out(f.node)
 			if f.edge < len(out) {
@@ -93,7 +130,7 @@ func StronglyConnected(v View) (comp []int32, count int) {
 			}
 		}
 	}
-	return comp, count
+	return comp, count, nil
 }
 
 type frame struct {
@@ -112,6 +149,20 @@ func (g *Graph) WeaklyConnectedComponents() (comp []int32, count int) {
 // weakly connected component (edge direction ignored), plus the component
 // count. Ids are dense in [0, count), ordered by smallest member node.
 func WeaklyConnected(v View) (comp []int32, count int) {
+	comp, count, _ = WeaklyConnectedCtx(context.Background(), v)
+	return comp, count
+}
+
+// WeaklyConnectedCtx is WeaklyConnected under a deadline, with the same
+// mid-scan cancellation contract as StronglyConnectedCtx.
+func WeaklyConnectedCtx(ctx context.Context, v View) (comp []int32, count int, err error) {
+	return WeaklyConnectedMeter(budget.New(ctx, 0, 0, 0), v)
+}
+
+// WeaklyConnectedMeter is WeaklyConnectedCtx with a caller-armed meter;
+// see StronglyConnectedMeter.
+func WeaklyConnectedMeter(m *budget.Meter, v View) (comp []int32, count int, err error) {
+	cp := budget.NewCheckpoint(m, componentPollInterval)
 	adj := ResolveAdj(v)
 	n := adj.NumNodes()
 	parent := make([]int32, n)
@@ -136,6 +187,9 @@ func WeaklyConnected(v View) (comp []int32, count int) {
 		}
 	}
 	for u := 0; u < n; u++ {
+		if cp.Stop() {
+			return nil, 0, fmt.Errorf("graph: component scan stopped: %w", m.Err())
+		}
 		for _, w := range adj.Out(NodeID(u)) {
 			union(int32(u), w)
 		}
@@ -151,7 +205,7 @@ func WeaklyConnected(v View) (comp []int32, count int) {
 		}
 		comp[v] = id
 	}
-	return comp, len(ids)
+	return comp, len(ids), nil
 }
 
 // BFS returns hop distances from u, following out-edges (reverse = false)

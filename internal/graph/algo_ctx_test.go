@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// chain builds a long path graph, enough nodes that the traversals cross
+// several poll intervals.
+func chainGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestComponentScansHonorCancellation(t *testing.T) {
+	g := chainGraph(50000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := StronglyConnectedCtx(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SCC on canceled ctx: %v", err)
+	}
+	if _, _, err := WeaklyConnectedCtx(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WCC on canceled ctx: %v", err)
+	}
+}
+
+func TestComponentScansMatchUncanceled(t *testing.T) {
+	g := chainGraph(5000)
+	wantSCC, wantN := StronglyConnected(g)
+	gotSCC, gotN, err := StronglyConnectedCtx(context.Background(), g)
+	if err != nil || gotN != wantN {
+		t.Fatalf("SCC ctx variant: count %d vs %d, err %v", gotN, wantN, err)
+	}
+	for i := range wantSCC {
+		if wantSCC[i] != gotSCC[i] {
+			t.Fatalf("SCC ids differ at %d", i)
+		}
+	}
+	wantWCC, wantWN := WeaklyConnected(g)
+	gotWCC, gotWN, err := WeaklyConnectedCtx(context.Background(), g)
+	if err != nil || gotWN != wantWN {
+		t.Fatalf("WCC ctx variant: count %d vs %d, err %v", gotWN, wantWN, err)
+	}
+	for i := range wantWCC {
+		if wantWCC[i] != gotWCC[i] {
+			t.Fatalf("WCC ids differ at %d", i)
+		}
+	}
+}

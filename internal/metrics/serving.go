@@ -96,6 +96,11 @@ type RouteMetrics struct {
 	Timeouts        atomic.Int64
 	Rejections      atomic.Int64
 	BudgetExhausted atomic.Int64
+
+	// Degraded counts requests admitted over the soft watermark and
+	// served at reduced accuracy (X-ProbeSim-Degraded) instead of being
+	// rejected.
+	Degraded atomic.Int64
 }
 
 // Registry is a set of route metrics plus free-form gauges, scraped as
@@ -175,6 +180,8 @@ func (r *Registry) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 		func(m *RouteMetrics) int64 { return m.BudgetExhausted.Load() })
 	counter("probesim_request_errors_total", "Requests failed for other reasons, by route.",
 		func(m *RouteMetrics) int64 { return m.Errors.Load() })
+	counter("probesim_request_degraded_total", "Requests served at reduced accuracy under admission pressure, by route.",
+		func(m *RouteMetrics) int64 { return m.Degraded.Load() })
 
 	fmt.Fprintf(w, "# HELP probesim_inflight_requests Requests currently being served, by route.\n")
 	fmt.Fprintf(w, "# TYPE probesim_inflight_requests gauge\n")
@@ -198,6 +205,23 @@ func WriteGauge(w io.Writer, name, help string, value int64) {
 // semantics, and scrape linters flag _total-named gauges).
 func WriteCounter(w io.Writer, name, help string, value int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+}
+
+// Sample is one labeled sample for WriteLabeled. Label is the rendered
+// label set without braces, e.g. `worker="10.0.0.3:9090"`.
+type Sample struct {
+	Label string
+	Value int64
+}
+
+// WriteLabeled writes one metric family with HELP/TYPE headers and one
+// line per labeled sample — the form the router's per-worker gauges and
+// counters use. typ is "gauge" or "counter".
+func WriteLabeled(w io.Writer, name, help, typ string, samples []Sample) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, s.Label, s.Value)
+	}
 }
 
 // formatBound renders a bucket bound the way Prometheus clients expect:

@@ -1,0 +1,349 @@
+// Package router is the distributed shard plane: it serves every ProbeSim
+// kernel over shards that may live in other processes, without any kernel
+// knowing.
+//
+// The seam is ShardEngine, the transport-agnostic API of one shard
+// server. It carries exactly the per-shard primitives the kernels need —
+// report version and shape (Meta), resolve a shard's adjacency spans
+// (ResolveShard), sample √c-walk segments (WalkSegment) — plus the write
+// plane (Apply, Publish) that keeps a worker's graph in lockstep with the
+// topology. Two implementations exist: LocalEngine wraps an in-process
+// shard.Store (today's fast path — a Router over a single all-owning
+// LocalEngine serves the store's own published snapshot, zero new
+// allocations on the hot path), and RemoteEngine speaks the
+// length-prefixed binary protocol of internal/rpcwire over TCP to a
+// probesim-shardd worker.
+//
+// A Router fans a query out to shard owners by the same power-of-two
+// node stride internal/shard partitions with: shard adjacency blocks
+// fault in lazily as the query's walk/probe frontier first touches them
+// (and are cached for the generation), and walk segments run on the
+// engine owning the walk's current node, hopping engines at shard
+// crossings with the SplitMix64 state carried along — which is what keeps
+// results bit-identical between a single process and a fleet of workers.
+// The Router plugs into core.Executor through the SnapshotProvider seam,
+// so single-source, top-k, progressive, join and component queries run
+// unchanged over either engine.
+//
+// Failure semantics: every remote call is bounded by the query's deadline
+// (propagated in the request's budget header) and by a call timeout. A
+// worker dying mid-query trips the query's budget meter with the
+// transport error — every kernel worker drains at its next checkpoint and
+// the query returns its partial result wrapped in an error chain that
+// errors.Is recognizes as ErrTransport. Partial-result-with-error
+// semantics are therefore preserved across the wire.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+	"probesim/internal/shard"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
+)
+
+// ErrTransport marks engine failures caused by the transport (dial,
+// connection, timeout) rather than by the request: the worker is gone or
+// unreachable, not wrong. errors.Is(err, ErrTransport) holds through
+// every wrapping layer up to the query result.
+var ErrTransport = errors.New("router: worker transport failure")
+
+// ErrRetiredGeneration reports that an engine no longer retains the
+// snapshot generation a request pinned. Queries see it only when they
+// outlive genRetain publications; the next published view re-pins.
+var ErrRetiredGeneration = errors.New("router: snapshot generation retired")
+
+// Meta is an engine's published shape: what the Router needs to assemble
+// (and validate) a composite view without touching any adjacency.
+type Meta struct {
+	Nodes   int
+	Edges   int64
+	Version uint64
+	Shift   uint32 // node stride is 1 << Shift
+	Shards  int
+	Owned   []int // shard ids this engine serves, ascending
+}
+
+// Op is one edge mutation for the engine write plane.
+type Op struct {
+	Remove bool
+	U, V   graph.NodeID
+}
+
+// SegmentStatus reports how a walk segment ended.
+type SegmentStatus uint8
+
+const (
+	// SegmentEnded: the walk terminated (survival draw, dead end, or the
+	// caller's room was exhausted).
+	SegmentEnded SegmentStatus = iota
+	// SegmentHandoff: the walk stepped into a shard this engine does not
+	// own; the caller must continue it on the owner of the last node.
+	SegmentHandoff
+	// SegmentStopped: the propagated budget stopped the engine-side walk
+	// loop (deadline or cap from the request header).
+	SegmentStopped
+)
+
+// ShardEngine is the transport-agnostic API of one shard server.
+//
+// Version arguments pin a snapshot generation: engines retain the last
+// genRetain published generations (publications are cheap to retain —
+// untouched shard CSRs are shared by reference), so a query keeps reading
+// the exact generation its view was assembled from even while churn
+// publishes newer ones. All methods are safe for concurrent use.
+type ShardEngine interface {
+	// Meta reports the engine's published shape and pins the current
+	// generation in its retention ring.
+	Meta(ctx context.Context) (Meta, error)
+
+	// ResolveShard returns shard p's CSR adjacency block at the pinned
+	// generation. The block is immutable; local engines return it by
+	// reference, remote engines decode it off the wire.
+	ResolveShard(ctx context.Context, version uint64, p int) (graph.CSRShard, error)
+
+	// WalkSegment continues a √c-walk at the pinned generation: starting
+	// from cur (owned by this engine) with the walk RNG at state, it
+	// appends at most room nodes to buf and returns the extended buffer,
+	// the RNG state after the segment, and how the segment ended. The
+	// budget header bounds the engine-side loop.
+	WalkSegment(ctx context.Context, version uint64, h budget.Header, sqrtC float64, cur graph.NodeID, state uint64, room int, buf []graph.NodeID) ([]graph.NodeID, uint64, SegmentStatus, error)
+
+	// Apply applies a batch of edge mutations atomically (all-or-rollback)
+	// to the engine's mutable graph and returns the post-apply mutation
+	// version. Visibility waits for the next Publish.
+	Apply(ctx context.Context, ops []Op) (uint64, error)
+
+	// Publish republishes the engine's snapshot if mutations are pending
+	// and reports the resulting Meta.
+	Publish(ctx context.Context) (Meta, error)
+
+	// Close releases transport resources. The engine is unusable after.
+	Close() error
+}
+
+// genRetain is how many published generations an engine keeps strongly
+// reachable for version-pinned requests. Beyond it, a reader that slept
+// through genRetain publications gets ErrRetiredGeneration and the query
+// fails cleanly rather than reading a torn view.
+const genRetain = 8
+
+// generationRing retains the last genRetain published snapshots.
+type generationRing struct {
+	mu    sync.Mutex
+	snaps []*shard.StoreSnapshot // ascending publication order
+}
+
+func (g *generationRing) pin(s *shard.StoreSnapshot) {
+	if s == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, have := range g.snaps {
+		if have == s {
+			return
+		}
+	}
+	g.snaps = append(g.snaps, s)
+	if len(g.snaps) > genRetain {
+		g.snaps = g.snaps[len(g.snaps)-genRetain:]
+	}
+}
+
+func (g *generationRing) at(version uint64) *shard.StoreSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range g.snaps {
+		if s.Version() == version {
+			return s
+		}
+	}
+	return nil
+}
+
+// LocalEngine serves a shard.Store in process: the fast path of the shard
+// plane and the backend of every probesim-shardd worker. Ownership is
+// modular — an engine constructed with (index, group) owns every shard p
+// with p % group == index — so a fleet of workers started with the same
+// group and distinct indices covers the shard space exactly once, and
+// ownership survives shard-set growth.
+type LocalEngine struct {
+	st    *shard.Store
+	index int
+	group int
+	gens  generationRing
+
+	// segmentsStopped counts engine-side walk loops stopped by a
+	// propagated budget — the observable fact that remote deadlines
+	// actually reach the walk loop.
+	segmentsStopped atomic.Int64
+}
+
+// NewLocalEngine wraps st as a shard engine owning shards p with
+// p % group == index. group <= 1 means the engine owns everything.
+func NewLocalEngine(st *shard.Store, index, group int) *LocalEngine {
+	if group < 1 {
+		group = 1
+	}
+	if index < 0 || index >= group {
+		panic(fmt.Sprintf("router: engine index %d outside group of %d", index, group))
+	}
+	return &LocalEngine{st: st, index: index, group: group}
+}
+
+// Store returns the underlying shard store (for the worker's stats).
+func (e *LocalEngine) Store() *shard.Store { return e.st }
+
+// SegmentsStopped reports how many walk segments the propagated budget
+// stopped on this engine.
+func (e *LocalEngine) SegmentsStopped() int64 { return e.segmentsStopped.Load() }
+
+func (e *LocalEngine) owns(p int) bool { return p%e.group == e.index }
+
+func (e *LocalEngine) meta(snap *shard.StoreSnapshot) Meta {
+	m := Meta{
+		Nodes:   snap.NumNodes(),
+		Edges:   snap.NumEdges(),
+		Version: snap.Version(),
+		Shift:   snap.Shift(),
+		Shards:  snap.NumShards(),
+	}
+	for p := e.index; p < m.Shards; p += e.group {
+		m.Owned = append(m.Owned, p)
+	}
+	return m
+}
+
+// Meta implements ShardEngine.
+func (e *LocalEngine) Meta(ctx context.Context) (Meta, error) {
+	snap := e.st.Current()
+	e.gens.pin(snap)
+	return e.meta(snap), nil
+}
+
+// snapshotAt resolves the pinned generation for version.
+func (e *LocalEngine) snapshotAt(version uint64) (*shard.StoreSnapshot, error) {
+	if cur := e.st.Current(); cur != nil && cur.Version() == version {
+		return cur, nil
+	}
+	if s := e.gens.at(version); s != nil {
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: version %d", ErrRetiredGeneration, version)
+}
+
+// ResolveShard implements ShardEngine.
+func (e *LocalEngine) ResolveShard(ctx context.Context, version uint64, p int) (graph.CSRShard, error) {
+	snap, err := e.snapshotAt(version)
+	if err != nil {
+		return graph.CSRShard{}, err
+	}
+	if p < 0 || p >= snap.NumShards() {
+		return graph.CSRShard{}, fmt.Errorf("router: shard %d out of range [0, %d)", p, snap.NumShards())
+	}
+	if !e.owns(p) {
+		return graph.CSRShard{}, fmt.Errorf("router: shard %d not owned by engine %d/%d", p, e.index, e.group)
+	}
+	return snap.Shard(p), nil
+}
+
+// walkSegmentPollInterval is the per-step budget poll cadence of the
+// engine-side walk loop. Segments are at most walk.HardCap steps, so a
+// small interval keeps a propagated deadline's detection latency at a few
+// steps without measurable cost.
+const walkSegmentPollInterval = 8
+
+// WalkSegment implements ShardEngine: the engine-side √c-walk loop. It
+// runs the exact step loop of walk.Generate (walk.Segment) over the
+// pinned generation's devirtualized adjacency, bounded to owned shards
+// and checkpointed against the propagated budget.
+func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.Header, sqrtC float64, cur graph.NodeID, state uint64, room int, buf []graph.NodeID) ([]graph.NodeID, uint64, SegmentStatus, error) {
+	snap, err := e.snapshotAt(version)
+	if err != nil {
+		return buf, state, SegmentEnded, err
+	}
+	if cur < 0 || int(cur) >= snap.NumNodes() {
+		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d out of range [0, %d)", cur, snap.NumNodes())
+	}
+	shift := snap.Shift()
+	if !e.owns(int(uint32(cur) >> shift)) {
+		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d not owned by engine %d/%d", cur, e.index, e.group)
+	}
+	m := h.Arm(ctx)
+	cp := budget.NewCheckpoint(m, walkSegmentPollInterval)
+	rng := xrand.New(state)
+	adj := graph.ResolveAdj(snap)
+	var owns func(graph.NodeID) bool
+	if e.group > 1 {
+		owns = func(v graph.NodeID) bool { return e.owns(int(uint32(v) >> shift)) }
+	}
+	var stop func() bool
+	if m != nil {
+		stop = cp.Stop
+	}
+	before := len(buf)
+	out, ended := walk.Segment(&adj, cur, room, sqrtC, rng, owns, stop, buf)
+	status := SegmentHandoff
+	switch {
+	case m.Stopped():
+		status = SegmentStopped
+		e.segmentsStopped.Add(1)
+	case ended:
+		status = SegmentEnded
+	case len(out) == before:
+		// A handoff with no progress means the caller routed the walk to
+		// the wrong engine; surface it instead of looping forever.
+		return out, rng.State(), SegmentEnded, fmt.Errorf("router: walk segment made no progress at node %d", cur)
+	}
+	return out, rng.State(), status, nil
+}
+
+// Apply implements ShardEngine: all-or-rollback edge mutations.
+func (e *LocalEngine) Apply(ctx context.Context, ops []Op) (uint64, error) {
+	apply := func(op Op) error {
+		if op.Remove {
+			return e.st.RemoveEdge(op.U, op.V)
+		}
+		return e.st.AddEdge(op.U, op.V)
+	}
+	for i, op := range ops {
+		if err := apply(op); err != nil {
+			// Roll the applied prefix back in reverse order so the engine's
+			// graph is untouched by the failed batch. Every inverse must
+			// succeed because the forward op just did.
+			for j := i - 1; j >= 0; j-- {
+				inv := ops[j]
+				inv.Remove = !inv.Remove
+				if rerr := apply(inv); rerr != nil {
+					panic(fmt.Sprintf("router: rollback failed at op %d: %v", j, rerr))
+				}
+			}
+			kind := "add"
+			if op.Remove {
+				kind = "remove"
+			}
+			return e.st.Version(), fmt.Errorf("router: op %d (%s %d->%d): %w; batch rolled back", i, kind, op.U, op.V, err)
+		}
+	}
+	return e.st.Version(), nil
+}
+
+// Publish implements ShardEngine.
+func (e *LocalEngine) Publish(ctx context.Context) (Meta, error) {
+	snap, err := e.st.PublishCtx(ctx)
+	if err != nil {
+		return Meta{}, err
+	}
+	e.gens.pin(snap)
+	return e.meta(snap), nil
+}
+
+// Close implements ShardEngine; a local engine holds no transport.
+func (e *LocalEngine) Close() error { return nil }

@@ -1,0 +1,366 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+	"probesim/internal/rpcwire"
+)
+
+// Remote transport tuning. The call timeout is a ceiling for requests
+// whose query carries no deadline of its own; queries with deadlines are
+// bounded by the earlier of the two, so a worker death mid-query always
+// surfaces within the query deadline.
+const (
+	remoteDialTimeout = 2 * time.Second
+	remoteCallTimeout = 10 * time.Second
+	remoteIdleConns   = 4
+	backoffBase       = 50 * time.Millisecond
+	backoffMax        = 2 * time.Second
+)
+
+// RemoteEngine is a ShardEngine served by a probesim-shardd worker over
+// TCP. Connections are dialed lazily, pooled (one in-flight request per
+// connection; concurrent callers each take their own), and re-dialed
+// with exponential backoff after a failure: while the worker is down,
+// calls inside the backoff window fail fast instead of queueing dials
+// behind a dead address.
+type RemoteEngine struct {
+	addr string
+
+	mu      sync.Mutex
+	idle    []*remoteConn
+	down    bool
+	retryAt time.Time
+	backoff time.Duration
+
+	calls      atomic.Int64
+	errs       atomic.Int64
+	reconnects atomic.Int64
+	healthy    atomic.Bool
+	version    atomic.Uint64
+	lastErr    atomic.Pointer[string]
+	closed     atomic.Bool
+}
+
+type remoteConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewRemoteEngine returns an engine for the worker at addr
+// (host:port). No connection is made until the first call.
+func NewRemoteEngine(addr string) *RemoteEngine {
+	e := &RemoteEngine{addr: addr, backoff: backoffBase}
+	e.healthy.Store(true) // optimistic until a call says otherwise
+	return e
+}
+
+// Addr returns the worker address.
+func (e *RemoteEngine) Addr() string { return e.addr }
+
+// Healthy reports whether the last call (or health check) succeeded.
+func (e *RemoteEngine) Healthy() bool { return e.healthy.Load() }
+
+// LastVersion returns the worker's last reported snapshot version.
+func (e *RemoteEngine) LastVersion() uint64 { return e.version.Load() }
+
+// Counters returns calls, transport errors and reconnects so far.
+func (e *RemoteEngine) Counters() (calls, errs, reconnects int64) {
+	return e.calls.Load(), e.errs.Load(), e.reconnects.Load()
+}
+
+// LastError returns the most recent transport error text, if any.
+func (e *RemoteEngine) LastError() string {
+	if s := e.lastErr.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+func (e *RemoteEngine) transportErr(err error) error {
+	e.errs.Add(1)
+	e.healthy.Store(false)
+	msg := err.Error()
+	e.lastErr.Store(&msg)
+	return fmt.Errorf("%w: %s: %v", ErrTransport, e.addr, err)
+}
+
+// markDown opens (or extends) the backoff window after a failure.
+func (e *RemoteEngine) markDown() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down {
+		e.backoff *= 2
+		if e.backoff > backoffMax {
+			e.backoff = backoffMax
+		}
+	} else {
+		e.down = true
+		e.backoff = backoffBase
+	}
+	e.retryAt = time.Now().Add(e.backoff)
+	// Failed transport: every pooled connection is suspect.
+	for _, rc := range e.idle {
+		rc.c.Close()
+	}
+	e.idle = nil
+}
+
+func (e *RemoteEngine) markUp() {
+	e.healthy.Store(true)
+	e.mu.Lock()
+	e.down = false
+	e.backoff = backoffBase
+	e.mu.Unlock()
+}
+
+// conn returns a pooled or freshly dialed connection, honoring the
+// backoff window.
+func (e *RemoteEngine) conn(ctx context.Context) (*remoteConn, error) {
+	e.mu.Lock()
+	if n := len(e.idle); n > 0 {
+		rc := e.idle[n-1]
+		e.idle = e.idle[:n-1]
+		e.mu.Unlock()
+		return rc, nil
+	}
+	if e.down {
+		if wait := time.Until(e.retryAt); wait > 0 {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("reconnect backoff for %v (last: %s)", wait.Round(time.Millisecond), e.LastError())
+		}
+	}
+	e.mu.Unlock()
+	d := net.Dialer{Timeout: remoteDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", e.addr)
+	if err != nil {
+		// A dial aborted by the caller's context says nothing about the
+		// worker; only an actual refusal/timeout opens the backoff window.
+		if ctx.Err() == nil {
+			e.markDown()
+		}
+		return nil, err
+	}
+	e.reconnects.Add(1)
+	return &remoteConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}, nil
+}
+
+// call performs one request/reply exchange. Any I/O failure closes the
+// connection, opens the backoff window and returns an ErrTransport-
+// wrapped error; an rpcwire.TErr reply is a semantic error from the
+// worker and does not poison the transport.
+func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uint8, []byte, error) {
+	if e.closed.Load() {
+		return 0, nil, fmt.Errorf("%w: %s: engine closed", ErrTransport, e.addr)
+	}
+	e.calls.Add(1)
+	rc, err := e.conn(ctx)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's context expired/canceled during the dial: that is
+			// the query's failure, not the worker's — classify it as such
+			// (so deadlines surface as 504, not 502) and leave the worker's
+			// health alone.
+			return 0, nil, fmt.Errorf("router: %s: %w", e.addr, cerr)
+		}
+		return 0, nil, e.transportErr(err)
+	}
+	deadline := time.Now().Add(remoteCallTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	rc.c.SetDeadline(deadline)
+	// A cancelable-but-deadline-free context still needs prompt unblocking:
+	// watch for cancellation and yank the deadline to the past.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				rc.c.SetDeadline(time.Unix(1, 0))
+			case <-watchDone:
+			}
+		}()
+	}
+	rtyp, body, err := func() (uint8, []byte, error) {
+		if err := rpcwire.WriteFrame(rc.bw, typ, payload); err != nil {
+			return 0, nil, err
+		}
+		if err := rc.bw.Flush(); err != nil {
+			return 0, nil, err
+		}
+		return rpcwire.ReadFrame(rc.br, nil)
+	}()
+	close(watchDone)
+	if err != nil {
+		// Mid-stream state is unusable either way.
+		rc.c.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's deadline/cancellation cut the call short, not the
+			// worker: preserve the context error chain (504/499 upstream, not
+			// 502) and do NOT open the backoff window — one slow client must
+			// not mark a healthy worker down for everyone else.
+			return 0, nil, fmt.Errorf("router: %s: %w", e.addr, cerr)
+		}
+		e.markDown()
+		return 0, nil, e.transportErr(err)
+	}
+	rc.c.SetDeadline(time.Time{})
+	e.markUp()
+	e.mu.Lock()
+	if len(e.idle) < remoteIdleConns && !e.closed.Load() {
+		e.idle = append(e.idle, rc)
+		rc = nil
+	}
+	e.mu.Unlock()
+	if rc != nil {
+		rc.c.Close()
+	}
+	if rtyp == rpcwire.TErr {
+		rep, derr := rpcwire.DecodeErrorReply(body)
+		if derr != nil {
+			return 0, nil, fmt.Errorf("router: %s: malformed error reply: %v", e.addr, derr)
+		}
+		if rep.Code == rpcwire.CodeRetiredGen {
+			return 0, nil, fmt.Errorf("%w: %s: %s", ErrRetiredGeneration, e.addr, rep.Msg)
+		}
+		return 0, nil, fmt.Errorf("router: %s: %s", e.addr, rep.Msg)
+	}
+	return rtyp, body, nil
+}
+
+func (e *RemoteEngine) metaFromReply(body []byte) (Meta, error) {
+	rep, err := rpcwire.DecodeMetaReply(body)
+	if err != nil {
+		return Meta{}, fmt.Errorf("router: %s: %v", e.addr, err)
+	}
+	m := Meta{
+		Nodes:   int(rep.Nodes),
+		Edges:   int64(rep.Edges),
+		Version: rep.Version,
+		Shift:   rep.Shift,
+		Shards:  int(rep.Shards),
+		Owned:   make([]int, len(rep.Owned)),
+	}
+	for i, p := range rep.Owned {
+		m.Owned[i] = int(p)
+	}
+	e.version.Store(m.Version)
+	return m, nil
+}
+
+// Meta implements ShardEngine.
+func (e *RemoteEngine) Meta(ctx context.Context) (Meta, error) {
+	req := rpcwire.MetaRequest{Budget: headerFrom(ctx)}
+	rtyp, body, err := e.call(ctx, rpcwire.TMeta, req.Append(nil))
+	if err != nil {
+		return Meta{}, err
+	}
+	if rtyp != rpcwire.TMetaRep {
+		return Meta{}, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	return e.metaFromReply(body)
+}
+
+// ResolveShard implements ShardEngine.
+func (e *RemoteEngine) ResolveShard(ctx context.Context, version uint64, p int) (graph.CSRShard, error) {
+	req := rpcwire.ShardRequest{Budget: headerFrom(ctx), Version: version, Shard: uint32(p)}
+	rtyp, body, err := e.call(ctx, rpcwire.TShard, req.Append(nil))
+	if err != nil {
+		return graph.CSRShard{}, err
+	}
+	if rtyp != rpcwire.TShardRep {
+		return graph.CSRShard{}, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	rep, derr := rpcwire.DecodeShardReply(body)
+	if derr != nil {
+		return graph.CSRShard{}, fmt.Errorf("router: %s: %v", e.addr, derr)
+	}
+	return rep.CSR, nil
+}
+
+// WalkSegment implements ShardEngine.
+func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget.Header, sqrtC float64, cur graph.NodeID, state uint64, room int, buf []graph.NodeID) ([]graph.NodeID, uint64, SegmentStatus, error) {
+	req := rpcwire.WalkRequest{
+		Budget: h, Version: version, SqrtC: sqrtC,
+		Cur: cur, State: state, Room: uint32(room),
+	}
+	rtyp, body, err := e.call(ctx, rpcwire.TWalk, req.Append(nil))
+	if err != nil {
+		return buf, state, SegmentEnded, err
+	}
+	if rtyp != rpcwire.TWalkRep {
+		return buf, state, SegmentEnded, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	rep, derr := rpcwire.DecodeWalkReply(body)
+	if derr != nil {
+		return buf, state, SegmentEnded, fmt.Errorf("router: %s: %v", e.addr, derr)
+	}
+	return append(buf, rep.Nodes...), rep.State, SegmentStatus(rep.Status), nil
+}
+
+// Apply implements ShardEngine.
+func (e *RemoteEngine) Apply(ctx context.Context, ops []Op) (uint64, error) {
+	req := rpcwire.ApplyRequest{Budget: headerFrom(ctx), Ops: make([]rpcwire.Op, len(ops))}
+	for i, op := range ops {
+		req.Ops[i] = rpcwire.Op{Remove: op.Remove, U: op.U, V: op.V}
+	}
+	rtyp, body, err := e.call(ctx, rpcwire.TApply, req.Append(nil))
+	if err != nil {
+		return 0, err
+	}
+	if rtyp != rpcwire.TMetaRep {
+		return 0, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	m, err := e.metaFromReply(body)
+	if err != nil {
+		return 0, err
+	}
+	return m.Version, nil
+}
+
+// Publish implements ShardEngine.
+func (e *RemoteEngine) Publish(ctx context.Context) (Meta, error) {
+	req := rpcwire.MetaRequest{Budget: headerFrom(ctx)}
+	rtyp, body, err := e.call(ctx, rpcwire.TPublish, req.Append(nil))
+	if err != nil {
+		return Meta{}, err
+	}
+	if rtyp != rpcwire.TMetaRep {
+		return Meta{}, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	return e.metaFromReply(body)
+}
+
+// Close implements ShardEngine.
+func (e *RemoteEngine) Close() error {
+	e.closed.Store(true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rc := range e.idle {
+		rc.c.Close()
+	}
+	e.idle = nil
+	return nil
+}
+
+// headerFrom derives a budget header from a bare context (for control-
+// plane calls that carry no meter): just the remaining deadline.
+func headerFrom(ctx context.Context) budget.Header {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			return budget.Header{Remaining: rem}
+		}
+		return budget.Header{Remaining: time.Nanosecond}
+	}
+	return budget.Header{}
+}

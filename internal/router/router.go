@@ -1,0 +1,604 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+	"probesim/internal/shard"
+)
+
+// Router fans queries out over a set of shard engines and assembles their
+// shards into one composite versioned view. It implements the same
+// SnapshotProvider seam core.Executor already runs on, so the entire
+// query stack — single-source, top-k, progressive, joins, components —
+// works over a fleet of workers exactly as it does over an in-process
+// store.
+//
+// Fast path: a Router over a single LocalEngine that owns every shard
+// serves the store's own published StoreSnapshot (no wrapper, no new
+// allocation, bit-identical and benchmark-identical to PR 2's direct
+// store). Any other topology serves a *View whose shard blocks fault in
+// from their owners on first touch.
+type Router struct {
+	engines []ShardEngine
+	fast    *shard.Store // non-nil: single all-owning local engine
+
+	// mu serializes the control plane (Apply, PublishView, health
+	// re-assembly) — never the read path.
+	mu  sync.Mutex
+	cur atomic.Pointer[View]
+
+	// Read-path counters for /metrics.
+	shardFetches     atomic.Int64
+	shardFetchErrors atomic.Int64
+	walkSegments     atomic.Int64
+	walkHandoffs     atomic.Int64
+}
+
+// controlTimeout bounds control-plane broadcasts (Meta, Publish, Apply)
+// that carry no caller deadline.
+const controlTimeout = 10 * time.Second
+
+// New assembles a router over the given engines. It fetches every
+// engine's Meta, validates that they describe the same graph at the same
+// version with disjoint, complete shard ownership, and builds the initial
+// view. At least one engine is required.
+func New(engines ...ShardEngine) (*Router, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("router: no engines")
+	}
+	r := &Router{engines: engines}
+	if len(engines) == 1 {
+		if le, ok := engines[0].(*LocalEngine); ok && le.group == 1 {
+			r.fast = le.st
+			return r, nil
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), controlTimeout)
+	defer cancel()
+	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Meta(ctx) })
+	if err != nil {
+		return nil, err
+	}
+	view, err := r.assemble(metas)
+	if err != nil {
+		return nil, err
+	}
+	r.cur.Store(view)
+	return r, nil
+}
+
+// NewLocal is the single-process configuration: a router whose only
+// engine is the store itself. It serves the store's own snapshots with
+// zero added indirection.
+func NewLocal(st *shard.Store) *Router {
+	r, err := New(NewLocalEngine(st, 0, 1))
+	if err != nil {
+		panic(err) // unreachable: a single local engine cannot fail Meta
+	}
+	return r
+}
+
+// broadcast runs one engine call on every engine concurrently and
+// returns all results, or the first error.
+func (r *Router) broadcast(ctx context.Context, call func(ShardEngine) (Meta, error)) ([]Meta, error) {
+	metas := make([]Meta, len(r.engines))
+	errs := make([]error, len(r.engines))
+	var wg sync.WaitGroup
+	for i, e := range r.engines {
+		wg.Add(1)
+		go func(i int, e ShardEngine) {
+			defer wg.Done()
+			metas[i], errs[i] = call(e)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("router: engine %d: %w", i, err)
+		}
+	}
+	return metas, nil
+}
+
+// assemble validates the metas against each other and builds a View.
+func (r *Router) assemble(metas []Meta) (*View, error) {
+	m0 := metas[0]
+	for i, m := range metas[1:] {
+		if m.Nodes != m0.Nodes || m.Edges != m0.Edges || m.Version != m0.Version ||
+			m.Shift != m0.Shift || m.Shards != m0.Shards {
+			return nil, fmt.Errorf("router: engines 0 and %d disagree: (n=%d m=%d v=%d shift=%d shards=%d) vs (n=%d m=%d v=%d shift=%d shards=%d)",
+				i+1, m0.Nodes, m0.Edges, m0.Version, m0.Shift, m0.Shards,
+				m.Nodes, m.Edges, m.Version, m.Shift, m.Shards)
+		}
+	}
+	ownerOf := make([]int32, m0.Shards)
+	for p := range ownerOf {
+		ownerOf[p] = -1
+	}
+	for i, m := range metas {
+		for _, p := range m.Owned {
+			if p < 0 || p >= m0.Shards {
+				return nil, fmt.Errorf("router: engine %d claims shard %d of %d", i, p, m0.Shards)
+			}
+			if ownerOf[p] != -1 {
+				return nil, fmt.Errorf("router: shard %d owned by engines %d and %d", p, ownerOf[p], i)
+			}
+			ownerOf[p] = int32(i)
+		}
+	}
+	for p, o := range ownerOf {
+		if o == -1 {
+			return nil, fmt.Errorf("router: shard %d has no owner", p)
+		}
+	}
+	return &View{
+		r:       r,
+		nodes:   m0.Nodes,
+		edges:   m0.Edges,
+		version: m0.Version,
+		shift:   m0.Shift,
+		ownerOf: ownerOf,
+		blocks:  make([]blockSlot, m0.Shards),
+	}, nil
+}
+
+// PublishedView implements core.SnapshotProvider. It never blocks.
+func (r *Router) PublishedView() graph.VersionedView {
+	if r.fast != nil {
+		return r.fast.Current()
+	}
+	return r.cur.Load()
+}
+
+// PublishView implements core.SnapshotProvider: it asks every engine to
+// republish, validates agreement, and installs a fresh composite view.
+// An unchanged version keeps the current view (and its warm block
+// cache). On failure the previously published view stays current and is
+// returned alongside the error.
+func (r *Router) PublishView(ctx context.Context) (graph.VersionedView, error) {
+	if r.fast != nil {
+		return r.fast.PublishCtx(ctx)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.cur.Load()
+	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Publish(ctx) })
+	if err != nil {
+		return prev, fmt.Errorf("router: publication failed: %w", err)
+	}
+	if prev != nil && metas[0].Version == prev.version {
+		same := true
+		for _, m := range metas[1:] {
+			if m.Version != prev.version {
+				same = false
+				break
+			}
+		}
+		if same {
+			return prev, nil
+		}
+	}
+	view, err := r.assemble(metas)
+	if err != nil {
+		return prev, err
+	}
+	r.cur.Store(view)
+	return view, nil
+}
+
+// Apply applies one edge-mutation batch to every engine (each engine is
+// all-or-rollback on its own). If some engines applied and another
+// failed, the applied ones are rolled back with the inverse batch so the
+// topology stays convergent.
+//
+// Two failure modes remain and are reported loudly rather than patched
+// over. A rollback failure leaves that engine diverged. And a TRANSPORT
+// failure on the apply itself leaves the worker's outcome unknown — the
+// worker may have applied the batch and died before replying. Blindly
+// applying the inverse there would be wrong: each inverse op is a plain
+// mutation (parallel edges are legal), so an inverse sent to a worker
+// that never applied can delete pre-existing edges and make the
+// divergence silent. Instead the error names the worker whose state is
+// unknown; the next Publish broadcast detects any real divergence
+// through the version-agreement check (queries keep serving the last
+// agreed view) and the operator restarts the worker from the source
+// graph. A transactional apply (idempotent batch ids) is on the
+// ROADMAP.
+func (r *Router) Apply(ctx context.Context, ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := make([]uint64, len(r.engines))
+	errs := make([]error, len(r.engines))
+	var wg sync.WaitGroup
+	for i, e := range r.engines {
+		wg.Add(1)
+		go func(i int, e ShardEngine) {
+			defer wg.Done()
+			versions[i], errs[i] = e.Apply(ctx, ops)
+		}(i, e)
+	}
+	wg.Wait()
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			if errors.Is(err, ErrTransport) {
+				firstErr = fmt.Errorf("router: engine %d: apply outcome UNKNOWN (worker may hold the batch; restart it if the next publication reports version disagreement): %w", i, err)
+			} else {
+				firstErr = fmt.Errorf("router: engine %d: %w", i, err)
+			}
+			break
+		}
+	}
+	if firstErr != nil {
+		inverse := make([]Op, len(ops))
+		for i := range ops {
+			inv := ops[len(ops)-1-i]
+			inv.Remove = !inv.Remove
+			inverse[i] = inv
+		}
+		for i, err := range errs {
+			if err != nil {
+				continue
+			}
+			if _, rerr := r.engines[i].Apply(ctx, inverse); rerr != nil {
+				return fmt.Errorf("router: engine %d diverged (rollback failed: %v) after %w", i, rerr, firstErr)
+			}
+		}
+		return firstErr
+	}
+	for i, v := range versions[1:] {
+		if v != versions[0] {
+			return fmt.Errorf("router: engines 0 and %d at versions %d and %d after apply", i+1, versions[0], v)
+		}
+	}
+	return nil
+}
+
+// AddEdge implements the server's mutator seam.
+func (r *Router) AddEdge(u, v graph.NodeID) error {
+	ctx, cancel := context.WithTimeout(context.Background(), controlTimeout)
+	defer cancel()
+	return r.Apply(ctx, []Op{{U: u, V: v}})
+}
+
+// RemoveEdge implements the server's mutator seam.
+func (r *Router) RemoveEdge(u, v graph.NodeID) error {
+	ctx, cancel := context.WithTimeout(context.Background(), controlTimeout)
+	defer cancel()
+	return r.Apply(ctx, []Op{{Remove: true, U: u, V: v}})
+}
+
+// CheckHealth fetches every engine's Meta and validates agreement. It is
+// the per-worker health/version probe behind the background loop and the
+// serving stats.
+func (r *Router) CheckHealth(ctx context.Context) error {
+	if r.fast != nil {
+		return nil
+	}
+	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Meta(ctx) })
+	if err != nil {
+		return err
+	}
+	m0 := metas[0]
+	for i, m := range metas[1:] {
+		if m.Version != m0.Version {
+			return fmt.Errorf("router: engines 0 and %d at versions %d and %d", i+1, m0.Version, m.Version)
+		}
+	}
+	return nil
+}
+
+// StartHealth runs CheckHealth every interval on a background goroutine
+// until the returned stop function is called (idempotent). Failures only
+// update the per-engine health state the stats report — the next query or
+// write surfaces the error itself.
+func (r *Router) StartHealth(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ch := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ch:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				_ = r.CheckHealth(ctx)
+				cancel()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+// Close closes every engine.
+func (r *Router) Close() error {
+	var first error
+	for _, e := range r.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WorkerStat is one engine's serving-stats row.
+type WorkerStat struct {
+	Addr       string `json:"addr"`
+	Healthy    bool   `json:"healthy"`
+	Version    uint64 `json:"version"`
+	Shards     int    `json:"shards"`
+	Calls      int64  `json:"calls"`
+	Errors     int64  `json:"errors"`
+	Reconnects int64  `json:"reconnects"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+// WorkerStats reports one row per engine for /stats and /metrics.
+func (r *Router) WorkerStats() []WorkerStat {
+	out := make([]WorkerStat, len(r.engines))
+	var owned []int
+	if v := r.cur.Load(); v != nil {
+		owned = make([]int, len(r.engines))
+		for _, o := range v.ownerOf {
+			owned[o]++
+		}
+	}
+	for i, e := range r.engines {
+		st := WorkerStat{Addr: "local", Healthy: true}
+		switch eng := e.(type) {
+		case *RemoteEngine:
+			st.Addr = eng.Addr()
+			st.Healthy = eng.Healthy()
+			st.Version = eng.LastVersion()
+			st.Calls, st.Errors, st.Reconnects = eng.Counters()
+			st.LastError = eng.LastError()
+		case *LocalEngine:
+			if snap := eng.st.Current(); snap != nil {
+				st.Version = snap.Version()
+			}
+		}
+		if owned != nil {
+			st.Shards = owned[i]
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Counters are the router's aggregate read-path counters.
+type Counters struct {
+	ShardFetches     int64
+	ShardFetchErrors int64
+	WalkSegments     int64
+	WalkHandoffs     int64
+}
+
+// Counters reports the read-path counters for /metrics.
+func (r *Router) Counters() Counters {
+	return Counters{
+		ShardFetches:     r.shardFetches.Load(),
+		ShardFetchErrors: r.shardFetchErrors.Load(),
+		WalkSegments:     r.walkSegments.Load(),
+		WalkHandoffs:     r.walkHandoffs.Load(),
+	}
+}
+
+// Distributed reports whether the router serves through the generic
+// (multi-engine or remote) path rather than the single-store fast path.
+func (r *Router) Distributed() bool { return r.fast == nil }
+
+// LocalStore returns the fast-path store, or nil in a distributed
+// topology. The serving stack uses it to keep the sharded store's
+// publication and GC stats on /stats when the router is local.
+func (r *Router) LocalStore() *shard.Store { return r.fast }
+
+// View is the composite read side the generic path serves: the shape and
+// version agreed by every engine, plus per-shard adjacency blocks that
+// fault in from their owners on first touch and stay cached for the
+// generation. It implements graph.VersionedView for shape readers
+// (stats, validation) and core.QueryBinder so queries run through a
+// BoundView that carries their context and budget meter.
+type View struct {
+	r       *Router
+	nodes   int
+	edges   int64
+	version uint64
+	shift   uint32
+	ownerOf []int32
+	blocks  []blockSlot
+}
+
+type blockSlot struct {
+	mu  sync.Mutex // single-flight fetch
+	ptr atomic.Pointer[graph.CSRShard]
+}
+
+var _ graph.VersionedView = (*View)(nil)
+
+// NumNodes implements graph.View.
+func (v *View) NumNodes() int { return v.nodes }
+
+// NumEdges implements graph.View.
+func (v *View) NumEdges() int64 { return v.edges }
+
+// Version implements graph.VersionedView.
+func (v *View) Version() uint64 { return v.version }
+
+// block returns shard p's adjacency block, fetching it from the owner
+// engine on first touch. Concurrent first touches single-flight on the
+// slot mutex.
+func (v *View) block(ctx context.Context, p int) (*graph.CSRShard, error) {
+	slot := &v.blocks[p]
+	if b := slot.ptr.Load(); b != nil {
+		return b, nil
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if b := slot.ptr.Load(); b != nil {
+		return b, nil
+	}
+	v.r.shardFetches.Add(1)
+	csr, err := v.r.engines[v.ownerOf[p]].ResolveShard(ctx, v.version, p)
+	if err != nil {
+		v.r.shardFetchErrors.Add(1)
+		return nil, err
+	}
+	slot.ptr.Store(&csr)
+	return &csr, nil
+}
+
+func (v *View) inNeighbors(ctx context.Context, nd graph.NodeID) ([]graph.NodeID, error) {
+	b, err := v.block(ctx, int(uint32(nd)>>v.shift))
+	if err != nil {
+		return nil, err
+	}
+	l := uint32(nd) & (uint32(1)<<v.shift - 1)
+	return b.InDst[b.InOff[l]:b.InOff[l+1]], nil
+}
+
+func (v *View) outNeighbors(ctx context.Context, nd graph.NodeID) ([]graph.NodeID, error) {
+	b, err := v.block(ctx, int(uint32(nd)>>v.shift))
+	if err != nil {
+		return nil, err
+	}
+	l := uint32(nd) & (uint32(1)<<v.shift - 1)
+	return b.OutDst[b.OutOff[l]:b.OutOff[l+1]], nil
+}
+
+// InNeighbors implements graph.View for shape readers outside the query
+// path (stats, component scans run them through a bound view instead).
+// Fetch failures surface as an empty list here — and as a counted
+// fetch error on /metrics; queries MUST go through BindQuery, which turns
+// the same failure into a query error.
+func (v *View) InNeighbors(nd graph.NodeID) []graph.NodeID {
+	ls, _ := v.inNeighbors(context.Background(), nd)
+	return ls
+}
+
+// OutNeighbors implements graph.View; see InNeighbors.
+func (v *View) OutNeighbors(nd graph.NodeID) []graph.NodeID {
+	ls, _ := v.outNeighbors(context.Background(), nd)
+	return ls
+}
+
+// InDegree implements graph.View.
+func (v *View) InDegree(nd graph.NodeID) int { return len(v.InNeighbors(nd)) }
+
+// OutDegree implements graph.View.
+func (v *View) OutDegree(nd graph.NodeID) int { return len(v.OutNeighbors(nd)) }
+
+// BindQuery implements core.QueryBinder: the per-query view carrying the
+// query's context (lazy fetches and walk segments run under its
+// deadline) and meter (a transport failure trips every kernel worker).
+func (v *View) BindQuery(ctx context.Context, m *budget.Meter) (graph.View, func() error) {
+	b := &BoundView{view: v, ctx: ctx, m: m}
+	return b, b.finish
+}
+
+// BoundView is one query's handle on a View. It is what the kernels
+// actually traverse in a distributed topology: same adjacency, plus the
+// query's context on every fetch, the walk-segment delegation that keeps
+// the RNG stream identical across topologies, and the error latch that
+// turns a mid-query worker death into a prompt partial-result-with-error
+// return instead of a hang.
+type BoundView struct {
+	view *View
+	ctx  context.Context
+	m    *budget.Meter
+
+	mu  sync.Mutex
+	err error
+}
+
+var _ graph.VersionedView = (*BoundView)(nil)
+
+// fail latches the first engine failure and trips the query's meter so
+// every worker drains at its next checkpoint.
+func (b *BoundView) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.m.Fail(err)
+}
+
+// finish reports the first engine failure the query absorbed.
+func (b *BoundView) finish() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// NumNodes implements graph.View.
+func (b *BoundView) NumNodes() int { return b.view.nodes }
+
+// NumEdges implements graph.View.
+func (b *BoundView) NumEdges() int64 { return b.view.edges }
+
+// Version implements graph.VersionedView.
+func (b *BoundView) Version() uint64 { return b.view.version }
+
+// InNeighbors implements graph.View under the query's context.
+func (b *BoundView) InNeighbors(nd graph.NodeID) []graph.NodeID {
+	ls, err := b.view.inNeighbors(b.ctx, nd)
+	if err != nil {
+		b.fail(err)
+	}
+	return ls
+}
+
+// OutNeighbors implements graph.View under the query's context.
+func (b *BoundView) OutNeighbors(nd graph.NodeID) []graph.NodeID {
+	ls, err := b.view.outNeighbors(b.ctx, nd)
+	if err != nil {
+		b.fail(err)
+	}
+	return ls
+}
+
+// InDegree implements graph.View.
+func (b *BoundView) InDegree(nd graph.NodeID) int { return len(b.InNeighbors(nd)) }
+
+// OutDegree implements graph.View.
+func (b *BoundView) OutDegree(nd graph.NodeID) int { return len(b.OutNeighbors(nd)) }
+
+// WalkSegment implements walk.SegmentedView: the walk steps on the
+// engine owning its current node, with the remaining budget propagated
+// in the request header and the SplitMix64 state carried across
+// engines. An engine failure ends the walk and latches the error.
+func (b *BoundView) WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) ([]graph.NodeID, uint64, bool) {
+	v := b.view
+	eng := v.r.engines[v.ownerOf[uint32(cur)>>v.shift]]
+	before := len(buf)
+	out, newState, status, err := eng.WalkSegment(b.ctx, v.version, b.m.Export(), sqrtC, cur, state, room, buf)
+	if err != nil {
+		b.fail(err)
+		return out, state, true
+	}
+	v.r.walkSegments.Add(1)
+	if status == SegmentHandoff {
+		if len(out) == before {
+			b.fail(fmt.Errorf("router: walk segment handoff without progress at node %d", cur))
+			return out, newState, true
+		}
+		v.r.walkHandoffs.Add(1)
+		return out, newState, false
+	}
+	return out, newState, true
+}

@@ -1,0 +1,252 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"probesim/internal/rpcwire"
+)
+
+// Server serves a ShardEngine over the rpcwire protocol: the process
+// body of a probesim-shardd worker. Each connection handles one request
+// at a time (clients open more connections for concurrency); requests
+// run under a context derived from the propagated budget header, so a
+// deadline that expired on the router bounds the worker-side work too.
+type Server struct {
+	eng ShardEngine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf, when set, receives per-connection failures (protocol errors,
+	// I/O); nil means silent. Set it before Serve.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps eng for serving.
+func NewServer(eng ShardEngine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("router: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops accepting, severs every open connection and waits for the
+// handlers to drain. Used both for shutdown and by fault-injection tests
+// to kill a worker mid-query.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var inBuf, outBuf []byte
+	for {
+		typ, payload, err := rpcwire.ReadFrame(br, inBuf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("router: %s: read: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		inBuf = payload
+		rtyp, body := s.dispatch(typ, payload, outBuf[:0])
+		outBuf = body
+		if err := rpcwire.WriteFrame(bw, rtyp, body); err != nil {
+			s.logf("router: %s: write: %v", c.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			s.logf("router: %s: flush: %v", c.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame and encodes the reply into out.
+func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
+	fail := func(code uint8, err error) (uint8, []byte) {
+		if errors.Is(err, ErrRetiredGeneration) {
+			code = rpcwire.CodeRetiredGen
+		}
+		return rpcwire.TErr, rpcwire.ErrorReply{Code: code, Msg: err.Error()}.Append(out)
+	}
+	metaReply := func(m Meta) (uint8, []byte) {
+		rep := rpcwire.MetaReply{
+			Nodes:   uint64(m.Nodes),
+			Edges:   uint64(m.Edges),
+			Version: m.Version,
+			Shift:   m.Shift,
+			Shards:  uint32(m.Shards),
+			Owned:   make([]uint32, len(m.Owned)),
+		}
+		for i, p := range m.Owned {
+			rep.Owned[i] = uint32(p)
+		}
+		return rpcwire.TMetaRep, rep.Append(out)
+	}
+	switch typ {
+	case rpcwire.TMeta:
+		if _, err := rpcwire.DecodeMetaRequest(payload); err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		m, err := s.eng.Meta(context.Background())
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return metaReply(m)
+
+	case rpcwire.TShard:
+		req, err := rpcwire.DecodeShardRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		ctx, cancel := headerCtx(req.Budget.Remaining)
+		defer cancel()
+		csr, err := s.eng.ResolveShard(ctx, req.Version, int(req.Shard))
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return rpcwire.TShardRep, rpcwire.ShardReply{CSR: csr}.Append(out)
+
+	case rpcwire.TWalk:
+		req, err := rpcwire.DecodeWalkRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		nodes, state, status, err := s.eng.WalkSegment(
+			context.Background(), req.Version, req.Budget, req.SqrtC,
+			req.Cur, req.State, int(req.Room), nil)
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		rep := rpcwire.WalkReply{State: state, Status: uint8(status), Nodes: nodes}
+		return rpcwire.TWalkRep, rep.Append(out)
+
+	case rpcwire.TApply:
+		req, err := rpcwire.DecodeApplyRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		ops := make([]Op, len(req.Ops))
+		for i, op := range req.Ops {
+			ops[i] = Op{Remove: op.Remove, U: op.U, V: op.V}
+		}
+		ctx, cancel := headerCtx(req.Budget.Remaining)
+		defer cancel()
+		version, err := s.eng.Apply(ctx, ops)
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return metaReply(Meta{Version: version})
+
+	case rpcwire.TPublish:
+		req, err := rpcwire.DecodeMetaRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		ctx, cancel := headerCtx(req.Budget.Remaining)
+		defer cancel()
+		m, err := s.eng.Publish(ctx)
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return metaReply(m)
+
+	default:
+		return fail(rpcwire.CodeBadRequest, fmt.Errorf("router: unknown request type %d", typ))
+	}
+}
+
+// headerCtx turns a propagated remaining-deadline into a request context.
+func headerCtx(remaining time.Duration) (context.Context, context.CancelFunc) {
+	if remaining > 0 {
+		return context.WithTimeout(context.Background(), remaining)
+	}
+	return context.Background(), func() {}
+}
+
+// ListenAndServe serves eng on addr until the server is closed. It logs
+// through the standard logger; cmd/probesim-shardd wraps it.
+func ListenAndServe(addr string, eng ShardEngine) (*Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := NewServer(eng)
+	s.Logf = log.Printf
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			log.Printf("router: serve: %v", err)
+		}
+	}()
+	return s, ln, nil
+}

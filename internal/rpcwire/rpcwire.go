@@ -1,0 +1,418 @@
+// Package rpcwire is the binary wire codec of the cross-process shard
+// plane: length-prefixed frames over a byte stream, with hand-rolled
+// little-endian message encodings. The protocol is deliberately tiny —
+// five request/reply pairs and an error frame — because the shard engine
+// API it carries (report version / resolve adjacency spans / sample walk
+// segments / apply mutations / publish) is tiny.
+//
+// Frame layout:
+//
+//	u32 payload length | u8 message type | payload
+//
+// Every REQUEST payload begins with a budget.Header (remaining deadline +
+// remaining walk/work caps), so the worker can arm a meter equivalent to
+// the router-side query's: a deadline that expired on the router stops a
+// remote walk loop at its first poll, and a worker never keeps burning
+// CPU for a query whose client already gave up.
+//
+// Replies carry no budget header. A handler failure of any kind travels
+// as a TErr frame (code + message) so the client can distinguish
+// semantic errors (unknown generation, bad shard id) from transport
+// failures (broken/timed-out connection), which surface as I/O errors.
+package rpcwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+)
+
+// Message types.
+const (
+	TMeta     uint8 = iota + 1 // MetaRequest -> MetaReply: report version/shape
+	TMetaRep                   // MetaReply
+	TShard                     // ShardRequest -> ShardReply: resolve adjacency spans
+	TShardRep                  // ShardReply
+	TWalk                      // WalkRequest -> WalkReply: sample a walk segment
+	TWalkRep                   // WalkReply
+	TApply                     // ApplyRequest -> MetaReply: apply edge mutations
+	TPublish                   // PublishRequest -> MetaReply: republish + report
+	TErr                       // ErrorReply
+)
+
+// Error codes carried by TErr frames.
+const (
+	CodeInternal   uint8 = 1 // handler failure (bad op, storage error)
+	CodeRetiredGen uint8 = 2 // requested generation no longer retained
+	CodeBadRequest uint8 = 3 // malformed or out-of-range request
+)
+
+// MaxFrame bounds a frame's payload. A shard block of a billion-edge
+// graph fits; a corrupt length prefix does not get to allocate the
+// machine.
+const MaxFrame = 1 << 30
+
+// WriteFrame writes one frame. The payload must be shorter than MaxFrame.
+func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload) >= MaxFrame {
+		return fmt.Errorf("rpcwire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf when it is large enough.
+func ReadFrame(r io.Reader, buf []byte) (typ uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n >= MaxFrame {
+		return 0, nil, fmt.Errorf("rpcwire: frame of %d bytes exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], buf, nil
+}
+
+// dec is a cursor over a reply/request payload; the first decode error
+// sticks and poisons everything after it, so message decoders check err
+// once at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("rpcwire: truncated %s", what)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// u32s decodes a length-prefixed []uint32 (count, then values).
+func (d *dec) u32s() []uint32 {
+	n := d.u32()
+	if d.err != nil || len(d.b) < 4*int(n) {
+		d.fail("u32 array")
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(d.b[4*i:])
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+// nodes decodes a length-prefixed []graph.NodeID.
+func (d *dec) nodes() []graph.NodeID {
+	n := d.u32()
+	if d.err != nil || len(d.b) < 4*int(n) {
+		d.fail("node array")
+		return nil
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(int32(binary.LittleEndian.Uint32(d.b[4*i:])))
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err != nil || len(d.b) < int(n) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func appendU32s(b []byte, v []uint32) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, x)
+	}
+	return b
+}
+
+func appendNodes(b []byte, v []graph.NodeID) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	return b
+}
+
+// MetaRequest asks an engine to report its published shape and version.
+type MetaRequest struct {
+	Budget budget.Header
+}
+
+func (m MetaRequest) Append(b []byte) []byte { return m.Budget.AppendBinary(b) }
+
+func DecodeMetaRequest(b []byte) (MetaRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return MetaRequest{}, err
+	}
+	if len(rest) != 0 {
+		return MetaRequest{}, fmt.Errorf("rpcwire: %d trailing bytes in meta request", len(rest))
+	}
+	return MetaRequest{Budget: h}, nil
+}
+
+// MetaReply reports an engine's published graph shape: the reply to
+// TMeta, TApply and TPublish.
+type MetaReply struct {
+	Nodes   uint64
+	Edges   uint64
+	Version uint64
+	Shift   uint32
+	Shards  uint32
+	Owned   []uint32 // shard ids this engine serves
+}
+
+func (m MetaReply) Append(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, m.Nodes)
+	b = binary.LittleEndian.AppendUint64(b, m.Edges)
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = binary.LittleEndian.AppendUint32(b, m.Shift)
+	b = binary.LittleEndian.AppendUint32(b, m.Shards)
+	return appendU32s(b, m.Owned)
+}
+
+func DecodeMetaReply(b []byte) (MetaReply, error) {
+	d := dec{b: b}
+	m := MetaReply{
+		Nodes:   d.u64(),
+		Edges:   d.u64(),
+		Version: d.u64(),
+		Shift:   d.u32(),
+		Shards:  d.u32(),
+		Owned:   d.u32s(),
+	}
+	return m, d.err
+}
+
+// ShardRequest asks for shard Shard's CSR block at generation Version.
+type ShardRequest struct {
+	Budget  budget.Header
+	Version uint64
+	Shard   uint32
+}
+
+func (m ShardRequest) Append(b []byte) []byte {
+	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	return binary.LittleEndian.AppendUint32(b, m.Shard)
+}
+
+func DecodeShardRequest(b []byte) (ShardRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return ShardRequest{}, err
+	}
+	d := dec{b: rest}
+	m := ShardRequest{Budget: h, Version: d.u64(), Shard: d.u32()}
+	return m, d.err
+}
+
+// ShardReply carries one shard's CSR adjacency block.
+type ShardReply struct {
+	CSR graph.CSRShard
+}
+
+func (m ShardReply) Append(b []byte) []byte {
+	b = appendU32s(b, m.CSR.InOff)
+	b = appendNodes(b, m.CSR.InDst)
+	b = appendU32s(b, m.CSR.OutOff)
+	return appendNodes(b, m.CSR.OutDst)
+}
+
+func DecodeShardReply(b []byte) (ShardReply, error) {
+	d := dec{b: b}
+	m := ShardReply{CSR: graph.CSRShard{
+		InOff:  d.u32s(),
+		InDst:  d.nodes(),
+		OutOff: d.u32s(),
+		OutDst: d.nodes(),
+	}}
+	return m, d.err
+}
+
+// WalkRequest asks the engine owning Cur's shard to continue a √c-walk:
+// append at most Room nodes, drawing from the SplitMix64 stream at State.
+type WalkRequest struct {
+	Budget  budget.Header
+	Version uint64
+	SqrtC   float64
+	Cur     graph.NodeID
+	State   uint64
+	Room    uint32
+}
+
+func (m WalkRequest) Append(b []byte) []byte {
+	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.SqrtC))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Cur))
+	b = binary.LittleEndian.AppendUint64(b, m.State)
+	return binary.LittleEndian.AppendUint32(b, m.Room)
+}
+
+func DecodeWalkRequest(b []byte) (WalkRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return WalkRequest{}, err
+	}
+	d := dec{b: rest}
+	m := WalkRequest{Budget: h, Version: d.u64()}
+	m.SqrtC = math.Float64frombits(d.u64())
+	m.Cur = graph.NodeID(int32(d.u32()))
+	m.State = d.u64()
+	m.Room = d.u32()
+	return m, d.err
+}
+
+// Walk segment statuses.
+const (
+	WalkEnded   uint8 = 0 // terminated (survival draw, dead end, or room)
+	WalkHandoff uint8 = 1 // crossed to a shard this engine does not own
+	WalkStopped uint8 = 2 // stopped by the propagated budget
+)
+
+// WalkReply returns the appended segment nodes and the stream state after
+// them.
+type WalkReply struct {
+	State  uint64
+	Status uint8
+	Nodes  []graph.NodeID
+}
+
+func (m WalkReply) Append(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, m.State)
+	b = append(b, m.Status)
+	return appendNodes(b, m.Nodes)
+}
+
+func DecodeWalkReply(b []byte) (WalkReply, error) {
+	d := dec{b: b}
+	m := WalkReply{State: d.u64(), Status: d.u8(), Nodes: d.nodes()}
+	return m, d.err
+}
+
+// Op is one edge mutation in an ApplyRequest.
+type Op struct {
+	Remove bool
+	U, V   graph.NodeID
+}
+
+// ApplyRequest carries a batch of edge mutations, applied atomically
+// (all-or-rollback) on the worker. The reply is a MetaReply with the
+// worker's post-apply (unpublished) version.
+type ApplyRequest struct {
+	Budget budget.Header
+	Ops    []Op
+}
+
+func (m ApplyRequest) Append(b []byte) []byte {
+	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Ops)))
+	for _, op := range m.Ops {
+		k := byte(0)
+		if op.Remove {
+			k = 1
+		}
+		b = append(b, k)
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
+	}
+	return b
+}
+
+func DecodeApplyRequest(b []byte) (ApplyRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return ApplyRequest{}, err
+	}
+	d := dec{b: rest}
+	n := d.u32()
+	if d.err == nil && len(d.b) < 9*int(n) {
+		return ApplyRequest{}, fmt.Errorf("rpcwire: truncated op array")
+	}
+	m := ApplyRequest{Budget: h, Ops: make([]Op, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		k := d.u8()
+		u := graph.NodeID(int32(d.u32()))
+		v := graph.NodeID(int32(d.u32()))
+		m.Ops = append(m.Ops, Op{Remove: k == 1, U: u, V: v})
+	}
+	return m, d.err
+}
+
+// ErrorReply reports a handler failure.
+type ErrorReply struct {
+	Code uint8
+	Msg  string
+}
+
+func (m ErrorReply) Append(b []byte) []byte {
+	b = append(b, m.Code)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Msg)))
+	return append(b, m.Msg...)
+}
+
+func DecodeErrorReply(b []byte) (ErrorReply, error) {
+	d := dec{b: b}
+	m := ErrorReply{Code: d.u8(), Msg: d.str()}
+	return m, d.err
+}

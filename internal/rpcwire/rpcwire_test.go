@@ -1,0 +1,139 @@
+package rpcwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello shard plane")
+	if err := WriteFrame(&buf, TShard, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TShard || !bytes.Equal(got, payload) {
+		t.Fatalf("got type %d payload %q", typ, got)
+	}
+}
+
+func TestFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TMeta, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 64)
+	_, got, err := ReadFrame(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[0] {
+		t.Fatal("large scratch buffer was not reused")
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], MaxFrame)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame accepted: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TMeta, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(short), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	req := MetaRequest{Budget: budget.Header{Remaining: 250 * time.Millisecond, MaxWalks: 7, MaxWork: 9}}
+	got, err := DecodeMetaRequest(req.Append(nil))
+	if err != nil || got != req {
+		t.Fatalf("meta request: %+v err %v", got, err)
+	}
+	rep := MetaReply{Nodes: 1000, Edges: 5000, Version: 42, Shift: 6, Shards: 16, Owned: []uint32{0, 2, 4}}
+	gotRep, err := DecodeMetaReply(rep.Append(nil))
+	if err != nil || !reflect.DeepEqual(gotRep, rep) {
+		t.Fatalf("meta reply: %+v err %v", gotRep, err)
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	req := ShardRequest{Version: 7, Shard: 3}
+	got, err := DecodeShardRequest(req.Append(nil))
+	if err != nil || got != req {
+		t.Fatalf("shard request: %+v err %v", got, err)
+	}
+	rep := ShardReply{CSR: graph.CSRShard{
+		InOff:  []uint32{0, 1, 3},
+		InDst:  []graph.NodeID{5, 6, 7},
+		OutOff: []uint32{0, 0, 2},
+		OutDst: []graph.NodeID{1, 2},
+	}}
+	gotRep, err := DecodeShardReply(rep.Append(nil))
+	if err != nil || !reflect.DeepEqual(gotRep, rep) {
+		t.Fatalf("shard reply: %+v err %v", gotRep, err)
+	}
+}
+
+func TestWalkRoundTrip(t *testing.T) {
+	req := WalkRequest{
+		Budget:  budget.Header{Remaining: time.Second},
+		Version: 9, SqrtC: 0.7745966692414834, Cur: 12, State: 0xdeadbeefcafef00d, Room: 95,
+	}
+	got, err := DecodeWalkRequest(req.Append(nil))
+	if err != nil || got != req {
+		t.Fatalf("walk request: %+v err %v", got, err)
+	}
+	rep := WalkReply{State: 17, Status: WalkHandoff, Nodes: []graph.NodeID{3, 1, 4, 1, 5}}
+	gotRep, err := DecodeWalkReply(rep.Append(nil))
+	if err != nil || !reflect.DeepEqual(gotRep, rep) {
+		t.Fatalf("walk reply: %+v err %v", gotRep, err)
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	req := ApplyRequest{Ops: []Op{{U: 1, V: 2}, {Remove: true, U: 3, V: 4}}}
+	got, err := DecodeApplyRequest(req.Append(nil))
+	if err != nil || !reflect.DeepEqual(got, req) {
+		t.Fatalf("apply request: %+v err %v", got, err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	rep := ErrorReply{Code: CodeRetiredGen, Msg: "generation 41 retired"}
+	got, err := DecodeErrorReply(rep.Append(nil))
+	if err != nil || got != rep {
+		t.Fatalf("error reply: %+v err %v", got, err)
+	}
+}
+
+func TestTruncatedPayloadsRejected(t *testing.T) {
+	rep := ShardReply{CSR: graph.CSRShard{
+		InOff: []uint32{0, 2}, InDst: []graph.NodeID{1, 2}, OutOff: []uint32{0, 0}, OutDst: nil,
+	}}
+	full := rep.Append(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeShardReply(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}

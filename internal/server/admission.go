@@ -33,7 +33,9 @@ import (
 	"time"
 
 	"probesim/internal/core"
+	"probesim/internal/graph"
 	"probesim/internal/metrics"
+	"probesim/internal/router"
 )
 
 // Limits configures admission control. The zero value imposes no limits
@@ -44,6 +46,18 @@ type Limits struct {
 	// MaxInflight bounds concurrently executing similarity queries
 	// (/topk, /single-source, /pair, /progressive-topk). 0 = unlimited.
 	MaxInflight int
+	// SoftInflight is the degrade watermark: when more than this many
+	// similarity queries are in flight (but not more than MaxInflight),
+	// new queries are admitted DEGRADED — they run with a wider εa
+	// (DegradeFactor× — a quadratically smaller walk budget), bypass the
+	// result cache, and carry an X-ProbeSim-Degraded header telling the
+	// client what accuracy it actually got. Load keeps being served with
+	// honest labels instead of 503s; only past MaxInflight does the
+	// server refuse. 0 disables degradation.
+	SoftInflight int
+	// DegradeFactor is the εa multiplier for degraded queries; values
+	// <= 1 mean the default of 2 (a ~4× smaller walk budget).
+	DegradeFactor float64
 	// MaxJoinInflight bounds concurrently executing analysis scans
 	// (/join/topk, /components). 0 = the historical default of 1.
 	MaxJoinInflight int
@@ -139,32 +153,96 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		release, ok := s.admit(sw, r, cl)
+		release, degraded, ok := s.admit(sw, r, cl)
 		if !ok {
 			return
 		}
 		defer release()
+		if degraded {
+			rm.Degraded.Add(1)
+			r = r.WithContext(context.WithValue(r.Context(), degradedKey{}, true))
+		}
 		h(sw, r)
 	})
 }
 
+// degradedKey marks a request admitted over the soft watermark.
+type degradedKey struct{}
+
+func isDegraded(ctx context.Context) bool {
+	v, _ := ctx.Value(degradedKey{}).(bool)
+	return v
+}
+
+// degradedHeader tells the client its answer was computed at reduced
+// accuracy, and which εa it actually got.
+const degradedHeader = "X-ProbeSim-Degraded"
+
+// degradedOptions derives the wider-εa options a degraded query runs
+// with: εa scaled by DegradeFactor (walk budget shrinks quadratically),
+// an explicit NumWalks override scaled to match.
+func (s *Server) degradedOptions() core.Options {
+	f := s.limits.DegradeFactor
+	if f <= 1 {
+		f = 2
+	}
+	opt := s.opt
+	epsA := opt.EpsA
+	if epsA == 0 {
+		epsA = 0.1 // the documented default applied by core
+	}
+	epsA *= f
+	if epsA > 0.9 {
+		epsA = 0.9
+	}
+	opt.EpsA = epsA
+	if opt.NumWalks > 0 {
+		opt.NumWalks = int(float64(opt.NumWalks) / (f * f))
+		if opt.NumWalks < 1 {
+			opt.NumWalks = 1
+		}
+	}
+	return opt
+}
+
+// singleSourceScores answers the request's single-source query under its
+// admission verdict: the normal path goes through the cache; a degraded
+// request runs directly on the executor with the wider εa (degraded
+// vectors must never pollute the full-accuracy cache) and stamps the
+// response with the accuracy it got.
+func (s *Server) singleSourceScores(w http.ResponseWriter, r *http.Request, u graph.NodeID) ([]float64, error) {
+	if isDegraded(r.Context()) {
+		opt := s.degradedOptions()
+		w.Header().Set(degradedHeader, fmt.Sprintf("epsa=%g", opt.EpsA))
+		return s.ex.SingleSourceWith(r.Context(), u, opt)
+	}
+	return s.q.SingleSource(r.Context(), u)
+}
+
 // admit applies the route class's admission policy. It either returns a
-// release function and true, or writes the rejection response and
-// returns false.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (func(), bool) {
+// release function, the degraded verdict and true, or writes the
+// rejection response and returns false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (func(), bool, bool) {
 	nop := func() {}
 	switch cl {
 	case classQuery:
 		max := s.limits.MaxInflight
-		if max <= 0 {
-			return nop, true
+		soft := s.limits.SoftInflight
+		if max <= 0 && soft <= 0 {
+			return nop, false, true
 		}
-		if n := s.queryInflight.Add(1); n > int64(max) {
+		n := s.queryInflight.Add(1)
+		if max > 0 && n > int64(max) {
 			s.queryInflight.Add(-1)
 			writeRejection(w, fmt.Errorf("server: %d similarity queries in flight (limit %d)", n-1, max))
-			return nil, false
+			return nil, false, false
 		}
-		return func() { s.queryInflight.Add(-1) }, true
+		release := func() { s.queryInflight.Add(-1) }
+		// Between the soft watermark and the hard limit, serve degraded
+		// instead of refusing: a wider εa keeps latency bounded under
+		// pressure, and the response header keeps the client honest about
+		// what it got.
+		return release, soft > 0 && n > int64(soft), true
 	case classJoin:
 		// Joins queue (bounded by the request's deadline — the middleware
 		// applies QueryTimeout before admission) instead of rejecting:
@@ -175,26 +253,26 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (f
 		sem := s.joinSem
 		select {
 		case sem <- struct{}{}:
-			return func() { <-sem }, true
+			return func() { <-sem }, false, true
 		case <-r.Context().Done():
 			writeQueryError(w, fmt.Errorf("server: waiting for analysis slot: %w", r.Context().Err()))
-			return nil, false
+			return nil, false, false
 		}
 	case classWrite:
 		// Add-then-check (like classQuery): a check-then-add pair would
 		// let a burst of simultaneous writers all pass the depth test.
 		max := s.limits.MaxWriteQueue
 		if max <= 0 {
-			return nop, true
+			return nop, false, true
 		}
 		if n := s.writeWaiters.Add(1); n > int64(max) {
 			s.writeWaiters.Add(-1)
 			writeRejection(w, fmt.Errorf("server: %d writers queued on the mutation lock (limit %d)", n-1, max))
-			return nil, false
+			return nil, false, false
 		}
-		return func() { s.writeWaiters.Add(-1) }, true
+		return func() { s.writeWaiters.Add(-1) }, false, true
 	default:
-		return nop, true
+		return nop, false, true
 	}
 }
 
@@ -219,6 +297,7 @@ const statusClientClosedRequest = 499
 // writeQueryError maps a query error onto the serving contract:
 //
 //	deadline (ctx or Budget.Timeout)    -> 504 Gateway Timeout + Retry-After
+//	shard worker unreachable/died       -> 502 Bad Gateway + Retry-After
 //	work budget exhausted (ErrBudget)   -> 503 Service Unavailable + Retry-After
 //	client went away (context.Canceled) -> 499 (counted under Errors, not Rejections)
 //	anything else                       -> 500
@@ -230,6 +309,11 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded):
 		w.Header().Set("Retry-After", retryAfter)
 		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, router.ErrTransport):
+		// A worker died mid-query: the canonical bad-gateway condition.
+		// Retry-After matches the transport's reconnect backoff.
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusBadGateway, err)
 	case errors.Is(err, core.ErrBudget):
 		if sw, ok := w.(*statusWriter); ok {
 			sw.budgetExhausted = true
@@ -271,6 +355,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteCounter(out, "probesim_shards_rebuilt_total", "Shard CSRs re-encoded across publications.", ss.ShardsRebuilt)
 			metrics.WriteCounter(out, "probesim_shards_reused_total", "Shard CSRs shared with the previous snapshot.", ss.ShardsReused)
 			metrics.WriteCounter(out, "probesim_shard_edges_reencoded_total", "Adjacency entries re-encoded across publications.", ss.EdgesReEncoded)
+			gc := s.st.GC()
+			metrics.WriteCounter(out, "probesim_snapshot_retired_total", "Snapshot generations superseded by publication.", gc.RetiredTotal)
+			metrics.WriteGauge(out, "probesim_snapshot_retired_generations", "Superseded snapshot generations still live (pinned or uncollected).", int64(gc.RetiredLive))
+			metrics.WriteGauge(out, "probesim_snapshot_retired_bytes", "Approximate bytes uniquely pinned by live retired generations.", gc.RetiredBytes)
+			metrics.WriteGauge(out, "probesim_snapshot_bytes", "Resident size of the current snapshot.", gc.CurrentBytes)
+		}
+		if s.rt != nil && s.rt.Distributed() {
+			workers := s.rt.WorkerStats()
+			label := func(ws router.WorkerStat) string { return fmt.Sprintf("worker=%q", ws.Addr) }
+			sample := func(v func(router.WorkerStat) int64) []metrics.Sample {
+				out := make([]metrics.Sample, len(workers))
+				for i, ws := range workers {
+					out[i] = metrics.Sample{Label: label(ws), Value: v(ws)}
+				}
+				return out
+			}
+			metrics.WriteLabeled(out, "probesim_router_worker_up", "1 when the worker's last call or health probe succeeded.", "gauge",
+				sample(func(ws router.WorkerStat) int64 {
+					if ws.Healthy {
+						return 1
+					}
+					return 0
+				}))
+			metrics.WriteLabeled(out, "probesim_router_worker_version", "Snapshot version the worker last reported.", "gauge",
+				sample(func(ws router.WorkerStat) int64 { return int64(ws.Version) }))
+			metrics.WriteLabeled(out, "probesim_router_worker_shards", "Shards the worker owns in the published view.", "gauge",
+				sample(func(ws router.WorkerStat) int64 { return int64(ws.Shards) }))
+			metrics.WriteLabeled(out, "probesim_router_worker_calls_total", "Engine calls issued to the worker.", "counter",
+				sample(func(ws router.WorkerStat) int64 { return ws.Calls }))
+			metrics.WriteLabeled(out, "probesim_router_worker_errors_total", "Transport failures talking to the worker.", "counter",
+				sample(func(ws router.WorkerStat) int64 { return ws.Errors }))
+			metrics.WriteLabeled(out, "probesim_router_worker_reconnects_total", "Connections dialed to the worker.", "counter",
+				sample(func(ws router.WorkerStat) int64 { return ws.Reconnects }))
+			rc := s.rt.Counters()
+			metrics.WriteCounter(out, "probesim_router_shard_fetches_total", "Shard adjacency blocks fetched from workers.", rc.ShardFetches)
+			metrics.WriteCounter(out, "probesim_router_shard_fetch_errors_total", "Shard block fetches that failed.", rc.ShardFetchErrors)
+			metrics.WriteCounter(out, "probesim_router_walk_segments_total", "Walk segments sampled on workers.", rc.WalkSegments)
+			metrics.WriteCounter(out, "probesim_router_walk_handoffs_total", "Walks handed off across shard owners.", rc.WalkHandoffs)
 		}
 	})
 }

@@ -10,13 +10,16 @@ package server
 // it simply reports the consistent state it pinned at the start.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"probesim/internal/budget"
 	"probesim/internal/core"
 	"probesim/internal/graph"
+	"probesim/internal/router"
 	"probesim/internal/simjoin"
 )
 
@@ -88,7 +91,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.q.SingleSource(r.Context(), u)
+	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -156,10 +159,35 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 	}
 	// Component scans read the published snapshot through the same
 	// devirtualized adjacency path the query kernels use: no lock, no
-	// interference with the write path.
-	snap := s.ex.Snapshot()
-	sccIDs, sccCount := graph.StronglyConnected(snap)
-	wccIDs, wccCount := graph.WeaklyConnected(snap)
+	// interference with the write path — and, through the Ctx variants,
+	// under the request's deadline: the traversal checkpoints the budget
+	// meter mid-scan, so a huge snapshot cannot pin the analysis slot past
+	// its timeout. On a routed backend the scan binds to the request like
+	// any query, so a worker failure surfaces as 502 instead of silently
+	// under-counting components.
+	view := graph.View(s.ex.Snapshot())
+	finish := func() error { return nil }
+	// One meter shared by the traversal checkpoints AND the bound view: a
+	// shard worker dying mid-scan trips it (via BoundView.fail), so the
+	// scan aborts at its next poll instead of walking the rest of the
+	// graph over empty adjacency before reporting the 502.
+	m := budget.New(r.Context(), 0, 0, 0)
+	if b, ok := view.(core.QueryBinder); ok {
+		view, finish = b.BindQuery(r.Context(), m)
+	}
+	sccIDs, sccCount, err := graph.StronglyConnectedMeter(m, view)
+	var wccIDs []int32
+	var wccCount int
+	if err == nil {
+		wccIDs, wccCount, err = graph.WeaklyConnectedMeter(m, view)
+	}
+	if ferr := finish(); ferr != nil {
+		err = ferr
+	}
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stronglyConnected": sccCount,
 		"largestSCC":        largestComponent(sccIDs, sccCount),
@@ -216,24 +244,53 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	unlock := s.unlockOnce()
 	defer unlock()
-	applied := make([]batchOp, 0, len(ops))
-	for i, op := range ops {
-		var err error
-		switch op.Op {
-		case "add":
-			err = s.mut.AddEdge(op.U, op.V)
-		case "remove":
-			err = s.mut.RemoveEdge(op.U, op.V)
-		default:
-			err = fmt.Errorf("unknown op %q", op.Op)
+	if s.rt != nil && s.rt.Distributed() {
+		// Routed backend: ship the whole batch through the router's write
+		// plane in ONE broadcast per worker (not one RPC per op). Each
+		// worker applies all-or-rollback; the router rolls back workers
+		// that succeeded if any failed, so the atomicity contract holds
+		// across the fleet.
+		rops := make([]router.Op, 0, len(ops))
+		for i, op := range ops {
+			switch op.Op {
+			case "add":
+				rops = append(rops, router.Op{U: op.U, V: op.V})
+			case "remove":
+				rops = append(rops, router.Op{Remove: true, U: op.U, V: op.V})
+			default:
+				unlock()
+				writeError(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q", i, op.Op))
+				return
+			}
 		}
-		if err != nil {
-			rollback(s.mut, applied)
+		// The batch does not inherit the request context: aborting half a
+		// fleet broadcast on a client disconnect would force a rollback
+		// round for nothing (see the publication comment below).
+		if err := s.rt.Apply(context.Background(), rops); err != nil {
 			unlock()
-			writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch rejected: %v", err))
 			return
 		}
-		applied = append(applied, op)
+	} else {
+		applied := make([]batchOp, 0, len(ops))
+		for i, op := range ops {
+			var err error
+			switch op.Op {
+			case "add":
+				err = s.mut.AddEdge(op.U, op.V)
+			case "remove":
+				err = s.mut.RemoveEdge(op.U, op.V)
+			default:
+				err = fmt.Errorf("unknown op %q", op.Op)
+			}
+			if err != nil {
+				rollback(s.mut, applied)
+				unlock()
+				writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
+				return
+			}
+			applied = append(applied, op)
+		}
 	}
 	// One snapshot publication for the whole batch: queries switch from the
 	// pre-batch graph to the post-batch graph atomically and never observe
@@ -244,7 +301,7 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 	snap := s.ex.Refresh()
 	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"applied": len(applied), "edges": snap.NumEdges(), "version": snap.Version(),
+		"applied": len(ops), "edges": snap.NumEdges(), "version": snap.Version(),
 	})
 }
 

@@ -37,6 +37,7 @@ import (
 	"probesim/internal/core"
 	"probesim/internal/graph"
 	"probesim/internal/metrics"
+	"probesim/internal/router"
 	"probesim/internal/shard"
 )
 
@@ -51,7 +52,8 @@ type mutator interface {
 type Server struct {
 	mu    sync.Mutex // serializes backend mutations
 	mut   mutator
-	st    *shard.Store // non-nil only for the sharded backend
+	st    *shard.Store   // non-nil only for the sharded backend
+	rt    *router.Router // non-nil only for the routed backend
 	ex    *core.Executor
 	q     *core.Querier
 	opt   core.Options
@@ -87,6 +89,18 @@ func New(g *graph.Graph, opt core.Options, cacheCap, limit int) *Server {
 // ownership of st.
 func NewSharded(st *shard.Store, opt core.Options, cacheCap, limit int) *Server {
 	return newServer(st, st, core.NewExecutorOn(st, opt), opt, cacheCap, limit)
+}
+
+// NewRouted builds a Server over a shard router: queries fan out to the
+// router's engines (in-process or probesim-shardd workers over RPC),
+// writes broadcast through its write plane, and /stats + /metrics grow
+// per-worker health/version rows and router counters. The single-engine
+// local topology (router.NewLocal) is exactly NewSharded with extra
+// steps removed — the fast path serves the store's own snapshots.
+func NewRouted(rt *router.Router, opt core.Options, cacheCap, limit int) *Server {
+	s := newServer(rt, rt.LocalStore(), core.NewExecutorOn(rt, opt), opt, cacheCap, limit)
+	s.rt = rt
+	return s
 }
 
 func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options, cacheCap, limit int) *Server {
@@ -169,11 +183,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.q.TopK(r.Context(), u, k)
+	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
+	res := core.SelectTopK(scores, u, k)
 	out := make([]scoredNodeJSON, len(res))
 	for i, r := range res {
 		out[i] = scoredNodeJSON{Node: r.Node, Score: r.Score}
@@ -191,7 +206,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.q.SingleSource(r.Context(), u)
+	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -316,6 +331,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["shardsRebuilt"] = ss.ShardsRebuilt
 		body["shardsReused"] = ss.ShardsReused
 		body["shardEdgesReEncoded"] = ss.EdgesReEncoded
+		// Snapshot GC visibility: how many superseded generations queries
+		// still pin, and roughly how much memory that holds live.
+		gc := s.st.GC()
+		body["snapshotRetiredTotal"] = gc.RetiredTotal
+		body["snapshotRetiredLive"] = gc.RetiredLive
+		body["snapshotRetiredBytes"] = gc.RetiredBytes
+		body["snapshotCurrentBytes"] = gc.CurrentBytes
+	}
+	if s.rt != nil && s.rt.Distributed() {
+		body["routerWorkers"] = s.rt.WorkerStats()
+		rc := s.rt.Counters()
+		body["routerShardFetches"] = rc.ShardFetches
+		body["routerShardFetchErrors"] = rc.ShardFetchErrors
+		body["routerWalkSegments"] = rc.WalkSegments
+		body["routerWalkHandoffs"] = rc.WalkHandoffs
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -113,6 +113,10 @@ type Store struct {
 	// EnableEagerSpans).
 	eagerSpans atomic.Bool
 
+	// gc tracks superseded generations with weak pointers for the
+	// retired-generation gauges (see gc.go).
+	gc gcTracker
+
 	// Publication counters (atomics so /stats can read them lock-free).
 	publications     atomic.Int64
 	shardsRebuilt    atomic.Int64

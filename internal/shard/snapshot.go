@@ -104,6 +104,23 @@ func (s *StoreSnapshot) spanArrays() *spanArrays {
 // built (eagerly or by a query) — observability for the eager-span path.
 func (s *StoreSnapshot) SpansMaterialized() bool { return s.spans.Load() != nil }
 
+// Shift returns log2 of the node stride: node v's lists live in shard
+// v>>Shift(). Exposed for the shard engine plane, which must agree with
+// the store about ownership without holding a *Store.
+func (s *StoreSnapshot) Shift() uint32 { return s.shift }
+
+// Shard returns shard p's immutable CSR block — the "resolve adjacency
+// spans" primitive of the shard engine API. The block aliases the
+// snapshot's storage (never copied, never invalidated), so a local engine
+// serves it by reference and a remote engine serializes it straight onto
+// the wire.
+func (s *StoreSnapshot) Shard(p int) graph.CSRShard { return s.csr[p] }
+
+// ShardVersion returns the store version shard p's CSR was encoded at —
+// the per-shard dirtiness signal publication compares, exposed so engines
+// can report fine-grained staleness.
+func (s *StoreSnapshot) ShardVersion(p int) uint64 { return s.versions[p] }
+
 func (s *StoreSnapshot) shardOf(v graph.NodeID) (*graph.CSRShard, uint32) {
 	return &s.csr[uint32(v)>>s.shift], uint32(v) & (uint32(1)<<s.shift - 1)
 }
@@ -295,6 +312,9 @@ func (st *Store) PublishCtx(ctx context.Context) (*StoreSnapshot, error) {
 	st.shardsRebuilt.Add(int64(len(dirty)))
 	st.shardsReused.Add(int64(len(st.shards) - len(dirty)))
 	st.cur.Store(next)
+	if prev != nil {
+		st.gc.track(prev)
+	}
 	if st.eagerSpans.Load() {
 		go next.spanArrays()
 	}

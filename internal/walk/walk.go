@@ -19,9 +19,28 @@ import (
 // so the cap is statistically invisible while keeping buffers bounded.
 const HardCap = 96
 
+// SegmentedView is a graph view that samples walk segments itself instead
+// of exposing per-node adjacency to the walk loop. The router's
+// distributed view implements it: each segment runs on the shard engine
+// owning the walk's current node (locally or over RPC), consuming exactly
+// the same SplitMix64 stream as an in-process walk, so results stay
+// bit-identical across topologies.
+type SegmentedView interface {
+	// WalkSegment continues a √c-walk whose current (last) node is cur,
+	// appending at most room further nodes to buf. state is the walk RNG's
+	// SplitMix64 state before the segment; the returned state is the
+	// stream position after it. done reports that the walk ended
+	// (termination draw, dead end, budget stop, or transport failure);
+	// !done means the walk crossed to a node owned by another shard engine
+	// and the caller should request the next segment from the new current
+	// node (the last element of the returned buf).
+	WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) (out []graph.NodeID, newState uint64, done bool)
+}
+
 // Generator produces √c-walks over a fixed graph view.
 type Generator struct {
 	adj   graph.Adj
+	seg   SegmentedView // non-nil: delegate stepping to the view
 	sqrtC float64
 	rng   *xrand.RNG
 	meter *budget.Meter
@@ -37,7 +56,11 @@ func NewGenerator(g graph.View, c float64, rng *xrand.RNG) *Generator {
 	if c <= 0 || c >= 1 {
 		panic("walk: decay factor must be in (0, 1)")
 	}
-	return &Generator{adj: graph.ResolveAdj(g), sqrtC: math.Sqrt(c), rng: rng}
+	gen := &Generator{adj: graph.ResolveAdj(g), sqrtC: math.Sqrt(c), rng: rng}
+	if sv, ok := g.(SegmentedView); ok {
+		gen.seg = sv
+	}
+	return gen
 }
 
 // SqrtC returns the per-step survival probability √c.
@@ -62,19 +85,58 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 	if gen.meter.Stopped() {
 		return buf
 	}
-	cur := u
-	for len(buf) < maxNodes {
-		if gen.rng.Float64() >= gen.sqrtC {
-			break // terminated with probability 1 − √c
+	if gen.seg != nil {
+		// Segmented view: the view steps the walk (shard-locally or over
+		// RPC), round-tripping the RNG state so the stream is the one an
+		// in-process walk would consume.
+		state := gen.rng.State()
+		for len(buf) < maxNodes {
+			var done bool
+			buf, state, done = gen.seg.WalkSegment(buf[len(buf)-1], state, maxNodes-len(buf), gen.sqrtC, buf)
+			if done {
+				break
+			}
 		}
-		in := gen.adj.In(cur)
+		gen.rng.SetState(state)
+		return buf
+	}
+	buf, _ = Segment(&gen.adj, u, maxNodes-1, gen.sqrtC, gen.rng, nil, nil, buf)
+	return buf
+}
+
+// Segment advances a √c-walk from cur, appending at most room further
+// nodes to buf. It is the single step loop behind every walk in this
+// repository — Generate runs it with no ownership predicate, and the shard
+// RPC worker runs it with owns limiting the segment to the shards it
+// serves — so a walk stitched from segments consumes exactly the same RNG
+// stream, and visits exactly the same nodes, as an uninterrupted one.
+//
+// The walk ends (ended = true) on the termination draw, at a node with no
+// in-neighbors, when room is exhausted, or when stop reports the owning
+// query's budget expired; ended = false means the walk stepped to a node
+// for which owns returned false, and the caller must continue it there.
+// stop, when non-nil, is polled once per step — walk segments are at most
+// HardCap steps, so per-step polling through a budget.Checkpoint is what
+// lets a propagated deadline stop a remote walk loop mid-segment.
+func Segment(adj *graph.Adj, cur graph.NodeID, room int, sqrtC float64, rng *xrand.RNG, owns func(graph.NodeID) bool, stop func() bool, buf []graph.NodeID) (out []graph.NodeID, ended bool) {
+	for ; room > 0; room-- {
+		if owns != nil && !owns(cur) {
+			return buf, false
+		}
+		if stop != nil && stop() {
+			return buf, true
+		}
+		if rng.Float64() >= sqrtC {
+			return buf, true // terminated with probability 1 − √c
+		}
+		in := adj.In(cur)
 		if len(in) == 0 {
-			break
+			return buf, true
 		}
-		cur = in[gen.rng.Intn(len(in))]
+		cur = in[rng.Intn(len(in))]
 		buf = append(buf, cur)
 	}
-	return buf
+	return buf, true
 }
 
 // TruncateLen returns the maximum number of walk nodes under pruning rule 1

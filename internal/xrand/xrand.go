@@ -22,6 +22,17 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal SplitMix64 state. Together with
+// SetState it lets a walk be suspended on one process and resumed on
+// another (the cross-process shard RPC ships the state in its walk-segment
+// requests) while consuming exactly the same stream as an uninterrupted
+// generator.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state, resuming the stream
+// a previous State() call captured.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split returns a new generator whose stream is a deterministic function of
 // the parent's seed and i, suitable for giving each parallel worker its own
 // independent sequence. The parent's state is not advanced.

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Multi-process smoke: two probesim-shardd workers + a routing
+# probesim-server answer exactly what a single-process server answers.
+#
+# Starts (on localhost):
+#   - probesim-shardd -index 0 -group 2   (shards 0,2,4,...)
+#   - probesim-shardd -index 1 -group 2   (shards 1,3,5,...)
+#   - probesim-server -workers ...        (routing tier, no local graph)
+#   - probesim-server -shards ...         (single-process reference)
+# then diffs /topk and /single-source responses byte for byte, writes an
+# edge through both write planes, and diffs again.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+W0=19301 W1=19302 ROUTED=19303 SINGLE=19304
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_tcp() { # host port
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/$1/$2") 2>/dev/null; then exec 3>&-; return 0; fi
+    sleep 0.1
+  done
+  echo "timed out waiting for $1:$2" >&2
+  return 1
+}
+
+echo "== building"
+go build -o "$TMP/bin/" ./cmd/gengraph ./cmd/probesim-shardd ./cmd/probesim-server
+
+echo "== generating graph"
+"$TMP/bin/gengraph" -type pa -n 2000 -deg 6 -seed 4 -o "$TMP/g.txt"
+
+echo "== starting workers"
+"$TMP/bin/probesim-shardd" -graph "$TMP/g.txt" -shards 16 -index 0 -group 2 -addr "127.0.0.1:$W0" &
+PIDS+=($!)
+"$TMP/bin/probesim-shardd" -graph "$TMP/g.txt" -shards 16 -index 1 -group 2 -addr "127.0.0.1:$W1" &
+PIDS+=($!)
+wait_tcp 127.0.0.1 "$W0"
+wait_tcp 127.0.0.1 "$W1"
+
+echo "== starting servers"
+"$TMP/bin/probesim-server" -workers "127.0.0.1:$W0,127.0.0.1:$W1" -addr "127.0.0.1:$ROUTED" -epsa 0.3 &
+PIDS+=($!)
+"$TMP/bin/probesim-server" -graph "$TMP/g.txt" -shards 16 -addr "127.0.0.1:$SINGLE" -epsa 0.3 &
+PIDS+=($!)
+wait_tcp 127.0.0.1 "$ROUTED"
+wait_tcp 127.0.0.1 "$SINGLE"
+# The HTTP listener accepts before handlers warm; confirm /stats serves.
+for port in "$ROUTED" "$SINGLE"; do
+  for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$port/stats" >/dev/null && break
+    sleep 0.1
+  done
+done
+
+check() { # path
+  curl -sf "http://127.0.0.1:$ROUTED$1" >"$TMP/routed.json"
+  curl -sf "http://127.0.0.1:$SINGLE$1" >"$TMP/single.json"
+  if ! diff -u "$TMP/single.json" "$TMP/routed.json"; then
+    echo "MISMATCH on $1" >&2
+    exit 1
+  fi
+  echo "   match: $1"
+}
+
+echo "== comparing query answers (routed vs single-process)"
+check "/topk?u=7&k=10"
+check "/topk?u=1999&k=5"
+check "/single-source?u=42"
+check "/pair?u=7&v=9"
+
+echo "== writing an edge through both write planes"
+curl -sf -X POST "http://127.0.0.1:$ROUTED/edges?u=3&v=1998" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$SINGLE/edges?u=3&v=1998" >/dev/null
+check "/topk?u=3&k=10"
+
+echo "== router observability"
+curl -sf "http://127.0.0.1:$ROUTED/metrics" | grep -q 'probesim_router_worker_up{worker="127.0.0.1:' || {
+  echo "routed /metrics missing per-worker gauges" >&2
+  exit 1
+}
+curl -sf "http://127.0.0.1:$ROUTED/stats" | grep -q 'routerWorkers' || {
+  echo "routed /stats missing routerWorkers" >&2
+  exit 1
+}
+
+echo "== multi-process smoke PASSED"
