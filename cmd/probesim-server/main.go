@@ -52,11 +52,27 @@
 // an X-ProbeSim-Degraded header naming the εa they actually got, and
 // bypass the result cache. Only above -max-inflight does the server 503.
 //
+// # Durability
+//
+// With -data-dir the write plane is durable: every acknowledged edge
+// batch is appended to a CRC32C-framed write-ahead log (fsynced per
+// -fsync) BEFORE it is applied, the store is checkpointed in the
+// background every -checkpoint-every batches (truncating covered log
+// segments), and on boot the server recovers the newest checkpoint plus
+// the log tail — an acknowledged write survives kill -9. A data dir that
+// already holds state wins over -graph (the graph file is only the
+// bootstrap seed for an empty dir). Durability requires the sharded
+// backend; -shards defaults to 16 when -data-dir is set without it. In
+// routed mode (-workers) durability belongs on the workers
+// (probesim-shardd -data-dir), not here.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; queries that outlive the
 // drain are canceled through the same context seam and unwind with a
 // 499 "request canceled" response (the connection is being torn down —
-// the status exists for logs and metrics).
+// the status exists for logs and metrics). With -data-dir the shutdown
+// path also takes a final checkpoint and closes the log cleanly, so the
+// next boot replays nothing.
 package main
 
 import (
@@ -74,9 +90,11 @@ import (
 	"time"
 
 	"probesim"
+	"probesim/internal/persist"
 	"probesim/internal/router"
 	"probesim/internal/server"
 	"probesim/internal/shard"
+	"probesim/internal/wal"
 )
 
 func main() {
@@ -96,6 +114,12 @@ func main() {
 		workers    = flag.String("workers", "", "comma-separated probesim-shardd addresses; route queries to these workers instead of serving the graph in-process")
 		healthIvl  = flag.Duration("health-interval", 5*time.Second, "with -workers: background per-worker health/version probe interval")
 
+		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead log + checkpoints; recovered on boot (requires the sharded backend)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (every acknowledged batch is on disk), interval, or off")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync=interval")
+		ckptEvery = flag.Int64("checkpoint-every", 1024, "checkpoint after this many batches beyond the last checkpoint")
+		segBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
+
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none); expiry returns HTTP 504")
 		maxInflight  = flag.Int("max-inflight", 64, "concurrent similarity queries before 503 rejection (0 = unlimited)")
 		softInflight = flag.Int("soft-inflight", 0, "degrade watermark: above this many in-flight queries (and below -max-inflight), serve wider-epsa answers with an X-ProbeSim-Degraded header instead of rejecting (0 = off)")
@@ -108,8 +132,8 @@ func main() {
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
-	if *path == "" && *workers == "" {
-		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph (or -workers)")
+	if *path == "" && *workers == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph (or -workers, or a recoverable -data-dir)")
 		os.Exit(1)
 	}
 	opt := probesim.Options{
@@ -120,6 +144,9 @@ func main() {
 	if *workers != "" {
 		// Routed topology: the graph lives on the probesim-shardd workers;
 		// this process only routes, merges and caches. -graph is ignored.
+		if *dataDir != "" {
+			log.Fatal("probesim-server: -data-dir belongs on the workers in routed mode (probesim-shardd -data-dir); the routing tier keeps no durable state")
+		}
 		var engines []router.ShardEngine
 		for _, a := range strings.Split(*workers, ",") {
 			a = strings.TrimSpace(a)
@@ -137,20 +164,66 @@ func main() {
 		snap := rt.PublishedView()
 		log.Printf("probesim-server: routing n=%d m=%d v=%d on %s across %d workers (%s)",
 			snap.NumNodes(), snap.NumEdges(), snap.Version(), *addr, len(engines), *workers)
-		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, nil)
 		return
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		log.Fatal(err)
+	loadGraph := func() (*probesim.Graph, error) {
+		if *path == "" {
+			return nil, fmt.Errorf("probesim-server: -data-dir %s holds no recoverable state and no -graph was given to bootstrap it", *dataDir)
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if *binary {
+			return probesim.ReadBinaryGraph(f)
+		}
+		return probesim.LoadEdgeList(f, *undirected)
 	}
-	var g *probesim.Graph
-	if *binary {
-		g, err = probesim.ReadBinaryGraph(f)
-	} else {
-		g, err = probesim.LoadEdgeList(f, *undirected)
+	if *dataDir != "" {
+		// Durable sharded backend: recover (or bootstrap) the store from
+		// the data dir, arm the write-ahead log, checkpoint in the
+		// background. An acknowledged /edges or /edges/batch is on disk
+		// before its 200.
+		if *shards <= 0 {
+			*shards = 16
+			log.Printf("probesim-server: -data-dir requires the sharded backend; defaulting -shards=%d", *shards)
+		}
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, lg, rstats, err := persist.OpenStore(*dataDir, *shards, *rebuildW,
+			wal.Options{Sync: policy, SyncEvery: *fsyncIvl, SegmentBytes: *segBytes}, loadGraph)
+		if err != nil {
+			log.Fatalf("probesim-server: opening %s: %v", *dataDir, err)
+		}
+		if rstats.Bootstrapped {
+			log.Printf("probesim-server: bootstrapped %s from %s (initial checkpoint written)", *dataDir, *path)
+		} else {
+			log.Printf("probesim-server: recovered %s: checkpoint through batch %d, replayed %d log batches (%d skipped, %d torn bytes dropped), watermark %d",
+				*dataDir, rstats.CheckpointThrough, rstats.Replayed, rstats.ReplaySkipped, rstats.TornBytes, rstats.LastBatch)
+		}
+		if *eagerSpans {
+			st.EnableEagerSpans()
+		}
+		ck := persist.StartCheckpointer(st, lg, *ckptEvery, time.Second)
+		srv = server.NewSharded(st, opt, *cacheCap, *limit)
+		srv.SetWAL(lg)
+		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, durable: fsync=%s checkpoint-every=%d)",
+			st.NumNodes(), st.NumEdges(), *addr, st.NumShards(), policy, *ckptEvery)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, func() {
+			if err := ck.Stop(); err != nil {
+				log.Printf("probesim-server: final checkpoint: %v", err)
+			}
+			if err := lg.Close(); err != nil {
+				log.Printf("probesim-server: closing wal: %v", err)
+			}
+		})
+		return
 	}
-	f.Close()
+	g, err := loadGraph()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,13 +240,15 @@ func main() {
 		log.Printf("probesim-server: serving n=%d m=%d on %s (monolithic snapshot)",
 			g.NumNodes(), g.NumEdges(), *addr)
 	}
-	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO)
+	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, nil)
 }
 
 // serve installs the admission limits and runs the HTTP server with
 // graceful signal-driven drain; shared by the in-process and routed
-// topologies.
-func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration) {
+// topologies. cleanup, when non-nil, runs after the drain completes —
+// the durable path uses it to take a final checkpoint and close the log
+// so the next boot replays nothing.
+func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration, cleanup func()) {
 	srv.SetLimits(server.Limits{
 		MaxInflight:     *maxInflight,
 		SoftInflight:    *softInflight,
@@ -227,6 +302,9 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 		}
 	case err != nil:
 		log.Printf("probesim-server: shutdown: %v", err)
+	}
+	if cleanup != nil {
+		cleanup()
 	}
 	log.Printf("probesim-server: bye")
 }

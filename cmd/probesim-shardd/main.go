@@ -19,6 +19,17 @@
 //   - the write plane (edge batches + publication), driven by the router
 //     so the fleet stays in lockstep with the serving tier.
 //
+// With -data-dir the worker's write plane is durable: every identified
+// Apply batch from the router is appended to a CRC32C-framed write-ahead
+// log (fsynced per -fsync) BEFORE it is applied, the store is
+// checkpointed in the background, and on boot the worker recovers the
+// newest checkpoint plus the log tail. Batches apply AT MOST ONCE per id
+// (the durable watermark), so a router that lost an Apply reply simply
+// retries the same batch — the worker that already holds it
+// acknowledges without re-applying, which is what closes the lost-reply
+// window. A data dir with state wins over -graph; an empty one is
+// bootstrapped from it.
+//
 // The last -retain generations stay resolvable so in-flight queries read
 // the exact snapshot they pinned while churn publishes newer ones.
 package main
@@ -30,10 +41,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"probesim"
+	"probesim/internal/persist"
 	"probesim/internal/router"
 	"probesim/internal/shard"
+	"probesim/internal/wal"
 )
 
 func main() {
@@ -47,10 +61,16 @@ func main() {
 		group      = flag.Int("group", 1, "worker-group size; this worker owns shards p with p%group==index")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
 		eagerSpans = flag.Bool("eager-spans", false, "materialize snapshot span arrays in the background after each publication")
+
+		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead log + checkpoints; recovered on boot")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync=interval")
+		ckptEvery = flag.Int64("checkpoint-every", 1024, "checkpoint after this many batches beyond the last checkpoint")
+		segBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
 	)
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "probesim-shardd: missing -graph")
+	if *path == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "probesim-shardd: missing -graph (or a recoverable -data-dir)")
 		os.Exit(1)
 	}
 	if *shards < 1 {
@@ -61,25 +81,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "probesim-shardd: need 0 <= index < group")
 		os.Exit(1)
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		log.Fatal(err)
+	loadGraph := func() (*probesim.Graph, error) {
+		if *path == "" {
+			return nil, fmt.Errorf("probesim-shardd: -data-dir %s holds no recoverable state and no -graph was given to bootstrap it", *dataDir)
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if *binary {
+			return probesim.ReadBinaryGraph(f)
+		}
+		return probesim.LoadEdgeList(f, *undirected)
 	}
-	var g *probesim.Graph
-	if *binary {
-		g, err = probesim.ReadBinaryGraph(f)
+	var st *shard.Store
+	var lg *wal.Log
+	var ck *persist.Checkpointer
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rstats persist.RecoveryStats
+		st, lg, rstats, err = persist.OpenStore(*dataDir, *shards, *rebuildW,
+			wal.Options{Sync: policy, SyncEvery: *fsyncIvl, SegmentBytes: *segBytes}, loadGraph)
+		if err != nil {
+			log.Fatalf("probesim-shardd: opening %s: %v", *dataDir, err)
+		}
+		if rstats.Bootstrapped {
+			log.Printf("probesim-shardd: bootstrapped %s from %s (initial checkpoint written)", *dataDir, *path)
+		} else {
+			log.Printf("probesim-shardd: recovered %s: checkpoint through batch %d, replayed %d log batches (%d skipped, %d torn bytes dropped), watermark %d",
+				*dataDir, rstats.CheckpointThrough, rstats.Replayed, rstats.ReplaySkipped, rstats.TornBytes, rstats.LastBatch)
+		}
+		ck = persist.StartCheckpointer(st, lg, *ckptEvery, time.Second)
 	} else {
-		g, err = probesim.LoadEdgeList(f, *undirected)
+		g, err := loadGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = shard.NewStore(g, *shards, *rebuildW)
 	}
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	st := shard.NewStore(g, *shards, *rebuildW)
 	if *eagerSpans {
 		st.EnableEagerSpans()
 	}
 	eng := router.NewLocalEngine(st, *index, *group)
+	if lg != nil {
+		eng.SetWAL(lg)
+	}
 	srv, ln, err := router.ListenAndServe(*addr, eng)
 	if err != nil {
 		log.Fatal(err)
@@ -88,8 +138,12 @@ func main() {
 	for p := *index; p < st.NumShards(); p += *group {
 		owned++
 	}
-	log.Printf("probesim-shardd: serving n=%d m=%d on %s (worker %d/%d, %d of %d shards, stride %d)",
-		g.NumNodes(), g.NumEdges(), ln.Addr(), *index, *group, owned, st.NumShards(), st.Partition().Stride())
+	durable := ""
+	if lg != nil {
+		durable = fmt.Sprintf(", durable in %s", *dataDir)
+	}
+	log.Printf("probesim-shardd: serving n=%d m=%d on %s (worker %d/%d, %d of %d shards, stride %d%s)",
+		st.NumNodes(), st.NumEdges(), ln.Addr(), *index, *group, owned, st.NumShards(), st.Partition().Stride(), durable)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -97,6 +151,16 @@ func main() {
 	log.Printf("probesim-shardd: signal received, closing")
 	if err := srv.Close(); err != nil {
 		log.Printf("probesim-shardd: close: %v", err)
+	}
+	if ck != nil {
+		if err := ck.Stop(); err != nil {
+			log.Printf("probesim-shardd: final checkpoint: %v", err)
+		}
+	}
+	if lg != nil {
+		if err := lg.Close(); err != nil {
+			log.Printf("probesim-shardd: closing wal: %v", err)
+		}
 	}
 	log.Printf("probesim-shardd: bye (%d walk segments budget-stopped)", eng.SegmentsStopped())
 }

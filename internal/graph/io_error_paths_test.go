@@ -1,0 +1,141 @@
+package graph
+
+// Error-path coverage for the graph loaders the durable boot path leans
+// on (-graph bootstraps a -data-dir): hostile headers must not allocate,
+// node ids must stay in int32 range, and every short-read site must
+// error rather than build a half graph.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// binHeader builds a WriteBinary-format header claiming n nodes and m
+// edges.
+func binHeader(n, m uint64) []byte {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], binaryMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], n)
+	binary.LittleEndian.PutUint64(hdr[12:20], m)
+	return hdr[:]
+}
+
+func appendU32s(b []byte, vs ...uint32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+func TestReadBinaryNodeCountOverflow(t *testing.T) {
+	// Node ids are int32: a header claiming more than 1<<31 nodes can
+	// never be addressed and must be rejected on the header alone —
+	// BEFORE any allocation proportional to the claim.
+	for _, n := range []uint64{1<<31 + 1, 1 << 40, 1<<64 - 1} {
+		if _, err := ReadBinary(bytes.NewReader(binHeader(n, 0))); err == nil {
+			t.Errorf("n=%d accepted", n)
+		} else if !strings.Contains(err.Error(), "int32") {
+			t.Errorf("n=%d: error %v does not name the overflow", n, err)
+		}
+	}
+}
+
+func TestReadBinaryEdgesWithoutNodes(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(binHeader(0, 5))); err == nil {
+		t.Fatal("0 nodes with 5 claimed edges accepted")
+	}
+}
+
+func TestReadBinaryDegreeSumMismatch(t *testing.T) {
+	// Two nodes; header claims 1 edge; node 0's degree says 2.
+	in := binHeader(2, 1)
+	in = appendU32s(in, 2, 1, 1) // degree 2, then neighbors 1, 1
+	in = appendU32s(in, 0)       // node 1: degree 0
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("degree sum above header claim accepted")
+	}
+	// Header claims 2 edges; body only delivers 1.
+	in = binHeader(2, 2)
+	in = appendU32s(in, 1, 1) // node 0: degree 1, neighbor 1
+	in = appendU32s(in, 0)    // node 1: degree 0
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("degree sum below header claim accepted")
+	}
+}
+
+func TestReadBinaryNeighborValidation(t *testing.T) {
+	// Neighbor id out of range.
+	in := binHeader(2, 1)
+	in = appendU32s(in, 1, 9) // node 0 -> 9, but n = 2
+	in = appendU32s(in, 0)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+	// Self-loop in the binary format is structural corruption (the writer
+	// never emits one).
+	in = binHeader(2, 1)
+	in = appendU32s(in, 1, 0) // node 0 -> 0
+	in = appendU32s(in, 0)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestReadBinaryShortReadAtEverySite(t *testing.T) {
+	// Distinct truncation sites have distinct failure modes: mid-header,
+	// mid-degree word, mid-neighbor word, and clean EOF one node early.
+	full := binHeader(3, 2)
+	full = appendU32s(full, 2, 1, 2) // node 0: degree 2 -> {1, 2}
+	full = appendU32s(full, 0)       // node 1
+	full = appendU32s(full, 0)       // node 2
+	if _, err := ReadBinary(bytes.NewReader(full)); err != nil {
+		t.Fatalf("intact input rejected: %v", err)
+	}
+	for _, cut := range []int{3, 19, 22, 25, 30, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("prefix of %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadBinaryHostileDegreeNoHugeAlloc(t *testing.T) {
+	// One node claiming a 4-billion degree backed by 4 bytes: the loader
+	// must fail on the edge-count check or the short read, not allocate
+	// the claim. (The claim exceeds the header's edge count immediately.)
+	in := binHeader(1, 1)
+	in = appendU32s(in, 0xffffffff, 7)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("hostile degree accepted")
+	}
+}
+
+func TestLoadEdgeListOverflowAndScannerLimits(t *testing.T) {
+	// Ids beyond int64 fail the parse with the line number.
+	if _, err := LoadEdgeList(strings.NewReader("1 2\n18446744073709551617 3\n"), false); err == nil {
+		t.Fatal("id beyond int64 accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v does not name the line", err)
+	}
+	// A line past the scanner's 1MiB ceiling surfaces as an error, not a
+	// silent truncation.
+	long := strings.Repeat("7", 1<<21) + " 1\n"
+	if _, err := LoadEdgeList(strings.NewReader(long), false); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	// Extra columns are tolerated (SNAP dumps carry timestamps).
+	g, err := LoadEdgeList(strings.NewReader("1 2 1700000000\n"), false)
+	if err != nil || g.NumEdges() != 1 {
+		t.Fatalf("timestamped edge: %v, m=%d", err, g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListUndirectedErrorPath(t *testing.T) {
+	// The undirected loader runs both directions through AddEdge; a
+	// malformed line after valid ones must abort, leaving no partial
+	// acceptance ambiguity.
+	if _, err := LoadEdgeList(strings.NewReader("1 2\nx y\n"), true); err == nil {
+		t.Fatal("undirected loader accepted malformed line")
+	}
+}

@@ -229,3 +229,65 @@ func WriteLabeled(w io.Writer, name, help, typ string, samples []Sample) {
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'f', -1, 64)
 }
+
+// ValueHistogram is a fixed-bucket histogram over an arbitrary value
+// domain (the latency Histogram's bucket ladder is hard-wired to
+// seconds). The serving plane uses it for the served-εa distribution:
+// under degrade-instead-of-reject admission, operators need to SEE how
+// much accuracy the fleet is actually giving up under pressure, not just
+// that some requests carried a degraded header. Observation is one
+// binary search plus three atomic adds; safe for concurrent use.
+type ValueHistogram struct {
+	bounds   []float64
+	buckets  []atomic.Int64 // len(bounds)+1; last = +Inf
+	count    atomic.Int64
+	sumMicro atomic.Int64 // sum scaled by 1e6 to stay integral
+}
+
+// NewValueHistogram builds a histogram over the given ascending upper
+// bounds (the +Inf bucket is implicit).
+func NewValueHistogram(bounds []float64) *ValueHistogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: value histogram bounds must ascend")
+	}
+	return &ValueHistogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(int64(math.Round(v * 1e6)))
+}
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() int64 { return h.count.Load() }
+
+// BucketCount returns the cumulative count at or below the i-th bound
+// (i == len(bounds) means total), for tests and coarse reporting.
+func (h *ValueHistogram) BucketCount(i int) int64 {
+	var cum int64
+	for j := 0; j <= i && j < len(h.buckets); j++ {
+		cum += h.buckets[j].Load()
+	}
+	return cum
+}
+
+// WriteValueHistogram writes h as one Prometheus histogram family, for
+// use in a WritePrometheus extra callback.
+func WriteValueHistogram(w io.Writer, name, help string, h *ValueHistogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumMicro.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueHistogram(t *testing.T) {
+	h := NewValueHistogram([]float64{0.1, 0.2, 0.4})
+	for _, v := range []float64{0.05, 0.1, 0.15, 0.3, 0.9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	// Values at a bound land in that bound's bucket (le semantics).
+	if got := h.BucketCount(0); got != 2 {
+		t.Fatalf("<=0.1: %d, want 2", got)
+	}
+	if got := h.BucketCount(1); got != 3 {
+		t.Fatalf("<=0.2: %d, want 3", got)
+	}
+	if got := h.BucketCount(2); got != 4 {
+		t.Fatalf("<=0.4: %d, want 4", got)
+	}
+	if got := h.BucketCount(3); got != 5 {
+		t.Fatalf("total: %d, want 5", got)
+	}
+
+	var sb strings.Builder
+	WriteValueHistogram(&sb, "x_epsa", "help text", h)
+	page := sb.String()
+	for _, want := range []string{
+		"# TYPE x_epsa histogram",
+		`x_epsa_bucket{le="0.1"} 2`,
+		`x_epsa_bucket{le="0.4"} 4`,
+		`x_epsa_bucket{le="+Inf"} 5`,
+		"x_epsa_sum 1.5",
+		"x_epsa_count 5",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("missing %q in:\n%s", want, page)
+		}
+	}
+}
+
+func TestValueHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds accepted")
+		}
+	}()
+	NewValueHistogram([]float64{0.2, 0.1})
+}

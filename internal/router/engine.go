@@ -44,6 +44,7 @@ import (
 	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/shard"
+	"probesim/internal/wal"
 	"probesim/internal/walk"
 	"probesim/internal/xrand"
 )
@@ -59,15 +60,29 @@ var ErrTransport = errors.New("router: worker transport failure")
 // outlive genRetain publications; the next published view re-pins.
 var ErrRetiredGeneration = errors.New("router: snapshot generation retired")
 
+// ErrUnavailable reports that an engine could not take a write RIGHT NOW
+// for a reason that is neither the request's fault nor the transport's —
+// canonically a write-ahead-log append failure (disk full, fsync error)
+// that was annulled before anything was applied. Like a transport
+// failure it is retry-safe (the batch id was not consumed) and must
+// never trigger a fleet rollback; unlike one it says nothing about the
+// worker's liveness. It crosses the RPC boundary as its own error code.
+var ErrUnavailable = errors.New("router: worker temporarily unavailable")
+
 // Meta is an engine's published shape: what the Router needs to assemble
 // (and validate) a composite view without touching any adjacency.
 type Meta struct {
 	Nodes   int
 	Edges   int64
 	Version uint64
-	Shift   uint32 // node stride is 1 << Shift
-	Shards  int
-	Owned   []int // shard ids this engine serves, ascending
+	// LastBatch is the engine's durable apply-once watermark: the highest
+	// batch id its store has decided. The router seeds its batch counter
+	// from the fleet maximum, so ids stay monotonic across router
+	// restarts (the routing tier itself keeps no durable state).
+	LastBatch uint64
+	Shift     uint32 // node stride is 1 << Shift
+	Shards    int
+	Owned     []int // shard ids this engine serves, ascending
 }
 
 // Op is one edge mutation for the engine write plane.
@@ -118,7 +133,14 @@ type ShardEngine interface {
 	// Apply applies a batch of edge mutations atomically (all-or-rollback)
 	// to the engine's mutable graph and returns the post-apply mutation
 	// version. Visibility waits for the next Publish.
-	Apply(ctx context.Context, ops []Op) (uint64, error)
+	//
+	// batch identifies the mutation for apply-once semantics: an engine
+	// applies each non-zero id at most once, so re-sending a batch whose
+	// reply was lost in transit is safe — the engine that already holds
+	// it no-ops, the one that never saw it applies. Durable engines
+	// append the batch to their write-ahead log before applying. batch 0
+	// means un-identified (not retry-safe, not logged with an id).
+	Apply(ctx context.Context, batch uint64, ops []Op) (uint64, error)
 
 	// Publish republishes the engine's snapshot if mutations are pending
 	// and reports the resulting Meta.
@@ -180,6 +202,14 @@ type LocalEngine struct {
 	group int
 	gens  generationRing
 
+	// wmu serializes the write plane (Apply) so the watermark check, the
+	// WAL append and the store apply are one atomic step with respect to
+	// other Apply calls.
+	wmu sync.Mutex
+	// wal, when set (SetWAL), receives every identified batch BEFORE it
+	// is applied: the worker's durability point.
+	wal *wal.Log
+
 	// segmentsStopped counts engine-side walk loops stopped by a
 	// propagated budget — the observable fact that remote deadlines
 	// actually reach the walk loop.
@@ -201,6 +231,12 @@ func NewLocalEngine(st *shard.Store, index, group int) *LocalEngine {
 // Store returns the underlying shard store (for the worker's stats).
 func (e *LocalEngine) Store() *shard.Store { return e.st }
 
+// SetWAL arms the engine's durability point: every identified batch is
+// appended to lg before it is applied, so an Apply the engine
+// acknowledged survives a worker crash (cmd/probesim-shardd recovers it
+// on boot and the fleet converges). Call before serving.
+func (e *LocalEngine) SetWAL(lg *wal.Log) { e.wal = lg }
+
 // SegmentsStopped reports how many walk segments the propagated budget
 // stopped on this engine.
 func (e *LocalEngine) SegmentsStopped() int64 { return e.segmentsStopped.Load() }
@@ -209,11 +245,12 @@ func (e *LocalEngine) owns(p int) bool { return p%e.group == e.index }
 
 func (e *LocalEngine) meta(snap *shard.StoreSnapshot) Meta {
 	m := Meta{
-		Nodes:   snap.NumNodes(),
-		Edges:   snap.NumEdges(),
-		Version: snap.Version(),
-		Shift:   snap.Shift(),
-		Shards:  snap.NumShards(),
+		Nodes:     snap.NumNodes(),
+		Edges:     snap.NumEdges(),
+		Version:   snap.Version(),
+		LastBatch: e.st.LastBatch(),
+		Shift:     snap.Shift(),
+		Shards:    snap.NumShards(),
 	}
 	for p := e.index; p < m.Shards; p += e.group {
 		m.Owned = append(m.Owned, p)
@@ -305,34 +342,43 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 	return out, rng.State(), status, nil
 }
 
-// Apply implements ShardEngine: all-or-rollback edge mutations.
-func (e *LocalEngine) Apply(ctx context.Context, ops []Op) (uint64, error) {
-	apply := func(op Op) error {
-		if op.Remove {
-			return e.st.RemoveEdge(op.U, op.V)
-		}
-		return e.st.AddEdge(op.U, op.V)
+// Apply implements ShardEngine: all-or-rollback edge mutations with
+// apply-once semantics per batch id. With a WAL armed (SetWAL) the batch
+// is durable before it is applied — append-then-apply — so a crash
+// between the reply being lost and the worker dying still leaves the
+// batch recoverable, and the router's retry converges instead of
+// double-applying.
+func (e *LocalEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64, error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if batch != 0 && batch <= e.st.LastBatch() {
+		// Retry of a decided batch (the reply was lost, not the apply):
+		// acknowledge without touching the graph.
+		return e.st.Version(), nil
 	}
+	if e.wal != nil {
+		wops := make([]wal.Op, len(ops))
+		for i, op := range ops {
+			wops[i] = wal.Op{Remove: op.Remove, U: op.U, V: op.V}
+		}
+		id, err := e.wal.Append(batch, wops)
+		if err != nil {
+			// The append was annulled (or the log fail-stopped): nothing
+			// was applied and the id was not consumed, so the router may
+			// retry the same batch — NOT a semantic rejection, which would
+			// roll the healthy rest of the fleet back.
+			return e.st.Version(), fmt.Errorf("%w: wal append: %v", ErrUnavailable, err)
+		}
+		// Decide under the id the log actually recorded — for batch 0 the
+		// log self-assigned it, and the log and the store watermark must
+		// name the same batch or crash replay diverges.
+		batch = id
+	}
+	sops := make([]shard.EdgeOp, len(ops))
 	for i, op := range ops {
-		if err := apply(op); err != nil {
-			// Roll the applied prefix back in reverse order so the engine's
-			// graph is untouched by the failed batch. Every inverse must
-			// succeed because the forward op just did.
-			for j := i - 1; j >= 0; j-- {
-				inv := ops[j]
-				inv.Remove = !inv.Remove
-				if rerr := apply(inv); rerr != nil {
-					panic(fmt.Sprintf("router: rollback failed at op %d: %v", j, rerr))
-				}
-			}
-			kind := "add"
-			if op.Remove {
-				kind = "remove"
-			}
-			return e.st.Version(), fmt.Errorf("router: op %d (%s %d->%d): %w; batch rolled back", i, kind, op.U, op.V, err)
-		}
+		sops[i] = shard.EdgeOp{Remove: op.Remove, U: op.U, V: op.V}
 	}
-	return e.st.Version(), nil
+	return e.st.ApplyBatch(batch, sops)
 }
 
 // Publish implements ShardEngine.

@@ -180,16 +180,21 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 	}
 	rc.c.SetDeadline(deadline)
 	// A cancelable-but-deadline-free context still needs prompt unblocking:
-	// watch for cancellation and yank the deadline to the past.
+	// watch for cancellation and yank the deadline to the past. The
+	// watcher captures the net.Conn VALUE — the rc variable is nilled
+	// when the connection is pooled below, and a watcher that loses the
+	// race against completion must at worst poison one pooled conn's
+	// deadline (self-healing: the next call on it fails as transport,
+	// closes it and redials), never dereference nil.
 	watchDone := make(chan struct{})
 	if ctx.Done() != nil {
-		go func() {
+		go func(c net.Conn) {
 			select {
 			case <-ctx.Done():
-				rc.c.SetDeadline(time.Unix(1, 0))
+				c.SetDeadline(time.Unix(1, 0))
 			case <-watchDone:
 			}
-		}()
+		}(rc.c)
 	}
 	rtyp, body, err := func() (uint8, []byte, error) {
 		if err := rpcwire.WriteFrame(rc.bw, typ, payload); err != nil {
@@ -217,7 +222,9 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 	rc.c.SetDeadline(time.Time{})
 	e.markUp()
 	e.mu.Lock()
-	if len(e.idle) < remoteIdleConns && !e.closed.Load() {
+	// Don't pool a connection whose context already fired — its watcher
+	// may be about to yank the deadline under the next borrower.
+	if len(e.idle) < remoteIdleConns && !e.closed.Load() && ctx.Err() == nil {
 		e.idle = append(e.idle, rc)
 		rc = nil
 	}
@@ -233,6 +240,9 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 		if rep.Code == rpcwire.CodeRetiredGen {
 			return 0, nil, fmt.Errorf("%w: %s: %s", ErrRetiredGeneration, e.addr, rep.Msg)
 		}
+		if rep.Code == rpcwire.CodeUnavailable {
+			return 0, nil, fmt.Errorf("%w: %s: %s", ErrUnavailable, e.addr, rep.Msg)
+		}
 		return 0, nil, fmt.Errorf("router: %s: %s", e.addr, rep.Msg)
 	}
 	return rtyp, body, nil
@@ -244,12 +254,13 @@ func (e *RemoteEngine) metaFromReply(body []byte) (Meta, error) {
 		return Meta{}, fmt.Errorf("router: %s: %v", e.addr, err)
 	}
 	m := Meta{
-		Nodes:   int(rep.Nodes),
-		Edges:   int64(rep.Edges),
-		Version: rep.Version,
-		Shift:   rep.Shift,
-		Shards:  int(rep.Shards),
-		Owned:   make([]int, len(rep.Owned)),
+		Nodes:     int(rep.Nodes),
+		Edges:     int64(rep.Edges),
+		Version:   rep.Version,
+		LastBatch: rep.LastBatch,
+		Shift:     rep.Shift,
+		Shards:    int(rep.Shards),
+		Owned:     make([]int, len(rep.Owned)),
 	}
 	for i, p := range rep.Owned {
 		m.Owned[i] = int(p)
@@ -309,8 +320,8 @@ func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget
 }
 
 // Apply implements ShardEngine.
-func (e *RemoteEngine) Apply(ctx context.Context, ops []Op) (uint64, error) {
-	req := rpcwire.ApplyRequest{Budget: headerFrom(ctx), Ops: make([]rpcwire.Op, len(ops))}
+func (e *RemoteEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64, error) {
+	req := rpcwire.ApplyRequest{Budget: headerFrom(ctx), Batch: batch, Ops: make([]rpcwire.Op, len(ops))}
 	for i, op := range ops {
 		req.Ops[i] = rpcwire.Op{Remove: op.Remove, U: op.U, V: op.V}
 	}

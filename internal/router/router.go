@@ -34,11 +34,18 @@ type Router struct {
 	mu  sync.Mutex
 	cur atomic.Pointer[View]
 
+	// nextBatch is the next batch id Apply will assign. Seeded at
+	// assembly from the fleet's maximum durable watermark (Meta.
+	// LastBatch), so ids stay monotonic across router restarts even
+	// though the routing tier keeps no state of its own.
+	nextBatch atomic.Uint64
+
 	// Read-path counters for /metrics.
 	shardFetches     atomic.Int64
 	shardFetchErrors atomic.Int64
 	walkSegments     atomic.Int64
 	walkHandoffs     atomic.Int64
+	applyRetries     atomic.Int64
 }
 
 // controlTimeout bounds control-plane broadcasts (Meta, Publish, Apply)
@@ -57,6 +64,7 @@ func New(engines ...ShardEngine) (*Router, error) {
 	if len(engines) == 1 {
 		if le, ok := engines[0].(*LocalEngine); ok && le.group == 1 {
 			r.fast = le.st
+			r.nextBatch.Store(le.st.LastBatch())
 			return r, nil
 		}
 	}
@@ -69,6 +77,11 @@ func New(engines ...ShardEngine) (*Router, error) {
 	view, err := r.assemble(metas)
 	if err != nil {
 		return nil, err
+	}
+	for _, m := range metas {
+		if m.LastBatch > r.nextBatch.Load() {
+			r.nextBatch.Store(m.LastBatch)
+		}
 	}
 	r.cur.Store(view)
 	return r, nil
@@ -116,6 +129,10 @@ func (r *Router) assemble(metas []Meta) (*View, error) {
 			return nil, fmt.Errorf("router: engines 0 and %d disagree: (n=%d m=%d v=%d shift=%d shards=%d) vs (n=%d m=%d v=%d shift=%d shards=%d)",
 				i+1, m0.Nodes, m0.Edges, m0.Version, m0.Shift, m0.Shards,
 				m.Nodes, m.Edges, m.Version, m.Shift, m.Shards)
+		}
+		if m.LastBatch != m0.LastBatch {
+			return nil, fmt.Errorf("router: engines 0 and %d at batch watermarks %d and %d — a worker missed a batch while down; restore it from its data dir or a fleet peer's",
+				i+1, m0.LastBatch, m.LastBatch)
 		}
 	}
 	ownerOf := make([]int32, m0.Shards)
@@ -193,68 +210,101 @@ func (r *Router) PublishView(ctx context.Context) (graph.VersionedView, error) {
 	return view, nil
 }
 
-// Apply applies one edge-mutation batch to every engine (each engine is
-// all-or-rollback on its own). If some engines applied and another
-// failed, the applied ones are rolled back with the inverse batch so the
-// topology stays convergent.
+// applyAttempts bounds how often one broadcast re-sends a batch to an
+// engine that failed with a transport error. Each retry waits out a
+// slice of the remote backoff window first, so a worker that blips
+// (connection reset, brief restart) converges without operator help.
+const (
+	applyAttempts   = 4
+	applyRetryDelay = 250 * time.Millisecond
+)
+
+// Apply assigns the batch the next monotonic id and applies it to every
+// engine (each engine is all-or-rollback on its own, and applies each id
+// at most once).
 //
-// Two failure modes remain and are reported loudly rather than patched
-// over. A rollback failure leaves that engine diverged. And a TRANSPORT
-// failure on the apply itself leaves the worker's outcome unknown — the
-// worker may have applied the batch and died before replying. Blindly
-// applying the inverse there would be wrong: each inverse op is a plain
-// mutation (parallel edges are legal), so an inverse sent to a worker
-// that never applied can delete pre-existing edges and make the
-// divergence silent. Instead the error names the worker whose state is
-// unknown; the next Publish broadcast detects any real divergence
-// through the version-agreement check (queries keep serving the last
-// agreed view) and the operator restarts the worker from the source
-// graph. A transactional apply (idempotent batch ids) is on the
-// ROADMAP.
+// The batch id is what closes the lost-reply window that used to make
+// transport failures unrecoverable: a worker that applied the batch but
+// whose reply was lost will simply acknowledge the retry without
+// re-applying, and a worker that never saw it applies it now — so on
+// ErrTransport the router RETRIES the same id instead of rolling the
+// fleet back. Only after the retry budget is exhausted does it give up,
+// and even then the error says exactly what to do: the worker (durable
+// via its own write-ahead log) either holds the batch or will be flagged
+// by the watermark-agreement check at the next assembly; no silent
+// divergence is possible either way.
+//
+// A SEMANTIC failure (bad op) is deterministic — every engine that
+// applied rolls back via the inverse batch (fresh ids), converging the
+// fleet on the pre-batch graph, and the client gets the rejection.
 func (r *Router) Apply(ctx context.Context, ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	versions := make([]uint64, len(r.engines))
-	errs := make([]error, len(r.engines))
-	var wg sync.WaitGroup
-	for i, e := range r.engines {
-		wg.Add(1)
-		go func(i int, e ShardEngine) {
-			defer wg.Done()
-			versions[i], errs[i] = e.Apply(ctx, ops)
-		}(i, e)
-	}
-	wg.Wait()
-	var firstErr error
+	batch := r.nextBatch.Add(1)
+	versions, errs := r.applyBroadcast(ctx, batch, ops)
+	var semanticErr, transportErr error
 	for i, err := range errs {
-		if err != nil {
-			if errors.Is(err, ErrTransport) {
-				firstErr = fmt.Errorf("router: engine %d: apply outcome UNKNOWN (worker may hold the batch; restart it if the next publication reports version disagreement): %w", i, err)
-			} else {
-				firstErr = fmt.Errorf("router: engine %d: %w", i, err)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTransport):
+			if transportErr == nil {
+				transportErr = fmt.Errorf("router: engine %d: apply retries exhausted; the worker either holds batch %d durably (a re-send of the id is a no-op) or will fail the watermark-agreement check at the next assembly: %w", i, batch, err)
 			}
-			break
+		case errors.Is(err, ErrUnavailable):
+			// The engine refused retry-safely (annulled WAL append): it
+			// provably does NOT hold the batch, so like a transport
+			// failure this must not trigger a fleet rollback — the
+			// engines that took the batch hold it durably.
+			if transportErr == nil {
+				transportErr = fmt.Errorf("router: engine %d: apply retries exhausted; the worker could not log batch %d (it does not hold it; the fleet's appliers do): %w", i, batch, err)
+			}
+		default:
+			if semanticErr == nil {
+				semanticErr = fmt.Errorf("router: engine %d: %w", i, err)
+			}
 		}
 	}
-	if firstErr != nil {
+	if semanticErr != nil {
+		// Deterministic rejection: ONE fresh id covers the whole rollback
+		// round so the fleet's watermarks converge — engines that applied
+		// get the inverse batch under it, engines that rejected get an
+		// empty batch under it (watermark advance, no mutation). Engines
+		// unreachable on transport cannot be leveled here; watermark
+		// agreement at the next assembly names them.
 		inverse := make([]Op, len(ops))
 		for i := range ops {
 			inv := ops[len(ops)-1-i]
 			inv.Remove = !inv.Remove
 			inverse[i] = inv
 		}
+		level := r.nextBatch.Add(1)
 		for i, err := range errs {
-			if err != nil {
+			ops := inverse
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrTransport) || errors.Is(err, ErrUnavailable):
 				continue
+			default:
+				ops = nil // rejected the forward batch: just level the watermark
 			}
-			if _, rerr := r.engines[i].Apply(ctx, inverse); rerr != nil {
-				return fmt.Errorf("router: engine %d diverged (rollback failed: %v) after %w", i, rerr, firstErr)
+			if _, rerr := r.engines[i].Apply(ctx, level, ops); rerr != nil {
+				return fmt.Errorf("router: engine %d diverged (rollback failed: %v) after %w", i, rerr, semanticErr)
 			}
 		}
-		return firstErr
+		return semanticErr
+	}
+	if transportErr != nil {
+		// NO rollback: the batch is identified and durable on every engine
+		// that took it, and the unreachable worker either holds it (its
+		// log replays it on reboot, and a later re-send of the id is a
+		// no-op) or missed it entirely — which the watermark-agreement
+		// check at the next assembly reports for exactly-targeted repair,
+		// instead of the old fleet-wide rollback that threw away the
+		// healthy engines' acknowledged work.
+		return transportErr
 	}
 	for i, v := range versions[1:] {
 		if v != versions[0] {
@@ -262,6 +312,35 @@ func (r *Router) Apply(ctx context.Context, ops []Op) error {
 		}
 	}
 	return nil
+}
+
+// applyBroadcast sends one identified batch to every engine
+// concurrently, retrying transport failures per engine.
+func (r *Router) applyBroadcast(ctx context.Context, batch uint64, ops []Op) ([]uint64, []error) {
+	versions := make([]uint64, len(r.engines))
+	errs := make([]error, len(r.engines))
+	var wg sync.WaitGroup
+	for i, e := range r.engines {
+		wg.Add(1)
+		go func(i int, e ShardEngine) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				versions[i], errs[i] = e.Apply(ctx, batch, ops)
+				retryable := errors.Is(errs[i], ErrTransport) || errors.Is(errs[i], ErrUnavailable)
+				if errs[i] == nil || !retryable || attempt+1 >= applyAttempts {
+					return
+				}
+				r.applyRetries.Add(1)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(applyRetryDelay):
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	return versions, errs
 }
 
 // AddEdge implements the server's mutator seam.
@@ -380,21 +459,26 @@ func (r *Router) WorkerStats() []WorkerStat {
 	return out
 }
 
-// Counters are the router's aggregate read-path counters.
+// Counters are the router's aggregate read- and write-path counters.
 type Counters struct {
 	ShardFetches     int64
 	ShardFetchErrors int64
 	WalkSegments     int64
 	WalkHandoffs     int64
+	// ApplyRetries counts per-engine re-sends of an identified batch
+	// after a transport failure — each one is a lost-reply window the
+	// batch ids closed.
+	ApplyRetries int64
 }
 
-// Counters reports the read-path counters for /metrics.
+// Counters reports the read/write-path counters for /metrics.
 func (r *Router) Counters() Counters {
 	return Counters{
 		ShardFetches:     r.shardFetches.Load(),
 		ShardFetchErrors: r.shardFetchErrors.Load(),
 		WalkSegments:     r.walkSegments.Load(),
 		WalkHandoffs:     r.walkHandoffs.Load(),
+		ApplyRetries:     r.applyRetries.Load(),
 	}
 }
 

@@ -137,16 +137,20 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		if errors.Is(err, ErrRetiredGeneration) {
 			code = rpcwire.CodeRetiredGen
 		}
+		if errors.Is(err, ErrUnavailable) {
+			code = rpcwire.CodeUnavailable
+		}
 		return rpcwire.TErr, rpcwire.ErrorReply{Code: code, Msg: err.Error()}.Append(out)
 	}
 	metaReply := func(m Meta) (uint8, []byte) {
 		rep := rpcwire.MetaReply{
-			Nodes:   uint64(m.Nodes),
-			Edges:   uint64(m.Edges),
-			Version: m.Version,
-			Shift:   m.Shift,
-			Shards:  uint32(m.Shards),
-			Owned:   make([]uint32, len(m.Owned)),
+			Nodes:     uint64(m.Nodes),
+			Edges:     uint64(m.Edges),
+			Version:   m.Version,
+			LastBatch: m.LastBatch,
+			Shift:     m.Shift,
+			Shards:    uint32(m.Shards),
+			Owned:     make([]uint32, len(m.Owned)),
 		}
 		for i, p := range m.Owned {
 			rep.Owned[i] = uint32(p)
@@ -202,11 +206,11 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		}
 		ctx, cancel := headerCtx(req.Budget.Remaining)
 		defer cancel()
-		version, err := s.eng.Apply(ctx, ops)
+		version, err := s.eng.Apply(ctx, req.Batch, ops)
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		return metaReply(Meta{Version: version})
+		return metaReply(Meta{Version: version, LastBatch: req.Batch})
 
 	case rpcwire.TPublish:
 		req, err := rpcwire.DecodeMetaRequest(payload)

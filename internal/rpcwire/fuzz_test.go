@@ -1,0 +1,157 @@
+package rpcwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"probesim/internal/budget"
+	"probesim/internal/graph"
+)
+
+// FuzzReadFrame: arbitrary bytes through the frame reader must error or
+// parse — never panic, and never allocate far beyond the bytes actually
+// provided (a lying length prefix is the classic way to let one packet
+// demand a gigabyte).
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, byte(TMeta)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, byte(TWalk)}) // huge claimed length
+	var ok bytes.Buffer
+	WriteFrame(&ok, TShard, []byte("payload"))
+	f.Add(ok.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// A parsed frame must be reconstructible from the input.
+		if len(data) < 5+len(payload) {
+			t.Fatalf("frame of %d payload bytes out of %d input bytes", len(payload), len(data))
+		}
+		if data[4] != typ {
+			t.Fatalf("type %d, header byte %d", typ, data[4])
+		}
+		if !bytes.Equal(payload, data[5:5+len(payload)]) {
+			t.Fatal("payload does not match input")
+		}
+		// Cap check: for a frame the input could not back, ReadFrame must
+		// have failed above rather than allocating the claimed size.
+		if cap(payload) > len(data)+frameChunk {
+			t.Fatalf("allocated %d bytes for %d input bytes", cap(payload), len(data))
+		}
+	})
+}
+
+// FuzzReadFrameTruncated drives the chunked large-frame path directly: a
+// header claiming up to MaxFrame over a short body must fail with a read
+// error after at most one chunk of allocation.
+func FuzzReadFrameTruncated(f *testing.F) {
+	f.Add(uint32(frameChunk+1), []byte("short"))
+	f.Add(uint32(MaxFrame-1), []byte{})
+	f.Add(uint32(17), []byte("0123456789abcdef0"))
+	f.Fuzz(func(t *testing.T, claim uint32, body []byte) {
+		var in bytes.Buffer
+		var hdr [5]byte
+		binary.LittleEndian.PutUint32(hdr[:4], claim)
+		hdr[4] = byte(TWalk)
+		in.Write(hdr[:])
+		in.Write(body)
+		_, payload, err := ReadFrame(&in, nil)
+		if int(claim) < MaxFrame && int(claim) <= len(body) {
+			if err != nil {
+				t.Fatalf("backed frame failed: %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("claim %d over %d body bytes parsed", claim, len(body))
+		}
+		if cap(payload) > len(body)+frameChunk {
+			t.Fatalf("allocated %d for %d body bytes", cap(payload), len(body))
+		}
+	})
+}
+
+// fuzzDecoders runs every message decoder over the same corrupt input;
+// none may panic, and any message that decodes must re-encode and decode
+// to the same value (round-trip stability is what the wire peers rely
+// on).
+func FuzzDecodeMessages(f *testing.F) {
+	h := budget.Header{Remaining: 1234, MaxWalks: 5, MaxWork: 6}
+	f.Add(MetaRequest{Budget: h}.Append(nil))
+	f.Add(MetaReply{Nodes: 10, Edges: 20, Version: 3, LastBatch: 7, Shift: 4, Shards: 2, Owned: []uint32{0, 1}}.Append(nil))
+	f.Add(ShardRequest{Budget: h, Version: 9, Shard: 1}.Append(nil))
+	f.Add(ShardReply{CSR: graph.CSRShard{InOff: []uint32{0, 1}, InDst: []graph.NodeID{3}, OutOff: []uint32{0, 0}}}.Append(nil))
+	f.Add(WalkRequest{Budget: h, Version: 2, SqrtC: 0.77, Cur: 5, State: 42, Room: 8}.Append(nil))
+	f.Add(WalkReply{State: 9, Status: WalkHandoff, Nodes: []graph.NodeID{1, 2}}.Append(nil))
+	f.Add(ApplyRequest{Budget: h, Batch: 11, Ops: []Op{{U: 1, V: 2}, {Remove: true, U: 3, V: 4}}}.Append(nil))
+	f.Add(ErrorReply{Code: CodeRetiredGen, Msg: "gone"}.Append(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeMetaRequest(data); err == nil {
+			// MetaRequest rejects trailing bytes, so a successful decode
+			// must re-encode to exactly the input.
+			if out := m.Append(nil); !bytes.Equal(out, data) {
+				t.Fatalf("MetaRequest: decode/encode changed %x -> %x", data, out)
+			}
+		}
+		// The remaining decoders tolerate trailing bytes (the dec cursor
+		// stops where the message ends): a successful decode must
+		// re-encode to a PREFIX of the input. WalkRequest/WalkReply are
+		// excluded from the prefix check only because float64 NaN payloads
+		// need not survive a value round trip bit for bit; they still must
+		// not panic.
+		prefix := func(what string, out []byte) {
+			if !bytes.HasPrefix(data, out) {
+				t.Fatalf("%s: re-encoded %x is not a prefix of input %x", what, out, data)
+			}
+		}
+		if m, err := DecodeMetaReply(data); err == nil {
+			prefix("MetaReply", m.Append(nil))
+		}
+		if m, err := DecodeShardRequest(data); err == nil {
+			prefix("ShardRequest", m.Append(nil))
+		}
+		if m, err := DecodeShardReply(data); err == nil {
+			prefix("ShardReply", m.Append(nil))
+		}
+		if m, err := DecodeWalkRequest(data); err == nil {
+			_ = m
+		}
+		if m, err := DecodeWalkReply(data); err == nil {
+			_ = m
+		}
+		if m, err := DecodeApplyRequest(data); err == nil {
+			prefix("ApplyRequest", m.Append(nil))
+		}
+		if m, err := DecodeErrorReply(data); err == nil {
+			prefix("ErrorReply", m.Append(nil))
+		}
+	})
+}
+
+// FuzzWriteReadFrame: anything written must read back identically.
+func FuzzWriteReadFrame(f *testing.F) {
+	f.Add(uint8(TMeta), []byte{})
+	f.Add(uint8(TErr), []byte("error payload"))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			if len(payload) >= MaxFrame {
+				return
+			}
+			t.Fatal(err)
+		}
+		gtyp, gp, err := ReadFrame(&buf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gtyp != typ || !bytes.Equal(gp, payload) {
+			t.Fatalf("round trip changed frame: %d/%x -> %d/%x", typ, payload, gtyp, gp)
+		}
+		if _, _, err := ReadFrame(&buf, nil); err != io.EOF {
+			t.Fatalf("trailing read: %v", err)
+		}
+	})
+}

@@ -46,9 +46,10 @@ const (
 
 // Error codes carried by TErr frames.
 const (
-	CodeInternal   uint8 = 1 // handler failure (bad op, storage error)
-	CodeRetiredGen uint8 = 2 // requested generation no longer retained
-	CodeBadRequest uint8 = 3 // malformed or out-of-range request
+	CodeInternal    uint8 = 1 // handler failure (bad op, storage error)
+	CodeRetiredGen  uint8 = 2 // requested generation no longer retained
+	CodeBadRequest  uint8 = 3 // malformed or out-of-range request
+	CodeUnavailable uint8 = 4 // retry-safe refusal (e.g. annulled WAL append); the batch id was not consumed
 )
 
 // MaxFrame bounds a frame's payload. A shard block of a billion-edge
@@ -71,22 +72,46 @@ func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame, reusing buf when it is large enough.
+// frameChunk is the increment ReadFrame grows its buffer by for large
+// payloads: allocation tracks bytes actually received, so a corrupt or
+// hostile length prefix claiming a near-MaxFrame payload over a starved
+// connection costs one chunk, not a gigabyte.
+const frameChunk = 1 << 20
+
+// ReadFrame reads one frame, reusing buf when it is large enough. For
+// payloads beyond frameChunk the buffer grows incrementally as bytes
+// arrive, so the allocation for a frame is bounded by what the peer
+// actually sent (plus one chunk), never by the length prefix alone.
 func ReadFrame(r io.Reader, buf []byte) (typ uint8, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
+	n := int(binary.LittleEndian.Uint32(hdr[:4]))
 	if n >= MaxFrame {
 		return 0, nil, fmt.Errorf("rpcwire: frame of %d bytes exceeds limit", n)
 	}
-	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+	if cap(buf) >= n || n <= frameChunk {
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, nil, err
+		}
+		return hdr[4], buf, nil
 	}
-	buf = buf[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	buf = buf[:0]
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > frameChunk {
+			chunk = frameChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	return hdr[4], buf, nil
 }
@@ -211,20 +236,24 @@ func DecodeMetaRequest(b []byte) (MetaRequest, error) {
 }
 
 // MetaReply reports an engine's published graph shape: the reply to
-// TMeta, TApply and TPublish.
+// TMeta, TApply and TPublish. LastBatch is the worker's durable
+// apply-once watermark; the router seeds its batch-id counter from the
+// fleet maximum so ids stay monotonic across router restarts.
 type MetaReply struct {
-	Nodes   uint64
-	Edges   uint64
-	Version uint64
-	Shift   uint32
-	Shards  uint32
-	Owned   []uint32 // shard ids this engine serves
+	Nodes     uint64
+	Edges     uint64
+	Version   uint64
+	LastBatch uint64
+	Shift     uint32
+	Shards    uint32
+	Owned     []uint32 // shard ids this engine serves
 }
 
 func (m MetaReply) Append(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.Nodes)
 	b = binary.LittleEndian.AppendUint64(b, m.Edges)
 	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = binary.LittleEndian.AppendUint64(b, m.LastBatch)
 	b = binary.LittleEndian.AppendUint32(b, m.Shift)
 	b = binary.LittleEndian.AppendUint32(b, m.Shards)
 	return appendU32s(b, m.Owned)
@@ -233,12 +262,13 @@ func (m MetaReply) Append(b []byte) []byte {
 func DecodeMetaReply(b []byte) (MetaReply, error) {
 	d := dec{b: b}
 	m := MetaReply{
-		Nodes:   d.u64(),
-		Edges:   d.u64(),
-		Version: d.u64(),
-		Shift:   d.u32(),
-		Shards:  d.u32(),
-		Owned:   d.u32s(),
+		Nodes:     d.u64(),
+		Edges:     d.u64(),
+		Version:   d.u64(),
+		LastBatch: d.u64(),
+		Shift:     d.u32(),
+		Shards:    d.u32(),
+		Owned:     d.u32s(),
 	}
 	return m, d.err
 }
@@ -357,15 +387,21 @@ type Op struct {
 }
 
 // ApplyRequest carries a batch of edge mutations, applied atomically
-// (all-or-rollback) on the worker. The reply is a MetaReply with the
-// worker's post-apply (unpublished) version.
+// (all-or-rollback) on the worker. Batch is the router-assigned batch
+// id: a worker applies each id at most once (retries after a lost reply
+// are no-ops) and logs it to its write-ahead log before applying when
+// durability is on. Batch 0 means un-identified (legacy single-op
+// paths); such batches are not retry-safe. The reply is a MetaReply
+// with the worker's post-apply (unpublished) version and watermark.
 type ApplyRequest struct {
 	Budget budget.Header
+	Batch  uint64
 	Ops    []Op
 }
 
 func (m ApplyRequest) Append(b []byte) []byte {
 	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, m.Batch)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Ops)))
 	for _, op := range m.Ops {
 		k := byte(0)
@@ -385,13 +421,17 @@ func DecodeApplyRequest(b []byte) (ApplyRequest, error) {
 		return ApplyRequest{}, err
 	}
 	d := dec{b: rest}
+	batch := d.u64()
 	n := d.u32()
 	if d.err == nil && len(d.b) < 9*int(n) {
 		return ApplyRequest{}, fmt.Errorf("rpcwire: truncated op array")
 	}
-	m := ApplyRequest{Budget: h, Ops: make([]Op, 0, n)}
+	m := ApplyRequest{Budget: h, Batch: batch, Ops: make([]Op, 0, n)}
 	for i := uint32(0); i < n; i++ {
 		k := d.u8()
+		if d.err == nil && k > 1 {
+			return ApplyRequest{}, fmt.Errorf("rpcwire: op %d kind %d", i, k)
+		}
 		u := graph.NodeID(int32(d.u32()))
 		v := graph.NodeID(int32(d.u32()))
 		m.Ops = append(m.Ops, Op{Remove: k == 1, U: u, V: v})

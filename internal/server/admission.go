@@ -214,9 +214,21 @@ func (s *Server) singleSourceScores(w http.ResponseWriter, r *http.Request, u gr
 	if isDegraded(r.Context()) {
 		opt := s.degradedOptions()
 		w.Header().Set(degradedHeader, fmt.Sprintf("epsa=%g", opt.EpsA))
+		s.epsaHist.Observe(opt.EpsA)
 		return s.ex.SingleSourceWith(r.Context(), u, opt)
 	}
+	s.epsaHist.Observe(s.servedEpsA())
 	return s.q.SingleSource(r.Context(), u)
+}
+
+// servedEpsA is the εa a normally admitted query runs at (the configured
+// bound, or core's documented default when unset) — the baseline band of
+// the served-εa histogram.
+func (s *Server) servedEpsA() float64 {
+	if s.opt.EpsA > 0 {
+		return s.opt.EpsA
+	}
+	return 0.1
 }
 
 // admit applies the route class's admission policy. It either returns a
@@ -339,6 +351,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.ex.Snapshot()
 	hits, misses, cached := s.q.Stats()
 	s.reg.WritePrometheus(w, func(out io.Writer) {
+		metrics.WriteValueHistogram(out, "probesim_degraded_epsa",
+			"Absolute error bound (epsa) each served similarity query ran at; mass above the configured epsa is degraded service.", s.epsaHist)
 		metrics.WriteGauge(out, "probesim_graph_nodes", "Nodes in the published snapshot.", int64(snap.NumNodes()))
 		metrics.WriteGauge(out, "probesim_graph_edges", "Directed edges in the published snapshot.", snap.NumEdges())
 		metrics.WriteGauge(out, "probesim_graph_version", "Version of the published snapshot.", int64(snap.Version()))
@@ -360,6 +374,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteGauge(out, "probesim_snapshot_retired_generations", "Superseded snapshot generations still live (pinned or uncollected).", int64(gc.RetiredLive))
 			metrics.WriteGauge(out, "probesim_snapshot_retired_bytes", "Approximate bytes uniquely pinned by live retired generations.", gc.RetiredBytes)
 			metrics.WriteGauge(out, "probesim_snapshot_bytes", "Resident size of the current snapshot.", gc.CurrentBytes)
+		}
+		if s.wal != nil {
+			ws := s.wal.Stats()
+			metrics.WriteCounter(out, "probesim_wal_appends_total", "Edge batches appended to the write-ahead log.", ws.Appends)
+			metrics.WriteCounter(out, "probesim_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", ws.AppendedBytes)
+			metrics.WriteCounter(out, "probesim_wal_syncs_total", "Explicit fsyncs issued by the write-ahead log.", ws.Syncs)
+			metrics.WriteCounter(out, "probesim_wal_rotations_total", "Log segments rotated.", ws.Rotations)
+			metrics.WriteCounter(out, "probesim_wal_checkpoints_total", "Checkpoints written this process lifetime.", ws.Checkpoints)
+			metrics.WriteGauge(out, "probesim_wal_segments", "Log segment files currently on disk.", ws.SegmentsLive)
+			metrics.WriteGauge(out, "probesim_wal_segment_bytes", "Bytes across live log segments.", ws.SegmentBytes)
+			metrics.WriteGauge(out, "probesim_wal_last_batch", "Id of the last batch appended to the log.", int64(ws.LastBatch))
+			metrics.WriteGauge(out, "probesim_wal_checkpoint_batch", "Batch id the newest checkpoint covers through.", int64(ws.LastCheckpoint))
 		}
 		if s.rt != nil && s.rt.Distributed() {
 			workers := s.rt.WorkerStats()
@@ -393,6 +419,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteCounter(out, "probesim_router_shard_fetch_errors_total", "Shard block fetches that failed.", rc.ShardFetchErrors)
 			metrics.WriteCounter(out, "probesim_router_walk_segments_total", "Walk segments sampled on workers.", rc.WalkSegments)
 			metrics.WriteCounter(out, "probesim_router_walk_handoffs_total", "Walks handed off across shard owners.", rc.WalkHandoffs)
+			metrics.WriteCounter(out, "probesim_router_apply_retries_total", "Identified batches re-sent to a worker after a transport failure.", rc.ApplyRetries)
 		}
 	})
 }

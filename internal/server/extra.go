@@ -12,6 +12,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 	"probesim/internal/core"
 	"probesim/internal/graph"
 	"probesim/internal/router"
+	"probesim/internal/shard"
 	"probesim/internal/simjoin"
 )
 
@@ -264,32 +266,49 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		// The batch does not inherit the request context: aborting half a
-		// fleet broadcast on a client disconnect would force a rollback
-		// round for nothing (see the publication comment below).
+		// fleet broadcast on a client disconnect would orphan an
+		// identified batch mid-retry for nothing (see the publication
+		// comment below).
 		if err := s.rt.Apply(context.Background(), rops); err != nil {
 			unlock()
+			if errors.Is(err, router.ErrTransport) || errors.Is(err, router.ErrUnavailable) {
+				// A worker stayed unreachable through the retry budget: the
+				// batch is NOT acknowledged fleet-wide, but the engines that
+				// took it HOLD it durably — so this deliberately carries no
+				// Retry-After: re-POSTing the same ops would get a fresh
+				// batch id and double-apply on the workers that already hold
+				// the original (parallel edges are legal, so the damage is
+				// silent). The client must verify state (or wait for the
+				// watermark check to name the lagging worker) before
+				// re-submitting.
+				writeError(w, http.StatusBadGateway, fmt.Errorf("batch partially acknowledged (appliers hold it durably); do not blindly re-submit — verify before retrying: %v", err))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("batch rejected: %v", err))
 			return
 		}
 	} else {
-		applied := make([]batchOp, 0, len(ops))
+		// In-process backends share one write path: append to the
+		// write-ahead log when durability is armed, then apply
+		// all-or-rollback. An acknowledged batch is on disk before the
+		// 200 goes out.
+		sops := make([]shard.EdgeOp, 0, len(ops))
 		for i, op := range ops {
-			var err error
 			switch op.Op {
 			case "add":
-				err = s.mut.AddEdge(op.U, op.V)
+				sops = append(sops, shard.EdgeOp{U: op.U, V: op.V})
 			case "remove":
-				err = s.mut.RemoveEdge(op.U, op.V)
+				sops = append(sops, shard.EdgeOp{Remove: true, U: op.U, V: op.V})
 			default:
-				err = fmt.Errorf("unknown op %q", op.Op)
-			}
-			if err != nil {
-				rollback(s.mut, applied)
 				unlock()
-				writeError(w, http.StatusBadRequest, fmt.Errorf("op %d (%s %d->%d): %v; batch rolled back", i, op.Op, op.U, op.V, err))
+				writeError(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q", i, op.Op))
 				return
 			}
-			applied = append(applied, op)
+		}
+		if err := s.applyOps(sops); err != nil {
+			unlock()
+			writeApplyError(w, err)
+			return
 		}
 	}
 	// One snapshot publication for the whole batch: queries switch from the
@@ -303,23 +322,4 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"applied": len(ops), "edges": snap.NumEdges(), "version": snap.Version(),
 	})
-}
-
-// rollback undoes applied ops in reverse order. Every inverse must succeed
-// because the forward op just did; a failure here means corrupted state and
-// panics loudly rather than serving wrong similarities.
-func rollback(m mutator, applied []batchOp) {
-	for i := len(applied) - 1; i >= 0; i-- {
-		op := applied[i]
-		var err error
-		switch op.Op {
-		case "add":
-			err = m.RemoveEdge(op.U, op.V)
-		case "remove":
-			err = m.AddEdge(op.U, op.V)
-		}
-		if err != nil {
-			panic(fmt.Sprintf("server: rollback failed at op %d: %v", i, err))
-		}
-	}
 }

@@ -27,6 +27,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"probesim/internal/metrics"
 	"probesim/internal/router"
 	"probesim/internal/shard"
+	"probesim/internal/wal"
 )
 
 // mutator is the write-side surface the edge endpoints need; both
@@ -74,6 +76,19 @@ type Server struct {
 	// reg feeds /metrics: per-route latency histograms, in-flight
 	// gauges, timeout/rejection counters.
 	reg *metrics.Registry
+
+	// epsaHist observes the εa every served similarity query actually
+	// ran at: the base εa for normal admissions, the widened one for
+	// degraded admissions — the accuracy distribution operators watch
+	// under pressure (probesim_degraded_epsa on /metrics).
+	epsaHist *metrics.ValueHistogram
+
+	// wal, when set (SetWAL), is the durability point of the in-process
+	// write path: every edge batch is appended (and fsynced, per policy)
+	// BEFORE it is applied and acknowledged, so an HTTP 200 means the
+	// batch survives a crash. In routed topologies the workers own their
+	// logs instead and this stays nil.
+	wal *wal.Log
 }
 
 // New builds a Server over g. cacheCap bounds the Querier cache; limit
@@ -103,6 +118,18 @@ func NewRouted(rt *router.Router, opt core.Options, cacheCap, limit int) *Server
 	return s
 }
 
+// SetWAL arms the durable write path: every subsequent edge batch is
+// appended to lg before it is applied, and acknowledged only once the
+// log has it (under the log's fsync policy). Requires the sharded
+// backend (NewSharded, or NewRouted over a local store) — the batch-id
+// watermark lives in shard.Store. Call before serving.
+func (s *Server) SetWAL(lg *wal.Log) {
+	if s.st == nil {
+		panic("server: SetWAL requires the sharded backend")
+	}
+	s.wal = lg
+}
+
 func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options, cacheCap, limit int) *Server {
 	if limit <= 0 {
 		limit = 100
@@ -117,6 +144,10 @@ func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options
 		mux:     http.NewServeMux(),
 		joinSem: make(chan struct{}, 1),
 		reg:     metrics.NewRegistry(),
+		// Bounds double from one half of the tightest production εa up
+		// through the widest degradation the admission layer can apply
+		// (DegradeFactor caps εa at 0.9).
+		epsaHist: metrics.NewValueHistogram([]float64{0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8}),
 	}
 	s.handle("/topk", classQuery, s.handleTopK)
 	s.handle("/single-source", classQuery, s.handleSingleSource)
@@ -251,6 +282,16 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	var op shard.EdgeOp
+	switch r.Method {
+	case http.MethodPost:
+		op = shard.EdgeOp{U: u, V: v}
+	case http.MethodDelete:
+		op = shard.EdgeOp{Remove: true, U: u, V: v}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
+		return
+	}
 	// The unlock is deferred (idempotently) so a panic inside the critical
 	// section — net/http recovers handler panics and keeps serving — can
 	// never wedge the write mutex; response writing happens after the
@@ -258,34 +299,95 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	unlock := s.unlockOnce()
 	defer unlock()
-	switch r.Method {
-	case http.MethodPost:
-		err = s.mut.AddEdge(u, v)
-	case http.MethodDelete:
-		err = s.mut.RemoveEdge(u, v)
-	default:
+	if err := s.applyOps([]shard.EdgeOp{op}); err != nil {
 		unlock()
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
-		return
-	}
-	if err != nil {
-		unlock()
-		writeError(w, http.StatusBadRequest, err)
+		writeApplyError(w, err)
 		return
 	}
 	// Publish the new snapshot before releasing the write mutex so the
 	// next query (and the next mutator) sees the update. Publication
 	// deliberately does NOT inherit the request context: the mutation is
-	// already applied, and aborting the publish on a client disconnect
-	// would leave the write invisible to every query until the next
-	// write republishes — a staleness window no other client could see
-	// or fix. Publication is bounded work (O(batch + touched shards) on
-	// the sharded backend), so completing it unconditionally is safe.
+	// already applied (and logged), and aborting the publish on a client
+	// disconnect would leave the write invisible to every query until the
+	// next write republishes — a staleness window no other client could
+	// see or fix. Publication is bounded work (O(batch + touched shards)
+	// on the sharded backend), so completing it unconditionally is safe.
 	snap := s.ex.Refresh()
 	unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"edges": snap.NumEdges(), "version": snap.Version(),
 	})
+}
+
+// errDurability marks a write-ahead-log append failure: the batch was
+// NOT acknowledged and NOT applied (append-then-apply means a log that
+// cannot take the batch stops it before the store sees it). Clients get
+// a 500 and may retry; the graph is unchanged.
+type errDurability struct{ err error }
+
+func (e errDurability) Error() string { return fmt.Sprintf("durability: %v", e.err) }
+func (e errDurability) Unwrap() error { return e.err }
+
+// writeApplyError maps a write-path failure: a durability failure is the
+// server's fault (500), anything else is a rejected batch (400).
+func writeApplyError(w http.ResponseWriter, err error) {
+	var de errDurability
+	if errors.As(err, &de) {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// applyOps is the single in-process write path: append to the
+// write-ahead log (when armed), then apply to the backend, all under the
+// caller-held write mutex. The routed distributed path does not come
+// here (it broadcasts identified batches through the router, and the
+// workers own durability); see handleEdgeBatch.
+func (s *Server) applyOps(ops []shard.EdgeOp) error {
+	if s.st != nil {
+		var id uint64
+		if s.wal != nil {
+			wops := make([]wal.Op, len(ops))
+			for i, op := range ops {
+				wops[i] = wal.Op{Remove: op.Remove, U: op.U, V: op.V}
+			}
+			var err error
+			if id, err = s.wal.Append(0, wops); err != nil {
+				return errDurability{err}
+			}
+		}
+		_, err := s.st.ApplyBatch(id, ops)
+		return err
+	}
+	// Monolithic backend: per-op apply with rollback, no batch ids (the
+	// monolithic *graph.Graph carries no watermark; -data-dir requires
+	// the sharded backend).
+	applied := make([]shard.EdgeOp, 0, len(ops))
+	apply := func(op shard.EdgeOp) error {
+		if op.Remove {
+			return s.mut.RemoveEdge(op.U, op.V)
+		}
+		return s.mut.AddEdge(op.U, op.V)
+	}
+	for i, op := range ops {
+		if err := apply(op); err != nil {
+			for j := len(applied) - 1; j >= 0; j-- {
+				inv := applied[j]
+				inv.Remove = !inv.Remove
+				if rerr := apply(inv); rerr != nil {
+					panic(fmt.Sprintf("server: rollback failed at op %d: %v", j, rerr))
+				}
+			}
+			kind := "add"
+			if op.Remove {
+				kind = "remove"
+			}
+			return fmt.Errorf("op %d (%s %d->%d): %w; batch rolled back", i, kind, op.U, op.V, err)
+		}
+		applied = append(applied, op)
+	}
+	return nil
 }
 
 // unlockOnce returns an idempotent unlocker for the write mutex (which
@@ -339,6 +441,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["snapshotRetiredBytes"] = gc.RetiredBytes
 		body["snapshotCurrentBytes"] = gc.CurrentBytes
 	}
+	if s.wal != nil {
+		// Durable write plane: log volume, sync cadence, checkpoint
+		// coverage. lastBatch - walCheckpointBatch is the replay debt a
+		// crash right now would pay on the next boot.
+		ws := s.wal.Stats()
+		body["walAppends"] = ws.Appends
+		body["walAppendedBytes"] = ws.AppendedBytes
+		body["walSyncs"] = ws.Syncs
+		body["walRotations"] = ws.Rotations
+		body["walCheckpoints"] = ws.Checkpoints
+		body["walSegments"] = ws.SegmentsLive
+		body["walSegmentBytes"] = ws.SegmentBytes
+		body["walLastBatch"] = ws.LastBatch
+		body["walCheckpointBatch"] = ws.LastCheckpoint
+	}
 	if s.rt != nil && s.rt.Distributed() {
 		body["routerWorkers"] = s.rt.WorkerStats()
 		rc := s.rt.Counters()
@@ -346,6 +463,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["routerShardFetchErrors"] = rc.ShardFetchErrors
 		body["routerWalkSegments"] = rc.WalkSegments
 		body["routerWalkHandoffs"] = rc.WalkHandoffs
+		body["routerApplyRetries"] = rc.ApplyRetries
 	}
 	writeJSON(w, http.StatusOK, body)
 }

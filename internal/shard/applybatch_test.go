@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"testing"
+
+	"probesim/internal/graph"
+)
+
+func TestApplyBatchAtomicAndIdempotent(t *testing.T) {
+	st := NewEmpty(20, 4, 0)
+	ops := []EdgeOp{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	if _, err := st.ApplyBatch(5, ops); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges() != 3 || st.LastBatch() != 5 {
+		t.Fatalf("edges=%d batch=%d, want 3/5", st.NumEdges(), st.LastBatch())
+	}
+	// Retry of a decided id: no mutation, no error, same version.
+	v := st.Version()
+	if got, err := st.ApplyBatch(5, ops); err != nil || got != v {
+		t.Fatalf("retry: version %d err %v, want %d/nil", got, err, v)
+	}
+	if st.NumEdges() != 3 {
+		t.Fatal("retry re-applied the batch")
+	}
+	// Lower ids are also decided (watermark, not a set).
+	if _, err := st.ApplyBatch(2, []EdgeOp{{U: 9, V: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges() != 3 {
+		t.Fatal("stale id mutated the store")
+	}
+	// id 0 self-assigns the next id.
+	if _, err := st.ApplyBatch(0, []EdgeOp{{U: 9, V: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastBatch() != 6 || st.NumEdges() != 4 {
+		t.Fatalf("self-assign: batch=%d edges=%d, want 6/4", st.LastBatch(), st.NumEdges())
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchRollsBackAndStaysDecided(t *testing.T) {
+	st := NewEmpty(10, 2, 0)
+	if _, err := st.ApplyBatch(1, []EdgeOp{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Op 2 fails (removing an absent edge): the applied prefix rolls back.
+	bad := []EdgeOp{{U: 3, V: 4}, {Remove: true, U: 7, V: 8}}
+	if _, err := st.ApplyBatch(2, bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if st.NumEdges() != 1 {
+		t.Fatalf("edges=%d after rollback, want 1", st.NumEdges())
+	}
+	// The failed batch is DECIDED: replaying it is a no-op, not a second
+	// attempt — recovery replays rejected batches without re-rejecting.
+	if st.LastBatch() != 2 {
+		t.Fatalf("watermark %d, want 2 (rejected batches advance it)", st.LastBatch())
+	}
+	if _, err := st.ApplyBatch(2, bad); err != nil {
+		t.Fatalf("replay of a decided batch errored: %v", err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Neighbor order after rollback matches a store that never saw the
+	// batch (RemoveEdge's swap-with-tail discipline).
+	ref := NewEmpty(10, 2, 0)
+	ref.AddEdge(1, 2)
+	for v := 0; v < 10; v++ {
+		nd := graph.NodeID(v)
+		a, b := st.OutNeighbors(nd), ref.OutNeighbors(nd)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestPublishCarriesLastBatch(t *testing.T) {
+	st := NewEmpty(16, 4, 0)
+	if st.Current().LastBatch() != 0 {
+		t.Fatal("fresh snapshot with nonzero watermark")
+	}
+	st.ApplyBatch(9, []EdgeOp{{U: 0, V: 1}})
+	snap := st.Publish()
+	if snap.LastBatch() != 9 {
+		t.Fatalf("published watermark %d, want 9", snap.LastBatch())
+	}
+}

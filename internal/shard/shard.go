@@ -104,7 +104,12 @@ type Store struct {
 	n       int
 	m       int64
 	version uint64
-	shards  []*shardMut
+	// lastBatch is the id of the last edge batch DECIDED by ApplyBatch
+	// (applied or rejected) — the durable write plane's apply-once
+	// watermark. Batch ids are assigned by the write-ahead log (or the
+	// router) and increase monotonically; 0 means "no batches yet".
+	lastBatch uint64
+	shards    []*shardMut
 
 	cur atomic.Pointer[StoreSnapshot]
 
@@ -176,6 +181,85 @@ func NewEmpty(n, shards, workers int) *Store {
 	return NewStore(graph.New(n), shards, workers)
 }
 
+// Restore rebuilds a Store from checkpointed per-shard CSR blocks — the
+// decode side of the durable write plane (internal/persist). The given
+// blocks become the published snapshot directly (no re-encode), and the
+// mutable adjacency is deep-copied out of them so later mutations never
+// write into the snapshot's storage. version and lastBatch restore the
+// mutation counter and the apply-once watermark the checkpoint captured;
+// replaying the write-ahead log tail through ApplyBatch then brings the
+// store to the crash point. workers bounds the rebuild pool as in
+// NewStore.
+func Restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []graph.CSRShard, shardVersions []uint64, workers int) (*Store, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("shard: restore with n=%d m=%d", n, m)
+	}
+	stride := 1 << shift
+	wantShards := (n + stride - 1) / stride
+	if len(csr) != wantShards || len(shardVersions) != wantShards {
+		return nil, fmt.Errorf("shard: restore with %d shards / %d versions for %d nodes at stride %d, want %d",
+			len(csr), len(shardVersions), n, stride, wantShards)
+	}
+	st := &Store{
+		part:      Partition{shift: shift},
+		workers:   workers,
+		n:         n,
+		m:         m,
+		version:   version,
+		lastBatch: lastBatch,
+	}
+	st.shards = make([]*shardMut, wantShards)
+	for p := range csr {
+		sh := &csr[p]
+		lo := p * stride
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		local := hi - lo
+		if len(sh.InOff) != local+1 || len(sh.OutOff) != local+1 {
+			return nil, fmt.Errorf("shard: restore shard %d: offset arrays of length %d/%d, want %d",
+				p, len(sh.InOff), len(sh.OutOff), local+1)
+		}
+		if int(sh.InOff[local]) != len(sh.InDst) || int(sh.OutOff[local]) != len(sh.OutDst) {
+			return nil, fmt.Errorf("shard: restore shard %d: dst arrays of length %d/%d, want %d/%d",
+				p, len(sh.InDst), len(sh.OutDst), sh.InOff[local], sh.OutOff[local])
+		}
+		sm := &shardMut{
+			in:      make([][]graph.NodeID, local),
+			out:     make([][]graph.NodeID, local),
+			version: shardVersions[p],
+		}
+		for l := 0; l < local; l++ {
+			if sh.InOff[l] > sh.InOff[l+1] || sh.OutOff[l] > sh.OutOff[l+1] {
+				return nil, fmt.Errorf("shard: restore shard %d: offsets decrease at local node %d", p, l)
+			}
+			if in := sh.InDst[sh.InOff[l]:sh.InOff[l+1]]; len(in) > 0 {
+				sm.in[l] = append([]graph.NodeID(nil), in...)
+			}
+			if out := sh.OutDst[sh.OutOff[l]:sh.OutOff[l+1]]; len(out) > 0 {
+				sm.out[l] = append([]graph.NodeID(nil), out...)
+			}
+		}
+		st.shards[p] = sm
+	}
+	snap := &StoreSnapshot{
+		n:         n,
+		m:         m,
+		version:   version,
+		lastBatch: lastBatch,
+		shift:     shift,
+		csr:       csr,
+		versions:  append([]uint64(nil), shardVersions...),
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: restore: %w", err)
+	}
+	st.cur.Store(snap)
+	st.publications.Add(1)
+	return st, nil
+}
+
 // NumShards returns the current shard count.
 func (st *Store) NumShards() int {
 	st.mu.Lock()
@@ -232,6 +316,10 @@ var _ graph.VersionedView = (*Store)(nil)
 func (st *Store) AddEdge(u, v graph.NodeID) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.addEdgeLocked(u, v)
+}
+
+func (st *Store) addEdgeLocked(u, v graph.NodeID) error {
 	if err := st.checkNode(u); err != nil {
 		return err
 	}
@@ -259,6 +347,10 @@ func (st *Store) AddEdge(u, v graph.NodeID) error {
 func (st *Store) RemoveEdge(u, v graph.NodeID) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.removeEdgeLocked(u, v)
+}
+
+func (st *Store) removeEdgeLocked(u, v graph.NodeID) error {
 	if err := st.checkNode(u); err != nil {
 		return err
 	}
@@ -278,6 +370,71 @@ func (st *Store) RemoveEdge(u, v graph.NodeID) error {
 	sv.version = st.version
 	st.m--
 	return nil
+}
+
+// EdgeOp is one edge mutation in a durable batch: the op form the write
+// plane (write-ahead log, ApplyBatch, router broadcast) works in.
+type EdgeOp struct {
+	Remove bool
+	U, V   graph.NodeID
+}
+
+// LastBatch returns the id of the last batch ApplyBatch decided (applied
+// or rejected); 0 means none. It is the apply-once watermark recovery and
+// the router's retry path compare against.
+func (st *Store) LastBatch() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastBatch
+}
+
+// ApplyBatch applies one edge batch atomically under a single lock hold:
+// either every op applies, or the applied prefix is rolled back in
+// reverse order and the first failure is returned.
+//
+// Batches are identified: id 0 self-assigns the next id (LastBatch()+1);
+// a non-zero id at or below the watermark is a RETRY of a batch this
+// store has already decided, and returns the current version with no
+// error and no mutation — apply-once semantics, which is what makes a
+// broadcast retry after a lost reply safe. A non-zero id always advances
+// the watermark BEFORE the ops are attempted, so a batch that fails
+// semantically is decided (rejected) exactly once too: replaying the log
+// after a crash re-runs it against the same state, fails it identically,
+// and the store converges on the same graph either way.
+func (st *Store) ApplyBatch(id uint64, ops []EdgeOp) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id == 0 {
+		id = st.lastBatch + 1
+	} else if id <= st.lastBatch {
+		return st.version, nil // already decided: apply-once
+	}
+	st.lastBatch = id
+	apply := func(op EdgeOp) error {
+		if op.Remove {
+			return st.removeEdgeLocked(op.U, op.V)
+		}
+		return st.addEdgeLocked(op.U, op.V)
+	}
+	for i, op := range ops {
+		if err := apply(op); err != nil {
+			// Roll the applied prefix back in reverse order. Every inverse
+			// must succeed because the forward op just did.
+			for j := i - 1; j >= 0; j-- {
+				inv := ops[j]
+				inv.Remove = !inv.Remove
+				if rerr := apply(inv); rerr != nil {
+					panic(fmt.Sprintf("shard: rollback failed at op %d: %v", j, rerr))
+				}
+			}
+			kind := "add"
+			if op.Remove {
+				kind = "remove"
+			}
+			return st.version, fmt.Errorf("shard: batch %d op %d (%s %d->%d): %w; batch rolled back", id, i, kind, op.U, op.V, err)
+		}
+	}
+	return st.version, nil
 }
 
 // AddNode appends a new isolated node and returns its id, growing the

@@ -21,10 +21,11 @@ import (
 // reference; all of it is immutable, so any number of queries may read
 // any number of generations concurrently with no synchronization.
 type StoreSnapshot struct {
-	n       int
-	m       int64
-	version uint64
-	shift   uint32
+	n         int
+	m         int64
+	version   uint64
+	lastBatch uint64
+	shift     uint32
 
 	csr      []graph.CSRShard
 	versions []uint64 // store version each shard CSR was built at
@@ -63,6 +64,12 @@ func (s *StoreSnapshot) NumEdges() int64 { return s.m }
 
 // Version returns the store's mutation counter at publish time.
 func (s *StoreSnapshot) Version() uint64 { return s.version }
+
+// LastBatch returns the store's apply-once batch watermark at publish
+// time: every durable batch with id <= LastBatch is reflected in this
+// snapshot. A checkpoint of the snapshot therefore covers the write-ahead
+// log exactly through this id.
+func (s *StoreSnapshot) LastBatch() uint64 { return s.lastBatch }
 
 // NumShards returns the number of shard CSRs in the composite.
 func (s *StoreSnapshot) NumShards() int { return len(s.csr) }
@@ -285,12 +292,13 @@ func (st *Store) PublishCtx(ctx context.Context) (*StoreSnapshot, error) {
 		return prev, fmt.Errorf("shard: publication aborted: %w", err)
 	}
 	next := &StoreSnapshot{
-		n:        st.n,
-		m:        st.m,
-		version:  st.version,
-		shift:    st.part.shift,
-		csr:      make([]graph.CSRShard, len(st.shards)),
-		versions: make([]uint64, len(st.shards)),
+		n:         st.n,
+		m:         st.m,
+		version:   st.version,
+		lastBatch: st.lastBatch,
+		shift:     st.part.shift,
+		csr:       make([]graph.CSRShard, len(st.shards)),
+		versions:  make([]uint64, len(st.shards)),
 	}
 	dirty := make([]int, 0, len(st.shards))
 	for p, sm := range st.shards {
