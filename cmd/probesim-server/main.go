@@ -36,15 +36,24 @@
 // goroutine right after publication, so the first query after a batch
 // never pays the densification.
 //
-// With -workers=host:port,... the graph is not loaded here at all: the
-// server routes every query to a fleet of probesim-shardd workers over
-// the binary shard RPC (internal/rpcwire), fanning the walk/probe
-// frontier out to shard owners and merging the results — bit-identically
-// to the single-process answer for the same seed. Writes broadcast to
-// every worker (all-or-rollback) and publication keeps the fleet in
-// version lockstep; per-worker health, version and transport counters
-// appear on /stats and /metrics. A worker dying mid-query surfaces as
-// HTTP 502 within the query deadline.
+// With -workers the graph is not loaded here at all: the server routes
+// every query to a fleet of probesim-shardd workers over the binary
+// shard RPC (internal/rpcwire), fanning the walk/probe frontier out to
+// shard owners and merging the results — bit-identically to the
+// single-process answer for the same seed. The grammar is replica
+// groups: semicolons separate shard owners, commas separate replicas of
+// one owner, so "a:9101,b:9101;c:9101,d:9101" is two shard groups of
+// two replicas each (and "a:9101;b:9101" is the old unreplicated
+// two-owner fleet — note commas CHANGED meaning from owners to
+// replicas). Writes broadcast to every current replica under identified
+// apply-once batches; reads fail over to a group peer on transport
+// errors and, with -hedge, race a second replica after a p99-derived
+// delay (first answer wins, the loser is canceled — bit-identity is
+// unaffected because the walk RNG state travels in the RPC). A replica
+// that misses writes is demoted, replayed from the in-memory batch ring
+// by the health pass, and re-admitted; only a whole group dying
+// surfaces as HTTP 502. Per-replica health/version/currency and
+// failover/hedge counters appear on /stats and /metrics.
 //
 // With -soft-inflight=N (< -max-inflight), admission pressure degrades
 // instead of rejecting: queries above the watermark run with
@@ -66,6 +75,13 @@
 // routed mode (-workers) durability belongs on the workers
 // (probesim-shardd -data-dir), not here.
 //
+// # Probes
+//
+// /healthz answers 200 for the process lifetime (liveness: restarting
+// would not help). /readyz answers 200 only while the server is ready
+// and not draining; on SIGINT/SIGTERM it flips to 503 BEFORE the
+// listener closes, so load balancers drain the instance first.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; queries that outlive the
 // drain are canceled through the same context seam and unwind with a
@@ -85,7 +101,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -111,8 +126,11 @@ func main() {
 		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
 		shards     = flag.Int("shards", 0, "partition the graph into up to this many shards (0 = monolithic snapshot)")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
-		workers    = flag.String("workers", "", "comma-separated probesim-shardd addresses; route queries to these workers instead of serving the graph in-process")
-		healthIvl  = flag.Duration("health-interval", 5*time.Second, "with -workers: background per-worker health/version probe interval")
+		workers    = flag.String("workers", "", "probesim-shardd replica groups (semicolons separate shard owners, commas separate replicas: \"a,b;c,d\"); route queries to these workers instead of serving the graph in-process")
+		healthIvl  = flag.Duration("health-interval", 5*time.Second, "with -workers: background per-replica health/version probe + catch-up interval")
+		hedge      = flag.Bool("hedge", true, "with replicated -workers groups: race a second replica when a read exceeds the group's p99-derived delay")
+		hedgeMin   = flag.Duration("hedge-min", 2*time.Millisecond, "lower clamp on the hedge delay")
+		hedgeMax   = flag.Duration("hedge-max", 200*time.Millisecond, "upper clamp on the hedge delay (also the cold-start delay)")
 
 		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead log + checkpoints; recovered on boot (requires the sharded backend)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (every acknowledged batch is on disk), interval, or off")
@@ -147,23 +165,34 @@ func main() {
 		if *dataDir != "" {
 			log.Fatal("probesim-server: -data-dir belongs on the workers in routed mode (probesim-shardd -data-dir); the routing tier keeps no durable state")
 		}
-		var engines []router.ShardEngine
-		for _, a := range strings.Split(*workers, ",") {
-			a = strings.TrimSpace(a)
-			if a != "" {
-				engines = append(engines, router.NewRemoteEngine(a))
+		specs, err := router.ParseGroups(*workers)
+		if err != nil {
+			log.Fatalf("probesim-server: %v", err)
+		}
+		groups := make([][]router.ShardEngine, len(specs))
+		nworkers, replicated := 0, false
+		for gi, members := range specs {
+			for _, a := range members {
+				groups[gi] = append(groups[gi], router.NewRemoteEngine(a))
+				nworkers++
+			}
+			if len(members) > 1 {
+				replicated = true
 			}
 		}
-		rt, err := router.New(engines...)
+		rt, err := router.NewReplicated(groups)
 		if err != nil {
 			log.Fatalf("probesim-server: assembling worker topology: %v", err)
+		}
+		if *hedge && replicated {
+			rt.SetHedge(router.HedgePolicy{Enabled: true, MinDelay: *hedgeMin, MaxDelay: *hedgeMax})
 		}
 		stopHealth := rt.StartHealth(*healthIvl)
 		defer stopHealth()
 		srv = server.NewRouted(rt, opt, *cacheCap, *limit)
 		snap := rt.PublishedView()
-		log.Printf("probesim-server: routing n=%d m=%d v=%d on %s across %d workers (%s)",
-			snap.NumNodes(), snap.NumEdges(), snap.Version(), *addr, len(engines), *workers)
+		log.Printf("probesim-server: routing n=%d m=%d v=%d on %s across %d groups / %d workers (hedge=%v) (%s)",
+			snap.NumNodes(), snap.NumEdges(), snap.Version(), *addr, len(groups), nworkers, *hedge && replicated, *workers)
 		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, nil)
 		return
 	}
@@ -283,6 +312,9 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 		log.Fatal(err)
 	case <-procCtx.Done():
 	}
+	// Readiness goes 503 first: a load balancer polling /readyz stops
+	// routing to this instance before the listener starts refusing.
+	srv.Health().SetDraining()
 	log.Printf("probesim-server: signal received, draining in-flight requests (up to %v)", *drainTO)
 	// Shutdown stops the listener and waits for in-flight handlers up to
 	// the drain deadline. Past it, cancel baseCtx: every straggler's

@@ -32,18 +32,32 @@
 //
 // The last -retain generations stay resolvable so in-flight queries read
 // the exact snapshot they pinned while churn publishes newer ones.
+//
+// Replication: point several workers with the SAME -index/-group at the
+// same graph and list them as one comma-separated replica group in the
+// router's -workers ("a:9101,b:9101;..."). The router broadcasts writes
+// to all of them and fails reads over between them; each replica should
+// use its OWN -data-dir.
+//
+// With -health-addr the worker also serves HTTP /healthz (liveness) and
+// /readyz (readiness) on a separate listener: /readyz goes 503 the
+// moment a shutdown signal arrives — before the RPC listener closes —
+// so orchestrators stop routing first, then the worker exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"probesim"
+	"probesim/internal/health"
 	"probesim/internal/persist"
 	"probesim/internal/router"
 	"probesim/internal/shard"
@@ -61,6 +75,7 @@ func main() {
 		group      = flag.Int("group", 1, "worker-group size; this worker owns shards p with p%group==index")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
 		eagerSpans = flag.Bool("eager-spans", false, "materialize snapshot span arrays in the background after each publication")
+		healthAddr = flag.String("health-addr", "", "serve HTTP /healthz and /readyz on this address (empty = off)")
 
 		dataDir   = flag.String("data-dir", "", "durable state directory: write-ahead log + checkpoints; recovered on boot")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
@@ -134,6 +149,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var hstate health.State
+	if *healthAddr != "" {
+		mux := http.NewServeMux()
+		hstate.Register(mux)
+		hln, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			log.Fatalf("probesim-shardd: health listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(hln, mux); err != nil {
+				log.Printf("probesim-shardd: health listener: %v", err)
+			}
+		}()
+		hstate.SetReady(true)
+		log.Printf("probesim-shardd: probes on http://%s/healthz /readyz", hln.Addr())
+	}
 	owned := 0
 	for p := *index; p < st.NumShards(); p += *group {
 		owned++
@@ -148,6 +179,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Readiness drops before the RPC listener closes, so anything
+	// watching /readyz stops routing to this replica first.
+	hstate.SetDraining()
 	log.Printf("probesim-shardd: signal received, closing")
 	if err := srv.Close(); err != nil {
 		log.Printf("probesim-shardd: close: %v", err)

@@ -1,0 +1,182 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probesim/internal/xrand"
+)
+
+// ProxyPlan is the deterministic per-connection fault schedule for a
+// Proxy. Each accepted connection draws its fate from a SplitMix64
+// stream keyed by (Seed, connection index): which faults a given
+// connection suffers is reproducible, though which logical request rides
+// which connection still depends on client scheduling.
+type ProxyPlan struct {
+	Seed uint64
+
+	PRefuse  float64 // close the client connection before relaying anything
+	PKillMid float64 // sever the connection mid-reply, after KillAfter bytes
+
+	// KillAfter is how many worker->client bytes to relay before a
+	// PKillMid kill; the default (64) lands inside the first reply's
+	// body — past the frame header, before the payload completes.
+	KillAfter int
+
+	// Delay is a fixed latency added before relaying each connection's
+	// first byte (a slow network, not a dead one).
+	Delay time.Duration
+}
+
+// Proxy is a chaos TCP relay in front of one worker address. Beyond the
+// plan's per-connection faults it supports a hard partition: Cut severs
+// every live connection and refuses new ones until Heal.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plan   ProxyPlan
+
+	conns    atomic.Uint64
+	injected atomic.Int64
+	cut      atomic.Bool
+	closed   atomic.Bool
+
+	mu     sync.Mutex
+	active map[net.Conn]struct{} // both sides of every live relay
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on an ephemeral localhost port relaying to
+// target (host:port).
+func NewProxy(target string, plan ProxyPlan) (*Proxy, error) {
+	if plan.KillAfter <= 0 {
+		plan.KillAfter = 64
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, plan: plan, active: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the router should dial
+// instead of the worker.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Injected reports how many connections had a fault injected.
+func (p *Proxy) Injected() int64 { return p.injected.Load() }
+
+// Cut starts a partition: every live connection is severed and new ones
+// are refused until Heal.
+func (p *Proxy) Cut() {
+	p.cut.Store(true)
+	p.severAll()
+}
+
+// Heal ends a partition.
+func (p *Proxy) Heal() { p.cut.Store(false) }
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.severAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) severAll() {
+	p.mu.Lock()
+	for c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// track registers both sides of a relay so severAll can unblock reads
+// on either: closing only the client side would leave the worker->client
+// copy parked in a read on the worker socket forever.
+func (p *Proxy) track(c, s net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() || p.cut.Load() {
+		return false
+	}
+	p.active[c] = struct{}{}
+	p.active[s] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c, s net.Conn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	delete(p.active, s)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := p.conns.Add(1)
+		p.wg.Add(1)
+		go p.handle(c, n)
+	}
+}
+
+func (p *Proxy) handle(c net.Conn, n uint64) {
+	defer p.wg.Done()
+	rng := xrand.New(p.plan.Seed ^ n*0x9e3779b97f4a7c15)
+	refuse := rng.Float64() < p.plan.PRefuse
+	killMid := rng.Float64() < p.plan.PKillMid
+	if p.cut.Load() || refuse {
+		if refuse {
+			p.injected.Add(1)
+		}
+		c.Close()
+		return
+	}
+	s, err := net.Dial("tcp", p.target)
+	if err != nil {
+		c.Close()
+		return
+	}
+	if !p.track(c, s) { // raced Cut/Close
+		c.Close()
+		s.Close()
+		return
+	}
+	defer func() {
+		p.untrack(c, s)
+		c.Close()
+		s.Close()
+	}()
+	if p.plan.Delay > 0 {
+		time.Sleep(p.plan.Delay)
+	}
+	done := make(chan struct{})
+	go func() { // client -> worker; unblocked by the deferred closes
+		io.Copy(s, c)
+		close(done)
+	}()
+	if killMid {
+		// Relay part of the worker's reply, then sever both sides: the
+		// client sees a frame truncated mid-payload.
+		io.CopyN(c, s, int64(p.plan.KillAfter))
+		p.injected.Add(1)
+	} else {
+		io.Copy(c, s)
+	}
+	c.Close()
+	s.Close()
+	<-done
+}

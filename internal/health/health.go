@@ -1,0 +1,61 @@
+// Package health separates liveness from readiness for every probesim
+// process. /healthz answers 200 as soon as the process serves HTTP at
+// all — restarting it would not help, so orchestrators should leave it
+// alone. /readyz answers 200 only while the process is both ready
+// (recovery finished, initial graph loaded) and not draining; load
+// balancers use it to stop sending traffic BEFORE connections start
+// closing during a graceful shutdown.
+package health
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// State is a process's liveness/readiness switchboard. The zero value
+// is alive but not yet ready.
+type State struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// SetReady marks recovery/startup complete (or, with false, revokes it).
+func (s *State) SetReady(ok bool) { s.ready.Store(ok) }
+
+// SetDraining flips the drain bit: readiness goes 503 immediately while
+// in-flight work finishes. Flip it BEFORE closing listeners so load
+// balancers drain first.
+func (s *State) SetDraining() { s.draining.Store(true) }
+
+// Ready reports readiness: started up and not draining.
+func (s *State) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *State) Draining() bool { return s.draining.Load() }
+
+// Register installs /healthz and /readyz on mux.
+func (s *State) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+}
+
+func (s *State) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *State) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("starting\n"))
+	default:
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	}
+}

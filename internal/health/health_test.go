@@ -1,0 +1,48 @@
+package health
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestLivenessIsIndependentOfReadiness(t *testing.T) {
+	var s State
+	mux := http.NewServeMux()
+	s.Register(mux)
+
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before ready: %d", code)
+	}
+	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || body != "starting\n" {
+		t.Fatalf("readyz before ready: %d %q", code, body)
+	}
+
+	s.SetReady(true)
+	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("readyz after ready: %d %q", code, body)
+	}
+	if !s.Ready() {
+		t.Fatal("Ready() false after SetReady")
+	}
+
+	// Draining flips readiness immediately but liveness stays up: the
+	// load balancer drains while the process finishes in-flight work.
+	s.SetDraining()
+	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("readyz while draining: %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	if s.Ready() || !s.Draining() {
+		t.Fatalf("state: ready=%v draining=%v", s.Ready(), s.Draining())
+	}
+}

@@ -118,6 +118,12 @@ type ShardEngine interface {
 	// generation in its retention ring.
 	Meta(ctx context.Context) (Meta, error)
 
+	// Ping reports the engine's published snapshot version and durable
+	// apply-once watermark WITHOUT pinning a generation: the cheap probe
+	// behind the background health loop and replica catch-up. It must be
+	// answerable even while the engine is lagging or mid-recovery.
+	Ping(ctx context.Context) (version, lastBatch uint64, err error)
+
 	// ResolveShard returns shard p's CSR adjacency block at the pinned
 	// generation. The block is immutable; local engines return it by
 	// reference, remote engines decode it off the wire.
@@ -263,6 +269,15 @@ func (e *LocalEngine) Meta(ctx context.Context) (Meta, error) {
 	snap := e.st.Current()
 	e.gens.pin(snap)
 	return e.meta(snap), nil
+}
+
+// Ping implements ShardEngine: version + watermark, no generation pin.
+func (e *LocalEngine) Ping(ctx context.Context) (uint64, uint64, error) {
+	var version uint64
+	if snap := e.st.Current(); snap != nil {
+		version = snap.Version()
+	}
+	return version, e.st.LastBatch(), nil
 }
 
 // snapshotAt resolves the pinned generation for version.

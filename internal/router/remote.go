@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -107,7 +108,12 @@ func (e *RemoteEngine) markDown() {
 		e.down = true
 		e.backoff = backoffBase
 	}
-	e.retryAt = time.Now().Add(e.backoff)
+	// Jittered window: every router in the fleet notices a dead worker
+	// within the same RPC timeout, so deterministic backoff would have
+	// them all re-dial a restarting worker at the same instants
+	// (thundering herd). Spread retries across [backoff/2, backoff].
+	wait := e.backoff/2 + time.Duration(rand.Int64N(int64(e.backoff/2)+1))
+	e.retryAt = time.Now().Add(wait)
 	// Failed transport: every pooled connection is suspect.
 	for _, rc := range e.idle {
 		rc.c.Close()
@@ -180,19 +186,24 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 	}
 	rc.c.SetDeadline(deadline)
 	// A cancelable-but-deadline-free context still needs prompt unblocking:
-	// watch for cancellation and yank the deadline to the past. The
-	// watcher captures the net.Conn VALUE — the rc variable is nilled
-	// when the connection is pooled below, and a watcher that loses the
-	// race against completion must at worst poison one pooled conn's
-	// deadline (self-healing: the next call on it fails as transport,
-	// closes it and redials), never dereference nil.
-	watchDone := make(chan struct{})
+	// watch for cancellation and yank the deadline to the past. The main
+	// path MUST join the watcher before it resets the deadline below: a
+	// hedged read's cancel races the winner's completion, and a watcher
+	// that fires after the exchange but before the reset would otherwise
+	// leave an already-expired deadline on a connection headed for the
+	// pool — every later borrower would fail instantly with a bogus
+	// transport timeout. Joining first means any late yank is repaired by
+	// the reset that follows it.
+	watchStop := make(chan struct{})
+	var watchExit chan struct{}
 	if ctx.Done() != nil {
+		watchExit = make(chan struct{})
 		go func(c net.Conn) {
+			defer close(watchExit)
 			select {
 			case <-ctx.Done():
 				c.SetDeadline(time.Unix(1, 0))
-			case <-watchDone:
+			case <-watchStop:
 			}
 		}(rc.c)
 	}
@@ -205,7 +216,10 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 		}
 		return rpcwire.ReadFrame(rc.br, nil)
 	}()
-	close(watchDone)
+	close(watchStop)
+	if watchExit != nil {
+		<-watchExit
+	}
 	if err != nil {
 		// Mid-stream state is unusable either way.
 		rc.c.Close()
@@ -222,8 +236,10 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 	rc.c.SetDeadline(time.Time{})
 	e.markUp()
 	e.mu.Lock()
-	// Don't pool a connection whose context already fired — its watcher
-	// may be about to yank the deadline under the next borrower.
+	// A canceled caller's connection is clean (the watcher has exited and
+	// the deadline is reset below the error check), but a call that
+	// finished in a dead heat with its own cancellation is the rare path:
+	// close it rather than keep it.
 	if len(e.idle) < remoteIdleConns && !e.closed.Load() && ctx.Err() == nil {
 		e.idle = append(e.idle, rc)
 		rc = nil
@@ -317,6 +333,26 @@ func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget
 		return buf, state, SegmentEnded, fmt.Errorf("router: %s: %v", e.addr, derr)
 	}
 	return append(buf, rep.Nodes...), rep.State, SegmentStatus(rep.Status), nil
+}
+
+// Ping implements ShardEngine: the health-loop probe. Unlike Meta it
+// does not pin a generation on the worker, so firing it every health
+// tick against a lagging or recovering member costs nothing.
+func (e *RemoteEngine) Ping(ctx context.Context) (uint64, uint64, error) {
+	req := rpcwire.PingRequest{Budget: headerFrom(ctx)}
+	rtyp, body, err := e.call(ctx, rpcwire.TPing, req.Append(nil))
+	if err != nil {
+		return 0, 0, err
+	}
+	if rtyp != rpcwire.TPingRep {
+		return 0, 0, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	rep, derr := rpcwire.DecodePingReply(body)
+	if derr != nil {
+		return 0, 0, fmt.Errorf("router: %s: %v", e.addr, derr)
+	}
+	e.version.Store(rep.Version)
+	return rep.Version, rep.LastBatch, nil
 }
 
 // Apply implements ShardEngine.

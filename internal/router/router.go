@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,12 +14,20 @@ import (
 	"probesim/internal/shard"
 )
 
-// Router fans queries out over a set of shard engines and assembles their
-// shards into one composite versioned view. It implements the same
+// Router fans queries out over a fleet of replica groups and assembles
+// their shards into one composite versioned view. It implements the same
 // SnapshotProvider seam core.Executor already runs on, so the entire
 // query stack — single-source, top-k, progressive, joins, components —
 // works over a fleet of workers exactly as it does over an in-process
 // store.
+//
+// Each group's members own the same shard stride, so every shard has as
+// many owners as its group has replicas: reads fail over (and optionally
+// hedge) across the group's members, writes broadcast to every member
+// that is still in-order ("current"), and a member that misses batches
+// is demoted and replayed back in from the router's replay ring. The
+// SplitMix64 walk state travels on the wire, so which replica answers a
+// given call never changes the bits of the result.
 //
 // Fast path: a Router over a single LocalEngine that owns every shard
 // serves the store's own published StoreSnapshot (no wrapper, no new
@@ -26,11 +35,11 @@ import (
 // store). Any other topology serves a *View whose shard blocks fault in
 // from their owners on first touch.
 type Router struct {
-	engines []ShardEngine
-	fast    *shard.Store // non-nil: single all-owning local engine
+	groups []*replicaGroup
+	fast   *shard.Store // non-nil: single all-owning local engine
 
 	// mu serializes the control plane (Apply, PublishView, health
-	// re-assembly) — never the read path.
+	// re-assembly, catch-up) — never the read path.
 	mu  sync.Mutex
 	cur atomic.Pointer[View]
 
@@ -40,47 +49,85 @@ type Router struct {
 	// though the routing tier keeps no state of its own.
 	nextBatch atomic.Uint64
 
-	// Read-path counters for /metrics.
+	// ring remembers recent identified batches so a demoted member can
+	// be replayed back to current without an operator restore. Guarded
+	// by mu.
+	ring *batchRing
+
+	// hedge is the read-hedging policy; nil or !Enabled disables it.
+	hedge atomic.Pointer[HedgePolicy]
+
+	// Read- and write-path counters for /metrics.
 	shardFetches     atomic.Int64
 	shardFetchErrors atomic.Int64
 	walkSegments     atomic.Int64
 	walkHandoffs     atomic.Int64
 	applyRetries     atomic.Int64
+	failovers        atomic.Int64
+	hedgesSent       atomic.Int64
+	hedgesWon        atomic.Int64
+	applySkips       atomic.Int64
+	catchupBatches   atomic.Int64
 }
 
 // controlTimeout bounds control-plane broadcasts (Meta, Publish, Apply)
 // that carry no caller deadline.
 const controlTimeout = 10 * time.Second
 
-// New assembles a router over the given engines. It fetches every
-// engine's Meta, validates that they describe the same graph at the same
-// version with disjoint, complete shard ownership, and builds the initial
-// view. At least one engine is required.
+// New assembles a router of singleton groups — one engine per shard
+// stride, no replication. It is the pre-replica constructor every
+// single-owner topology (and test) uses; NewReplicated is the general
+// form.
 func New(engines ...ShardEngine) (*Router, error) {
-	if len(engines) == 0 {
+	groups := make([][]ShardEngine, len(engines))
+	for i, e := range engines {
+		groups[i] = []ShardEngine{e}
+	}
+	return NewReplicated(groups)
+}
+
+// NewReplicated assembles a router over replica groups: the engines of
+// groups[i] must own the same shard stride (same -index/-group), and
+// distinct groups' strides must be disjoint and complete. It fetches
+// every member's Meta, picks the most-advanced responder per group as
+// the group's reference, demotes lagging replicas (they rejoin through
+// the catch-up path), validates cross-group agreement, and builds the
+// initial view. Every group needs at least one reachable member.
+func NewReplicated(groups [][]ShardEngine) (*Router, error) {
+	if len(groups) == 0 {
 		return nil, fmt.Errorf("router: no engines")
 	}
-	r := &Router{engines: engines}
-	if len(engines) == 1 {
-		if le, ok := engines[0].(*LocalEngine); ok && le.group == 1 {
+	r := &Router{ring: newBatchRing(defaultReplayHorizon)}
+	for _, ms := range groups {
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("router: empty replica group")
+		}
+		g := &replicaGroup{}
+		for _, e := range ms {
+			g.members = append(g.members, &member{eng: e})
+		}
+		r.groups = append(r.groups, g)
+	}
+	if len(r.groups) == 1 && len(r.groups[0].members) == 1 {
+		if le, ok := r.groups[0].members[0].eng.(*LocalEngine); ok && le.group == 1 {
 			r.fast = le.st
+			r.groups[0].members[0].current.Store(true)
 			r.nextBatch.Store(le.st.LastBatch())
 			return r, nil
 		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), controlTimeout)
 	defer cancel()
-	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Meta(ctx) })
+	metas := r.collect(ctx, func(e ShardEngine) (Meta, error) { return e.Meta(ctx) })
+	view, err := r.assembleLocked(metas) // not shared yet; no lock needed
 	if err != nil {
 		return nil, err
 	}
-	view, err := r.assemble(metas)
-	if err != nil {
-		return nil, err
-	}
-	for _, m := range metas {
-		if m.LastBatch > r.nextBatch.Load() {
-			r.nextBatch.Store(m.LastBatch)
+	for _, gm := range metas {
+		for _, mm := range gm {
+			if mm.err == nil && mm.m.LastBatch > r.nextBatch.Load() {
+				r.nextBatch.Store(mm.m.LastBatch)
+			}
 		}
 	}
 	r.cur.Store(view)
@@ -98,56 +145,176 @@ func NewLocal(st *shard.Store) *Router {
 	return r
 }
 
-// broadcast runs one engine call on every engine concurrently and
-// returns all results, or the first error.
-func (r *Router) broadcast(ctx context.Context, call func(ShardEngine) (Meta, error)) ([]Meta, error) {
-	metas := make([]Meta, len(r.engines))
-	errs := make([]error, len(r.engines))
-	var wg sync.WaitGroup
-	for i, e := range r.engines {
-		wg.Add(1)
-		go func(i int, e ShardEngine) {
-			defer wg.Done()
-			metas[i], errs[i] = call(e)
-		}(i, e)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("router: engine %d: %w", i, err)
-		}
-	}
-	return metas, nil
+// SetHedge installs the read-hedging policy. Safe to call while serving.
+func (r *Router) SetHedge(hp HedgePolicy) {
+	r.hedge.Store(&hp)
 }
 
-// assemble validates the metas against each other and builds a View.
-func (r *Router) assemble(metas []Meta) (*View, error) {
-	m0 := metas[0]
-	for i, m := range metas[1:] {
+// SetReplayHorizon resizes the batch replay ring (default 1024): how
+// many recent batches a demoted replica can be behind and still rejoin
+// without an operator restore. Call before serving writes — resizing
+// drops remembered batches.
+func (r *Router) SetReplayHorizon(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.ring = newBatchRing(n)
+	r.mu.Unlock()
+}
+
+// memberMeta is one member's answer to a control-plane broadcast.
+type memberMeta struct {
+	m   Meta
+	err error
+}
+
+// errSkippedMember marks a member a broadcast never called because it
+// was already demoted.
+var errSkippedMember = errors.New("router: member not current; skipped")
+
+// collect runs one engine call on every member of every group
+// concurrently and returns all results, aligned with r.groups.
+func (r *Router) collect(ctx context.Context, call func(ShardEngine) (Meta, error)) [][]memberMeta {
+	out := make([][]memberMeta, len(r.groups))
+	var wg sync.WaitGroup
+	for gi, g := range r.groups {
+		out[gi] = make([]memberMeta, len(g.members))
+		for mi, m := range g.members {
+			wg.Add(1)
+			go func(slot *memberMeta, e ShardEngine) {
+				defer wg.Done()
+				slot.m, slot.err = call(e)
+			}(&out[gi][mi], m.eng)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// collectCurrent is collect restricted to current members; demoted ones
+// get errSkippedMember so assembly leaves their state alone.
+func (r *Router) collectCurrent(ctx context.Context, call func(ShardEngine) (Meta, error)) [][]memberMeta {
+	out := make([][]memberMeta, len(r.groups))
+	var wg sync.WaitGroup
+	for gi, g := range r.groups {
+		out[gi] = make([]memberMeta, len(g.members))
+		for mi, m := range g.members {
+			if !m.current.Load() {
+				out[gi][mi].err = errSkippedMember
+				continue
+			}
+			wg.Add(1)
+			go func(slot *memberMeta, e ShardEngine) {
+				defer wg.Done()
+				slot.m, slot.err = call(e)
+			}(&out[gi][mi], m.eng)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// assembleLocked validates the metas against each other, updates member
+// current/lag state, and builds a View. Caller holds mu (or owns r
+// exclusively, as in NewReplicated).
+//
+// Within a group, the most-advanced responder (highest watermark, then
+// highest version) is the reference; replicas behind it are demoted for
+// catch-up rather than failing the fleet — that is the whole point of
+// replication. Across groups the references must agree exactly, as
+// before: there is no second owner to cover a diverged stride.
+func (r *Router) assembleLocked(metas [][]memberMeta) (*View, error) {
+	chosen := make([]Meta, len(r.groups))
+	for gi, g := range r.groups {
+		best := -1
+		for mi := range g.members {
+			mm := metas[gi][mi]
+			if mm.err != nil {
+				continue
+			}
+			if best == -1 || mm.m.LastBatch > metas[gi][best].m.LastBatch ||
+				(mm.m.LastBatch == metas[gi][best].m.LastBatch && mm.m.Version > metas[gi][best].m.Version) {
+				best = mi
+			}
+		}
+		if best == -1 {
+			var ferr error
+			for mi := range g.members {
+				if err := metas[gi][mi].err; err != nil && !errors.Is(err, errSkippedMember) {
+					ferr = err
+					break
+				}
+			}
+			if ferr == nil {
+				ferr = fmt.Errorf("%w: every replica demoted; awaiting catch-up", ErrTransport)
+			}
+			return nil, fmt.Errorf("router: group %d: %w", gi, ferr)
+		}
+		cm := metas[gi][best].m
+		chosen[gi] = cm
+		for mi, m := range g.members {
+			mm := metas[gi][mi]
+			if mm.err != nil {
+				if !errors.Is(mm.err, errSkippedMember) {
+					m.setLag(mm.err.Error())
+				}
+				continue
+			}
+			if m.divergent.Load() {
+				// Matching counters are not proof of matching state;
+				// divergence only clears with an operator restore.
+				continue
+			}
+			if mm.m.LastBatch != cm.LastBatch {
+				m.setLag(fmt.Sprintf("at watermark %d behind group watermark %d; awaiting catch-up replay", mm.m.LastBatch, cm.LastBatch))
+				continue
+			}
+			if mm.m.Nodes != cm.Nodes || mm.m.Edges != cm.Edges ||
+				mm.m.Shift != cm.Shift || mm.m.Shards != cm.Shards ||
+				!slices.Equal(mm.m.Owned, cm.Owned) {
+				return nil, fmt.Errorf("router: group %d replicas %d and %d disagree at watermark %d: (n=%d m=%d shift=%d shards=%d) vs (n=%d m=%d shift=%d shards=%d) — replica state diverged; restore one from the other",
+					gi, best, mi, cm.LastBatch,
+					cm.Nodes, cm.Edges, cm.Shift, cm.Shards,
+					mm.m.Nodes, mm.m.Edges, mm.m.Shift, mm.m.Shards)
+			}
+			if mm.m.Version != cm.Version {
+				// Same watermark and shape: the member only missed a
+				// republish; catch-up levels it at the next pass.
+				m.setLag(fmt.Sprintf("published version %d behind group version %d; awaiting republish", mm.m.Version, cm.Version))
+				continue
+			}
+			m.acked.Store(mm.m.LastBatch)
+			m.current.Store(true)
+			m.clearLag()
+		}
+	}
+	m0 := chosen[0]
+	for gi, m := range chosen[1:] {
 		if m.Nodes != m0.Nodes || m.Edges != m0.Edges || m.Version != m0.Version ||
 			m.Shift != m0.Shift || m.Shards != m0.Shards {
-			return nil, fmt.Errorf("router: engines 0 and %d disagree: (n=%d m=%d v=%d shift=%d shards=%d) vs (n=%d m=%d v=%d shift=%d shards=%d)",
-				i+1, m0.Nodes, m0.Edges, m0.Version, m0.Shift, m0.Shards,
+			return nil, fmt.Errorf("router: groups 0 and %d disagree: (n=%d m=%d v=%d shift=%d shards=%d) vs (n=%d m=%d v=%d shift=%d shards=%d)",
+				gi+1, m0.Nodes, m0.Edges, m0.Version, m0.Shift, m0.Shards,
 				m.Nodes, m.Edges, m.Version, m.Shift, m.Shards)
 		}
 		if m.LastBatch != m0.LastBatch {
-			return nil, fmt.Errorf("router: engines 0 and %d at batch watermarks %d and %d — a worker missed a batch while down; restore it from its data dir or a fleet peer's",
-				i+1, m0.LastBatch, m.LastBatch)
+			return nil, fmt.Errorf("router: groups 0 and %d at batch watermarks %d and %d — a worker missed a batch while down; restore it from its data dir or a fleet peer's",
+				gi+1, m0.LastBatch, m.LastBatch)
 		}
 	}
 	ownerOf := make([]int32, m0.Shards)
 	for p := range ownerOf {
 		ownerOf[p] = -1
 	}
-	for i, m := range metas {
+	for gi, m := range chosen {
 		for _, p := range m.Owned {
 			if p < 0 || p >= m0.Shards {
-				return nil, fmt.Errorf("router: engine %d claims shard %d of %d", i, p, m0.Shards)
+				return nil, fmt.Errorf("router: group %d claims shard %d of %d", gi, p, m0.Shards)
 			}
 			if ownerOf[p] != -1 {
-				return nil, fmt.Errorf("router: shard %d owned by engines %d and %d", p, ownerOf[p], i)
+				return nil, fmt.Errorf("router: shard %d owned by groups %d and %d", p, ownerOf[p], gi)
 			}
-			ownerOf[p] = int32(i)
+			ownerOf[p] = int32(gi)
 		}
 	}
 	for p, o := range ownerOf {
@@ -174,37 +341,29 @@ func (r *Router) PublishedView() graph.VersionedView {
 	return r.cur.Load()
 }
 
-// PublishView implements core.SnapshotProvider: it asks every engine to
-// republish, validates agreement, and installs a fresh composite view.
-// An unchanged version keeps the current view (and its warm block
-// cache). On failure the previously published view stays current and is
-// returned alongside the error.
+// PublishView implements core.SnapshotProvider: it asks every current
+// member to republish, validates agreement, and installs a fresh
+// composite view. An unchanged version keeps the current view (and its
+// warm block cache). On failure the previously published view stays
+// current and is returned alongside the error.
 func (r *Router) PublishView(ctx context.Context) (graph.VersionedView, error) {
 	if r.fast != nil {
 		return r.fast.PublishCtx(ctx)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.publishLocked(ctx)
+}
+
+func (r *Router) publishLocked(ctx context.Context) (graph.VersionedView, error) {
 	prev := r.cur.Load()
-	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Publish(ctx) })
+	metas := r.collectCurrent(ctx, func(e ShardEngine) (Meta, error) { return e.Publish(ctx) })
+	view, err := r.assembleLocked(metas)
 	if err != nil {
 		return prev, fmt.Errorf("router: publication failed: %w", err)
 	}
-	if prev != nil && metas[0].Version == prev.version {
-		same := true
-		for _, m := range metas[1:] {
-			if m.Version != prev.version {
-				same = false
-				break
-			}
-		}
-		if same {
-			return prev, nil
-		}
-	}
-	view, err := r.assemble(metas)
-	if err != nil {
-		return prev, err
+	if prev != nil && view.version == prev.version {
+		return prev, nil // keep the warm block cache
 	}
 	r.cur.Store(view)
 	return view, nil
@@ -219,61 +378,94 @@ const (
 	applyRetryDelay = 250 * time.Millisecond
 )
 
+// applyResult is one member's outcome for one broadcast batch.
+type applyResult struct {
+	version   uint64
+	err       error
+	attempted bool
+}
+
 // Apply assigns the batch the next monotonic id and applies it to every
-// engine (each engine is all-or-rollback on its own, and applies each id
-// at most once).
+// current member of every group (each engine is all-or-rollback on its
+// own, and applies each id at most once).
 //
-// The batch id is what closes the lost-reply window that used to make
-// transport failures unrecoverable: a worker that applied the batch but
-// whose reply was lost will simply acknowledge the retry without
-// re-applying, and a worker that never saw it applies it now — so on
-// ErrTransport the router RETRIES the same id instead of rolling the
-// fleet back. Only after the retry budget is exhausted does it give up,
-// and even then the error says exactly what to do: the worker (durable
-// via its own write-ahead log) either holds the batch or will be flagged
-// by the watermark-agreement check at the next assembly; no silent
-// divergence is possible either way.
+// The batch id is what closes the lost-reply window: a worker that
+// applied the batch but whose reply was lost acknowledges the retry
+// without re-applying, and a worker that never saw it applies it now —
+// so on ErrTransport the router RETRIES the same id instead of rolling
+// the fleet back. With replication the failure mode narrows further: a
+// member that exhausts its retries is demoted (its group's surviving
+// members hold the batch durably) and replayed back in from the replay
+// ring, so a single replica death never fails a write. Only a group
+// with NO surviving acker fails the write, with an error that says the
+// batch may be partially applied and a re-submit is not safe blind.
 //
-// A SEMANTIC failure (bad op) is deterministic — every engine that
-// applied rolls back via the inverse batch (fresh ids), converging the
-// fleet on the pre-batch graph, and the client gets the rejection.
+// A SEMANTIC failure (bad op) is deterministic — every member that
+// applied rolls back via the inverse batch under one fresh shared id,
+// converging the fleet on the pre-batch graph, and the client gets the
+// rejection.
 func (r *Router) Apply(ctx context.Context, ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.catchUpLocked(ctx)
 	batch := r.nextBatch.Add(1)
-	versions, errs := r.applyBroadcast(ctx, batch, ops)
-	var semanticErr, transportErr error
-	for i, err := range errs {
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrTransport):
-			if transportErr == nil {
-				transportErr = fmt.Errorf("router: engine %d: apply retries exhausted; the worker either holds batch %d durably (a re-send of the id is a no-op) or will fail the watermark-agreement check at the next assembly: %w", i, batch, err)
+	r.ring.put(batch, ops)
+	res := r.applyBroadcastLocked(ctx, batch, ops)
+
+	var semanticErr, groupLostErr error
+	var versions []uint64
+	for gi, g := range r.groups {
+		decided := false
+		var firstFail error
+		for mi, m := range g.members {
+			rr := res[gi][mi]
+			if !rr.attempted {
+				continue
 			}
-		case errors.Is(err, ErrUnavailable):
-			// The engine refused retry-safely (annulled WAL append): it
-			// provably does NOT hold the batch, so like a transport
-			// failure this must not trigger a fleet rollback — the
-			// engines that took the batch hold it durably.
-			if transportErr == nil {
-				transportErr = fmt.Errorf("router: engine %d: apply retries exhausted; the worker could not log batch %d (it does not hold it; the fleet's appliers do): %w", i, batch, err)
+			switch {
+			case rr.err == nil:
+				decided = true
+				m.acked.Store(batch)
+				versions = append(versions, rr.version)
+			case errors.Is(rr.err, ErrTransport):
+				m.setLag(fmt.Sprintf("missed batch %d (apply retries exhausted: %v); awaiting catch-up replay", batch, rr.err))
+				if firstFail == nil {
+					firstFail = fmt.Errorf("router: group %d replica %d: apply retries exhausted; the worker either holds batch %d durably (a re-send of the id is a no-op) or will be replayed from the ring when it returns: %w", gi, mi, batch, rr.err)
+				}
+			case errors.Is(rr.err, ErrUnavailable):
+				// The engine refused retry-safely (annulled WAL append): it
+				// provably does NOT hold the batch, so it is demoted like a
+				// transport loss and replayed later.
+				m.setLag(fmt.Sprintf("could not log batch %d (%v); awaiting catch-up replay", batch, rr.err))
+				if firstFail == nil {
+					firstFail = fmt.Errorf("router: group %d replica %d: apply retries exhausted; the worker could not log batch %d (it does not hold it; the group's appliers do): %w", gi, mi, batch, rr.err)
+				}
+			default:
+				decided = true
+				m.acked.Store(batch)
+				if semanticErr == nil {
+					semanticErr = fmt.Errorf("router: group %d replica %d: %w", gi, mi, rr.err)
+				}
 			}
-		default:
-			if semanticErr == nil {
-				semanticErr = fmt.Errorf("router: engine %d: %w", i, err)
+		}
+		if !decided && groupLostErr == nil {
+			if firstFail == nil {
+				firstFail = fmt.Errorf("%w: every replica demoted; awaiting catch-up", ErrTransport)
 			}
+			groupLostErr = fmt.Errorf("router: group %d: no replica took batch %d: %w", gi, batch, firstFail)
 		}
 	}
 	if semanticErr != nil {
 		// Deterministic rejection: ONE fresh id covers the whole rollback
-		// round so the fleet's watermarks converge — engines that applied
-		// get the inverse batch under it, engines that rejected get an
-		// empty batch under it (watermark advance, no mutation). Engines
-		// unreachable on transport cannot be leveled here; watermark
-		// agreement at the next assembly names them.
+		// round so the fleet's watermarks converge — members that applied
+		// get the inverse batch under it, members that rejected get an
+		// empty batch under it (watermark advance, no mutation). The ring
+		// entry for the level id is empty too: a demoted member replaying
+		// the forward batch in order will deterministically reject it just
+		// as the live members did, then level on the empty batch.
 		inverse := make([]Op, len(ops))
 		for i := range ops {
 			inv := ops[len(ops)-1-i]
@@ -281,66 +473,158 @@ func (r *Router) Apply(ctx context.Context, ops []Op) error {
 			inverse[i] = inv
 		}
 		level := r.nextBatch.Add(1)
-		for i, err := range errs {
-			ops := inverse
-			switch {
-			case err == nil:
-			case errors.Is(err, ErrTransport) || errors.Is(err, ErrUnavailable):
-				continue
-			default:
-				ops = nil // rejected the forward batch: just level the watermark
+		r.ring.put(level, nil)
+		var divergedErr error
+		for gi, g := range r.groups {
+			for mi, m := range g.members {
+				rr := res[gi][mi]
+				if !rr.attempted {
+					continue
+				}
+				switch {
+				case rr.err == nil:
+					if _, lerr := m.eng.Apply(ctx, level, inverse); lerr != nil {
+						m.markDivergent(fmt.Sprintf("applied batch %d but missed its rollback %d (%v); restore from a fleet peer", batch, level, lerr))
+						if divergedErr == nil {
+							divergedErr = fmt.Errorf("router: group %d replica %d diverged (rollback failed: %v) after %w", gi, mi, lerr, semanticErr)
+						}
+					} else {
+						m.acked.Store(level)
+					}
+				case errors.Is(rr.err, ErrUnavailable):
+					// Provably never applied the forward batch; the ring
+					// replays forward (deterministic reject) + level for it.
+				case errors.Is(rr.err, ErrTransport):
+					// Whether the member applied the forward batch before the
+					// transport cut is unknowable, and the batch is now rolled
+					// back fleet-wide — a ring replay cannot prove
+					// convergence, so require an operator restore.
+					m.markDivergent(fmt.Sprintf("batch %d was rolled back while the replica was unreachable; whether it applied is unknown — restore from a fleet peer", batch))
+				default:
+					if _, lerr := m.eng.Apply(ctx, level, nil); lerr != nil {
+						m.markDivergent(fmt.Sprintf("rejected batch %d but missed its leveling batch %d (%v); restore from a fleet peer", batch, level, lerr))
+						if divergedErr == nil {
+							divergedErr = fmt.Errorf("router: group %d replica %d diverged (rollback failed: %v) after %w", gi, mi, lerr, semanticErr)
+						}
+					} else {
+						m.acked.Store(level)
+					}
+				}
 			}
-			if _, rerr := r.engines[i].Apply(ctx, level, ops); rerr != nil {
-				return fmt.Errorf("router: engine %d diverged (rollback failed: %v) after %w", i, rerr, semanticErr)
-			}
+		}
+		if divergedErr != nil {
+			return divergedErr
 		}
 		return semanticErr
 	}
-	if transportErr != nil {
-		// NO rollback: the batch is identified and durable on every engine
-		// that took it, and the unreachable worker either holds it (its
-		// log replays it on reboot, and a later re-send of the id is a
-		// no-op) or missed it entirely — which the watermark-agreement
-		// check at the next assembly reports for exactly-targeted repair,
-		// instead of the old fleet-wide rollback that threw away the
-		// healthy engines' acknowledged work.
-		return transportErr
+	if groupLostErr != nil {
+		// NO rollback: the batch is identified and durable on every member
+		// that took it, and an unreachable group either holds it (its log
+		// replays it on reboot, and a later re-send of the id is a no-op)
+		// or missed it entirely — which catch-up replay or the watermark-
+		// agreement check repairs or reports, instead of throwing away the
+		// healthy groups' acknowledged work.
+		return groupLostErr
 	}
 	for i, v := range versions[1:] {
 		if v != versions[0] {
-			return fmt.Errorf("router: engines 0 and %d at versions %d and %d after apply", i+1, versions[0], v)
+			return fmt.Errorf("router: appliers at versions %d and %d after batch %d (replica %d of the ack set)", versions[0], v, batch, i+1)
 		}
 	}
 	return nil
 }
 
-// applyBroadcast sends one identified batch to every engine
-// concurrently, retrying transport failures per engine.
-func (r *Router) applyBroadcast(ctx context.Context, batch uint64, ops []Op) ([]uint64, []error) {
-	versions := make([]uint64, len(r.engines))
-	errs := make([]error, len(r.engines))
+// applyBroadcastLocked sends one identified batch to every current
+// member concurrently, retrying transport failures per member. Demoted
+// members are skipped (counted) — they get the batch later, in order,
+// from the replay ring.
+func (r *Router) applyBroadcastLocked(ctx context.Context, batch uint64, ops []Op) [][]applyResult {
+	out := make([][]applyResult, len(r.groups))
 	var wg sync.WaitGroup
-	for i, e := range r.engines {
-		wg.Add(1)
-		go func(i int, e ShardEngine) {
-			defer wg.Done()
-			for attempt := 0; ; attempt++ {
-				versions[i], errs[i] = e.Apply(ctx, batch, ops)
-				retryable := errors.Is(errs[i], ErrTransport) || errors.Is(errs[i], ErrUnavailable)
-				if errs[i] == nil || !retryable || attempt+1 >= applyAttempts {
-					return
-				}
-				r.applyRetries.Add(1)
-				select {
-				case <-ctx.Done():
-					return
-				case <-time.After(applyRetryDelay):
-				}
+	for gi, g := range r.groups {
+		out[gi] = make([]applyResult, len(g.members))
+		for mi, m := range g.members {
+			if !m.current.Load() {
+				r.applySkips.Add(1)
+				continue
 			}
-		}(i, e)
+			out[gi][mi].attempted = true
+			wg.Add(1)
+			go func(rr *applyResult, e ShardEngine) {
+				defer wg.Done()
+				for attempt := 0; ; attempt++ {
+					rr.version, rr.err = e.Apply(ctx, batch, ops)
+					retryable := errors.Is(rr.err, ErrTransport) || errors.Is(rr.err, ErrUnavailable)
+					if rr.err == nil || !retryable || attempt+1 >= applyAttempts {
+						return
+					}
+					r.applyRetries.Add(1)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(applyRetryDelay):
+					}
+				}
+			}(&out[gi][mi], m.eng)
+		}
 	}
 	wg.Wait()
-	return versions, errs
+	return out
+}
+
+// catchUpLocked tries to bring every demoted, reachable member back to
+// current: probe its durable watermark with Ping, replay the missed
+// batches from the ring in order, republish it so it can serve pinned
+// reads again, and re-admit it to the write broadcast. Members whose
+// gap has left the ring (or that are marked divergent) stay demoted
+// with an operator-facing reason. Caller holds mu.
+func (r *Router) catchUpLocked(ctx context.Context) (readmitted int) {
+	next := r.nextBatch.Load()
+	for _, g := range r.groups {
+		for _, m := range g.members {
+			if m.current.Load() || m.divergent.Load() {
+				continue
+			}
+			_, last, err := m.eng.Ping(ctx)
+			if err != nil {
+				continue // still unreachable; next pass retries
+			}
+			if last > next {
+				m.markDivergent(fmt.Sprintf("replica watermark %d is ahead of the router's %d; another writer touched it — restore from a fleet peer", last, next))
+				continue
+			}
+			caught := true
+			for id := last + 1; id <= next; id++ {
+				ops, ok := r.ring.get(id)
+				if !ok {
+					m.setLag(fmt.Sprintf("missed batch %d, which has left the %d-batch replay ring; restore from a fleet peer", id, len(r.ring.entries)))
+					caught = false
+					break
+				}
+				if _, aerr := m.eng.Apply(ctx, id, ops); aerr != nil {
+					if errors.Is(aerr, ErrTransport) || errors.Is(aerr, ErrUnavailable) {
+						caught = false
+						break // went away again; next pass resumes from its watermark
+					}
+					// Semantic rejection during replay is a decision — the
+					// live members rejected this batch too (the ring holds
+					// its forward ops; the level batch follows as empty).
+				}
+				r.catchupBatches.Add(1)
+			}
+			if !caught {
+				continue
+			}
+			if _, perr := m.eng.Publish(ctx); perr != nil {
+				continue // replayed but not republished; next pass finishes
+			}
+			m.acked.Store(next)
+			m.current.Store(true)
+			m.clearLag()
+			readmitted++
+		}
+	}
+	return readmitted
 }
 
 // AddEdge implements the server's mutator seam.
@@ -357,30 +641,76 @@ func (r *Router) RemoveEdge(u, v graph.NodeID) error {
 	return r.Apply(ctx, []Op{{Remove: true, U: u, V: v}})
 }
 
-// CheckHealth fetches every engine's Meta and validates agreement. It is
-// the per-worker health/version probe behind the background loop and the
-// serving stats.
+// CheckHealth probes every member (Ping also refreshes RemoteEngine
+// health state), demotes current members that fail the probe, runs the
+// catch-up pass, and validates agreement. It returns nil while every
+// group has at least one current member at an agreed version — the
+// replicated fleet is healthy even with individual replicas down.
 func (r *Router) CheckHealth(ctx context.Context) error {
 	if r.fast != nil {
 		return nil
 	}
-	metas, err := r.broadcast(ctx, func(e ShardEngine) (Meta, error) { return e.Meta(ctx) })
-	if err != nil {
-		return err
-	}
-	m0 := metas[0]
-	for i, m := range metas[1:] {
-		if m.Version != m0.Version {
-			return fmt.Errorf("router: engines 0 and %d at versions %d and %d", i+1, m0.Version, m.Version)
+	pings := r.collect(ctx, func(e ShardEngine) (Meta, error) {
+		v, last, err := e.Ping(ctx)
+		return Meta{Version: v, LastBatch: last}, err
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for gi, g := range r.groups {
+		for mi, m := range g.members {
+			if err := pings[gi][mi].err; err != nil && m.current.Load() {
+				m.setLag(fmt.Sprintf("health probe failed: %v", err))
+			}
 		}
 	}
-	return nil
+	readmitted := r.catchUpLocked(ctx)
+	var firstErr error
+	if readmitted > 0 {
+		// Level the published versions and refresh the composite view so
+		// re-admitted members serve pinned reads again immediately.
+		if _, err := r.publishLocked(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	for gi, g := range r.groups {
+		anyCurrent := false
+		for _, m := range g.members {
+			if m.current.Load() {
+				anyCurrent = true
+			}
+		}
+		if !anyCurrent && firstErr == nil {
+			firstErr = fmt.Errorf("router: group %d has no serving replica", gi)
+		}
+	}
+	if readmitted == 0 && firstErr == nil {
+		// Version agreement among current members from this probe round.
+		// Skipped when members were just re-admitted: those pings predate
+		// the republish and would alarm falsely; the next tick verifies.
+		var v0 uint64
+		seen := false
+		for gi, g := range r.groups {
+			for mi, m := range g.members {
+				if !m.current.Load() || pings[gi][mi].err != nil {
+					continue
+				}
+				v := pings[gi][mi].m.Version
+				if !seen {
+					v0, seen = v, true
+				} else if v != v0 {
+					firstErr = fmt.Errorf("router: serving replicas at versions %d and %d", v0, v)
+				}
+			}
+		}
+	}
+	return firstErr
 }
 
 // StartHealth runs CheckHealth every interval on a background goroutine
-// until the returned stop function is called (idempotent). Failures only
-// update the per-engine health state the stats report — the next query or
-// write surfaces the error itself.
+// until the returned stop function is called (idempotent). This is the
+// loop that demotes dead replicas and replays recovered ones back in;
+// failures beyond that only update the per-member state the stats
+// report — the next query or write surfaces the error itself.
 func (r *Router) StartHealth(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 5 * time.Second
@@ -404,57 +734,72 @@ func (r *Router) StartHealth(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(ch) }) }
 }
 
-// Close closes every engine.
+// Close closes every member engine.
 func (r *Router) Close() error {
 	var first error
-	for _, e := range r.engines {
-		if err := e.Close(); err != nil && first == nil {
-			first = err
+	for _, g := range r.groups {
+		for _, m := range g.members {
+			if err := m.eng.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
 }
 
-// WorkerStat is one engine's serving-stats row.
+// WorkerStat is one member's serving-stats row.
 type WorkerStat struct {
 	Addr       string `json:"addr"`
+	Group      int    `json:"group"`
+	Replica    int    `json:"replica"`
 	Healthy    bool   `json:"healthy"`
+	Current    bool   `json:"current"`
+	Acked      uint64 `json:"acked"`
 	Version    uint64 `json:"version"`
 	Shards     int    `json:"shards"`
 	Calls      int64  `json:"calls"`
 	Errors     int64  `json:"errors"`
 	Reconnects int64  `json:"reconnects"`
 	LastError  string `json:"lastError,omitempty"`
+	LagError   string `json:"lagError,omitempty"`
 }
 
-// WorkerStats reports one row per engine for /stats and /metrics.
+// WorkerStats reports one row per member for /stats and /metrics.
 func (r *Router) WorkerStats() []WorkerStat {
-	out := make([]WorkerStat, len(r.engines))
+	var out []WorkerStat
 	var owned []int
 	if v := r.cur.Load(); v != nil {
-		owned = make([]int, len(r.engines))
+		owned = make([]int, len(r.groups))
 		for _, o := range v.ownerOf {
 			owned[o]++
 		}
 	}
-	for i, e := range r.engines {
-		st := WorkerStat{Addr: "local", Healthy: true}
-		switch eng := e.(type) {
-		case *RemoteEngine:
-			st.Addr = eng.Addr()
-			st.Healthy = eng.Healthy()
-			st.Version = eng.LastVersion()
-			st.Calls, st.Errors, st.Reconnects = eng.Counters()
-			st.LastError = eng.LastError()
-		case *LocalEngine:
-			if snap := eng.st.Current(); snap != nil {
-				st.Version = snap.Version()
+	for gi, g := range r.groups {
+		for mi, m := range g.members {
+			st := WorkerStat{
+				Addr: "local", Healthy: true,
+				Group: gi, Replica: mi,
+				Current:  m.current.Load(),
+				Acked:    m.acked.Load(),
+				LagError: m.lagErrText(),
 			}
+			switch eng := m.eng.(type) {
+			case *RemoteEngine:
+				st.Addr = eng.Addr()
+				st.Healthy = eng.Healthy()
+				st.Version = eng.LastVersion()
+				st.Calls, st.Errors, st.Reconnects = eng.Counters()
+				st.LastError = eng.LastError()
+			case *LocalEngine:
+				if snap := eng.st.Current(); snap != nil {
+					st.Version = snap.Version()
+				}
+			}
+			if owned != nil {
+				st.Shards = owned[gi]
+			}
+			out = append(out, st)
 		}
-		if owned != nil {
-			st.Shards = owned[i]
-		}
-		out[i] = st
 	}
 	return out
 }
@@ -465,10 +810,21 @@ type Counters struct {
 	ShardFetchErrors int64
 	WalkSegments     int64
 	WalkHandoffs     int64
-	// ApplyRetries counts per-engine re-sends of an identified batch
+	// ApplyRetries counts per-member re-sends of an identified batch
 	// after a transport failure — each one is a lost-reply window the
 	// batch ids closed.
 	ApplyRetries int64
+	// Failovers counts reads retried on another replica after a
+	// retryable failure; HedgesSent/HedgesWon count speculative
+	// duplicate reads and how many beat the primary.
+	Failovers  int64
+	HedgesSent int64
+	HedgesWon  int64
+	// ApplySkips counts write broadcasts that skipped a demoted member;
+	// CatchupBatches counts batches replayed from the ring to bring
+	// members back to current.
+	ApplySkips     int64
+	CatchupBatches int64
 }
 
 // Counters reports the read/write-path counters for /metrics.
@@ -479,6 +835,11 @@ func (r *Router) Counters() Counters {
 		WalkSegments:     r.walkSegments.Load(),
 		WalkHandoffs:     r.walkHandoffs.Load(),
 		ApplyRetries:     r.applyRetries.Load(),
+		Failovers:        r.failovers.Load(),
+		HedgesSent:       r.hedgesSent.Load(),
+		HedgesWon:        r.hedgesWon.Load(),
+		ApplySkips:       r.applySkips.Load(),
+		CatchupBatches:   r.catchupBatches.Load(),
 	}
 }
 
@@ -492,8 +853,8 @@ func (r *Router) Distributed() bool { return r.fast == nil }
 func (r *Router) LocalStore() *shard.Store { return r.fast }
 
 // View is the composite read side the generic path serves: the shape and
-// version agreed by every engine, plus per-shard adjacency blocks that
-// fault in from their owners on first touch and stay cached for the
+// version agreed by every group, plus per-shard adjacency blocks that
+// fault in from their owner group on first touch and stay cached for the
 // generation. It implements graph.VersionedView for shape readers
 // (stats, validation) and core.QueryBinder so queries run through a
 // BoundView that carries their context and budget meter.
@@ -503,7 +864,7 @@ type View struct {
 	edges   int64
 	version uint64
 	shift   uint32
-	ownerOf []int32
+	ownerOf []int32 // shard -> group index
 	blocks  []blockSlot
 }
 
@@ -524,8 +885,8 @@ func (v *View) NumEdges() int64 { return v.edges }
 func (v *View) Version() uint64 { return v.version }
 
 // block returns shard p's adjacency block, fetching it from the owner
-// engine on first touch. Concurrent first touches single-flight on the
-// slot mutex.
+// group (any replica, with failover) on first touch. Concurrent first
+// touches single-flight on the slot mutex.
 func (v *View) block(ctx context.Context, p int) (*graph.CSRShard, error) {
 	slot := &v.blocks[p]
 	if b := slot.ptr.Load(); b != nil {
@@ -537,7 +898,10 @@ func (v *View) block(ctx context.Context, p int) (*graph.CSRShard, error) {
 		return b, nil
 	}
 	v.r.shardFetches.Add(1)
-	csr, err := v.r.engines[v.ownerOf[p]].ResolveShard(ctx, v.version, p)
+	g := v.r.groups[v.ownerOf[p]]
+	csr, err := groupRead(v.r, ctx, g, func(ctx context.Context, e ShardEngine) (graph.CSRShard, error) {
+		return e.ResolveShard(ctx, v.version, p)
+	})
 	if err != nil {
 		v.r.shardFetchErrors.Add(1)
 		return nil, err
@@ -663,26 +1027,47 @@ func (b *BoundView) InDegree(nd graph.NodeID) int { return len(b.InNeighbors(nd)
 func (b *BoundView) OutDegree(nd graph.NodeID) int { return len(b.OutNeighbors(nd)) }
 
 // WalkSegment implements walk.SegmentedView: the walk steps on the
-// engine owning its current node, with the remaining budget propagated
-// in the request header and the SplitMix64 state carried across
-// engines. An engine failure ends the walk and latches the error.
+// group owning its current node (any replica — the SplitMix64 state
+// travels in the request, so every replica draws the same steps), with
+// the remaining budget propagated in the request header. A group-wide
+// failure ends the walk and latches the error.
 func (b *BoundView) WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) ([]graph.NodeID, uint64, bool) {
 	v := b.view
-	eng := v.r.engines[v.ownerOf[uint32(cur)>>v.shift]]
+	g := v.r.groups[v.ownerOf[uint32(cur)>>v.shift]]
+	in := buf
+	if len(g.members) > 1 {
+		// Hedged or failover attempts may run concurrently; two appends
+		// into the same backing array would race, so cap the slice and
+		// let each attempt's append allocate its own. Singleton groups
+		// keep the zero-copy append.
+		in = buf[:len(buf):len(buf)]
+	}
 	before := len(buf)
-	out, newState, status, err := eng.WalkSegment(b.ctx, v.version, b.m.Export(), sqrtC, cur, state, room, buf)
+	type segResult struct {
+		out    []graph.NodeID
+		state  uint64
+		status SegmentStatus
+	}
+	res, err := groupRead(v.r, b.ctx, g, func(ctx context.Context, e ShardEngine) (segResult, error) {
+		out, st, status, err := e.WalkSegment(ctx, v.version, b.m.Export(), sqrtC, cur, state, room, in)
+		return segResult{out: out, state: st, status: status}, err
+	})
 	if err != nil {
 		b.fail(err)
+		out := res.out
+		if out == nil {
+			out = buf
+		}
 		return out, state, true
 	}
 	v.r.walkSegments.Add(1)
-	if status == SegmentHandoff {
-		if len(out) == before {
+	if res.status == SegmentHandoff {
+		if len(res.out) == before {
 			b.fail(fmt.Errorf("router: walk segment handoff without progress at node %d", cur))
-			return out, newState, true
+			return res.out, res.state, true
 		}
 		v.r.walkHandoffs.Add(1)
-		return out, newState, false
+		return res.out, res.state, false
 	}
-	return out, newState, true
+	return res.out, res.state, true
 }

@@ -212,6 +212,16 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		}
 		return metaReply(Meta{Version: version, LastBatch: req.Batch})
 
+	case rpcwire.TPing:
+		if _, err := rpcwire.DecodePingRequest(payload); err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		version, lastBatch, err := s.eng.Ping(context.Background())
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return rpcwire.TPingRep, rpcwire.PingReply{Version: version, LastBatch: lastBatch}.Append(out)
+
 	case rpcwire.TPublish:
 		req, err := rpcwire.DecodeMetaRequest(payload)
 		if err != nil {

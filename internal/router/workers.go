@@ -1,0 +1,41 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseGroups parses the -workers replica-group grammar shared by the
+// CLI binaries: semicolons separate replica groups, commas separate the
+// replicas inside one. Every replica in a group serves the same shard
+// stride (group index = position in the semicolon list), so
+//
+//	"a:9101,b:9101;c:9101,d:9101"
+//
+// is two groups of two replicas. NOTE the grammar change from the
+// unreplicated fleet layout: "a:9101,b:9101" used to mean two shard
+// owners and now means one doubly-replicated owner of everything —
+// sharded-but-unreplicated fleets must switch commas to semicolons
+// ("a:9101;b:9101"), as the smoke scripts did.
+func ParseGroups(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("router: empty -workers spec")
+	}
+	var groups [][]string
+	for gi, gspec := range strings.Split(spec, ";") {
+		gspec = strings.TrimSpace(gspec)
+		if gspec == "" {
+			return nil, fmt.Errorf("router: -workers group %d is empty", gi)
+		}
+		var members []string
+		for mi, addr := range strings.Split(gspec, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("router: -workers group %d replica %d is empty", gi, mi)
+			}
+			members = append(members, addr)
+		}
+		groups = append(groups, members)
+	}
+	return groups, nil
+}

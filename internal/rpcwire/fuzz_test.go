@@ -88,6 +88,8 @@ func FuzzDecodeMessages(f *testing.F) {
 	f.Add(WalkReply{State: 9, Status: WalkHandoff, Nodes: []graph.NodeID{1, 2}}.Append(nil))
 	f.Add(ApplyRequest{Budget: h, Batch: 11, Ops: []Op{{U: 1, V: 2}, {Remove: true, U: 3, V: 4}}}.Append(nil))
 	f.Add(ErrorReply{Code: CodeRetiredGen, Msg: "gone"}.Append(nil))
+	f.Add(PingRequest{Budget: h}.Append(nil))
+	f.Add(PingReply{Version: 8, LastBatch: 13}.Append(nil))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if m, err := DecodeMetaRequest(data); err == nil {
 			// MetaRequest rejects trailing bytes, so a successful decode
@@ -127,6 +129,15 @@ func FuzzDecodeMessages(f *testing.F) {
 		}
 		if m, err := DecodeErrorReply(data); err == nil {
 			prefix("ErrorReply", m.Append(nil))
+		}
+		if m, err := DecodePingRequest(data); err == nil {
+			// PingRequest rejects trailing bytes like MetaRequest.
+			if out := m.Append(nil); !bytes.Equal(out, data) {
+				t.Fatalf("PingRequest: decode/encode changed %x -> %x", data, out)
+			}
+		}
+		if m, err := DecodePingReply(data); err == nil {
+			prefix("PingReply", m.Append(nil))
 		}
 	})
 }

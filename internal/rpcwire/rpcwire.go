@@ -42,6 +42,8 @@ const (
 	TApply                     // ApplyRequest -> MetaReply: apply edge mutations
 	TPublish                   // PublishRequest -> MetaReply: republish + report
 	TErr                       // ErrorReply
+	TPing                      // PingRequest -> PingReply: version/watermark probe
+	TPingRep                   // PingReply
 )
 
 // Error codes carried by TErr frames.
@@ -436,6 +438,47 @@ func DecodeApplyRequest(b []byte) (ApplyRequest, error) {
 		v := graph.NodeID(int32(d.u32()))
 		m.Ops = append(m.Ops, Op{Remove: k == 1, U: u, V: v})
 	}
+	return m, d.err
+}
+
+// PingRequest asks an engine for its version and durable watermark: the
+// health-loop and replica catch-up probe. Unlike TMeta it does not pin a
+// snapshot generation and carries no ownership list, so it stays cheap
+// enough to fire every health tick against every fleet member.
+type PingRequest struct {
+	Budget budget.Header
+}
+
+func (m PingRequest) Append(b []byte) []byte { return m.Budget.AppendBinary(b) }
+
+func DecodePingRequest(b []byte) (PingRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return PingRequest{}, err
+	}
+	if len(rest) != 0 {
+		return PingRequest{}, fmt.Errorf("rpcwire: %d trailing bytes in ping request", len(rest))
+	}
+	return PingRequest{Budget: h}, nil
+}
+
+// PingReply reports the published snapshot version and the durable
+// apply-once watermark. The router's health loop uses the pair to decide
+// demotion, re-admission and how far a recovering replica must be caught
+// up from the replay ring.
+type PingReply struct {
+	Version   uint64
+	LastBatch uint64
+}
+
+func (m PingReply) Append(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	return binary.LittleEndian.AppendUint64(b, m.LastBatch)
+}
+
+func DecodePingReply(b []byte) (PingReply, error) {
+	d := dec{b: b}
+	m := PingReply{Version: d.u64(), LastBatch: d.u64()}
 	return m, d.err
 }
 

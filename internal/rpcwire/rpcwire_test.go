@@ -118,6 +118,22 @@ func TestApplyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPingRoundTrip(t *testing.T) {
+	req := PingRequest{Budget: budget.Header{Remaining: 80 * time.Millisecond}}
+	got, err := DecodePingRequest(req.Append(nil))
+	if err != nil || got != req {
+		t.Fatalf("ping request: %+v err %v", got, err)
+	}
+	if _, err := DecodePingRequest(append(req.Append(nil), 0)); err == nil {
+		t.Fatal("ping request with trailing bytes accepted")
+	}
+	rep := PingReply{Version: 11, LastBatch: 42}
+	gotRep, err := DecodePingReply(rep.Append(nil))
+	if err != nil || gotRep != rep {
+		t.Fatalf("ping reply: %+v err %v", gotRep, err)
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	rep := ErrorReply{Code: CodeRetiredGen, Msg: "generation 41 retired"}
 	got, err := DecodeErrorReply(rep.Append(nil))

@@ -389,7 +389,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.rt != nil && s.rt.Distributed() {
 			workers := s.rt.WorkerStats()
-			label := func(ws router.WorkerStat) string { return fmt.Sprintf("worker=%q", ws.Addr) }
+			// worker stays the FIRST label (dashboards and the smoke tests
+			// match on it); group/replica identify the member's slot in the
+			// replicated topology.
+			label := func(ws router.WorkerStat) string {
+				return fmt.Sprintf("worker=%q,group=\"%d\",replica=\"%d\"", ws.Addr, ws.Group, ws.Replica)
+			}
 			sample := func(v func(router.WorkerStat) int64) []metrics.Sample {
 				out := make([]metrics.Sample, len(workers))
 				for i, ws := range workers {
@@ -400,6 +405,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteLabeled(out, "probesim_router_worker_up", "1 when the worker's last call or health probe succeeded.", "gauge",
 				sample(func(ws router.WorkerStat) int64 {
 					if ws.Healthy {
+						return 1
+					}
+					return 0
+				}))
+			metrics.WriteLabeled(out, "probesim_router_worker_current", "1 when the replica has taken every identified batch in order and serves direct writes.", "gauge",
+				sample(func(ws router.WorkerStat) int64 {
+					if ws.Current {
 						return 1
 					}
 					return 0
@@ -420,6 +432,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteCounter(out, "probesim_router_walk_segments_total", "Walk segments sampled on workers.", rc.WalkSegments)
 			metrics.WriteCounter(out, "probesim_router_walk_handoffs_total", "Walks handed off across shard owners.", rc.WalkHandoffs)
 			metrics.WriteCounter(out, "probesim_router_apply_retries_total", "Identified batches re-sent to a worker after a transport failure.", rc.ApplyRetries)
+			metrics.WriteCounter(out, "probesim_router_failovers_total", "Reads retried on another replica after a retryable failure.", rc.Failovers)
+			metrics.WriteCounter(out, "probesim_router_hedges_sent_total", "Speculative duplicate reads launched after the hedge delay.", rc.HedgesSent)
+			metrics.WriteCounter(out, "probesim_router_hedges_won_total", "Hedged reads that answered before the primary.", rc.HedgesWon)
+			metrics.WriteCounter(out, "probesim_router_apply_skipped_total", "Write broadcasts that skipped a demoted replica (the ring replays it later).", rc.ApplySkips)
+			metrics.WriteCounter(out, "probesim_router_catchup_batches_total", "Ring batches replayed to lagging replicas during catch-up.", rc.CatchupBatches)
 		}
 	})
 }

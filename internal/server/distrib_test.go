@@ -112,7 +112,10 @@ func TestRoutedStatsAndMetrics(t *testing.T) {
 	rec, _ := do2(routed, http.MethodGet, "/metrics")
 	page := rec.Body.String()
 	for _, want := range []string{
-		"probesim_router_worker_up{worker=\"local\"} 1",
+		"probesim_router_worker_up{worker=\"local\",group=\"0\",replica=\"0\"} 1",
+		"probesim_router_worker_current{worker=\"local\",group=\"0\",replica=\"0\"} 1",
+		"probesim_router_failovers_total",
+		"probesim_router_hedges_sent_total",
 		"probesim_router_shard_fetches_total",
 		"probesim_router_walk_segments_total",
 		"probesim_router_worker_calls_total",

@@ -272,16 +272,18 @@ func (s *Server) handleEdgeBatch(w http.ResponseWriter, r *http.Request) {
 		if err := s.rt.Apply(context.Background(), rops); err != nil {
 			unlock()
 			if errors.Is(err, router.ErrTransport) || errors.Is(err, router.ErrUnavailable) {
-				// A worker stayed unreachable through the retry budget: the
-				// batch is NOT acknowledged fleet-wide, but the engines that
-				// took it HOLD it durably — so this deliberately carries no
-				// Retry-After: re-POSTing the same ops would get a fresh
-				// batch id and double-apply on the workers that already hold
-				// the original (parallel edges are legal, so the damage is
-				// silent). The client must verify state (or wait for the
-				// watermark check to name the lagging worker) before
-				// re-submitting.
-				writeError(w, http.StatusBadGateway, fmt.Errorf("batch partially acknowledged (appliers hold it durably); do not blindly re-submit — verify before retrying: %v", err))
+				// An entire replica group stayed unreachable through the
+				// retry budget: the batch is NOT acknowledged fleet-wide,
+				// but every replica that took it HOLDS it durably (a single
+				// unreachable replica is no longer an error — its group
+				// peers ack and the ring replays it later). This
+				// deliberately carries no Retry-After: re-POSTing the same
+				// ops would get a fresh batch id and double-apply on the
+				// replicas that already hold the original (parallel edges
+				// are legal, so the damage is silent). The client must
+				// verify state (or wait for the health pass to name the
+				// lost group) before re-submitting.
+				writeError(w, http.StatusBadGateway, fmt.Errorf("batch partially acknowledged (surviving appliers hold it durably); do not blindly re-submit — verify before retrying: %v", err))
 				return
 			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("batch rejected: %v", err))

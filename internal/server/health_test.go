@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"probesim/internal/core"
+	"probesim/internal/graph"
+)
+
+// TestProbesOnServerMux: /healthz and /readyz ride the server's own
+// mux, readiness starts true, and SetDraining flips /readyz to 503
+// while /healthz (and the query routes) stay up — the drain ordering
+// cmd/probesim-server relies on.
+func TestProbesOnServerMux(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(g, core.Options{Seed: 1, NumWalks: 50}, 4, 10)
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", code)
+	}
+	s.Health().SetDraining()
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d", code)
+	}
+	if code := get("/topk?u=0&k=2"); code != http.StatusOK {
+		t.Fatalf("query while draining must still serve (drain lets in-flight finish): %d", code)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"probesim/internal/core"
 	"probesim/internal/graph"
+	"probesim/internal/health"
 	"probesim/internal/metrics"
 	"probesim/internal/router"
 	"probesim/internal/shard"
@@ -82,6 +83,12 @@ type Server struct {
 	// degraded admissions — the accuracy distribution operators watch
 	// under pressure (probesim_degraded_epsa on /metrics).
 	epsaHist *metrics.ValueHistogram
+
+	// hstate backs /healthz and /readyz: liveness is unconditional, and
+	// readiness starts true (newServer returns a fully usable server) but
+	// flips off the moment the owning process begins a graceful drain —
+	// BEFORE listeners close, so load balancers stop routing first.
+	hstate health.State
 
 	// wal, when set (SetWAL), is the durability point of the in-process
 	// write path: every edge batch is appended (and fsynced, per policy)
@@ -154,9 +161,18 @@ func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options
 	s.handle("/edges", classWrite, s.handleEdges)
 	s.handle("/stats", classMeta, s.handleStats)
 	s.handle("/metrics", classMeta, s.handleMetrics)
+	// Probes bypass admission control and instrumentation entirely: an
+	// orchestrator must get an answer even when the server is saturated.
+	s.hstate.SetReady(true)
+	s.hstate.Register(s.mux)
 	s.registerExtra()
 	return s
 }
+
+// Health exposes the server's liveness/readiness state so the owning
+// process can flip readiness off (SetDraining) before it stops
+// listening, and orchestrators can probe /healthz and /readyz.
+func (s *Server) Health() *health.State { return &s.hstate }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -464,6 +480,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["routerWalkSegments"] = rc.WalkSegments
 		body["routerWalkHandoffs"] = rc.WalkHandoffs
 		body["routerApplyRetries"] = rc.ApplyRetries
+		// Replicated read plane: failover/hedging activity and the write
+		// plane's replica book-keeping (skipped demoted members, ring
+		// batches replayed to re-admit them).
+		body["routerFailovers"] = rc.Failovers
+		body["routerHedgesSent"] = rc.HedgesSent
+		body["routerHedgesWon"] = rc.HedgesWon
+		body["routerApplySkips"] = rc.ApplySkips
+		body["routerCatchupBatches"] = rc.CatchupBatches
 	}
 	writeJSON(w, http.StatusOK, body)
 }

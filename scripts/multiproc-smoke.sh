@@ -46,7 +46,9 @@ wait_tcp 127.0.0.1 "$W0"
 wait_tcp 127.0.0.1 "$W1"
 
 echo "== starting servers"
-"$TMP/bin/probesim-server" -workers "127.0.0.1:$W0,127.0.0.1:$W1" -addr "127.0.0.1:$ROUTED" -epsa 0.3 &
+# Semicolon = two single-replica shard groups (comma would mean two
+# replicas of ONE group under the replicated -workers grammar).
+"$TMP/bin/probesim-server" -workers "127.0.0.1:$W0;127.0.0.1:$W1" -addr "127.0.0.1:$ROUTED" -epsa 0.3 &
 PIDS+=($!)
 "$TMP/bin/probesim-server" -graph "$TMP/g.txt" -shards 16 -addr "127.0.0.1:$SINGLE" -epsa 0.3 &
 PIDS+=($!)
@@ -82,11 +84,15 @@ curl -sf -X POST "http://127.0.0.1:$SINGLE/edges?u=3&v=1998" >/dev/null
 check "/topk?u=3&k=10"
 
 echo "== router observability"
-curl -sf "http://127.0.0.1:$ROUTED/metrics" | grep -q 'probesim_router_worker_up{worker="127.0.0.1:' || {
+# Capture, THEN grep: `curl | grep -q` under pipefail dies of SIGPIPE
+# when grep quits at the first match before curl finishes writing.
+METRICS="$(curl -sf "http://127.0.0.1:$ROUTED/metrics")"
+echo "$METRICS" | grep -q 'probesim_router_worker_up{worker="127.0.0.1:' || {
   echo "routed /metrics missing per-worker gauges" >&2
   exit 1
 }
-curl -sf "http://127.0.0.1:$ROUTED/stats" | grep -q 'routerWorkers' || {
+STATS="$(curl -sf "http://127.0.0.1:$ROUTED/stats")"
+echo "$STATS" | grep -q 'routerWorkers' || {
   echo "routed /stats missing routerWorkers" >&2
   exit 1
 }
