@@ -96,7 +96,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -105,12 +105,20 @@ import (
 	"time"
 
 	"probesim"
+	"probesim/internal/obs"
 	"probesim/internal/persist"
+	"probesim/internal/qtrace"
 	"probesim/internal/router"
 	"probesim/internal/server"
 	"probesim/internal/shard"
 	"probesim/internal/wal"
 )
+
+// fatal logs at error level and exits — the slog-era log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -148,8 +156,17 @@ func main() {
 		maxWork      = flag.Int64("max-probe-work", 0, "per-query cap on probe edge traversals (0 = uncapped)")
 		eagerSpans   = flag.Bool("eager-spans", false, "with -shards: materialize snapshot span arrays in the background after each publication")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; bypasses admission control)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log every query slower than this as a structured slow_query record (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0, "probability an ordinary query records a full span trace; ?trace=1 always does")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(*logFormat); err != nil {
+		fmt.Fprintf(os.Stderr, "probesim-server: %v\n", err)
+		os.Exit(1)
+	}
 	if *path == "" && *workers == "" && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph (or -workers, or a recoverable -data-dir)")
 		os.Exit(1)
@@ -163,11 +180,11 @@ func main() {
 		// Routed topology: the graph lives on the probesim-shardd workers;
 		// this process only routes, merges and caches. -graph is ignored.
 		if *dataDir != "" {
-			log.Fatal("probesim-server: -data-dir belongs on the workers in routed mode (probesim-shardd -data-dir); the routing tier keeps no durable state")
+			fatal("-data-dir belongs on the workers in routed mode (probesim-shardd -data-dir); the routing tier keeps no durable state")
 		}
 		specs, err := router.ParseGroups(*workers)
 		if err != nil {
-			log.Fatalf("probesim-server: %v", err)
+			fatal("parsing -workers", "err", err)
 		}
 		groups := make([][]router.ShardEngine, len(specs))
 		nworkers, replicated := 0, false
@@ -182,7 +199,7 @@ func main() {
 		}
 		rt, err := router.NewReplicated(groups)
 		if err != nil {
-			log.Fatalf("probesim-server: assembling worker topology: %v", err)
+			fatal("assembling worker topology", "err", err)
 		}
 		if *hedge && replicated {
 			rt.SetHedge(router.HedgePolicy{Enabled: true, MinDelay: *hedgeMin, MaxDelay: *hedgeMax})
@@ -191,9 +208,11 @@ func main() {
 		defer stopHealth()
 		srv = server.NewRouted(rt, opt, *cacheCap, *limit)
 		snap := rt.PublishedView()
-		log.Printf("probesim-server: routing n=%d m=%d v=%d on %s across %d groups / %d workers (hedge=%v) (%s)",
-			snap.NumNodes(), snap.NumEdges(), snap.Version(), *addr, len(groups), nworkers, *hedge && replicated, *workers)
-		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, nil)
+		slog.Info("routing",
+			"nodes", snap.NumNodes(), "edges", snap.NumEdges(), "version", snap.Version(),
+			"addr", *addr, "groups", len(groups), "workers", nworkers,
+			"hedge", *hedge && replicated, "topology", *workers)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, nil)
 		return
 	}
 	loadGraph := func() (*probesim.Graph, error) {
@@ -217,22 +236,24 @@ func main() {
 		// before its 200.
 		if *shards <= 0 {
 			*shards = 16
-			log.Printf("probesim-server: -data-dir requires the sharded backend; defaulting -shards=%d", *shards)
+			slog.Info("-data-dir requires the sharded backend; defaulting shards", "shards", *shards)
 		}
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("parsing -fsync", "err", err)
 		}
 		st, lg, rstats, err := persist.OpenStore(*dataDir, *shards, *rebuildW,
 			wal.Options{Sync: policy, SyncEvery: *fsyncIvl, SegmentBytes: *segBytes}, loadGraph)
 		if err != nil {
-			log.Fatalf("probesim-server: opening %s: %v", *dataDir, err)
+			fatal("opening data dir", "dir", *dataDir, "err", err)
 		}
 		if rstats.Bootstrapped {
-			log.Printf("probesim-server: bootstrapped %s from %s (initial checkpoint written)", *dataDir, *path)
+			slog.Info("bootstrapped data dir (initial checkpoint written)", "dir", *dataDir, "graph", *path)
 		} else {
-			log.Printf("probesim-server: recovered %s: checkpoint through batch %d, replayed %d log batches (%d skipped, %d torn bytes dropped), watermark %d",
-				*dataDir, rstats.CheckpointThrough, rstats.Replayed, rstats.ReplaySkipped, rstats.TornBytes, rstats.LastBatch)
+			slog.Info("recovered data dir",
+				"dir", *dataDir, "checkpoint_through", rstats.CheckpointThrough,
+				"replayed", rstats.Replayed, "skipped", rstats.ReplaySkipped,
+				"torn_bytes", rstats.TornBytes, "watermark", rstats.LastBatch)
 		}
 		if *eagerSpans {
 			st.EnableEagerSpans()
@@ -240,21 +261,22 @@ func main() {
 		ck := persist.StartCheckpointer(st, lg, *ckptEvery, time.Second)
 		srv = server.NewSharded(st, opt, *cacheCap, *limit)
 		srv.SetWAL(lg)
-		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, durable: fsync=%s checkpoint-every=%d)",
-			st.NumNodes(), st.NumEdges(), *addr, st.NumShards(), policy, *ckptEvery)
-		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, func() {
+		slog.Info("serving",
+			"nodes", st.NumNodes(), "edges", st.NumEdges(), "addr", *addr,
+			"shards", st.NumShards(), "fsync", policy.String(), "checkpoint_every", *ckptEvery)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, func() {
 			if err := ck.Stop(); err != nil {
-				log.Printf("probesim-server: final checkpoint: %v", err)
+				slog.Error("final checkpoint", "err", err)
 			}
 			if err := lg.Close(); err != nil {
-				log.Printf("probesim-server: closing wal: %v", err)
+				slog.Error("closing wal", "err", err)
 			}
 		})
 		return
 	}
 	g, err := loadGraph()
 	if err != nil {
-		log.Fatal(err)
+		fatal("loading graph", "err", err)
 	}
 	if *shards > 0 {
 		st := shard.NewStore(g, *shards, *rebuildW)
@@ -262,14 +284,15 @@ func main() {
 			st.EnableEagerSpans()
 		}
 		srv = server.NewSharded(st, opt, *cacheCap, *limit)
-		log.Printf("probesim-server: serving n=%d m=%d on %s (%d shards, stride %d, eager-spans=%v)",
-			g.NumNodes(), g.NumEdges(), *addr, st.NumShards(), st.Partition().Stride(), *eagerSpans)
+		slog.Info("serving",
+			"nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr,
+			"shards", st.NumShards(), "stride", st.Partition().Stride(), "eager_spans", *eagerSpans)
 	} else {
 		srv = server.New(g, opt, *cacheCap, *limit)
-		log.Printf("probesim-server: serving n=%d m=%d on %s (monolithic snapshot)",
-			g.NumNodes(), g.NumEdges(), *addr)
+		slog.Info("serving",
+			"nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr, "backend", "monolithic")
 	}
-	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, nil)
+	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, nil)
 }
 
 // serve installs the admission limits and runs the HTTP server with
@@ -277,7 +300,7 @@ func main() {
 // topologies. cleanup, when non-nil, runs after the drain completes —
 // the durable path uses it to take a final checkpoint and close the log
 // so the next boot replays nothing.
-func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration, cleanup func()) {
+func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration, traceSlow *time.Duration, traceSample *float64, debugAddr *string, cleanup func()) {
 	srv.SetLimits(server.Limits{
 		MaxInflight:     *maxInflight,
 		SoftInflight:    *softInflight,
@@ -286,8 +309,26 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 		MaxWriteQueue:   *maxWriteQ,
 		QueryTimeout:    *queryTimeout,
 	})
-	log.Printf("probesim-server: limits: query-timeout=%v max-inflight=%d soft-inflight=%d degrade-factor=%g max-join-inflight=%d max-write-queue=%d",
-		*queryTimeout, *maxInflight, *softInflight, *degradeF, *maxJoins, *maxWriteQ)
+	// Tracing is always armed: ?trace=1 must work without a restart, and
+	// the armed-but-unsampled path costs one id draw and a header per
+	// request. -trace-slow/-trace-sample add the slow-query log and
+	// probabilistic sampling on top.
+	srv.SetTracer(qtrace.NewTracer(*traceSlow, *traceSample, 0, nil))
+	if *debugAddr != "" {
+		ln, err := obs.ListenDebug(*debugAddr, map[string]http.Handler{
+			"/debug/queries": http.HandlerFunc(srv.ServeHTTP),
+		})
+		if err != nil {
+			fatal("debug listener", "addr", *debugAddr, "err", err)
+		}
+		slog.Info("pprof", "addr", ln.Addr().String())
+		defer ln.Close()
+	}
+	slog.Info("limits",
+		"query_timeout", *queryTimeout, "max_inflight", *maxInflight,
+		"soft_inflight", *softInflight, "degrade_factor", *degradeF,
+		"max_join_inflight", *maxJoins, "max_write_queue", *maxWriteQ,
+		"trace_slow", *traceSlow, "trace_sample", *traceSample)
 
 	// Every request context descends from baseCtx via BaseContext, so the
 	// shutdown path below can cancel straggling queries through the same
@@ -309,13 +350,13 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 	var err error
 	select {
 	case err = <-errCh:
-		log.Fatal(err)
+		fatal("listen", "err", err)
 	case <-procCtx.Done():
 	}
 	// Readiness goes 503 first: a load balancer polling /readyz stops
 	// routing to this instance before the listener starts refusing.
 	srv.Health().SetDraining()
-	log.Printf("probesim-server: signal received, draining in-flight requests (up to %v)", *drainTO)
+	slog.Info("signal received, draining in-flight requests", "drain_timeout", *drainTO)
 	// Shutdown stops the listener and waits for in-flight handlers up to
 	// the drain deadline. Past it, cancel baseCtx: every straggler's
 	// query stops at its next kernel checkpoint and unwinds (499), after
@@ -325,18 +366,18 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 	err = hs.Shutdown(drainCtx)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		log.Printf("probesim-server: drain window expired; canceling straggling queries")
+		slog.Warn("drain window expired; canceling straggling queries")
 		cancelBase()
 		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancelFinal()
 		if err := hs.Shutdown(finalCtx); err != nil {
-			log.Printf("probesim-server: forced shutdown: %v", err)
+			slog.Error("forced shutdown", "err", err)
 		}
 	case err != nil:
-		log.Printf("probesim-server: shutdown: %v", err)
+		slog.Error("shutdown", "err", err)
 	}
 	if cleanup != nil {
 		cleanup()
 	}
-	log.Printf("probesim-server: bye")
+	slog.Info("bye")
 }

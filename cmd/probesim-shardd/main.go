@@ -48,7 +48,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,11 +58,19 @@ import (
 
 	"probesim"
 	"probesim/internal/health"
+	"probesim/internal/obs"
 	"probesim/internal/persist"
+	"probesim/internal/qtrace"
 	"probesim/internal/router"
 	"probesim/internal/shard"
 	"probesim/internal/wal"
 )
+
+// fatal logs at error level and exits — the slog-era log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -82,8 +90,17 @@ func main() {
 		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync=interval")
 		ckptEvery = flag.Int64("checkpoint-every", 1024, "checkpoint after this many batches beyond the last checkpoint")
 		segBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
+
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /debug/queries on this address (empty = off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log every request slower than this as a structured slow_query record (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0, "probability an untraced request records a local span trace; router-traced requests always record")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(*logFormat); err != nil {
+		fmt.Fprintf(os.Stderr, "probesim-shardd: %v\n", err)
+		os.Exit(1)
+	}
 	if *path == "" && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "probesim-shardd: missing -graph (or a recoverable -data-dir)")
 		os.Exit(1)
@@ -116,25 +133,27 @@ func main() {
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("parsing -fsync", "err", err)
 		}
 		var rstats persist.RecoveryStats
 		st, lg, rstats, err = persist.OpenStore(*dataDir, *shards, *rebuildW,
 			wal.Options{Sync: policy, SyncEvery: *fsyncIvl, SegmentBytes: *segBytes}, loadGraph)
 		if err != nil {
-			log.Fatalf("probesim-shardd: opening %s: %v", *dataDir, err)
+			fatal("opening data dir", "dir", *dataDir, "err", err)
 		}
 		if rstats.Bootstrapped {
-			log.Printf("probesim-shardd: bootstrapped %s from %s (initial checkpoint written)", *dataDir, *path)
+			slog.Info("bootstrapped data dir (initial checkpoint written)", "dir", *dataDir, "graph", *path)
 		} else {
-			log.Printf("probesim-shardd: recovered %s: checkpoint through batch %d, replayed %d log batches (%d skipped, %d torn bytes dropped), watermark %d",
-				*dataDir, rstats.CheckpointThrough, rstats.Replayed, rstats.ReplaySkipped, rstats.TornBytes, rstats.LastBatch)
+			slog.Info("recovered data dir",
+				"dir", *dataDir, "checkpoint_through", rstats.CheckpointThrough,
+				"replayed", rstats.Replayed, "skipped", rstats.ReplaySkipped,
+				"torn_bytes", rstats.TornBytes, "watermark", rstats.LastBatch)
 		}
 		ck = persist.StartCheckpointer(st, lg, *ckptEvery, time.Second)
 	} else {
 		g, err := loadGraph()
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading graph", "err", err)
 		}
 		st = shard.NewStore(g, *shards, *rebuildW)
 	}
@@ -147,7 +166,22 @@ func main() {
 	}
 	srv, ln, err := router.ListenAndServe(*addr, eng)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *addr, "err", err)
+	}
+	// The worker tracer is always armed: router-traced requests record
+	// spans regardless (they ride the reply back), and this adds the
+	// worker's own slow-request log, local sampling and /debug/queries.
+	tracer := qtrace.NewTracer(*traceSlow, *traceSample, 0, nil)
+	srv.SetTracer(tracer)
+	if *debugAddr != "" {
+		dln, err := obs.ListenDebug(*debugAddr, map[string]http.Handler{
+			"/debug/queries": obs.QueriesHandler(tracer),
+		})
+		if err != nil {
+			fatal("debug listener", "addr", *debugAddr, "err", err)
+		}
+		slog.Info("pprof", "addr", dln.Addr().String())
+		defer dln.Close()
 	}
 	var hstate health.State
 	if *healthAddr != "" {
@@ -155,26 +189,24 @@ func main() {
 		hstate.Register(mux)
 		hln, err := net.Listen("tcp", *healthAddr)
 		if err != nil {
-			log.Fatalf("probesim-shardd: health listener: %v", err)
+			fatal("health listener", "addr", *healthAddr, "err", err)
 		}
 		go func() {
 			if err := http.Serve(hln, mux); err != nil {
-				log.Printf("probesim-shardd: health listener: %v", err)
+				slog.Warn("health listener stopped", "err", err)
 			}
 		}()
 		hstate.SetReady(true)
-		log.Printf("probesim-shardd: probes on http://%s/healthz /readyz", hln.Addr())
+		slog.Info("probes", "addr", hln.Addr().String())
 	}
 	owned := 0
 	for p := *index; p < st.NumShards(); p += *group {
 		owned++
 	}
-	durable := ""
-	if lg != nil {
-		durable = fmt.Sprintf(", durable in %s", *dataDir)
-	}
-	log.Printf("probesim-shardd: serving n=%d m=%d on %s (worker %d/%d, %d of %d shards, stride %d%s)",
-		st.NumNodes(), st.NumEdges(), ln.Addr(), *index, *group, owned, st.NumShards(), st.Partition().Stride(), durable)
+	slog.Info("serving",
+		"nodes", st.NumNodes(), "edges", st.NumEdges(), "addr", ln.Addr().String(),
+		"worker", *index, "group", *group, "owned", owned, "shards", st.NumShards(),
+		"stride", st.Partition().Stride(), "durable", lg != nil)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -182,19 +214,19 @@ func main() {
 	// Readiness drops before the RPC listener closes, so anything
 	// watching /readyz stops routing to this replica first.
 	hstate.SetDraining()
-	log.Printf("probesim-shardd: signal received, closing")
+	slog.Info("signal received, closing")
 	if err := srv.Close(); err != nil {
-		log.Printf("probesim-shardd: close: %v", err)
+		slog.Error("close", "err", err)
 	}
 	if ck != nil {
 		if err := ck.Stop(); err != nil {
-			log.Printf("probesim-shardd: final checkpoint: %v", err)
+			slog.Error("final checkpoint", "err", err)
 		}
 	}
 	if lg != nil {
 		if err := lg.Close(); err != nil {
-			log.Printf("probesim-shardd: closing wal: %v", err)
+			slog.Error("closing wal", "err", err)
 		}
 	}
-	log.Printf("probesim-shardd: bye (%d walk segments budget-stopped)", eng.SegmentsStopped())
+	slog.Info("bye", "segments_budget_stopped", eng.SegmentsStopped())
 }

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"probesim/internal/qtrace"
 )
 
 // ErrBudget reports that a query exhausted an explicit work budget (walk
@@ -82,6 +84,12 @@ type Meter struct {
 	maxWork      int64
 	start        time.Time
 
+	// tr, when non-nil, is the query's sampled trace recorder. The meter
+	// carries it so kernels get stage-timing hooks without learning a
+	// second context object; unsampled queries leave it nil and every
+	// hook below costs one branch.
+	tr *qtrace.Trace
+
 	walks   atomic.Int64
 	work    atomic.Int64
 	stopped atomic.Bool
@@ -108,7 +116,8 @@ func New(ctx context.Context, timeout time.Duration, maxWalks, maxWork int64) *M
 			dl, hasDL, dlFromBudget = t, true, true
 		}
 	}
-	if !hasDL && ctx.Done() == nil && maxWalks <= 0 && maxWork <= 0 {
+	tr, _ := qtrace.FromContext(ctx)
+	if !hasDL && ctx.Done() == nil && maxWalks <= 0 && maxWork <= 0 && tr == nil {
 		return nil
 	}
 	if maxWalks < 0 {
@@ -125,7 +134,56 @@ func New(ctx context.Context, timeout time.Duration, maxWalks, maxWork int64) *M
 		maxWalks:     maxWalks,
 		maxWork:      maxWork,
 		start:        now,
+		tr:           tr,
 	}
+}
+
+// Trace returns the query's sampled trace recorder, nil when unsampled.
+// Kernels and engines that already hold the meter reach the trace through
+// it instead of threading a second object.
+func (m *Meter) Trace() *qtrace.Trace {
+	if m == nil {
+		return nil
+	}
+	return m.tr
+}
+
+// StageStart opens a stage-timing window: it returns the current instant
+// when the query is traced and the zero time otherwise, so the unsampled
+// path never reads the clock. Pair with StageEnd.
+func (m *Meter) StageStart() time.Time {
+	if m == nil || m.tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// StageEnd charges the window since t0 to stage s and returns the new
+// instant, so adjacent stages chain at one clock read per boundary:
+//
+//	clk := m.StageStart()
+//	... walk ...
+//	clk = m.StageEnd(qtrace.StageWalk, clk)
+//	... probe ...
+//	clk = m.StageEnd(qtrace.StageProbe, clk)
+//
+// A zero t0 (unsampled query) is a no-op.
+func (m *Meter) StageEnd(s qtrace.Stage, t0 time.Time) time.Time {
+	if t0.IsZero() {
+		return t0
+	}
+	now := time.Now()
+	m.tr.AddStage(s, now.Sub(t0))
+	return now
+}
+
+// AddProbeLevels counts n expanded probe levels toward the trace's
+// per-probe-level work attribution. One branch when untraced.
+func (m *Meter) AddProbeLevels(n int64) {
+	if m == nil || m.tr == nil {
+		return
+	}
+	m.tr.AddProbeLevels(n)
 }
 
 // trip latches the first cause; later trips are ignored.

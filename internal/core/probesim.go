@@ -18,6 +18,7 @@ import (
 	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/probe"
+	"probesim/internal/qtrace"
 	"probesim/internal/walk"
 	"probesim/internal/xrand"
 )
@@ -102,12 +103,20 @@ func singleSourceInto(ctx context.Context, g graph.View, u graph.NodeID, opt Opt
 	}
 	g, finish := bindQuery(ctx, g, m)
 	plan := planFor(opt, n)
+	// One kernel span covers the whole estimator run; the meter's stage
+	// totals (walk vs probe) and probe-level counter refine it.
+	tr, parent := qtrace.FromContext(ctx)
+	kref := tr.StartSpan("kernel", parent)
+	tr.Annotate(kref, fmt.Sprintf("mode=%d,walks=%d,workers=%d", plan.Mode, plan.NumWalks, plan.Workers))
 	var est []float64
 	switch plan.Mode {
 	case ModeBasic, ModePruned, ModeRandomized:
 		est = runPerWalk(g, u, plan, pool, dst, m)
 	case ModeAuto, ModeBatch, ModeHybrid:
 		est = runBatched(g, u, plan, pool, dst, m)
+	}
+	if tr != nil {
+		tr.EndSpanAnnot(kref, fmt.Sprintf("walks=%d,work=%d", m.Walks(), m.Work()))
 	}
 	if plan.Compensate && plan.EpsT > 0 {
 		half := plan.EpsT / 2
@@ -258,6 +267,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 					break
 				}
 				buf = gen.Generate(u, plan.MaxWalkNodes, buf)
+				clk := m.StageStart() // probe window; walk time is charged inside Generate
 				for i := 2; i <= len(buf); i++ {
 					if m.Stopped() {
 						break
@@ -274,6 +284,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 						}
 					}
 				}
+				m.StageEnd(qtrace.StageProbe, clk)
 				m.ChargeWalks(1)
 			}
 			sc.buf = buf
@@ -347,6 +358,9 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 				rnd.SetMeter(m)
 			}
 			cp := budget.NewCheckpoint(m, budget.DefaultInterval)
+			// One probe window per worker: stage totals aggregate the
+			// workers' concurrent probe time (CPU-seconds, not wall clock).
+			clk := m.StageStart()
 			for pi := w; pi < len(paths); pi += workers {
 				if cp.Stop() {
 					break
@@ -365,6 +379,7 @@ func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 					}
 				}
 			}
+			m.StageEnd(qtrace.StageProbe, clk)
 		}(w, scs[w])
 	}
 	wg.Wait()

@@ -1,0 +1,83 @@
+// Package obs is the process-level observability glue shared by the two
+// binaries: structured logging setup (log/slog with a text|json switch)
+// and the optional debug listener carrying net/http/pprof and the
+// worker-side /debug/queries ring.
+//
+// The debug listener is its own mux on its own port, off by default:
+// profiles and debug rings are operator surfaces, so they bypass the
+// serving mux's admission control by construction and stay unreachable
+// unless -debug-addr is set.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"probesim/internal/qtrace"
+)
+
+// InitLogging installs the process-wide slog default for the given
+// -log-format value ("text" or "json"). The standard log package bridges
+// into the same handler, so legacy log.Printf call sites inside library
+// code inherit the format too.
+func InitLogging(format string) error {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("obs: unknown -log-format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// ListenDebug serves net/http/pprof (plus any extra handlers) on addr in
+// a background goroutine and returns the bound listener. The caller owns
+// closing it.
+func ListenDebug(addr string, extra map[string]http.Handler) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for p, h := range extra {
+		mux.Handle(p, h)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			slog.Warn("debug listener stopped", "addr", addr, "err", err)
+		}
+	}()
+	return ln, nil
+}
+
+// QueriesHandler serves a tracer's completed-trace ring as JSON — the
+// shard worker's equivalent of the HTTP server's /debug/queries route.
+func QueriesHandler(t *qtrace.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := t.Recent()
+		if rec == nil {
+			rec = []*qtrace.Done{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"started": t.Started(),
+			"sampled": t.Sampled(),
+			"slow":    t.SlowCount(),
+			"queries": rec,
+		})
+	})
+}

@@ -231,6 +231,7 @@ func (s *Scratch) deterministicLevel(adj *graph.Adj, cur []graph.NodeID, exclude
 	// the uninterruptible unit — the finest granularity that keeps the
 	// per-edge inner loop free of budget branches.
 	s.meter.ChargeWork(s.Work - levelStart)
+	s.meter.AddProbeLevels(1)
 	s.curList, s.nextList = next, cur[:0]
 	s.curScore, s.newScore = s.newScore, s.curScore
 	return next
@@ -316,6 +317,7 @@ func ContinueRandomized(g graph.View, path []graph.NodeID, j int, members []grap
 // stamped in s.member (listed in cur), it samples the next member set and
 // returns its node list. excluded is u_{i-j-1}.
 func (s *Scratch) randomizedLevel(adj *graph.Adj, cur []graph.NodeID, excluded graph.NodeID, sqrtC float64, rng *xrand.RNG, ep uint32) []graph.NodeID {
+	s.meter.AddProbeLevels(1)
 	next := s.nextList[:0]
 	selected := func(x graph.NodeID) bool {
 		in := adj.In(x)

@@ -1,16 +1,15 @@
-package metrics
-
-// Serving-plane metrics: per-route latency histograms, in-flight gauges
-// and outcome counters for the HTTP service, exposed in the Prometheus
-// text format. These live next to the paper's evaluation metrics because
-// both answer the same question at different timescales — "how well is
-// the system doing" — and internal/server should not need a second
-// dependency for it.
+// Package promexpo is the serving-plane Prometheus exposition layer:
+// per-route latency histograms, in-flight gauges and outcome counters
+// for the HTTP service, rendered in the Prometheus text format. It was
+// split out of internal/metrics (which keeps the paper's evaluation
+// metrics — accuracy, ranking quality) so the serving stack depends on
+// exposition only, not the offline-evaluation code.
 //
 // Everything here is lock-free on the hot path: a request observation is
 // one atomic add per counter plus one per histogram bucket. The registry
 // mutex guards only route registration (a handful of calls at startup)
 // and the text scrape.
+package promexpo
 
 import (
 	"fmt"

@@ -1,0 +1,211 @@
+package qtrace
+
+import (
+	"log/slog"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Done is one completed query trace, as kept in the tracer's ring and
+// rendered by /debug/queries.
+type Done struct {
+	ID          TraceID               `json:"traceId"`
+	Name        string                `json:"name"`
+	Status      int                   `json:"status"`
+	Start       time.Time             `json:"start"`
+	Dur         time.Duration         `json:"-"`
+	DurMS       float64               `json:"dur_ms"`
+	Slow        bool                  `json:"slow,omitempty"`
+	Stages      map[string]StageTotal `json:"stages,omitempty"`
+	ProbeLevels int64                 `json:"probe_levels,omitempty"`
+	Dropped     int                   `json:"dropped_spans,omitempty"`
+	Spans       []Span                `json:"spans,omitempty"`
+}
+
+// MarshalID is the hex id for JSON (TraceID has no natural JSON form).
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// DefaultRing is the number of completed traces the ring retains.
+const DefaultRing = 64
+
+// Tracer owns a process's tracing policy and its completed-trace ring:
+// the per-request sampling decision, the always-on slow-query log, and
+// the /debug/queries buffer. All methods are safe for concurrent use and
+// nil-safe (a nil tracer never samples and never logs).
+type Tracer struct {
+	// SlowThreshold is the always-on slow-query log threshold; 0 disables
+	// the log. The decision does not depend on sampling: every completed
+	// query slower than the threshold logs one structured line (with stage
+	// detail when the query happened to be sampled).
+	SlowThreshold time.Duration
+	// SampleRate is the probability an ordinary request records spans;
+	// ?trace=1 requests always do.
+	SampleRate float64
+	// Logger receives slow-query records; nil falls back to slog.Default
+	// at log time (so a process-wide -log-format switch applies).
+	Logger *slog.Logger
+
+	mu   sync.Mutex
+	ring []*Done
+	next int
+
+	started atomic.Int64
+	sampled atomic.Int64
+	slow    atomic.Int64
+}
+
+// NewTracer builds a tracer with a ring of ringSize completed traces
+// (DefaultRing when <= 0).
+func NewTracer(slowThreshold time.Duration, sampleRate float64, ringSize int, logger *slog.Logger) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRing
+	}
+	return &Tracer{
+		SlowThreshold: slowThreshold,
+		SampleRate:    sampleRate,
+		Logger:        logger,
+		ring:          make([]*Done, 0, ringSize),
+	}
+}
+
+// Begin makes the per-request sampling decision and returns the trace to
+// thread through the query (nil when unsampled — the hot path). force
+// (?trace=1) always samples. The returned trace carries id.
+func (t *Tracer) Begin(id TraceID, force bool) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	if !force && (t.SampleRate <= 0 || rand.Float64() >= t.SampleRate) {
+		return nil
+	}
+	t.sampled.Add(1)
+	tr := New(id)
+	if force {
+		tr.SetForced()
+	}
+	return tr
+}
+
+// Finish completes one query: classifies it against the slow threshold,
+// logs it when slow, and (for sampled queries) snapshots the span tree
+// into the ring. tr may be nil (unsampled); id, name, status, start and
+// dur describe the query either way. The returned Done is nil for
+// unsampled, not-slow queries — there is nothing to report.
+func (t *Tracer) Finish(tr *Trace, id TraceID, name string, status int, start time.Time, dur time.Duration) *Done {
+	if t == nil {
+		return nil
+	}
+	isSlow := t.SlowThreshold > 0 && dur >= t.SlowThreshold
+	if tr == nil && !isSlow {
+		return nil
+	}
+	d := &Done{
+		ID:     id,
+		Name:   name,
+		Status: status,
+		Start:  start,
+		Dur:    dur,
+		DurMS:  float64(dur) / float64(time.Millisecond),
+		Slow:   isSlow,
+	}
+	if tr != nil {
+		d.Spans = tr.Snapshot()
+		d.Dropped = tr.Dropped()
+		d.ProbeLevels = tr.ProbeLevels()
+		totals := tr.StageTotals()
+		d.Stages = make(map[string]StageTotal, NumStages)
+		for s := Stage(0); s < NumStages; s++ {
+			if totals[s].N > 0 {
+				d.Stages[s.String()] = totals[s]
+			}
+		}
+	}
+	if isSlow {
+		t.slow.Add(1)
+		t.logSlow(d)
+	}
+	if tr != nil {
+		t.mu.Lock()
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, d)
+		} else {
+			t.ring[t.next] = d
+			t.next = (t.next + 1) % cap(t.ring)
+		}
+		t.mu.Unlock()
+	}
+	return d
+}
+
+// logSlow emits the one-line structured slow-query record.
+func (t *Tracer) logSlow(d *Done) {
+	lg := t.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	attrs := []any{
+		slog.String("trace", d.ID.String()),
+		slog.String("route", d.Name),
+		slog.Int("status", d.Status),
+		slog.Float64("dur_ms", d.DurMS),
+		slog.Bool("sampled", d.Spans != nil),
+	}
+	if d.Stages != nil {
+		for name, st := range d.Stages {
+			attrs = append(attrs,
+				slog.Float64(name+"_ms", float64(st.NS)/float64(time.Millisecond)),
+				slog.Int64(name+"_n", st.N))
+		}
+		attrs = append(attrs, slog.Int64("probe_levels", d.ProbeLevels))
+	}
+	lg.Warn("slow_query", attrs...)
+}
+
+// Recent returns the completed sampled traces, newest last.
+func (t *Tracer) Recent() []*Done {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Done, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Counters for /metrics.
+
+// Started returns how many requests consulted the tracer.
+func (t *Tracer) Started() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// Sampled returns how many requests recorded spans.
+func (t *Tracer) Sampled() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// SlowCount returns how many completed queries crossed the slow
+// threshold.
+func (t *Tracer) SlowCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.slow.Load()
+}

@@ -1,0 +1,75 @@
+package qtrace
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingDecision(t *testing.T) {
+	never := NewTracer(0, 0, 4, nil)
+	if tr := never.Begin(NewID(), false); tr != nil {
+		t.Fatal("rate-0 tracer sampled")
+	}
+	if tr := never.Begin(NewID(), true); tr == nil || !tr.Forced() {
+		t.Fatal("?trace=1 did not force a forced trace")
+	}
+	always := NewTracer(0, 1, 4, nil)
+	if tr := always.Begin(NewID(), false); tr == nil || tr.Forced() {
+		t.Fatalf("rate-1 tracer: %v", tr)
+	}
+	if got := always.Started(); got != 1 {
+		t.Fatalf("started %d", got)
+	}
+	if got := always.Sampled(); got != 1 {
+		t.Fatalf("sampled %d", got)
+	}
+
+	var nilTracer *Tracer
+	if nilTracer.Begin(NewID(), true) != nil || nilTracer.Finish(nil, NewID(), "q", 200, time.Now(), time.Second) != nil ||
+		nilTracer.Recent() != nil || nilTracer.Started() != 0 || nilTracer.Sampled() != 0 || nilTracer.SlowCount() != 0 {
+		t.Fatal("nil tracer reported state")
+	}
+}
+
+func TestTracerFinishRingAndSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	tc := NewTracer(50*time.Millisecond, 0, 2, slog.New(slog.NewJSONHandler(&buf, nil)))
+
+	// Unsampled + fast: nothing to report.
+	if d := tc.Finish(nil, NewID(), "/topk", 200, time.Now(), time.Millisecond); d != nil {
+		t.Fatalf("fast unsampled query reported: %+v", d)
+	}
+	// Unsampled + slow: logged, counted, but NOT in the ring (no spans).
+	id := NewID()
+	d := tc.Finish(nil, id, "/topk", 200, time.Now(), 80*time.Millisecond)
+	if d == nil || !d.Slow || d.Spans != nil {
+		t.Fatalf("slow unsampled: %+v", d)
+	}
+	if tc.SlowCount() != 1 {
+		t.Fatalf("slow count %d", tc.SlowCount())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("slow_query")) || !bytes.Contains(buf.Bytes(), []byte(id.String())) {
+		t.Fatalf("slow log missing record: %s", buf.String())
+	}
+	if len(tc.Recent()) != 0 {
+		t.Fatal("unsampled query entered the ring")
+	}
+
+	// Sampled queries land in the ring with stage detail, oldest evicted.
+	for i := 0; i < 3; i++ {
+		tr := New(NewID())
+		tr.StartSpan("kernel", 0)
+		tr.AddStage(StageWalk, time.Duration(i+1)*time.Millisecond)
+		tc.Finish(tr, tr.ID(), "/topk", 200, time.Now(), time.Millisecond)
+	}
+	rec := tc.Recent()
+	if len(rec) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(rec))
+	}
+	last := rec[len(rec)-1]
+	if len(last.Spans) != 1 || last.Stages["walk"].NS != int64(3*time.Millisecond) {
+		t.Fatalf("ring entry: %+v", last)
+	}
+}

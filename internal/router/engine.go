@@ -43,6 +43,7 @@ import (
 
 	"probesim/internal/budget"
 	"probesim/internal/graph"
+	"probesim/internal/qtrace"
 	"probesim/internal/shard"
 	"probesim/internal/wal"
 	"probesim/internal/walk"
@@ -340,6 +341,8 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 	if m != nil {
 		stop = cp.Stop
 	}
+	tr, parent := qtrace.FromContext(ctx)
+	ref := tr.StartSpan("walk.steps", parent)
 	before := len(buf)
 	out, ended := walk.Segment(&adj, cur, room, sqrtC, rng, owns, stop, buf)
 	status := SegmentHandoff
@@ -352,7 +355,11 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 	case len(out) == before:
 		// A handoff with no progress means the caller routed the walk to
 		// the wrong engine; surface it instead of looping forever.
+		tr.EndSpanAnnot(ref, "outcome=noprogress")
 		return out, rng.State(), SegmentEnded, fmt.Errorf("router: walk segment made no progress at node %d", cur)
+	}
+	if tr != nil {
+		tr.EndSpanAnnot(ref, fmt.Sprintf("nodes=%d,status=%d", len(out)-before, status))
 	}
 	return out, rng.State(), status, nil
 }
@@ -364,6 +371,7 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 // batch recoverable, and the router's retry converges instead of
 // double-applying.
 func (e *LocalEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64, error) {
+	tr, parent := qtrace.FromContext(ctx)
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	if batch != 0 && batch <= e.st.LastBatch() {
@@ -372,6 +380,7 @@ func (e *LocalEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64
 		return e.st.Version(), nil
 	}
 	if e.wal != nil {
+		wref := tr.StartSpan("wal.append", parent)
 		wops := make([]wal.Op, len(ops))
 		for i, op := range ops {
 			wops[i] = wal.Op{Remove: op.Remove, U: op.U, V: op.V}
@@ -382,18 +391,23 @@ func (e *LocalEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64
 			// was applied and the id was not consumed, so the router may
 			// retry the same batch — NOT a semantic rejection, which would
 			// roll the healthy rest of the fleet back.
+			tr.EndSpanAnnot(wref, "outcome=error")
 			return e.st.Version(), fmt.Errorf("%w: wal append: %v", ErrUnavailable, err)
 		}
+		tr.EndSpan(wref)
 		// Decide under the id the log actually recorded — for batch 0 the
 		// log self-assigned it, and the log and the store watermark must
 		// name the same batch or crash replay diverges.
 		batch = id
 	}
+	aref := tr.StartSpan("store.apply", parent)
 	sops := make([]shard.EdgeOp, len(ops))
 	for i, op := range ops {
 		sops[i] = shard.EdgeOp{Remove: op.Remove, U: op.U, V: op.V}
 	}
-	return e.st.ApplyBatch(batch, sops)
+	v, err := e.st.ApplyBatch(batch, sops)
+	tr.EndSpan(aref)
+	return v, err
 }
 
 // Publish implements ShardEngine.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"probesim/internal/qtrace"
 )
 
 // member is one replica inside a group: an engine plus the router's
@@ -187,10 +189,20 @@ func retryableRead(err error) bool {
 
 // attempt is one replica's answer inside groupRead.
 type attempt[T any] struct {
+	idx    int
 	val    T
 	err    error
 	hedged bool
 	dur    time.Duration
+}
+
+// engineLabel names an engine for span annotations: remote engines
+// report their dial address, in-process ones a fixed tag.
+func engineLabel(e ShardEngine) string {
+	if a, ok := e.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return "local"
 }
 
 // groupRead runs one read against a replica group with failover and
@@ -200,14 +212,41 @@ type attempt[T any] struct {
 // of launchable attempts, so a loser finishing after the winner returns
 // never blocks — attempt goroutines cannot leak.
 //
+// When the query is traced, every attempt gets its own span named op,
+// annotated with the replica and whether it was the primary, a
+// failover, or a hedge; the span closes with outcome=ok/error, and
+// attempts still in flight when the call returns (the hedge loser, or
+// stragglers after a non-retryable failure) close as outcome=canceled.
+//
 // It is a package function rather than a method because methods cannot
 // have type parameters.
-func groupRead[T any](r *Router, ctx context.Context, g *replicaGroup, fn func(context.Context, ShardEngine) (T, error)) (T, error) {
+func groupRead[T any](r *Router, ctx context.Context, g *replicaGroup, op string, fn func(context.Context, ShardEngine) (T, error)) (T, error) {
+	tr, parent := qtrace.FromContext(ctx)
+	span := func(i int, eng ShardEngine, hedged bool) qtrace.SpanRef {
+		if tr == nil {
+			return 0
+		}
+		kind := "primary"
+		switch {
+		case hedged:
+			kind = "hedge"
+		case i > 0:
+			kind = "failover"
+		}
+		ref := tr.StartSpan(op, parent)
+		tr.Annotate(ref, "kind="+kind+",replica="+engineLabel(eng))
+		return ref
+	}
 	if len(g.members) == 1 {
+		eng := g.members[0].eng
+		ref := span(0, eng, false)
 		start := time.Now()
-		v, err := fn(ctx, g.members[0].eng)
+		v, err := fn(qtrace.ContextWithSpan(ctx, ref), eng)
 		if err == nil {
 			g.lat.observe(time.Since(start))
+			tr.EndSpanAnnot(ref, "outcome=ok")
+		} else {
+			tr.EndSpanAnnot(ref, "outcome=error")
 		}
 		return v, err
 	}
@@ -215,12 +254,34 @@ func groupRead[T any](r *Router, ctx context.Context, g *replicaGroup, fn func(c
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attempt[T], len(order))
+	// refs/open are touched only by the selecting goroutine below.
+	refs := make([]qtrace.SpanRef, len(order))
+	open := make([]bool, len(order))
+	defer func() {
+		if tr == nil {
+			return
+		}
+		for i, ref := range refs {
+			if open[i] {
+				tr.EndSpanAnnot(ref, "outcome=canceled")
+			}
+		}
+	}()
+	settle := func(a attempt[T], annot string) {
+		if tr != nil && open[a.idx] {
+			open[a.idx] = false
+			tr.EndSpanAnnot(refs[a.idx], annot)
+		}
+	}
 	launch := func(i int, hedged bool) {
 		eng := order[i]
+		refs[i] = span(i, eng, hedged)
+		open[i] = tr != nil
+		actx := qtrace.ContextWithSpan(cctx, refs[i])
 		go func() {
 			start := time.Now()
-			v, err := fn(cctx, eng)
-			results <- attempt[T]{val: v, err: err, hedged: hedged, dur: time.Since(start)}
+			v, err := fn(actx, eng)
+			results <- attempt[T]{idx: i, val: v, err: err, hedged: hedged, dur: time.Since(start)}
 		}()
 	}
 	var hedgeC <-chan time.Time
@@ -248,9 +309,11 @@ func groupRead[T any](r *Router, ctx context.Context, g *replicaGroup, fn func(c
 				if a.hedged {
 					r.hedgesWon.Add(1)
 				}
+				settle(a, "outcome=ok")
 				return a.val, nil
 			}
 			inflight--
+			settle(a, "outcome=error")
 			if ctx.Err() != nil || !retryableRead(a.err) {
 				// The caller's own deadline/cancellation, or a semantic
 				// failure every replica would repeat: surface it as-is.

@@ -12,6 +12,7 @@ import (
 
 	"probesim/internal/budget"
 	"probesim/internal/graph"
+	"probesim/internal/qtrace"
 	"probesim/internal/rpcwire"
 )
 
@@ -49,6 +50,12 @@ type RemoteEngine struct {
 	version    atomic.Uint64
 	lastErr    atomic.Pointer[string]
 	closed     atomic.Bool
+
+	// traceOK records that the worker advertised rpcwire.CapTrace on a
+	// MetaReply. Until it does (an old worker never does), requests carry
+	// no trace field at all, so mixed-version fleets interop with tracing
+	// silently disabled.
+	traceOK atomic.Bool
 }
 
 type remoteConn struct {
@@ -264,10 +271,10 @@ func (e *RemoteEngine) call(ctx context.Context, typ uint8, payload []byte) (uin
 	return rtyp, body, nil
 }
 
-func (e *RemoteEngine) metaFromReply(body []byte) (Meta, error) {
+func (e *RemoteEngine) metaFromReply(body []byte) (Meta, []qtrace.Span, error) {
 	rep, err := rpcwire.DecodeMetaReply(body)
 	if err != nil {
-		return Meta{}, fmt.Errorf("router: %s: %v", e.addr, err)
+		return Meta{}, nil, fmt.Errorf("router: %s: %v", e.addr, err)
 	}
 	m := Meta{
 		Nodes:     int(rep.Nodes),
@@ -282,7 +289,20 @@ func (e *RemoteEngine) metaFromReply(body []byte) (Meta, error) {
 		m.Owned[i] = int(p)
 	}
 	e.version.Store(m.Version)
-	return m, nil
+	e.traceOK.Store(rep.Caps&rpcwire.CapTrace != 0)
+	return m, rep.Spans, nil
+}
+
+// traceField resolves ctx's trace into the optional request trailer: nil
+// when the query is unsampled OR the worker never advertised CapTrace —
+// an old worker must not see a trace field on the wire at all.
+func (e *RemoteEngine) traceField(ctx context.Context) (*qtrace.Trace, qtrace.SpanRef, *rpcwire.TraceContext) {
+	tr, parent := qtrace.FromContext(ctx)
+	if tr == nil || !e.traceOK.Load() {
+		return tr, parent, nil
+	}
+	id := tr.ID()
+	return tr, parent, &rpcwire.TraceContext{Hi: id.Hi, Lo: id.Lo, Parent: uint32(parent)}
 }
 
 // Meta implements ShardEngine.
@@ -295,12 +315,15 @@ func (e *RemoteEngine) Meta(ctx context.Context) (Meta, error) {
 	if rtyp != rpcwire.TMetaRep {
 		return Meta{}, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
 	}
-	return e.metaFromReply(body)
+	m, _, err := e.metaFromReply(body)
+	return m, err
 }
 
 // ResolveShard implements ShardEngine.
 func (e *RemoteEngine) ResolveShard(ctx context.Context, version uint64, p int) (graph.CSRShard, error) {
-	req := rpcwire.ShardRequest{Budget: headerFrom(ctx), Version: version, Shard: uint32(p)}
+	tr, parent, tc := e.traceField(ctx)
+	req := rpcwire.ShardRequest{Budget: headerFrom(ctx), Version: version, Shard: uint32(p), Trace: tc}
+	base := tr.Since()
 	rtyp, body, err := e.call(ctx, rpcwire.TShard, req.Append(nil))
 	if err != nil {
 		return graph.CSRShard{}, err
@@ -312,15 +335,18 @@ func (e *RemoteEngine) ResolveShard(ctx context.Context, version uint64, p int) 
 	if derr != nil {
 		return graph.CSRShard{}, fmt.Errorf("router: %s: %v", e.addr, derr)
 	}
+	tr.Graft(parent, rep.Spans, base, "worker="+e.addr)
 	return rep.CSR, nil
 }
 
 // WalkSegment implements ShardEngine.
 func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget.Header, sqrtC float64, cur graph.NodeID, state uint64, room int, buf []graph.NodeID) ([]graph.NodeID, uint64, SegmentStatus, error) {
+	tr, parent, tc := e.traceField(ctx)
 	req := rpcwire.WalkRequest{
 		Budget: h, Version: version, SqrtC: sqrtC,
-		Cur: cur, State: state, Room: uint32(room),
+		Cur: cur, State: state, Room: uint32(room), Trace: tc,
 	}
+	base := tr.Since()
 	rtyp, body, err := e.call(ctx, rpcwire.TWalk, req.Append(nil))
 	if err != nil {
 		return buf, state, SegmentEnded, err
@@ -332,6 +358,7 @@ func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget
 	if derr != nil {
 		return buf, state, SegmentEnded, fmt.Errorf("router: %s: %v", e.addr, derr)
 	}
+	tr.Graft(parent, rep.Spans, base, "worker="+e.addr)
 	return append(buf, rep.Nodes...), rep.State, SegmentStatus(rep.Status), nil
 }
 
@@ -357,10 +384,12 @@ func (e *RemoteEngine) Ping(ctx context.Context) (uint64, uint64, error) {
 
 // Apply implements ShardEngine.
 func (e *RemoteEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint64, error) {
-	req := rpcwire.ApplyRequest{Budget: headerFrom(ctx), Batch: batch, Ops: make([]rpcwire.Op, len(ops))}
+	tr, parent, tc := e.traceField(ctx)
+	req := rpcwire.ApplyRequest{Budget: headerFrom(ctx), Batch: batch, Ops: make([]rpcwire.Op, len(ops)), Trace: tc}
 	for i, op := range ops {
 		req.Ops[i] = rpcwire.Op{Remove: op.Remove, U: op.U, V: op.V}
 	}
+	base := tr.Since()
 	rtyp, body, err := e.call(ctx, rpcwire.TApply, req.Append(nil))
 	if err != nil {
 		return 0, err
@@ -368,10 +397,11 @@ func (e *RemoteEngine) Apply(ctx context.Context, batch uint64, ops []Op) (uint6
 	if rtyp != rpcwire.TMetaRep {
 		return 0, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
 	}
-	m, err := e.metaFromReply(body)
+	m, spans, err := e.metaFromReply(body)
 	if err != nil {
 		return 0, err
 	}
+	tr.Graft(parent, spans, base, "worker="+e.addr)
 	return m.Version, nil
 }
 
@@ -385,7 +415,8 @@ func (e *RemoteEngine) Publish(ctx context.Context) (Meta, error) {
 	if rtyp != rpcwire.TMetaRep {
 		return Meta{}, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
 	}
-	return e.metaFromReply(body)
+	m, _, err := e.metaFromReply(body)
+	return m, err
 }
 
 // Close implements ShardEngine.

@@ -899,7 +899,7 @@ func (v *View) block(ctx context.Context, p int) (*graph.CSRShard, error) {
 	}
 	v.r.shardFetches.Add(1)
 	g := v.r.groups[v.ownerOf[p]]
-	csr, err := groupRead(v.r, ctx, g, func(ctx context.Context, e ShardEngine) (graph.CSRShard, error) {
+	csr, err := groupRead(v.r, ctx, g, "rpc.shard", func(ctx context.Context, e ShardEngine) (graph.CSRShard, error) {
 		return e.ResolveShard(ctx, v.version, p)
 	})
 	if err != nil {
@@ -1048,7 +1048,7 @@ func (b *BoundView) WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC 
 		state  uint64
 		status SegmentStatus
 	}
-	res, err := groupRead(v.r, b.ctx, g, func(ctx context.Context, e ShardEngine) (segResult, error) {
+	res, err := groupRead(v.r, b.ctx, g, "rpc.walk", func(ctx context.Context, e ShardEngine) (segResult, error) {
 		out, st, status, err := e.WalkSegment(ctx, v.version, b.m.Export(), sqrtC, cur, state, room, in)
 		return segResult{out: out, state: st, status: status}, err
 	})

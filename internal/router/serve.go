@@ -9,8 +9,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"probesim/internal/qtrace"
 	"probesim/internal/rpcwire"
 )
 
@@ -31,7 +33,17 @@ type Server struct {
 	// Logf, when set, receives per-connection failures (protocol errors,
 	// I/O); nil means silent. Set it before Serve.
 	Logf func(format string, args ...any)
+
+	// tracer, when set, owns the worker's slow-query log and completed-
+	// trace ring. Swappable at runtime (SetTracer), read per request.
+	tracer atomic.Pointer[qtrace.Tracer]
 }
+
+// SetTracer arms (or, with nil, disarms) the worker-side tracer: traced
+// requests record spans and return them on the reply either way; the
+// tracer adds the worker's own slow-query log, local sampling of
+// untraced requests, and the /debug/queries ring.
+func (s *Server) SetTracer(t *qtrace.Tracer) { s.tracer.Store(t) }
 
 // NewServer wraps eng for serving.
 func NewServer(eng ShardEngine) *Server {
@@ -142,7 +154,7 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		}
 		return rpcwire.TErr, rpcwire.ErrorReply{Code: code, Msg: err.Error()}.Append(out)
 	}
-	metaReply := func(m Meta) (uint8, []byte) {
+	metaReply := func(m Meta, spans []qtrace.Span) (uint8, []byte) {
 		rep := rpcwire.MetaReply{
 			Nodes:     uint64(m.Nodes),
 			Edges:     uint64(m.Edges),
@@ -151,6 +163,10 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 			Shift:     m.Shift,
 			Shards:    uint32(m.Shards),
 			Owned:     make([]uint32, len(m.Owned)),
+			// Every reply advertises the trace capability; routers enable
+			// the request-side trace field per engine once they see it.
+			Caps:  rpcwire.CapTrace,
+			Spans: spans,
 		}
 		for i, p := range m.Owned {
 			rep.Owned[i] = uint32(p)
@@ -166,33 +182,39 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		return metaReply(m)
+		return metaReply(m, nil)
 
 	case rpcwire.TShard:
 		req, err := rpcwire.DecodeShardRequest(payload)
 		if err != nil {
 			return fail(rpcwire.CodeBadRequest, err)
 		}
+		tr, root, finish := s.traceFor(req.Trace, "worker.resolve_shard")
+		tr.Annotate(root, fmt.Sprintf("shard=%d", req.Shard))
 		ctx, cancel := headerCtx(req.Budget.Remaining)
 		defer cancel()
-		csr, err := s.eng.ResolveShard(ctx, req.Version, int(req.Shard))
+		csr, err := s.eng.ResolveShard(qtrace.NewContext(ctx, tr, root), req.Version, int(req.Shard))
+		spans := finish(err)
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		return rpcwire.TShardRep, rpcwire.ShardReply{CSR: csr}.Append(out)
+		return rpcwire.TShardRep, rpcwire.ShardReply{CSR: csr, Spans: spans}.Append(out)
 
 	case rpcwire.TWalk:
 		req, err := rpcwire.DecodeWalkRequest(payload)
 		if err != nil {
 			return fail(rpcwire.CodeBadRequest, err)
 		}
+		tr, root, finish := s.traceFor(req.Trace, "worker.walk_segment")
 		nodes, state, status, err := s.eng.WalkSegment(
-			context.Background(), req.Version, req.Budget, req.SqrtC,
+			qtrace.NewContext(context.Background(), tr, root),
+			req.Version, req.Budget, req.SqrtC,
 			req.Cur, req.State, int(req.Room), nil)
+		spans := finish(err)
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		rep := rpcwire.WalkReply{State: state, Status: uint8(status), Nodes: nodes}
+		rep := rpcwire.WalkReply{State: state, Status: uint8(status), Nodes: nodes, Spans: spans}
 		return rpcwire.TWalkRep, rep.Append(out)
 
 	case rpcwire.TApply:
@@ -204,13 +226,16 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		for i, op := range req.Ops {
 			ops[i] = Op{Remove: op.Remove, U: op.U, V: op.V}
 		}
+		tr, root, finish := s.traceFor(req.Trace, "worker.apply")
+		tr.Annotate(root, fmt.Sprintf("batch=%d,ops=%d", req.Batch, len(ops)))
 		ctx, cancel := headerCtx(req.Budget.Remaining)
 		defer cancel()
-		version, err := s.eng.Apply(ctx, req.Batch, ops)
+		version, err := s.eng.Apply(qtrace.NewContext(ctx, tr, root), req.Batch, ops)
+		spans := finish(err)
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		return metaReply(Meta{Version: version, LastBatch: req.Batch})
+		return metaReply(Meta{Version: version, LastBatch: req.Batch}, spans)
 
 	case rpcwire.TPing:
 		if _, err := rpcwire.DecodePingRequest(payload); err != nil {
@@ -233,11 +258,57 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		if err != nil {
 			return fail(rpcwire.CodeInternal, err)
 		}
-		return metaReply(m)
+		return metaReply(m, nil)
 
 	default:
 		return fail(rpcwire.CodeBadRequest, fmt.Errorf("router: unknown request type %d", typ))
 	}
+}
+
+// traceFor starts the worker-side trace for one request. A request
+// carrying a trace context is always recorded under the caller's 128-bit
+// id — the router made the sampling decision — and its spans travel back
+// on the reply to be grafted into the caller's trace. A request without
+// one may still be sampled by the worker's own tracer (local visibility
+// only). The returned finish closes the root span, files the trace with
+// the tracer, and returns the spans to put on the wire (nil for
+// locally-sampled requests). All return values are safe to use when the
+// request ends up untraced (tr nil, finish returns nil).
+func (s *Server) traceFor(tc *rpcwire.TraceContext, op string) (tr *qtrace.Trace, root qtrace.SpanRef, finish func(error) []qtrace.Span) {
+	tcr := s.tracer.Load()
+	var id qtrace.TraceID
+	wire := false
+	switch {
+	case tc != nil:
+		id = qtrace.TraceID{Hi: tc.Hi, Lo: tc.Lo}
+		tr = qtrace.New(id)
+		wire = true
+	case tcr != nil:
+		id = qtrace.NewID()
+		tr = tcr.Begin(id, false)
+	}
+	if tr == nil {
+		return nil, 0, func(error) []qtrace.Span { return nil }
+	}
+	start := time.Now()
+	root = tr.StartSpan(op, 0)
+	finish = func(err error) []qtrace.Span {
+		status := 0
+		if err != nil {
+			status = 1
+			tr.EndSpanAnnot(root, "outcome=error")
+		} else {
+			tr.EndSpan(root)
+		}
+		if tcr != nil {
+			tcr.Finish(tr, id, op, status, start, time.Since(start))
+		}
+		if wire {
+			return tr.Snapshot()
+		}
+		return nil
+	}
+	return tr, root, finish
 }
 
 // headerCtx turns a propagated remaining-deadline into a request context.

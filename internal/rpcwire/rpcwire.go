@@ -19,6 +19,26 @@
 // as a TErr frame (code + message) so the client can distinguish
 // semantic errors (unknown generation, bad shard id) from transport
 // failures (broken/timed-out connection), which surface as I/O errors.
+//
+// # Versioned optional trailers
+//
+// Query-path messages may carry optional tagged trailers after their
+// fixed encoding: a trace context on requests (TShard/TWalk/TApply, next
+// to the budget header they already carry), recorded worker spans on the
+// corresponding replies, and a capability word on MetaReply. The fixed
+// decoders of those messages have always ignored trailing bytes, so an
+// old worker silently drops a new router's trace field and an old router
+// silently drops a new worker's trailers — tracing degrades to off, and
+// query answers stay bit-identical because the walk state never moved.
+// TMeta/TPing requests reject trailing bytes on old workers, so trailers
+// are never attached to them; capability discovery rides the MetaReply a
+// router already fetches at assembly.
+//
+// Trailers are canonical: emitted in a fixed tag order with exact body
+// lengths, and the parser accepts only that form (stopping at the first
+// unknown or non-canonical trailer, which legacy peers treat the same as
+// arbitrary trailing garbage). Canonical form keeps decode→encode an
+// identity on the trailer bytes.
 package rpcwire
 
 import (
@@ -26,9 +46,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"probesim/internal/budget"
 	"probesim/internal/graph"
+	"probesim/internal/qtrace"
 )
 
 // Message types.
@@ -58,6 +80,163 @@ const (
 // graph fits; a corrupt length prefix does not get to allocate the
 // machine.
 const MaxFrame = 1 << 30
+
+// Trailer tags. Each trailer is tag (u32) | body length (u32) | body.
+const (
+	tagTrace uint32 = 0x43525451 // "QTRC": TraceContext on a request
+	tagCaps  uint32 = 0x53504143 // "CAPS": capability flags on MetaReply
+	tagSpans uint32 = 0x534E5053 // "SPNS": recorded worker spans on a reply
+)
+
+// Capability flags carried by MetaReply.Caps.
+const (
+	// CapTrace: the worker understands the trace trailer and returns its
+	// spans on traced requests. Routers attach trace contexts only to
+	// engines that advertised it, so an old worker never sees a trace
+	// field on the wire at all.
+	CapTrace uint32 = 1 << 0
+)
+
+// TraceContext is the cross-process form of "this request belongs to a
+// sampled trace": the 128-bit trace id plus the caller-side span the
+// worker's spans re-parent under when grafted back.
+type TraceContext struct {
+	Hi, Lo uint64
+	Parent uint32
+}
+
+const traceContextSize = 20
+
+// appendTrailer emits one canonical trailer.
+func appendTrailer(b []byte, tag uint32, body []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, tag)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
+	return append(b, body...)
+}
+
+func appendTraceTrailer(b []byte, tc TraceContext) []byte {
+	var body [traceContextSize]byte
+	binary.LittleEndian.PutUint64(body[0:], tc.Hi)
+	binary.LittleEndian.PutUint64(body[8:], tc.Lo)
+	binary.LittleEndian.PutUint32(body[16:], tc.Parent)
+	return appendTrailer(b, tagTrace, body[:])
+}
+
+// maxWireSpans bounds a decoded span trailer: hostile counts cannot
+// allocate past what one trace may hold anyway.
+const maxWireSpans = qtrace.MaxSpans
+
+// appendSpansTrailer emits recorded spans. Callers skip it for empty
+// slices (the canonical form never carries a zero count).
+func appendSpansTrailer(b []byte, spans []qtrace.Span) []byte {
+	if len(spans) > maxWireSpans {
+		spans = spans[:maxWireSpans]
+	}
+	body := make([]byte, 0, 64*len(spans))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(spans)))
+	for _, s := range spans {
+		body = binary.LittleEndian.AppendUint32(body, s.ID)
+		body = binary.LittleEndian.AppendUint32(body, s.Parent)
+		body = binary.LittleEndian.AppendUint64(body, uint64(s.Start))
+		body = binary.LittleEndian.AppendUint64(body, uint64(s.End))
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Name)))
+		body = append(body, s.Name...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Attrs)))
+		body = append(body, s.Attrs...)
+	}
+	return appendTrailer(b, tagSpans, body)
+}
+
+// trailers is what the optional tail of a message parsed to.
+type trailers struct {
+	trace *TraceContext
+	caps  uint32
+	spans []qtrace.Span
+}
+
+// parseTrailers consumes canonical trailers from b, stopping (and
+// discarding nothing already parsed) at the first malformed, unknown or
+// out-of-order trailer — the legacy "ignore trailing bytes" behavior.
+// Tag order is fixed: tagTrace, tagCaps, tagSpans.
+func parseTrailers(b []byte) trailers {
+	var t trailers
+	last := uint32(0)
+	rank := func(tag uint32) uint32 {
+		switch tag {
+		case tagTrace:
+			return 1
+		case tagCaps:
+			return 2
+		case tagSpans:
+			return 3
+		}
+		return 0
+	}
+	for len(b) >= 8 {
+		tag := binary.LittleEndian.Uint32(b)
+		n := int(binary.LittleEndian.Uint32(b[4:]))
+		r := rank(tag)
+		if r == 0 || r <= last || n < 0 || len(b) < 8+n {
+			return t
+		}
+		body := b[8 : 8+n]
+		switch tag {
+		case tagTrace:
+			if n != traceContextSize {
+				return t
+			}
+			t.trace = &TraceContext{
+				Hi:     binary.LittleEndian.Uint64(body[0:]),
+				Lo:     binary.LittleEndian.Uint64(body[8:]),
+				Parent: binary.LittleEndian.Uint32(body[16:]),
+			}
+		case tagCaps:
+			if n != 4 {
+				return t
+			}
+			caps := binary.LittleEndian.Uint32(body)
+			if caps == 0 { // canonical form omits a zero word
+				return t
+			}
+			t.caps = caps
+		case tagSpans:
+			spans, ok := decodeSpansBody(body)
+			if !ok {
+				return t
+			}
+			t.spans = spans
+		}
+		last = r
+		b = b[8+n:]
+	}
+	return t
+}
+
+// decodeSpansBody decodes a span trailer body; ok is false unless the
+// body is exactly canonical (count > 0, fully consumed).
+func decodeSpansBody(body []byte) ([]qtrace.Span, bool) {
+	d := dec{b: body}
+	n := d.u32()
+	if d.err != nil || n == 0 || n > maxWireSpans || len(d.b) < 32*int(n) {
+		return nil, false
+	}
+	spans := make([]qtrace.Span, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s := qtrace.Span{ID: d.u32(), Parent: d.u32()}
+		s.Start = time.Duration(d.u64())
+		s.End = time.Duration(d.u64())
+		s.Name = d.str()
+		s.Attrs = d.str()
+		if d.err != nil {
+			return nil, false
+		}
+		spans = append(spans, s)
+	}
+	if len(d.b) != 0 {
+		return nil, false
+	}
+	return spans, true
+}
 
 // WriteFrame writes one frame. The payload must be shorter than MaxFrame.
 func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
@@ -249,6 +428,14 @@ type MetaReply struct {
 	Shift     uint32
 	Shards    uint32
 	Owned     []uint32 // shard ids this engine serves
+
+	// Caps advertises optional protocol capabilities (CapTrace). Encoded
+	// as a trailer only when non-zero, so a zero-caps reply is
+	// byte-identical to the pre-trailer wire form; old routers ignore it.
+	Caps uint32
+	// Spans carries the worker's recorded spans back to a traced caller
+	// (TApply replies). Empty for untraced requests.
+	Spans []qtrace.Span
 }
 
 func (m MetaReply) Append(b []byte) []byte {
@@ -258,7 +445,16 @@ func (m MetaReply) Append(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.LastBatch)
 	b = binary.LittleEndian.AppendUint32(b, m.Shift)
 	b = binary.LittleEndian.AppendUint32(b, m.Shards)
-	return appendU32s(b, m.Owned)
+	b = appendU32s(b, m.Owned)
+	if m.Caps != 0 {
+		var body [4]byte
+		binary.LittleEndian.PutUint32(body[:], m.Caps)
+		b = appendTrailer(b, tagCaps, body[:])
+	}
+	if len(m.Spans) > 0 {
+		b = appendSpansTrailer(b, m.Spans)
+	}
+	return b
 }
 
 func DecodeMetaReply(b []byte) (MetaReply, error) {
@@ -272,6 +468,10 @@ func DecodeMetaReply(b []byte) (MetaReply, error) {
 		Shards:    d.u32(),
 		Owned:     d.u32s(),
 	}
+	if d.err == nil {
+		t := parseTrailers(d.b)
+		m.Caps, m.Spans = t.caps, t.spans
+	}
 	return m, d.err
 }
 
@@ -280,12 +480,19 @@ type ShardRequest struct {
 	Budget  budget.Header
 	Version uint64
 	Shard   uint32
+	// Trace, when non-nil, ties this request to a sampled caller-side
+	// trace (optional trailer; old workers ignore it).
+	Trace *TraceContext
 }
 
 func (m ShardRequest) Append(b []byte) []byte {
 	b = m.Budget.AppendBinary(b)
 	b = binary.LittleEndian.AppendUint64(b, m.Version)
-	return binary.LittleEndian.AppendUint32(b, m.Shard)
+	b = binary.LittleEndian.AppendUint32(b, m.Shard)
+	if m.Trace != nil {
+		b = appendTraceTrailer(b, *m.Trace)
+	}
+	return b
 }
 
 func DecodeShardRequest(b []byte) (ShardRequest, error) {
@@ -295,19 +502,28 @@ func DecodeShardRequest(b []byte) (ShardRequest, error) {
 	}
 	d := dec{b: rest}
 	m := ShardRequest{Budget: h, Version: d.u64(), Shard: d.u32()}
+	if d.err == nil {
+		m.Trace = parseTrailers(d.b).trace
+	}
 	return m, d.err
 }
 
 // ShardReply carries one shard's CSR adjacency block.
 type ShardReply struct {
 	CSR graph.CSRShard
+	// Spans carries the worker's recorded spans for a traced request.
+	Spans []qtrace.Span
 }
 
 func (m ShardReply) Append(b []byte) []byte {
 	b = appendU32s(b, m.CSR.InOff)
 	b = appendNodes(b, m.CSR.InDst)
 	b = appendU32s(b, m.CSR.OutOff)
-	return appendNodes(b, m.CSR.OutDst)
+	b = appendNodes(b, m.CSR.OutDst)
+	if len(m.Spans) > 0 {
+		b = appendSpansTrailer(b, m.Spans)
+	}
+	return b
 }
 
 func DecodeShardReply(b []byte) (ShardReply, error) {
@@ -318,6 +534,9 @@ func DecodeShardReply(b []byte) (ShardReply, error) {
 		OutOff: d.u32s(),
 		OutDst: d.nodes(),
 	}}
+	if d.err == nil {
+		m.Spans = parseTrailers(d.b).spans
+	}
 	return m, d.err
 }
 
@@ -330,6 +549,9 @@ type WalkRequest struct {
 	Cur     graph.NodeID
 	State   uint64
 	Room    uint32
+	// Trace, when non-nil, ties this request to a sampled caller-side
+	// trace (optional trailer; old workers ignore it).
+	Trace *TraceContext
 }
 
 func (m WalkRequest) Append(b []byte) []byte {
@@ -338,7 +560,11 @@ func (m WalkRequest) Append(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.SqrtC))
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Cur))
 	b = binary.LittleEndian.AppendUint64(b, m.State)
-	return binary.LittleEndian.AppendUint32(b, m.Room)
+	b = binary.LittleEndian.AppendUint32(b, m.Room)
+	if m.Trace != nil {
+		b = appendTraceTrailer(b, *m.Trace)
+	}
+	return b
 }
 
 func DecodeWalkRequest(b []byte) (WalkRequest, error) {
@@ -352,6 +578,9 @@ func DecodeWalkRequest(b []byte) (WalkRequest, error) {
 	m.Cur = graph.NodeID(int32(d.u32()))
 	m.State = d.u64()
 	m.Room = d.u32()
+	if d.err == nil {
+		m.Trace = parseTrailers(d.b).trace
+	}
 	return m, d.err
 }
 
@@ -368,17 +597,26 @@ type WalkReply struct {
 	State  uint64
 	Status uint8
 	Nodes  []graph.NodeID
+	// Spans carries the worker's recorded spans for a traced request.
+	Spans []qtrace.Span
 }
 
 func (m WalkReply) Append(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.State)
 	b = append(b, m.Status)
-	return appendNodes(b, m.Nodes)
+	b = appendNodes(b, m.Nodes)
+	if len(m.Spans) > 0 {
+		b = appendSpansTrailer(b, m.Spans)
+	}
+	return b
 }
 
 func DecodeWalkReply(b []byte) (WalkReply, error) {
 	d := dec{b: b}
 	m := WalkReply{State: d.u64(), Status: d.u8(), Nodes: d.nodes()}
+	if d.err == nil {
+		m.Spans = parseTrailers(d.b).spans
+	}
 	return m, d.err
 }
 
@@ -399,6 +637,9 @@ type ApplyRequest struct {
 	Budget budget.Header
 	Batch  uint64
 	Ops    []Op
+	// Trace, when non-nil, ties this request to a sampled caller-side
+	// trace (optional trailer; old workers ignore it).
+	Trace *TraceContext
 }
 
 func (m ApplyRequest) Append(b []byte) []byte {
@@ -413,6 +654,9 @@ func (m ApplyRequest) Append(b []byte) []byte {
 		b = append(b, k)
 		b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
 		b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
+	}
+	if m.Trace != nil {
+		b = appendTraceTrailer(b, *m.Trace)
 	}
 	return b
 }
@@ -437,6 +681,9 @@ func DecodeApplyRequest(b []byte) (ApplyRequest, error) {
 		u := graph.NodeID(int32(d.u32()))
 		v := graph.NodeID(int32(d.u32()))
 		m.Ops = append(m.Ops, Op{Remove: k == 1, U: u, V: v})
+	}
+	if d.err == nil {
+		m.Trace = parseTrailers(d.b).trace
 	}
 	return m, d.err
 }

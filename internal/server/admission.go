@@ -34,7 +34,8 @@ import (
 
 	"probesim/internal/core"
 	"probesim/internal/graph"
-	"probesim/internal/metrics"
+	"probesim/internal/promexpo"
+	"probesim/internal/qtrace"
 	"probesim/internal/router"
 )
 
@@ -84,7 +85,7 @@ func (s *Server) Limits() Limits { return s.limits }
 
 // Metrics returns the server's metrics registry (for tests and for
 // embedding the server in a larger process).
-func (s *Server) Metrics() *metrics.Registry { return s.reg }
+func (s *Server) Metrics() *promexpo.Registry { return s.reg }
 
 type routeClass int
 
@@ -128,9 +129,18 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 		rm.InFlight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// The trace decision happens before anything can refuse the
+		// request, so a rejected or timed-out query still gets an id on
+		// the response header and a slow-query record; the trace (when
+		// sampled) rides the request context into the kernels.
+		tr, tid := s.beginTrace(sw, r, cl)
+		if tr != nil {
+			r = r.WithContext(qtrace.NewContext(r.Context(), tr, 0))
+		}
 		defer func() {
 			rm.InFlight.Add(-1)
-			rm.Latency.Observe(time.Since(start))
+			dur := time.Since(start)
+			rm.Latency.Observe(dur)
 			switch {
 			case sw.status == http.StatusGatewayTimeout:
 				rm.Timeouts.Add(1)
@@ -141,6 +151,7 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 			case sw.status >= 400:
 				rm.Errors.Add(1)
 			}
+			s.finishTrace(tr, tid, route, sw.status, start, dur)
 		}()
 
 		// The timeout wraps the request BEFORE admission, so time spent
@@ -153,10 +164,13 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		aref := tr.StartSpan("admission", 0)
 		release, degraded, ok := s.admit(sw, r, cl)
 		if !ok {
+			tr.EndSpanAnnot(aref, "outcome=rejected")
 			return
 		}
+		tr.EndSpan(aref)
 		defer release()
 		if degraded {
 			rm.Degraded.Add(1)
@@ -351,41 +365,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.ex.Snapshot()
 	hits, misses, cached := s.q.Stats()
 	s.reg.WritePrometheus(w, func(out io.Writer) {
-		metrics.WriteValueHistogram(out, "probesim_degraded_epsa",
+		promexpo.WriteValueHistogram(out, "probesim_degraded_epsa",
 			"Absolute error bound (epsa) each served similarity query ran at; mass above the configured epsa is degraded service.", s.epsaHist)
-		metrics.WriteGauge(out, "probesim_graph_nodes", "Nodes in the published snapshot.", int64(snap.NumNodes()))
-		metrics.WriteGauge(out, "probesim_graph_edges", "Directed edges in the published snapshot.", snap.NumEdges())
-		metrics.WriteGauge(out, "probesim_graph_version", "Version of the published snapshot.", int64(snap.Version()))
-		metrics.WriteCounter(out, "probesim_cache_hits_total", "Querier cache hits.", hits)
-		metrics.WriteCounter(out, "probesim_cache_misses_total", "Querier cache misses.", misses)
-		metrics.WriteGauge(out, "probesim_cache_vectors", "Cached single-source vectors.", int64(cached))
-		metrics.WriteCounter(out, "probesim_cache_shared_flights_total", "Queries that joined another's in-flight computation.", s.q.SharedFlights())
+		promexpo.WriteGauge(out, "probesim_graph_nodes", "Nodes in the published snapshot.", int64(snap.NumNodes()))
+		promexpo.WriteGauge(out, "probesim_graph_edges", "Directed edges in the published snapshot.", snap.NumEdges())
+		promexpo.WriteGauge(out, "probesim_graph_version", "Version of the published snapshot.", int64(snap.Version()))
+		promexpo.WriteCounter(out, "probesim_cache_hits_total", "Querier cache hits.", hits)
+		promexpo.WriteCounter(out, "probesim_cache_misses_total", "Querier cache misses.", misses)
+		promexpo.WriteGauge(out, "probesim_cache_vectors", "Cached single-source vectors.", int64(cached))
+		promexpo.WriteCounter(out, "probesim_cache_shared_flights_total", "Queries that joined another's in-flight computation.", s.q.SharedFlights())
+		if tcr := s.tracer; tcr != nil {
+			promexpo.WriteCounter(out, "probesim_slow_queries_total", "Completed queries over the slow-query threshold.", tcr.SlowCount())
+			promexpo.WriteCounter(out, "probesim_traces_sampled_total", "Requests that recorded a span tree.", tcr.Sampled())
+			// Stage histograms observe sampled queries only: per-stage
+			// timing costs clock reads the unsampled hot path must not pay.
+			promexpo.WriteValueHistogram(out, "probesim_trace_walk_seconds",
+				"Walk-stage seconds per sampled query (aggregated across the query's workers).", s.stageHist[qtrace.StageWalk])
+			promexpo.WriteValueHistogram(out, "probesim_trace_probe_seconds",
+				"Probe-stage seconds per sampled query (aggregated across the query's workers).", s.stageHist[qtrace.StageProbe])
+		}
 		if s.st != nil {
 			ss := s.st.Stats()
-			metrics.WriteGauge(out, "probesim_shards", "Shard CSRs in the published snapshot.", int64(ss.Shards))
-			metrics.WriteCounter(out, "probesim_shard_publications_total", "Snapshot publications.", ss.Publications)
-			metrics.WriteCounter(out, "probesim_shard_noop_publishes_total", "Publications with no pending mutations.", ss.NoopPublishes)
-			metrics.WriteCounter(out, "probesim_shard_aborted_publishes_total", "Publications abandoned by cancellation.", ss.AbortedPublishes)
-			metrics.WriteCounter(out, "probesim_shards_rebuilt_total", "Shard CSRs re-encoded across publications.", ss.ShardsRebuilt)
-			metrics.WriteCounter(out, "probesim_shards_reused_total", "Shard CSRs shared with the previous snapshot.", ss.ShardsReused)
-			metrics.WriteCounter(out, "probesim_shard_edges_reencoded_total", "Adjacency entries re-encoded across publications.", ss.EdgesReEncoded)
+			promexpo.WriteGauge(out, "probesim_shards", "Shard CSRs in the published snapshot.", int64(ss.Shards))
+			promexpo.WriteCounter(out, "probesim_shard_publications_total", "Snapshot publications.", ss.Publications)
+			promexpo.WriteCounter(out, "probesim_shard_noop_publishes_total", "Publications with no pending mutations.", ss.NoopPublishes)
+			promexpo.WriteCounter(out, "probesim_shard_aborted_publishes_total", "Publications abandoned by cancellation.", ss.AbortedPublishes)
+			promexpo.WriteCounter(out, "probesim_shards_rebuilt_total", "Shard CSRs re-encoded across publications.", ss.ShardsRebuilt)
+			promexpo.WriteCounter(out, "probesim_shards_reused_total", "Shard CSRs shared with the previous snapshot.", ss.ShardsReused)
+			promexpo.WriteCounter(out, "probesim_shard_edges_reencoded_total", "Adjacency entries re-encoded across publications.", ss.EdgesReEncoded)
 			gc := s.st.GC()
-			metrics.WriteCounter(out, "probesim_snapshot_retired_total", "Snapshot generations superseded by publication.", gc.RetiredTotal)
-			metrics.WriteGauge(out, "probesim_snapshot_retired_generations", "Superseded snapshot generations still live (pinned or uncollected).", int64(gc.RetiredLive))
-			metrics.WriteGauge(out, "probesim_snapshot_retired_bytes", "Approximate bytes uniquely pinned by live retired generations.", gc.RetiredBytes)
-			metrics.WriteGauge(out, "probesim_snapshot_bytes", "Resident size of the current snapshot.", gc.CurrentBytes)
+			promexpo.WriteCounter(out, "probesim_snapshot_retired_total", "Snapshot generations superseded by publication.", gc.RetiredTotal)
+			promexpo.WriteGauge(out, "probesim_snapshot_retired_generations", "Superseded snapshot generations still live (pinned or uncollected).", int64(gc.RetiredLive))
+			promexpo.WriteGauge(out, "probesim_snapshot_retired_bytes", "Approximate bytes uniquely pinned by live retired generations.", gc.RetiredBytes)
+			promexpo.WriteGauge(out, "probesim_snapshot_bytes", "Resident size of the current snapshot.", gc.CurrentBytes)
 		}
 		if s.wal != nil {
 			ws := s.wal.Stats()
-			metrics.WriteCounter(out, "probesim_wal_appends_total", "Edge batches appended to the write-ahead log.", ws.Appends)
-			metrics.WriteCounter(out, "probesim_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", ws.AppendedBytes)
-			metrics.WriteCounter(out, "probesim_wal_syncs_total", "Explicit fsyncs issued by the write-ahead log.", ws.Syncs)
-			metrics.WriteCounter(out, "probesim_wal_rotations_total", "Log segments rotated.", ws.Rotations)
-			metrics.WriteCounter(out, "probesim_wal_checkpoints_total", "Checkpoints written this process lifetime.", ws.Checkpoints)
-			metrics.WriteGauge(out, "probesim_wal_segments", "Log segment files currently on disk.", ws.SegmentsLive)
-			metrics.WriteGauge(out, "probesim_wal_segment_bytes", "Bytes across live log segments.", ws.SegmentBytes)
-			metrics.WriteGauge(out, "probesim_wal_last_batch", "Id of the last batch appended to the log.", int64(ws.LastBatch))
-			metrics.WriteGauge(out, "probesim_wal_checkpoint_batch", "Batch id the newest checkpoint covers through.", int64(ws.LastCheckpoint))
+			promexpo.WriteCounter(out, "probesim_wal_appends_total", "Edge batches appended to the write-ahead log.", ws.Appends)
+			promexpo.WriteCounter(out, "probesim_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", ws.AppendedBytes)
+			promexpo.WriteCounter(out, "probesim_wal_syncs_total", "Explicit fsyncs issued by the write-ahead log.", ws.Syncs)
+			promexpo.WriteCounter(out, "probesim_wal_rotations_total", "Log segments rotated.", ws.Rotations)
+			promexpo.WriteCounter(out, "probesim_wal_checkpoints_total", "Checkpoints written this process lifetime.", ws.Checkpoints)
+			promexpo.WriteGauge(out, "probesim_wal_segments", "Log segment files currently on disk.", ws.SegmentsLive)
+			promexpo.WriteGauge(out, "probesim_wal_segment_bytes", "Bytes across live log segments.", ws.SegmentBytes)
+			promexpo.WriteGauge(out, "probesim_wal_last_batch", "Id of the last batch appended to the log.", int64(ws.LastBatch))
+			promexpo.WriteGauge(out, "probesim_wal_checkpoint_batch", "Batch id the newest checkpoint covers through.", int64(ws.LastCheckpoint))
 		}
 		if s.rt != nil && s.rt.Distributed() {
 			workers := s.rt.WorkerStats()
@@ -395,48 +419,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			label := func(ws router.WorkerStat) string {
 				return fmt.Sprintf("worker=%q,group=\"%d\",replica=\"%d\"", ws.Addr, ws.Group, ws.Replica)
 			}
-			sample := func(v func(router.WorkerStat) int64) []metrics.Sample {
-				out := make([]metrics.Sample, len(workers))
+			sample := func(v func(router.WorkerStat) int64) []promexpo.Sample {
+				out := make([]promexpo.Sample, len(workers))
 				for i, ws := range workers {
-					out[i] = metrics.Sample{Label: label(ws), Value: v(ws)}
+					out[i] = promexpo.Sample{Label: label(ws), Value: v(ws)}
 				}
 				return out
 			}
-			metrics.WriteLabeled(out, "probesim_router_worker_up", "1 when the worker's last call or health probe succeeded.", "gauge",
+			promexpo.WriteLabeled(out, "probesim_router_worker_up", "1 when the worker's last call or health probe succeeded.", "gauge",
 				sample(func(ws router.WorkerStat) int64 {
 					if ws.Healthy {
 						return 1
 					}
 					return 0
 				}))
-			metrics.WriteLabeled(out, "probesim_router_worker_current", "1 when the replica has taken every identified batch in order and serves direct writes.", "gauge",
+			promexpo.WriteLabeled(out, "probesim_router_worker_current", "1 when the replica has taken every identified batch in order and serves direct writes.", "gauge",
 				sample(func(ws router.WorkerStat) int64 {
 					if ws.Current {
 						return 1
 					}
 					return 0
 				}))
-			metrics.WriteLabeled(out, "probesim_router_worker_version", "Snapshot version the worker last reported.", "gauge",
+			promexpo.WriteLabeled(out, "probesim_router_worker_version", "Snapshot version the worker last reported.", "gauge",
 				sample(func(ws router.WorkerStat) int64 { return int64(ws.Version) }))
-			metrics.WriteLabeled(out, "probesim_router_worker_shards", "Shards the worker owns in the published view.", "gauge",
+			promexpo.WriteLabeled(out, "probesim_router_worker_shards", "Shards the worker owns in the published view.", "gauge",
 				sample(func(ws router.WorkerStat) int64 { return int64(ws.Shards) }))
-			metrics.WriteLabeled(out, "probesim_router_worker_calls_total", "Engine calls issued to the worker.", "counter",
+			promexpo.WriteLabeled(out, "probesim_router_worker_calls_total", "Engine calls issued to the worker.", "counter",
 				sample(func(ws router.WorkerStat) int64 { return ws.Calls }))
-			metrics.WriteLabeled(out, "probesim_router_worker_errors_total", "Transport failures talking to the worker.", "counter",
+			promexpo.WriteLabeled(out, "probesim_router_worker_errors_total", "Transport failures talking to the worker.", "counter",
 				sample(func(ws router.WorkerStat) int64 { return ws.Errors }))
-			metrics.WriteLabeled(out, "probesim_router_worker_reconnects_total", "Connections dialed to the worker.", "counter",
+			promexpo.WriteLabeled(out, "probesim_router_worker_reconnects_total", "Connections dialed to the worker.", "counter",
 				sample(func(ws router.WorkerStat) int64 { return ws.Reconnects }))
 			rc := s.rt.Counters()
-			metrics.WriteCounter(out, "probesim_router_shard_fetches_total", "Shard adjacency blocks fetched from workers.", rc.ShardFetches)
-			metrics.WriteCounter(out, "probesim_router_shard_fetch_errors_total", "Shard block fetches that failed.", rc.ShardFetchErrors)
-			metrics.WriteCounter(out, "probesim_router_walk_segments_total", "Walk segments sampled on workers.", rc.WalkSegments)
-			metrics.WriteCounter(out, "probesim_router_walk_handoffs_total", "Walks handed off across shard owners.", rc.WalkHandoffs)
-			metrics.WriteCounter(out, "probesim_router_apply_retries_total", "Identified batches re-sent to a worker after a transport failure.", rc.ApplyRetries)
-			metrics.WriteCounter(out, "probesim_router_failovers_total", "Reads retried on another replica after a retryable failure.", rc.Failovers)
-			metrics.WriteCounter(out, "probesim_router_hedges_sent_total", "Speculative duplicate reads launched after the hedge delay.", rc.HedgesSent)
-			metrics.WriteCounter(out, "probesim_router_hedges_won_total", "Hedged reads that answered before the primary.", rc.HedgesWon)
-			metrics.WriteCounter(out, "probesim_router_apply_skipped_total", "Write broadcasts that skipped a demoted replica (the ring replays it later).", rc.ApplySkips)
-			metrics.WriteCounter(out, "probesim_router_catchup_batches_total", "Ring batches replayed to lagging replicas during catch-up.", rc.CatchupBatches)
+			promexpo.WriteCounter(out, "probesim_router_shard_fetches_total", "Shard adjacency blocks fetched from workers.", rc.ShardFetches)
+			promexpo.WriteCounter(out, "probesim_router_shard_fetch_errors_total", "Shard block fetches that failed.", rc.ShardFetchErrors)
+			promexpo.WriteCounter(out, "probesim_router_walk_segments_total", "Walk segments sampled on workers.", rc.WalkSegments)
+			promexpo.WriteCounter(out, "probesim_router_walk_handoffs_total", "Walks handed off across shard owners.", rc.WalkHandoffs)
+			promexpo.WriteCounter(out, "probesim_router_apply_retries_total", "Identified batches re-sent to a worker after a transport failure.", rc.ApplyRetries)
+			promexpo.WriteCounter(out, "probesim_router_failovers_total", "Reads retried on another replica after a retryable failure.", rc.Failovers)
+			promexpo.WriteCounter(out, "probesim_router_hedges_sent_total", "Speculative duplicate reads launched after the hedge delay.", rc.HedgesSent)
+			promexpo.WriteCounter(out, "probesim_router_hedges_won_total", "Hedged reads that answered before the primary.", rc.HedgesWon)
+			promexpo.WriteCounter(out, "probesim_router_apply_skipped_total", "Write broadcasts that skipped a demoted replica (the ring replays it later).", rc.ApplySkips)
+			promexpo.WriteCounter(out, "probesim_router_catchup_batches_total", "Ring batches replayed to lagging replicas during catch-up.", rc.CatchupBatches)
 		}
 	})
 }

@@ -1,0 +1,55 @@
+package server
+
+// Tracer overhead benchmark: the acceptance bar for always-armed tracing
+// is that an armed-but-unsampled tracer (the production default: slow
+// logging on, SampleRate 0) costs no more than ~2% latency over no
+// tracer at all. Every request pays one 128-bit id draw, one response
+// header, and nil-trace branches through the kernel; nothing records.
+// Run with
+//
+//	go test -run '^$' -bench 'BenchmarkTracerOverhead' -benchtime=200x ./internal/server
+//
+// and compare the armed/off pairs (benchstat, or eyeball ns/op).
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"probesim/internal/qtrace"
+)
+
+func benchTrace(b *testing.B, armed bool) {
+	s := benchServer(b, Limits{QueryTimeout: 30 * time.Second})
+	if armed {
+		s.SetTracer(qtrace.NewTracer(time.Hour, 0, 0, slog.New(slog.NewTextHandler(io.Discard, nil))))
+	}
+	rec := httptest.NewRecorder()
+	warm := httptest.NewRequest(http.MethodGet, "/topk?u=0&k=10", nil)
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup: %d", rec.Code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate the source node so every request runs the kernel
+		// (cache capacity 1): the tracer hooks sit on the query path,
+		// not the cache-hit path.
+		u := 1 + i%19999
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/topk?u=%d&k=10", u), nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("query %d: %d", u, w.Code)
+		}
+	}
+}
+
+func BenchmarkTracerOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchTrace(b, false) })
+	b.Run("armed-unsampled", func(b *testing.B) { benchTrace(b, true) })
+}

@@ -68,12 +68,14 @@ func (s *Server) handleProgressiveTopK(w http.ResponseWriter, r *http.Request) {
 	for i, r := range res {
 		out[i] = scoredNodeJSON{Node: r.Node, Score: r.Score}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"query": u, "results": out,
 		"walks": stats.Walks, "budgetWalks": stats.BudgetWalks,
 		"rounds": stats.Rounds, "radius": stats.Radius,
 		"separated": stats.Separated,
-	})
+	}
+	addTrace(r, body)
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handlePair answers s(u, v) from the cached single-source vector of u, so
@@ -98,9 +100,11 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"u": u, "v": v, "score": scores[v],
-	})
+	}
+	addTrace(r, body)
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleJoinTopK runs a global top-k similarity join. This is n

@@ -38,7 +38,8 @@ import (
 	"probesim/internal/core"
 	"probesim/internal/graph"
 	"probesim/internal/health"
-	"probesim/internal/metrics"
+	"probesim/internal/promexpo"
+	"probesim/internal/qtrace"
 	"probesim/internal/router"
 	"probesim/internal/shard"
 	"probesim/internal/wal"
@@ -76,13 +77,20 @@ type Server struct {
 
 	// reg feeds /metrics: per-route latency histograms, in-flight
 	// gauges, timeout/rejection counters.
-	reg *metrics.Registry
+	reg *promexpo.Registry
 
 	// epsaHist observes the εa every served similarity query actually
 	// ran at: the base εa for normal admissions, the widened one for
 	// degraded admissions — the accuracy distribution operators watch
 	// under pressure (probesim_degraded_epsa on /metrics).
-	epsaHist *metrics.ValueHistogram
+	epsaHist *promexpo.ValueHistogram
+
+	// tracer, when armed (SetTracer), owns query tracing: sampling,
+	// span recording, the slow-query log and /debug/queries. stageHist
+	// holds the per-stage (walk/probe) duration histograms sampled
+	// queries feed behind /metrics.
+	tracer    *qtrace.Tracer
+	stageHist [qtrace.NumStages]*promexpo.ValueHistogram
 
 	// hstate backs /healthz and /readyz: liveness is unconditional, and
 	// readiness starts true (newServer returns a fully usable server) but
@@ -150,17 +158,22 @@ func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options
 		limit:   limit,
 		mux:     http.NewServeMux(),
 		joinSem: make(chan struct{}, 1),
-		reg:     metrics.NewRegistry(),
+		reg:     promexpo.NewRegistry(),
 		// Bounds double from one half of the tightest production εa up
 		// through the widest degradation the admission layer can apply
 		// (DegradeFactor caps εa at 0.9).
-		epsaHist: metrics.NewValueHistogram([]float64{0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8}),
+		epsaHist: promexpo.NewValueHistogram([]float64{0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8}),
+	}
+	for st := range s.stageHist {
+		// Seconds of stage time per query, 100µs up to 5s.
+		s.stageHist[st] = promexpo.NewValueHistogram([]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
 	}
 	s.handle("/topk", classQuery, s.handleTopK)
 	s.handle("/single-source", classQuery, s.handleSingleSource)
 	s.handle("/edges", classWrite, s.handleEdges)
 	s.handle("/stats", classMeta, s.handleStats)
 	s.handle("/metrics", classMeta, s.handleMetrics)
+	s.handle("/debug/queries", classMeta, s.handleDebugQueries)
 	// Probes bypass admission control and instrumentation entirely: an
 	// orchestrator must get an answer even when the server is saturated.
 	s.hstate.SetReady(true)
@@ -240,7 +253,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for i, r := range res {
 		out[i] = scoredNodeJSON{Node: r.Node, Score: r.Score}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"query": u, "results": out})
+	body := map[string]any{"query": u, "results": out}
+	addTrace(r, body)
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
@@ -282,9 +297,11 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	for _, e := range top {
 		m[strconv.Itoa(int(e.v))] = e.s
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"query": u, "nonzero": len(nonzero), "scores": m,
-	})
+	}
+	addTrace(r, body)
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"probesim/internal/budget"
 	"probesim/internal/graph"
+	"probesim/internal/qtrace"
 	"probesim/internal/xrand"
 )
 
@@ -85,6 +86,10 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 	if gen.meter.Stopped() {
 		return buf
 	}
+	// Stage timing: a traced query attributes the whole walk (including
+	// any shard RPC round trips of a segmented view) to the walk stage;
+	// untraced queries get a zero clk and StageEnd is a no-op.
+	clk := gen.meter.StageStart()
 	if gen.seg != nil {
 		// Segmented view: the view steps the walk (shard-locally or over
 		// RPC), round-tripping the RNG state so the stream is the one an
@@ -98,9 +103,11 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 			}
 		}
 		gen.rng.SetState(state)
+		gen.meter.StageEnd(qtrace.StageWalk, clk)
 		return buf
 	}
 	buf, _ = Segment(&gen.adj, u, maxNodes-1, gen.sqrtC, gen.rng, nil, nil, buf)
+	gen.meter.StageEnd(qtrace.StageWalk, clk)
 	return buf
 }
 

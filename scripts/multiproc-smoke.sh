@@ -83,6 +83,28 @@ curl -sf -X POST "http://127.0.0.1:$ROUTED/edges?u=3&v=1998" >/dev/null
 curl -sf -X POST "http://127.0.0.1:$SINGLE/edges?u=3&v=1998" >/dev/null
 check "/topk?u=3&k=10"
 
+echo "== end-to-end query trace"
+# ?trace=1 must come back with the trace id on the response header AND
+# inlined spans that include at least one worker-side span grafted from
+# a shardd reply — proof the trace context crossed the RPC wire. A fresh
+# source node keeps the answer cache from short-circuiting the fleet.
+TRACE_HDRS="$TMP/trace-headers"
+TRACE="$(curl -sf -D "$TRACE_HDRS" "http://127.0.0.1:$ROUTED/topk?u=11&k=5&trace=1")"
+HDR_ID="$(tr -d '\r' <"$TRACE_HDRS" | awk -F': ' 'tolower($1)=="x-probesim-trace-id"{print $2}')"
+if [ -z "$HDR_ID" ]; then
+  echo "traced query missing X-ProbeSim-Trace-Id response header" >&2
+  exit 1
+fi
+echo "$TRACE" | grep -q "\"traceId\":\"$HDR_ID\"" || {
+  echo "traced response body id does not match header id $HDR_ID" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"name":"worker.walk_segment"' || {
+  echo "traced response has no worker-side walk_segment span" >&2
+  exit 1
+}
+echo "   trace $HDR_ID stitched across router and workers"
+
 echo "== router observability"
 # Capture, THEN grep: `curl | grep -q` under pipefail dies of SIGPIPE
 # when grep quits at the first match before curl finishes writing.
