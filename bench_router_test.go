@@ -11,24 +11,58 @@ package probesim_test
 //     router.NewLocal — the fast path must add nothing (it serves the
 //     store's own snapshots).
 //   - BenchmarkRouterSingleSource/router-engines: two in-process engines
-//     splitting shard ownership through the generic path (lazy block
-//     table, per-query bound view, walk-segment delegation) — the
+//     splitting shard ownership through the generic path (materialized
+//     composite view, router-side stepping, batched delegation) — the
 //     in-memory cost of the distribution seam, network excluded.
+//   - BenchmarkRouterSingleSource/router-tcp-batched: the same topology
+//     over real loopback TCP with the batched wire forms (WalkBatch,
+//     ResolveShards) — what a real fleet pays per query.
+//   - BenchmarkRouterSingleSource/router-tcp-persegment: the same
+//     sockets forced to the pre-batch per-segment wire forms (legacy
+//     servers, one RPC per walk segment) — the distribution tax the
+//     batched plane collapses.
 //
 // Run with
 //
 //	go test -run '^$' -bench 'BenchmarkRouter' -benchmem
 //
-// Committed results live in BENCH_PR4.json.
+// Committed results live in BENCH_PR4.json and BENCH_PR8.json.
 
 import (
 	"context"
+	"net"
 	"testing"
 
 	"probesim/internal/core"
+	"probesim/internal/graph"
 	"probesim/internal/router"
 	"probesim/internal/shard"
 )
+
+// benchTCPFleet serves two modern-or-legacy TCP workers splitting shard
+// ownership and returns a router over them.
+func benchTCPFleet(b *testing.B, g *graph.Graph, legacy bool) *router.Router {
+	b.Helper()
+	var engines []router.ShardEngine
+	for i := 0; i < 2; i++ {
+		srv := router.NewServer(router.NewLocalEngine(shard.NewStore(g, shardBenchShards, 0), i, 2))
+		srv.SetLegacy(legacy)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		b.Cleanup(func() { srv.Close() })
+		re := router.NewRemoteEngine(ln.Addr().String())
+		b.Cleanup(func() { re.Close() })
+		engines = append(engines, re)
+	}
+	rt, err := router.New(engines...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
 
 func BenchmarkRouterSingleSource(b *testing.B) {
 	g := shardBenchGraph(b)
@@ -77,7 +111,41 @@ func BenchmarkRouterSingleSource(b *testing.B) {
 			}
 		}
 	}
+	// Churn variants publish a fresh generation before every query, so
+	// each iteration pays the COLD view: re-materialization plus walk
+	// delegation over the wire. This is where the batched forms earn
+	// their keep — a warm view answers with zero read RPCs either way.
+	runChurn := func(rt *router.Router) func(*testing.B) {
+		return func(b *testing.B) {
+			ex := core.NewExecutorOn(rt, opt)
+			buf := make([]float64, g.NumNodes())
+			ctx := context.Background()
+			// Net-zero churn: add and remove the same edge in one batch.
+			// The version still moves, invalidating the cached view.
+			ops := []router.Op{{U: u, V: u + 1}, {Remove: true, U: u, V: u + 1}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Apply(ctx, ops); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rt.PublishView(ctx); err != nil {
+					b.Fatal(err)
+				}
+				out, err := ex.SingleSourceInto(ctx, u, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out
+			}
+		}
+	}
+
 	b.Run("direct-store", run(st))
 	b.Run("router-local", run(local))
 	b.Run("router-engines", run(split))
+	b.Run("router-tcp-batched", run(benchTCPFleet(b, g, false)))
+	b.Run("router-tcp-persegment", run(benchTCPFleet(b, g, true)))
+	b.Run("router-tcp-batched-churn", runChurn(benchTCPFleet(b, g, false)))
+	b.Run("router-tcp-persegment-churn", runChurn(benchTCPFleet(b, g, true)))
 }

@@ -30,6 +30,16 @@
 // window. A data dir with state wins over -graph; an empty one is
 // bootstrapped from it.
 //
+// With -shard-local (and -group > 1) the worker holds adjacency ONLY for
+// its owned shards: bootstrap discards the rest of the loaded graph,
+// checkpoints spill and recover just the owned stride, and per-worker
+// resident memory shrinks to roughly 1/group of the graph. Version
+// counters still advance in lockstep with the fleet (every batch is
+// applied and logged in full), so results stay bit-identical to
+// full-copy workers. The one contract: scoped fleets must sit behind a
+// writer that submits valid batches, because a worker owning neither
+// endpoint of a removed edge accepts the remove without checking it.
+//
 // The last -retain generations stay resolvable so in-flight queries read
 // the exact snapshot they pinned while churn publishes newer ones.
 //
@@ -53,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -81,6 +92,7 @@ func main() {
 		shards     = flag.Int("shards", 16, "partition the graph into up to this many shards (must match every worker and router)")
 		index      = flag.Int("index", 0, "this worker's index within the group")
 		group      = flag.Int("group", 1, "worker-group size; this worker owns shards p with p%group==index")
+		shardLocal = flag.Bool("shard-local", false, "hold adjacency (and checkpoint arrays) only for owned shards: per-worker memory and boot I/O shrink to ~1/group")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
 		eagerSpans = flag.Bool("eager-spans", false, "materialize snapshot span arrays in the background after each publication")
 		healthAddr = flag.String("health-addr", "", "serve HTTP /healthz and /readyz on this address (empty = off)")
@@ -113,6 +125,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "probesim-shardd: need 0 <= index < group")
 		os.Exit(1)
 	}
+	// The scoped store only makes sense with a real group; under group 1
+	// it would just be the full store with extra bookkeeping.
+	scopeIndex, scopeGroup := 0, 0
+	if *shardLocal && *group > 1 {
+		scopeIndex, scopeGroup = *index, *group
+	}
 	loadGraph := func() (*probesim.Graph, error) {
 		if *path == "" {
 			return nil, fmt.Errorf("probesim-shardd: -data-dir %s holds no recoverable state and no -graph was given to bootstrap it", *dataDir)
@@ -136,7 +154,7 @@ func main() {
 			fatal("parsing -fsync", "err", err)
 		}
 		var rstats persist.RecoveryStats
-		st, lg, rstats, err = persist.OpenStore(*dataDir, *shards, *rebuildW,
+		st, lg, rstats, err = persist.OpenStoreScoped(*dataDir, *shards, *rebuildW, scopeIndex, scopeGroup,
 			wal.Options{Sync: policy, SyncEvery: *fsyncIvl, SegmentBytes: *segBytes}, loadGraph)
 		if err != nil {
 			fatal("opening data dir", "dir", *dataDir, "err", err)
@@ -155,8 +173,16 @@ func main() {
 		if err != nil {
 			fatal("loading graph", "err", err)
 		}
-		st = shard.NewStore(g, *shards, *rebuildW)
+		if scopeGroup > 1 {
+			st = shard.NewStoreScoped(g, *shards, *rebuildW, scopeIndex, scopeGroup)
+		} else {
+			st = shard.NewStore(g, *shards, *rebuildW)
+		}
 	}
+	// Bootstrap churns through a full graph load (and, scoped, discards
+	// most of it); hand that garbage back to the OS now so the worker's
+	// resident set reflects what it actually serves.
+	debug.FreeOSMemory()
 	if *eagerSpans {
 		st.EnableEagerSpans()
 	}
@@ -206,7 +232,7 @@ func main() {
 	slog.Info("serving",
 		"nodes", st.NumNodes(), "edges", st.NumEdges(), "addr", ln.Addr().String(),
 		"worker", *index, "group", *group, "owned", owned, "shards", st.NumShards(),
-		"stride", st.Partition().Stride(), "durable", lg != nil)
+		"stride", st.Partition().Stride(), "durable", lg != nil, "shard_local", scopeGroup > 1)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

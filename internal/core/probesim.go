@@ -223,10 +223,27 @@ func SelectTopK(est []float64, u graph.NodeID, k int) []ScoredNode {
 	return h
 }
 
+// walkStreamBase offsets the per-trial walk RNG streams: walk trial t of
+// a query draws from Split(walkStreamBase + t) of the seed stream, in
+// every mode. The base keeps trial streams disjoint from the other
+// streams a query derives (per-path probe streams at +0x10000, the
+// progressive kernel's 0 and 1). Deriving one independent stream per
+// TRIAL — rather than per worker — is what makes results independent of
+// the worker count and, crucially, makes every walk's start state known
+// before any walk steps: the batched distributed plane ships those states
+// N at a time in one WalkBatch RPC.
+const walkStreamBase = 1 << 32
+
+// walkWave is how many trials a batched run generates per GenerateMany
+// call: large enough to amortize one round trip per owning group across
+// hundreds of walks, small enough to keep budget-stop latency low.
+const walkWave = 256
+
 // runPerWalk executes the non-batched modes: nr independent trials, each
 // generating one √c-walk and probing all of its prefixes. Trials are
-// partitioned across workers, each with its own RNG stream, scratch space
-// and accumulator. Scratch comes from pool when one is supplied (the
+// partitioned across workers, each trial drawing from its own seed-derived
+// RNG stream (walkStreamBase + trial), so estimates do not depend on the
+// worker count. Scratch comes from pool when one is supplied (the
 // Executor's steady-state path) and is allocated fresh otherwise.
 //
 // Each worker checkpoints the shared meter at every trial boundary (one
@@ -249,23 +266,26 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 	for w := 0; w < workers; w++ {
 		lo := plan.NumWalks * w / workers
 		hi := plan.NumWalks * (w + 1) / workers
-		rng := root.Split(uint64(w))
 		sc := pool.get(n)
 		scs[w] = sc
 		wg.Add(1)
-		go func(trials int, rng *xrand.RNG, sc *queryScratch) {
+		go func(lo, hi int, sc *queryScratch) {
 			defer wg.Done()
 			acc := sc.acc
-			gen := walk.NewGenerator(g, plan.C, rng)
+			var rng xrand.RNG
+			gen := walk.NewGenerator(g, plan.C, &rng)
 			gen.SetMeter(m)
 			s := sc.det
 			s.SetMeter(m)
 			buf := sc.buf
 			cp := budget.NewCheckpoint(m, budget.DefaultInterval)
-			for t := 0; t < trials; t++ {
+			for t := lo; t < hi; t++ {
 				if cp.Stop() {
 					break
 				}
+				// The trial stream covers the walk and, for the randomized
+				// variant, continues into that trial's probes.
+				rng.SetState(root.SplitState(walkStreamBase + uint64(t)))
 				buf = gen.Generate(u, plan.MaxWalkNodes, buf)
 				clk := m.StageStart() // probe window; walk time is charged inside Generate
 				for i := 2; i <= len(buf); i++ {
@@ -274,7 +294,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 					}
 					prefix := buf[:i]
 					if plan.Mode == ModeRandomized {
-						for _, v := range probe.Randomized(g, prefix, plan.SqrtC, rng, s) {
+						for _, v := range probe.Randomized(g, prefix, plan.SqrtC, &rng, s) {
 							acc[v]++
 						}
 					} else {
@@ -288,7 +308,7 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 				m.ChargeWalks(1)
 			}
 			sc.buf = buf
-		}(hi-lo, rng, sc)
+		}(lo, hi, sc)
 	}
 	wg.Wait()
 	return mergeScratch(scs, n, 1/float64(plan.NumWalks), pool, dst)
@@ -301,29 +321,47 @@ func runPerWalk(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst 
 func runBatched(g graph.View, u graph.NodeID, plan Plan, pool *scratchPool, dst []float64, m *budget.Meter) []float64 {
 	n := g.NumNodes()
 	rootRNG := xrand.New(plan.Seed)
-	// Walks come from stream 0, the same stream a single-worker per-walk
-	// run uses, so batching is observably a pure deduplication of probes.
+	// Walk trial t draws from the same per-trial stream the per-walk modes
+	// use (walkStreamBase + t), so batching is observably a pure
+	// deduplication of probes. Trials are generated in waves: all start
+	// states of a wave are known upfront, which lets a batch-aware
+	// distributed view advance the whole wave with one RPC per owning
+	// group instead of one per walk segment.
 	walkSC := pool.get(n)
 	tree := walkSC.walkTree(u)
-	gen := walk.NewGenerator(g, plan.C, rootRNG.Split(0))
+	gen := walk.NewGenerator(g, plan.C, rootRNG)
 	gen.SetMeter(m)
-	buf := walkSC.buf
 	// Tree inserts are cheap relative to probes, so the walk stage polls
 	// at a coarser interval; a budget tripping here leaves a partial tree
 	// whose paths the (immediately draining) probe stage never expands.
 	cpWalk := budget.NewCheckpoint(m, 4*budget.DefaultInterval)
-	for t := 0; t < plan.NumWalks; t++ {
-		if cpWalk.Stop() {
-			break
+	var (
+		states  [walkWave]uint64
+		wave    = walkSC.wave
+		stopped bool
+	)
+	for t0 := 0; t0 < plan.NumWalks && !stopped; t0 += walkWave {
+		hi := min(t0+walkWave, plan.NumWalks)
+		for t := t0; t < hi; t++ {
+			states[t-t0] = rootRNG.SplitState(walkStreamBase + uint64(t))
 		}
-		buf = gen.Generate(u, plan.MaxWalkNodes, buf)
-		if err := tree.Insert(buf); err != nil {
-			// Unreachable: walks always start at u.
-			panic(err)
+		wave = gen.GenerateMany(u, states[:hi-t0], plan.MaxWalkNodes, wave)
+		// Inserts run in trial order: the tree's sibling lists — and so the
+		// enumerated path order and per-path probe streams — depend on
+		// insertion order.
+		for i := range wave {
+			if cpWalk.Stop() {
+				stopped = true
+				break
+			}
+			if err := tree.Insert(wave[i].Buf); err != nil {
+				// Unreachable: walks always start at u.
+				panic(err)
+			}
+			m.ChargeWalks(1)
 		}
-		m.ChargeWalks(1)
 	}
-	walkSC.buf = buf
+	walkSC.wave = wave
 	// Enumerate paths into the pooled arena; they are consumed before the
 	// scratch returns to the pool in mergeScratch.
 	paths, arena := tree.AppendPaths(walkSC.paths[:0], walkSC.arena[:0])

@@ -5,6 +5,7 @@ import (
 
 	"probesim/internal/graph"
 	"probesim/internal/probe"
+	"probesim/internal/walk"
 )
 
 // queryScratch bundles every reusable buffer one worker needs to run
@@ -28,6 +29,7 @@ type queryScratch struct {
 	tree  *WalkTree
 	paths []Path
 	arena []graph.NodeID
+	wave  []walk.BatchWalk
 }
 
 // walkTree returns the pooled tree reset to root u, allocating it on

@@ -133,7 +133,12 @@ func TestChaosBitIdenticalUnderFaultSchedule(t *testing.T) {
 					t.Fatal(err)
 				}
 				if hedged {
-					rt.SetHedge(router.HedgePolicy{Enabled: true, MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+					// MaxDelay sits below the plan's Slow latency: the batched
+					// walk plane sends only a handful of RPCs per query, so the
+					// latency tracker never warms past its cold start and
+					// MaxDelay IS the effective hedge delay — it must be short
+					// enough that a slow-faulted primary triggers the hedge.
+					rt.SetHedge(router.HedgePolicy{Enabled: true, MinDelay: 200 * time.Microsecond, MaxDelay: time.Millisecond})
 				}
 				opt := testOptions()
 				want := core.NewExecutorOn(ref, opt)

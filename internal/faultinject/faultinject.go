@@ -42,9 +42,9 @@ type Plan struct {
 	Slow    time.Duration // latency spike for PSlow (default 20ms)
 	MaxHang time.Duration // hang ceiling for PHang (default 2s)
 
-	// ReadsOnly restricts injection to ResolveShard and WalkSegment,
-	// leaving Apply clean — for tests that fault the read plane while
-	// keeping the write plane converged.
+	// ReadsOnly restricts injection to ResolveShard(s) and
+	// WalkSegment/WalkBatch, leaving Apply clean — for tests that fault
+	// the read plane while keeping the write plane converged.
 	ReadsOnly bool
 }
 
@@ -180,6 +180,34 @@ func (e *Engine) WalkSegment(ctx context.Context, version uint64, h budget.Heade
 		return buf, state, router.SegmentEnded, errInjected("lost reply", e.calls.Load())
 	}
 	return out, st, status, err
+}
+
+// ResolveShards implements ShardEngine with read faults: the batch is
+// one call on the wire, so it draws one fault decision.
+func (e *Engine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	lost, err := e.before(ctx, e.decide())
+	if err != nil {
+		return nil, err
+	}
+	csrs, err := e.inner.ResolveShards(ctx, version, ps)
+	if lost && err == nil {
+		return nil, errInjected("lost reply", e.calls.Load())
+	}
+	return csrs, err
+}
+
+// WalkBatch implements ShardEngine with read faults: one decision per
+// batch, matching its single round trip.
+func (e *Engine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []router.WalkStart) ([]router.WalkResult, error) {
+	lost, err := e.before(ctx, e.decide())
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.inner.WalkBatch(ctx, version, h, sqrtC, walks)
+	if lost && err == nil {
+		return nil, errInjected("lost reply", e.calls.Load())
+	}
+	return out, err
 }
 
 // Apply implements ShardEngine with write faults (disabled by

@@ -113,6 +113,13 @@ func ResolveAdj(v View) Adj {
 	}
 }
 
+// ViewAdj returns the interface-dispatch fallback Adj over v: what
+// ResolveAdj's default case builds. An AdjProvider outside this package
+// uses it when its devirtualized path is unavailable (for example the
+// router's bound view after a failed bulk materialization) — calling
+// ResolveAdj again would just re-enter the provider.
+func ViewAdj(v View) Adj { return Adj{view: v, n: v.NumNodes()} }
+
 // PackSpan encodes a shard-local [start, end) list span for the dense
 // span arrays of the sharded Adj path.
 func PackSpan(start, end uint32) uint64 { return uint64(start)<<32 | uint64(end) }

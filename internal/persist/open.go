@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probesim/internal/graph"
@@ -49,6 +50,18 @@ type RecoveryStats struct {
 // checkpointed with (shards is ignored), because the partition is fixed
 // for the life of a store.
 func OpenStore(dir string, shards, workers int, wopt wal.Options, bootstrap func() (*graph.Graph, error)) (*shard.Store, *wal.Log, RecoveryStats, error) {
+	return OpenStoreScoped(dir, shards, workers, 0, 0, wopt, bootstrap)
+}
+
+// OpenStoreScoped is OpenStore for a shard-local worker: checkpoint
+// decoding, bootstrap and the restored store are all scoped to the
+// shards p with p%group == index (group <= 1 behaves exactly like
+// OpenStore). The write-ahead log itself is NOT scoped — every batch is
+// appended and replayed in full so the worker's version counters stay in
+// lockstep with the fleet — but log records are a few bytes per op,
+// while the checkpoint arrays (the bulk of the directory and of boot
+// I/O and heap) shrink to the owned stride.
+func OpenStoreScoped(dir string, shards, workers, index, group int, wopt wal.Options, bootstrap func() (*graph.Graph, error)) (*shard.Store, *wal.Log, RecoveryStats, error) {
 	var stats RecoveryStats
 	lg, rec, err := wal.Open(dir, wopt)
 	if err != nil {
@@ -59,12 +72,29 @@ func OpenStore(dir string, shards, workers int, wopt wal.Options, bootstrap func
 		return nil, nil, stats, err
 	}
 	var st *shard.Store
-	if rec.CheckpointPath != "" {
+	if rec.DeltaPath != "" {
+		bc, err := wal.OpenCheckpoint(rec.CheckpointPath)
+		if err != nil {
+			return fail(fmt.Errorf("persist: opening base checkpoint: %w", err))
+		}
+		dc, err := wal.OpenCheckpoint(rec.DeltaPath)
+		if err != nil {
+			bc.Close()
+			return fail(fmt.Errorf("persist: opening delta checkpoint: %w", err))
+		}
+		st, err = ReadStoreDelta(bc, dc, workers, index, group)
+		bc.Close()
+		dc.Close()
+		if err != nil {
+			return fail(fmt.Errorf("persist: decoding checkpoint %s + %s: %w", rec.CheckpointPath, rec.DeltaPath, err))
+		}
+		stats.CheckpointThrough = rec.DeltaThrough
+	} else if rec.CheckpointPath != "" {
 		rc, err := wal.OpenCheckpoint(rec.CheckpointPath)
 		if err != nil {
 			return fail(fmt.Errorf("persist: opening checkpoint: %w", err))
 		}
-		st, err = ReadStore(rc, workers)
+		st, err = ReadStoreScoped(rc, workers, index, group)
 		rc.Close()
 		if err != nil {
 			return fail(fmt.Errorf("persist: decoding checkpoint %s: %w", rec.CheckpointPath, err))
@@ -80,7 +110,11 @@ func OpenStore(dir string, shards, workers int, wopt wal.Options, bootstrap func
 		if err != nil {
 			return fail(err)
 		}
-		st = shard.NewStore(g, shards, workers)
+		if group > 1 {
+			st = shard.NewStoreScoped(g, shards, workers, index, group)
+		} else {
+			st = shard.NewStore(g, shards, workers)
+		}
 		stats.Bootstrapped = true
 		// The initial checkpoint makes the directory self-contained: after
 		// it lands, recovery never needs the original graph file.
@@ -121,6 +155,16 @@ func OpenStore(dir string, shards, workers int, wopt wal.Options, bootstrap func
 // Checkpointer periodically spills the store's published snapshot into
 // the log's checkpoint slot, truncating covered segments — the cadence
 // knob that bounds both recovery replay time and disk growth.
+//
+// Spills are INCREMENTAL where they can be: after a full spill, the
+// checkpointer remembers the per-shard versions it covered and writes
+// delta spills carrying only the shards that moved since (plus shards
+// added later), cumulatively against that base. A full spill is written
+// when there is no base yet (first checkpoint of the process), when at
+// least half the shards have moved (a delta would no longer save much
+// and would keep old segments alive), or every fullSpillEvery deltas —
+// the backstop that lets the log truncate segments, which deltas never
+// do.
 type Checkpointer struct {
 	st    *shard.Store
 	lg    *wal.Log
@@ -131,6 +175,39 @@ type Checkpointer struct {
 	stop    chan struct{}
 	done    chan struct{}
 	errs    []error
+
+	base        *Base // versions the newest full spill covered; nil = none yet
+	deltasSince int
+
+	fulls         atomic.Int64
+	deltas        atomic.Int64
+	shardsSpilled atomic.Int64
+	shardsSkipped atomic.Int64
+}
+
+// fullSpillEvery bounds consecutive delta spills: the next checkpoint
+// after this many deltas is full, letting the log truncate the segments
+// the delta chain kept alive.
+const fullSpillEvery = 8
+
+// CheckpointerStats reports spill effectiveness: how many full and
+// delta spills ran, and how many shard CSRs the deltas wrote vs skipped
+// as unchanged (the saved fraction of checkpoint I/O).
+type CheckpointerStats struct {
+	Fulls         int64
+	Deltas        int64
+	ShardsSpilled int64
+	ShardsSkipped int64
+}
+
+// Stats returns the checkpointer's spill counters.
+func (c *Checkpointer) Stats() CheckpointerStats {
+	return CheckpointerStats{
+		Fulls:         c.fulls.Load(),
+		Deltas:        c.deltas.Load(),
+		ShardsSpilled: c.shardsSpilled.Load(),
+		ShardsSkipped: c.shardsSkipped.Load(),
+	}
 }
 
 // StartCheckpointer runs a background loop that checkpoints whenever at
@@ -170,8 +247,10 @@ func StartCheckpointer(st *shard.Store, lg *wal.Log, every int64, interval time.
 	return c
 }
 
-// Checkpoint spills the currently published snapshot now. Safe to call
-// concurrently with the background loop (checkpoint writes serialize).
+// Checkpoint spills the currently published snapshot now — as a delta
+// against the last full spill when that saves work, as a full spill
+// otherwise. Safe to call concurrently with the background loop
+// (checkpoint writes serialize).
 func (c *Checkpointer) Checkpoint() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -182,9 +261,40 @@ func (c *Checkpointer) Checkpoint() error {
 	if snap.LastBatch() <= c.lg.LastCheckpoint() {
 		return nil // nothing new is published yet
 	}
-	return c.lg.Checkpoint(snap.LastBatch(), func(w io.Writer) error {
-		return WriteSnapshot(w, snap)
-	})
+	full := func() error {
+		if err := c.lg.Checkpoint(snap.LastBatch(), func(w io.Writer) error {
+			return WriteSnapshot(w, snap)
+		}); err != nil {
+			return err
+		}
+		b := BaseOf(snap)
+		c.base = &b
+		c.deltasSince = 0
+		c.fulls.Add(1)
+		return nil
+	}
+	if c.base == nil || c.deltasSince >= fullSpillEvery {
+		return full()
+	}
+	dirty := 0
+	for p := 0; p < snap.NumShards(); p++ {
+		if p >= len(c.base.Versions) || snap.ShardVersion(p) != c.base.Versions[p] {
+			dirty++
+		}
+	}
+	if 2*dirty >= snap.NumShards() {
+		return full()
+	}
+	if err := c.lg.CheckpointDelta(snap.LastBatch(), func(w io.Writer) error {
+		return WriteSnapshotDelta(w, snap, *c.base)
+	}); err != nil {
+		return err
+	}
+	c.deltasSince++
+	c.deltas.Add(1)
+	c.shardsSpilled.Add(int64(dirty))
+	c.shardsSkipped.Add(int64(snap.NumShards() - dirty))
+	return nil
 }
 
 // Errs returns checkpoint failures the background loop absorbed.

@@ -9,12 +9,22 @@
 //
 //	u32 magic | u32 format
 //	u64 nodes | u64 edges | u64 store version | u64 last batch id
+//	[format 2 only: u64 base checkpoint's last batch id]
 //	u32 shift | u32 shard count
 //	per shard: u64 shard version,
+//	           [format 2 only: u8 present; arrays follow only if 1]
 //	           u32 len(InOff)  | InOff...  (u32 each)
 //	           u32 len(InDst)  | InDst...  (u32 each)
 //	           u32 len(OutOff) | OutOff... (u32 each)
 //	           u32 len(OutDst) | OutDst... (u32 each)
+//
+// Format 1 is a FULL spill; a shard-local store's spill is still format
+// 1, with non-owned shards' arrays written zero-length (absent). Format
+// 2 is a DELTA spill against the format-1 base named in its header:
+// shards flagged absent are taken from the base, which must agree on
+// their per-shard version. The stride-scoped readers skip non-owned
+// shards' array bytes wholesale via the length prefixes, so a
+// shard-local worker's boot I/O and heap scale with its owned stride.
 //
 // Integrity is layered: the write-ahead log wraps every checkpoint file
 // in a whole-file CRC32C trailer (wal.VerifyFileCRC) before recovery
@@ -38,6 +48,11 @@ import (
 const (
 	spillMagic  = 0x50535053 // "PSPS"
 	spillFormat = 1
+	// deltaFormat marks an incremental spill: only shards whose version
+	// moved since a base full spill carry arrays; the rest ride as a
+	// version + absent marker. The header gains the base's batch
+	// watermark so recovery can refuse a mismatched base/delta pair.
+	deltaFormat = 2
 
 	// maxArrayBytes bounds one decoded array: a corrupt length prefix
 	// must not get to allocate the machine before the CRC check (which
@@ -52,12 +67,46 @@ const (
 // ErrFormat reports a structurally invalid spill.
 var ErrFormat = errors.New("persist: invalid snapshot spill")
 
+// Base identifies the full spill a delta is encoded against: the batch
+// watermark it covered through plus the per-shard versions it carried.
+// The checkpointing loop captures one when it writes a full spill and
+// diffs later snapshots against it.
+type Base struct {
+	LastBatch uint64
+	Versions  []uint64
+}
+
+// BaseOf captures snap's identity as a delta base.
+func BaseOf(snap *shard.StoreSnapshot) Base {
+	b := Base{LastBatch: snap.LastBatch(), Versions: make([]uint64, snap.NumShards())}
+	for p := range b.Versions {
+		b.Versions[p] = snap.ShardVersion(p)
+	}
+	return b
+}
+
 // WriteSnapshot spills snap to w in the durable CSR format.
 func WriteSnapshot(w io.Writer, snap *shard.StoreSnapshot) error {
+	return writeSnapshot(w, snap, nil)
+}
+
+// WriteSnapshotDelta spills only the shards whose version moved since
+// base (plus any shards added after it); the rest are written as absent
+// markers resolved from the base at read time. The spill I/O per
+// checkpoint becomes proportional to churn, not graph size.
+func WriteSnapshotDelta(w io.Writer, snap *shard.StoreSnapshot, base Base) error {
+	return writeSnapshot(w, snap, &base)
+}
+
+func writeSnapshot(w io.Writer, snap *shard.StoreSnapshot, base *Base) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	format := uint32(spillFormat)
+	if base != nil {
+		format = deltaFormat
+	}
 	var hdr [40]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], spillMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], spillFormat)
+	binary.LittleEndian.PutUint32(hdr[4:8], format)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(snap.NumNodes()))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(snap.NumEdges()))
 	binary.LittleEndian.PutUint64(hdr[24:32], snap.Version())
@@ -75,6 +124,11 @@ func WriteSnapshot(w io.Writer, snap *shard.StoreSnapshot) error {
 		binary.LittleEndian.PutUint64(word[:], x)
 		_, err := bw.Write(word[:])
 		return err
+	}
+	if base != nil {
+		if err := writeU64(base.LastBatch); err != nil {
+			return err
+		}
 	}
 	if err := writeU32(snap.Shift()); err != nil {
 		return err
@@ -124,6 +178,19 @@ func WriteSnapshot(w io.Writer, snap *shard.StoreSnapshot) error {
 		if err := writeU64(snap.ShardVersion(p)); err != nil {
 			return err
 		}
+		if base != nil {
+			present := p >= len(base.Versions) || snap.ShardVersion(p) != base.Versions[p]
+			b := byte(0)
+			if present {
+				b = 1
+			}
+			if err := bw.WriteByte(b); err != nil {
+				return err
+			}
+			if !present {
+				continue
+			}
+		}
 		sh := snap.Shard(p)
 		if err := writeU32s(sh.InOff); err != nil {
 			return err
@@ -141,12 +208,27 @@ func WriteSnapshot(w io.Writer, snap *shard.StoreSnapshot) error {
 	return bw.Flush()
 }
 
-// ReadStore decodes a spill and rebuilds a live store from it: the
-// decoded CSR blocks become the published snapshot, the mutable side is
-// deep-copied out of them, and the version/apply-once watermark resume
-// where the checkpoint left them. workers bounds the store's rebuild
-// pool as in shard.NewStore.
-func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
+// spill is one decoded checkpoint file.
+type spill struct {
+	format    uint32
+	n         uint64
+	m         uint64
+	version   uint64
+	lastBatch uint64
+	base      uint64 // delta spills: base full spill's lastBatch
+	shift     uint32
+	csr       []graph.CSRShard
+	versions  []uint64
+	present   []bool // delta spills: which shards carry arrays
+}
+
+// readSpill decodes one spill file. When 0 <= index < group, the arrays
+// of shards outside that scope are SKIPPED (a bufio discard of the
+// length-prefixed bytes, no decode, no allocation) and left absent —
+// every shard's version still rides along, so the scoped store stays in
+// version lockstep with the fleet.
+func readSpill(r io.Reader, index, group int) (*spill, error) {
+	owns := func(p int) bool { return group <= 1 || p%group == index }
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [40]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -155,18 +237,21 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 	if binary.LittleEndian.Uint32(hdr[0:4]) != spillMagic {
 		return nil, fmt.Errorf("%w: magic %#x", ErrFormat, binary.LittleEndian.Uint32(hdr[0:4]))
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != spillFormat {
-		return nil, fmt.Errorf("%w: format %d, want %d", ErrFormat, v, spillFormat)
+	sp := &spill{
+		format:    binary.LittleEndian.Uint32(hdr[4:8]),
+		n:         binary.LittleEndian.Uint64(hdr[8:16]),
+		m:         binary.LittleEndian.Uint64(hdr[16:24]),
+		version:   binary.LittleEndian.Uint64(hdr[24:32]),
+		lastBatch: binary.LittleEndian.Uint64(hdr[32:40]),
 	}
-	n := binary.LittleEndian.Uint64(hdr[8:16])
-	m := binary.LittleEndian.Uint64(hdr[16:24])
-	version := binary.LittleEndian.Uint64(hdr[24:32])
-	lastBatch := binary.LittleEndian.Uint64(hdr[32:40])
-	if n > 1<<31 {
-		return nil, fmt.Errorf("%w: node count %d exceeds int32 range", ErrFormat, n)
+	if sp.format != spillFormat && sp.format != deltaFormat {
+		return nil, fmt.Errorf("%w: format %d, want %d or %d", ErrFormat, sp.format, spillFormat, deltaFormat)
 	}
-	if m > math.MaxInt64 {
-		return nil, fmt.Errorf("%w: edge count %d", ErrFormat, m)
+	if sp.n > 1<<31 {
+		return nil, fmt.Errorf("%w: node count %d exceeds int32 range", ErrFormat, sp.n)
+	}
+	if sp.m > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: edge count %d", ErrFormat, sp.m)
 	}
 	var word [8]byte
 	readU32 := func() (uint32, error) {
@@ -181,6 +266,12 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 		}
 		return binary.LittleEndian.Uint64(word[:]), nil
 	}
+	var err error
+	if sp.format == deltaFormat {
+		if sp.base, err = readU64(); err != nil {
+			return nil, err
+		}
+	}
 	shift, err := readU32()
 	if err != nil {
 		return nil, err
@@ -188,14 +279,15 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 	if shift > 31 {
 		return nil, fmt.Errorf("%w: shard shift %d", ErrFormat, shift)
 	}
+	sp.shift = shift
 	shards, err := readU32()
 	if err != nil {
 		return nil, err
 	}
 	stride := uint64(1) << shift
-	wantShards := (n + stride - 1) / stride
+	wantShards := (sp.n + stride - 1) / stride
 	if uint64(shards) != wantShards {
-		return nil, fmt.Errorf("%w: %d shards for %d nodes at stride %d, want %d", ErrFormat, shards, n, stride, wantShards)
+		return nil, fmt.Errorf("%w: %d shards for %d nodes at stride %d, want %d", ErrFormat, shards, sp.n, stride, wantShards)
 	}
 	// Arrays grow only as bytes actually arrive: readU32Array decodes in
 	// bounded chunks (one io.ReadFull per ~1MB of values, allocation
@@ -223,11 +315,50 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 		}
 		return out, nil
 	}
-	csr := make([]graph.CSRShard, shards)
-	versions := make([]uint64, shards)
-	for p := range csr {
-		if versions[p], err = readU64(); err != nil {
+	// skipU32Array discards an array without decoding it: the scoped
+	// reader's fast path over non-owned shards.
+	skipU32Array := func(what string) error {
+		cnt, err := readU32()
+		if err != nil {
+			return err
+		}
+		if uint64(cnt)*4 > maxArrayBytes {
+			return fmt.Errorf("%w: %s of %d entries", ErrFormat, what, cnt)
+		}
+		if _, err := br.Discard(int(cnt) * 4); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrFormat, what, err)
+		}
+		return nil
+	}
+	sp.csr = make([]graph.CSRShard, shards)
+	sp.versions = make([]uint64, shards)
+	if sp.format == deltaFormat {
+		sp.present = make([]bool, shards)
+	}
+	for p := range sp.csr {
+		if sp.versions[p], err = readU64(); err != nil {
 			return nil, err
+		}
+		if sp.format == deltaFormat {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: present flag: %v", ErrFormat, err)
+			}
+			if b > 1 {
+				return nil, fmt.Errorf("%w: present flag %d", ErrFormat, b)
+			}
+			sp.present[p] = b == 1
+			if b == 0 {
+				continue
+			}
+		}
+		if !owns(p) {
+			for _, what := range [...]string{"InOff", "InDst", "OutOff", "OutDst"} {
+				if err := skipU32Array(what); err != nil {
+					return nil, err
+				}
+			}
+			continue
 		}
 		inOff, err := readU32Array("InOff")
 		if err != nil {
@@ -245,7 +376,7 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		csr[p] = graph.CSRShard{
+		sp.csr[p] = graph.CSRShard{
 			InOff:  inOff,
 			InDst:  u32sToNodes(inDst),
 			OutOff: outOff,
@@ -258,11 +389,88 @@ func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
 	} else if !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	st, err := shard.Restore(int(n), int64(m), version, lastBatch, shift, csr, versions, workers)
+	return sp, nil
+}
+
+// restore turns a decoded (possibly overlaid) spill into a live store.
+func (sp *spill) restore(workers, index, group int) (*shard.Store, error) {
+	var st *shard.Store
+	var err error
+	if group > 1 {
+		st, err = shard.RestoreScoped(int(sp.n), int64(sp.m), sp.version, sp.lastBatch, sp.shift, sp.csr, sp.versions, workers, index, group)
+	} else {
+		st, err = shard.Restore(int(sp.n), int64(sp.m), sp.version, sp.lastBatch, sp.shift, sp.csr, sp.versions, workers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return st, nil
+}
+
+// ReadStore decodes a spill and rebuilds a live store from it: the
+// decoded CSR blocks become the published snapshot, the mutable side is
+// deep-copied out of them, and the version/apply-once watermark resume
+// where the checkpoint left them. workers bounds the store's rebuild
+// pool as in shard.NewStore.
+func ReadStore(r io.Reader, workers int) (*shard.Store, error) {
+	return ReadStoreScoped(r, workers, 0, 0)
+}
+
+// ReadStoreScoped is ReadStore for a shard-local worker: only the shards
+// p with p%group == index are decoded and restored (group <= 1 reads
+// everything); the rest of the file is skipped via its length prefixes.
+func ReadStoreScoped(r io.Reader, workers, index, group int) (*shard.Store, error) {
+	sp, err := readSpill(r, index, group)
+	if err != nil {
+		return nil, err
+	}
+	if sp.format != spillFormat {
+		return nil, fmt.Errorf("%w: delta spill without its base (recover through ReadStoreDelta)", ErrFormat)
+	}
+	return sp.restore(workers, index, group)
+}
+
+// ReadStoreDelta rebuilds a store from a base full spill plus a delta
+// spill encoded against it: shards the delta flags absent are taken from
+// the base, which must agree on their versions and on its batch
+// watermark. The scope arguments work as in ReadStoreScoped.
+func ReadStoreDelta(base, delta io.Reader, workers, index, group int) (*shard.Store, error) {
+	b, err := readSpill(base, index, group)
+	if err != nil {
+		return nil, fmt.Errorf("persist: base: %w", err)
+	}
+	if b.format != spillFormat {
+		return nil, fmt.Errorf("%w: base is not a full spill", ErrFormat)
+	}
+	d, err := readSpill(delta, index, group)
+	if err != nil {
+		return nil, fmt.Errorf("persist: delta: %w", err)
+	}
+	if d.format != deltaFormat {
+		return nil, fmt.Errorf("%w: delta file is a full spill", ErrFormat)
+	}
+	if d.base != b.lastBatch {
+		return nil, fmt.Errorf("%w: delta encoded against base watermark %d, base file covers %d", ErrFormat, d.base, b.lastBatch)
+	}
+	if d.shift != b.shift {
+		return nil, fmt.Errorf("%w: delta stride 2^%d, base 2^%d", ErrFormat, d.shift, b.shift)
+	}
+	if d.n < b.n || len(d.csr) < len(b.csr) {
+		return nil, fmt.Errorf("%w: delta covers %d nodes / %d shards, base %d / %d — nodes never shrink", ErrFormat, d.n, len(d.csr), b.n, len(b.csr))
+	}
+	for p := range d.csr {
+		if d.present[p] {
+			continue
+		}
+		if p >= len(b.csr) {
+			return nil, fmt.Errorf("%w: delta omits shard %d, which the base predates", ErrFormat, p)
+		}
+		if d.versions[p] != b.versions[p] {
+			return nil, fmt.Errorf("%w: delta omits shard %d at version %d but base encodes version %d", ErrFormat, p, d.versions[p], b.versions[p])
+		}
+		d.csr[p] = b.csr[p]
+	}
+	return d.restore(workers, index, group)
 }
 
 // u32sToNodes reinterprets decoded u32s as node ids without another pass

@@ -92,6 +92,23 @@ type Op struct {
 	U, V   graph.NodeID
 }
 
+// WalkStart is one walk of a WalkBatch call: continue a √c-walk whose
+// current node is Cur, drawing from the SplitMix64 stream at State,
+// appending at most Room nodes.
+type WalkStart struct {
+	Cur   graph.NodeID
+	State uint64
+	Room  int
+}
+
+// WalkResult is one walk's outcome from a WalkBatch call: the nodes the
+// segment appended, the stream state after them, and how it ended.
+type WalkResult struct {
+	Nodes  []graph.NodeID
+	State  uint64
+	Status SegmentStatus
+}
+
 // SegmentStatus reports how a walk segment ended.
 type SegmentStatus uint8
 
@@ -136,6 +153,18 @@ type ShardEngine interface {
 	// the RNG state after the segment, and how the segment ended. The
 	// budget header bounds the engine-side loop.
 	WalkSegment(ctx context.Context, version uint64, h budget.Header, sqrtC float64, cur graph.NodeID, state uint64, room int, buf []graph.NodeID) ([]graph.NodeID, uint64, SegmentStatus, error)
+
+	// WalkBatch continues N independent walks in one call — semantically
+	// N WalkSegment calls (each walk draws only from its own state, so
+	// results are bit-identical to the per-walk form), but one round trip
+	// on a remote engine. Results come back in request order. Engines
+	// without the batch capability emulate it with per-walk calls.
+	WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error)
+
+	// ResolveShards resolves several owned shards' CSR blocks at the
+	// pinned generation in one call, in request order — the batched form
+	// of ResolveShard behind composite-view materialization.
+	ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error)
 
 	// Apply applies a batch of edge mutations atomically (all-or-rollback)
 	// to the engine's mutable graph and returns the post-apply mutation
@@ -225,12 +254,20 @@ type LocalEngine struct {
 
 // NewLocalEngine wraps st as a shard engine owning shards p with
 // p % group == index. group <= 1 means the engine owns everything.
+//
+// A scoped store (shard.NewStoreScoped) only holds data for its own
+// stride, so the engine's ownership must match the store's scope
+// exactly — a mismatch would read absent shards as empty adjacency and
+// silently truncate walks. That configuration error is caught here.
 func NewLocalEngine(st *shard.Store, index, group int) *LocalEngine {
 	if group < 1 {
 		group = 1
 	}
 	if index < 0 || index >= group {
 		panic(fmt.Sprintf("router: engine index %d outside group of %d", index, group))
+	}
+	if si, sg := st.Scope(); sg > 1 && (si != index || sg != group) {
+		panic(fmt.Sprintf("router: engine scope %d/%d does not match store scope %d/%d", index, group, si, sg))
 	}
 	return &LocalEngine{st: st, index: index, group: group}
 }
@@ -249,6 +286,24 @@ func (e *LocalEngine) SetWAL(lg *wal.Log) { e.wal = lg }
 func (e *LocalEngine) SegmentsStopped() int64 { return e.segmentsStopped.Load() }
 
 func (e *LocalEngine) owns(p int) bool { return p%e.group == e.index }
+
+// checkShard validates one shard access against ownership and — on a
+// scoped snapshot — against data presence. The presence check is the
+// last line of defense against a scope mismatch: an absent shard's CSR
+// decodes as all-empty adjacency, which would silently truncate walks
+// instead of failing.
+func (e *LocalEngine) checkShard(snap *shard.StoreSnapshot, p int) error {
+	if p < 0 || p >= snap.NumShards() {
+		return fmt.Errorf("router: shard %d out of range [0, %d)", p, snap.NumShards())
+	}
+	if !e.owns(p) {
+		return fmt.Errorf("router: shard %d not owned by engine %d/%d", p, e.index, e.group)
+	}
+	if snap.Scoped() && !snap.ShardPresent(p) {
+		return fmt.Errorf("router: shard %d absent from scoped store %d/%d", p, e.index, e.group)
+	}
+	return nil
+}
 
 func (e *LocalEngine) meta(snap *shard.StoreSnapshot) Meta {
 	m := Meta{
@@ -298,13 +353,27 @@ func (e *LocalEngine) ResolveShard(ctx context.Context, version uint64, p int) (
 	if err != nil {
 		return graph.CSRShard{}, err
 	}
-	if p < 0 || p >= snap.NumShards() {
-		return graph.CSRShard{}, fmt.Errorf("router: shard %d out of range [0, %d)", p, snap.NumShards())
-	}
-	if !e.owns(p) {
-		return graph.CSRShard{}, fmt.Errorf("router: shard %d not owned by engine %d/%d", p, e.index, e.group)
+	if err := e.checkShard(snap, p); err != nil {
+		return graph.CSRShard{}, err
 	}
 	return snap.Shard(p), nil
+}
+
+// ResolveShards implements ShardEngine: ResolveShard over one pinned
+// generation for every requested shard.
+func (e *LocalEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	snap, err := e.snapshotAt(version)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.CSRShard, len(ps))
+	for i, p := range ps {
+		if err := e.checkShard(snap, p); err != nil {
+			return nil, err
+		}
+		out[i] = snap.Shard(p)
+	}
+	return out, nil
 }
 
 // walkSegmentPollInterval is the per-step budget poll cadence of the
@@ -326,8 +395,8 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d out of range [0, %d)", cur, snap.NumNodes())
 	}
 	shift := snap.Shift()
-	if !e.owns(int(uint32(cur) >> shift)) {
-		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d not owned by engine %d/%d", cur, e.index, e.group)
+	if err := e.checkShard(snap, int(uint32(cur)>>shift)); err != nil {
+		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d: %w", cur, err)
 	}
 	m := h.Arm(ctx)
 	cp := budget.NewCheckpoint(m, walkSegmentPollInterval)
@@ -362,6 +431,70 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 		tr.EndSpanAnnot(ref, fmt.Sprintf("nodes=%d,status=%d", len(out)-before, status))
 	}
 	return out, rng.State(), status, nil
+}
+
+// WalkBatch implements ShardEngine: the engine-side loop of WalkSegment
+// run once per requested walk over a single pinned generation, resolved
+// adjacency and armed budget meter — N walks, one snapshot pin, one
+// meter, one (remote) round trip.
+func (e *LocalEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error) {
+	snap, err := e.snapshotAt(version)
+	if err != nil {
+		return nil, err
+	}
+	shift := snap.Shift()
+	n := snap.NumNodes()
+	m := h.Arm(ctx)
+	cp := budget.NewCheckpoint(m, walkSegmentPollInterval)
+	adj := graph.ResolveAdj(snap)
+	var owns func(graph.NodeID) bool
+	if e.group > 1 {
+		owns = func(v graph.NodeID) bool { return e.owns(int(uint32(v) >> shift)) }
+	}
+	var stop func() bool
+	if m != nil {
+		stop = cp.Stop
+	}
+	tr, parent := qtrace.FromContext(ctx)
+	ref := tr.StartSpan("walk.steps", parent)
+	out := make([]WalkResult, len(walks))
+	var rng xrand.RNG
+	appended := 0
+	for i, w := range walks {
+		if w.Cur < 0 || int(w.Cur) >= n {
+			tr.EndSpanAnnot(ref, "outcome=badnode")
+			return nil, fmt.Errorf("router: walk node %d out of range [0, %d)", w.Cur, n)
+		}
+		if err := e.checkShard(snap, int(uint32(w.Cur)>>shift)); err != nil {
+			tr.EndSpanAnnot(ref, "outcome=notowned")
+			return nil, fmt.Errorf("router: walk node %d: %w", w.Cur, err)
+		}
+		if m.Stopped() {
+			// The budget tripped mid-batch: the rest of the walks report
+			// stopped without stepping, exactly as per-walk calls would.
+			out[i] = WalkResult{State: w.State, Status: SegmentStopped}
+			continue
+		}
+		rng.SetState(w.State)
+		nodes, ended := walk.Segment(&adj, w.Cur, w.Room, sqrtC, &rng, owns, stop, nil)
+		status := SegmentHandoff
+		switch {
+		case m.Stopped():
+			status = SegmentStopped
+			e.segmentsStopped.Add(1)
+		case ended:
+			status = SegmentEnded
+		case len(nodes) == 0:
+			tr.EndSpanAnnot(ref, "outcome=noprogress")
+			return nil, fmt.Errorf("router: walk segment made no progress at node %d", w.Cur)
+		}
+		out[i] = WalkResult{Nodes: nodes, State: rng.State(), Status: status}
+		appended += len(nodes)
+	}
+	if tr != nil {
+		tr.EndSpanAnnot(ref, fmt.Sprintf("walks=%d,nodes=%d", len(walks), appended))
+	}
+	return out, nil
 }
 
 // Apply implements ShardEngine: all-or-rollback edge mutations with

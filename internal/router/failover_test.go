@@ -46,6 +46,20 @@ func (s *slowReadEngine) WalkSegment(ctx context.Context, version uint64, h budg
 	return s.LocalEngine.WalkSegment(ctx, version, h, sqrtC, cur, state, room, buf)
 }
 
+func (s *slowReadEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	if err := s.stall(ctx); err != nil {
+		return nil, err
+	}
+	return s.LocalEngine.ResolveShards(ctx, version, ps)
+}
+
+func (s *slowReadEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error) {
+	if err := s.stall(ctx); err != nil {
+		return nil, err
+	}
+	return s.LocalEngine.WalkBatch(ctx, version, h, sqrtC, walks)
+}
+
 // startEngineWorker serves an arbitrary engine over TCP and returns the
 // address plus a shutdown func (startWorker always wraps a fresh store).
 func startEngineWorker(t *testing.T, eng ShardEngine) (string, func()) {
@@ -144,6 +158,14 @@ func (d *deadReadEngine) WalkSegment(ctx context.Context, version uint64, h budg
 	return buf, state, SegmentEnded, fmt.Errorf("%w: dead read plane", ErrTransport)
 }
 
+func (d *deadReadEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	return nil, fmt.Errorf("%w: dead read plane", ErrTransport)
+}
+
+func (d *deadReadEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error) {
+	return nil, fmt.Errorf("%w: dead read plane", ErrTransport)
+}
+
 // TestFailoverExhaustsThenSurfacesFirstError: when EVERY replica in a
 // group fails, the caller gets the first transport error back rather
 // than a hang or a zero answer.
@@ -200,9 +222,22 @@ func TestReplicaDeathFailoverAndRingReadmission(t *testing.T) {
 	nodes := []graph.NodeID{0, 131, 299}
 	assertIdentical(t, "both-up", want, got, nodes)
 
-	// Kill replica A. The router has not noticed yet, so the next read
-	// tries A first, eats the transport error, and fails over to B —
-	// bit-identically.
+	// Publish a fresh view while both replicas are current, then kill
+	// replica A before anything materializes the new view's blocks: the
+	// first read on it must touch the wire, eat A's transport error, and
+	// fail over to B — bit-identically. (The OLD view's materialized
+	// blocks would have served reads with no RPC at all.)
+	rng := xrand.New(99)
+	var added [][2]graph.NodeID
+	ops := randomOps(rng, 300, &added, 5)
+	applyToStore(t, ref, ops)
+	ref.Publish()
+	if err := rt.Apply(context.Background(), ops); err != nil {
+		t.Fatalf("write with both replicas: %v", err)
+	}
+	if _, err := rt.PublishView(context.Background()); err != nil {
+		t.Fatalf("publish with both replicas: %v", err)
+	}
 	stopA()
 	assertIdentical(t, "one-dead", want, got, nodes)
 	if c := rt.Counters(); c.Failovers == 0 {
@@ -211,9 +246,7 @@ func TestReplicaDeathFailoverAndRingReadmission(t *testing.T) {
 
 	// A write must still commit (B acks it) while A burns its apply
 	// retries and gets demoted.
-	rng := xrand.New(99)
-	var added [][2]graph.NodeID
-	ops := randomOps(rng, 300, &added, 5)
+	ops = randomOps(rng, 300, &added, 5)
 	applyToStore(t, ref, ops)
 	ref.Publish()
 	if err := rt.Apply(context.Background(), ops); err != nil {

@@ -1,0 +1,169 @@
+package router
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+
+	"probesim/internal/budget"
+	"probesim/internal/core"
+	"probesim/internal/graph"
+	"probesim/internal/shard"
+)
+
+// startVersionedWorker serves a fresh store over TCP, optionally in
+// legacy (pre-batch) compatibility mode.
+func startVersionedWorker(t *testing.T, g *graph.Graph, shards, index, group int, legacy bool) (*RemoteEngine, *Server) {
+	t.Helper()
+	st := shard.NewStore(g, shards, 0)
+	srv := NewServer(NewLocalEngine(st, index, group))
+	srv.SetLegacy(legacy)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	re := NewRemoteEngine(ln.Addr().String())
+	t.Cleanup(func() { re.Close() })
+	return re, srv
+}
+
+// TestMixedVersionOldWorkerFallback is the forward-compatibility half of
+// the mixed-version matrix: a new router over workers that never
+// advertise CapBatch must (a) keep every answer bit-identical to the
+// direct store and to a batched fleet, and (b) never put a batched frame
+// on the wire — the fallback is negotiated, not probed by failure.
+func TestMixedVersionOldWorkerFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sockets + many RPC round trips")
+	}
+	const shards = 7
+	g := testGraph(400, 5)
+	ref := shard.NewStore(g, shards, 0)
+
+	oldA, srvOldA := startVersionedWorker(t, g, shards, 0, 2, true)
+	oldB, srvOldB := startVersionedWorker(t, g, shards, 1, 2, true)
+	newA, srvNewA := startVersionedWorker(t, g, shards, 0, 2, false)
+	newB, srvNewB := startVersionedWorker(t, g, shards, 1, 2, false)
+
+	rtOld, err := New(oldA, oldB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtNew, err := New(newA, newB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions(core.ModeAuto)
+	want := core.NewExecutorOn(ref, opt)
+	nodes := []graph.NodeID{0, 42, 399}
+	assertIdentical(t, "old-workers", want, core.NewExecutorOn(rtOld, opt), nodes)
+	assertIdentical(t, "new-workers", want, core.NewExecutorOn(rtNew, opt), nodes)
+
+	if n := srvOldA.BatchRequests() + srvOldB.BatchRequests(); n != 0 {
+		t.Fatalf("router sent %d batched frames to workers that never advertised CapBatch", n)
+	}
+	if n := srvNewA.BatchRequests() + srvNewB.BatchRequests(); n == 0 {
+		t.Fatal("batch-capable workers saw no batched frames")
+	}
+}
+
+// TestBatchingCollapsesRoundTrips is the acceptance counter: the same
+// cold single-source query costs several-fold fewer request frames over
+// a batch-capable fleet than over a per-segment (legacy) fleet, measured
+// on real TCP servers.
+func TestBatchingCollapsesRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sockets + many RPC round trips")
+	}
+	const shards = 7
+	g := testGraph(400, 5)
+	opt := testOptions(core.ModeAuto)
+
+	coldQuery := func(legacy bool) int64 {
+		reA, srvA := startVersionedWorker(t, g, shards, 0, 2, legacy)
+		reB, srvB := startVersionedWorker(t, g, shards, 1, 2, legacy)
+		rt, err := New(reA, reB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := srvA.Requests() + srvB.Requests()
+		if _, err := core.NewExecutorOn(rt, opt).SingleSource(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return srvA.Requests() + srvB.Requests() - before
+	}
+	perSegment := coldQuery(true)
+	batched := coldQuery(false)
+	t.Logf("request frames for one cold single-source query: per-segment=%d batched=%d (%.1fx)",
+		perSegment, batched, float64(perSegment)/float64(batched))
+	if batched*3 > perSegment {
+		t.Fatalf("batching saved too little: %d frames batched vs %d per-segment", batched, perSegment)
+	}
+}
+
+// TestOldRouterNewWorkerPerSegment is the backward-compatibility half: a
+// router that only speaks the per-segment wire forms (simulated by a
+// RemoteEngine that never learned the worker's caps) gets bit-identical
+// walk segments from a batch-capable worker.
+func TestOldRouterNewWorkerPerSegment(t *testing.T) {
+	g := testGraph(300, 9)
+	st := shard.NewStore(g, 4, 0)
+	srv := NewServer(NewLocalEngine(st, 0, 1))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	newRouter := NewRemoteEngine(ln.Addr().String())
+	t.Cleanup(func() { newRouter.Close() })
+	ctx := context.Background()
+	if _, err := newRouter.Meta(ctx); err != nil { // learns CapBatch
+		t.Fatal(err)
+	}
+	oldRouter := NewRemoteEngine(ln.Addr().String()) // never sees Meta: per-segment forms only
+	t.Cleanup(func() { oldRouter.Close() })
+
+	version := st.Current().Version()
+	const sqrtC = 0.8
+	walks := []WalkStart{
+		{Cur: 0, State: 0x9e3779b97f4a7c15, Room: 16},
+		{Cur: 17, State: 42, Room: 16},
+		{Cur: 299, State: 7, Room: 8},
+		{Cur: 5, State: 0xdeadbeef, Room: 16},
+	}
+	batchRes, err := newRouter.WalkBatch(ctx, version, budget.Header{}, sqrtC, walks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range walks {
+		nodes, state, status, err := oldRouter.WalkSegment(ctx, version, budget.Header{}, sqrtC, w.Cur, w.State, w.Room, nil)
+		if err != nil {
+			t.Fatalf("walk %d: %v", i, err)
+		}
+		same := state == batchRes[i].State && status == batchRes[i].Status && len(nodes) == len(batchRes[i].Nodes)
+		for j := 0; same && j < len(nodes); j++ {
+			same = nodes[j] == batchRes[i].Nodes[j]
+		}
+		if !same {
+			t.Fatalf("walk %d diverged between per-segment and batched forms:\n per-segment %v/%d/%d\n batched     %v/%d/%d",
+				i, nodes, state, status, batchRes[i].Nodes, batchRes[i].State, batchRes[i].Status)
+		}
+	}
+	if got := srv.BatchRequests(); got != 1 {
+		t.Fatalf("server saw %d batched frames, want exactly the one WalkBatch", got)
+	}
+
+	// The per-segment shard fetch serves the old router identically too.
+	csr, err := oldRouter.ResolveShard(ctx, version, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(csr, st.Current().Shard(2)) {
+		t.Fatal("per-segment shard fetch diverged from the store's block")
+	}
+}

@@ -56,6 +56,11 @@ type RemoteEngine struct {
 	// no trace field at all, so mixed-version fleets interop with tracing
 	// silently disabled.
 	traceOK atomic.Bool
+	// batchOK records that the worker advertised rpcwire.CapBatch. Until
+	// it does, WalkBatch and ResolveShards fall back to per-item TWalk /
+	// TShard requests — byte-identical on the wire to a pre-batch router,
+	// so an old worker in a mixed fleet answers new routers unchanged.
+	batchOK atomic.Bool
 }
 
 type remoteConn struct {
@@ -290,6 +295,7 @@ func (e *RemoteEngine) metaFromReply(body []byte) (Meta, []qtrace.Span, error) {
 	}
 	e.version.Store(m.Version)
 	e.traceOK.Store(rep.Caps&rpcwire.CapTrace != 0)
+	e.batchOK.Store(rep.Caps&rpcwire.CapBatch != 0)
 	return m, rep.Spans, nil
 }
 
@@ -360,6 +366,93 @@ func (e *RemoteEngine) WalkSegment(ctx context.Context, version uint64, h budget
 	}
 	tr.Graft(parent, rep.Spans, base, "worker="+e.addr)
 	return append(buf, rep.Nodes...), rep.State, SegmentStatus(rep.Status), nil
+}
+
+// WalkBatch implements ShardEngine. On a worker that advertised
+// CapBatch the whole batch is one round trip; otherwise it degrades to
+// one WalkSegment call per walk, whose wire form an old worker already
+// serves — bit-identical answers either way, since every walk draws only
+// from its own shipped state.
+func (e *RemoteEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error) {
+	if !e.batchOK.Load() {
+		out := make([]WalkResult, len(walks))
+		for i, w := range walks {
+			nodes, state, status, err := e.WalkSegment(ctx, version, h, sqrtC, w.Cur, w.State, w.Room, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = WalkResult{Nodes: nodes, State: state, Status: status}
+		}
+		return out, nil
+	}
+	tr, parent, tc := e.traceField(ctx)
+	req := rpcwire.WalkBatchRequest{
+		Budget: h, Version: version, SqrtC: sqrtC,
+		Walks: make([]rpcwire.WalkStart, len(walks)), Trace: tc,
+	}
+	for i, w := range walks {
+		req.Walks[i] = rpcwire.WalkStart{Cur: w.Cur, State: w.State, Room: uint32(w.Room)}
+	}
+	base := tr.Since()
+	rtyp, body, err := e.call(ctx, rpcwire.TWalkBatch, req.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != rpcwire.TWalkBatchRep {
+		return nil, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	rep, derr := rpcwire.DecodeWalkBatchReply(body)
+	if derr != nil {
+		return nil, fmt.Errorf("router: %s: %v", e.addr, derr)
+	}
+	if len(rep.Segs) != len(walks) {
+		return nil, fmt.Errorf("router: %s: %d segments for %d walks", e.addr, len(rep.Segs), len(walks))
+	}
+	tr.Graft(parent, rep.Spans, base, "worker="+e.addr)
+	out := make([]WalkResult, len(rep.Segs))
+	for i, s := range rep.Segs {
+		out[i] = WalkResult{Nodes: s.Nodes, State: s.State, Status: SegmentStatus(s.Status)}
+	}
+	return out, nil
+}
+
+// ResolveShards implements ShardEngine, with the same capability-gated
+// fallback as WalkBatch: one TShards round trip on a new worker, one
+// TShard per block on an old one.
+func (e *RemoteEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	if !e.batchOK.Load() {
+		out := make([]graph.CSRShard, len(ps))
+		for i, p := range ps {
+			c, err := e.ResolveShard(ctx, version, p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	tr, parent, tc := e.traceField(ctx)
+	req := rpcwire.ShardsRequest{Budget: headerFrom(ctx), Version: version, Shards: make([]uint32, len(ps)), Trace: tc}
+	for i, p := range ps {
+		req.Shards[i] = uint32(p)
+	}
+	base := tr.Since()
+	rtyp, body, err := e.call(ctx, rpcwire.TShards, req.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != rpcwire.TShardsRep {
+		return nil, fmt.Errorf("router: %s: unexpected reply type %d", e.addr, rtyp)
+	}
+	rep, derr := rpcwire.DecodeShardsReply(body)
+	if derr != nil {
+		return nil, fmt.Errorf("router: %s: %v", e.addr, derr)
+	}
+	if len(rep.CSRs) != len(ps) {
+		return nil, fmt.Errorf("router: %s: %d blocks for %d shards", e.addr, len(rep.CSRs), len(ps))
+	}
+	tr.Graft(parent, rep.Spans, base, "worker="+e.addr)
+	return rep.CSRs, nil
 }
 
 // Ping implements ShardEngine: the health-loop probe. Unlike Meta it

@@ -12,6 +12,8 @@ import (
 	"probesim/internal/budget"
 	"probesim/internal/graph"
 	"probesim/internal/shard"
+	"probesim/internal/walk"
+	"probesim/internal/xrand"
 )
 
 // Router fans queries out over a fleet of replica groups and assembles
@@ -60,8 +62,12 @@ type Router struct {
 	// Read- and write-path counters for /metrics.
 	shardFetches     atomic.Int64
 	shardFetchErrors atomic.Int64
+	shardBatches     atomic.Int64
 	walkSegments     atomic.Int64
 	walkHandoffs     atomic.Int64
+	walkBatches      atomic.Int64
+	walkDelegated    atomic.Int64
+	walkLocalSegs    atomic.Int64
 	applyRetries     atomic.Int64
 	failovers        atomic.Int64
 	hedgesSent       atomic.Int64
@@ -808,8 +814,21 @@ func (r *Router) WorkerStats() []WorkerStat {
 type Counters struct {
 	ShardFetches     int64
 	ShardFetchErrors int64
-	WalkSegments     int64
-	WalkHandoffs     int64
+	// ShardBatches counts batched ResolveShards round trips (composite-
+	// view materialization): ShardFetches/ShardBatches is the average
+	// blocks-per-RPC amortization the batch plane buys.
+	ShardBatches int64
+	WalkSegments int64
+	WalkHandoffs int64
+	// WalkBatches counts batched WalkBatch round trips and WalkDelegated
+	// the walks they carried (WalkDelegated/WalkBatches is the average
+	// batch size); WalkLocalSegments counts walk segments the router
+	// stepped itself over cached blocks, with no RPC at all. The
+	// delegation rate of the walk plane is
+	// WalkDelegated / (WalkDelegated + WalkLocalSegments).
+	WalkBatches       int64
+	WalkDelegated     int64
+	WalkLocalSegments int64
 	// ApplyRetries counts per-member re-sends of an identified batch
 	// after a transport failure — each one is a lost-reply window the
 	// batch ids closed.
@@ -830,16 +849,20 @@ type Counters struct {
 // Counters reports the read/write-path counters for /metrics.
 func (r *Router) Counters() Counters {
 	return Counters{
-		ShardFetches:     r.shardFetches.Load(),
-		ShardFetchErrors: r.shardFetchErrors.Load(),
-		WalkSegments:     r.walkSegments.Load(),
-		WalkHandoffs:     r.walkHandoffs.Load(),
-		ApplyRetries:     r.applyRetries.Load(),
-		Failovers:        r.failovers.Load(),
-		HedgesSent:       r.hedgesSent.Load(),
-		HedgesWon:        r.hedgesWon.Load(),
-		ApplySkips:       r.applySkips.Load(),
-		CatchupBatches:   r.catchupBatches.Load(),
+		ShardFetches:      r.shardFetches.Load(),
+		ShardFetchErrors:  r.shardFetchErrors.Load(),
+		ShardBatches:      r.shardBatches.Load(),
+		WalkSegments:      r.walkSegments.Load(),
+		WalkHandoffs:      r.walkHandoffs.Load(),
+		WalkBatches:       r.walkBatches.Load(),
+		WalkDelegated:     r.walkDelegated.Load(),
+		WalkLocalSegments: r.walkLocalSegs.Load(),
+		ApplyRetries:      r.applyRetries.Load(),
+		Failovers:         r.failovers.Load(),
+		HedgesSent:        r.hedgesSent.Load(),
+		HedgesWon:         r.hedgesWon.Load(),
+		ApplySkips:        r.applySkips.Load(),
+		CatchupBatches:    r.catchupBatches.Load(),
 	}
 }
 
@@ -866,6 +889,12 @@ type View struct {
 	shift   uint32
 	ownerOf []int32 // shard -> group index
 	blocks  []blockSlot
+
+	// adj is the fully materialized devirtualized adjacency over every
+	// shard block, built at most once per view generation (materialize)
+	// and shared by every query on it. adjMu single-flights the build.
+	adjMu sync.Mutex
+	adj   atomic.Pointer[graph.Adj]
 }
 
 type blockSlot struct {
@@ -908,6 +937,130 @@ func (v *View) block(ctx context.Context, p int) (*graph.CSRShard, error) {
 	}
 	slot.ptr.Store(&csr)
 	return &csr, nil
+}
+
+// materialize pulls every not-yet-cached shard block — ONE batched
+// ResolveShards call per owner group, concurrently across groups — and
+// builds the same dense PackSpan span arrays the in-process sharded
+// snapshot serves, so probe hot loops index slices instead of paying an
+// interface call per edge list. The result is cached on the view: later
+// queries on the same generation reuse it without any RPC.
+func (v *View) materialize(ctx context.Context) (*graph.Adj, error) {
+	if a := v.adj.Load(); a != nil {
+		return a, nil
+	}
+	v.adjMu.Lock()
+	defer v.adjMu.Unlock()
+	if a := v.adj.Load(); a != nil {
+		return a, nil
+	}
+	missing := make([][]int, len(v.r.groups))
+	for p := range v.blocks {
+		if v.blocks[p].ptr.Load() == nil {
+			gi := v.ownerOf[p]
+			missing[gi] = append(missing[gi], p)
+		}
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for gi := range missing {
+		ps := missing[gi]
+		if len(ps) == 0 {
+			continue
+		}
+		v.r.shardBatches.Add(1)
+		v.r.shardFetches.Add(int64(len(ps)))
+		wg.Add(1)
+		go func(gi int, ps []int) {
+			defer wg.Done()
+			g := v.r.groups[gi]
+			csrs, err := groupRead(v.r, ctx, g, "rpc.shards", func(ctx context.Context, e ShardEngine) ([]graph.CSRShard, error) {
+				return e.ResolveShards(ctx, v.version, ps)
+			})
+			if err == nil && len(csrs) != len(ps) {
+				err = fmt.Errorf("router: group %d returned %d shard blocks for %d requested", gi, len(csrs), len(ps))
+			}
+			if err != nil {
+				v.r.shardFetchErrors.Add(1)
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for i, p := range ps {
+				csr := csrs[i]
+				slot := &v.blocks[p]
+				slot.mu.Lock()
+				if slot.ptr.Load() == nil {
+					slot.ptr.Store(&csr)
+				}
+				slot.mu.Unlock()
+			}
+		}(gi, ps)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stride := 1 << v.shift
+	csrs := make([]graph.CSRShard, len(v.blocks))
+	in := make([]uint64, v.nodes)
+	out := make([]uint64, v.nodes)
+	for p := range v.blocks {
+		blk := v.blocks[p].ptr.Load()
+		csrs[p] = *blk
+		base := p * stride
+		local := min(stride, v.nodes-base)
+		for l := 0; l < local; l++ {
+			in[base+l] = graph.PackSpan(blk.InOff[l], blk.InOff[l+1])
+			out[base+l] = graph.PackSpan(blk.OutOff[l], blk.OutOff[l+1])
+		}
+	}
+	adj := graph.NewShardedAdj(v, csrs, v.shift, in, out)
+	v.adj.Store(&adj)
+	return &adj, nil
+}
+
+// cachedView exposes only already-fetched blocks as a graph.View for the
+// router-side walk stepper. It never faults a block in: the stepper's
+// owns predicate guarantees it is only asked for nodes whose shard block
+// is cached.
+type cachedView struct{ v *View }
+
+func (c cachedView) NumNodes() int   { return c.v.nodes }
+func (c cachedView) NumEdges() int64 { return c.v.edges }
+
+func (c cachedView) InNeighbors(nd graph.NodeID) []graph.NodeID {
+	b := c.v.blocks[uint32(nd)>>c.v.shift].ptr.Load()
+	l := uint32(nd) & (uint32(1)<<c.v.shift - 1)
+	return b.InDst[b.InOff[l]:b.InOff[l+1]]
+}
+
+func (c cachedView) OutNeighbors(nd graph.NodeID) []graph.NodeID {
+	b := c.v.blocks[uint32(nd)>>c.v.shift].ptr.Load()
+	l := uint32(nd) & (uint32(1)<<c.v.shift - 1)
+	return b.OutDst[b.OutOff[l]:b.OutOff[l+1]]
+}
+
+func (c cachedView) InDegree(nd graph.NodeID) int  { return len(c.InNeighbors(nd)) }
+func (c cachedView) OutDegree(nd graph.NodeID) int { return len(c.OutNeighbors(nd)) }
+
+// steppingAdj returns the adjacency router-side walk stepping runs over:
+// the fully materialized devirtualized Adj when the view has one (owns
+// is nil — every shard is locally readable), else an Adj over the cached
+// blocks plus an owns predicate that hands the walk off at the first
+// uncached shard, exactly as a worker hands off at the first unowned one.
+func (v *View) steppingAdj() (graph.Adj, func(graph.NodeID) bool) {
+	if a := v.adj.Load(); a != nil {
+		return *a, nil
+	}
+	owns := func(nd graph.NodeID) bool {
+		return v.blocks[uint32(nd)>>v.shift].ptr.Load() != nil
+	}
+	return graph.ResolveAdj(cachedView{v}), owns
 }
 
 func (v *View) inNeighbors(ctx context.Context, nd graph.NodeID) ([]graph.NodeID, error) {
@@ -1026,13 +1179,41 @@ func (b *BoundView) InDegree(nd graph.NodeID) int { return len(b.InNeighbors(nd)
 // OutDegree implements graph.View.
 func (b *BoundView) OutDegree(nd graph.NodeID) int { return len(b.OutNeighbors(nd)) }
 
+var (
+	_ walk.SegmentedView      = (*BoundView)(nil)
+	_ walk.BatchSegmentedView = (*BoundView)(nil)
+	_ graph.AdjProvider       = (*BoundView)(nil)
+)
+
+// ProvideAdj implements graph.AdjProvider: when a probe kernel resolves
+// a devirtualized adjacency over the bound view, the view materializes
+// every shard block in bulk (one batched ResolveShards per owner group)
+// and serves the same dense-span sharded Adj the in-process store does.
+// On failure the error latches on the query — the same partial-result
+// semantics as any block fetch failure — and the returned Adj falls back
+// to per-call interface dispatch over the bound view.
+func (b *BoundView) ProvideAdj() graph.Adj {
+	a, err := b.view.materialize(b.ctx)
+	if err != nil {
+		b.fail(err)
+		return graph.ViewAdj(b)
+	}
+	return *a
+}
+
 // WalkSegment implements walk.SegmentedView: the walk steps on the
 // group owning its current node (any replica — the SplitMix64 state
 // travels in the request, so every replica draws the same steps), with
 // the remaining budget propagated in the request header. A group-wide
-// failure ends the walk and latches the error.
+// failure ends the walk and latches the error. When the current node's
+// shard block is already cached, the router steps the walk itself with
+// no RPC at all — bit-identical, because the same step loop draws from
+// the same per-walk stream.
 func (b *BoundView) WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) ([]graph.NodeID, uint64, bool) {
 	v := b.view
+	if v.blocks[uint32(cur)>>v.shift].ptr.Load() != nil {
+		return b.walkLocal(cur, state, room, sqrtC, buf)
+	}
 	g := v.r.groups[v.ownerOf[uint32(cur)>>v.shift]]
 	in := buf
 	if len(g.members) > 1 {
@@ -1070,4 +1251,130 @@ func (b *BoundView) WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC 
 		return res.out, res.state, false
 	}
 	return res.out, res.state, true
+}
+
+// walkLocal advances one walk over blocks already faulted into the view —
+// router-side stepping, zero RPCs. The draw sequence depends only on the
+// walk's own SplitMix64 state, so where a step runs never changes which
+// step it is: handing off at the first uncached shard resumes the stream
+// exactly where a worker would have.
+func (b *BoundView) walkLocal(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) ([]graph.NodeID, uint64, bool) {
+	v := b.view
+	adj, owns := v.steppingAdj()
+	cp := budget.NewCheckpoint(b.m, walkSegmentPollInterval)
+	var rng xrand.RNG
+	rng.SetState(state)
+	before := len(buf)
+	out, ended := walk.Segment(&adj, cur, room, sqrtC, &rng, owns, cp.Stop, buf)
+	v.r.walkLocalSegs.Add(1)
+	if !ended {
+		if len(out) == before {
+			// cur's block was cached, so at least one step must have run;
+			// anything else is a routing bug, not a transient.
+			b.fail(fmt.Errorf("router: local walk segment made no progress at node %d", cur))
+			return out, rng.State(), true
+		}
+		v.r.walkHandoffs.Add(1)
+		return out, rng.State(), false
+	}
+	return out, rng.State(), true
+}
+
+// WalkSegmentBatch implements walk.BatchSegmentedView: one exchange
+// advances every live walk. Walks whose current shard block is cached
+// step router-side with no RPC; the rest are delegated to their owner
+// groups — ONE WalkBatch round trip per group, concurrently across
+// groups, instead of one WalkSegment round trip per walk. Blocks are
+// never faulted in here: the probe phase materializes them in bulk
+// (ProvideAdj), after which every later exchange is RPC-free.
+func (b *BoundView) WalkSegmentBatch(walks []walk.BatchWalk, maxNodes int, sqrtC float64) error {
+	v := b.view
+	adj, owns := v.steppingAdj()
+	cp := budget.NewCheckpoint(b.m, walkSegmentPollInterval)
+	var rng xrand.RNG
+	pending := make([][]int, len(v.r.groups))
+	local := int64(0)
+	for i := range walks {
+		w := &walks[i]
+		if w.Done {
+			continue
+		}
+		cur := w.Buf[len(w.Buf)-1]
+		if v.blocks[uint32(cur)>>v.shift].ptr.Load() != nil {
+			rng.SetState(w.State)
+			out, ended := walk.Segment(&adj, cur, maxNodes-len(w.Buf), sqrtC, &rng, owns, cp.Stop, w.Buf)
+			w.Buf = out
+			w.State = rng.State()
+			local++
+			if ended {
+				w.Done = true
+				continue
+			}
+			cur = w.Buf[len(w.Buf)-1]
+		}
+		gi := v.ownerOf[uint32(cur)>>v.shift]
+		pending[gi] = append(pending[gi], i)
+	}
+	if local > 0 {
+		v.r.walkLocalSegs.Add(local)
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for gi := range pending {
+		idxs := pending[gi]
+		if len(idxs) == 0 {
+			continue
+		}
+		v.r.walkBatches.Add(1)
+		v.r.walkDelegated.Add(int64(len(idxs)))
+		wg.Add(1)
+		go func(gi int, idxs []int) {
+			defer wg.Done()
+			starts := make([]WalkStart, len(idxs))
+			for j, wi := range idxs {
+				w := &walks[wi]
+				starts[j] = WalkStart{Cur: w.Buf[len(w.Buf)-1], State: w.State, Room: maxNodes - len(w.Buf)}
+			}
+			g := v.r.groups[gi]
+			res, err := groupRead(v.r, b.ctx, g, "rpc.walkbatch", func(ctx context.Context, e ShardEngine) ([]WalkResult, error) {
+				return e.WalkBatch(ctx, v.version, b.m.Export(), sqrtC, starts)
+			})
+			if err == nil && len(res) != len(idxs) {
+				err = fmt.Errorf("router: group %d returned %d walk results for %d walks", gi, len(res), len(idxs))
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				for _, wi := range idxs {
+					walks[wi].Done = true
+				}
+				return
+			}
+			handoffs := int64(0)
+			for j, wi := range idxs {
+				w := &walks[wi]
+				r := res[j]
+				w.Buf = append(w.Buf, r.Nodes...)
+				w.State = r.State
+				if r.Status == SegmentHandoff {
+					handoffs++
+				} else {
+					w.Done = true
+				}
+			}
+			if handoffs > 0 {
+				v.r.walkHandoffs.Add(handoffs)
+			}
+		}(gi, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		b.fail(firstErr)
+		return firstErr
+	}
+	return nil
 }

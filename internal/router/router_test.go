@@ -231,8 +231,14 @@ func TestBitIdenticalOverRPC(t *testing.T) {
 				}
 			}
 			c := rt.Counters()
-			if c.ShardFetches == 0 || c.WalkSegments == 0 {
+			if c.ShardFetches == 0 || c.WalkBatches == 0 || c.WalkDelegated == 0 {
 				t.Fatalf("counters did not move: %+v", c)
+			}
+			if c.WalkLocalSegments == 0 {
+				t.Fatalf("router stepped no walks over cached blocks: %+v", c)
+			}
+			if c.ShardBatches == 0 {
+				t.Fatalf("no batched shard materialization: %+v", c)
 			}
 			if shards >= 2 && c.WalkHandoffs == 0 {
 				t.Fatalf("expected cross-engine walk handoffs with %d shards: %+v", shards, c)
@@ -260,6 +266,20 @@ func (f *failingEngine) WalkSegment(ctx context.Context, version uint64, h budge
 		return buf, state, SegmentEnded, fmt.Errorf("%w: injected crash", ErrTransport)
 	}
 	return f.LocalEngine.WalkSegment(ctx, version, h, sqrtC, cur, state, room, buf)
+}
+
+func (f *failingEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	if f.fuse--; f.fuse < 0 {
+		return nil, fmt.Errorf("%w: injected crash", ErrTransport)
+	}
+	return f.LocalEngine.ResolveShards(ctx, version, ps)
+}
+
+func (f *failingEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []WalkStart) ([]WalkResult, error) {
+	if f.fuse--; f.fuse < 0 {
+		return nil, fmt.Errorf("%w: injected crash", ErrTransport)
+	}
+	return f.LocalEngine.WalkBatch(ctx, version, h, sqrtC, walks)
 }
 
 // TestEngineFailureMidQuery proves the partial-result-with-error

@@ -37,7 +37,30 @@ type Server struct {
 	// tracer, when set, owns the worker's slow-query log and completed-
 	// trace ring. Swappable at runtime (SetTracer), read per request.
 	tracer atomic.Pointer[qtrace.Tracer]
+
+	// legacy, when set (SetLegacy), makes the server answer exactly like
+	// a pre-batch worker: replies advertise no CapBatch and the batched
+	// frame types are rejected as unknown requests. The mixed-version
+	// test double — real old workers are simulated, not re-built.
+	legacy atomic.Bool
+
+	// requests counts every dispatched frame; batchRequests counts the
+	// batched query-path frames (TWalkBatch, TShards) among them. The
+	// ratio is how tests assert the round-trip collapse batching buys.
+	requests      atomic.Int64
+	batchRequests atomic.Int64
 }
+
+// SetLegacy switches the server into (or out of) pre-batch compatibility
+// mode; see the legacy field. Intended for mixed-version tests.
+func (s *Server) SetLegacy(on bool) { s.legacy.Store(on) }
+
+// Requests reports how many request frames the server has dispatched.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// BatchRequests reports how many of the dispatched frames used the
+// batched forms (WalkBatch, ResolveShards).
+func (s *Server) BatchRequests() int64 { return s.batchRequests.Load() }
 
 // SetTracer arms (or, with nil, disarms) the worker-side tracer: traced
 // requests record spans and return them on the reply either way; the
@@ -145,6 +168,7 @@ func (s *Server) handleConn(c net.Conn) {
 
 // dispatch handles one request frame and encodes the reply into out.
 func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
+	s.requests.Add(1)
 	fail := func(code uint8, err error) (uint8, []byte) {
 		if errors.Is(err, ErrRetiredGeneration) {
 			code = rpcwire.CodeRetiredGen
@@ -163,10 +187,14 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 			Shift:     m.Shift,
 			Shards:    uint32(m.Shards),
 			Owned:     make([]uint32, len(m.Owned)),
-			// Every reply advertises the trace capability; routers enable
-			// the request-side trace field per engine once they see it.
-			Caps:  rpcwire.CapTrace,
+			// Every reply advertises the trace and batch capabilities;
+			// routers enable the request-side trace field and the batched
+			// message forms per engine once they see them.
+			Caps:  rpcwire.CapTrace | rpcwire.CapBatch,
 			Spans: spans,
+		}
+		if s.legacy.Load() {
+			rep.Caps &^= rpcwire.CapBatch
 		}
 		for i, p := range m.Owned {
 			rep.Owned[i] = uint32(p)
@@ -216,6 +244,58 @@ func (s *Server) dispatch(typ uint8, payload, out []byte) (uint8, []byte) {
 		}
 		rep := rpcwire.WalkReply{State: state, Status: uint8(status), Nodes: nodes, Spans: spans}
 		return rpcwire.TWalkRep, rep.Append(out)
+
+	case rpcwire.TWalkBatch:
+		s.batchRequests.Add(1)
+		if s.legacy.Load() {
+			return fail(rpcwire.CodeBadRequest, fmt.Errorf("router: unknown request type %d", typ))
+		}
+		req, err := rpcwire.DecodeWalkBatchRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		tr, root, finish := s.traceFor(req.Trace, "worker.walk_batch")
+		tr.Annotate(root, fmt.Sprintf("walks=%d", len(req.Walks)))
+		walks := make([]WalkStart, len(req.Walks))
+		for i, w := range req.Walks {
+			walks[i] = WalkStart{Cur: w.Cur, State: w.State, Room: int(w.Room)}
+		}
+		results, err := s.eng.WalkBatch(
+			qtrace.NewContext(context.Background(), tr, root),
+			req.Version, req.Budget, req.SqrtC, walks)
+		spans := finish(err)
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		rep := rpcwire.WalkBatchReply{Segs: make([]rpcwire.WalkSegmentResult, len(results)), Spans: spans}
+		for i, r := range results {
+			rep.Segs[i] = rpcwire.WalkSegmentResult{State: r.State, Status: uint8(r.Status), Nodes: r.Nodes}
+		}
+		return rpcwire.TWalkBatchRep, rep.Append(out)
+
+	case rpcwire.TShards:
+		s.batchRequests.Add(1)
+		if s.legacy.Load() {
+			return fail(rpcwire.CodeBadRequest, fmt.Errorf("router: unknown request type %d", typ))
+		}
+		req, err := rpcwire.DecodeShardsRequest(payload)
+		if err != nil {
+			return fail(rpcwire.CodeBadRequest, err)
+		}
+		tr, root, finish := s.traceFor(req.Trace, "worker.resolve_shards")
+		tr.Annotate(root, fmt.Sprintf("shards=%d", len(req.Shards)))
+		ctx, cancel := headerCtx(req.Budget.Remaining)
+		defer cancel()
+		ps := make([]int, len(req.Shards))
+		for i, p := range req.Shards {
+			ps[i] = int(p)
+		}
+		csrs, err := s.eng.ResolveShards(qtrace.NewContext(ctx, tr, root), req.Version, ps)
+		spans := finish(err)
+		if err != nil {
+			return fail(rpcwire.CodeInternal, err)
+		}
+		return rpcwire.TShardsRep, rpcwire.ShardsReply{CSRs: csrs, Spans: spans}.Append(out)
 
 	case rpcwire.TApply:
 		req, err := rpcwire.DecodeApplyRequest(payload)

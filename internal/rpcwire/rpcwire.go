@@ -1,9 +1,10 @@
 // Package rpcwire is the binary wire codec of the cross-process shard
 // plane: length-prefixed frames over a byte stream, with hand-rolled
 // little-endian message encodings. The protocol is deliberately tiny —
-// five request/reply pairs and an error frame — because the shard engine
-// API it carries (report version / resolve adjacency spans / sample walk
-// segments / apply mutations / publish) is tiny.
+// a handful of request/reply pairs and an error frame — because the
+// shard engine API it carries (report version / resolve adjacency spans /
+// sample walk segments / apply mutations / publish, each with a batched
+// variant behind CapBatch) is tiny.
 //
 // Frame layout:
 //
@@ -66,6 +67,15 @@ const (
 	TErr                       // ErrorReply
 	TPing                      // PingRequest -> PingReply: version/watermark probe
 	TPingRep                   // PingReply
+
+	// Batched query-path messages (CapBatch). A peer that lacks the
+	// capability never sees them: routers fall back to the per-item
+	// TShard/TWalk forms, which are byte-identical on the wire to a
+	// pre-batch router.
+	TWalkBatch    // WalkBatchRequest -> WalkBatchReply: sample N walk segments
+	TWalkBatchRep // WalkBatchReply
+	TShards       // ShardsRequest -> ShardsReply: resolve N adjacency blocks
+	TShardsRep    // ShardsReply
 )
 
 // Error codes carried by TErr frames.
@@ -95,6 +105,11 @@ const (
 	// engines that advertised it, so an old worker never sees a trace
 	// field on the wire at all.
 	CapTrace uint32 = 1 << 0
+	// CapBatch: the worker serves the batched query-path messages
+	// (TWalkBatch, TShards). Routers send batches only to engines that
+	// advertised it and fall back to per-item TWalk/TShard requests
+	// otherwise, so mixed-version fleets keep answering bit-identically.
+	CapBatch uint32 = 1 << 1
 )
 
 // TraceContext is the cross-process form of "this request belongs to a
@@ -614,6 +629,199 @@ func (m WalkReply) Append(b []byte) []byte {
 func DecodeWalkReply(b []byte) (WalkReply, error) {
 	d := dec{b: b}
 	m := WalkReply{State: d.u64(), Status: d.u8(), Nodes: d.nodes()}
+	if d.err == nil {
+		m.Spans = parseTrailers(d.b).spans
+	}
+	return m, d.err
+}
+
+// WalkStart is one walk of a WalkBatchRequest: continue a √c-walk whose
+// current node is Cur, appending at most Room nodes, drawing from the
+// SplitMix64 stream at State.
+type WalkStart struct {
+	Cur   graph.NodeID
+	State uint64
+	Room  uint32
+}
+
+const walkStartSize = 16
+
+// WalkBatchRequest asks one engine to continue N walks in a single round
+// trip. Every Cur must land in a shard the engine owns; each walk draws
+// only from its own State, so the batch is semantically N independent
+// WalkRequests — batching changes the wire shape, never the streams.
+type WalkBatchRequest struct {
+	Budget  budget.Header
+	Version uint64
+	SqrtC   float64
+	Walks   []WalkStart
+	// Trace, when non-nil, ties this request to a sampled caller-side
+	// trace (optional trailer).
+	Trace *TraceContext
+}
+
+func (m WalkBatchRequest) Append(b []byte) []byte {
+	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.SqrtC))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Walks)))
+	for _, w := range m.Walks {
+		b = binary.LittleEndian.AppendUint32(b, uint32(w.Cur))
+		b = binary.LittleEndian.AppendUint64(b, w.State)
+		b = binary.LittleEndian.AppendUint32(b, w.Room)
+	}
+	if m.Trace != nil {
+		b = appendTraceTrailer(b, *m.Trace)
+	}
+	return b
+}
+
+func DecodeWalkBatchRequest(b []byte) (WalkBatchRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return WalkBatchRequest{}, err
+	}
+	d := dec{b: rest}
+	m := WalkBatchRequest{Budget: h, Version: d.u64()}
+	m.SqrtC = math.Float64frombits(d.u64())
+	n := d.u32()
+	if d.err == nil && len(d.b) < walkStartSize*int(n) {
+		return WalkBatchRequest{}, fmt.Errorf("rpcwire: truncated walk batch")
+	}
+	m.Walks = make([]WalkStart, 0, n)
+	for i := uint32(0); i < n; i++ {
+		w := WalkStart{Cur: graph.NodeID(int32(d.u32()))}
+		w.State = d.u64()
+		w.Room = d.u32()
+		m.Walks = append(m.Walks, w)
+	}
+	if d.err == nil {
+		m.Trace = parseTrailers(d.b).trace
+	}
+	return m, d.err
+}
+
+// WalkSegmentResult is one walk's outcome within a WalkBatchReply,
+// mirroring WalkReply.
+type WalkSegmentResult struct {
+	State  uint64
+	Status uint8
+	Nodes  []graph.NodeID
+}
+
+// WalkBatchReply returns one WalkSegmentResult per requested walk, in
+// request order.
+type WalkBatchReply struct {
+	Segs []WalkSegmentResult
+	// Spans carries the worker's recorded spans for a traced request.
+	Spans []qtrace.Span
+}
+
+func (m WalkBatchReply) Append(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Segs)))
+	for _, s := range m.Segs {
+		b = binary.LittleEndian.AppendUint64(b, s.State)
+		b = append(b, s.Status)
+		b = appendNodes(b, s.Nodes)
+	}
+	if len(m.Spans) > 0 {
+		b = appendSpansTrailer(b, m.Spans)
+	}
+	return b
+}
+
+func DecodeWalkBatchReply(b []byte) (WalkBatchReply, error) {
+	d := dec{b: b}
+	n := d.u32()
+	// Each segment is at least 13 bytes (state + status + empty node
+	// array), so a hostile count cannot allocate past the payload.
+	if d.err == nil && len(d.b) < 13*int(n) {
+		return WalkBatchReply{}, fmt.Errorf("rpcwire: truncated walk batch reply")
+	}
+	m := WalkBatchReply{Segs: make([]WalkSegmentResult, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		s := WalkSegmentResult{State: d.u64(), Status: d.u8(), Nodes: d.nodes()}
+		m.Segs = append(m.Segs, s)
+	}
+	if d.err == nil {
+		m.Spans = parseTrailers(d.b).spans
+	}
+	return m, d.err
+}
+
+// ShardsRequest asks for several shards' CSR blocks at generation
+// Version in one round trip — the batched form of ShardRequest, used
+// when a router materializes its composite view's dense adjacency.
+type ShardsRequest struct {
+	Budget  budget.Header
+	Version uint64
+	Shards  []uint32
+	// Trace, when non-nil, ties this request to a sampled caller-side
+	// trace (optional trailer).
+	Trace *TraceContext
+}
+
+func (m ShardsRequest) Append(b []byte) []byte {
+	b = m.Budget.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = appendU32s(b, m.Shards)
+	if m.Trace != nil {
+		b = appendTraceTrailer(b, *m.Trace)
+	}
+	return b
+}
+
+func DecodeShardsRequest(b []byte) (ShardsRequest, error) {
+	h, rest, err := budget.DecodeHeader(b)
+	if err != nil {
+		return ShardsRequest{}, err
+	}
+	d := dec{b: rest}
+	m := ShardsRequest{Budget: h, Version: d.u64(), Shards: d.u32s()}
+	if d.err == nil {
+		m.Trace = parseTrailers(d.b).trace
+	}
+	return m, d.err
+}
+
+// ShardsReply carries the requested CSR blocks in request order.
+type ShardsReply struct {
+	CSRs []graph.CSRShard
+	// Spans carries the worker's recorded spans for a traced request.
+	Spans []qtrace.Span
+}
+
+func (m ShardsReply) Append(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.CSRs)))
+	for _, c := range m.CSRs {
+		b = appendU32s(b, c.InOff)
+		b = appendNodes(b, c.InDst)
+		b = appendU32s(b, c.OutOff)
+		b = appendNodes(b, c.OutDst)
+	}
+	if len(m.Spans) > 0 {
+		b = appendSpansTrailer(b, m.Spans)
+	}
+	return b
+}
+
+func DecodeShardsReply(b []byte) (ShardsReply, error) {
+	d := dec{b: b}
+	n := d.u32()
+	// Each block is at least 16 bytes (four empty arrays), so a hostile
+	// count cannot allocate past the payload.
+	if d.err == nil && len(d.b) < 16*int(n) {
+		return ShardsReply{}, fmt.Errorf("rpcwire: truncated shards reply")
+	}
+	m := ShardsReply{CSRs: make([]graph.CSRShard, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		m.CSRs = append(m.CSRs, graph.CSRShard{
+			InOff:  d.u32s(),
+			InDst:  d.nodes(),
+			OutOff: d.u32s(),
+			OutDst: d.nodes(),
+		})
+	}
 	if d.err == nil {
 		m.Spans = parseTrailers(d.b).spans
 	}

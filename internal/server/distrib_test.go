@@ -106,8 +106,11 @@ func TestRoutedStatsAndMetrics(t *testing.T) {
 	if _, ok := body["routerWorkers"]; !ok {
 		t.Fatalf("/stats missing routerWorkers: %v", body)
 	}
-	if body["routerWalkSegments"].(float64) == 0 {
-		t.Fatalf("/stats routerWalkSegments did not move: %v", body)
+	if body["routerWalkBatches"].(float64) == 0 || body["routerWalkDelegated"].(float64) == 0 {
+		t.Fatalf("/stats batched walk counters did not move: %v", body)
+	}
+	if body["routerShardBatches"].(float64) == 0 {
+		t.Fatalf("/stats routerShardBatches did not move: %v", body)
 	}
 	rec, _ := do2(routed, http.MethodGet, "/metrics")
 	page := rec.Body.String()
@@ -117,7 +120,11 @@ func TestRoutedStatsAndMetrics(t *testing.T) {
 		"probesim_router_failovers_total",
 		"probesim_router_hedges_sent_total",
 		"probesim_router_shard_fetches_total",
+		"probesim_router_shard_batches_total",
 		"probesim_router_walk_segments_total",
+		"probesim_router_walk_batches_total",
+		"probesim_router_walk_delegated_total",
+		"probesim_router_walk_local_segments_total",
 		"probesim_router_worker_calls_total",
 	} {
 		if !strings.Contains(page, want) {
@@ -289,4 +296,18 @@ func (d *dyingEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 		return buf, state, router.SegmentEnded, fmt.Errorf("%w: injected crash", router.ErrTransport)
 	}
 	return d.LocalEngine.WalkSegment(ctx, version, h, sqrtC, cur, state, room, buf)
+}
+
+func (d *dyingEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	if d.dead.Load() {
+		return nil, fmt.Errorf("%w: injected crash", router.ErrTransport)
+	}
+	return d.LocalEngine.ResolveShards(ctx, version, ps)
+}
+
+func (d *dyingEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []router.WalkStart) ([]router.WalkResult, error) {
+	if d.dead.Load() {
+		return nil, fmt.Errorf("%w: injected crash", router.ErrTransport)
+	}
+	return d.LocalEngine.WalkBatch(ctx, version, h, sqrtC, walks)
 }

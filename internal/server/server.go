@@ -494,8 +494,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rc := s.rt.Counters()
 		body["routerShardFetches"] = rc.ShardFetches
 		body["routerShardFetchErrors"] = rc.ShardFetchErrors
+		body["routerShardBatches"] = rc.ShardBatches
 		body["routerWalkSegments"] = rc.WalkSegments
 		body["routerWalkHandoffs"] = rc.WalkHandoffs
+		// Batched walk plane: round trips (routerWalkBatches), the walks
+		// they carried (routerWalkDelegated; the ratio is the average
+		// batch size) and the segments the router stepped itself over
+		// cached blocks with no RPC at all (routerWalkLocalSegments).
+		body["routerWalkBatches"] = rc.WalkBatches
+		body["routerWalkDelegated"] = rc.WalkDelegated
+		body["routerWalkLocalSegments"] = rc.WalkLocalSegments
 		body["routerApplyRetries"] = rc.ApplyRetries
 		// Replicated read plane: failover/hedging activity and the write
 		// plane's replica book-keeping (skipped demoted members, ring

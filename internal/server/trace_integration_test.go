@@ -56,6 +56,20 @@ func (d *delayEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 	return d.LocalEngine.WalkSegment(ctx, version, h, sqrtC, cur, state, room, buf)
 }
 
+func (d *delayEngine) ResolveShards(ctx context.Context, version uint64, ps []int) ([]graph.CSRShard, error) {
+	if err := d.stall(ctx); err != nil {
+		return nil, err
+	}
+	return d.LocalEngine.ResolveShards(ctx, version, ps)
+}
+
+func (d *delayEngine) WalkBatch(ctx context.Context, version uint64, h budget.Header, sqrtC float64, walks []router.WalkStart) ([]router.WalkResult, error) {
+	if err := d.stall(ctx); err != nil {
+		return nil, err
+	}
+	return d.LocalEngine.WalkBatch(ctx, version, h, sqrtC, walks)
+}
+
 // startTCPWorker serves eng over TCP and returns the address plus a
 // shutdown func.
 func startTCPWorker(t *testing.T, eng router.ShardEngine) (string, func()) {
@@ -135,12 +149,12 @@ func TestTracedQueryAcrossHedgedFailoverFleet(t *testing.T) {
 	srv := NewRouted(rt, core.Options{Seed: 3, NumWalks: 200}, 4, 50)
 	srv.SetTracer(qtrace.NewTracer(0, 0, 8, slog.New(slog.NewTextHandler(io.Discard, nil))))
 
-	// Warm the connection pools, then kill group 0's first replica. The
-	// traced query asks a DIFFERENT source node: the answer cache would
-	// otherwise serve the warmup's result without touching the fleet.
-	if rec, _ := do(t, srv, http.MethodGet, "/topk?u=1&k=5"); rec.Code != http.StatusOK {
-		t.Fatalf("warmup: %d", rec.Code)
-	}
+	// Kill group 0's first replica BEFORE the first query: the traced
+	// query must be the one that materializes the view and delegates the
+	// walk batches, because once a view is warm the batched plane serves
+	// every later query with zero read RPCs — nothing left to hedge or
+	// fail over. (The router's construction-time Meta broadcast already
+	// warmed the connection pools.)
 	stopDead()
 
 	rec, body := do(t, srv, http.MethodGet, "/topk?u=2&k=5&trace=1")
@@ -170,7 +184,7 @@ func TestTracedQueryAcrossHedgedFailoverFleet(t *testing.T) {
 		case strings.Contains(s.attrs, "kind=failover"):
 			failover = true
 		}
-		if s.name == "worker.walk_segment" {
+		if s.name == "worker.walk_batch" {
 			workerWalk = true
 			if strings.Contains(s.attrs, "worker=") {
 				workerLabeled = true
@@ -190,7 +204,7 @@ func TestTracedQueryAcrossHedgedFailoverFleet(t *testing.T) {
 		t.Error("no failover span (kind=failover)")
 	}
 	if !workerWalk {
-		t.Error("no grafted worker.walk_segment span")
+		t.Error("no grafted worker.walk_batch span")
 	}
 	if !workerLabeled {
 		t.Error("grafted worker span carries no worker= label")

@@ -100,6 +100,26 @@ type Store struct {
 	part    Partition
 	workers int
 
+	// ownIndex/ownGroup scope the store to the shards p with
+	// p%ownGroup == ownIndex (ownGroup <= 1 means the store is full).
+	// A scoped store is the memory side of a shard-local worker: it
+	// keeps mutable adjacency and publishes CSR blocks ONLY for owned
+	// shards, while the version counters (store version, per-shard
+	// versions, edge/node counts, batch watermark) advance exactly as a
+	// full store's would under the same operation sequence — that
+	// lockstep is what lets a fleet of scoped workers pass the routers'
+	// staleness checks. Non-owned shards publish as absent (zero-length
+	// CSR arrays); serving them is rejected by the engine layer.
+	//
+	// Scoping weakens ONE check: a RemoveEdge whose endpoints both live
+	// in non-owned shards cannot be validated here and is accepted
+	// blindly. The workers owning those shards still validate it, so
+	// owned data never corrupts — but a semantically invalid batch is
+	// rejected only by the owners of the shards it touches. Keep
+	// scoped fleets behind a writer that submits valid batches.
+	ownIndex int
+	ownGroup int
+
 	mu      sync.Mutex
 	n       int
 	m       int64
@@ -136,34 +156,53 @@ type Store struct {
 // source graph are independent afterwards. workers bounds the rebuild
 // pool; <= 0 means one goroutine per dirty shard up to GOMAXPROCS.
 func NewStore(g *graph.Graph, shards, workers int) *Store {
+	return newStore(g, shards, workers, 0, 0)
+}
+
+// NewStoreScoped is NewStore restricted to the shards p with
+// p%group == index: the shard-local worker's constructor. Adjacency for
+// non-owned shards is neither copied nor published (per-worker memory is
+// ~owned/total of the graph), while every counter the serving stack
+// compares across workers advances as the full store's would. See the
+// scoping notes on Store for the write-plane contract.
+func NewStoreScoped(g *graph.Graph, shards, workers, index, group int) *Store {
+	if group < 1 || index < 0 || index >= group {
+		panic(fmt.Sprintf("shard: scoped store needs 0 <= index < group, got %d/%d", index, group))
+	}
+	return newStore(g, shards, workers, index, group)
+}
+
+func newStore(g *graph.Graph, shards, workers, index, group int) *Store {
 	n := g.NumNodes()
 	st := &Store{
-		part:    NewPartition(n, shards),
-		workers: workers,
-		n:       n,
-		m:       g.NumEdges(),
-		version: g.Version(),
+		part:     NewPartition(n, shards),
+		workers:  workers,
+		ownIndex: index,
+		ownGroup: group,
+		n:        n,
+		m:        g.NumEdges(),
+		version:  g.Version(),
 	}
 	count := st.part.Count(n)
 	st.shards = make([]*shardMut, count)
 	stride := st.part.Stride()
 	for p := 0; p < count; p++ {
-		lo := p * stride
-		hi := lo + stride
-		if hi > n {
-			hi = n
-		}
-		sm := &shardMut{
-			in:      make([][]graph.NodeID, hi-lo),
-			out:     make([][]graph.NodeID, hi-lo),
-			version: st.version,
-		}
-		for v := lo; v < hi; v++ {
-			if l := g.InNeighbors(graph.NodeID(v)); len(l) > 0 {
-				sm.in[v-lo] = append([]graph.NodeID(nil), l...)
+		sm := &shardMut{version: st.version}
+		if st.ownsShard(p) {
+			lo := p * stride
+			hi := lo + stride
+			if hi > n {
+				hi = n
 			}
-			if l := g.OutNeighbors(graph.NodeID(v)); len(l) > 0 {
-				sm.out[v-lo] = append([]graph.NodeID(nil), l...)
+			sm.in = make([][]graph.NodeID, hi-lo)
+			sm.out = make([][]graph.NodeID, hi-lo)
+			for v := lo; v < hi; v++ {
+				if l := g.InNeighbors(graph.NodeID(v)); len(l) > 0 {
+					sm.in[v-lo] = append([]graph.NodeID(nil), l...)
+				}
+				if l := g.OutNeighbors(graph.NodeID(v)); len(l) > 0 {
+					sm.out[v-lo] = append([]graph.NodeID(nil), l...)
+				}
 			}
 		}
 		st.shards[p] = sm
@@ -171,6 +210,17 @@ func NewStore(g *graph.Graph, shards, workers int) *Store {
 	st.Publish()
 	return st
 }
+
+// ownsShard reports whether this store keeps shard p's data. A full
+// store owns everything.
+func (st *Store) ownsShard(p int) bool {
+	return st.ownGroup <= 1 || p%st.ownGroup == st.ownIndex
+}
+
+// Scope returns the store's (index, group) shard scope; group <= 1 means
+// the store is full. Engines serving a scoped store must be configured
+// with the same scope.
+func (st *Store) Scope() (index, group int) { return st.ownIndex, st.ownGroup }
 
 // NewEmpty returns a store with n isolated nodes partitioned into at most
 // shards shards, with an initial (empty-adjacency) snapshot published.
@@ -191,6 +241,21 @@ func NewEmpty(n, shards, workers int) *Store {
 // store to the crash point. workers bounds the rebuild pool as in
 // NewStore.
 func Restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []graph.CSRShard, shardVersions []uint64, workers int) (*Store, error) {
+	return restore(n, m, version, lastBatch, shift, csr, shardVersions, workers, 0, 0)
+}
+
+// RestoreScoped is Restore for a shard-local worker: only the shards p
+// with p%group == index carry CSR data (the rest must be absent —
+// zero-length arrays, as a stride-scoped checkpoint read produces), and
+// only those are validated and deep-copied into the mutable side.
+func RestoreScoped(n int, m int64, version, lastBatch uint64, shift uint32, csr []graph.CSRShard, shardVersions []uint64, workers, index, group int) (*Store, error) {
+	if group < 1 || index < 0 || index >= group {
+		return nil, fmt.Errorf("shard: scoped restore needs 0 <= index < group, got %d/%d", index, group)
+	}
+	return restore(n, m, version, lastBatch, shift, csr, shardVersions, workers, index, group)
+}
+
+func restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []graph.CSRShard, shardVersions []uint64, workers, index, group int) (*Store, error) {
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("shard: restore with n=%d m=%d", n, m)
 	}
@@ -203,6 +268,8 @@ func Restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []grap
 	st := &Store{
 		part:      Partition{shift: shift},
 		workers:   workers,
+		ownIndex:  index,
+		ownGroup:  group,
 		n:         n,
 		m:         m,
 		version:   version,
@@ -211,6 +278,14 @@ func Restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []grap
 	st.shards = make([]*shardMut, wantShards)
 	for p := range csr {
 		sh := &csr[p]
+		if !st.ownsShard(p) {
+			if len(sh.InOff) != 0 || len(sh.OutOff) != 0 || len(sh.InDst) != 0 || len(sh.OutDst) != 0 {
+				return nil, fmt.Errorf("shard: restore shard %d: data present for a shard outside scope %d/%d",
+					p, index, group)
+			}
+			st.shards[p] = &shardMut{version: shardVersions[p]}
+			continue
+		}
 		lo := p * stride
 		hi := lo + stride
 		if hi > n {
@@ -249,6 +324,7 @@ func Restore(n int, m int64, version, lastBatch uint64, shift uint32, csr []grap
 		version:   version,
 		lastBatch: lastBatch,
 		shift:     shift,
+		scoped:    group > 1,
 		csr:       csr,
 		versions:  append([]uint64(nil), shardVersions...),
 	}
@@ -290,7 +366,8 @@ func (st *Store) checkNode(v graph.NodeID) error {
 
 // InNeighbors returns the in-neighbor list of v from the mutable side,
 // under the *graph.Graph reader contract. The slice is internal storage:
-// do not modify; invalidated by the next mutation.
+// do not modify; invalidated by the next mutation. On a scoped store
+// only owned shards' nodes are readable.
 func (st *Store) InNeighbors(v graph.NodeID) []graph.NodeID {
 	return st.shards[st.part.ShardOf(v)].in[st.part.LocalOf(v)]
 }
@@ -330,11 +407,17 @@ func (st *Store) addEdgeLocked(u, v graph.NodeID) error {
 		return fmt.Errorf("shard: self-loop %d -> %d rejected", u, v)
 	}
 	st.version++
-	su := st.shards[st.part.ShardOf(u)]
-	su.out[st.part.LocalOf(u)] = append(su.out[st.part.LocalOf(u)], v)
+	pu := st.part.ShardOf(u)
+	su := st.shards[pu]
+	if st.ownsShard(pu) {
+		su.out[st.part.LocalOf(u)] = append(su.out[st.part.LocalOf(u)], v)
+	}
 	su.version = st.version
-	sv := st.shards[st.part.ShardOf(v)]
-	sv.in[st.part.LocalOf(v)] = append(sv.in[st.part.LocalOf(v)], u)
+	pv := st.part.ShardOf(v)
+	sv := st.shards[pv]
+	if st.ownsShard(pv) {
+		sv.in[st.part.LocalOf(v)] = append(sv.in[st.part.LocalOf(v)], u)
+	}
 	sv.version = st.version
 	st.m++
 	return nil
@@ -357,13 +440,21 @@ func (st *Store) removeEdgeLocked(u, v graph.NodeID) error {
 	if err := st.checkNode(v); err != nil {
 		return err
 	}
-	su := st.shards[st.part.ShardOf(u)]
-	if !graph.RemoveOne(&su.out[st.part.LocalOf(u)], v) {
+	pu := st.part.ShardOf(u)
+	su := st.shards[pu]
+	ownU := st.ownsShard(pu)
+	if ownU && !graph.RemoveOne(&su.out[st.part.LocalOf(u)], v) {
 		return fmt.Errorf("shard: edge %d -> %d not found", u, v)
 	}
-	sv := st.shards[st.part.ShardOf(v)]
-	if !graph.RemoveOne(&sv.in[st.part.LocalOf(v)], u) {
-		panic("shard: adjacency lists out of sync")
+	pv := st.part.ShardOf(v)
+	sv := st.shards[pv]
+	if st.ownsShard(pv) && !graph.RemoveOne(&sv.in[st.part.LocalOf(v)], u) {
+		if ownU {
+			panic("shard: adjacency lists out of sync")
+		}
+		// Scoped store owning only v's shard: the in-side IS the
+		// existence check here.
+		return fmt.Errorf("shard: edge %d -> %d not found", u, v)
 	}
 	st.version++
 	su.version = st.version
@@ -450,8 +541,10 @@ func (st *Store) AddNode() graph.NodeID {
 		st.shards = append(st.shards, &shardMut{})
 	}
 	sm := st.shards[p]
-	sm.in = append(sm.in, nil)
-	sm.out = append(sm.out, nil)
+	if st.ownsShard(p) {
+		sm.in = append(sm.in, nil)
+		sm.out = append(sm.out, nil)
+	}
 	sm.version = st.version
 	return id
 }
@@ -462,6 +555,23 @@ func (st *Store) AddNode() graph.NodeID {
 func (st *Store) Validate() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.ownGroup > 1 {
+		// A scoped store holds only owned shards' lists: cross-shard
+		// agreement and the global edge count are not checkable here.
+		// Validate what is: destination ids in the owned lists.
+		for p, sm := range st.shards {
+			for _, side := range [][][]graph.NodeID{sm.out, sm.in} {
+				for l, lst := range side {
+					for _, w := range lst {
+						if err := st.checkNode(w); err != nil {
+							return fmt.Errorf("shard %d: local %d invalid: %w", p, l, err)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
 	var nIn, nOut int64
 	counts := make(map[[2]graph.NodeID]int64)
 	for p, sm := range st.shards {

@@ -27,6 +27,11 @@ type StoreSnapshot struct {
 	lastBatch uint64
 	shift     uint32
 
+	// scoped marks a shard-local store's snapshot: shards outside the
+	// store's scope are ABSENT (zero-length CSR arrays) rather than
+	// encoded, and validation skips them. See the scoping notes on Store.
+	scoped bool
+
 	csr      []graph.CSRShard
 	versions []uint64 // store version each shard CSR was built at
 
@@ -128,6 +133,18 @@ func (s *StoreSnapshot) Shard(p int) graph.CSRShard { return s.csr[p] }
 // can report fine-grained staleness.
 func (s *StoreSnapshot) ShardVersion(p int) uint64 { return s.versions[p] }
 
+// Scoped reports whether this snapshot came from a shard-local store:
+// shards outside the store's scope are absent.
+func (s *StoreSnapshot) Scoped() bool { return s.scoped }
+
+// ShardPresent reports whether shard p's CSR block is actually held by
+// this snapshot. Always true on a full store's snapshot (a present shard
+// covers at least one node, so its offset arrays are never empty);
+// false for a scoped snapshot's non-owned shards. Engines must refuse to
+// serve adjacency or walks out of an absent shard — its spans read as
+// empty lists, which would silently truncate walks.
+func (s *StoreSnapshot) ShardPresent(p int) bool { return len(s.csr[p].InOff) > 0 }
+
 func (s *StoreSnapshot) shardOf(v graph.NodeID) (*graph.CSRShard, uint32) {
 	return &s.csr[uint32(v)>>s.shift], uint32(v) & (uint32(1)<<s.shift - 1)
 }
@@ -195,6 +212,9 @@ func (s *StoreSnapshot) Validate() error {
 	}
 	for p := range s.csr {
 		sh := &s.csr[p]
+		if s.scoped && len(sh.InOff) == 0 && len(sh.OutOff) == 0 {
+			continue // absent shard of a scoped snapshot
+		}
 		lo := p * stride
 		hi := lo + stride
 		if hi > s.n {
@@ -231,7 +251,7 @@ func (s *StoreSnapshot) Validate() error {
 			}
 		}
 	}
-	if mIn != s.m || mOut != s.m {
+	if !s.scoped && (mIn != s.m || mOut != s.m) {
 		return fmt.Errorf("shard: snapshot edge counts in=%d out=%d, want %d", mIn, mOut, s.m)
 	}
 	return nil
@@ -297,11 +317,19 @@ func (st *Store) PublishCtx(ctx context.Context) (*StoreSnapshot, error) {
 		version:   st.version,
 		lastBatch: st.lastBatch,
 		shift:     st.part.shift,
+		scoped:    st.ownGroup > 1,
 		csr:       make([]graph.CSRShard, len(st.shards)),
 		versions:  make([]uint64, len(st.shards)),
 	}
 	dirty := make([]int, 0, len(st.shards))
 	for p, sm := range st.shards {
+		// A shard outside a scoped store's ownership publishes as absent:
+		// only its version rides along, so the staleness/dirtiness
+		// signals stay in lockstep with the full stores in the fleet.
+		if !st.ownsShard(p) {
+			next.versions[p] = sm.version
+			continue
+		}
 		// A shard is clean iff its version matches what the previous
 		// snapshot encoded (every mutation that touches a shard, including
 		// AddNode growing it, bumps its version).

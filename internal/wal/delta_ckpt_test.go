@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeStr(s string) func(io.Writer) error {
+	return func(w io.Writer) error { _, err := io.WriteString(w, s); return err }
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(0, []Op{{U: int32(i), V: int32(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeltaCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A delta with no full base is a programming error.
+	appendN(t, l, 4)
+	if err := l.CheckpointDelta(2, writeStr("d")); err == nil {
+		t.Fatal("delta with no full base accepted")
+	}
+	if err := l.Checkpoint(2, writeStr("base@2")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deltas advance the public watermark but never touch segments.
+	before, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err := l.CheckpointDelta(3, writeStr("delta@3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckpointDelta(4, writeStr("delta@4")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(after) != len(before) {
+		t.Fatalf("delta checkpoint truncated segments: %d -> %d", len(before), len(after))
+	}
+	if l.LastCheckpoint() != 4 || l.LastFullCheckpoint() != 2 {
+		t.Fatalf("watermarks last=%d full=%d, want 4/2", l.LastCheckpoint(), l.LastFullCheckpoint())
+	}
+	// Only the newest delta file survives.
+	dcks, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.dck"))
+	if len(dcks) != 1 || !strings.Contains(dcks[0], fmt.Sprintf("%016x", 4)) {
+		t.Fatalf("want only delta 4, got %v", dcks)
+	}
+	if got := l.Stats().Deltas; got != 2 {
+		t.Fatalf("delta counter %d, want 2", got)
+	}
+
+	// Recovery hands back base + newest delta, batches above the delta.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointThrough != 2 || rec.DeltaThrough != 4 {
+		t.Fatalf("recovered through %d/%d, want 2/4", rec.CheckpointThrough, rec.DeltaThrough)
+	}
+	if rec.DeltaPath == "" {
+		t.Fatal("no DeltaPath recovered")
+	}
+	if got := readCkpt(t, rec.DeltaPath); got != "delta@4" {
+		t.Fatalf("delta payload %q", got)
+	}
+	if got := readCkpt(t, rec.CheckpointPath); got != "base@2" {
+		t.Fatalf("base payload %q", got)
+	}
+	var ids []uint64
+	rec.Replay(rec.DeltaThrough, func(id uint64, ops []Op) error { ids = append(ids, id); return nil })
+	if len(ids) != 0 {
+		t.Fatalf("tail above delta: %v", ids)
+	}
+
+	// A full checkpoint at/above the delta subsumes it: the .dck is
+	// removed now and stays gone across reopen.
+	appendN(t, l2, 2)
+	if err := l2.Checkpoint(6, writeStr("base@6")); err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastCheckpoint() != 6 || l2.LastFullCheckpoint() != 6 {
+		t.Fatalf("watermarks after full: %d/%d", l2.LastCheckpoint(), l2.LastFullCheckpoint())
+	}
+	dcks, _ = filepath.Glob(filepath.Join(dir, "checkpoint-*.dck"))
+	if len(dcks) != 0 {
+		t.Fatalf("full checkpoint left deltas behind: %v", dcks)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if rec3.CheckpointThrough != 6 || rec3.DeltaThrough != 0 || rec3.DeltaPath != "" {
+		t.Fatalf("post-subsume recovery: %+v", rec3)
+	}
+}
+
+func readCkpt(t *testing.T, path string) string {
+	t.Helper()
+	rc, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDeltaOrphanAndStaleCleanup covers the scan-side hygiene: a delta
+// older than the newest full base is removed as subsumed, and a delta
+// whose base vanished is set aside as .orphan rather than trusted.
+func TestDeltaOrphanAndStaleCleanup(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 6)
+	if err := l.Checkpoint(2, writeStr("base@2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckpointDelta(3, writeStr("delta@3")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate a crash between a new full checkpoint landing and the old
+	// delta's removal: hand-write a valid full checkpoint at 5.
+	writeFileCRCPath := ckptPath(dir, 5)
+	if err := writeFileCRC(dir, writeFileCRCPath, writeStr("base@5")); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointThrough != 5 || rec.DeltaPath != "" {
+		t.Fatalf("stale delta survived: %+v", rec)
+	}
+	if ds, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.dck")); len(ds) != 0 {
+		t.Fatalf("subsumed delta not removed: %v", ds)
+	}
+
+	// Now the orphan case: a delta whose full base is gone.
+	if err := writeFileCRC(dir, deltaPath(dir, 6), writeStr("delta@6")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ck := range glob(t, dir, "checkpoint-*.ck") {
+		os.Remove(ck)
+	}
+	_, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.DeltaPath != "" || rec2.CheckpointPath != "" {
+		t.Fatalf("orphan delta trusted: %+v", rec2)
+	}
+	if _, err := os.Stat(deltaPath(dir, 6) + ".orphan"); err != nil {
+		t.Fatalf("orphan delta not set aside: %v", err)
+	}
+
+	// And the corrupt case: a delta that fails CRC is set aside too.
+	dir2 := t.TempDir()
+	l2, _, err := Open(dir2, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l2, 3)
+	if err := l2.Checkpoint(1, writeStr("base@1")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if err := os.WriteFile(deltaPath(dir2, 2), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.DeltaPath != "" || rec3.CheckpointThrough != 1 {
+		t.Fatalf("corrupt delta trusted: %+v", rec3)
+	}
+	if _, err := os.Stat(deltaPath(dir2, 2) + ".corrupt"); err != nil {
+		t.Fatalf("corrupt delta not set aside: %v", err)
+	}
+}
+
+func glob(t *testing.T, dir, pat string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, pat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

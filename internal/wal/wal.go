@@ -123,10 +123,11 @@ const (
 	segHeaderSize = 16
 	frameHeader   = 8 // u32 len | u32 crc
 
-	segPrefix  = "wal-"
-	segSuffix  = ".seg"
-	ckptPrefix = "checkpoint-"
-	ckptSuffix = ".ck"
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	ckptPrefix  = "checkpoint-"
+	ckptSuffix  = ".ck"
+	deltaSuffix = ".dck"
 
 	// maxRecordBytes bounds one record's payload: a corrupt length prefix
 	// must not get to allocate the machine. 9 bytes/op puts the op limit
@@ -149,10 +150,21 @@ type Batch struct {
 
 // Recovery describes what Open found on disk.
 type Recovery struct {
-	// CheckpointPath is the newest intact checkpoint file, "" if none.
+	// CheckpointPath is the newest intact FULL checkpoint file, "" if
+	// none. When DeltaPath is also set, this file is the delta's base.
 	CheckpointPath string
 	// CheckpointThrough is the batch id the checkpoint covers through.
 	CheckpointThrough uint64
+	// DeltaPath is the newest intact delta checkpoint newer than the
+	// full one, "" if none. A delta is cumulative against its base full
+	// checkpoint: recovery decodes CheckpointPath, overlays DeltaPath,
+	// then replays the log above DeltaThrough. A corrupt or orphaned
+	// delta is set aside and recovery falls back to the base plus a
+	// longer replay — delta checkpoints never truncate segments, so the
+	// log above the base is always intact.
+	DeltaPath string
+	// DeltaThrough is the batch id the delta covers through.
+	DeltaThrough uint64
 	// Batches holds every intact record found in the segments, ascending
 	// by id. Replay applies the suffix above the store's own watermark.
 	Batches []Batch
@@ -180,11 +192,12 @@ type Stats struct {
 	AppendedBytes  int64
 	Syncs          int64 // explicit fsyncs issued
 	Rotations      int64 // segments started (beyond the first)
-	Checkpoints    int64 // checkpoints written this process lifetime
+	Checkpoints    int64 // full checkpoints written this process lifetime
+	Deltas         int64 // delta checkpoints written this process lifetime
 	SegmentsLive   int64 // segment files currently on disk
 	SegmentBytes   int64 // bytes across live segments
 	LastBatch      uint64
-	LastCheckpoint uint64 // batch id the newest checkpoint covers through
+	LastCheckpoint uint64 // batch id the newest checkpoint (full or delta) covers through
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
@@ -202,15 +215,21 @@ type Log struct {
 	dirty    bool      // buffered/unsynced appends (interval & off policies)
 	closed   bool
 
-	lastCkpt atomic.Uint64
-	stopSync chan struct{}
-	syncDone chan struct{}
+	// lastCkpt is the public replay-debt watermark: the through id of
+	// the newest checkpoint of either kind. lastFull/lastDelta track the
+	// files themselves so supersession removes the right ones.
+	lastCkpt  atomic.Uint64
+	lastFull  atomic.Uint64
+	lastDelta atomic.Uint64
+	stopSync  chan struct{}
+	syncDone  chan struct{}
 
 	appends       atomic.Int64
 	appendedBytes atomic.Int64
 	syncs         atomic.Int64
 	rotations     atomic.Int64
 	checkpoints   atomic.Int64
+	deltaCkpts    atomic.Int64
 }
 
 type segment struct {
@@ -241,10 +260,16 @@ func Open(dir string, opt Options) (*Log, *Recovery, error) {
 	if err := l.scanSegments(rec); err != nil {
 		return nil, nil, err
 	}
-	if rec.CheckpointThrough >= l.next {
-		l.next = rec.CheckpointThrough + 1
+	through := rec.CheckpointThrough
+	if rec.DeltaThrough > through {
+		through = rec.DeltaThrough
 	}
-	l.lastCkpt.Store(rec.CheckpointThrough)
+	if through >= l.next {
+		l.next = through + 1
+	}
+	l.lastCkpt.Store(through)
+	l.lastFull.Store(rec.CheckpointThrough)
+	l.lastDelta.Store(rec.DeltaThrough)
 	if opt.Sync == SyncInterval {
 		l.stopSync = make(chan struct{})
 		l.syncDone = make(chan struct{})
@@ -271,6 +296,10 @@ func ckptPath(dir string, through uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", ckptPrefix, through, ckptSuffix))
 }
 
+func deltaPath(dir string, through uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", ckptPrefix, through, deltaSuffix))
+}
+
 // parseSeqName extracts the hex sequence number out of prefix<hex>suffix.
 func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
@@ -284,22 +313,25 @@ func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 	return v, true
 }
 
-// scanCheckpoints finds the newest checkpoint whose trailer validates and
-// deletes older ones (they are fully superseded). A checkpoint that fails
-// validation is renamed aside rather than deleted — it is evidence.
+// scanCheckpoints finds the newest full checkpoint whose trailer
+// validates, plus the newest still-newer delta, and deletes superseded
+// ones. A checkpoint that fails validation is renamed aside rather than
+// deleted — it is evidence.
 func (l *Log) scanCheckpoints(rec *Recovery) error {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	var throughs []uint64
+	var fulls, deltas []uint64
 	for _, e := range entries {
 		if v, ok := parseSeqName(e.Name(), ckptPrefix, ckptSuffix); ok {
-			throughs = append(throughs, v)
+			fulls = append(fulls, v)
+		} else if v, ok := parseSeqName(e.Name(), ckptPrefix, deltaSuffix); ok {
+			deltas = append(deltas, v)
 		}
 	}
-	sort.Slice(throughs, func(i, j int) bool { return throughs[i] > throughs[j] })
-	for _, through := range throughs {
+	sort.Slice(fulls, func(i, j int) bool { return fulls[i] > fulls[j] })
+	for _, through := range fulls {
 		path := ckptPath(l.dir, through)
 		if rec.CheckpointPath == "" {
 			if err := VerifyFileCRC(path); err == nil {
@@ -313,6 +345,29 @@ func (l *Log) scanCheckpoints(rec *Recovery) error {
 			continue
 		}
 		_ = os.Remove(path)
+	}
+	// Deltas are cumulative against the chosen full base: only the
+	// newest one newer than the base matters. Anything at or below the
+	// base is subsumed by it; a delta with no usable base at all cannot
+	// be applied (segments still cover it, so nothing is lost).
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] > deltas[j] })
+	for _, through := range deltas {
+		path := deltaPath(l.dir, through)
+		switch {
+		case through <= rec.CheckpointThrough:
+			_ = os.Remove(path)
+		case rec.DeltaPath != "":
+			_ = os.Remove(path)
+		case rec.CheckpointPath == "":
+			_ = os.Rename(path, path+".orphan")
+		default:
+			if err := VerifyFileCRC(path); err == nil {
+				rec.DeltaPath = path
+				rec.DeltaThrough = through
+			} else {
+				_ = os.Rename(path, path+".corrupt")
+			}
+		}
 	}
 	return nil
 }
@@ -690,20 +745,27 @@ func (l *Log) Checkpoint(through uint64, write func(io.Writer) error) error {
 	l.checkpoints.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	// Remove the superseded checkpoint and the fully covered segments. A
+	// Remove the superseded checkpoints and the fully covered segments. A
 	// closed segment is covered when its highest record id is <= through
 	// (an empty closed segment — a rotation artifact — holds nothing and
 	// always goes); the active segment never goes.
-	prev := l.lastCkpt.Load()
-	switch {
-	case through > prev:
-		l.lastCkpt.Store(through)
-		_ = os.Remove(ckptPath(l.dir, prev)) // no-op when no prior checkpoint exists
-	case through < prev:
+	if prev := l.lastCkpt.Load(); through < prev {
 		// A stale spill lost the race to a newer checkpoint: it covers a
 		// subset of what prev does, so the file it just wrote is garbage.
 		_ = os.Remove(ckptPath(l.dir, through))
 		return nil
+	}
+	l.lastCkpt.Store(through)
+	if pf := l.lastFull.Load(); pf != through {
+		l.lastFull.Store(through)
+		if pf > 0 {
+			_ = os.Remove(ckptPath(l.dir, pf))
+		}
+	}
+	// A full checkpoint subsumes any delta at or below it.
+	if pd := l.lastDelta.Load(); pd > 0 && pd <= through {
+		l.lastDelta.Store(0)
+		_ = os.Remove(deltaPath(l.dir, pd))
 	}
 	keep := l.segments[:0]
 	for i, seg := range l.segments {
@@ -717,6 +779,50 @@ func (l *Log) Checkpoint(through uint64, write func(io.Writer) error) error {
 	l.segments = keep
 	return nil
 }
+
+// CheckpointDelta durably writes a DELTA spill — state the caller
+// encodes relative to the last full checkpoint — covering every batch
+// through the given id. Deltas bound replay debt like full checkpoints
+// (LastCheckpoint and AppendsSinceCheckpoint advance) but never truncate
+// segments: the log above the full base survives until the next full
+// checkpoint, so recovery can always fall back to base + replay if the
+// delta is lost. Only the newest delta is kept — the caller must encode
+// each delta cumulatively against the same full base.
+func (l *Log) CheckpointDelta(through uint64, write func(io.Writer) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log closed")
+	}
+	if through >= l.next {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: checkpoint through %d beyond last batch %d", through, l.next-1)
+	}
+	l.mu.Unlock()
+	if l.lastFull.Load() == 0 {
+		return fmt.Errorf("wal: delta checkpoint with no full base")
+	}
+	if err := writeFileCRC(l.dir, deltaPath(l.dir, through), write); err != nil {
+		return err
+	}
+	l.deltaCkpts.Add(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev := l.lastCkpt.Load(); through < prev {
+		_ = os.Remove(deltaPath(l.dir, through))
+		return nil
+	}
+	l.lastCkpt.Store(through)
+	if pd := l.lastDelta.Load(); pd > 0 && pd != through {
+		_ = os.Remove(deltaPath(l.dir, pd))
+	}
+	l.lastDelta.Store(through)
+	return nil
+}
+
+// LastFullCheckpoint returns the batch id the newest FULL checkpoint
+// covers through (0 = none) — the base every delta is encoded against.
+func (l *Log) LastFullCheckpoint() uint64 { return l.lastFull.Load() }
 
 // LastCheckpoint returns the batch id the newest checkpoint covers
 // through (0 = none).
@@ -751,6 +857,7 @@ func (l *Log) Stats() Stats {
 		Syncs:          l.syncs.Load(),
 		Rotations:      l.rotations.Load(),
 		Checkpoints:    l.checkpoints.Load(),
+		Deltas:         l.deltaCkpts.Load(),
 		SegmentsLive:   segs,
 		SegmentBytes:   segBytes,
 		LastBatch:      last,

@@ -38,10 +38,38 @@ type SegmentedView interface {
 	WalkSegment(cur graph.NodeID, state uint64, room int, sqrtC float64, buf []graph.NodeID) (out []graph.NodeID, newState uint64, done bool)
 }
 
+// BatchWalk is one walk of a batched generation. Buf holds the walk's
+// nodes so far (the start node first), State is the walk's SplitMix64
+// position after the last appended node, and Done reports that the walk
+// ended (termination draw, dead end, length cap, or budget stop).
+type BatchWalk struct {
+	Buf   []graph.NodeID
+	State uint64
+	Done  bool
+}
+
+// BatchSegmentedView is a SegmentedView that can advance many walks per
+// exchange. The router's distributed view implements it: walks whose
+// current shard block is already cached step locally, and the remainder
+// are delegated in one RPC per owning worker group instead of one per
+// walk. Each walk draws only from its own State, so the batched stepping
+// is bit-identical to per-walk WalkSegment calls by construction.
+type BatchSegmentedView interface {
+	SegmentedView
+	// WalkSegmentBatch advances every walk with Done == false by at least
+	// one segment, appending to its Buf (never past maxNodes nodes) and
+	// updating its State. A walk left !Done crossed into a shard the view
+	// chose not to step this round; the caller loops until all walks are
+	// done. An error latches a transport/budget failure: the view marks
+	// affected walks done and the caller stops looping.
+	WalkSegmentBatch(walks []BatchWalk, maxNodes int, sqrtC float64) error
+}
+
 // Generator produces √c-walks over a fixed graph view.
 type Generator struct {
 	adj   graph.Adj
-	seg   SegmentedView // non-nil: delegate stepping to the view
+	seg   SegmentedView      // non-nil: delegate stepping to the view
+	batch BatchSegmentedView // non-nil: the view can step many walks at once
 	sqrtC float64
 	rng   *xrand.RNG
 	meter *budget.Meter
@@ -53,13 +81,22 @@ type Generator struct {
 // *graph.Snapshot; the adjacency storage is resolved once so walk steps
 // pay no interface dispatch. If g is a *graph.Graph it must not be
 // mutated while the generator is in use.
+//
+// A SegmentedView steps walks itself, so its adjacency is deliberately
+// NOT resolved here: resolving a distributed view materializes every
+// uncached shard block, which the walk phase must not force.
 func NewGenerator(g graph.View, c float64, rng *xrand.RNG) *Generator {
 	if c <= 0 || c >= 1 {
 		panic("walk: decay factor must be in (0, 1)")
 	}
-	gen := &Generator{adj: graph.ResolveAdj(g), sqrtC: math.Sqrt(c), rng: rng}
+	gen := &Generator{sqrtC: math.Sqrt(c), rng: rng}
 	if sv, ok := g.(SegmentedView); ok {
 		gen.seg = sv
+		if bv, ok := g.(BatchSegmentedView); ok {
+			gen.batch = bv
+		}
+	} else {
+		gen.adj = graph.ResolveAdj(g)
 	}
 	return gen
 }
@@ -109,6 +146,81 @@ func (gen *Generator) Generate(u graph.NodeID, maxNodes int, buf []graph.NodeID)
 	buf, _ = Segment(&gen.adj, u, maxNodes-1, gen.sqrtC, gen.rng, nil, nil, buf)
 	gen.meter.StageEnd(qtrace.StageWalk, clk)
 	return buf
+}
+
+// GenerateMany produces one √c-walk from u per entry of states, where
+// states[i] is walk i's initial SplitMix64 state. The walks slice is
+// reused (its node buffers are recycled) and returned resized to
+// len(states). Each walk draws exclusively from its own stream, so the
+// result is bit-identical to len(states) sequential Generate calls with
+// those streams — but over a BatchSegmentedView all walks advance per
+// exchange, collapsing per-walk RPC round trips into per-group ones.
+func (gen *Generator) GenerateMany(u graph.NodeID, states []uint64, maxNodes int, walks []BatchWalk) []BatchWalk {
+	if maxNodes <= 0 || maxNodes > HardCap {
+		maxNodes = HardCap
+	}
+	if cap(walks) < len(states) {
+		walks = append(walks[:cap(walks)], make([]BatchWalk, len(states)-cap(walks))...)
+	}
+	walks = walks[:len(states)]
+	for i, st := range states {
+		walks[i].Buf = append(walks[i].Buf[:0], u)
+		walks[i].State = st
+		walks[i].Done = false
+	}
+	if gen.meter.Stopped() {
+		for i := range walks {
+			walks[i].Done = true
+		}
+		return walks
+	}
+	clk := gen.meter.StageStart()
+	switch {
+	case gen.batch != nil:
+		for {
+			live := 0
+			for i := range walks {
+				if !walks[i].Done {
+					live++
+				}
+			}
+			if live == 0 {
+				break
+			}
+			if err := gen.batch.WalkSegmentBatch(walks, maxNodes, gen.sqrtC); err != nil {
+				// The view latched the failure (and tripped the meter);
+				// surviving prefixes stand as the walks' partial results.
+				for i := range walks {
+					walks[i].Done = true
+				}
+				break
+			}
+			for i := range walks {
+				if !walks[i].Done && len(walks[i].Buf) >= maxNodes {
+					walks[i].Done = true
+				}
+			}
+		}
+	case gen.seg != nil:
+		for i := range walks {
+			w := &walks[i]
+			for !w.Done && len(w.Buf) < maxNodes {
+				w.Buf, w.State, w.Done = gen.seg.WalkSegment(w.Buf[len(w.Buf)-1], w.State, maxNodes-len(w.Buf), gen.sqrtC, w.Buf)
+			}
+			w.Done = true
+		}
+	default:
+		var rng xrand.RNG
+		for i := range walks {
+			w := &walks[i]
+			rng.SetState(w.State)
+			w.Buf, _ = Segment(&gen.adj, u, maxNodes-1, gen.sqrtC, &rng, nil, nil, w.Buf)
+			w.State = rng.State()
+			w.Done = true
+		}
+	}
+	gen.meter.StageEnd(qtrace.StageWalk, clk)
+	return walks
 }
 
 // Segment advances a √c-walk from cur, appending at most room further

@@ -37,12 +37,20 @@ func (r *RNG) SetState(s uint64) { r.state = s }
 // the parent's seed and i, suitable for giving each parallel worker its own
 // independent sequence. The parent's state is not advanced.
 func (r *RNG) Split(i uint64) *RNG {
-	// Mix the worker index through one SplitMix64 round so adjacent indices
+	return &RNG{state: r.SplitState(i)}
+}
+
+// SplitState returns the initial state of the stream Split(i) would
+// produce, without allocating a generator. New(SplitState(i)) and Split(i)
+// draw identical sequences; callers that derive one stream per walk trial
+// use this to enumerate start states (e.g. onto the wire) cheaply.
+func (r *RNG) SplitState(i uint64) uint64 {
+	// Mix the stream index through one SplitMix64 round so adjacent indices
 	// land far apart in the state space.
 	z := r.state + (i+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &RNG{state: z ^ (z >> 31)}
+	return z ^ (z >> 31)
 }
 
 // Uint64 returns the next value in the SplitMix64 sequence.

@@ -8,11 +8,14 @@
 #   - probesim-server -workers ...        (routing tier, no local graph)
 #   - probesim-server -shards ...         (single-process reference)
 # then diffs /topk and /single-source responses byte for byte, writes an
-# edge through both write planes, and diffs again.
+# edge through both write planes, and diffs again. A second, larger
+# fleet runs the same diff between full-copy and -shard-local workers
+# and asserts the shard-local workers' resident memory actually shrank.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 W0=19301 W1=19302 ROUTED=19303 SINGLE=19304
+BF0=19305 BF1=19306 BS0=19307 BS1=19308 RFULL=19309 RSCOPED=19310
 TMP="$(mktemp -d)"
 PIDS=()
 cleanup() {
@@ -62,32 +65,36 @@ for port in "$ROUTED" "$SINGLE"; do
   done
 done
 
-check() { # path
-  curl -sf "http://127.0.0.1:$ROUTED$1" >"$TMP/routed.json"
-  curl -sf "http://127.0.0.1:$SINGLE$1" >"$TMP/single.json"
-  if ! diff -u "$TMP/single.json" "$TMP/routed.json"; then
-    echo "MISMATCH on $1" >&2
+check() { # portA portB path
+  curl -sf "http://127.0.0.1:$1$3" >"$TMP/a.json"
+  curl -sf "http://127.0.0.1:$2$3" >"$TMP/b.json"
+  if ! diff -u "$TMP/a.json" "$TMP/b.json"; then
+    echo "MISMATCH on $3 (:$1 vs :$2)" >&2
     exit 1
   fi
-  echo "   match: $1"
+  echo "   match: $3"
 }
 
 echo "== comparing query answers (routed vs single-process)"
-check "/topk?u=7&k=10"
-check "/topk?u=1999&k=5"
-check "/single-source?u=42"
-check "/pair?u=7&v=9"
+check "$SINGLE" "$ROUTED" "/topk?u=7&k=10"
+check "$SINGLE" "$ROUTED" "/topk?u=1999&k=5"
+check "$SINGLE" "$ROUTED" "/single-source?u=42"
+check "$SINGLE" "$ROUTED" "/pair?u=7&v=9"
 
 echo "== writing an edge through both write planes"
 curl -sf -X POST "http://127.0.0.1:$ROUTED/edges?u=3&v=1998" >/dev/null
 curl -sf -X POST "http://127.0.0.1:$SINGLE/edges?u=3&v=1998" >/dev/null
-check "/topk?u=3&k=10"
+check "$SINGLE" "$ROUTED" "/topk?u=3&k=10"
 
 echo "== end-to-end query trace"
 # ?trace=1 must come back with the trace id on the response header AND
 # inlined spans that include at least one worker-side span grafted from
-# a shardd reply — proof the trace context crossed the RPC wire. A fresh
-# source node keeps the answer cache from short-circuiting the fleet.
+# a shardd reply — proof the trace context crossed the RPC wire. A warm
+# view answers entirely router-side (zero worker read RPCs), so write
+# an edge first: the traced query then lands on a cold generation and
+# must delegate to the workers (batched shard fetches and/or walks).
+curl -sf -X POST "http://127.0.0.1:$ROUTED/edges?u=5&v=1997" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$SINGLE/edges?u=5&v=1997" >/dev/null
 TRACE_HDRS="$TMP/trace-headers"
 TRACE="$(curl -sf -D "$TRACE_HDRS" "http://127.0.0.1:$ROUTED/topk?u=11&k=5&trace=1")"
 HDR_ID="$(tr -d '\r' <"$TRACE_HDRS" | awk -F': ' 'tolower($1)=="x-probesim-trace-id"{print $2}')"
@@ -99,8 +106,8 @@ echo "$TRACE" | grep -q "\"traceId\":\"$HDR_ID\"" || {
   echo "traced response body id does not match header id $HDR_ID" >&2
   exit 1
 }
-echo "$TRACE" | grep -q '"name":"worker.walk_segment"' || {
-  echo "traced response has no worker-side walk_segment span" >&2
+echo "$TRACE" | grep -Eq '"name":"worker\.(resolve_shards|resolve_shard|walk_batch|walk_segment)"' || {
+  echo "traced response has no worker-side span (resolve/walk)" >&2
   exit 1
 }
 echo "   trace $HDR_ID stitched across router and workers"
@@ -113,10 +120,61 @@ echo "$METRICS" | grep -q 'probesim_router_worker_up{worker="127.0.0.1:' || {
   echo "routed /metrics missing per-worker gauges" >&2
   exit 1
 }
+echo "$METRICS" | grep -Eq 'probesim_router_shard_batches_total [1-9]' || {
+  echo "routed /metrics shows no batched shard fetches" >&2
+  exit 1
+}
+echo "$METRICS" | grep -Eq 'probesim_router_walk_local_segments_total [1-9]' || {
+  echo "routed /metrics shows no router-side walk stepping" >&2
+  exit 1
+}
 STATS="$(curl -sf "http://127.0.0.1:$ROUTED/stats")"
 echo "$STATS" | grep -q 'routerWorkers' || {
   echo "routed /stats missing routerWorkers" >&2
   exit 1
 }
+
+echo "== shard-local fleet (larger graph)"
+"$TMP/bin/gengraph" -type pa -n 240000 -deg 10 -seed 9 -o "$TMP/big.txt"
+"$TMP/bin/probesim-shardd" -graph "$TMP/big.txt" -shards 16 -index 0 -group 2 -addr "127.0.0.1:$BF0" &
+FULL_PID=$!; PIDS+=($!)
+"$TMP/bin/probesim-shardd" -graph "$TMP/big.txt" -shards 16 -index 1 -group 2 -addr "127.0.0.1:$BF1" &
+PIDS+=($!)
+"$TMP/bin/probesim-shardd" -graph "$TMP/big.txt" -shards 16 -index 0 -group 2 -shard-local -addr "127.0.0.1:$BS0" &
+SCOPED_PID=$!; PIDS+=($!)
+"$TMP/bin/probesim-shardd" -graph "$TMP/big.txt" -shards 16 -index 1 -group 2 -shard-local -addr "127.0.0.1:$BS1" &
+PIDS+=($!)
+for port in "$BF0" "$BF1" "$BS0" "$BS1"; do wait_tcp 127.0.0.1 "$port"; done
+
+echo "== shard-local worker memory"
+# A -shard-local worker holds adjacency only for its owned stride; its
+# resident set at boot must sit well below a full-copy worker's on the
+# same graph. (Measured before any query: serving allocations — walk
+# buffers, span materialization — are per-query and identical for both
+# worker kinds, and would drown the boot-time footprint. The runtime
+# floor keeps the ratio from reaching a clean 1/2, so assert <= 85%.)
+rss() { awk '/VmRSS/{print $2}' "/proc/$1/status"; }
+FULL_RSS="$(rss "$FULL_PID")"
+SCOPED_RSS="$(rss "$SCOPED_PID")"
+echo "   full-copy worker VmRSS=${FULL_RSS}kB shard-local worker VmRSS=${SCOPED_RSS}kB"
+if [ $((SCOPED_RSS * 100)) -ge $((FULL_RSS * 85)) ]; then
+  echo "shard-local worker RSS did not shrink (${SCOPED_RSS}kB vs ${FULL_RSS}kB full)" >&2
+  exit 1
+fi
+
+"$TMP/bin/probesim-server" -workers "127.0.0.1:$BF0;127.0.0.1:$BF1" -addr "127.0.0.1:$RFULL" -epsa 0.3 &
+PIDS+=($!)
+"$TMP/bin/probesim-server" -workers "127.0.0.1:$BS0;127.0.0.1:$BS1" -addr "127.0.0.1:$RSCOPED" -epsa 0.3 &
+PIDS+=($!)
+wait_tcp 127.0.0.1 "$RFULL"
+wait_tcp 127.0.0.1 "$RSCOPED"
+
+echo "== comparing query answers (shard-local vs full-copy workers)"
+check "$RFULL" "$RSCOPED" "/topk?u=5&k=10"
+check "$RFULL" "$RSCOPED" "/single-source?u=123"
+check "$RFULL" "$RSCOPED" "/pair?u=5&v=77"
+curl -sf -X POST "http://127.0.0.1:$RFULL/edges?u=9&v=239999" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$RSCOPED/edges?u=9&v=239999" >/dev/null
+check "$RFULL" "$RSCOPED" "/topk?u=9&k=10"
 
 echo "== multi-process smoke PASSED"
