@@ -132,6 +132,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		cacheCap   = flag.Int("cache", 64, "cached single-source vectors")
 		limit      = flag.Int("limit", 100, "max entries returned by /single-source")
+		hotSources = flag.Int("hot-sources", 0, "precompute single-source results for up to this many hot sources, kept fresh by the applied-batch stream (0 = off; requires the sharded backend)")
+		hotBudget  = flag.Duration("hot-refresh-budget", 200*time.Millisecond, "per-entry time budget for background hot-source builds")
 		shards     = flag.Int("shards", 0, "partition the graph into up to this many shards (0 = monolithic snapshot)")
 		rebuildW   = flag.Int("rebuild-workers", 0, "bound on concurrent shard rebuilds (0 = GOMAXPROCS)")
 		workers    = flag.String("workers", "", "probesim-shardd replica groups (semicolons separate shard owners, commas separate replicas: \"a,b;c,d\"); route queries to these workers instead of serving the graph in-process")
@@ -201,6 +203,13 @@ func main() {
 		if err != nil {
 			fatal("assembling worker topology", "err", err)
 		}
+		if *hotSources > 0 {
+			// The tier's dependency filter subscribes to an in-process
+			// shard.Store's applied-batch stream; a pure routing tier has
+			// none. Workers can run their own warm-standby tier instead
+			// (probesim-shardd -hot-sources).
+			slog.Warn("-hot-sources requires an in-process shard store; disabled in routed mode")
+		}
 		if *hedge && replicated {
 			rt.SetHedge(router.HedgePolicy{Enabled: true, MinDelay: *hedgeMin, MaxDelay: *hedgeMax})
 		}
@@ -261,6 +270,13 @@ func main() {
 		ck := persist.StartCheckpointer(st, lg, *ckptEvery, time.Second)
 		srv = server.NewSharded(st, opt, *cacheCap, *limit)
 		srv.SetWAL(lg)
+		if *hotSources > 0 {
+			// After SetWAL so the tier also observes the append-side
+			// watermark (probesim_hot_wal_watermark).
+			tier := srv.EnableHotTier(*hotSources, *hotBudget)
+			defer tier.Close()
+			slog.Info("hot-source tier armed", "max_entries", *hotSources, "refresh_budget", *hotBudget)
+		}
 		slog.Info("serving",
 			"nodes", st.NumNodes(), "edges", st.NumEdges(), "addr", *addr,
 			"shards", st.NumShards(), "fsync", policy.String(), "checkpoint_every", *ckptEvery)
@@ -284,10 +300,18 @@ func main() {
 			st.EnableEagerSpans()
 		}
 		srv = server.NewSharded(st, opt, *cacheCap, *limit)
+		if *hotSources > 0 {
+			tier := srv.EnableHotTier(*hotSources, *hotBudget)
+			defer tier.Close()
+			slog.Info("hot-source tier armed", "max_entries", *hotSources, "refresh_budget", *hotBudget)
+		}
 		slog.Info("serving",
 			"nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr,
 			"shards", st.NumShards(), "stride", st.Partition().Stride(), "eager_spans", *eagerSpans)
 	} else {
+		if *hotSources > 0 {
+			slog.Warn("-hot-sources requires the sharded backend (-shards > 0); disabled")
+		}
 		srv = server.New(g, opt, *cacheCap, *limit)
 		slog.Info("serving",
 			"nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr, "backend", "monolithic")

@@ -174,3 +174,12 @@ func (e *Executor) SingleSourceWith(ctx context.Context, u graph.NodeID, opt Opt
 func (e *Executor) SingleSourceOn(ctx context.Context, v graph.View, u graph.NodeID) ([]float64, error) {
 	return singleSource(ctx, v, u, e.opt, &e.pool)
 }
+
+// SingleSourceOnWith combines SingleSourceOn and SingleSourceWith: an
+// explicit pinned view AND per-call option overrides, sharing the
+// executor's scratch pool. Background work (the hot-source tier's index
+// builds) uses it to run against a pinned snapshot generation under its
+// own budget and worker count without disturbing the serving defaults.
+func (e *Executor) SingleSourceOnWith(ctx context.Context, v graph.View, u graph.NodeID, opt Options) ([]float64, error) {
+	return singleSource(ctx, v, u, opt, &e.pool)
+}

@@ -42,7 +42,7 @@ type Querier struct {
 	version uint64
 	flights map[graph.NodeID]*flight
 
-	hits, misses, shared int64
+	hits, misses, shared, evictions int64
 }
 
 type cacheEntry struct {
@@ -217,6 +217,7 @@ func (q *Querier) SingleSource(ctx context.Context, u graph.NodeID) ([]float64, 
 				last := q.order.Back()
 				q.order.Remove(last)
 				delete(q.entries, last.Value.(*cacheEntry).node)
+				q.evictions++
 			}
 		}
 	}
@@ -248,4 +249,28 @@ func (q *Querier) SharedFlights() int64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.shared
+}
+
+// CacheStats is a point-in-time snapshot of every cache counter —
+// the serving plane exports it on /stats and /metrics so the per-node
+// cache's effectiveness can be compared against other tiers'.
+type CacheStats struct {
+	Hits      int64 // answers served from the cache
+	Misses    int64 // answers computed (includes stale-snapshot serves)
+	Shared    int64 // callers that joined another goroutine's flight
+	Evictions int64 // entries dropped by LRU capacity pressure
+	Cached    int   // vectors currently held
+}
+
+// CacheStats returns all cache counters in one consistent read.
+func (q *Querier) CacheStats() CacheStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return CacheStats{
+		Hits:      q.hits,
+		Misses:    q.misses,
+		Shared:    q.shared,
+		Evictions: q.evictions,
+		Cached:    q.order.Len(),
+	}
 }

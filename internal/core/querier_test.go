@@ -72,6 +72,15 @@ func TestQuerierLRUEviction(t *testing.T) {
 	if hits != 1 || misses != 4 || cached != 2 {
 		t.Fatalf("LRU stats wrong: %d hits %d misses %d cached", hits, misses, cached)
 	}
+	// CacheStats agrees with Stats and counts the two evictions (1 by 3,
+	// then 3 by 1's re-entry).
+	cs := q.CacheStats()
+	if cs.Hits != hits || cs.Misses != misses || cs.Cached != cached {
+		t.Fatalf("CacheStats disagrees with Stats: %+v", cs)
+	}
+	if cs.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", cs.Evictions)
+	}
 }
 
 func TestQuerierTopKMatchesDirect(t *testing.T) {

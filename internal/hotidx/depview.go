@@ -1,0 +1,127 @@
+package hotidx
+
+import (
+	"context"
+	"math/bits"
+	"sync/atomic"
+
+	"probesim/internal/budget"
+	"probesim/internal/core"
+	"probesim/internal/graph"
+)
+
+// recordingView wraps a graph.View and records, into a shared bitset, the
+// dependency bucket of every node whose adjacency or degree the kernel
+// reads. Buckets use the store's shard stride (bucket = id >> shift), so
+// a recorded dependency set speaks the same language as shard.EdgeOp
+// endpoints and snapshot touched-shard sets: if no applied batch touches
+// any bucket in an entry's set, re-running the (fixed-seed) kernel would
+// read byte-identical adjacency and produce byte-identical scores.
+//
+// The wrapper deliberately does NOT implement graph.AdjProvider: that
+// fast path would hand the kernel raw CSR shards and bypass the recording
+// hooks. graph.ResolveAdj's default case routes every access back through
+// this interface, which is exactly what makes the capture sound. Builds
+// pay interface-dispatch cost for it; serving reads pay nothing.
+type recordingView struct {
+	inner graph.View
+	shift uint32
+	words []uint64 // shared across QueryBinder rebinds
+}
+
+func newRecordingView(inner graph.View, shift uint32) *recordingView {
+	n := inner.NumNodes()
+	buckets := (uint32(n) >> shift) + 1
+	return &recordingView{
+		inner: inner,
+		shift: shift,
+		words: make([]uint64, (buckets+63)/64),
+	}
+}
+
+func (rv *recordingView) touch(v graph.NodeID) {
+	b := uint32(v) >> rv.shift
+	if w := b >> 6; int(w) < len(rv.words) {
+		// The kernel reads adjacency from many workers at once; OR is
+		// idempotent so lock-free accumulation is safe.
+		atomic.OrUint64(&rv.words[w], 1<<(b&63))
+	}
+}
+
+func (rv *recordingView) NumNodes() int   { return rv.inner.NumNodes() }
+func (rv *recordingView) NumEdges() int64 { return rv.inner.NumEdges() }
+
+func (rv *recordingView) InNeighbors(v graph.NodeID) []graph.NodeID {
+	rv.touch(v)
+	return rv.inner.InNeighbors(v)
+}
+
+func (rv *recordingView) OutNeighbors(u graph.NodeID) []graph.NodeID {
+	rv.touch(u)
+	return rv.inner.OutNeighbors(u)
+}
+
+func (rv *recordingView) InDegree(v graph.NodeID) int {
+	rv.touch(v)
+	return rv.inner.InDegree(v)
+}
+
+func (rv *recordingView) OutDegree(u graph.NodeID) int {
+	rv.touch(u)
+	return rv.inner.OutDegree(u)
+}
+
+// BindQuery forwards the kernel's budget binding to the wrapped view (a
+// router-backed view swaps in a per-query remote session here) and
+// re-wraps the bound view so recording continues, sharing the same
+// bitset.
+func (rv *recordingView) BindQuery(ctx context.Context, m *budget.Meter) (graph.View, func() error) {
+	if b, ok := rv.inner.(core.QueryBinder); ok {
+		bound, done := b.BindQuery(ctx, m)
+		return &recordingView{inner: bound, shift: rv.shift, words: rv.words}, done
+	}
+	return rv, nil
+}
+
+// deps snapshots the recorded bucket set. Only meaningful after the
+// build completes (concurrent walkers have stopped).
+func (rv *recordingView) deps() depSet {
+	out := make([]uint64, len(rv.words))
+	for i := range rv.words {
+		out[i] = atomic.LoadUint64(&rv.words[i])
+	}
+	return out
+}
+
+// depSet is a bitset over dependency buckets (shard indices when the
+// tier sits on a shard.Store, since the shift is shared).
+type depSet []uint64
+
+func (d depSet) add(bucket uint32) {
+	if w := bucket >> 6; int(w) < len(d) {
+		d[w] |= 1 << (bucket & 63)
+	}
+}
+
+func (d depSet) has(bucket uint32) bool {
+	w := bucket >> 6
+	return int(w) < len(d) && d[w]&(1<<(bucket&63)) != 0
+}
+
+func (d depSet) count() int {
+	n := 0
+	for _, w := range d {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersects reports whether any bucket in buckets is in the set.
+func (d depSet) intersects(buckets []int) bool {
+	for _, b := range buckets {
+		if b >= 0 && d.has(uint32(b)) {
+			return true
+		}
+	}
+	return false
+}

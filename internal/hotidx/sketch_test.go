@@ -1,0 +1,91 @@
+package hotidx
+
+import (
+	"testing"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+func TestSketchTracksHeavyHitters(t *testing.T) {
+	s := NewSketch(8)
+	// A Zipf-ish stream: node 1 dominates, node 2 is second, a long tail
+	// of singletons churns through the remaining counters.
+	rng := xrand.New(7)
+	for i := 0; i < 10_000; i++ {
+		switch {
+		case i%2 == 0:
+			s.Touch(1)
+		case i%4 == 1:
+			s.Touch(2)
+		default:
+			s.Touch(graph.NodeID(100 + rng.Intn(5000)))
+		}
+	}
+	if got := s.Tracked(); got > 8 {
+		t.Fatalf("tracked %d sources, capacity 8", got)
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Node != 1 || top[1].Node != 2 {
+		t.Fatalf("top-2 = %+v, want nodes 1 then 2", top)
+	}
+	// Space-saving guarantees count overestimates bounded by err, and the
+	// true count lies in [Count-Err, Count].
+	if true1 := int64(5000); top[0].Count-top[0].Err > true1 || top[0].Count < true1 {
+		t.Fatalf("node 1: count %d err %d does not bracket true count %d", top[0].Count, top[0].Err, true1)
+	}
+	if s.Total() != 10_000 {
+		t.Fatalf("total = %d, want 10000", s.Total())
+	}
+}
+
+func TestSketchEvictsMinimum(t *testing.T) {
+	s := NewSketch(2)
+	s.Touch(10)
+	s.Touch(10)
+	s.Touch(20)
+	// Capacity full: a new source replaces the minimum (20, count 1) and
+	// inherits its count as error.
+	s.Touch(30)
+	top := s.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("tracked %d, want 2", len(top))
+	}
+	if top[0].Node != 10 || top[0].Count != 2 || top[0].Err != 0 {
+		t.Fatalf("surviving heavy hitter = %+v", top[0])
+	}
+	if top[1].Node != 30 || top[1].Count != 2 || top[1].Err != 1 {
+		t.Fatalf("replacement = %+v, want node 30 count 2 err 1", top[1])
+	}
+}
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	a := NewZipf(1000, 1.1, 42)
+	b := NewZipf(1000, 1.1, 42)
+	counts := make(map[graph.NodeID]int)
+	var hottest graph.NodeID
+	first := a.Next()
+	if got := b.Next(); got != first {
+		t.Fatalf("same seed diverged: %d vs %d", first, got)
+	}
+	counts[first]++
+	for i := 1; i < 20_000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("draw %d: same seed diverged: %d vs %d", i, va, vb)
+		}
+		counts[va]++
+		if counts[va] > counts[hottest] {
+			hottest = va
+		}
+	}
+	// At s=1.1 over 1000 items, rank 0 alone carries ~13% of the mass.
+	if frac := float64(counts[hottest]) / 20_000; frac < 0.08 {
+		t.Fatalf("hottest node carries %.1f%% of draws; the workload is not skewed", 100*frac)
+	}
+	// The rank->id scatter keeps the hot set off the low ids: the hottest
+	// node should not be node 0 unless the stride degenerated.
+	if hottest == 0 {
+		t.Fatal("rank 0 mapped to node 0; ids are not scattered")
+	}
+}

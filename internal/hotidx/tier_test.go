@@ -1,0 +1,278 @@
+package hotidx
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/graph"
+	"probesim/internal/shard"
+)
+
+// testOpt is the option set both the "live" executor and the tier build
+// with in these tests. Workers is pinned so the bit-identity assertions
+// below compare like with like even though kernel results are documented
+// worker-count independent.
+func testOpt() core.Options {
+	return core.Options{EpsA: 0.2, Seed: 1, Workers: 2}
+}
+
+// newTierOver builds a sharded store + executor + tier wired the way the
+// server wires them, with a fast reconcile cadence and a generous build
+// budget (the budget must not trip: a stopped build is discarded by
+// design, which would turn these tests into timing lotteries).
+func newTierOver(t *testing.T, g *graph.Graph, cfg Config) (*shard.Store, *core.Executor, *Tier) {
+	t.Helper()
+	st := shard.NewStore(g, 8, 0)
+	ex := core.NewExecutorOn(st, testOpt())
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = 4
+	}
+	cfg.Opt = testOpt()
+	if cfg.RefreshBudget.IsZero() {
+		cfg.RefreshBudget = core.Budget{Timeout: 5 * time.Second}
+	}
+	if cfg.MinHits == 0 {
+		cfg.MinHits = 1
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 2 * time.Millisecond
+	}
+	if cfg.BuildWorkers == 0 {
+		cfg.BuildWorkers = testOpt().Workers
+	}
+	tier := New(ex, st.Partition().Shift(), cfg)
+	st.SubscribeApplied(tier.OnBatch)
+	t.Cleanup(tier.Close)
+	return st, ex, tier
+}
+
+// waitHot polls until the tier serves src from the index, returning the
+// served vector. Polling goes through SingleSource, so the polls also
+// keep the source hot in the sketch.
+func waitHot(t *testing.T, tier *Tier, ex *core.Executor, src graph.NodeID) []float64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if scores, ok := tier.SingleSource(ex.Snapshot(), src); ok {
+			return scores
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("source %d never became hot: %+v", src, tier.Stats())
+	return nil
+}
+
+func assertBitIdentical(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs live %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: scores[%d] = %v from index, %v live — hot tier must be bit-identical", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestTierServesBitIdenticalScores(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 11)
+	_, ex, tier := newTierOver(t, g, Config{})
+
+	const src = graph.NodeID(7)
+	tier.Touch(src)
+	got := waitHot(t, tier, ex, src)
+
+	want, err := ex.SingleSourceOn(context.Background(), ex.Snapshot(), src)
+	if err != nil {
+		t.Fatalf("live kernel: %v", err)
+	}
+	assertBitIdentical(t, got, want, "hot entry")
+
+	st := tier.Stats()
+	if st.Hits < 1 || st.Builds < 1 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+}
+
+func TestTierInvalidatesOnTouchingBatchAndRebuilds(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 13)
+	st, ex, tier := newTierOver(t, g, Config{})
+
+	const src = graph.NodeID(5)
+	tier.Touch(src)
+	waitHot(t, tier, ex, src)
+
+	// Mutate the source's own shard: its bucket is always in the entry's
+	// dependency set, so this batch must invalidate the entry.
+	if _, err := st.ApplyBatch(0, []shard.EdgeOp{{U: src, V: 399}}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	ex.Refresh()
+
+	tier.mu.RLock()
+	_, stillThere := tier.entries[src]
+	tier.mu.RUnlock()
+	if stillThere {
+		t.Fatal("entry survived a batch touching its own shard")
+	}
+	if s := tier.Stats(); s.Invalidations < 1 {
+		t.Fatalf("no invalidation recorded: %+v", s)
+	}
+
+	// The refresher rebuilds against the NEW snapshot; the served vector
+	// must match the live kernel on that snapshot, not the old one.
+	got := waitHot(t, tier, ex, src)
+	want, err := ex.SingleSourceOn(context.Background(), ex.Snapshot(), src)
+	if err != nil {
+		t.Fatalf("live kernel: %v", err)
+	}
+	assertBitIdentical(t, got, want, "rebuilt entry")
+}
+
+// TestTierEntrySurvivesUnrelatedBatch is the dependency-set payoff: a
+// write to a shard the entry's walks never touched must NOT invalidate
+// it. The graph is two disconnected components aligned to shard strides,
+// so the dependency set of a component-A source provably excludes
+// component B's buckets.
+func TestTierEntrySurvivesUnrelatedBatch(t *testing.T) {
+	const n = 256 // 8 shards -> stride 32: component A = [0,32), B = [32,64)
+	g := graph.New(n)
+	for i := 0; i < 31; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		g.AddEdge(graph.NodeID(i+1), graph.NodeID(i))
+	}
+	for i := 32; i < 63; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	st, ex, tier := newTierOver(t, g, Config{})
+
+	const src = graph.NodeID(3)
+	tier.Touch(src)
+	before := waitHot(t, tier, ex, src)
+
+	// A component-B-only batch: touches bucket 1, never bucket 0.
+	if _, err := st.ApplyBatch(0, []shard.EdgeOp{{U: 40, V: 55}}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	ex.Refresh()
+
+	after, ok := tier.SingleSource(ex.Snapshot(), src)
+	if !ok {
+		t.Fatalf("entry for %d was invalidated by a batch outside its dependency set: %+v", src, tier.Stats())
+	}
+	assertBitIdentical(t, after, before, "surviving entry")
+}
+
+// TestTierMissesAfterNodeGrowth exercises the serve-time guard: AddNode
+// bypasses the batch plane entirely, so the only defense is comparing the
+// entry's build-time node count against the current view.
+func TestTierMissesAfterNodeGrowth(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 4, 17)
+	st, ex, tier := newTierOver(t, g, Config{})
+
+	const src = graph.NodeID(2)
+	tier.Touch(src)
+	waitHot(t, tier, ex, src)
+
+	st.AddNode()
+	ex.Refresh()
+	if _, ok := tier.SingleSource(ex.Snapshot(), src); ok {
+		t.Fatal("served an entry sized for the pre-growth node space")
+	}
+}
+
+// TestTierYieldBlocksRebuildAndBoundsLag drives the foreground-pressure
+// seam deterministically: with Yield pinned true the refresher may never
+// build, so an invalidated entry stays dirty and the exported staleness
+// bound (LagBatches) is non-zero until the pressure lifts.
+func TestTierYieldBlocksRebuildAndBoundsLag(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 4, 19)
+	var pressure atomic.Bool
+	st, ex, tier := newTierOver(t, g, Config{Yield: func() bool { return pressure.Load() }})
+
+	const src = graph.NodeID(9)
+	tier.Touch(src)
+	waitHot(t, tier, ex, src)
+
+	pressure.Store(true)
+	if _, err := st.ApplyBatch(0, []shard.EdgeOp{{U: src, V: 299}}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	ex.Refresh()
+
+	// Give the refresher a few rounds to (not) rebuild.
+	deadline := time.Now().Add(5 * time.Second)
+	for tier.Stats().Yields == 0 && time.Now().Before(deadline) {
+		tier.Touch(src)
+		time.Sleep(2 * time.Millisecond)
+	}
+	s := tier.Stats()
+	if s.Yields == 0 {
+		t.Fatalf("refresher never yielded under pinned pressure: %+v", s)
+	}
+	if s.StaleEntries == 0 || s.LagBatches == 0 {
+		t.Fatalf("invalidated entry not reported as stale while rebuilds yield: %+v", s)
+	}
+	if _, ok := tier.SingleSource(ex.Snapshot(), src); ok {
+		t.Fatal("stale entry served while rebuild is blocked")
+	}
+
+	// Lift the pressure: the rebuild lands and the lag drains to zero.
+	pressure.Store(false)
+	waitHot(t, tier, ex, src)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := tier.Stats(); s.StaleEntries == 0 && s.LagBatches == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("staleness never drained after pressure lifted: %+v", tier.Stats())
+}
+
+// TestTierEvictsColdSources pins the sketch-driven working set: with
+// MaxEntries 1 and MinHits 1, a hotter source displaces the current
+// resident and the eviction counter moves.
+func TestTierEvictsColdSources(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 4, 23)
+	_, ex, tier := newTierOver(t, g, Config{MaxEntries: 1})
+
+	tier.Touch(1)
+	waitHot(t, tier, ex, 1)
+
+	// Make source 2 strictly hotter than 1's accumulated poll count.
+	target := tier.Hot(1)[0].Count + 50
+	for i := int64(0); i < target; i++ {
+		tier.Touch(2)
+	}
+	waitHot(t, tier, ex, 2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		tier.mu.RLock()
+		_, oldThere := tier.entries[1]
+		tier.mu.RUnlock()
+		if !oldThere && tier.Stats().Evictions > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("cold source never evicted: %+v", tier.Stats())
+}
+
+// TestTierObserveAppendWatermark checks the WAL-side watermark is
+// monotonic and exported next to the applied one.
+func TestTierObserveAppendWatermark(t *testing.T) {
+	g := gen.PreferentialAttachment(100, 3, 29)
+	_, _, tier := newTierOver(t, g, Config{})
+	tier.ObserveAppend(3)
+	tier.ObserveAppend(2) // stale observation must not regress
+	tier.ObserveAppend(7)
+	if s := tier.Stats(); s.WALWatermark != 7 {
+		t.Fatalf("wal watermark = %d, want 7", s.WALWatermark)
+	}
+}

@@ -1,0 +1,67 @@
+package hotidx
+
+import (
+	"math"
+	"sort"
+
+	"probesim/internal/graph"
+	"probesim/internal/xrand"
+)
+
+// Zipf is a seeded Zipf(s) sampler over node ids [0, n): rank r (0-based)
+// is drawn with probability proportional to 1/(r+1)^s. Production
+// SimRank query mixes are Zipfian over sources, so this is the reference
+// workload for the hot tier's benchmarks (s = 1.1 per the acceptance
+// criteria). Sampling inverts the cumulative weight table by binary
+// search — O(log n) per draw, exactly reproducible for a given seed.
+//
+// Rank r maps to node id (r*stride + stride/2) mod n with stride coprime
+// to n, so the hot set is scattered across the id space (and across
+// shards) instead of clustering at id 0; the offset keeps even rank 0 off
+// node 0, which in generator graphs tends to be a structurally special
+// (oldest, highest-degree) node.
+type Zipf struct {
+	cum []float64 // cumulative weights, cum[n-1] = total
+	ids []graph.NodeID
+	rng *xrand.RNG
+}
+
+// NewZipf builds a sampler over n nodes with exponent s and the given
+// seed. n must be >= 1.
+func NewZipf(n int, s float64, seed uint64) *Zipf {
+	z := &Zipf{
+		cum: make([]float64, n),
+		ids: make([]graph.NodeID, n),
+		rng: xrand.New(seed),
+	}
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), s)
+		z.cum[r] = total
+	}
+	stride := 7919 % n
+	for stride < 1 || gcd(stride, n) != 1 {
+		stride++ // smallest stride >= 7919 mod n coprime to n keeps the map a bijection
+	}
+	for r := 0; r < n; r++ {
+		z.ids[r] = graph.NodeID((r*stride + stride/2) % n)
+	}
+	return z
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Next draws one node id.
+func (z *Zipf) Next() graph.NodeID {
+	u := z.rng.Float64() * z.cum[len(z.cum)-1]
+	r := sort.SearchFloat64s(z.cum, u)
+	if r >= len(z.ids) {
+		r = len(z.ids) - 1
+	}
+	return z.ids[r]
+}

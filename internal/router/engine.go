@@ -250,6 +250,11 @@ type LocalEngine struct {
 	// propagated budget — the observable fact that remote deadlines
 	// actually reach the walk loop.
 	segmentsStopped atomic.Int64
+
+	// walkObserver, when set (SetWalkObserver), sees the entry node of
+	// every walk delegated to this engine — the worker-side popularity
+	// signal feeding a warm-standby hot-source tier.
+	walkObserver func(graph.NodeID)
 }
 
 // NewLocalEngine wraps st as a shard engine owning shards p with
@@ -280,6 +285,15 @@ func (e *LocalEngine) Store() *shard.Store { return e.st }
 // acknowledged survives a worker crash (cmd/probesim-shardd recovers it
 // on boot and the fleet converges). Call before serving.
 func (e *LocalEngine) SetWAL(lg *wal.Log) { e.wal = lg }
+
+// SetWalkObserver arms a per-walk callback: fn receives the entry node
+// of every walk the router delegates here (WalkBatch and WalkSegment).
+// Entry nodes are a shard-local approximation of source popularity — a
+// hot source's walks enter its owners' shards over and over — so a
+// worker can run a warm-standby hot-source tier without seeing the HTTP
+// query stream. fn runs on the RPC serving path: keep it cheap. Call
+// before serving; not safe to swap concurrently with walks.
+func (e *LocalEngine) SetWalkObserver(fn func(graph.NodeID)) { e.walkObserver = fn }
 
 // SegmentsStopped reports how many walk segments the propagated budget
 // stopped on this engine.
@@ -398,6 +412,9 @@ func (e *LocalEngine) WalkSegment(ctx context.Context, version uint64, h budget.
 	if err := e.checkShard(snap, int(uint32(cur)>>shift)); err != nil {
 		return buf, state, SegmentEnded, fmt.Errorf("router: walk node %d: %w", cur, err)
 	}
+	if e.walkObserver != nil {
+		e.walkObserver(cur)
+	}
 	m := h.Arm(ctx)
 	cp := budget.NewCheckpoint(m, walkSegmentPollInterval)
 	rng := xrand.New(state)
@@ -468,6 +485,9 @@ func (e *LocalEngine) WalkBatch(ctx context.Context, version uint64, h budget.He
 		if err := e.checkShard(snap, int(uint32(w.Cur)>>shift)); err != nil {
 			tr.EndSpanAnnot(ref, "outcome=notowned")
 			return nil, fmt.Errorf("router: walk node %d: %w", w.Cur, err)
+		}
+		if e.walkObserver != nil {
+			e.walkObserver(w.Cur)
 		}
 		if m.Stopped() {
 			// The budget tripped mid-batch: the rest of the walks report

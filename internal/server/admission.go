@@ -219,12 +219,34 @@ func (s *Server) degradedOptions() core.Options {
 	return opt
 }
 
+// tierHeader tells the client which serving tier answered: "hot" (the
+// precomputed hot-source index — same bytes the live kernel would
+// produce, at microsecond latency) or "live" (the kernel ran). Sent only
+// when the hot tier is enabled, so pre-tier deployments are untouched.
+const tierHeader = "X-ProbeSim-Tier"
+
 // singleSourceScores answers the request's single-source query under its
-// admission verdict: the normal path goes through the cache; a degraded
-// request runs directly on the executor with the wider εa (degraded
-// vectors must never pollute the full-accuracy cache) and stamps the
-// response with the accuracy it got.
+// admission verdict. With the hot tier armed, the index is consulted
+// FIRST — even for degraded admissions, since a hot hit costs
+// microseconds and serves FULL accuracy, strictly better than degrading
+// — unless the request opts out with ?tier=live. Cold sources fall
+// through to the pre-tier paths completely unchanged: the normal path
+// goes through the cache; a degraded request runs directly on the
+// executor with the wider εa (degraded vectors must never pollute the
+// full-accuracy cache) and stamps the response with the accuracy it got.
 func (s *Server) singleSourceScores(w http.ResponseWriter, r *http.Request, u graph.NodeID) ([]float64, error) {
+	if s.hot != nil {
+		if r.URL.Query().Get("tier") == "live" {
+			// Escape hatch: bypass the index but keep feeding the
+			// popularity sketch, so escaped traffic still shapes the hot set.
+			s.hot.Touch(u)
+		} else if scores, ok := s.hot.SingleSource(s.ex.Snapshot(), u); ok {
+			w.Header().Set(tierHeader, "hot")
+			s.epsaHist.Observe(s.servedEpsA())
+			return scores, nil
+		}
+		w.Header().Set(tierHeader, "live")
+	}
 	if isDegraded(r.Context()) {
 		opt := s.degradedOptions()
 		w.Header().Set(degradedHeader, fmt.Sprintf("epsa=%g", opt.EpsA))
@@ -363,17 +385,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := s.ex.Snapshot()
-	hits, misses, cached := s.q.Stats()
+	cs := s.q.CacheStats()
 	s.reg.WritePrometheus(w, func(out io.Writer) {
 		promexpo.WriteValueHistogram(out, "probesim_degraded_epsa",
 			"Absolute error bound (epsa) each served similarity query ran at; mass above the configured epsa is degraded service.", s.epsaHist)
 		promexpo.WriteGauge(out, "probesim_graph_nodes", "Nodes in the published snapshot.", int64(snap.NumNodes()))
 		promexpo.WriteGauge(out, "probesim_graph_edges", "Directed edges in the published snapshot.", snap.NumEdges())
 		promexpo.WriteGauge(out, "probesim_graph_version", "Version of the published snapshot.", int64(snap.Version()))
-		promexpo.WriteCounter(out, "probesim_cache_hits_total", "Querier cache hits.", hits)
-		promexpo.WriteCounter(out, "probesim_cache_misses_total", "Querier cache misses.", misses)
-		promexpo.WriteGauge(out, "probesim_cache_vectors", "Cached single-source vectors.", int64(cached))
-		promexpo.WriteCounter(out, "probesim_cache_shared_flights_total", "Queries that joined another's in-flight computation.", s.q.SharedFlights())
+		promexpo.WriteCounter(out, "probesim_cache_hits_total", "Querier cache hits.", cs.Hits)
+		promexpo.WriteCounter(out, "probesim_cache_misses_total", "Querier cache misses.", cs.Misses)
+		promexpo.WriteGauge(out, "probesim_cache_vectors", "Cached single-source vectors.", int64(cs.Cached))
+		promexpo.WriteCounter(out, "probesim_cache_shared_flights_total", "Queries that joined another's in-flight computation.", cs.Shared)
+		promexpo.WriteCounter(out, "probesim_cache_evictions_total", "Cached vectors dropped by LRU capacity pressure.", cs.Evictions)
+		if s.hot != nil {
+			hs := s.hot.Stats()
+			promexpo.WriteGauge(out, "probesim_hot_entries", "Fresh precomputed hot-source entries.", int64(hs.Entries))
+			promexpo.WriteGauge(out, "probesim_hot_stale_entries", "Invalidated hot sources awaiting rebuild.", int64(hs.StaleEntries))
+			promexpo.WriteGauge(out, "probesim_hot_tracked_sources", "Sources tracked by the popularity sketch.", int64(hs.TrackedSources))
+			promexpo.WriteCounter(out, "probesim_hot_hits_total", "Queries answered from the hot-source index.", hs.Hits)
+			promexpo.WriteCounter(out, "probesim_hot_misses_total", "Queries that fell through to the live kernel.", hs.Misses)
+			promexpo.WriteCounter(out, "probesim_hot_invalidations_total", "Hot entries dropped by applied write batches.", hs.Invalidations)
+			promexpo.WriteCounter(out, "probesim_hot_builds_total", "Background hot-entry build attempts.", hs.Builds)
+			promexpo.WriteCounter(out, "probesim_hot_build_errors_total", "Hot-entry builds that failed or lost the install race.", hs.BuildErrors)
+			promexpo.WriteCounter(out, "probesim_hot_evictions_total", "Hot entries dropped for falling out of the hot set.", hs.Evictions)
+			promexpo.WriteCounter(out, "probesim_hot_yields_total", "Refresher rounds cut short for foreground load.", hs.Yields)
+			promexpo.WriteGauge(out, "probesim_hot_watermark", "Highest applied-batch id the tier has observed.", int64(hs.Watermark))
+			promexpo.WriteGauge(out, "probesim_hot_wal_watermark", "Highest WAL-appended batch id the tier has observed.", int64(hs.WALWatermark))
+			promexpo.WriteGauge(out, "probesim_hot_lag_batches", "Staleness bound: batches the oldest invalidated hot entry is behind the applied watermark.", int64(hs.LagBatches))
+		}
 		if tcr := s.tracer; tcr != nil {
 			promexpo.WriteCounter(out, "probesim_slow_queries_total", "Completed queries over the slow-query threshold.", tcr.SlowCount())
 			promexpo.WriteCounter(out, "probesim_traces_sampled_total", "Requests that recorded a span tree.", tcr.Sampled())

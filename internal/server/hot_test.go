@@ -1,0 +1,220 @@
+package server
+
+// Serving-tier tests for the hot-source index: the X-ProbeSim-Tier
+// header flow, the ?tier=live escape hatch, the /stats and /metrics
+// surface, and — the admission-interaction contract — that background
+// refresh work never occupies foreground admission slots and steps aside
+// from the CPU under inflight pressure.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"probesim/internal/core"
+	"probesim/internal/gen"
+	"probesim/internal/hotidx"
+	"probesim/internal/shard"
+)
+
+// hotServer builds a sharded server with the hot tier armed. The tier
+// runs with its production defaults (MinHits 2, 100ms reconcile tick),
+// so tests poll for warm-up.
+func hotServer(t *testing.T) (*Server, *hotidx.Tier) {
+	t.Helper()
+	g := gen.PreferentialAttachment(400, 4, 9)
+	st := shard.NewStore(g, 8, 0)
+	s := NewSharded(st, core.Options{Seed: 1, EpsA: 0.2}, 8, 500)
+	tier := s.EnableHotTier(8, 5*time.Second)
+	t.Cleanup(tier.Close)
+	return s, tier
+}
+
+// waitHotHeader polls target until it is served with X-ProbeSim-Tier:
+// hot, returning that response body. The polling itself supplies the
+// query popularity that promotes the source.
+func waitHotHeader(t *testing.T, s *Server, target string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, body := do(t, s, http.MethodGet, target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", target, rec.Code, body)
+		}
+		switch tier := rec.Header().Get(tierHeader); tier {
+		case "hot":
+			return body
+		case "live":
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("%s: tier header %q, want hot or live", target, tier)
+		}
+	}
+	t.Fatal("source never served from the hot tier")
+	return nil
+}
+
+func TestHotTierHeaderAndBitIdenticalBody(t *testing.T) {
+	s, tier := hotServer(t)
+	hot := waitHotHeader(t, s, "/single-source?u=7")
+
+	// The escape hatch runs the live kernel; with the tier's contract
+	// (same snapshot, same options, same seed) the scores must be
+	// IDENTICAL, and the header must say live.
+	rec, live := do(t, s, http.MethodGet, "/single-source?u=7&tier=live")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tier=live: status %d (%v)", rec.Code, live)
+	}
+	if h := rec.Header().Get(tierHeader); h != "live" {
+		t.Fatalf("tier=live served with header %q", h)
+	}
+	hotScores := hot["scores"].(map[string]any)
+	liveScores := live["scores"].(map[string]any)
+	if len(hotScores) != len(liveScores) {
+		t.Fatalf("hot returned %d scores, live %d", len(hotScores), len(liveScores))
+	}
+	for node, sc := range hotScores {
+		if liveScores[node] != sc {
+			t.Fatalf("node %s: hot %v != live %v — tiers must be bit-identical", node, sc, liveScores[node])
+		}
+	}
+	if st := tier.Stats(); st.Hits == 0 || st.Builds == 0 {
+		t.Fatalf("tier counters did not move: %+v", st)
+	}
+}
+
+func TestHotTierInvalidatedByWrite(t *testing.T) {
+	s, tier := hotServer(t)
+	waitHotHeader(t, s, "/single-source?u=7")
+
+	// A write touching node 7's shard must invalidate its entry; the next
+	// query falls back to live (correct answer on the new snapshot), and
+	// the refresher re-promotes it eventually.
+	if rec, body := do(t, s, http.MethodPost, "/edges?u=7&v=399"); rec.Code != http.StatusOK {
+		t.Fatalf("write: status %d (%v)", rec.Code, body)
+	}
+	rec, _ := do(t, s, http.MethodGet, "/single-source?u=7")
+	if h := rec.Header().Get(tierHeader); h != "live" {
+		t.Fatalf("first post-write query served from %q, want live (entry must be invalidated)", h)
+	}
+	if st := tier.Stats(); st.Invalidations == 0 {
+		t.Fatalf("write did not invalidate: %+v", st)
+	}
+	waitHotHeader(t, s, "/single-source?u=7")
+}
+
+func TestStatsAndMetricsExposeHotAndCacheCounters(t *testing.T) {
+	s, _ := hotServer(t)
+	waitHotHeader(t, s, "/single-source?u=7")
+
+	_, stats := do(t, s, http.MethodGet, "/stats")
+	for _, key := range []string{
+		"hotEntries", "hotStaleEntries", "hotTrackedSources", "hotHits", "hotMisses",
+		"hotInvalidations", "hotBuilds", "hotBuildErrors", "hotEvictions", "hotYields",
+		"hotWatermark", "hotWALWatermark", "hotLagBatches",
+		"cacheHits", "cacheMisses", "cacheEvictions",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("/stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["hotEntries"].(float64) < 1 || stats["hotHits"].(float64) < 1 {
+		t.Fatalf("/stats hot counters flat after a hot-served query: %v", stats)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	page := rec.Body.String()
+	for _, m := range []string{
+		"probesim_hot_entries", "probesim_hot_stale_entries", "probesim_hot_tracked_sources",
+		"probesim_hot_hits_total", "probesim_hot_misses_total", "probesim_hot_invalidations_total",
+		"probesim_hot_builds_total", "probesim_hot_build_errors_total", "probesim_hot_evictions_total",
+		"probesim_hot_yields_total", "probesim_hot_watermark", "probesim_hot_wal_watermark",
+		"probesim_hot_lag_batches", "probesim_cache_evictions_total",
+	} {
+		if !strings.Contains(page, m) {
+			t.Fatalf("/metrics missing %s", m)
+		}
+	}
+}
+
+// TestHotRefreshYieldsToForegroundPressure pins the CPU-yield seam
+// deterministically: with MaxInflight 2, any inflight count >= 1 makes
+// hotYield true, so a pending rebuild may not run — the yields counter
+// moves and no entry lands — until the pressure drains.
+func TestHotRefreshYieldsToForegroundPressure(t *testing.T) {
+	s, tier := hotServer(t)
+	s.SetLimits(Limits{MaxInflight: 2})
+
+	s.queryInflight.Add(1) // hold foreground pressure at the yield watermark
+	tier.Touch(7)
+	tier.Touch(7)
+	deadline := time.Now().Add(10 * time.Second)
+	for tier.Stats().Yields == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never yielded under inflight pressure: %+v", tier.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := tier.Stats(); st.Entries != 0 {
+		t.Fatalf("entry built while the refresher should be yielding: %+v", st)
+	}
+
+	s.queryInflight.Add(-1) // pressure gone: the pending build lands
+	waitHotHeader(t, s, "/single-source?u=7")
+}
+
+// TestHotRefreshNeverStarvesForeground is the PR 3 MaxInflight pattern
+// turned around: with the tier armed and a write storm forcing constant
+// invalidation + rebuild, foreground queries under the inflight limit
+// must NEVER see an admission 503 — refresh work runs below the HTTP
+// layer and holds no admission slot.
+func TestHotRefreshNeverStarvesForeground(t *testing.T) {
+	s, tier := hotServer(t)
+	s.SetLimits(Limits{MaxInflight: 2})
+	waitHotHeader(t, s, "/single-source?u=7")
+
+	stop := make(chan struct{})
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Each write touches node 7's shard, keeping the refresher busy
+			// re-promoting it for the whole storm.
+			target := fmt.Sprintf("/edges?u=7&v=%d", 100+i%200)
+			method := http.MethodPost
+			if (i/200)%2 == 1 {
+				method = http.MethodDelete
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+		}
+	}()
+
+	// Sequential foreground queries occupy at most 1 of 2 slots; any 503
+	// here means background work leaked into admission.
+	for i := 0; i < 200; i++ {
+		u := i % 50
+		rec, body := do(t, s, http.MethodGet, fmt.Sprintf("/single-source?u=%d", u))
+		if rec.Code == http.StatusServiceUnavailable {
+			t.Fatalf("foreground query %d rejected during refresh storm: %v", i, body)
+		}
+		if rec.Code != http.StatusOK {
+			t.Fatalf("foreground query %d: status %d (%v)", i, rec.Code, body)
+		}
+	}
+	close(stop)
+	<-stormDone
+	if st := tier.Stats(); st.Invalidations == 0 {
+		t.Fatalf("storm did not exercise invalidation: %+v", st)
+	}
+}

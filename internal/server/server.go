@@ -34,10 +34,12 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"probesim/internal/core"
 	"probesim/internal/graph"
 	"probesim/internal/health"
+	"probesim/internal/hotidx"
 	"probesim/internal/promexpo"
 	"probesim/internal/qtrace"
 	"probesim/internal/router"
@@ -104,6 +106,13 @@ type Server struct {
 	// batch survives a crash. In routed topologies the workers own their
 	// logs instead and this stays nil.
 	wal *wal.Log
+
+	// hot, when set (EnableHotTier), answers hot-source queries from
+	// precomputed entries at microsecond latency; cold sources fall
+	// through to the live path completely unchanged. Responses carry
+	// X-ProbeSim-Tier saying which path served them, and ?tier=live
+	// forces the live kernel for any single request.
+	hot *hotidx.Tier
 }
 
 // New builds a Server over g. cacheCap bounds the Querier cache; limit
@@ -143,6 +152,64 @@ func (s *Server) SetWAL(lg *wal.Log) {
 		panic("server: SetWAL requires the sharded backend")
 	}
 	s.wal = lg
+}
+
+// EnableHotTier arms the hot-source index tier: a space-saving sketch on
+// the query path discovers hot sources, a background refresher
+// precomputes their single-source vectors with the SAME options the live
+// path serves (so a hot answer is byte-identical to the live kernel's),
+// and the store's applied-batch stream invalidates exactly the entries
+// each write batch can affect. Requires the sharded backend — the
+// dependency filter speaks shard indices, and the tier subscribes to
+// shard.Store's applied-batch hook. Call after SetWAL (when durable) and
+// before serving; the returned tier is the caller's to Close on
+// shutdown. maxEntries <= 0 and refreshBudget <= 0 take the tier's
+// defaults.
+func (s *Server) EnableHotTier(maxEntries int, refreshBudget time.Duration) *hotidx.Tier {
+	if s.st == nil {
+		panic("server: EnableHotTier requires the sharded backend")
+	}
+	if s.hot != nil {
+		panic("server: hot tier already enabled")
+	}
+	var rb core.Budget
+	if refreshBudget > 0 {
+		rb.Timeout = refreshBudget
+	}
+	tier := hotidx.New(s.ex, s.st.Partition().Shift(), hotidx.Config{
+		MaxEntries:    maxEntries,
+		Opt:           s.opt,
+		RefreshBudget: rb,
+		Yield:         s.hotYield,
+	})
+	s.st.SubscribeApplied(tier.OnBatch)
+	if s.wal != nil {
+		s.wal.Subscribe(func(id uint64, ops []wal.Op) { tier.ObserveAppend(id) })
+	}
+	s.hot = tier
+	return tier
+}
+
+// hotYield tells the background refresher when foreground admission
+// wants the CPU: past half the hard in-flight limit (or the soft
+// degrade watermark, when only that is configured), builds step aside.
+// Refresh work never occupies admission slots either way — it runs on
+// the tier's own goroutine below the HTTP layer — so this is about CPU,
+// not slots: live queries keep their full MaxInflight headroom under a
+// refresh storm.
+func (s *Server) hotYield() bool {
+	n := s.queryInflight.Load()
+	if max := s.limits.MaxInflight; max > 0 {
+		half := int64(max) / 2
+		if half < 1 {
+			half = 1
+		}
+		return n >= half
+	}
+	if soft := s.limits.SoftInflight; soft > 0 {
+		return n >= int64(soft)
+	}
+	return false
 }
 
 func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options, cacheCap, limit int) *Server {
@@ -445,13 +512,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// like the query endpoints.
 	snap := s.ex.Snapshot()
 	stats := graph.ComputeViewStats(snap)
-	hits, misses, cached := s.q.Stats()
+	cs := s.q.CacheStats()
 	body := map[string]any{
 		"nodes": stats.Nodes, "edges": stats.Edges,
 		"maxInDegree": stats.MaxInDegree, "zeroInDegree": stats.ZeroInDeg,
-		"cacheHits": hits, "cacheMisses": misses, "cachedVectors": cached,
-		"sharedFlights": s.q.SharedFlights(),
-		"graphVersion":  snap.Version(),
+		"cacheHits": cs.Hits, "cacheMisses": cs.Misses, "cachedVectors": cs.Cached,
+		"cacheEvictions": cs.Evictions,
+		"sharedFlights":  cs.Shared,
+		"graphVersion":   snap.Version(),
+	}
+	if s.hot != nil {
+		hs := s.hot.Stats()
+		body["hotEntries"] = hs.Entries
+		body["hotStaleEntries"] = hs.StaleEntries
+		body["hotTrackedSources"] = hs.TrackedSources
+		body["hotHits"] = hs.Hits
+		body["hotMisses"] = hs.Misses
+		body["hotInvalidations"] = hs.Invalidations
+		body["hotBuilds"] = hs.Builds
+		body["hotBuildErrors"] = hs.BuildErrors
+		body["hotEvictions"] = hs.Evictions
+		body["hotYields"] = hs.Yields
+		body["hotWatermark"] = hs.Watermark
+		body["hotWALWatermark"] = hs.WALWatermark
+		body["hotLagBatches"] = hs.LagBatches
 	}
 	if s.st != nil {
 		// Sharded backend: publication effectiveness counters. A healthy

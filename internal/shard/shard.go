@@ -142,6 +142,12 @@ type Store struct {
 	// retired-generation gauges (see gc.go).
 	gc gcTracker
 
+	// onApplied callbacks fire after every SUCCESSFULLY applied batch
+	// (never for rejected/rolled-back batches or apply-once retry
+	// no-ops), under st.mu and in subscription order. See
+	// SubscribeApplied for the callback contract.
+	onApplied []func(id uint64, ops []EdgeOp)
+
 	// Publication counters (atomics so /stats can read them lock-free).
 	publications     atomic.Int64
 	shardsRebuilt    atomic.Int64
@@ -525,7 +531,25 @@ func (st *Store) ApplyBatch(id uint64, ops []EdgeOp) (uint64, error) {
 			return st.version, fmt.Errorf("shard: batch %d op %d (%s %d->%d): %w; batch rolled back", id, i, kind, op.U, op.V, err)
 		}
 	}
+	for _, fn := range st.onApplied {
+		fn(id, ops)
+	}
 	return st.version, nil
+}
+
+// SubscribeApplied registers fn to run after every successfully applied
+// batch with the batch's id and ops — the applied-batch stream that
+// keeps derived state (the hot-source index tier) fresh without polling.
+// Retried (apply-once no-op) and rejected batches never fire it.
+//
+// fn runs under the store's apply lock: it must be fast, must not call
+// back into the store, and must not retain ops past the call (the slice
+// is the caller's). Not safe to call concurrently with ApplyBatch;
+// subscribe during wiring, before writes flow.
+func (st *Store) SubscribeApplied(fn func(id uint64, ops []EdgeOp)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onApplied = append(st.onApplied, fn)
 }
 
 // AddNode appends a new isolated node and returns its id, growing the

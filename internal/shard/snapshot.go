@@ -133,6 +133,31 @@ func (s *StoreSnapshot) Shard(p int) graph.CSRShard { return s.csr[p] }
 // can report fine-grained staleness.
 func (s *StoreSnapshot) ShardVersion(p int) uint64 { return s.versions[p] }
 
+// TouchedSince returns the indices of every shard whose contents differ
+// between prev (an older snapshot of the same store) and s: shards whose
+// encoded version moved, plus any shards s has that prev predates. It is
+// the publish-side complement of the applied-batch stream — a consumer
+// holding per-shard dependency sets (the hot-source index tier's install
+// race check) intersects against it to learn which derived entries the
+// publications since prev could have affected. Both snapshots are
+// immutable, so this is safe anytime and O(shards).
+func (s *StoreSnapshot) TouchedSince(prev *StoreSnapshot) []int {
+	if prev == nil {
+		touched := make([]int, len(s.csr))
+		for p := range touched {
+			touched[p] = p
+		}
+		return touched
+	}
+	var touched []int
+	for p := range s.csr {
+		if p >= len(prev.csr) || s.versions[p] != prev.versions[p] {
+			touched = append(touched, p)
+		}
+	}
+	return touched
+}
+
 // Scoped reports whether this snapshot came from a shard-local store:
 // shards outside the store's scope are absent.
 func (s *StoreSnapshot) Scoped() bool { return s.scoped }

@@ -104,10 +104,12 @@ type hitEntry struct {
 }
 
 // Index is the built SLING index. It is immutable: SLING does not support
-// graph updates (the contrast the paper draws), so the referenced graph
-// must not change while the index is in use; Stale reports violations.
+// graph updates (the contrast the paper draws), so the referenced view
+// must not change while the index is in use; over a graph.VersionedView
+// (a mutable *graph.Graph or a published snapshot), Stale reports
+// violations.
 type Index struct {
-	g       *graph.Graph
+	g       graph.View
 	opt     BuildOptions
 	sqrtC   float64
 	d       []float64
@@ -123,21 +125,26 @@ type colsAtT struct {
 	entry []hitEntry
 }
 
-// Build constructs the index. Cost: Θ(n·DPairs) walk pairs for d, plus T
-// rounds of sparse matrix propagation for the hitting lists — this is the
-// "significant preprocessing" the paper attributes to SLING.
-func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
+// Build constructs the index over any graph view — the mutable graph or
+// a published immutable snapshot, so index builds can run against the
+// same pinned generation the serving plane queries. Cost: Θ(n·DPairs)
+// walk pairs for d, plus T rounds of sparse matrix propagation for the
+// hitting lists — this is the "significant preprocessing" the paper
+// attributes to SLING.
+func Build(g graph.View, opt BuildOptions) (*Index, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
 	idx := &Index{
-		g:       g,
-		opt:     opt,
-		sqrtC:   math.Sqrt(opt.C),
-		d:       make([]float64, n),
-		version: g.Version(),
+		g:     g,
+		opt:   opt,
+		sqrtC: math.Sqrt(opt.C),
+		d:     make([]float64, n),
+	}
+	if vv, ok := g.(graph.VersionedView); ok {
+		idx.version = vv.Version()
 	}
 	idx.estimateD()
 	idx.buildHittingLists()
@@ -256,7 +263,14 @@ func (idx *Index) Entries() int64 { return idx.entries }
 // Stale reports whether the graph has been mutated since the index was
 // built. SLING has no update path: a stale index must be rebuilt, which
 // is precisely the deficiency (§1) that motivates index-free ProbeSim.
-func (idx *Index) Stale() bool { return idx.g.Version() != idx.version }
+// Over an unversioned view (an immutable snapshot wrapper with no
+// version) staleness is undetectable here and Stale always reports
+// false; such views are immutable by contract, which is what makes that
+// safe.
+func (idx *Index) Stale() bool {
+	vv, ok := idx.g.(graph.VersionedView)
+	return ok && vv.Version() != idx.version
+}
 
 // ErrStale is returned by queries on an index whose graph has changed.
 var ErrStale = fmt.Errorf("sling: graph modified since build; rebuild required")

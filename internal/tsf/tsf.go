@@ -100,11 +100,11 @@ func (o QueryOptions) validate() error {
 	return nil
 }
 
-// Index is the TSF one-way graph index. It references the graph it was
+// Index is the TSF one-way graph index. It references the view it was
 // built on; updates must go through OnEdgeAdded/OnEdgeRemoved to keep the
 // index consistent with the graph.
 type Index struct {
-	g  *graph.Graph
+	g  graph.View
 	rg int
 	// parent[k][v] is v's sampled in-neighbor in one-way graph k, or -1.
 	parent [][]int32
@@ -118,8 +118,11 @@ type Index struct {
 	mu           sync.Mutex // guards lazy children rebuilds
 }
 
-// Build samples Rg one-way graphs from g.
-func Build(g *graph.Graph, opt BuildOptions) *Index {
+// Build samples Rg one-way graphs from g — any graph view, mutable or a
+// published immutable snapshot, so index builds can run against the same
+// pinned generation the serving plane queries. (The dynamic-update path,
+// OnEdgeAdded/OnEdgeRemoved, naturally pairs with a mutable view.)
+func Build(g graph.View, opt BuildOptions) *Index {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	idx := &Index{

@@ -230,6 +230,10 @@ type Log struct {
 	rotations     atomic.Int64
 	checkpoints   atomic.Int64
 	deltaCkpts    atomic.Int64
+
+	// subs fire after every successful Append (never for failed/annulled
+	// appends), under l.mu and in subscription order. See Subscribe.
+	subs []func(id uint64, ops []Op)
 }
 
 type segment struct {
@@ -675,7 +679,23 @@ func (l *Log) Append(id uint64, ops []Op) (uint64, error) {
 	l.next = id + 1
 	l.appends.Add(1)
 	l.appendedBytes.Add(int64(len(rec)))
+	for _, fn := range l.subs {
+		fn(id, ops)
+	}
 	return id, nil
+}
+
+// Subscribe registers fn to run after every successfully durable Append
+// with the batch's id and ops — the append-side watermark feed (derived
+// state such as the hot-source tier compares it against the applied
+// watermark to expose write-plane lag). Failed (annulled) appends never
+// fire it. fn runs under the log's lock: it must be fast, must not call
+// back into the log, and must not retain ops past the call. Subscribe
+// during wiring, before writes flow.
+func (l *Log) Subscribe(fn func(id uint64, ops []Op)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, fn)
 }
 
 // Sync flushes and fsyncs the active segment regardless of policy.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Zipf bench smoke: runs the hot-source tier's acceptance benchmark
+# (internal/hotidx TestZipfBenchSmoke) — a Zipf(s=1.1) source mix over a
+# 5000-node power-law graph served through the tiered path — and writes
+# the JSON report (hot vs live p50/p99, refresh-lag distribution under a
+# write storm) to the path given as $1 (default: a temp file, printed).
+# The test itself fails unless hot p50 is >= 10x faster than live p50;
+# the committed reference numbers live in BENCH_PR9.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-$(mktemp /tmp/zipf-bench-XXXXXX.json)}"
+
+PROBESIM_BENCH_OUT="$OUT" go test -run TestZipfBenchSmoke -count=1 -v ./internal/hotidx/
+
+echo "== report: $OUT"
+cat "$OUT"
