@@ -1,0 +1,596 @@
+// Command probesim-loadgen replays deterministic multi-tenant load
+// scenarios against a live probesim-server and reports per-tenant
+// achieved service levels against their objectives — the harness behind
+// the CI load-smoke leg, and a runbook tool for answering "what does
+// THIS mix do to THAT deployment" with a seed instead of a shrug.
+//
+//	probesim-loadgen -target http://127.0.0.1:8080 -seed 7 -duration 10s \
+//	  -mix "search,workers=4,think=2ms" \
+//	  -mix "crawl,workers=8,think=0,writes=0.2,burst=8,slow=0.1" \
+//	  -slo "search=250ms:0.999" \
+//	  -assert "search.p99<=250ms" -assert "search.degraded==0"
+//
+// Each -mix describes one tenant's client population: `workers`
+// concurrent clients issuing Zipf-distributed /topk reads (the
+// production SimRank query mix is Zipfian over sources), `writes` the
+// probability a client turn becomes a BURST of /edges/batch churn
+// (add-then-remove cycles, so the graph returns to baseline), and
+// `slow` the probability a request is sent by a deliberately slow
+// client (dripped request/response bodies). Requests carry the
+// X-ProbeSim-Tenant header; `maxepsa` adds the X-ProbeSim-Max-Epsa
+// accuracy floor so the report's `degraded` counter distinguishes
+// accepted degradation from refused.
+//
+// Everything random is derived from -seed through split streams, so a
+// given flag set replays the same op sequence every run (timing, and
+// therefore interleaving, still belongs to the scheduler — the
+// determinism claim is about WHAT is sent, not when it lands).
+//
+// The report is one JSON document on stdout (or -out): per tenant the
+// client-observed p50/p95/p99, availability, error/rejection/degrade
+// counters, and met-or-not against the -slo objectives; plus the
+// server's own /debug/slo snapshot for the server-side view of the same
+// window. -assert turns report fields into exit-code contracts for CI:
+// the process exits 2 if any assertion fails.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"probesim/internal/hotidx"
+	"probesim/internal/slo"
+	"probesim/internal/tenant"
+	"probesim/internal/xrand"
+)
+
+// degradedHeader mirrors the server's response header naming the εa a
+// degraded query was actually served at.
+const degradedHeader = "X-ProbeSim-Degraded"
+
+// mix is one tenant's client population and behavior.
+type mix struct {
+	Name      string
+	Workers   int           // concurrent clients
+	Think     time.Duration // mean inter-request delay per client (jittered ±50%)
+	WriteFrac float64       // probability a turn is a write burst instead of a read
+	Burst     int           // /edges/batch requests per write burst
+	SlowFrac  float64       // probability a request is sent/consumed slowly
+	MaxEpsa   float64       // X-ProbeSim-Max-Epsa accuracy floor (0 = no header)
+	K         int           // /topk result count
+}
+
+// parseMix parses "name,key=value,..." — the tenant name first, then
+// workers, think, writes, burst, slow, maxepsa, k.
+func parseMix(s string) (mix, error) {
+	m := mix{Workers: 2, Think: 2 * time.Millisecond, Burst: 4, K: 10}
+	parts := strings.Split(s, ",")
+	m.Name = strings.TrimSpace(parts[0])
+	if m.Name == "" || strings.Contains(m.Name, "=") {
+		return m, fmt.Errorf("mix %q: the first element is the tenant name", s)
+	}
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return m, fmt.Errorf("mix %q: bad element %q (want key=value)", s, kv)
+		}
+		var err error
+		switch key {
+		case "workers":
+			m.Workers, err = strconv.Atoi(val)
+		case "think":
+			m.Think, err = time.ParseDuration(val)
+		case "writes":
+			m.WriteFrac, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			m.Burst, err = strconv.Atoi(val)
+		case "slow":
+			m.SlowFrac, err = strconv.ParseFloat(val, 64)
+		case "maxepsa":
+			m.MaxEpsa, err = strconv.ParseFloat(val, 64)
+		case "k":
+			m.K, err = strconv.Atoi(val)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return m, fmt.Errorf("mix %q: %s=%s: %v", s, key, val, err)
+		}
+	}
+	if m.Workers < 1 || m.Burst < 1 || m.K < 1 {
+		return m, fmt.Errorf("mix %q: workers, burst and k must be >= 1", s)
+	}
+	return m, nil
+}
+
+// repeatable collects a repeatable string flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, "; ") }
+func (r *repeatable) Set(s string) error { *r = append(*r, s); return nil }
+
+// stats accumulates one tenant's client-side observations.
+type stats struct {
+	mu        sync.Mutex
+	requests  int64
+	writes    int64
+	errors    int64 // status >= 500 (includes 503 rejections)
+	rejected  int64 // status == 503
+	transport int64 // client-side transport errors / timeouts
+	degraded  int64 // responses carrying X-ProbeSim-Degraded
+	slowSent  int64
+	lats      []float64 // seconds, reads and writes alike
+}
+
+func (s *stats) observe(lat time.Duration, status int, degraded, isWrite, slow bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if isWrite {
+		s.writes++
+	}
+	if slow {
+		s.slowSent++
+	}
+	if status >= 500 {
+		s.errors++
+	}
+	if status == 503 {
+		s.rejected++
+	}
+	if degraded {
+		s.degraded++
+	}
+	s.lats = append(s.lats, lat.Seconds())
+}
+
+func (s *stats) transportError() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.transport++
+}
+
+// quantile returns the nearest-rank q-quantile of sorted lats.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// tenantReport is one tenant's row in the JSON report.
+type tenantReport struct {
+	Tenant          string        `json:"tenant"`
+	Requests        int64         `json:"requests"`
+	Writes          int64         `json:"writes"`
+	Errors          int64         `json:"errors"`
+	Rejected        int64         `json:"rejected"`
+	TransportErrors int64         `json:"transport_errors"`
+	Degraded        int64         `json:"degraded"`
+	SlowRequests    int64         `json:"slow_requests"`
+	P50Ms           float64       `json:"p50_ms"`
+	P95Ms           float64       `json:"p95_ms"`
+	P99Ms           float64       `json:"p99_ms"`
+	Availability    float64       `json:"availability"`
+	Objective       slo.Objective `json:"objective"`
+	LatencyMet      bool          `json:"latency_met"`
+	AvailabilityMet bool          `json:"availability_met"`
+}
+
+type report struct {
+	Target    string          `json:"target"`
+	Seed      uint64          `json:"seed"`
+	Duration  string          `json:"duration"`
+	Nodes     int             `json:"nodes"`
+	Zipf      float64         `json:"zipf"`
+	Tenants   []tenantReport  `json:"tenants"`
+	ServerSLO json.RawMessage `json:"server_slo,omitempty"`
+}
+
+// slowReader drips a request body in small chunks — a deliberately slow
+// client holding the server's handler on the read side.
+type slowReader struct {
+	data  []byte
+	chunk int
+	delay time.Duration
+}
+
+func (r *slowReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(r.delay)
+	n := r.chunk
+	if n > len(r.data) || n > len(p) {
+		n = min(len(r.data), len(p))
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// churnEdge derives the i-th synthetic churn edge for a worker stream —
+// a pure function of (stream, i), so the add burst and the remove burst
+// that follows it name the SAME edges and the graph returns to baseline.
+func churnEdge(stream uint64, i int, nodes int) (int, int) {
+	r := xrand.New(stream + uint64(i)*0x9e3779b97f4a7c15)
+	return r.Intn(nodes), r.Intn(nodes)
+}
+
+// worker is one client loop: Zipf reads, bursty write churn, slow sends,
+// all decided by its own split RNG stream.
+func worker(ctx context.Context, target string, m mix, streamSeed uint64, nodes int, zipfS float64, client *http.Client, st *stats) {
+	rng := xrand.New(streamSeed)
+	z := hotidx.NewZipf(nodes, zipfS, rng.Uint64())
+	churnStream := rng.Uint64()
+	bursts := 0
+	for ctx.Err() == nil {
+		if m.WriteFrac > 0 && rng.Bernoulli(m.WriteFrac) {
+			// A write turn is a burst: Burst back-to-back batches with no
+			// think between them — the bursty-churn shape that makes write
+			// admission and snapshot republication earn their keep.
+			for b := 0; b < m.Burst && ctx.Err() == nil; b++ {
+				doWrite(ctx, target, m, churnStream, bursts, nodes, client, st, rng.Bernoulli(m.SlowFrac))
+				bursts++
+			}
+		} else {
+			doRead(ctx, target, m, int(z.Next()), client, st, rng.Bernoulli(m.SlowFrac))
+		}
+		if m.Think > 0 {
+			d := m.Think/2 + time.Duration(rng.Float64()*float64(m.Think))
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+	}
+}
+
+func tenantHeaders(req *http.Request, m mix) {
+	req.Header.Set(tenant.Header, m.Name)
+	if m.MaxEpsa > 0 {
+		req.Header.Set(tenant.MaxEpsaHeader, strconv.FormatFloat(m.MaxEpsa, 'g', -1, 64))
+	}
+}
+
+func doRead(ctx context.Context, target string, m mix, u int, client *http.Client, st *stats, slow bool) {
+	url := fmt.Sprintf("%s/topk?u=%d&k=%d", target, u, m.K)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		st.transportError()
+		return
+	}
+	tenantHeaders(req, m)
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.transportError()
+		}
+		return
+	}
+	drainBody(resp.Body, slow)
+	st.observe(time.Since(start), resp.StatusCode, resp.Header.Get(degradedHeader) != "", false, slow)
+}
+
+func doWrite(ctx context.Context, target string, m mix, churnStream uint64, burst, nodes int, client *http.Client, st *stats, slow bool) {
+	// Even bursts add a deterministic edge set, odd bursts remove the
+	// same set: sustained churn, zero net drift.
+	op := "add"
+	if burst%2 == 1 {
+		op = "remove"
+	}
+	type batchOp struct {
+		Op string `json:"op"`
+		U  int    `json:"u"`
+		V  int    `json:"v"`
+	}
+	ops := make([]batchOp, 4)
+	for i := range ops {
+		u, v := churnEdge(churnStream, (burst/2)*len(ops)+i, nodes)
+		ops[i] = batchOp{Op: op, U: u, V: v}
+	}
+	body, _ := json.Marshal(ops)
+	var rd io.Reader = bytes.NewReader(body)
+	if slow {
+		rd = &slowReader{data: body, chunk: 8, delay: 10 * time.Millisecond}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/edges/batch", rd)
+	if err != nil {
+		st.transportError()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	tenantHeaders(req, m)
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.transportError()
+		}
+		return
+	}
+	drainBody(resp.Body, slow)
+	st.observe(time.Since(start), resp.StatusCode, resp.Header.Get(degradedHeader) != "", true, slow)
+}
+
+// drainBody consumes and closes a response body; slow consumers read it
+// in dripped chunks.
+func drainBody(body io.ReadCloser, slow bool) {
+	defer body.Close()
+	if !slow {
+		io.Copy(io.Discard, body)
+		return
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		if _, err := body.Read(buf); err != nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	io.Copy(io.Discard, body)
+}
+
+// evalAssert checks one "tenant.metric<op>value" contract against the
+// report rows. Latency metrics compare against durations ("250ms"),
+// everything else against plain numbers.
+func evalAssert(expr string, rows map[string]tenantReport) error {
+	ops := []string{"<=", ">=", "==", "!=", "<", ">"}
+	var op string
+	var at int
+	for _, o := range ops {
+		if i := strings.Index(expr, o); i > 0 {
+			op, at = o, i
+			break
+		}
+	}
+	if op == "" {
+		return fmt.Errorf("assert %q: no comparison operator", expr)
+	}
+	left, right := strings.TrimSpace(expr[:at]), strings.TrimSpace(expr[at+len(op):])
+	tname, metric, ok := strings.Cut(left, ".")
+	if !ok {
+		return fmt.Errorf("assert %q: left side must be tenant.metric", expr)
+	}
+	row, ok := rows[tname]
+	if !ok {
+		return fmt.Errorf("assert %q: no tenant %q in the report", expr, tname)
+	}
+	var got float64
+	durational := false
+	switch metric {
+	case "p50":
+		got, durational = row.P50Ms, true
+	case "p95":
+		got, durational = row.P95Ms, true
+	case "p99":
+		got, durational = row.P99Ms, true
+	case "availability":
+		got = row.Availability
+	case "requests":
+		got = float64(row.Requests)
+	case "writes":
+		got = float64(row.Writes)
+	case "errors":
+		got = float64(row.Errors)
+	case "rejected":
+		got = float64(row.Rejected)
+	case "transport_errors":
+		got = float64(row.TransportErrors)
+	case "degraded":
+		got = float64(row.Degraded)
+	default:
+		return fmt.Errorf("assert %q: unknown metric %q", expr, metric)
+	}
+	var want float64
+	if d, err := time.ParseDuration(right); err == nil && durational {
+		want = d.Seconds() * 1000
+	} else {
+		f, err := strconv.ParseFloat(right, 64)
+		if err != nil {
+			return fmt.Errorf("assert %q: bad value %q", expr, right)
+		}
+		want = f
+	}
+	pass := false
+	switch op {
+	case "<=":
+		pass = got <= want
+	case ">=":
+		pass = got >= want
+	case "==":
+		pass = got == want
+	case "!=":
+		pass = got != want
+	case "<":
+		pass = got < want
+	case ">":
+		pass = got > want
+	}
+	if !pass {
+		return fmt.Errorf("assert %q FAILED: %s.%s = %g (want %s %g)", expr, tname, metric, got, op, want)
+	}
+	return nil
+}
+
+// waitReady polls /readyz until the server answers 200 or the window
+// expires, so the CI script can exec loadgen right after booting the
+// fleet without its own readiness dance.
+func waitReady(target string, window time.Duration, client *http.Client) error {
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := client.Get(target + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %v: %v", window, err)
+			}
+			return fmt.Errorf("server not ready after %v", window)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "probesim-server base URL")
+		seed     = flag.Uint64("seed", 1, "master seed; every random decision derives from it")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		nodes    = flag.Int("nodes", 1000, "node id space for Zipf reads and churn writes (match the graph)")
+		zipfS    = flag.Float64("zipf", 1.1, "Zipf exponent for read sources")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		wait     = flag.Duration("wait", 10*time.Second, "poll /readyz up to this long before starting (0 = don't)")
+		sloSpec  = flag.String("slo", "", "per-tenant objectives \"name=p99:availability,...\" the report grades against")
+		sloDef   = flag.String("slo-default", "1s:0.99", "objective for tenants without an explicit -slo entry")
+		outPath  = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	var mixSpecs, asserts repeatable
+	flag.Var(&mixSpecs, "mix", "tenant mix \"name,workers=4,think=2ms,writes=0.05,burst=4,slow=0,maxepsa=0,k=10\" (repeatable)")
+	flag.Var(&asserts, "assert", "report contract \"tenant.metric<op>value\", e.g. \"search.p99<=250ms\" or \"search.degraded==0\" (repeatable; exit 2 on failure)")
+	flag.Parse()
+
+	if len(mixSpecs) == 0 {
+		mixSpecs = repeatable{"default,workers=4,think=2ms,writes=0.02"}
+	}
+	mixes := make([]mix, 0, len(mixSpecs))
+	for _, s := range mixSpecs {
+		m, err := parseMix(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probesim-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		mixes = append(mixes, m)
+	}
+	def, err := slo.ParseObjective(*sloDef)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "probesim-loadgen: -slo-default: %v\n", err)
+		os.Exit(1)
+	}
+	objectives, err := slo.ParseObjectives(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "probesim-loadgen: -slo: %v\n", err)
+		os.Exit(1)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *wait > 0 {
+		if err := waitReady(*target, *wait, client); err != nil {
+			fmt.Fprintf(os.Stderr, "probesim-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	master := xrand.New(*seed)
+	allStats := make(map[string]*stats, len(mixes))
+	var wg sync.WaitGroup
+	for mi, m := range mixes {
+		st := &stats{}
+		allStats[m.Name] = st
+		for w := 0; w < m.Workers; w++ {
+			streamSeed := master.SplitState(uint64(mi)<<16 | uint64(w))
+			wg.Add(1)
+			go func(m mix, seed uint64) {
+				defer wg.Done()
+				worker(ctx, *target, m, seed, *nodes, *zipfS, client, st)
+			}(m, streamSeed)
+		}
+	}
+	wg.Wait()
+
+	rep := report{Target: *target, Seed: *seed, Duration: duration.String(), Nodes: *nodes, Zipf: *zipfS}
+	rows := make(map[string]tenantReport, len(mixes))
+	for _, m := range mixes {
+		st := allStats[m.Name]
+		sort.Float64s(st.lats)
+		obj, ok := objectives[m.Name]
+		if !ok {
+			obj = def
+		}
+		served := st.requests - st.errors - st.transport
+		avail := 1.0
+		if st.requests > 0 {
+			avail = float64(served) / float64(st.requests)
+		}
+		p99 := quantile(st.lats, 0.99)
+		row := tenantReport{
+			Tenant:          m.Name,
+			Requests:        st.requests,
+			Writes:          st.writes,
+			Errors:          st.errors,
+			Rejected:        st.rejected,
+			TransportErrors: st.transport,
+			Degraded:        st.degraded,
+			SlowRequests:    st.slowSent,
+			P50Ms:           quantile(st.lats, 0.50) * 1000,
+			P95Ms:           quantile(st.lats, 0.95) * 1000,
+			P99Ms:           p99 * 1000,
+			Availability:    avail,
+			Objective:       obj,
+			LatencyMet:      p99 <= obj.P99.Seconds(),
+			AvailabilityMet: avail >= obj.Availability,
+		}
+		rep.Tenants = append(rep.Tenants, row)
+		rows[m.Name] = row
+	}
+	// The server-side view of the same run, best effort: a dead server at
+	// report time is itself worth seeing in the report (absent field).
+	if resp, err := client.Get(*target + "/debug/slo"); err == nil {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == 200 && json.Valid(raw) {
+			rep.ServerSLO = raw
+		}
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "probesim-loadgen: writing -out: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	failed := false
+	for _, a := range asserts {
+		if err := evalAssert(a, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "probesim-loadgen: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "probesim-loadgen: assert %q ok\n", a)
+		}
+	}
+	if failed {
+		os.Exit(2)
+	}
+}

@@ -61,6 +61,24 @@
 // an X-ProbeSim-Degraded header naming the εa they actually got, and
 // bypass the result cache. Only above -max-inflight does the server 503.
 //
+// # Tenancy and SLOs
+//
+// With -tenants="search=latency-strict,crawl=throughput-batch" requests
+// carry their tenant in the X-ProbeSim-Tenant header (absent = the
+// "default" tenant) and query admission becomes deficit-weighted fair
+// queueing: each tenant gets a bounded wait queue and a class-derived
+// weight, and a request 503s only when its OWN tenant's queue is full —
+// a batch tenant saturating the server no longer starves an interactive
+// one. Class policy also governs degradation (latency-strict tenants
+// always get full-accuracy answers) and per-tenant budget caps. Clients
+// can pin an accuracy floor with X-ProbeSim-Max-Epsa: the server
+// answers 503 instead of silently serving a wider εa than the header
+// allows. -slo / -slo-default attach per-tenant p99+availability
+// objectives measured over -slo-window; the windowed state (including
+// error-budget burn rates) is served on /debug/slo and exported as
+// tenant-labeled probesim_slo_* and probesim_tenant_* families on
+// /metrics.
+//
 // # Durability
 //
 // With -data-dir the write plane is durable: every acknowledged edge
@@ -111,6 +129,8 @@ import (
 	"probesim/internal/router"
 	"probesim/internal/server"
 	"probesim/internal/shard"
+	"probesim/internal/slo"
+	"probesim/internal/tenant"
 	"probesim/internal/wal"
 )
 
@@ -118,6 +138,45 @@ import (
 func fatal(msg string, args ...any) {
 	slog.Error(msg, args...)
 	os.Exit(1)
+}
+
+// tenantPlane builds the tenant registry and SLO tracker from the flag
+// surface. -tenants arms multi-tenancy (and with it fair-queued
+// admission); -slo or a -tenants registry arms SLO tracking, so a
+// single-tenant deployment can still watch its default tenant's burn
+// rate by setting -slo alone. Both come back nil when neither flag is
+// set — the pre-tenant server behavior, exactly.
+func tenantPlane(tenantSpec, tenantClass, sloSpec, sloDefault string, sloWindow time.Duration) (*tenant.Registry, *slo.Tracker) {
+	var reg *tenant.Registry
+	if tenantSpec != "" {
+		defClass, err := tenant.ParseClass(tenantClass)
+		if err != nil {
+			fatal("parsing -tenant-default-class", "err", err)
+		}
+		reg = tenant.NewRegistry(defClass, nil)
+		if err := tenant.ParseSpec(reg, tenantSpec); err != nil {
+			fatal("parsing -tenants", "err", err)
+		}
+		names := make([]string, 0, len(reg.All()))
+		for _, t := range reg.All() {
+			names = append(names, t.Name+"="+t.Class.String())
+		}
+		slog.Info("tenant plane armed", "tenants", names, "default_class", defClass.String())
+	}
+	if sloSpec == "" && reg == nil {
+		return reg, nil
+	}
+	def, err := slo.ParseObjective(sloDefault)
+	if err != nil {
+		fatal("parsing -slo-default", "err", err)
+	}
+	perTenant, err := slo.ParseObjectives(sloSpec)
+	if err != nil {
+		fatal("parsing -slo", "err", err)
+	}
+	slotr := slo.New(slo.Config{Window: sloWindow, Default: def, PerTenant: perTenant})
+	slog.Info("slo tracking armed", "window", sloWindow, "default_objective", sloDefault, "objectives", len(perTenant))
+	return reg, slotr
 }
 
 func main() {
@@ -159,6 +218,12 @@ func main() {
 		eagerSpans   = flag.Bool("eager-spans", false, "with -shards: materialize snapshot span arrays in the background after each publication")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 
+		tenantSpec  = flag.String("tenants", "", "arm multi-tenant admission: \"name=class,...\" with classes latency-strict, throughput-batch, degrade-tolerant; requests name their tenant in the X-ProbeSim-Tenant header, queries fair-queue per tenant instead of 503ing at -max-inflight (empty = single-tenant behavior)")
+		tenantClass = flag.String("tenant-default-class", "degrade-tolerant", "with -tenants: class of the default tenant and of names not listed in -tenants")
+		sloSpec     = flag.String("slo", "", "per-tenant SLO objectives \"name=p99:availability,...\" (e.g. \"search=50ms:0.999,crawl=2s:0.99\"); arms /debug/slo and the probesim_slo_* metric families")
+		sloDefault  = flag.String("slo-default", "1s:0.99", "objective for tenants without an explicit -slo entry")
+		sloWindow   = flag.Duration("slo-window", time.Minute, "rolling measurement window for SLO state and burn rates")
+
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; bypasses admission control)")
 		traceSlow   = flag.Duration("trace-slow", 0, "log every query slower than this as a structured slow_query record (0 = off)")
@@ -173,6 +238,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "probesim-server: missing -graph (or -workers, or a recoverable -data-dir)")
 		os.Exit(1)
 	}
+	reg, slotr := tenantPlane(*tenantSpec, *tenantClass, *sloSpec, *sloDefault, *sloWindow)
 	opt := probesim.Options{
 		C: *c, EpsA: *epsA, Delta: *delta, Seed: *seed,
 		Budget: probesim.Budget{MaxWalks: *maxWalks, MaxProbeWork: *maxWork},
@@ -221,7 +287,7 @@ func main() {
 			"nodes", snap.NumNodes(), "edges", snap.NumEdges(), "version", snap.Version(),
 			"addr", *addr, "groups", len(groups), "workers", nworkers,
 			"hedge", *hedge && replicated, "topology", *workers)
-		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, nil)
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, reg, slotr, nil)
 		return
 	}
 	loadGraph := func() (*probesim.Graph, error) {
@@ -280,7 +346,7 @@ func main() {
 		slog.Info("serving",
 			"nodes", st.NumNodes(), "edges", st.NumEdges(), "addr", *addr,
 			"shards", st.NumShards(), "fsync", policy.String(), "checkpoint_every", *ckptEvery)
-		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, func() {
+		serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, reg, slotr, func() {
 			if err := ck.Stop(); err != nil {
 				slog.Error("final checkpoint", "err", err)
 			}
@@ -316,7 +382,7 @@ func main() {
 		slog.Info("serving",
 			"nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr, "backend", "monolithic")
 	}
-	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, nil)
+	serve(srv, addr, queryTimeout, maxInflight, softInflight, degradeF, maxJoins, maxWriteQ, drainTO, traceSlow, traceSample, debugAddr, reg, slotr, nil)
 }
 
 // serve installs the admission limits and runs the HTTP server with
@@ -324,7 +390,7 @@ func main() {
 // topologies. cleanup, when non-nil, runs after the drain completes —
 // the durable path uses it to take a final checkpoint and close the log
 // so the next boot replays nothing.
-func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration, traceSlow *time.Duration, traceSample *float64, debugAddr *string, cleanup func()) {
+func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInflight, softInflight *int, degradeF *float64, maxJoins, maxWriteQ *int, drainTO *time.Duration, traceSlow *time.Duration, traceSample *float64, debugAddr *string, reg *tenant.Registry, slotr *slo.Tracker, cleanup func()) {
 	srv.SetLimits(server.Limits{
 		MaxInflight:     *maxInflight,
 		SoftInflight:    *softInflight,
@@ -333,6 +399,9 @@ func serve(srv *server.Server, addr *string, queryTimeout *time.Duration, maxInf
 		MaxWriteQueue:   *maxWriteQ,
 		QueryTimeout:    *queryTimeout,
 	})
+	// After SetLimits: the fair queue's capacity is MaxInflight.
+	srv.SetTenants(reg)
+	srv.SetSLO(slotr)
 	// Tracing is always armed: ?trace=1 must work without a restart, and
 	// the armed-but-unsampled path costs one id draw and a header per
 	// request. -trace-slow/-trace-sample add the slow-query log and

@@ -235,6 +235,7 @@ func main() {
 	if *debugAddr != "" {
 		handlers := map[string]http.Handler{
 			"/debug/queries": obs.QueriesHandler(tracer),
+			"/metrics":       obs.MetricsHandler("probesim-shardd"),
 		}
 		if tier != nil {
 			handlers["/debug/hotsources"] = tier.Handler()
@@ -250,6 +251,9 @@ func main() {
 	if *healthAddr != "" {
 		mux := http.NewServeMux()
 		hstate.Register(mux)
+		// Scrapers usually reach workers through the probe port, so the
+		// build-info exposition rides here too (and on -debug-addr).
+		mux.Handle("/metrics", obs.MetricsHandler("probesim-shardd"))
 		hln, err := net.Listen("tcp", *healthAddr)
 		if err != nil {
 			fatal("health listener", "addr", *healthAddr, "err", err)

@@ -12,12 +12,14 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 
+	"probesim/internal/promexpo"
 	"probesim/internal/qtrace"
 )
 
@@ -62,6 +64,23 @@ func ListenDebug(addr string, extra map[string]http.Handler) (net.Listener, erro
 		}
 	}()
 	return ln, nil
+}
+
+// MetricsHandler serves a Prometheus exposition page for a binary that
+// has no full metrics registry of its own: the probesim_build_info
+// gauge (so fleet dashboards can break behavior down by running
+// version) plus whatever extra writers append. The page is
+// text-format 0.0.4, the same contract as the HTTP server's /metrics.
+func MetricsHandler(binary string, extra ...func(io.Writer)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		promexpo.WriteBuildInfo(w, binary)
+		for _, f := range extra {
+			if f != nil {
+				f(w)
+			}
+		}
+	})
 }
 
 // QueriesHandler serves a tracer's completed-trace ring as JSON — the

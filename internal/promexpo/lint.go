@@ -1,0 +1,365 @@
+package promexpo
+
+// Lint is a scrape-validity checker for the Prometheus text exposition
+// format (version 0.0.4), run by tests over the full /metrics page so a
+// new hand-written family cannot silently break scrapes. It enforces the
+// rules real scrapers and promtool trip on:
+//
+//   - every sample belongs to a family with HELP and TYPE declared
+//     before its first sample, and families are declared at most once
+//     (a duplicate declaration means two code paths write one name);
+//   - metric and label names are well-formed, label values are quoted
+//     with only the three legal escapes (\\ , \" , \n);
+//   - sample values parse (floats, +Inf, -Inf, NaN);
+//   - histogram families carry _sum and _count, every bucket series has
+//     a le label, bucket bounds strictly ascend per series, cumulative
+//     counts never decrease, the +Inf bucket exists and equals _count.
+//
+// It is deliberately a validator over the rendered page, not the
+// registry: the page is the contract the scraper sees.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type lintFamily struct {
+	help bool
+	typ  string
+	// histogram bookkeeping, keyed by the series' label set minus le.
+	buckets  map[string][]bucketSample
+	sum      map[string]bool
+	count    map[string]float64
+	hasCount map[string]bool
+}
+
+type bucketSample struct {
+	le    float64
+	count float64
+}
+
+// Lint reads one exposition page and returns every violation found (nil
+// when the page is valid).
+func Lint(r io.Reader) []error {
+	var errs []error
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	fams := map[string]*lintFamily{}
+	fam := func(name string) *lintFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &lintFamily{
+				buckets:  map[string][]bucketSample{},
+				sum:      map[string]bool{},
+				count:    map[string]float64{},
+				hasCount: map[string]bool{},
+			}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comments are legal
+			}
+			if !validMetricName(name) {
+				addf("line %d: %s for invalid metric name %q", lineNo, kind, name)
+				continue
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.help {
+					addf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ != "" {
+					addf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = rest
+				default:
+					addf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+					f.typ = "untyped"
+				}
+				if !f.help {
+					addf("line %d: TYPE for %s precedes its HELP", lineNo, name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		base, suffix := splitHistogramSuffix(name, fams)
+		f, declared := fams[base]
+		if !declared || f.typ == "" || !f.help {
+			addf("line %d: sample %s before HELP+TYPE for %s", lineNo, name, base)
+			continue
+		}
+		switch suffix {
+		case "_bucket":
+			le, rest, ok := takeLE(labels)
+			if !ok {
+				addf("line %d: histogram bucket %s without le label", lineNo, line)
+				continue
+			}
+			f.buckets[rest] = append(f.buckets[rest], bucketSample{le, value})
+		case "_sum":
+			f.sum[canonLabels(labels)] = true
+		case "_count":
+			key := canonLabels(labels)
+			f.count[key] = value
+			f.hasCount[key] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("reading page: %v", err)
+	}
+
+	// Cross-line histogram checks, in stable family order.
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ != "histogram" {
+			continue
+		}
+		series := make([]string, 0, len(f.buckets))
+		for s := range f.buckets {
+			series = append(series, s)
+		}
+		sort.Strings(series)
+		if len(series) == 0 {
+			addf("histogram %s declared but has no bucket series", n)
+		}
+		for _, s := range series {
+			bs := f.buckets[s]
+			label := s
+			if label == "" {
+				label = "(no labels)"
+			}
+			hasInf := false
+			for i := 1; i < len(bs); i++ {
+				if !(bs[i].le > bs[i-1].le) {
+					addf("histogram %s{%s}: bucket bounds not ascending (%g after %g)", n, label, bs[i].le, bs[i-1].le)
+				}
+				if bs[i].count < bs[i-1].count {
+					addf("histogram %s{%s}: cumulative bucket counts decrease at le=%g", n, label, bs[i].le)
+				}
+			}
+			last := bs[len(bs)-1]
+			if isInf(last.le) {
+				hasInf = true
+			}
+			if !hasInf {
+				addf("histogram %s{%s}: missing +Inf bucket", n, label)
+			}
+			if !f.sum[s] {
+				addf("histogram %s{%s}: missing _sum", n, label)
+			}
+			if !f.hasCount[s] {
+				addf("histogram %s{%s}: missing _count", n, label)
+			} else if hasInf && f.count[s] != last.count {
+				addf("histogram %s{%s}: _count %g != +Inf bucket %g", n, label, f.count[s], last.count)
+			}
+		}
+	}
+	return errs
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+// parseComment splits "# HELP name text" / "# TYPE name kind"; any other
+// comment returns ok=false.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", "", false
+	}
+	kind, body, found = strings.Cut(body, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return kind, name, rest, true
+}
+
+// splitHistogramSuffix maps a sample name onto its family: _bucket/_sum/
+// _count samples belong to the declared histogram (or summary) family
+// they suffix, everything else to itself.
+func splitHistogramSuffix(name string, fams map[string]*lintFamily) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, found := strings.CutSuffix(name, suf); found {
+			if f, ok := fams[b]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				return b, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+type labelPair struct{ k, v string }
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(line string) (name string, labels []labelPair, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if name == "" || !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j], j == i) {
+				j++
+			}
+			key := line[i:j]
+			if key == "" || j >= len(line) || line[j] != '=' {
+				return "", nil, 0, fmt.Errorf("bad label name at byte %d in %q", i, line)
+			}
+			j++ // '='
+			if j >= len(line) || line[j] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value for %s in %q", key, line)
+			}
+			j++
+			var val strings.Builder
+			closed := false
+			for j < len(line) {
+				c := line[j]
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch line[j+1] {
+					case '\\', '"':
+						val.WriteByte(line[j+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("illegal escape \\%c in %q", line[j+1], line)
+					}
+					j += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					j++
+					break
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value for %s in %q", key, line)
+			}
+			labels = append(labels, labelPair{key, val.String()})
+			i = j
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	// A timestamp may follow the value; we emit none, but tolerate it.
+	valueStr, _, _ := strings.Cut(rest, " ")
+	value, err = parseValue(valueStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", valueStr, line)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil // comparisons on NaN are meaningless; treat as 0
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// takeLE extracts the le label (parsed) and returns the remaining label
+// set in canonical order — the series key histogram checks group by.
+func takeLE(labels []labelPair) (le float64, rest string, ok bool) {
+	var others []labelPair
+	for _, lp := range labels {
+		if lp.k == "le" {
+			v, err := parseValue(lp.v)
+			if err != nil {
+				return 0, "", false
+			}
+			le, ok = v, true
+			continue
+		}
+		others = append(others, lp)
+	}
+	return le, canonLabels(others), ok
+}
+
+func canonLabels(labels []labelPair) string {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].k < labels[j].k })
+	parts := make([]string, len(labels))
+	for i, lp := range labels {
+		parts[i] = lp.k + "=" + strconv.Quote(lp.v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return name != ""
+}

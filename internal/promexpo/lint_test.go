@@ -1,0 +1,187 @@
+package promexpo
+
+// Lint self-tests: a page rendered by this package's own writers must
+// pass, and each class of exposition breakage (the ones a hand-written
+// family can introduce) must be flagged.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func lintString(t *testing.T, page string) []error {
+	t.Helper()
+	return Lint(strings.NewReader(page))
+}
+
+func TestLintAcceptsOwnWriters(t *testing.T) {
+	reg := NewRegistry()
+	m := reg.Route("/topk")
+	m.Requests.Add(3)
+	m.Latency.Observe(50 * time.Microsecond)
+	m.Latency.Observe(3 * time.Millisecond)
+	vh := NewValueHistogram([]float64{0.1, 0.5, 1})
+	vh.Observe(0.3)
+	var b strings.Builder
+	reg.WritePrometheus(&b, nil)
+	WriteGauge(&b, "probesim_graph_nodes", "Nodes.", 42)
+	WriteCounter(&b, "probesim_cache_hits_total", "Hits.", 7)
+	WriteValueHistogram(&b, "probesim_degraded_epsa", "Served epsa.", vh)
+	WriteLabeled(&b, "probesim_router_worker_up", "Worker up.", "gauge", []Sample{
+		{Label: `worker="10.0.0.3:9090",group="0"`, Value: 1},
+	})
+	WriteLabeledFloat(&b, "probesim_slo_error_budget_burn_ratio", "Burn.", "gauge", []FloatSample{
+		{Label: `tenant="search"`, Value: 1.25},
+	})
+	WriteBuildInfo(&b, "probesim-test")
+	if errs := lintString(t, b.String()); len(errs) != 0 {
+		t.Fatalf("own writers fail lint: %v\npage:\n%s", errs, b.String())
+	}
+}
+
+func TestLintFlagsMissingType(t *testing.T) {
+	page := "probesim_thing 1\n"
+	if errs := lintString(t, page); len(errs) == 0 {
+		t.Fatal("sample without HELP/TYPE passed lint")
+	}
+}
+
+func TestLintFlagsDuplicateDeclaration(t *testing.T) {
+	page := "# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x 1\n" +
+		"# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x 2\n"
+	if errs := lintString(t, page); len(errs) == 0 {
+		t.Fatal("duplicate family declaration passed lint")
+	}
+}
+
+func TestLintFlagsDescendingBuckets(t *testing.T) {
+	page := `# HELP probesim_h H.
+# TYPE probesim_h histogram
+probesim_h_bucket{le="0.5"} 1
+probesim_h_bucket{le="0.1"} 2
+probesim_h_bucket{le="+Inf"} 3
+probesim_h_sum 1
+probesim_h_count 3
+`
+	errs := lintString(t, page)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "not ascending") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("descending bounds not flagged: %v", errs)
+	}
+}
+
+func TestLintFlagsDecreasingCumulativeCounts(t *testing.T) {
+	page := `# HELP probesim_h H.
+# TYPE probesim_h histogram
+probesim_h_bucket{le="0.1"} 5
+probesim_h_bucket{le="0.5"} 3
+probesim_h_bucket{le="+Inf"} 5
+probesim_h_sum 1
+probesim_h_count 5
+`
+	errs := lintString(t, page)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "decrease") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decreasing cumulative counts not flagged: %v", errs)
+	}
+}
+
+func TestLintFlagsMissingInfAndSumCount(t *testing.T) {
+	page := `# HELP probesim_h H.
+# TYPE probesim_h histogram
+probesim_h_bucket{le="0.1"} 5
+`
+	errs := lintString(t, page)
+	var inf, sum, count bool
+	for _, e := range errs {
+		s := e.Error()
+		inf = inf || strings.Contains(s, "+Inf")
+		sum = sum || strings.Contains(s, "_sum")
+		count = count || strings.Contains(s, "_count")
+	}
+	if !inf || !sum || !count {
+		t.Fatalf("missing +Inf/_sum/_count not all flagged: %v", errs)
+	}
+}
+
+func TestLintFlagsCountBucketMismatch(t *testing.T) {
+	page := `# HELP probesim_h H.
+# TYPE probesim_h histogram
+probesim_h_bucket{le="0.1"} 5
+probesim_h_bucket{le="+Inf"} 6
+probesim_h_sum 1
+probesim_h_count 7
+`
+	errs := lintString(t, page)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "_count") && strings.Contains(e.Error(), "+Inf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("_count/+Inf mismatch not flagged: %v", errs)
+	}
+}
+
+func TestLintFlagsBadEscapes(t *testing.T) {
+	for _, page := range []string{
+		"# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x{t=\"a\\qb\"} 1\n", // illegal escape
+		"# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x{t=\"open} 1\n",    // unterminated
+		"# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x{t=bare} 1\n",      // unquoted
+	} {
+		if errs := lintString(t, page); len(errs) == 0 {
+			t.Fatalf("bad label page passed lint:\n%s", page)
+		}
+	}
+}
+
+func TestLintFlagsBadValue(t *testing.T) {
+	page := "# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x oops\n"
+	if errs := lintString(t, page); len(errs) == 0 {
+		t.Fatal("unparseable value passed lint")
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	in := "a\"b\\c\nd"
+	want := `a\"b\\c\nd`
+	if got := EscapeLabel(in); got != want {
+		t.Fatalf("EscapeLabel(%q) = %q, want %q", in, got, want)
+	}
+	// Round trip through the lint parser: an escaped hostile tenant name
+	// must parse back to the original.
+	page := "# HELP probesim_x X.\n# TYPE probesim_x gauge\nprobesim_x{tenant=\"" + EscapeLabel(in) + "\"} 1\n"
+	if errs := lintString(t, page); len(errs) != 0 {
+		t.Fatalf("escaped hostile label fails lint: %v", errs)
+	}
+}
+
+func TestLatencyBoundsReachBelow100Micros(t *testing.T) {
+	bounds := LatencyBounds()
+	if bounds[0] != 0.000001 {
+		t.Fatalf("first bound %g, want 1µs", bounds[0])
+	}
+	// A 116ns hot-tier answer and a 97µs live answer must land in
+	// different buckets now.
+	var h Histogram
+	h.Observe(116 * time.Nanosecond)
+	h.Observe(97 * time.Microsecond)
+	if h.buckets[0].Load() != 1 {
+		t.Fatal("hot-tier-scale observation did not land in the 1µs bucket")
+	}
+	if q := h.Quantile(0.5); q >= 0.0001 {
+		t.Fatalf("p50 %g no longer distinguishes sub-100µs traffic", q)
+	}
+}

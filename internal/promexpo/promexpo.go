@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -23,15 +25,28 @@ import (
 )
 
 // latencyBuckets are the histogram upper bounds in seconds: a 1-2-5
-// ladder from 100µs to 50s, wide enough to see both a cache hit and a
-// runaway join on one scale. The terminal +Inf bucket is implicit.
-var latencyBuckets = [18]float64{
+// ladder from 1µs to 50s. The ladder reaches below 100µs because the
+// hot-source index tier answers in hundreds of nanoseconds — with a
+// 100µs first bucket, hot and live traffic were indistinguishable on
+// /metrics (everything hot landed in bucket one), so the sub-100µs
+// rungs are what make the tier separation visible to a scrape. The
+// terminal +Inf bucket is implicit.
+var latencyBuckets = [24]float64{
+	0.000001, 0.000002, 0.000005,
+	0.00001, 0.00002, 0.00005,
 	0.0001, 0.0002, 0.0005,
 	0.001, 0.002, 0.005,
 	0.01, 0.02, 0.05,
 	0.1, 0.2, 0.5,
 	1, 2, 5,
 	10, 20, 50,
+}
+
+// LatencyBounds returns the latency bucket ladder (seconds, ascending,
+// +Inf implicit) so other planes — the per-tenant SLO tracker, the load
+// harness — bucket durations identically to the serving histograms.
+func LatencyBounds() []float64 {
+	return append([]float64(nil), latencyBuckets[:]...)
 }
 
 // Histogram is a fixed-bucket latency histogram safe for concurrent use.
@@ -221,6 +236,84 @@ func WriteLabeled(w io.Writer, name, help, typ string, samples []Sample) {
 	for _, s := range samples {
 		fmt.Fprintf(w, "%s{%s} %d\n", name, s.Label, s.Value)
 	}
+}
+
+// FloatSample is one labeled float sample for WriteLabeledFloat. Label
+// is the rendered label set without braces, e.g. `tenant="search"`.
+type FloatSample struct {
+	Label string
+	Value float64
+}
+
+// WriteLabeledFloat writes one float-valued metric family with HELP/TYPE
+// headers and one line per labeled sample — the form the per-tenant SLO
+// gauges (p99 seconds, error-budget burn ratio) use. typ is "gauge" or
+// "counter".
+func WriteLabeledFloat(w io.Writer, name, help, typ string, samples []FloatSample) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, s.Label, formatValue(s.Value))
+	}
+}
+
+// EscapeLabel renders v as a Prometheus label value: backslash, double
+// quote and newline escaped per the text exposition format. Callers
+// embedding externally supplied strings (tenant names) into label sets
+// must go through this — a raw quote in a tenant header must not be able
+// to break the scrape.
+func EscapeLabel(v string) string {
+	var b []byte
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
+// WriteBuildInfo writes the probesim_build_info gauge: a constant 1
+// whose labels carry the binary name, the module version, the VCS
+// revision the binary was built from, and the Go runtime — the standard
+// "which build is this scrape talking to" join key for dashboards.
+func WriteBuildInfo(w io.Writer, binary string) {
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else {
+			version = "devel"
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP probesim_build_info Build metadata; the value is always 1.\n# TYPE probesim_build_info gauge\n")
+	fmt.Fprintf(w, "probesim_build_info{binary=%q,version=%q,commit=%q,goversion=%q} 1\n",
+		EscapeLabel(binary), EscapeLabel(version), EscapeLabel(revision), EscapeLabel(runtime.Version()))
+}
+
+// formatValue renders a float sample value (Prometheus accepts Go float
+// formatting, including "+Inf" and "NaN").
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // formatBound renders a bucket bound the way Prometheus clients expect:

@@ -13,6 +13,7 @@ import (
 type Done struct {
 	ID          TraceID               `json:"traceId"`
 	Name        string                `json:"name"`
+	Tenant      string                `json:"tenant,omitempty"`
 	Status      int                   `json:"status"`
 	Start       time.Time             `json:"start"`
 	Dur         time.Duration         `json:"-"`
@@ -97,6 +98,14 @@ func (t *Tracer) Begin(id TraceID, force bool) *Trace {
 // dur describe the query either way. The returned Done is nil for
 // unsampled, not-slow queries — there is nothing to report.
 func (t *Tracer) Finish(tr *Trace, id TraceID, name string, status int, start time.Time, dur time.Duration) *Done {
+	return t.FinishTagged(tr, id, name, "", status, start, dur)
+}
+
+// FinishTagged is Finish with a tenant annotation: the tenant lands on
+// the ring entry (so /debug/queries shows whose query it was) and on the
+// slow-query log line (so an SLO burn spike is one grep from its
+// traces). Empty tenant behaves exactly like Finish.
+func (t *Tracer) FinishTagged(tr *Trace, id TraceID, name, tenant string, status int, start time.Time, dur time.Duration) *Done {
 	if t == nil {
 		return nil
 	}
@@ -107,6 +116,7 @@ func (t *Tracer) Finish(tr *Trace, id TraceID, name string, status int, start ti
 	d := &Done{
 		ID:     id,
 		Name:   name,
+		Tenant: tenant,
 		Status: status,
 		Start:  start,
 		Dur:    dur,
@@ -154,6 +164,9 @@ func (t *Tracer) logSlow(d *Done) {
 		slog.Int("status", d.Status),
 		slog.Float64("dur_ms", d.DurMS),
 		slog.Bool("sampled", d.Spans != nil),
+	}
+	if d.Tenant != "" {
+		attrs = append(attrs, slog.String("tenant", d.Tenant))
 	}
 	if d.Stages != nil {
 		for name, st := range d.Stages {

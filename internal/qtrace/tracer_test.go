@@ -73,3 +73,29 @@ func TestTracerFinishRingAndSlowLog(t *testing.T) {
 		t.Fatalf("ring entry: %+v", last)
 	}
 }
+
+func TestFinishTaggedAnnotatesTenant(t *testing.T) {
+	var buf bytes.Buffer
+	tc := NewTracer(10*time.Millisecond, 1, 4, slog.New(slog.NewJSONHandler(&buf, nil)))
+	tr := New(NewID())
+	d := tc.FinishTagged(tr, tr.ID(), "/topk", "search", 200, time.Now(), 20*time.Millisecond)
+	if d == nil || d.Tenant != "search" {
+		t.Fatalf("tagged finish: %+v", d)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"tenant":"search"`)) {
+		t.Fatalf("slow log missing tenant attr: %s", buf.String())
+	}
+	rec := tc.Recent()
+	if len(rec) != 1 || rec[0].Tenant != "search" {
+		t.Fatalf("ring entry lost tenant: %+v", rec)
+	}
+	// Finish delegates with an empty tenant and stays wire-compatible.
+	buf.Reset()
+	d = tc.Finish(nil, NewID(), "/topk", 200, time.Now(), 20*time.Millisecond)
+	if d == nil || d.Tenant != "" {
+		t.Fatalf("untagged finish: %+v", d)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("tenant")) {
+		t.Fatalf("empty tenant leaked into slow log: %s", buf.String())
+	}
+}

@@ -7,12 +7,18 @@ package server
 //
 // The control model, per route class:
 //
-//   - Queries (classQuery): a bounded in-flight counter. A request over
-//     the limit is rejected immediately with 503 + Retry-After rather
-//     than queued — queueing work the client will time out on anyway
-//     only grows the latency tail. Admitted queries run under the
-//     configured query timeout, which the kernels honor at their budget
-//     checkpoints (504 on expiry, with the partial work discarded).
+//   - Queries (classQuery): a bounded in-flight counter. Without a
+//     tenant registry (SetTenants), a request over the limit is rejected
+//     immediately with 503 + Retry-After rather than queued — queueing
+//     work the client will time out on anyway only grows the latency
+//     tail. With tenants configured, admission switches to deficit-
+//     weighted fair queueing (tenant.FairQueue): each tenant waits in
+//     its own small bounded queue and 503s only when THAT queue is full,
+//     so a batch tenant's backlog can never reject an interactive
+//     tenant. Admitted queries run under the configured query timeout
+//     (capped further by the tenant's class budget), which the kernels
+//     honor at their budget checkpoints (504 on expiry, with the partial
+//     work discarded).
 //   - Joins (classJoin): a small semaphore (default 1, the historical
 //     bound on the O(n·query) fan-out) acquired while the request's
 //     context is still live: a join that cannot start before its
@@ -29,7 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"probesim/internal/core"
@@ -37,6 +45,7 @@ import (
 	"probesim/internal/promexpo"
 	"probesim/internal/qtrace"
 	"probesim/internal/router"
+	"probesim/internal/tenant"
 )
 
 // Limits configures admission control. The zero value imposes no limits
@@ -129,6 +138,13 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 		rm.InFlight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// Tenant identity resolves before anything can refuse the request
+		// so rejections are attributed too; meta routes stay anonymous
+		// (probes and scrapes are nobody's traffic).
+		var ten *tenant.Tenant
+		if s.tenants != nil && cl != classMeta {
+			ten = s.tenants.Resolve(r.Header.Get(tenant.Header))
+		}
 		// The trace decision happens before anything can refuse the
 		// request, so a rejected or timed-out query still gets an id on
 		// the response header and a slow-query record; the trace (when
@@ -137,6 +153,7 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 		if tr != nil {
 			r = r.WithContext(qtrace.NewContext(r.Context(), tr, 0))
 		}
+		degradedServed := false
 		defer func() {
 			rm.InFlight.Add(-1)
 			dur := time.Since(start)
@@ -151,29 +168,96 @@ func (s *Server) handle(route string, cl routeClass, h http.HandlerFunc) {
 			case sw.status >= 400:
 				rm.Errors.Add(1)
 			}
-			s.finishTrace(tr, tid, route, sw.status, start, dur)
+			if cl == classQuery {
+				if sw.status < 400 {
+					s.observeServiceTime(dur)
+				}
+				if s.slo != nil {
+					name := tenant.DefaultName
+					if ten != nil {
+						name = ten.Name
+					}
+					status := sw.status
+					if status == 0 {
+						status = http.StatusOK
+					}
+					s.slo.Observe(name, dur, status, degradedServed)
+				}
+			}
+			tname := ""
+			if ten != nil {
+				tname = ten.Name
+			}
+			s.finishTrace(tr, tid, route, tname, sw.status, start, dur)
 		}()
 
 		// The timeout wraps the request BEFORE admission, so time spent
-		// queued for a join slot counts against the deadline: a join that
-		// cannot start in time 504s in the queue (bounded even for
-		// clients that set no deadline of their own) instead of waiting
-		// forever and starting its fan-out stale.
-		if (cl == classQuery || cl == classJoin) && s.limits.QueryTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.limits.QueryTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
+		// queued for a join or fair-queue slot counts against the
+		// deadline: a request that cannot start in time 504s in the queue
+		// (bounded even for clients that set no deadline of their own)
+		// instead of waiting forever and starting stale. A tenant class
+		// budget cap tightens the server-wide timeout, never loosens it.
+		if cl == classQuery || cl == classJoin {
+			timeout := s.limits.QueryTimeout
+			if ten != nil {
+				if cap := ten.Config.BudgetCap; cap > 0 && (timeout == 0 || cap < timeout) {
+					timeout = cap
+				}
+			}
+			if timeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), timeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 		}
 		aref := tr.StartSpan("admission", 0)
-		release, degraded, ok := s.admit(sw, r, cl)
+		release, degraded, ok := s.admit(sw, r, cl, ten)
 		if !ok {
 			tr.EndSpanAnnot(aref, "outcome=rejected")
 			return
 		}
 		tr.EndSpan(aref)
 		defer release()
+		// Tenant degrade policy: a class that did not accept the degrade
+		// path is served at full accuracy even over the soft watermark —
+		// the watermark still sheds their load via the hard limit/queue.
+		if degraded && ten != nil && !ten.Config.AllowDegrade {
+			degraded = false
+		}
+		// X-ProbeSim-Max-Epsa: the client's accuracy floor. Unsatisfiable
+		// against the configured base εa is a client error; satisfiable
+		// but violated by the degrade the server wants to apply is a
+		// refusal — the client said degraded answers past this bound are
+		// worthless, so 503 + Retry-After beats burning budget on one.
+		if cl == classQuery {
+			if raw := r.Header.Get(tenant.MaxEpsaHeader); raw != "" {
+				maxEpsa, err := strconv.ParseFloat(raw, 64)
+				if err != nil || maxEpsa <= 0 {
+					writeError(sw, http.StatusBadRequest, fmt.Errorf("server: bad %s %q", tenant.MaxEpsaHeader, raw))
+					return
+				}
+				if base := s.servedEpsA(); maxEpsa < base {
+					writeError(sw, http.StatusBadRequest, fmt.Errorf(
+						"server: %s %g is below the configured epsa %g", tenant.MaxEpsaHeader, maxEpsa, base))
+					return
+				}
+				if degraded && s.degradedOptions().EpsA > maxEpsa {
+					if ten != nil {
+						ten.DegradeRefused.Add(1)
+					}
+					s.writeRejection(sw, fmt.Errorf(
+						"server: degraded to epsa %g under load, over the requested bound %g",
+						s.degradedOptions().EpsA, maxEpsa))
+					return
+				}
+			}
+		}
 		if degraded {
 			rm.Degraded.Add(1)
+			if ten != nil {
+				ten.Degraded.Add(1)
+			}
+			degradedServed = true
 			r = r.WithContext(context.WithValue(r.Context(), degradedKey{}, true))
 		}
 		h(sw, r)
@@ -270,22 +354,36 @@ func (s *Server) servedEpsA() float64 {
 // admit applies the route class's admission policy. It either returns a
 // release function, the degraded verdict and true, or writes the
 // rejection response and returns false.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (func(), bool, bool) {
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass, ten *tenant.Tenant) (func(), bool, bool) {
 	nop := func() {}
 	switch cl {
 	case classQuery:
 		max := s.limits.MaxInflight
 		soft := s.limits.SoftInflight
+		if s.fairq != nil && ten != nil {
+			return s.admitFair(w, r, ten)
+		}
 		if max <= 0 && soft <= 0 {
 			return nop, false, true
 		}
 		n := s.queryInflight.Add(1)
 		if max > 0 && n > int64(max) {
 			s.queryInflight.Add(-1)
-			writeRejection(w, fmt.Errorf("server: %d similarity queries in flight (limit %d)", n-1, max))
+			if ten != nil {
+				ten.Rejected.Add(1)
+			}
+			s.writeRejection(w, fmt.Errorf("server: %d similarity queries in flight (limit %d)", n-1, max))
 			return nil, false, false
 		}
 		release := func() { s.queryInflight.Add(-1) }
+		if ten != nil {
+			ten.Inflight.Add(1)
+			ten.Admitted.Add(1)
+			release = func() {
+				s.queryInflight.Add(-1)
+				ten.Inflight.Add(-1)
+			}
+		}
 		// Between the soft watermark and the hard limit, serve degraded
 		// instead of refusing: a wider εa keeps latency bounded under
 		// pressure, and the response header keeps the client honest about
@@ -303,7 +401,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (f
 		case sem <- struct{}{}:
 			return func() { <-sem }, false, true
 		case <-r.Context().Done():
-			writeQueryError(w, fmt.Errorf("server: waiting for analysis slot: %w", r.Context().Err()))
+			s.writeQueryError(w, fmt.Errorf("server: waiting for analysis slot: %w", r.Context().Err()))
 			return nil, false, false
 		}
 	case classWrite:
@@ -315,7 +413,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (f
 		}
 		if n := s.writeWaiters.Add(1); n > int64(max) {
 			s.writeWaiters.Add(-1)
-			writeRejection(w, fmt.Errorf("server: %d writers queued on the mutation lock (limit %d)", n-1, max))
+			s.writeRejection(w, fmt.Errorf("server: %d writers queued on the mutation lock (limit %d)", n-1, max))
 			return nil, false, false
 		}
 		return func() { s.writeWaiters.Add(-1) }, false, true
@@ -324,15 +422,90 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, cl routeClass) (f
 	}
 }
 
-// retryAfter is the hint sent with every 503/504: long enough for an
-// in-flight query to drain at typical budgets, short enough that a
-// polite client retries while its user is still waiting.
-const retryAfter = "1"
+// admitFair is the tenant-aware query admission: a slot from the
+// deficit-weighted fair queue, waiting in the tenant's own bounded line
+// when the server is saturated. The only 503 here is the tenant's OWN
+// queue filling; a deadline expiring while queued surfaces as the usual
+// 504 (the timeout was applied before admission, so queueing time
+// counts against it).
+func (s *Server) admitFair(w http.ResponseWriter, r *http.Request, ten *tenant.Tenant) (func(), bool, bool) {
+	rel, err := s.fairq.Acquire(r.Context(), ten)
+	switch {
+	case errors.Is(err, tenant.ErrQueueFull):
+		ten.Rejected.Add(1)
+		s.writeRejection(w, fmt.Errorf("server: tenant %s wait queue full (%d deep)", ten.Name, ten.Config.QueueDepth))
+		return nil, false, false
+	case err != nil:
+		s.writeQueryError(w, fmt.Errorf("server: queued for admission: %w", err))
+		return nil, false, false
+	}
+	n := s.queryInflight.Add(1)
+	ten.Inflight.Add(1)
+	ten.Admitted.Add(1)
+	release := func() {
+		s.queryInflight.Add(-1)
+		ten.Inflight.Add(-1)
+		rel()
+	}
+	soft := s.limits.SoftInflight
+	return release, soft > 0 && n > int64(soft), true
+}
+
+// retryAfter bounds the load-derived Retry-After hint: at least 1s (the
+// old hard-coded hint — short enough that a polite client retries while
+// its user is still waiting), at most 30s (past that the client should
+// give up, not camp).
+const (
+	retryAfterMin = 1
+	retryAfterMax = 30
+)
+
+// retryAfterHint derives the Retry-After seconds from actual pressure:
+// the work queued ahead of a retry (fair-queue depth plus the retry
+// itself) times the observed per-query service time, spread across the
+// serving slots. Before any query has completed (no EWMA yet) it falls
+// back to the 1s floor.
+func (s *Server) retryAfterHint() string {
+	ewma := time.Duration(s.svcTimeEWMA.Load())
+	if ewma <= 0 {
+		return strconv.Itoa(retryAfterMin)
+	}
+	depth := 1
+	if s.fairq != nil {
+		depth += s.fairq.QueuedLen()
+	}
+	slots := s.limits.MaxInflight
+	if slots < 1 {
+		slots = 1
+	}
+	secs := int(math.Ceil(float64(depth) * ewma.Seconds() / float64(slots)))
+	if secs < retryAfterMin {
+		secs = retryAfterMin
+	}
+	if secs > retryAfterMax {
+		secs = retryAfterMax
+	}
+	return strconv.Itoa(secs)
+}
+
+// observeServiceTime feeds the EWMA behind retryAfterHint with one
+// successful query's duration (α = 1/8). The load/store pair is not a
+// CAS on purpose: concurrent updates may drop an observation, which a
+// pacing hint tolerates and the hot path should not pay a retry loop
+// for.
+func (s *Server) observeServiceTime(dur time.Duration) {
+	old := s.svcTimeEWMA.Load()
+	if old == 0 {
+		s.svcTimeEWMA.Store(int64(dur))
+		return
+	}
+	s.svcTimeEWMA.Store(old + (int64(dur)-old)/8)
+}
 
 // writeRejection answers an admission-control or backpressure refusal:
 // 503 with Retry-After, the contract clients pace themselves against.
-func writeRejection(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", retryAfter)
+func (s *Server) writeRejection(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", s.retryAfterHint())
 	writeError(w, http.StatusServiceUnavailable, err)
 }
 
@@ -352,21 +525,21 @@ const statusClientClosedRequest = 499
 //
 // Partial results accompanying these errors are discarded: a vector
 // without its εa guarantee is not an answer the API can stand behind.
-func writeQueryError(w http.ResponseWriter, err error) {
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, router.ErrTransport):
 		// A worker died mid-query: the canonical bad-gateway condition.
 		// Retry-After matches the transport's reconnect backoff.
-		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeError(w, http.StatusBadGateway, err)
 	case errors.Is(err, core.ErrBudget):
 		if sw, ok := w.(*statusWriter); ok {
 			sw.budgetExhausted = true
 		}
-		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, statusClientClosedRequest, err)
@@ -505,5 +678,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			promexpo.WriteCounter(out, "probesim_router_apply_skipped_total", "Write broadcasts that skipped a demoted replica (the ring replays it later).", rc.ApplySkips)
 			promexpo.WriteCounter(out, "probesim_router_catchup_batches_total", "Ring batches replayed to lagging replicas during catch-up.", rc.CatchupBatches)
 		}
+		s.writeTenantMetrics(out)
+		promexpo.WriteBuildInfo(out, "probesim-server")
 	})
 }

@@ -61,7 +61,7 @@ func (s *Server) handleProgressiveTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	res, stats, err := core.TopKProgressive(r.Context(), s.ex.Snapshot(), u, k, s.opt)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	out := make([]scoredNodeJSON, len(res))
@@ -97,7 +97,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	body := map[string]any{
@@ -140,7 +140,7 @@ func (s *Server) handleJoinTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	pairs, err := simjoin.TopKJoin(r.Context(), snap, k, simjoin.Options{Query: s.opt})
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	type pairJSON struct {
@@ -191,7 +191,7 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 		err = ferr
 	}
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -44,6 +44,8 @@ import (
 	"probesim/internal/qtrace"
 	"probesim/internal/router"
 	"probesim/internal/shard"
+	"probesim/internal/slo"
+	"probesim/internal/tenant"
 	"probesim/internal/wal"
 )
 
@@ -76,6 +78,19 @@ type Server struct {
 	queryInflight atomic.Int64
 	joinSem       chan struct{}
 	writeWaiters  atomic.Int64
+
+	// Multi-tenant QoS plane (see tenantslo.go): the tenant registry
+	// (SetTenants) resolves X-ProbeSim-Tenant to class policy; fairq,
+	// built when both tenants and MaxInflight are configured, replaces
+	// immediate-503 query admission with deficit-weighted fair queueing;
+	// slo (SetSLO) tracks per-tenant rolling-window objectives behind
+	// /debug/slo and the probesim_slo_* metric families. svcTimeEWMA is
+	// the observed per-query service time (ns) behind the load-derived
+	// Retry-After hint.
+	tenants     *tenant.Registry
+	fairq       *tenant.FairQueue
+	slo         *slo.Tracker
+	svcTimeEWMA atomic.Int64
 
 	// reg feeds /metrics: per-route latency histograms, in-flight
 	// gauges, timeout/rejection counters.
@@ -241,6 +256,7 @@ func newServer(mut mutator, st *shard.Store, ex *core.Executor, opt core.Options
 	s.handle("/stats", classMeta, s.handleStats)
 	s.handle("/metrics", classMeta, s.handleMetrics)
 	s.handle("/debug/queries", classMeta, s.handleDebugQueries)
+	s.handle("/debug/slo", classMeta, s.handleDebugSLO)
 	// Probes bypass admission control and instrumentation entirely: an
 	// orchestrator must get an answer even when the server is saturated.
 	s.hstate.SetReady(true)
@@ -312,7 +328,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	res := core.SelectTopK(scores, u, k)
@@ -337,7 +353,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	}
 	scores, err := s.singleSourceScores(w, r, u)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	type entry struct {

@@ -58,17 +58,18 @@ func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request, cl routeClas
 }
 
 // finishTrace completes the request's trace: files it with the tracer
-// (slow-query log + ring) and feeds the per-stage duration histograms
+// (slow-query log + ring, tenant-annotated so a burn spike greps
+// straight to its traces) and feeds the per-stage duration histograms
 // behind /metrics. A zero id means beginTrace declined (meta route or
 // tracing disabled) and nothing happens.
-func (s *Server) finishTrace(tr *qtrace.Trace, id qtrace.TraceID, route string, status int, start time.Time, dur time.Duration) {
+func (s *Server) finishTrace(tr *qtrace.Trace, id qtrace.TraceID, route, tenantName string, status int, start time.Time, dur time.Duration) {
 	if id.IsZero() {
 		return
 	}
 	if status == 0 {
 		status = http.StatusOK
 	}
-	s.tracer.Finish(tr, id, route, status, start, dur)
+	s.tracer.FinishTagged(tr, id, route, tenantName, status, start, dur)
 	if tr == nil {
 		return
 	}

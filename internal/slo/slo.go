@@ -1,0 +1,287 @@
+// Package slo tracks per-tenant service-level objectives over rolling
+// windows: a p99 latency target and an availability target per tenant,
+// measured against the queries the server actually served. The tracker
+// keeps an epoch ring of latency/outcome buckets per tenant, so every
+// read (Snapshot) sees only the last window's traffic — SLO burn is a
+// current condition, not a lifetime average. Error budget burn rate is
+// the standard multi-window alerting quantity: observed error rate
+// divided by the rate the objective allows (burn 1.0 = spending the
+// budget exactly as fast as it accrues; 10 = an incident).
+package slo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"probesim/internal/promexpo"
+)
+
+// Objective is one tenant's targets.
+type Objective struct {
+	// P99 is the latency bound the tenant's 99th percentile must stay
+	// under.
+	P99 time.Duration `json:"p99"`
+	// Availability is the fraction of queries that must not fail
+	// (HTTP 5xx), e.g. 0.999.
+	Availability float64 `json:"availability"`
+}
+
+// DefaultObjective is applied to tenants without an explicit objective:
+// deliberately loose — it exists so burn gauges are always defined, not
+// to page anyone.
+var DefaultObjective = Objective{P99: time.Second, Availability: 0.99}
+
+// Config configures a Tracker.
+type Config struct {
+	// Window is the rolling measurement window (default 60s).
+	Window time.Duration
+	// Epochs is how many buckets the window is split into (default 6);
+	// more epochs = smoother roll-off, more memory per tenant.
+	Epochs int
+	// Default is the objective for tenants not in PerTenant; zero takes
+	// DefaultObjective.
+	Default Objective
+	// PerTenant holds explicit objectives keyed by tenant name.
+	PerTenant map[string]Objective
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Tracker accumulates per-tenant windows. Safe for concurrent use.
+type Tracker struct {
+	window   time.Duration
+	epochDur time.Duration
+	epochs   int
+	bounds   []float64 // latency bucket upper bounds, seconds
+	def      Objective
+	perT     map[string]Objective
+	now      func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantWindow
+}
+
+type tenantWindow struct {
+	obj  Objective
+	ring []epochBucket
+}
+
+type epochBucket struct {
+	epoch    int64
+	lat      []int64 // count per bound; index len(bounds) is the overflow
+	total    int64
+	errors   int64
+	degraded int64
+}
+
+// New builds a tracker. The latency ladder is promexpo's bucket ladder,
+// so /debug/slo and the /metrics histograms agree on resolution.
+func New(cfg Config) *Tracker {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 6
+	}
+	if cfg.Default == (Objective{}) {
+		cfg.Default = DefaultObjective
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Tracker{
+		window:   cfg.Window,
+		epochDur: cfg.Window / time.Duration(cfg.Epochs),
+		epochs:   cfg.Epochs,
+		bounds:   promexpo.LatencyBounds(),
+		def:      cfg.Default,
+		perT:     cfg.PerTenant,
+		now:      cfg.Now,
+		tenants:  make(map[string]*tenantWindow),
+	}
+}
+
+// Objective returns the objective the tracker holds tenant to.
+func (t *Tracker) Objective(tenant string) Objective {
+	if o, ok := t.perT[tenant]; ok {
+		return o
+	}
+	return t.def
+}
+
+// Observe records one completed query for tenant. status >= 500 counts
+// against availability (499 client-gone and 4xx client errors do not —
+// they are not the server failing).
+func (t *Tracker) Observe(tenant string, dur time.Duration, status int, degraded bool) {
+	sec := dur.Seconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tw := t.tenants[tenant]
+	if tw == nil {
+		tw = &tenantWindow{obj: t.Objective(tenant), ring: make([]epochBucket, t.epochs)}
+		t.tenants[tenant] = tw
+	}
+	b := t.bucketLocked(tw)
+	b.total++
+	if status >= 500 {
+		b.errors++
+	}
+	if degraded {
+		b.degraded++
+	}
+	i := sort.SearchFloat64s(t.bounds, sec)
+	b.lat[i]++
+}
+
+// bucketLocked returns the current epoch's bucket, resetting a slot
+// that still holds a previous rotation's counts.
+func (t *Tracker) bucketLocked(tw *tenantWindow) *epochBucket {
+	epoch := t.now().UnixNano() / int64(t.epochDur)
+	b := &tw.ring[epoch%int64(t.epochs)]
+	if b.epoch != epoch {
+		*b = epochBucket{epoch: epoch, lat: make([]int64, len(t.bounds)+1)}
+	}
+	if b.lat == nil {
+		b.lat = make([]int64, len(t.bounds)+1)
+	}
+	return b
+}
+
+// TenantSLO is one tenant's windowed SLO state, as served by /debug/slo
+// and exported (in pieces) on /metrics.
+type TenantSLO struct {
+	Tenant   string `json:"tenant"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Degraded int64  `json:"degraded"`
+	// P99Seconds is the windowed p99 upper bound from the bucket ladder
+	// (0 when the window is empty). When the true p99 exceeds the
+	// ladder, the top bound is reported — "at least this".
+	P99Seconds float64 `json:"p99_seconds"`
+	// Availability is the windowed success fraction (1 when empty — no
+	// traffic has burned no budget).
+	Availability float64 `json:"availability"`
+	// BurnRate is error_rate / (1 - objective availability): 1.0 spends
+	// the error budget exactly at the allowed rate.
+	BurnRate  float64   `json:"burn_rate"`
+	Objective Objective `json:"objective"`
+	// LatencyMet / AvailabilityMet are the objective verdicts over this
+	// window (vacuously true when the window is empty).
+	LatencyMet      bool    `json:"latency_met"`
+	AvailabilityMet bool    `json:"availability_met"`
+	WindowSeconds   float64 `json:"window_seconds"`
+}
+
+// Snapshot returns every tenant's windowed state, sorted by name.
+func (t *Tracker) Snapshot() []TenantSLO {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	epoch := t.now().UnixNano() / int64(t.epochDur)
+	oldest := epoch - int64(t.epochs) + 1
+	out := make([]TenantSLO, 0, len(t.tenants))
+	for name, tw := range t.tenants {
+		lat := make([]int64, len(t.bounds)+1)
+		var total, errs, degraded int64
+		for i := range tw.ring {
+			b := &tw.ring[i]
+			if b.epoch < oldest || b.total == 0 {
+				continue
+			}
+			total += b.total
+			errs += b.errors
+			degraded += b.degraded
+			for j, c := range b.lat {
+				lat[j] += c
+			}
+		}
+		s := TenantSLO{
+			Tenant:        name,
+			Requests:      total,
+			Errors:        errs,
+			Degraded:      degraded,
+			Availability:  1,
+			Objective:     tw.obj,
+			WindowSeconds: t.window.Seconds(),
+		}
+		if total > 0 {
+			s.Availability = float64(total-errs) / float64(total)
+			s.P99Seconds = quantileBound(t.bounds, lat, total, 0.99)
+		}
+		if allowed := 1 - tw.obj.Availability; allowed > 0 && total > 0 {
+			s.BurnRate = (float64(errs) / float64(total)) / allowed
+		}
+		s.LatencyMet = total == 0 || s.P99Seconds <= tw.obj.P99.Seconds()
+		s.AvailabilityMet = total == 0 || s.Availability >= tw.obj.Availability
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// quantileBound returns the smallest ladder bound covering quantile q
+// of the counts (the top bound when the mass lies beyond the ladder).
+func quantileBound(bounds []float64, lat []int64, total int64, q float64) float64 {
+	// Nearest-rank: the ceil(q·n)-th ordered sample.
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range lat {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return bounds[len(bounds)-1]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// ParseObjectives parses the -slo flag grammar:
+//
+//	name=<p99 duration>:<availability>[,name=...]
+//
+// e.g. "search=50ms:0.999,crawl=2s:0.99".
+func ParseObjectives(spec string) (map[string]Objective, error) {
+	out := make(map[string]Objective)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("slo: bad objective entry %q (want name=p99:availability)", part)
+		}
+		o, err := ParseObjective(rest)
+		if err != nil {
+			return nil, fmt.Errorf("slo: tenant %s: %w", name, err)
+		}
+		out[name] = o
+	}
+	return out, nil
+}
+
+// ParseObjective parses "<p99 duration>:<availability>", e.g.
+// "50ms:0.999".
+func ParseObjective(s string) (Objective, error) {
+	durStr, availStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return Objective{}, fmt.Errorf("bad objective %q (want p99:availability, e.g. 50ms:0.999)", s)
+	}
+	d, err := time.ParseDuration(durStr)
+	if err != nil || d <= 0 {
+		return Objective{}, fmt.Errorf("bad p99 %q: %v", durStr, err)
+	}
+	a, err := strconv.ParseFloat(availStr, 64)
+	if err != nil || a <= 0 || a >= 1 {
+		return Objective{}, fmt.Errorf("bad availability %q (want a fraction in (0,1))", availStr)
+	}
+	return Objective{P99: d, Availability: a}, nil
+}

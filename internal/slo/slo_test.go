@@ -1,0 +1,152 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the tracker's epoch rotation deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(per map[string]Objective) (*Tracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tr := New(Config{
+		Window:    time.Minute,
+		Epochs:    6,
+		PerTenant: per,
+		Now:       clk.now,
+	})
+	return tr, clk
+}
+
+func find(t *testing.T, snaps []TenantSLO, tenant string) TenantSLO {
+	t.Helper()
+	for _, s := range snaps {
+		if s.Tenant == tenant {
+			return s
+		}
+	}
+	t.Fatalf("tenant %s missing from snapshot %+v", tenant, snaps)
+	return TenantSLO{}
+}
+
+func TestTrackerP99AndAvailability(t *testing.T) {
+	tr, _ := newTestTracker(map[string]Objective{
+		"search": {P99: 50 * time.Millisecond, Availability: 0.99},
+	})
+	// 99 fast queries and one slow one: p99 must cover the fast mass but
+	// the single 200ms straggler sits in the top percentile.
+	for i := 0; i < 99; i++ {
+		tr.Observe("search", 2*time.Millisecond, 200, false)
+	}
+	tr.Observe("search", 200*time.Millisecond, 200, false)
+	s := find(t, tr.Snapshot(), "search")
+	if s.Requests != 100 || s.Errors != 0 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.P99Seconds > 0.05 {
+		t.Fatalf("p99 %g pulled up by the straggler", s.P99Seconds)
+	}
+	if !s.LatencyMet || !s.AvailabilityMet || s.Availability != 1 {
+		t.Fatalf("objectives not met: %+v", s)
+	}
+
+	// Push the straggler population over 1%: p99 must now report it.
+	for i := 0; i < 5; i++ {
+		tr.Observe("search", 200*time.Millisecond, 200, false)
+	}
+	s = find(t, tr.Snapshot(), "search")
+	if s.P99Seconds < 0.2 {
+		t.Fatalf("p99 %g missed the straggler band", s.P99Seconds)
+	}
+	if s.LatencyMet {
+		t.Fatal("latency objective reported met at p99 >= 200ms vs 50ms target")
+	}
+}
+
+func TestTrackerBurnRate(t *testing.T) {
+	tr, _ := newTestTracker(map[string]Objective{
+		"api": {P99: time.Second, Availability: 0.99}, // 1% error budget
+	})
+	for i := 0; i < 90; i++ {
+		tr.Observe("api", time.Millisecond, 200, false)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe("api", time.Millisecond, 500, false)
+	}
+	s := find(t, tr.Snapshot(), "api")
+	// 10% errors against a 1% budget: burn rate 10.
+	if s.BurnRate < 9.9 || s.BurnRate > 10.1 {
+		t.Fatalf("burn rate %g, want ~10", s.BurnRate)
+	}
+	if s.AvailabilityMet {
+		t.Fatal("availability objective reported met at 90%")
+	}
+	// 4xx and 499 do not burn budget.
+	tr.Observe("api", time.Millisecond, 404, false)
+	tr.Observe("api", time.Millisecond, 499, false)
+	s2 := find(t, tr.Snapshot(), "api")
+	if s2.Errors != s.Errors {
+		t.Fatalf("client errors burned budget: %d -> %d", s.Errors, s2.Errors)
+	}
+}
+
+func TestTrackerWindowRollsOff(t *testing.T) {
+	tr, clk := newTestTracker(nil)
+	for i := 0; i < 50; i++ {
+		tr.Observe("batch", time.Millisecond, 500, true)
+	}
+	s := find(t, tr.Snapshot(), "batch")
+	if s.Errors != 50 || s.Degraded != 50 {
+		t.Fatalf("window counts: %+v", s)
+	}
+	// Two full windows later the errors have rolled out.
+	clk.advance(2 * time.Minute)
+	s = find(t, tr.Snapshot(), "batch")
+	if s.Requests != 0 || s.Errors != 0 {
+		t.Fatalf("stale window survived rotation: %+v", s)
+	}
+	if s.Availability != 1 || s.BurnRate != 0 || !s.LatencyMet || !s.AvailabilityMet {
+		t.Fatalf("empty window not vacuously healthy: %+v", s)
+	}
+	// New traffic lands in a clean window even though the ring slots
+	// held old epochs.
+	tr.Observe("batch", time.Millisecond, 200, false)
+	s = find(t, tr.Snapshot(), "batch")
+	if s.Requests != 1 || s.Errors != 0 {
+		t.Fatalf("post-rotation observe: %+v", s)
+	}
+}
+
+func TestTrackerDefaultObjective(t *testing.T) {
+	tr, _ := newTestTracker(nil)
+	tr.Observe("anon", time.Millisecond, 200, false)
+	s := find(t, tr.Snapshot(), "anon")
+	if s.Objective != DefaultObjective {
+		t.Fatalf("objective %+v, want default", s.Objective)
+	}
+}
+
+func TestParseObjectives(t *testing.T) {
+	m, err := ParseObjectives("search=50ms:0.999, crawl=2s:0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["search"] != (Objective{P99: 50 * time.Millisecond, Availability: 0.999}) {
+		t.Fatalf("search: %+v", m["search"])
+	}
+	if m["crawl"] != (Objective{P99: 2 * time.Second, Availability: 0.99}) {
+		t.Fatalf("crawl: %+v", m["crawl"])
+	}
+	for _, bad := range []string{"nope", "x=50ms", "x=50ms:1.5", "x=banana:0.9", "x=-1s:0.9"} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if m, err := ParseObjectives(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+}

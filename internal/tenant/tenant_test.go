@@ -1,0 +1,97 @@
+package tenant
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range []Class{LatencyStrict, ThroughputBatch, DegradeTolerant} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("gold"); err == nil {
+		t.Fatal("unknown class parsed")
+	}
+}
+
+func TestClassDefaults(t *testing.T) {
+	if d := Defaults(LatencyStrict); d.AllowDegrade || d.Weight <= Defaults(ThroughputBatch).Weight {
+		t.Fatalf("latency-strict defaults: %+v", d)
+	}
+	if d := Defaults(ThroughputBatch); !d.AllowDegrade {
+		t.Fatalf("throughput-batch defaults: %+v", d)
+	}
+	if d := Defaults(DegradeTolerant); !d.AllowDegrade {
+		t.Fatalf("degrade-tolerant defaults: %+v", d)
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	r := NewRegistry(DegradeTolerant, nil)
+	r.Configure("search", LatencyStrict)
+
+	if ten := r.Resolve(""); ten.Name != DefaultName || ten.Class != DegradeTolerant {
+		t.Fatalf("headerless request resolved to %+v", ten)
+	}
+	if ten := r.Resolve("search"); ten.Class != LatencyStrict {
+		t.Fatalf("configured tenant lost its class: %+v", ten)
+	}
+	// Unknown tenants are admitted with the default class and keep their
+	// identity across requests.
+	a := r.Resolve("crawler")
+	b := r.Resolve("crawler")
+	if a != b || a.Class != DegradeTolerant {
+		t.Fatalf("unknown tenant not stable: %p %p %v", a, b, a.Class)
+	}
+}
+
+func TestRegistryBoundsCardinality(t *testing.T) {
+	r := NewRegistry(DegradeTolerant, nil)
+	for i := 0; i < MaxTenants+20; i++ {
+		r.Resolve(fmt.Sprintf("hostile-%d", i))
+	}
+	if n := len(r.All()); n > MaxTenants {
+		t.Fatalf("registry grew to %d tenants, cap %d", n, MaxTenants)
+	}
+	over := r.Resolve("hostile-unseen")
+	if over.Name != OverflowName {
+		t.Fatalf("past the cap, got tenant %q, want overflow", over.Name)
+	}
+}
+
+func TestRegistryClassOverrides(t *testing.T) {
+	r := NewRegistry(DegradeTolerant, map[Class]Config{
+		LatencyStrict: {Weight: 9, QueueDepth: 3, BudgetCap: 50 * time.Millisecond},
+	})
+	r.Configure("search", LatencyStrict)
+	ten := r.Resolve("search")
+	if ten.Config.Weight != 9 || ten.Config.QueueDepth != 3 || ten.Config.BudgetCap != 50*time.Millisecond {
+		t.Fatalf("override lost: %+v", ten.Config)
+	}
+	if ten.Config.AllowDegrade {
+		t.Fatal("override enabled degrade for latency-strict")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	r := NewRegistry(DegradeTolerant, nil)
+	if err := ParseSpec(r, "search=latency-strict, crawl=throughput-batch"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Resolve("search").Class != LatencyStrict || r.Resolve("crawl").Class != ThroughputBatch {
+		t.Fatal("spec classes not applied")
+	}
+	if err := ParseSpec(r, "bad"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := ParseSpec(r, "x=gold"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if err := ParseSpec(r, ""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
